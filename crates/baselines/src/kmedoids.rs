@@ -1,0 +1,172 @@
+//! k-medoids clustering over an arbitrary pairwise distance.
+//!
+//! The distance-based baselines (edit distance, block edit distance) need a
+//! clustering driver that works from pairwise distances alone — medoids,
+//! not centroids, since sequences cannot be averaged. This is a standard
+//! PAM-style alternating scheme with k-means++-flavoured seeding.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays (nearest, assignment)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clusters `n` items into `k` groups given a pairwise distance.
+///
+/// `dist(i, j)` must be symmetric and non-negative (it is called with
+/// `i != j` only). Returns one cluster index per item (every item is
+/// assigned — distance-based baselines have no outlier notion).
+///
+/// The loop alternates assignment and medoid recomputation until stable or
+/// `max_iter` rounds. Deterministic given `seed`.
+pub fn k_medoids(
+    n: usize,
+    k: usize,
+    mut dist: impl FnMut(usize, usize) -> f64,
+    max_iter: usize,
+    seed: u64,
+) -> Vec<Option<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.max(1).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++-style seeding: first medoid random, then each next medoid
+    // is the point farthest from its nearest chosen medoid.
+    let mut medoids: Vec<usize> = vec![rng.gen_range(0..n)];
+    let mut nearest = vec![f64::INFINITY; n];
+    while medoids.len() < k {
+        let newest = *medoids.last().expect("non-empty");
+        for (i, near) in nearest.iter_mut().enumerate() {
+            if i != newest {
+                *near = near.min(dist(i, newest));
+            } else {
+                *near = 0.0;
+            }
+        }
+        let far = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| nearest[a].total_cmp(&nearest[b]));
+        match far {
+            Some(f) => medoids.push(f),
+            None => break,
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..max_iter {
+        // Assignment step.
+        let mut changed = false;
+        for i in 0..n {
+            let best = medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &ma), (_, &mb)| {
+                    let da = if i == ma { 0.0 } else { dist(i, ma) };
+                    let db = if i == mb { 0.0 } else { dist(i, mb) };
+                    da.total_cmp(&db)
+                })
+                .map(|(slot, _)| slot)
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Medoid update: the member minimizing total intra-cluster
+        // distance.
+        let mut new_medoids = medoids.clone();
+        for (slot, new_medoid) in new_medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == slot).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ca: f64 = members.iter().filter(|&&m| m != a).map(|&m| dist(a, m)).sum();
+                    let cb: f64 = members.iter().filter(|&&m| m != b).map(|&m| dist(b, m)).sum();
+                    ca.total_cmp(&cb)
+                })
+                .expect("non-empty members");
+            *new_medoid = best;
+        }
+
+        let medoids_stable = new_medoids == medoids;
+        medoids = new_medoids;
+        if medoids_stable && !changed {
+            break;
+        }
+    }
+
+    assignment.into_iter().map(Some).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance on a line: |pos(i) - pos(j)|.
+    fn line_dist(points: &'static [f64]) -> impl FnMut(usize, usize) -> f64 {
+        move |i, j| (points[i] - points[j]).abs()
+    }
+
+    #[test]
+    fn separates_two_obvious_groups() {
+        static P: [f64; 6] = [0.0, 0.5, 1.0, 10.0, 10.5, 11.0];
+        let a = k_medoids(6, 2, line_dist(&P), 20, 1);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[1], a[2]);
+        assert_eq!(a[3], a[4]);
+        assert_eq!(a[4], a[5]);
+        assert_ne!(a[0], a[3]);
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        static P: [f64; 4] = [0.0, 1.0, 2.0, 100.0];
+        let a = k_medoids(4, 1, line_dist(&P), 10, 2);
+        assert!(a.iter().all(|&x| x == a[0]));
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        static P: [f64; 3] = [0.0, 5.0, 10.0];
+        let a = k_medoids(3, 10, line_dist(&P), 10, 3);
+        // With k = n every point can be its own medoid.
+        let mut slots: Vec<_> = a.iter().map(|x| x.unwrap()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = k_medoids(0, 3, |_, _| 0.0, 10, 4);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        static P: [f64; 8] = [0.0, 1.0, 2.0, 3.0, 20.0, 21.0, 22.0, 23.0];
+        let a = k_medoids(8, 2, line_dist(&P), 20, 7);
+        let b = k_medoids(8, 2, line_dist(&P), 20, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn farthest_first_seeding_spreads_medoids() {
+        // Three tight groups; k = 3 should give three distinct clusters.
+        static P: [f64; 9] = [0.0, 0.1, 0.2, 50.0, 50.1, 50.2, 100.0, 100.1, 100.2];
+        let a = k_medoids(9, 3, line_dist(&P), 20, 5);
+        let mut slots: Vec<_> = a.iter().map(|x| x.unwrap()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(a[0], a[2]);
+        assert_eq!(a[3], a[5]);
+        assert_eq!(a[6], a[8]);
+    }
+}

@@ -1,0 +1,30 @@
+//! The comparison models of the CLUSEQ paper's Table 2, implemented from
+//! scratch.
+//!
+//! The paper compares CLUSEQ against four alternatives on the protein
+//! database:
+//!
+//! | Model | Module | Notes |
+//! |---|---|---|
+//! | Edit distance (ED) | [`edit`] | full DP and banded variants, k-medoids clustering |
+//! | Edit distance with block operations (EDBO) | [`block_edit`] | exact computation is NP-hard; a greedy block-cover heuristic (the paper used an unspecified heuristic too) |
+//! | Hidden Markov model (HMM) | [`hmm`] | discrete HMMs, scaled forward/backward, Baum–Welch, EM clustering |
+//! | q-gram | [`qgram`] | sparse q-gram profiles, cosine similarity, spherical k-means |
+//!
+//! All four expose the same driver shape — `cluster(db, k, seed) ->
+//! Vec<Option<usize>>` (a hard assignment per sequence) — so the Table 2
+//! harness can time and score them uniformly.
+
+pub mod block_edit;
+pub mod edit;
+pub mod hmm;
+pub mod kmedoids;
+pub mod qgram;
+pub mod suffix_automaton;
+
+pub use block_edit::block_edit_distance;
+pub use edit::{banded_edit_distance, edit_distance};
+pub use hmm::{DiscreteHmm, HmmClustering};
+pub use kmedoids::k_medoids;
+pub use qgram::{cosine_similarity, QgramProfile};
+pub use suffix_automaton::SuffixAutomaton;

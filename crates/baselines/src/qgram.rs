@@ -1,0 +1,266 @@
+//! The q-gram baseline: bag-of-segments profiles with cosine similarity.
+//!
+//! Each sequence is viewed as the multiset of its length-`q` windows; the
+//! similarity between two sequences (or a sequence and a centroid) is the
+//! cosine of their count vectors — the "normalized dot-product" form the
+//! paper attributes to keyword-based document clustering. Clustering is
+//! spherical k-means over the profiles.
+//!
+//! The paper's critique (§1) is that the *correlations among the q-grams
+//! are lost*: the method is fast (Table 2: 132 s, the fastest) but less
+//! accurate (75%) than CLUSEQ. The implementation keeps that profile:
+//! profile extraction is linear, similarity is sparse-dot-product cheap.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cluseq_seq::{SequenceDatabase, Symbol};
+
+/// A sparse q-gram count profile, pre-normalized to unit length.
+#[derive(Debug, Clone)]
+pub struct QgramProfile {
+    q: usize,
+    /// q-gram key → weight. Keys are FNV-style hashes of the window (the
+    /// astronomically rare collision merges two counts and is harmless for
+    /// clustering).
+    weights: HashMap<u64, f64>,
+}
+
+fn gram_key(window: &[Symbol]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &s in window {
+        h ^= s.0 as u64 + 1;
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+impl QgramProfile {
+    /// Builds the profile of `seq` with window length `q`. Sequences
+    /// shorter than `q` yield an empty profile.
+    pub fn from_sequence(seq: &[Symbol], q: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        let mut weights: HashMap<u64, f64> = HashMap::new();
+        if seq.len() >= q {
+            for w in seq.windows(q) {
+                *weights.entry(gram_key(w)).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut profile = Self { q, weights };
+        profile.normalize();
+        profile
+    }
+
+    /// The window length.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct q-grams in the profile.
+    pub fn distinct_grams(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn norm(&self) -> f64 {
+        self.weights.values().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for w in self.weights.values_mut() {
+                *w /= n;
+            }
+        }
+    }
+
+    /// Accumulates another profile into this one (for centroids).
+    fn add(&mut self, other: &QgramProfile) {
+        for (&k, &w) in &other.weights {
+            *self.weights.entry(k).or_insert(0.0) += w;
+        }
+    }
+
+    fn empty(q: usize) -> Self {
+        Self {
+            q,
+            weights: HashMap::new(),
+        }
+    }
+}
+
+/// Cosine similarity of two unit-normalized profiles, in `[0, 1]`.
+pub fn cosine_similarity(a: &QgramProfile, b: &QgramProfile) -> f64 {
+    // Iterate the smaller map.
+    let (small, large) = if a.weights.len() <= b.weights.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    small
+        .weights
+        .iter()
+        .filter_map(|(k, &wa)| large.weights.get(k).map(|&wb| wa * wb))
+        .sum()
+}
+
+/// Spherical k-means over q-gram profiles. Returns a hard assignment per
+/// sequence (all assigned).
+pub fn qgram_cluster(
+    db: &SequenceDatabase,
+    q: usize,
+    k: usize,
+    max_iter: usize,
+    seed: u64,
+) -> Vec<Option<usize>> {
+    let n = db.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.max(1).min(n);
+    let profiles: Vec<QgramProfile> = db
+        .sequences()
+        .map(|s| QgramProfile::from_sequence(s.symbols(), q))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Seeding: farthest-first on cosine (lowest max-similarity next).
+    let mut centroids: Vec<QgramProfile> = vec![profiles[rng.gen_range(0..n)].clone()];
+    let mut best_sim = vec![f64::NEG_INFINITY; n];
+    while centroids.len() < k {
+        let newest = centroids.last().expect("non-empty");
+        for (i, b) in best_sim.iter_mut().enumerate() {
+            *b = b.max(cosine_similarity(&profiles[i], newest));
+        }
+        let far = (0..n)
+            .min_by(|&a, &b| best_sim[a].total_cmp(&best_sim[b]))
+            .expect("n >= 1");
+        centroids.push(profiles[far].clone());
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for i in 0..n {
+            let best = (0..centroids.len())
+                .max_by(|&a, &b| {
+                    cosine_similarity(&profiles[i], &centroids[a])
+                        .total_cmp(&cosine_similarity(&profiles[i], &centroids[b]))
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        for (slot, centroid) in centroids.iter_mut().enumerate() {
+            let mut fresh = QgramProfile::empty(q);
+            for i in 0..n {
+                if assignment[i] == slot {
+                    fresh.add(&profiles[i]);
+                }
+            }
+            if !fresh.weights.is_empty() {
+                fresh.normalize();
+                *centroid = fresh;
+            }
+        }
+    }
+    assignment.into_iter().map(Some).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_seq::{Alphabet, Sequence};
+
+    fn syms(text: &str) -> Vec<Symbol> {
+        let alphabet = Alphabet::from_chars('a'..='h');
+        Sequence::parse_str(&alphabet, text).unwrap().iter().collect()
+    }
+
+    #[test]
+    fn profile_counts_windows() {
+        let p = QgramProfile::from_sequence(&syms("ababa"), 2);
+        // Windows: ab, ba, ab, ba → 2 distinct grams.
+        assert_eq!(p.distinct_grams(), 2);
+        assert!((p.norm() - 1.0).abs() < 1e-9, "profiles are unit length");
+    }
+
+    #[test]
+    fn short_sequences_have_empty_profiles() {
+        let p = QgramProfile::from_sequence(&syms("a"), 3);
+        assert_eq!(p.distinct_grams(), 0);
+    }
+
+    #[test]
+    fn cosine_of_identical_profiles_is_one() {
+        let p = QgramProfile::from_sequence(&syms("abcabc"), 3);
+        assert!((cosine_similarity(&p, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_profiles_is_zero() {
+        let a = QgramProfile::from_sequence(&syms("aaaa"), 2);
+        let b = QgramProfile::from_sequence(&syms("bbbb"), 2);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded() {
+        let a = QgramProfile::from_sequence(&syms("abcdabcd"), 2);
+        let b = QgramProfile::from_sequence(&syms("abccba"), 2);
+        let ab = cosine_similarity(&a, &b);
+        let ba = cosine_similarity(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-9).contains(&ab));
+    }
+
+    #[test]
+    fn qgrams_ignore_order_beyond_q() {
+        // The paper's point: block-swapped sequences look nearly identical
+        // to a q-gram model.
+        let a = QgramProfile::from_sequence(&syms("aaaabbb"), 2);
+        let b = QgramProfile::from_sequence(&syms("bbbaaaa"), 2);
+        let sim = cosine_similarity(&a, &b);
+        assert!(sim > 0.9, "block swap is invisible to q-grams: {sim}");
+    }
+
+    #[test]
+    fn clustering_separates_distinct_compositions() {
+        let texts = [
+            "abababababab",
+            "babababababa",
+            "abababababab",
+            "cdcdcdcdcdcd",
+            "dcdcdcdcdcdc",
+            "cdcdcdcdcdcd",
+        ];
+        let db = SequenceDatabase::from_strs(texts);
+        let a = qgram_cluster(&db, 2, 2, 20, 3);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[1], a[2]);
+        assert_eq!(a[3], a[4]);
+        assert_eq!(a[4], a[5]);
+        assert_ne!(a[0], a[3]);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let db = SequenceDatabase::from_strs(["abab", "cdcd", "abab", "cdcd"]);
+        let a = qgram_cluster(&db, 2, 2, 10, 9);
+        let b = qgram_cluster(&db, 2, 2, 10, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_database_clusters_to_nothing() {
+        let db = SequenceDatabase::from_strs(std::iter::empty::<&str>());
+        assert!(qgram_cluster(&db, 3, 2, 10, 1).is_empty());
+    }
+}

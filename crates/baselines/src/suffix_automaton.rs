@@ -1,0 +1,301 @@
+//! A suffix automaton (Blumer et al. / Crochemore's DAWG) with
+//! linear-time longest-common-substring queries.
+//!
+//! The block-edit baseline's inner loop is a longest-common-substring
+//! search; the naive DP costs O(n·m) per fragment pair, which is exactly
+//! why the paper's EDBO column is the slowest (13754 s). The suffix
+//! automaton brings one LCS query down to O(n + m): build the automaton
+//! over `a` once, then walk `b` through it maintaining the length of the
+//! longest suffix of the consumed prefix that occurs in `a`. The
+//! `baseline_distances` bench compares the two.
+//!
+//! This is also the one classic linear suffix-indexing structure the
+//! paper's §3 bibliography leans on (Ukkonen-style online construction of
+//! suffix structures): `extend` adds one symbol in amortized O(1).
+
+use cluseq_seq::Symbol;
+
+/// One automaton state: a set of end-positions sharing the same right
+/// extensions; recognizes a contiguous range of substring lengths
+/// `(len(link), len]`.
+#[derive(Debug, Clone)]
+struct State {
+    /// Longest substring length in this state's class.
+    len: usize,
+    /// Suffix link (`usize::MAX` for the initial state).
+    link: usize,
+    /// End index (0-based, inclusive) of the first occurrence of this
+    /// state's substrings.
+    first_end: usize,
+    /// Outgoing transitions, sorted by symbol.
+    trans: Vec<(Symbol, usize)>,
+}
+
+impl State {
+    fn get(&self, s: Symbol) -> Option<usize> {
+        match self.trans.binary_search_by_key(&s, |&(x, _)| x) {
+            Ok(i) => Some(self.trans[i].1),
+            Err(_) => None,
+        }
+    }
+
+    fn set(&mut self, s: Symbol, to: usize) {
+        match self.trans.binary_search_by_key(&s, |&(x, _)| x) {
+            Ok(i) => self.trans[i].1 = to,
+            Err(i) => self.trans.insert(i, (s, to)),
+        }
+    }
+}
+
+/// A suffix automaton over one sequence.
+#[derive(Debug, Clone)]
+pub struct SuffixAutomaton {
+    states: Vec<State>,
+    last: usize,
+    length: usize,
+}
+
+impl Default for SuffixAutomaton {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuffixAutomaton {
+    /// The automaton of the empty sequence.
+    pub fn new() -> Self {
+        Self {
+            states: vec![State {
+                len: 0,
+                link: usize::MAX,
+                first_end: usize::MAX,
+                trans: Vec::new(),
+            }],
+            last: 0,
+            length: 0,
+        }
+    }
+
+    /// Builds the automaton of `seq` (O(|seq|) amortized).
+    pub fn from_sequence(seq: &[Symbol]) -> Self {
+        let mut sam = Self::new();
+        for &s in seq {
+            sam.extend(s);
+        }
+        sam
+    }
+
+    /// Number of automaton states (≤ 2·|seq| − 1 for |seq| ≥ 2).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Length of the indexed sequence.
+    pub fn len(&self) -> usize {
+        self.length
+    }
+
+    /// Whether the indexed sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.length == 0
+    }
+
+    /// Online extension by one symbol (the standard SAM construction).
+    pub fn extend(&mut self, s: Symbol) {
+        let pos = self.length;
+        self.length += 1;
+        let cur = self.states.len();
+        self.states.push(State {
+            len: self.states[self.last].len + 1,
+            link: 0,
+            first_end: pos,
+            trans: Vec::new(),
+        });
+        let mut p = self.last;
+        loop {
+            if p == usize::MAX {
+                self.states[cur].link = 0;
+                break;
+            }
+            if let Some(q) = self.states[p].get(s) {
+                if self.states[p].len + 1 == self.states[q].len {
+                    self.states[cur].link = q;
+                } else {
+                    // Clone q: split its length range.
+                    let clone = self.states.len();
+                    let mut cloned = self.states[q].clone();
+                    cloned.len = self.states[p].len + 1;
+                    self.states.push(cloned);
+                    // Redirect transitions into q from p's suffix chain.
+                    let mut pp = p;
+                    while pp != usize::MAX && self.states[pp].get(s) == Some(q) {
+                        self.states[pp].set(s, clone);
+                        pp = self.states[pp].link;
+                    }
+                    self.states[q].link = clone;
+                    self.states[cur].link = clone;
+                }
+                break;
+            }
+            self.states[p].set(s, cur);
+            p = self.states[p].link;
+        }
+        self.last = cur;
+    }
+
+    /// Whether `needle` occurs as a substring of the indexed sequence.
+    pub fn contains(&self, needle: &[Symbol]) -> bool {
+        let mut state = 0usize;
+        for &s in needle {
+            match self.states[state].get(s) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Longest common substring between the indexed sequence and `other`:
+    /// returns `(length, start_in_indexed, start_in_other)`, or `None`
+    /// when nothing is shared. O(|other|) time.
+    pub fn lcs(&self, other: &[Symbol]) -> Option<(usize, usize, usize)> {
+        let mut state = 0usize;
+        let mut matched = 0usize;
+        let mut best: Option<(usize, usize, usize)> = None;
+        for (i, &s) in other.iter().enumerate() {
+            // Shrink the current match until it can be extended by s.
+            loop {
+                if let Some(next) = self.states[state].get(s) {
+                    state = next;
+                    matched += 1;
+                    break;
+                }
+                if state == 0 {
+                    matched = 0;
+                    break;
+                }
+                state = self.states[state].link;
+                matched = self.states[state].len;
+            }
+            if matched > 0 && best.map_or(true, |(bl, ..)| matched > bl) {
+                // The match of length `matched` ends at other[i]; one
+                // occurrence in the indexed sequence ends at first_end of
+                // the *current* state… except the state may represent
+                // longer strings than `matched`; first_end still marks a
+                // valid end position of the matched suffix.
+                let end_a = self.states[state].first_end;
+                best = Some((matched, end_a + 1 - matched, i + 1 - matched));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_seq::{Alphabet, Sequence};
+
+    fn syms(text: &str) -> Vec<Symbol> {
+        let alphabet = Alphabet::from_chars('a'..='h');
+        Sequence::parse_str(&alphabet, text).unwrap().iter().collect()
+    }
+
+    /// Reference LCS via the O(n·m) DP.
+    fn dp_lcs_len(a: &[Symbol], b: &[Symbol]) -> usize {
+        let mut best = 0;
+        let mut prev = vec![0usize; b.len() + 1];
+        let mut cur = vec![0usize; b.len() + 1];
+        for &sa in a {
+            for (j, &sb) in b.iter().enumerate() {
+                cur[j + 1] = if sa == sb { prev[j] + 1 } else { 0 };
+                best = best.max(cur[j + 1]);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        best
+    }
+
+    #[test]
+    fn contains_all_substrings_and_nothing_else() {
+        let text = syms("abcabd");
+        let sam = SuffixAutomaton::from_sequence(&text);
+        for start in 0..text.len() {
+            for end in start + 1..=text.len() {
+                assert!(sam.contains(&text[start..end]), "{start}..{end}");
+            }
+        }
+        assert!(sam.contains(&[]), "empty is trivially contained");
+        assert!(sam.contains(&syms("ca")));
+        assert!(!sam.contains(&syms("dd")));
+        assert!(!sam.contains(&syms("bda")));
+    }
+
+    #[test]
+    fn state_count_is_linear() {
+        let text = syms("abcabcabcabcab");
+        let sam = SuffixAutomaton::from_sequence(&text);
+        assert!(sam.state_count() <= 2 * text.len());
+    }
+
+    #[test]
+    fn lcs_finds_known_blocks() {
+        let a = syms("ggabcdhh");
+        let b = syms("fabcdf");
+        let sam = SuffixAutomaton::from_sequence(&a);
+        let (len, pa, pb) = sam.lcs(&b).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(&a[pa..pa + len], &b[pb..pb + len]);
+        assert_eq!(&a[pa..pa + len], &syms("abcd")[..]);
+    }
+
+    #[test]
+    fn lcs_of_disjoint_is_none() {
+        let sam = SuffixAutomaton::from_sequence(&syms("aaa"));
+        assert_eq!(sam.lcs(&syms("bbb")), None);
+        assert_eq!(sam.lcs(&[]), None);
+        assert_eq!(SuffixAutomaton::new().lcs(&syms("ab")), None);
+    }
+
+    #[test]
+    fn lcs_positions_are_valid_occurrences() {
+        let a = syms("abcabdabe");
+        let b = syms("cabdabc");
+        let sam = SuffixAutomaton::from_sequence(&a);
+        let (len, pa, pb) = sam.lcs(&b).unwrap();
+        assert_eq!(dp_lcs_len(&a, &b), len);
+        assert_eq!(&a[pa..pa + len], &b[pb..pb + len]);
+    }
+
+    #[test]
+    fn lcs_length_matches_dp_on_fixed_cases() {
+        let cases = [
+            ("abcdefgh", "hgfedcba"),
+            ("aaaa", "aa"),
+            ("abab", "baba"),
+            ("abcabc", "cba"),
+            ("a", "a"),
+            ("fgh", "abc"),
+        ];
+        for (x, y) in cases {
+            let a = syms(x);
+            let b = syms(y);
+            let sam = SuffixAutomaton::from_sequence(&a);
+            let sam_len = sam.lcs(&b).map_or(0, |(l, ..)| l);
+            assert_eq!(sam_len, dp_lcs_len(&a, &b), "({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn online_extension_matches_batch_build() {
+        let text = syms("abcabd");
+        let batch = SuffixAutomaton::from_sequence(&text);
+        let mut online = SuffixAutomaton::new();
+        for &s in &text {
+            online.extend(s);
+        }
+        assert_eq!(online.state_count(), batch.state_count());
+        assert_eq!(online.len(), batch.len());
+        assert!(online.contains(&syms("cab")));
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the baseline models, each checked against an
+//! independent reference computation.
+
+use proptest::prelude::*;
+
+use cluseq_baselines::{banded_edit_distance, block_edit_distance, edit_distance, DiscreteHmm};
+use cluseq_baselines::qgram::{cosine_similarity, QgramProfile};
+use cluseq_seq::Symbol;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seq_strategy(n: u16, max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec((0..n).prop_map(Symbol), 0..max_len)
+}
+
+/// Naive exponential-memoed reference for Levenshtein.
+fn reference_edit(a: &[Symbol], b: &[Symbol]) -> usize {
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let sub = dp[i - 1][j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+        }
+    }
+    dp[a.len()][b.len()]
+}
+
+proptest! {
+    /// The two-row implementation equals the full-matrix reference.
+    #[test]
+    fn edit_distance_matches_reference(a in seq_strategy(4, 30), b in seq_strategy(4, 30)) {
+        prop_assert_eq!(edit_distance(&a, &b), reference_edit(&a, &b));
+    }
+
+    /// Metric axioms: identity, symmetry, triangle inequality.
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in seq_strategy(3, 20),
+        b in seq_strategy(3, 20),
+        c in seq_strategy(3, 20),
+    ) {
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert!(
+            edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c)
+        );
+        // Length difference is a lower bound; max length an upper bound.
+        prop_assert!(edit_distance(&a, &b) >= a.len().abs_diff(b.len()));
+        prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+    }
+
+    /// The banded variant is exact whenever the true distance fits the
+    /// band, and saturates at band+1 otherwise.
+    #[test]
+    fn banded_edit_distance_is_exact_within_band(
+        a in seq_strategy(3, 25),
+        b in seq_strategy(3, 25),
+        band in 0usize..12,
+    ) {
+        let full = edit_distance(&a, &b);
+        let banded = banded_edit_distance(&a, &b, band);
+        if full <= band {
+            prop_assert_eq!(banded, full);
+        } else {
+            prop_assert_eq!(banded, band + 1);
+        }
+    }
+
+    /// Block edit distance: zero iff equal (min_block permitting), and
+    /// never larger than deleting and re-inserting everything.
+    #[test]
+    fn block_edit_distance_bounds(a in seq_strategy(3, 20), b in seq_strategy(3, 20)) {
+        let d = block_edit_distance(&a, &b, 2);
+        prop_assert!(d <= a.len() + b.len());
+        prop_assert_eq!(block_edit_distance(&a, &a, 2), 0);
+        // Greedy tie-breaking makes the two directions differ, but both
+        // are valid covers of the same pair: both respect the same bounds.
+        let rev = block_edit_distance(&b, &a, 2);
+        prop_assert!(rev <= a.len() + b.len());
+        prop_assert_eq!(d == 0, rev == 0, "zero iff equal, both directions");
+    }
+
+    /// A block rotation costs at most a couple of block moves — far less
+    /// than the symbols it displaces (when the halves are long enough to
+    /// be matched as blocks).
+    #[test]
+    fn block_rotation_is_cheap(a in seq_strategy(3, 40), cut_frac in 0.2f64..0.8) {
+        prop_assume!(a.len() >= 10);
+        let cut = ((a.len() as f64 * cut_frac) as usize).clamp(3, a.len() - 3);
+        let rotated: Vec<Symbol> = a[cut..].iter().chain(&a[..cut]).copied().collect();
+        let d = block_edit_distance(&a, &rotated, 3);
+        prop_assert!(
+            d <= a.len() / 2,
+            "rotation at {cut} cost {d} on length {}",
+            a.len()
+        );
+    }
+
+    /// Cosine similarity is bounded, symmetric, and 1 on self (when the
+    /// profile is non-empty).
+    #[test]
+    fn qgram_cosine_properties(a in seq_strategy(4, 40), b in seq_strategy(4, 40), q in 1usize..4) {
+        let pa = QgramProfile::from_sequence(&a, q);
+        let pb = QgramProfile::from_sequence(&b, q);
+        let ab = cosine_similarity(&pa, &pb);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
+        prop_assert!((ab - cosine_similarity(&pb, &pa)).abs() < 1e-12);
+        if a.len() >= q {
+            prop_assert!((cosine_similarity(&pa, &pa) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The suffix automaton's LCS length equals the DP reference, and the
+    /// reported positions are genuine occurrences, on arbitrary inputs.
+    #[test]
+    fn suffix_automaton_lcs_matches_dp(a in seq_strategy(4, 60), b in seq_strategy(4, 60)) {
+        use cluseq_baselines::SuffixAutomaton;
+        fn dp_lcs_len(a: &[Symbol], b: &[Symbol]) -> usize {
+            let mut best = 0;
+            let mut prev = vec![0usize; b.len() + 1];
+            let mut cur = vec![0usize; b.len() + 1];
+            for &sa in a {
+                for (j, &sb) in b.iter().enumerate() {
+                    cur[j + 1] = if sa == sb { prev[j] + 1 } else { 0 };
+                    best = best.max(cur[j + 1]);
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+            best
+        }
+        let sam = SuffixAutomaton::from_sequence(&a);
+        let expected = dp_lcs_len(&a, &b);
+        match sam.lcs(&b) {
+            Some((len, pa, pb)) => {
+                prop_assert_eq!(len, expected);
+                prop_assert_eq!(&a[pa..pa + len], &b[pb..pb + len]);
+            }
+            None => prop_assert_eq!(expected, 0),
+        }
+    }
+
+    /// Every substring of the indexed text is recognized; random probes
+    /// are recognized iff they occur.
+    #[test]
+    fn suffix_automaton_contains_is_exact(
+        text in seq_strategy(3, 50),
+        probe in seq_strategy(3, 6),
+    ) {
+        use cluseq_baselines::SuffixAutomaton;
+        let sam = SuffixAutomaton::from_sequence(&text);
+        let occurs = !probe.is_empty()
+            && text.windows(probe.len().max(1)).any(|w| w == &probe[..]);
+        if probe.is_empty() {
+            prop_assert!(sam.contains(&probe));
+        } else {
+            prop_assert_eq!(sam.contains(&probe), occurs);
+        }
+        // All actual substrings are found.
+        if text.len() >= 3 {
+            prop_assert!(sam.contains(&text[text.len() / 3..text.len() * 2 / 3]));
+        }
+        prop_assert!(sam.state_count() <= 2 * text.len().max(1));
+    }
+
+    /// The scaled forward algorithm equals brute-force enumeration of all
+    /// hidden state paths on tiny models.
+    #[test]
+    fn hmm_forward_matches_path_enumeration(
+        seq in seq_strategy(3, 6),
+        states in 1usize..4,
+        model_seed in 0u64..50,
+    ) {
+        prop_assume!(!seq.is_empty());
+        let mut rng = StdRng::seed_from_u64(model_seed);
+        let hmm = DiscreteHmm::random(states, 3, &mut rng);
+
+        // Brute force: sum over all state paths.
+        fn enumerate(hmm: &DiscreteHmm, seq: &[Symbol], t: usize, state: usize, p: f64) -> f64 {
+            let p = p * hmm.emission(state, seq[t]);
+            if t + 1 == seq.len() {
+                return p;
+            }
+            (0..hmm.states())
+                .map(|next| enumerate(hmm, seq, t + 1, next, p * hmm.transition(state, next)))
+                .sum()
+        }
+        let brute: f64 = (0..states)
+            .map(|s0| enumerate(&hmm, &seq, 0, s0, hmm.initial(s0)))
+            .sum();
+        let fast = hmm.log_likelihood(&seq);
+        prop_assert!(
+            (fast - brute.ln()).abs() < 1e-9,
+            "forward {fast} vs enumeration {}",
+            brute.ln()
+        );
+    }
+}

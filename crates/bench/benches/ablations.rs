@@ -1,0 +1,93 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: the
+//! reversed-tree longest-significant-suffix lookup, smoothing, greedy
+//! farthest-first seeding, and the (non-paper) PST-rebuild variant. Each
+//! measures the *whole clustering run* under the toggled choice, so the
+//! numbers show the end-to-end cost/benefit, and prints the quality
+//! alongside (Criterion measures time; quality is asserted to stderr once
+//! per configuration).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cluseq_core::{Cluseq, CluseqParams, ConsolidationMode};
+use cluseq_datagen::SyntheticSpec;
+use cluseq_eval::{Confusion, MatchStrategy};
+use cluseq_seq::SequenceDatabase;
+
+fn workload() -> SequenceDatabase {
+    SyntheticSpec {
+        sequences: 200,
+        clusters: 5,
+        avg_len: 120,
+        alphabet: 60,
+        outlier_fraction: 0.05,
+        seed: 31,
+    }
+    .generate()
+}
+
+fn base_params() -> CluseqParams {
+    CluseqParams::default()
+        .with_initial_clusters(5)
+        .with_significance(8)
+        .with_max_depth(6)
+        .with_max_iterations(20)
+        .with_seed(2)
+}
+
+fn report_quality(db: &SequenceDatabase, name: &str, params: CluseqParams) {
+    let outcome = Cluseq::new(params).run(db);
+    let c = Confusion::new(
+        &db.labels(),
+        &outcome.membership_lists(),
+        MatchStrategy::Hungarian,
+    );
+    eprintln!(
+        "[ablation quality] {name}: accuracy {:.3}, {} clusters",
+        c.accuracy(),
+        outcome.cluster_count()
+    );
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let db = workload();
+    let configs: Vec<(&str, CluseqParams)> = vec![
+        ("baseline", base_params()),
+        ("no_smoothing", {
+            let mut p = base_params();
+            p.smoothing = None;
+            p
+        }),
+        ("random_seeding", {
+            // sample_factor 1 ⇒ the greedy pass degenerates to taking the
+            // random sample as-is: ablates farthest-first selection.
+            base_params().with_sample_factor(1)
+        }),
+        ("rebuild_psts", base_params().with_pst_rebuild(true)),
+        ("shallow_memory", base_params().with_max_depth(2)),
+        ("no_threshold_adjust", {
+            base_params()
+                .with_threshold_adjustment(false)
+                .with_initial_threshold(2.0)
+        }),
+        (
+            "merge_consolidation",
+            base_params().with_consolidation(ConsolidationMode::MergeIntoCovering),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("cluseq_ablations");
+    group.sample_size(10);
+    for (name, params) in &configs {
+        report_quality(&db, name, params.clone());
+        group.bench_with_input(BenchmarkId::new("variant", name), params, |b, params| {
+            b.iter(|| {
+                let outcome = Cluseq::new(params.clone()).run(&db);
+                black_box(outcome.cluster_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

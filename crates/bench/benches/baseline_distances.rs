@@ -1,0 +1,83 @@
+//! Criterion benchmark: per-pair cost of the baseline distance/similarity
+//! primitives — the microscopic version of Table 2's response-time column.
+//! Expected ordering per pair: q-gram cosine < edit distance (full) <
+//! block-edit (greedy LCS cover); the banded variant sits below full ED
+//! for near pairs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cluseq_baselines::qgram::QgramProfile;
+use cluseq_baselines::{banded_edit_distance, block_edit_distance, cosine_similarity, edit_distance};
+use cluseq_datagen::ProteinFamilySpec;
+use cluseq_seq::Symbol;
+
+fn pair() -> (Vec<Symbol>, Vec<Symbol>) {
+    let db = ProteinFamilySpec {
+        families: 1,
+        size_scale: 0.01,
+        seq_len: (200, 200),
+        ..Default::default()
+    }
+    .generate();
+    (
+        db.sequence(0).iter().collect(),
+        db.sequence(1).iter().collect(),
+    )
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let (a, b) = pair();
+    let mut group = c.benchmark_group("pairwise_distance");
+
+    group.bench_function("edit_distance_full", |bch| {
+        bch.iter(|| black_box(edit_distance(&a, &b)))
+    });
+    for &band in &[8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("edit_distance_banded", band),
+            &band,
+            |bch, &band| bch.iter(|| black_box(banded_edit_distance(&a, &b, band))),
+        );
+    }
+    group.bench_function("block_edit_greedy_cover", |bch| {
+        bch.iter(|| black_box(block_edit_distance(&a, &b, 3)))
+    });
+    // The LCS primitive inside the block-edit cover: quadratic DP vs the
+    // linear suffix automaton.
+    group.bench_function("lcs_dp_quadratic", |bch| {
+        bch.iter(|| {
+            let mut best = 0usize;
+            let mut prev = vec![0usize; b.len() + 1];
+            let mut cur = vec![0usize; b.len() + 1];
+            for &sa in &a {
+                for (j, &sb) in b.iter().enumerate() {
+                    cur[j + 1] = if sa == sb { prev[j] + 1 } else { 0 };
+                    best = best.max(cur[j + 1]);
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+            black_box(best)
+        })
+    });
+    group.bench_function("lcs_suffix_automaton", |bch| {
+        bch.iter(|| {
+            black_box(
+                cluseq_baselines::SuffixAutomaton::from_sequence(&a)
+                    .lcs(&b)
+                    .map_or(0, |(l, ..)| l),
+            )
+        })
+    });
+    group.bench_function("qgram_profile_build", |bch| {
+        bch.iter(|| black_box(QgramProfile::from_sequence(&a, 3).distinct_grams()))
+    });
+    let pa = QgramProfile::from_sequence(&a, 3);
+    let pb = QgramProfile::from_sequence(&b, 3);
+    group.bench_function("qgram_cosine", |bch| {
+        bch.iter(|| black_box(cosine_similarity(&pa, &pb)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmark: the paper's §2 complexity argument, measured.
+//!
+//! Comparing two cluster models by variational distance or KL divergence
+//! enumerates all O(|ℑ|^L) segments up to length L; the prediction-based
+//! similarity the paper adopts instead scores a concrete sequence in a
+//! single scan. This bench pits the two against each other as L grows —
+//! the divergence cost explodes exponentially while the similarity scan
+//! stays flat.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cluseq_core::max_similarity_pst;
+use cluseq_datagen::ClusterModel;
+use cluseq_pst::{divergence, Pst, PstParams};
+use cluseq_seq::{BackgroundModel, Sequence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALPHABET: usize = 10;
+
+fn model(key: u64) -> Pst {
+    let mut rng = StdRng::seed_from_u64(key);
+    let gen = ClusterModel::new(ALPHABET, key);
+    let mut pst = Pst::new(
+        ALPHABET,
+        PstParams::default().with_max_depth(8).with_significance(3),
+    );
+    for _ in 0..5 {
+        let seq: Sequence = gen.sample_sequence(500, &mut rng);
+        pst.add_sequence(&seq);
+    }
+    pst
+}
+
+fn bench_divergence_blowup(c: &mut Criterion) {
+    let a = model(1);
+    let b = model(2);
+    let mut group = c.benchmark_group("model_comparison_cost");
+    group.sample_size(10);
+
+    // The paper's rejected approach: exponential in the context length.
+    for max_len in [2usize, 3, 4, 5] {
+        eprintln!(
+            "[divergence] L = {max_len}: {} segments to enumerate",
+            divergence::segment_space(ALPHABET, max_len)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("variational_distance_L", max_len),
+            &max_len,
+            |bch, &l| bch.iter(|| black_box(divergence::variational_distance(&a, &b, l))),
+        );
+    }
+
+    // The paper's adopted approach: score a representative sequence under
+    // the other model — linear in the sequence, regardless of L.
+    let mut rng = StdRng::seed_from_u64(9);
+    let probe = ClusterModel::new(ALPHABET, 2).sample_sequence(500, &mut rng);
+    let bg = BackgroundModel::uniform(ALPHABET);
+    group.bench_function("prediction_similarity_scan", |bch| {
+        bch.iter(|| black_box(max_similarity_pst(&a, &bg, probe.symbols()).log_sim))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_divergence_blowup);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmark: the three §5.1 pruning strategies (plus the
+//! composite policy) — cost of pruning a large tree to half its size, and
+//! post-pruning prediction cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cluseq_datagen::ClusterModel;
+use cluseq_pst::{Pst, PstParams, PruneStrategy};
+use cluseq_seq::Sequence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn grown_tree(strategy: PruneStrategy) -> Pst {
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = ClusterModel::new(60, 21);
+    let mut pst = Pst::new(
+        60,
+        PstParams::default()
+            .with_max_depth(10)
+            .with_significance(4)
+            .with_prune_strategy(strategy),
+    );
+    for i in 0..20 {
+        let seq: Sequence = model.sample_sequence(800 + i * 10, &mut rng);
+        pst.add_sequence(&seq);
+    }
+    pst
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_to_half");
+    for strategy in [
+        PruneStrategy::SmallestCount,
+        PruneStrategy::LongestLabel,
+        PruneStrategy::ExpectedVector,
+        PruneStrategy::Composite,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter_batched(
+                    || grown_tree(strategy),
+                    |mut pst| {
+                        let target = pst.bytes() / 2;
+                        black_box(pst.prune_to(target))
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predict_after_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_after_prune");
+    let mut rng = StdRng::seed_from_u64(9);
+    let probe = ClusterModel::new(60, 21).sample_sequence(256, &mut rng);
+    for strategy in [PruneStrategy::SmallestCount, PruneStrategy::ExpectedVector] {
+        let mut pst = grown_tree(strategy);
+        let target = pst.bytes() / 2;
+        pst.prune_to(target);
+        group.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strategy:?}")),
+            &strategy,
+            |b, _| {
+                let symbols = probe.symbols();
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in 0..symbols.len() {
+                        acc += pst.raw_predict(&symbols[..i], symbols[i]);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune, bench_predict_after_prune);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the probabilistic suffix tree: segment
+//! insertion throughput, prediction-node lookup, and conditional
+//! prediction, across tree depths and alphabet sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cluseq_datagen::ClusterModel;
+use cluseq_pst::{Pst, PstParams};
+use cluseq_seq::Sequence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_seq(alphabet: usize, len: usize, seed: u64) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ClusterModel::new(alphabet, seed).sample_sequence(len, &mut rng)
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pst_insert");
+    for &depth in &[4usize, 8, 12] {
+        let seq = sample_seq(100, 1000, 7);
+        group.throughput(Throughput::Elements(seq.len() as u64));
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut pst = Pst::new(
+                    100,
+                    PstParams::default().with_max_depth(depth).with_significance(5),
+                );
+                pst.add_sequence(black_box(&seq));
+                black_box(pst.node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pst_predict");
+    for &alphabet in &[20usize, 100] {
+        let train = sample_seq(alphabet, 5000, 11);
+        let probe = sample_seq(alphabet, 256, 13);
+        let mut pst = Pst::new(
+            alphabet,
+            PstParams::default().with_max_depth(8).with_significance(5),
+        );
+        pst.add_sequence(&train);
+        group.throughput(Throughput::Elements(probe.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("alphabet", alphabet),
+            &alphabet,
+            |b, _| {
+                let symbols = probe.symbols();
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in 0..symbols.len() {
+                        acc += pst.raw_predict(&symbols[..i], symbols[i]);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prediction_node_walk(c: &mut Criterion) {
+    let train = sample_seq(50, 5000, 17);
+    let probe = sample_seq(50, 256, 19);
+    let mut pst = Pst::new(
+        50,
+        PstParams::default().with_max_depth(12).with_significance(3),
+    );
+    pst.add_sequence(&train);
+    c.bench_function("pst_prediction_node_walk", |b| {
+        let symbols = probe.symbols();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 1..symbols.len() {
+                acc = acc.wrapping_add(pst.prediction_node(&symbols[..i]).0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insertion,
+    bench_prediction,
+    bench_prediction_node_walk
+);
+criterion_main!(benches);

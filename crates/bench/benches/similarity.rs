@@ -1,0 +1,66 @@
+//! Criterion benchmark: the X/Y/Z similarity dynamic program (one linear
+//! scan, §4.3) against the brute-force O(l²) all-segments evaluation it
+//! replaces — the paper's efficiency claim for the similarity measure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cluseq_core::{max_similarity, max_similarity_pst};
+use cluseq_datagen::ClusterModel;
+use cluseq_pst::{ConditionalModel, Pst, PstParams};
+use cluseq_seq::{BackgroundModel, Sequence, Symbol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(len: usize) -> (Pst, BackgroundModel, Sequence) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = ClusterModel::new(40, 9);
+    let train = model.sample_sequence(4000, &mut rng);
+    let probe = model.sample_sequence(len, &mut rng);
+    let mut pst = Pst::new(
+        40,
+        PstParams::default().with_max_depth(8).with_significance(5),
+    );
+    pst.add_sequence(&train);
+    let bg = BackgroundModel::fit(40, [&train]);
+    (pst, bg, probe)
+}
+
+/// Brute force: evaluate every segment independently (what the DP avoids).
+fn brute_force(pst: &Pst, bg: &BackgroundModel, seq: &[Symbol]) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for start in 0..seq.len() {
+        let mut acc = 0.0;
+        for i in start..seq.len() {
+            acc += pst.predict(&seq[..i], seq[i]).ln() - bg.prob(seq[i]).ln();
+            best = best.max(acc);
+        }
+    }
+    best
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    for &len in &[64usize, 256, 1024] {
+        let (pst, bg, probe) = fixture(len);
+        group.throughput(Throughput::Elements(len as u64));
+        // Per-position root walk (O(l·L))…
+        group.bench_with_input(BenchmarkId::new("dp_root_walk", len), &len, |b, _| {
+            b.iter(|| black_box(max_similarity(&pst, &bg, probe.symbols()).log_sim))
+        });
+        // …vs the auxiliary-link incremental scanner (O(l) amortized).
+        group.bench_with_input(BenchmarkId::new("dp_aux_links", len), &len, |b, _| {
+            b.iter(|| black_box(max_similarity_pst(&pst, &bg, probe.symbols()).log_sim))
+        });
+        // The quadratic brute force becomes unreasonable quickly; keep it
+        // to the small sizes so the comparison is visible but cheap.
+        if len <= 256 {
+            group.bench_with_input(BenchmarkId::new("brute_force", len), &len, |b, _| {
+                b.iter(|| black_box(brute_force(&pst, &bg, probe.symbols())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

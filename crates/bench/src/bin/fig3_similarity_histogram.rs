@@ -1,0 +1,103 @@
+//! **Figure 3** — the similarity distribution and its valley.
+//!
+//! The paper's Figure 3 is the illustration behind the §4.6 threshold
+//! heuristic: a histogram of all sequence–cluster similarities shows a
+//! steep noise bulk on the left, a long member tail on the right, and a
+//! "valley" — the sharpest turn, found by maximizing the difference
+//! between left/right regression-line slopes — separating them. This
+//! binary clusters a synthetic database, rebuilds that histogram from the
+//! final models, renders it as text art, and marks the detected valley
+//! and the final threshold.
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin fig3_similarity_histogram [--scale f]
+//! ```
+
+use cluseq_bench::Scale;
+use cluseq_core::threshold::find_valley;
+use cluseq_core::{max_similarity_pst, Cluseq, CluseqParams};
+use cluseq_datagen::SyntheticSpec;
+use cluseq_eval::Histogram;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = SyntheticSpec {
+        sequences: scale.count(500, 100_000, 100),
+        clusters: scale.count(8, 50, 3),
+        avg_len: scale.count(180, 1000, 50),
+        alphabet: 100,
+        outlier_fraction: 0.05,
+        seed: scale.seed,
+    };
+    let db = spec.generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(spec.clusters)
+            .with_significance(10)
+            .with_max_depth(6)
+            .with_seed(scale.seed),
+    )
+    .run(&db);
+    println!(
+        "clustered {} sequences into {} clusters; final ln t = {:.2}\n",
+        db.len(),
+        outcome.cluster_count(),
+        outcome.final_log_t
+    );
+
+    // All sequence-cluster log-similarities under the final models.
+    let background = db.background();
+    let mut sims: Vec<f64> = Vec::with_capacity(db.len() * outcome.cluster_count());
+    for (_, seq, _) in db.iter() {
+        for cluster in &outcome.clusters {
+            let s = max_similarity_pst(&cluster.pst, &background, seq.symbols()).log_sim;
+            if s.is_finite() {
+                sims.push(s);
+            }
+        }
+    }
+    let lo = sims.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = sims.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut hist = Histogram::new(lo, hi, 60);
+    for &s in &sims {
+        hist.add(s);
+    }
+
+    println!("similarity distribution (ln SIM over all sequence-cluster pairs):\n");
+    print!("{}", hist.render_ascii(50));
+
+    // Zoomed panel over the noise bulk (the member tail stretches the full
+    // axis so far that the bulk's decline — the part Figure 3 actually
+    // depicts — collapses into one bucket above).
+    let mut sorted = sims.clone();
+    sorted.sort_by(f64::total_cmp);
+    let p75 = sorted[(sorted.len() - 1) * 3 / 4];
+    if p75 > lo {
+        let mut zoom = Histogram::new(lo, p75, 30);
+        for &s in &sims {
+            if s <= p75 {
+                zoom.add(s);
+            }
+        }
+        println!("\nzoom into the bulk (up to the 90th percentile):\n");
+        print!("{}", zoom.render_ascii(50));
+    }
+
+    match find_valley(&hist) {
+        Some(valley) => {
+            println!(
+                "\ndetected valley (sharpest regression-slope turn): ln SIM = {valley:.2}"
+            );
+            println!(
+                "final threshold:                                   ln t   = {:.2}",
+                outcome.final_log_t
+            );
+            println!(
+                "\npaper shape: a huge low-similarity bulk declining steeply, a long\n\
+                 member tail, and the valley between them — the threshold the\n\
+                 adjustment converges to."
+            );
+        }
+        None => println!("\nno valley detected (degenerate distribution)"),
+    }
+}

@@ -1,0 +1,80 @@
+//! **Figure 4** — effect of the per-cluster PST memory budget.
+//!
+//! Paper (100k sequences × 1000 symbols, 100 symbols, 50 clusters):
+//! precision/recall improve with the budget and plateau at ~5 MB per tree
+//! (Figure 4a), while response time keeps growing with tree size
+//! (Figure 4b). Shape to reproduce: a quality knee followed by a plateau,
+//! and monotone-ish time growth.
+//!
+//! Budgets are scaled to the reduced workload (the knee position scales
+//! with the data volume a tree must absorb).
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin fig4_pst_size [--scale f] [--full]
+//! ```
+
+use cluseq_bench::{pct, print_table, run_and_score, secs, Scale};
+use cluseq_core::CluseqParams;
+use cluseq_datagen::SyntheticSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = SyntheticSpec {
+        sequences: scale.count(800, 100_000, 100),
+        clusters: scale.count(10, 50, 3),
+        avg_len: scale.count(200, 1000, 50),
+        alphabet: 100,
+        outlier_fraction: 0.05,
+        seed: scale.seed,
+    };
+    let db = spec.generate();
+    println!(
+        "synthetic database: {} sequences, {} clusters, avg len {:.0}",
+        db.len(),
+        spec.clusters,
+        db.avg_len()
+    );
+
+    // Budget sweep: fractions of an unbounded run's typical tree size.
+    let budgets: &[usize] = if scale.full {
+        &[1 << 20, 2 << 20, 5 << 20, 10 << 20, 20 << 20]
+    } else {
+        &[8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 512 << 10]
+    };
+
+    let mut rows = Vec::new();
+    for &budget in budgets {
+        let scored = run_and_score(
+            &db,
+            CluseqParams::default()
+                .with_initial_clusters(spec.clusters)
+                // Warm start near the converged threshold (the paper's own
+                // sensitivity experiments start at the true t); a cold
+                // 1.0005 start under heavy noise can deadlock in a
+                // contaminated monopoly cluster at this reduced scale —
+                // see EXPERIMENTS.md.
+                .with_initial_threshold(3000.0)
+                .with_significance(10)
+                .with_max_depth(6)
+                .with_max_pst_bytes(budget)
+                .with_seed(scale.seed),
+        );
+        rows.push(vec![
+            format!("{} KiB", budget >> 10),
+            pct(scored.precision),
+            pct(scored.recall),
+            format!("{}", scored.clusters),
+            secs(scored.seconds),
+        ]);
+        eprintln!("budget {} KiB done", budget >> 10);
+    }
+    print_table(
+        "Figure 4: PST memory budget vs quality (a) and response time (b)",
+        &["budget/tree", "precision %", "recall %", "clusters", "time"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: quality plateaus beyond the knee (theirs: 5 MB at \
+         100k x 1000 symbols); response time keeps growing with the budget."
+    );
+}

@@ -1,0 +1,90 @@
+//! **§6.3 examination-order study** — fixed vs random vs cluster-based.
+//!
+//! Paper: fixed order 82%, random order 83%, cluster-based order 65% — the
+//! cluster-based order "impairs the algorithm's ability to break the
+//! barrier of local optimum".
+//!
+//! Each order is run over several RNG seeds and the mean/min/max accuracy
+//! reported: at reduced scale the order effect is heavily seed-dependent.
+//! **Reproduction note (see EXPERIMENTS.md):** our implementation does
+//! *not* show the paper's systematic cluster-based penalty — most
+//! plausibly because our final assignment pass re-scores every sequence
+//! against the final models, repairing exactly the kind of entrenchment
+//! the paper attributes to cluster-grouped scanning.
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin order_experiment [--scale f] [--full]
+//! ```
+
+use cluseq_bench::{print_table, run_and_score, Scale};
+use cluseq_core::{CluseqParams, ExaminationOrder};
+use cluseq_datagen::SyntheticSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = SyntheticSpec {
+        sequences: scale.count(800, 100_000, 100),
+        clusters: scale.count(10, 50, 3),
+        avg_len: scale.count(200, 1000, 50),
+        alphabet: 100,
+        outlier_fraction: 0.05,
+        seed: scale.seed,
+    };
+    println!(
+        "synthetic database: {} sequences, {} clusters; 5 seeds per order",
+        spec.sequences, spec.clusters
+    );
+
+    let orders = [
+        ("fixed", ExaminationOrder::Fixed, 82.0),
+        ("random", ExaminationOrder::Random, 83.0),
+        ("cluster-based", ExaminationOrder::ClusterBased, 65.0),
+    ];
+    let mut rows = Vec::new();
+    for (name, order, paper_acc) in orders {
+        let mut accs = Vec::new();
+        for run in 0..5u64 {
+            let db = SyntheticSpec {
+                seed: spec.seed.wrapping_add(run * 101),
+                ..spec
+            }
+            .generate();
+            let scored = run_and_score(
+                &db,
+                CluseqParams::default()
+                    .with_initial_clusters(spec.clusters)
+                    // Deliberately COLD start: the paper's order experiment
+                    // is about escaping local optima during threshold
+                    // adaptation, which a warm start would define away.
+                    .with_initial_threshold(1.0005)
+                    .with_significance(10)
+                    .with_max_depth(6)
+                    .with_order(order)
+                    .with_seed(scale.seed.wrapping_add(run)),
+            );
+            accs.push(scored.accuracy);
+            eprintln!("{name} run {run}: {:.3}", scored.accuracy);
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        rows.push(vec![
+            name.to_string(),
+            format!("{paper_acc:.0}"),
+            format!("{:.1}", mean * 100.0),
+            format!("{:.1}", min * 100.0),
+            format!("{:.1}", max * 100.0),
+        ]);
+    }
+    print_table(
+        "Examination order: accuracy over 5 seeds (paper vs measured)",
+        &["order", "paper acc %", "mean %", "min %", "max %"],
+        &rows,
+    );
+    println!(
+        "\nreproduction note: the paper's cluster-based penalty (65% vs 82%) \
+         does not emerge here — our final assignment pass re-scores every \
+         sequence against the final models, repairing order-induced \
+         entrenchment. Recorded as a deviation in EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,173 @@
+//! **Table 2** — model comparison on the protein database.
+//!
+//! Paper (8000 proteins, 30 families, Sun Ultra 10 @ 300 MHz):
+//!
+//! | Model  | Correct % | Time (s) |
+//! |--------|-----------|----------|
+//! | CLUSEQ | 82        | 144      |
+//! | ED     | 23        | 487      |
+//! | EDBO   | 80        | 13754    |
+//! | HMM    | 81        | 3117     |
+//! | q-gram | 75        | 132      |
+//!
+//! Shape to reproduce: CLUSEQ and q-gram are the fast pair with CLUSEQ
+//! clearly more accurate; ED is both slower and far less accurate; EDBO
+//! and HMM approach CLUSEQ's accuracy at a large multiple of its time.
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin table2_model_comparison [--scale f] [--full]
+//! ```
+
+use cluseq_baselines::block_edit::BlockEditCache;
+use cluseq_baselines::{
+    block_edit_distance, edit_distance, k_medoids, qgram::qgram_cluster, HmmClustering,
+};
+use cluseq_bench::{pct, print_table, run_and_score, score_assignment, secs, Scale};
+use cluseq_core::CluseqParams;
+use cluseq_datagen::ProteinFamilySpec;
+use cluseq_eval::Stopwatch;
+
+fn main() {
+    let scale = Scale::from_env();
+    let families = if scale.full { 30 } else { 10 };
+    let spec = ProteinFamilySpec {
+        families,
+        size_scale: if scale.full {
+            1.0
+        } else {
+            0.04 * scale.factor
+        },
+        seq_len: if scale.full { (150, 400) } else { (120, 250) },
+        motifs_per_family: 2,
+        mutation_rate: 0.10,
+        seed: scale.seed.wrapping_add(2003),
+        ..Default::default()
+    };
+    let db = spec.generate();
+    let k = families;
+    // The paper's c = 30 matches families of 140–900 members; at reduced
+    // scale the statistically equivalent significance threshold shrinks
+    // with the data volume.
+    // At full scale c = 30 also drives consolidation (the paper couples
+    // them); at reduced scale the statistically equivalent c is ~1 and the
+    // consolidation minimum is set separately.
+    let (c, min_exclusive) = if scale.full { (30, 30) } else { (1, 3) };
+    println!(
+        "protein database: {} sequences, {} families, avg len {:.0} (c = {c})",
+        db.len(),
+        db.class_count(),
+        db.avg_len()
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let paper = [
+        ("CLUSEQ", 82.0, 144.0),
+        ("ED", 23.0, 487.0),
+        ("EDBO", 80.0, 13754.0),
+        ("HMM", 81.0, 3117.0),
+        ("q-gram", 75.0, 132.0),
+    ];
+    let mut measured: Vec<(f64, f64)> = Vec::new();
+
+    // --- CLUSEQ: the paper deliberately starts from wrong k and t. ---
+    let scored = run_and_score(
+        &db,
+        CluseqParams::default()
+            .with_initial_clusters(10)
+            .with_initial_threshold(1.0005)
+            .with_significance(c as u64)
+            .with_min_exclusive(min_exclusive)
+            .with_max_depth(8)
+            .with_seed(scale.seed),
+    );
+    measured.push((scored.accuracy, scored.seconds));
+    eprintln!(
+        "CLUSEQ done: {} clusters, final t = {:.1}, {}",
+        scored.clusters,
+        scored.outcome.final_t(),
+        secs(scored.seconds)
+    );
+
+    // --- ED: k-medoids over full Levenshtein. ---
+    let (ed_assign, ed_time) = Stopwatch::time(|| {
+        let mut cache = BlockEditCache::new();
+        k_medoids(
+            db.len(),
+            k,
+            |i, j| {
+                cache.get_or_compute(i, j, || {
+                    edit_distance(db.sequence(i).symbols(), db.sequence(j).symbols())
+                }) as f64
+            },
+            10,
+            scale.seed,
+        )
+    });
+    let (ed_acc, _, _) = score_assignment(&db, &ed_assign);
+    measured.push((ed_acc, ed_time.as_secs_f64()));
+    eprintln!("ED done: {}", secs(ed_time.as_secs_f64()));
+
+    // --- EDBO: k-medoids over the greedy block-cover distance. ---
+    let (bed_assign, bed_time) = Stopwatch::time(|| {
+        let mut cache = BlockEditCache::new();
+        k_medoids(
+            db.len(),
+            k,
+            |i, j| {
+                // Length-normalized: raw block distance is dominated by
+                // |len_i - len_j| leftovers and clusters by length.
+                let d = cache.get_or_compute(i, j, || {
+                    block_edit_distance(db.sequence(i).symbols(), db.sequence(j).symbols(), 3)
+                });
+                d as f64 / (db.sequence(i).len() + db.sequence(j).len()) as f64
+            },
+            10,
+            scale.seed,
+        )
+    });
+    let (bed_acc, _, _) = score_assignment(&db, &bed_assign);
+    measured.push((bed_acc, bed_time.as_secs_f64()));
+    eprintln!("EDBO done: {}", secs(bed_time.as_secs_f64()));
+
+    // --- HMM: per-cluster models (paper: 30 states). ---
+    let states = if scale.full { 30 } else { 15 };
+    let (hmm_assign, hmm_time) = Stopwatch::time(|| {
+        HmmClustering {
+            states,
+            em_rounds: 4,
+            bw_iters: 5,
+            seed: scale.seed,
+        }
+        .cluster(&db, k)
+    });
+    let (hmm_acc, _, _) = score_assignment(&db, &hmm_assign);
+    measured.push((hmm_acc, hmm_time.as_secs_f64()));
+    eprintln!("HMM done: {}", secs(hmm_time.as_secs_f64()));
+
+    // --- q-gram: spherical k-means over 3-gram profiles. ---
+    let (q_assign, q_time) = Stopwatch::time(|| qgram_cluster(&db, 3, k, 25, scale.seed));
+    let (q_acc, _, _) = score_assignment(&db, &q_assign);
+    measured.push((q_acc, q_time.as_secs_f64()));
+    eprintln!("q-gram done: {}", secs(q_time.as_secs_f64()));
+
+    for ((name, p_acc, p_time), (m_acc, m_time)) in paper.iter().zip(&measured) {
+        rows.push(vec![
+            name.to_string(),
+            format!("{p_acc:.0}"),
+            pct(*m_acc),
+            format!("{p_time:.0}"),
+            secs(*m_time),
+        ]);
+    }
+    print_table(
+        "Table 2: model comparison (paper vs measured)",
+        &[
+            "Model",
+            "paper correct %",
+            "ours correct %",
+            "paper time (s)",
+            "ours time",
+        ],
+        &rows,
+    );
+}

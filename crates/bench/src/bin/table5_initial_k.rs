@@ -1,0 +1,79 @@
+//! **Table 5** — sensitivity to the initial number of clusters `k`.
+//!
+//! Paper (100 planted clusters, 100k sequences, 10% outliers):
+//!
+//! | initial k | 1     | 20   | 100  | 200  |
+//! |-----------|-------|------|------|------|
+//! | final k   | 102   | 99   | 101  | 102  |
+//! | time (s)  | 10112 | 9023 | 6754 | 8976 |
+//! | precision | 81.3  | 82.1 | 82.6 | 81.0 |
+//! | recall    | 81.6  | 82.0 | 83.4 | 81.7 |
+//!
+//! Shape to reproduce: the final cluster count lands near the planted
+//! count regardless of the starting point; quality is flat; starting far
+//! from the truth costs extra time (U-shaped response time).
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin table5_initial_k [--scale f] [--full]
+//! ```
+
+use cluseq_bench::{pct, print_table, run_and_score, secs, Scale};
+use cluseq_core::CluseqParams;
+use cluseq_datagen::SyntheticSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let planted = scale.count(20, 100, 4);
+    let spec = SyntheticSpec {
+        sequences: scale.count(1000, 100_000, 100),
+        clusters: planted,
+        avg_len: scale.count(200, 1000, 50),
+        alphabet: 100,
+        outlier_fraction: 0.10,
+        seed: scale.seed,
+    };
+    let db = spec.generate();
+    println!(
+        "synthetic database: {} sequences, {} planted clusters, 10% outliers",
+        db.len(),
+        planted
+    );
+
+    // The paper's sweep {1, 20, 100, 200} around truth 100, scaled around
+    // our planted count: {1, planted/5, planted, 2*planted}.
+    let initial_ks = [1, (planted / 5).max(2), planted, planted * 2];
+    let paper = [
+        ("1", 102, 10112.0, 81.3, 81.6),
+        ("20", 99, 9023.0, 82.1, 82.0),
+        ("100", 101, 6754.0, 82.6, 83.4),
+        ("200", 102, 8976.0, 81.0, 81.7),
+    ];
+
+    let mut rows = Vec::new();
+    for (&k, (paper_k, paper_final, paper_time, paper_p, paper_r)) in
+        initial_ks.iter().zip(paper)
+    {
+        let scored = run_and_score(
+            &db,
+            CluseqParams::default()
+                .with_initial_clusters(k)
+                .with_significance(10)
+                .with_max_depth(6)
+                .with_seed(scale.seed),
+        );
+        rows.push(vec![
+            format!("{k} (paper {paper_k})"),
+            format!("{} (paper {paper_final})", scored.clusters),
+            format!("{} (paper {paper_time:.0}s)", secs(scored.seconds)),
+            format!("{} (paper {paper_p})", pct(scored.precision)),
+            format!("{} (paper {paper_r})", pct(scored.recall)),
+        ]);
+        eprintln!("initial k = {k} done");
+    }
+    print_table(
+        "Table 5: effect of the initial number of clusters",
+        &["initial k", "final k", "time", "precision %", "recall %"],
+        &rows,
+    );
+    println!("\nplanted cluster count: {planted}");
+}

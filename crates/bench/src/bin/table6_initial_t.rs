@@ -1,0 +1,94 @@
+//! **Table 6** — sensitivity to the initial similarity threshold `t`.
+//!
+//! Paper (true t = 2, k fixed at the planted count):
+//!
+//! | initial t | 1.05 | 1.5  | 2    | 3    |
+//! |-----------|------|------|------|------|
+//! | final t   | 1.99 | 2.01 | 2.00 | 1.99 |
+//! | time (s)  | 8011 | 7556 | 6754 | 7234 |
+//! | precision | 81.3 | 83.1 | 83.4 | 81.9 |
+//! | recall    | 82.1 | 82.8 | 83.6 | 82.7 |
+//!
+//! Shape to reproduce: the adjusted threshold converges to (nearly) the
+//! same value from any starting point, quality stays flat, and starting
+//! off-target costs moderate extra time. Our similarity values live on a
+//! different scale than the paper's toy t = 2 construction (real data;
+//! log-space products over long segments), so the reproduction target is
+//! the *convergence*, not the constant 2.0.
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin table6_initial_t [--scale f] [--full]
+//! ```
+
+use cluseq_bench::{pct, print_table, run_and_score, secs, Scale};
+use cluseq_core::CluseqParams;
+use cluseq_datagen::SyntheticSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let planted = scale.count(20, 100, 4);
+    let spec = SyntheticSpec {
+        sequences: scale.count(1000, 100_000, 100),
+        clusters: planted,
+        avg_len: scale.count(200, 1000, 50),
+        alphabet: 100,
+        outlier_fraction: 0.10,
+        seed: scale.seed,
+    };
+    let db = spec.generate();
+    println!(
+        "synthetic database: {} sequences, {planted} planted clusters",
+        db.len()
+    );
+
+    // First, find the converged threshold from the default start — the
+    // other rows measure convergence toward (approximately) this value.
+    let initial_ts = [1.05, 1.5, 2.0, 3.0];
+    let paper = [
+        ("1.05", 1.99, 8011.0, 81.3, 82.1),
+        ("1.5", 2.01, 7556.0, 83.1, 82.8),
+        ("2", 2.00, 6754.0, 83.4, 83.6),
+        ("3", 1.99, 7234.0, 81.9, 82.7),
+    ];
+
+    let mut rows = Vec::new();
+    let mut finals = Vec::new();
+    for (&t0, (paper_t0, paper_final, paper_time, paper_p, paper_r)) in
+        initial_ts.iter().zip(paper)
+    {
+        let scored = run_and_score(
+            &db,
+            CluseqParams::default()
+                .with_initial_clusters(planted)
+                .with_initial_threshold(t0)
+                .with_significance(10)
+                .with_max_depth(6)
+                .with_seed(scale.seed),
+        );
+        finals.push(scored.outcome.final_log_t);
+        rows.push(vec![
+            format!("{t0} (paper {paper_t0})"),
+            format!(
+                "ln t = {:.2} (paper t = {paper_final})",
+                scored.outcome.final_log_t
+            ),
+            format!("{} (paper {paper_time:.0}s)", secs(scored.seconds)),
+            format!("{} (paper {paper_p})", pct(scored.precision)),
+            format!("{} (paper {paper_r})", pct(scored.recall)),
+        ]);
+        eprintln!("initial t = {t0} done");
+    }
+    print_table(
+        "Table 6: effect of the initial similarity threshold",
+        &["initial t", "final threshold", "time", "precision %", "recall %"],
+        &rows,
+    );
+
+    let max = finals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = finals.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nconvergence spread of final ln t across starts: {:.1}% \
+         (paper: final t within 1% of 2.0 for every start)",
+        (max - min) / max.abs().max(1e-9) * 100.0
+    );
+}

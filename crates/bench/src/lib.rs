@@ -1,0 +1,243 @@
+//! Shared harness for the experiment-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! CLUSEQ paper: it builds the (scaled) workload, runs the algorithms,
+//! and prints the paper's reported numbers next to ours. Absolute response
+//! times differ (the paper ran a 300 MHz Sun Ultra 10 at 10–100× our data
+//! scale); the *shape* — who wins, by what rough factor, where the knees
+//! fall — is the reproduction target. Pass `--scale <f>` to grow or
+//! shrink workloads (1.0 = the defaults chosen for a laptop-class
+//! machine), and `--full` for the paper's original sizes (hours of CPU).
+
+use cluseq_core::{Cluseq, CluseqOutcome, CluseqParams};
+use cluseq_eval::{Confusion, MatchStrategy};
+use cluseq_seq::SequenceDatabase;
+
+/// Workload scaling parsed from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier on the default (laptop-scale) workload sizes.
+    pub factor: f64,
+    /// Whether `--full` (paper-scale) was requested.
+    pub full: bool,
+    /// RNG seed override.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Parses `--scale <f>`, `--full`, and `--seed <n>` from `std::env`.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Self {
+            factor: 1.0,
+            full: false,
+            seed: 42,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    scale.factor = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--scale needs a number"));
+                    i += 1;
+                }
+                "--seed" => {
+                    scale.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer"));
+                    i += 1;
+                }
+                "--full" => scale.full = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    /// Scales a default count, with a floor of `min`.
+    pub fn count(&self, default: usize, full: usize, min: usize) -> usize {
+        if self.full {
+            full
+        } else {
+            ((default as f64 * self.factor) as usize).max(min)
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Extra argument lookup for experiment-specific flags (e.g. `--axis`).
+pub fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Runs CLUSEQ and scores it against the database's ground truth.
+pub fn run_and_score(db: &SequenceDatabase, params: CluseqParams) -> Scored {
+    let start = std::time::Instant::now();
+    let outcome = Cluseq::new(params).run(db);
+    let elapsed = start.elapsed();
+    let confusion = Confusion::new(
+        &db.labels(),
+        &outcome.membership_lists(),
+        MatchStrategy::Hungarian,
+    );
+    Scored {
+        accuracy: confusion.accuracy(),
+        precision: confusion.macro_precision(),
+        recall: confusion.macro_recall(),
+        clusters: outcome.cluster_count(),
+        seconds: elapsed.as_secs_f64(),
+        outcome,
+    }
+}
+
+/// A scored clustering run.
+pub struct Scored {
+    pub accuracy: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub clusters: usize,
+    pub seconds: f64,
+    pub outcome: CluseqOutcome,
+}
+
+/// Scores a hard assignment (baseline output) against ground truth.
+pub fn score_assignment(db: &SequenceDatabase, assignment: &[Option<usize>]) -> (f64, f64, f64) {
+    let k = assignment
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut clusters = vec![Vec::new(); k];
+    for (i, a) in assignment.iter().enumerate() {
+        if let Some(a) = a {
+            clusters[*a].push(i);
+        }
+    }
+    let c = Confusion::new(&db.labels(), &clusters, MatchStrategy::Hungarian);
+    (c.accuracy(), c.macro_precision(), c.macro_recall())
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", line.trim_end());
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats seconds compactly.
+pub fn secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0}ms", s * 1000.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_datagen::SyntheticSpec;
+
+    #[test]
+    fn scale_count_applies_factor_and_floor() {
+        let s = Scale {
+            factor: 0.5,
+            full: false,
+            seed: 1,
+        };
+        assert_eq!(s.count(100, 1000, 10), 50);
+        assert_eq!(s.count(10, 1000, 10), 10);
+        let f = Scale {
+            factor: 0.5,
+            full: true,
+            seed: 1,
+        };
+        assert_eq!(f.count(100, 1000, 10), 1000);
+    }
+
+    #[test]
+    fn run_and_score_produces_consistent_numbers() {
+        let db = SyntheticSpec {
+            sequences: 60,
+            clusters: 3,
+            avg_len: 80,
+            alphabet: 40,
+            outlier_fraction: 0.0,
+            seed: 3,
+        }
+        .generate();
+        let scored = run_and_score(
+            &db,
+            CluseqParams::default()
+                .with_initial_clusters(3)
+                .with_significance(5)
+                .with_max_depth(5),
+        );
+        assert!((0.0..=1.0).contains(&scored.accuracy));
+        assert!(scored.seconds > 0.0);
+        assert_eq!(scored.clusters, scored.outcome.cluster_count());
+    }
+
+    #[test]
+    fn score_assignment_of_perfect_partition_is_one() {
+        let db = SyntheticSpec {
+            sequences: 20,
+            clusters: 2,
+            avg_len: 40,
+            alphabet: 20,
+            outlier_fraction: 0.0,
+            seed: 5,
+        }
+        .generate();
+        let assignment: Vec<Option<usize>> =
+            db.labels().iter().map(|l| l.map(|x| x as usize)).collect();
+        let (acc, p, r) = score_assignment(&db, &assignment);
+        assert_eq!(acc, 1.0);
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.825), "82.5");
+        assert_eq!(secs(0.25), "250ms");
+        assert_eq!(secs(12.34), "12.3s");
+    }
+}

@@ -1,0 +1,104 @@
+//! A minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` / `--switch` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    pub command: Option<String>,
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv[1..]`: the first non-flag token is the subcommand,
+    /// later non-flag tokens are positional. A `--key` followed by a
+    /// non-flag token consumes it as the value; a trailing or
+    /// flag-followed `--key` is a boolean switch.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(key.to_owned(), value);
+                    }
+                    _ => out.switches.push(key.to_owned()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        out
+    }
+
+    /// A typed option with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.options.get(key) {
+            Some(raw) => raw.parse().unwrap_or_else(|e| {
+                eprintln!("error: --{key} {raw}: {e}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    /// A string option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_command_and_positionals() {
+        let a = parse("cluster input.txt more.txt");
+        assert_eq!(a.command.as_deref(), Some("cluster"));
+        assert_eq!(a.positional, vec!["input.txt", "more.txt"]);
+    }
+
+    #[test]
+    fn parses_typed_options() {
+        let a = parse("generate --sequences 500 --avg-len 120");
+        assert_eq!(a.get("sequences", 0usize), 500);
+        assert_eq!(a.get("avg-len", 0usize), 120);
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn parses_switches() {
+        let a = parse("cluster --verbose --seed 3 --quiet");
+        assert!(a.has("verbose"));
+        assert!(a.has("quiet"));
+        assert!(!a.has("seed"));
+        assert_eq!(a.get("seed", 0u64), 3);
+    }
+
+    #[test]
+    fn empty_argv() {
+        let a = parse("");
+        assert!(a.command.is_none());
+        assert!(a.positional.is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! `cluseq` — command-line driver for the CLUSEQ sequence-clustering
+//! system.
+//!
+//! Subcommands:
+//!
+//! * `generate` — write a synthetic labeled database (lines format);
+//! * `cluster` — cluster a lines-format file, print memberships;
+//! * `evaluate` — cluster a labeled file and print quality metrics;
+//! * `help` — usage.
+//!
+//! ```sh
+//! cluseq generate --sequences 500 --clusters 5 --out data.txt
+//! cluseq cluster data.txt --significance 10
+//! cluseq evaluate data.txt --significance 10
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use cluseq_core::persist::SavedModel;
+use cluseq_core::{Cluseq, CluseqParams, ExaminationOrder};
+use cluseq_datagen::{LanguageSpec, ProteinFamilySpec, SyntheticSpec};
+use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
+use cluseq_seq::codec;
+use cluseq_seq::SequenceDatabase;
+
+const USAGE: &str = "\
+cluseq — sequence clustering by sequential statistical features (ICDE 2003)
+
+USAGE:
+  cluseq generate [--kind synthetic|protein|language] [--sequences N]
+                  [--clusters K] [--avg-len L] [--alphabet A]
+                  [--outliers FRAC] [--seed S] [--out FILE] [--format text|bin]
+  cluseq cluster  FILE [clustering options] [--save-model MODEL]
+  cluseq evaluate FILE [clustering options]
+  cluseq classify FILE --model MODEL
+  cluseq inspect  --model MODEL [--max-nodes N]
+
+CLUSTERING OPTIONS:
+  --initial-clusters K   initial cluster count (default 1)
+  --significance C       significance threshold c (default 30)
+  --threshold T          initial similarity threshold t (default 1.0005)
+  --no-adjust            freeze t at its initial value
+  --max-depth L          PST context bound (default 12)
+  --pst-bytes BYTES      per-cluster PST memory budget (default 5 MiB)
+  --order fixed|random|cluster   examination order (default fixed)
+  --seed S               RNG seed (default fixed)
+  --max-iterations N     iteration cap (default 50)
+  --verbose              print per-iteration progress while clustering
+
+FILE FORMATS: text = one sequence per line, one character per symbol, an
+optional `label<TAB>` prefix carrying ground truth (`-` marks a known
+outlier); bin = the CSDB binary format (any alphabet, much faster to
+load). Input files are detected by their magic bytes.
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    match args.command.as_deref() {
+        Some("generate") => generate(&args),
+        Some("cluster") => cluster(&args, false),
+        Some("evaluate") => cluster(&args, true),
+        Some("classify") => classify(&args),
+        Some("inspect") => inspect(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn generate(args: &Args) -> ExitCode {
+    let kind = args.get_str("kind").unwrap_or("synthetic");
+    let db = match kind {
+        "synthetic" => SyntheticSpec {
+            sequences: args.get("sequences", 500),
+            clusters: args.get("clusters", 5),
+            avg_len: args.get("avg-len", 150),
+            // Default fits the single-character file encoding (max 62).
+            alphabet: args.get("alphabet", 60),
+            outlier_fraction: args.get("outliers", 0.05),
+            seed: args.get("seed", 42),
+        }
+        .generate(),
+        "protein" => ProteinFamilySpec {
+            families: args.get("clusters", 10),
+            size_scale: args.get("scale", 0.05),
+            seed: args.get("seed", 2003),
+            ..Default::default()
+        }
+        .generate(),
+        "language" => LanguageSpec {
+            sentences_per_language: args.get("sequences", 600) / 3,
+            noise_sentences: args.get("noise", 100),
+            words_per_sentence: (20, 40),
+            seed: args.get("seed", 2002),
+        }
+        .generate(),
+        other => {
+            eprintln!("error: unknown --kind {other:?} (synthetic|protein|language)");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.get_str("format") == Some("bin") {
+        let Some(path) = args.get_str("out") else {
+            eprintln!("error: --format bin requires --out FILE");
+            return ExitCode::from(2);
+        };
+        let mut buf = Vec::new();
+        cluseq_seq::binio::encode(&db, &mut buf).expect("Vec write cannot fail");
+        if let Err(e) = std::fs::write(path, buf) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} sequences ({} classes) to {path} (binary)",
+            db.len(),
+            db.class_count()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Symbols must be single characters for the lines codec; synthetic
+    // alphabets use numeric names, so re-encode them as alphanumerics.
+    let db = match single_char_recode(&db) {
+        Some(db) => db,
+        None => {
+            eprintln!(
+                "error: alphabet of {} symbols cannot be written as one \
+                 character per symbol (max 62); use --format bin",
+                db.alphabet().len()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let text = codec::encode_lines(&db);
+    match args.get_str("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} sequences ({} classes) to {path}",
+                db.len(),
+                db.class_count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Rewrites a database onto a single-character alphabet (a–z, A–Z, 0–9)
+/// so the lines codec round-trips. Returns `None` when the alphabet is too
+/// large. Databases already using single-character names pass through.
+fn single_char_recode(db: &SequenceDatabase) -> Option<SequenceDatabase> {
+    use cluseq_seq::{Alphabet, Sequence};
+    let n = db.alphabet().len();
+    if db
+        .alphabet()
+        .symbols()
+        .all(|s| db.alphabet().name(s).chars().count() == 1)
+    {
+        return Some(db.clone());
+    }
+    const CHARS: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    if n > CHARS.chars().count() {
+        return None;
+    }
+    let alphabet = Alphabet::from_chars(CHARS.chars().take(n));
+    let mut out = SequenceDatabase::new(alphabet);
+    for (_, seq, label) in db.iter() {
+        // Symbol ids are preserved; only names change.
+        out.push_labeled(Sequence::new(seq.iter().collect()), label);
+    }
+    Some(out)
+}
+
+fn params_from(args: &Args) -> CluseqParams {
+    let mut p = CluseqParams::default()
+        .with_initial_clusters(args.get("initial-clusters", 1))
+        .with_significance(args.get("significance", 30))
+        .with_initial_threshold(args.get("threshold", 1.0005))
+        .with_max_depth(args.get("max-depth", 12))
+        .with_max_pst_bytes(args.get("pst-bytes", 5 * 1024 * 1024))
+        .with_seed(args.get("seed", 0xC105E9))
+        .with_max_iterations(args.get("max-iterations", 50));
+    if args.has("no-adjust") {
+        p = p.with_threshold_adjustment(false);
+    }
+    p = p.with_order(match args.get_str("order").unwrap_or("fixed") {
+        "random" => ExaminationOrder::Random,
+        "cluster" => ExaminationOrder::ClusterBased,
+        _ => ExaminationOrder::Fixed,
+    });
+    p
+}
+
+fn load(args: &Args) -> Result<SequenceDatabase, ExitCode> {
+    let Some(path) = args.positional.first() else {
+        eprintln!("error: missing input file\n\n{USAGE}");
+        return Err(ExitCode::from(2));
+    };
+    let bytes = std::fs::read(path).map_err(|e| {
+        eprintln!("error: reading {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    if bytes.starts_with(b"CSDB") {
+        return cluseq_seq::binio::decode(&mut bytes.as_slice()).map_err(|e| {
+            eprintln!("error: parsing {path}: {e}");
+            ExitCode::FAILURE
+        });
+    }
+    let text = String::from_utf8(bytes).map_err(|e| {
+        eprintln!("error: {path} is neither CSDB nor utf-8 text: {e}");
+        ExitCode::FAILURE
+    })?;
+    codec::decode_lines(&text).map_err(|e| {
+        eprintln!("error: parsing {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cluster(args: &Args, evaluate: bool) -> ExitCode {
+    let db = match load(args) {
+        Ok(db) => db,
+        Err(code) => return code,
+    };
+    let params = params_from(args);
+    let verbose = args.has("verbose");
+    let (outcome, elapsed) = Stopwatch::time(|| {
+        Cluseq::new(params).run_with_progress(&db, |stats| {
+            if verbose {
+                eprintln!(
+                    "iter {:>3}: +{} new, -{} consolidated -> {} clusters, {} changes, ln t = {:.2}",
+                    stats.iteration,
+                    stats.new_clusters,
+                    stats.removed_clusters,
+                    stats.clusters_at_end,
+                    stats.membership_changes,
+                    stats.log_t,
+                );
+            }
+        })
+    });
+
+    eprintln!(
+        "{} sequences -> {} clusters, {} outliers, {} iterations, final t = {:.3}, {elapsed:?}",
+        db.len(),
+        outcome.cluster_count(),
+        outcome.outliers.len(),
+        outcome.iterations,
+        outcome.final_t(),
+    );
+
+    if evaluate {
+        if !db.has_labels() {
+            eprintln!("error: evaluate requires a labeled input file");
+            return ExitCode::from(2);
+        }
+        let c = Confusion::new(
+            &db.labels(),
+            &outcome.membership_lists(),
+            MatchStrategy::Hungarian,
+        );
+        println!("accuracy\t{:.4}", c.accuracy());
+        println!("precision\t{:.4}", c.macro_precision());
+        println!("recall\t{:.4}", c.macro_recall());
+        println!("clusters\t{}", outcome.cluster_count());
+        println!("final_t\t{:.4}", outcome.final_t());
+        for m in c.class_metrics() {
+            println!(
+                "class\t{}\tsize\t{}\tprecision\t{:.4}\trecall\t{:.4}",
+                m.class, m.size, m.precision, m.recall
+            );
+        }
+    } else {
+        if let Some(path) = args.get_str("save-model") {
+            let model = SavedModel::from_outcome(&outcome);
+            match std::fs::File::create(path) {
+                Ok(mut f) => {
+                    if let Err(e) = model.save(&mut f) {
+                        eprintln!("error: writing model {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("model with {} clusters saved to {path}", model.cluster_count());
+                }
+                Err(e) => {
+                    eprintln!("error: creating {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        // One line per sequence: id, best cluster (or -), all memberships.
+        for i in 0..db.len() {
+            let best = outcome.best_cluster[i]
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into());
+            let homes: Vec<String> = outcome
+                .clusters
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.contains(i))
+                .map(|(k, _)| k.to_string())
+                .collect();
+            println!("{i}\t{best}\t{}", homes.join(","));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn classify(args: &Args) -> ExitCode {
+    let Some(model_path) = args.get_str("model") else {
+        eprintln!("error: classify requires --model FILE\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let model = match std::fs::File::open(model_path) {
+        Ok(mut f) => match SavedModel::load(&mut f) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: loading model {model_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: opening {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let db = match load(args) {
+        Ok(db) => db,
+        Err(code) => return code,
+    };
+    eprintln!(
+        "classifying {} sequences against {} clusters (ln t = {:.2})",
+        db.len(),
+        model.cluster_count(),
+        model.log_t
+    );
+    for (i, seq, _) in db.iter() {
+        let joined = model.assign(seq.symbols());
+        match joined.first() {
+            Some(&(best, sim)) => {
+                let all: Vec<String> = joined.iter().map(|(k, _)| k.to_string()).collect();
+                println!("{i}\t{best}\t{sim:.2}\t{}", all.join(","));
+            }
+            None => println!("{i}\t-\t-\t"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn inspect(args: &Args) -> ExitCode {
+    let Some(model_path) = args.get_str("model") else {
+        eprintln!("error: inspect requires --model FILE\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let model = match std::fs::File::open(model_path) {
+        Ok(mut f) => match SavedModel::load(&mut f) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: loading model {model_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: opening {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "model: {} clusters, decision threshold ln t = {:.3}",
+        model.cluster_count(),
+        model.log_t
+    );
+    // Model files carry symbol ids, not names; render with synthetic names.
+    let n_sym = model.background.alphabet_size();
+    let alphabet = cluseq_seq::Alphabet::synthetic(n_sym);
+    let max_nodes: usize = args.get("max-nodes", 20);
+    for (k, cluster) in model.clusters.iter().enumerate() {
+        let stats = cluster.pst.stats();
+        println!(
+            "\ncluster {k} (id {}): {} nodes ({} significant), depth {}, {} bytes, count {}",
+            cluster.id,
+            stats.nodes,
+            stats.significant_nodes,
+            stats.max_depth,
+            stats.bytes,
+            stats.total_count
+        );
+        let options = cluseq_pst::RenderOptions {
+            max_nodes,
+            max_depth: 2,
+            min_prob: 0.05,
+            ..Default::default()
+        };
+        print!("{}", cluster.pst.render(&alphabet, options));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,78 @@
+//! # CLUSEQ — efficient and effective sequence clustering
+//!
+//! A complete Rust implementation of *CLUSEQ: Efficient and Effective
+//! Sequence Clustering* (Jiong Yang & Wei Wang, ICDE 2003), together with
+//! every substrate the paper's evaluation depends on: the probabilistic
+//! suffix tree, the comparison baselines (edit distance, block-edit
+//! distance, hidden Markov models, q-grams), synthetic workload
+//! generators, and evaluation machinery.
+//!
+//! This facade crate re-exports the public API of the whole workspace;
+//! depend on it and `use cluseq::prelude::*` to get started:
+//!
+//! ```
+//! use cluseq::prelude::*;
+//!
+//! // Generate a synthetic database with 3 planted clusters…
+//! let db = SyntheticSpec {
+//!     sequences: 90,
+//!     clusters: 3,
+//!     avg_len: 120,
+//!     alphabet: 12,
+//!     outlier_fraction: 0.0,
+//!     seed: 1,
+//! }
+//! .generate();
+//!
+//! // …cluster it…
+//! let outcome = Cluseq::new(
+//!     CluseqParams::default()
+//!         .with_initial_clusters(3)
+//!         .with_significance(5),
+//! )
+//! .run(&db);
+//!
+//! // …and evaluate against the planted labels.
+//! let confusion = Confusion::new(
+//!     &db.labels(),
+//!     &outcome.membership_lists(),
+//!     MatchStrategy::Hungarian,
+//! );
+//! assert!(confusion.accuracy() > 0.5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Source crate | Contents |
+//! |---|---|---|
+//! | [`seq`] | `cluseq-seq` | alphabets, sequences, databases, codecs |
+//! | [`pst`] | `cluseq-pst` | the probabilistic suffix tree |
+//! | [`core`] | `cluseq-core` | the CLUSEQ algorithm |
+//! | [`datagen`] | `cluseq-datagen` | synthetic workload generators |
+//! | [`eval`] | `cluseq-eval` | matching, precision/recall, histograms |
+//! | [`baselines`] | `cluseq-baselines` | ED, block-ED, HMM, q-gram |
+
+pub use cluseq_baselines as baselines;
+pub use cluseq_core as core;
+pub use cluseq_datagen as datagen;
+pub use cluseq_eval as eval;
+pub use cluseq_pst as pst;
+pub use cluseq_seq as seq;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use cluseq_core::persist::SavedModel;
+    pub use cluseq_core::online::OnlineCluseq;
+    pub use cluseq_core::{
+        Cluseq, CluseqOutcome, CluseqParams, ConsolidationMode, ExaminationOrder,
+        IterationStats, LogSim,
+        SegmentSimilarity,
+    };
+    pub use cluseq_datagen::{
+        inject_outliers, ClusterModel, Language, LanguageSpec, ProteinFamilySpec, Profile,
+        SyntheticSpec, WeblogSpec,
+    };
+    pub use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
+    pub use cluseq_pst::{ConditionalModel, ContextScanner, Pst, PstParams, PruneStrategy};
+    pub use cluseq_seq::{Alphabet, BackgroundModel, Sequence, SequenceDatabase, Symbol};
+}

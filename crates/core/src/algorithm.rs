@@ -1,0 +1,486 @@
+//! The CLUSEQ iterative driver (paper §4, Figure 2).
+//!
+//! Each iteration: (1) generate new clusters from unclustered sequences,
+//! paced by the growth factor `f`; (2) re-cluster every sequence against
+//! every cluster; (3) consolidate covered clusters; (4) optionally adjust
+//! the similarity threshold toward the histogram valley. The loop stops at
+//! a fixpoint — same number of clusters and no membership change — or at
+//! the iteration cap.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cluseq_eval::Histogram;
+use cluseq_seq::SequenceDatabase;
+
+use crate::cluster::Cluster;
+use crate::config::CluseqParams;
+use crate::consolidate::consolidate_with_mode;
+use crate::outcome::{CluseqOutcome, IterationStats};
+use crate::recluster::recluster;
+use crate::seeding::select_seeds;
+use crate::similarity::max_similarity_pst;
+use crate::threshold::adjust_threshold;
+
+/// The CLUSEQ algorithm, configured and ready to run.
+///
+/// ```
+/// use cluseq_core::{Cluseq, CluseqParams};
+/// use cluseq_seq::SequenceDatabase;
+///
+/// let db = SequenceDatabase::from_strs(
+///     std::iter::repeat("ababababab").take(20)
+///         .chain(std::iter::repeat("cdcdcdcdcd").take(20)),
+/// );
+/// let outcome = Cluseq::new(
+///     CluseqParams::default().with_significance(3).with_initial_clusters(2),
+/// )
+/// .run(&db);
+/// assert!(outcome.cluster_count() >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluseq {
+    params: CluseqParams,
+}
+
+impl Cluseq {
+    /// Creates a runner with the given parameters.
+    pub fn new(params: CluseqParams) -> Self {
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CluseqParams {
+        &self.params
+    }
+
+    /// Clusters `db`, consuming nothing: the database is only read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database is empty or the parameters are inconsistent
+    /// with its alphabet.
+    pub fn run(&self, db: &SequenceDatabase) -> CluseqOutcome {
+        self.run_with_progress(db, |_| {})
+    }
+
+    /// [`Cluseq::run`] with a per-iteration progress callback — each
+    /// iteration's [`IterationStats`] is delivered as soon as the
+    /// iteration finishes (the CLI's `--verbose` live log).
+    pub fn run_with_progress(
+        &self,
+        db: &SequenceDatabase,
+        mut progress: impl FnMut(&IterationStats),
+    ) -> CluseqOutcome {
+        assert!(!db.is_empty(), "cannot cluster an empty database");
+        let alphabet_size = db.alphabet().len();
+        self.params.validate(alphabet_size);
+        let p = &self.params;
+
+        let background = db.background();
+        let pst_params = p.pst_params();
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let n = db.len();
+
+        let mut clusters: Vec<Cluster> = Vec::new();
+        let mut next_id = 0usize;
+        let mut log_t = p.initial_threshold.ln();
+        let mut threshold_frozen = !p.adjust_threshold;
+        let mut history: Vec<IterationStats> = Vec::new();
+
+        // Growth-factor state from the previous iteration.
+        let mut prev_new = 0usize;
+        let mut prev_removed = 0usize;
+        let mut prev_cluster_count = 0usize;
+        let mut prev_best: Vec<Option<usize>> = vec![None; n];
+
+        for iteration in 0..p.max_iterations {
+            // ---- 1. New cluster generation (§4.1) ----
+            let k_n_target = if iteration == 0 {
+                p.initial_clusters
+            } else {
+                growth_count(clusters.len(), prev_new, prev_removed)
+            };
+            let unclustered = unclustered_ids(n, &clusters);
+            let seeds = select_seeds(
+                db,
+                &background,
+                &clusters,
+                &unclustered,
+                k_n_target,
+                p.sample_factor,
+                pst_params,
+                &mut rng,
+            );
+            let k_n = seeds.len();
+            for seed in seeds {
+                clusters.push(Cluster::from_seed(
+                    next_id,
+                    seed,
+                    db.sequence(seed),
+                    alphabet_size,
+                    pst_params,
+                ));
+                next_id += 1;
+            }
+
+            // ---- 2. Re-clustering scan (§4.2) ----
+            let order = p.order.sequence_order(n, &prev_best, &mut rng);
+            let scan = recluster(db, &mut clusters, log_t, &order, &background, p.rebuild_psts);
+
+            // ---- 3. Consolidation (§4.5) ----
+            let removed =
+                consolidate_with_mode(&mut clusters, p.effective_min_exclusive(), n, p.consolidation);
+
+            // ---- 4. Threshold adjustment (§4.6) ----
+            let mut moved = false;
+            if !threshold_frozen {
+                if let Some(hist) = build_histogram(&scan.similarities, p.histogram_buckets) {
+                    let (new_log_t, m) = adjust_threshold(log_t, &hist, 0.01);
+                    // The paper requires t >= 1 for a meaningful
+                    // outlier separation; clamp the log to 0.
+                    log_t = new_log_t.max(0.0);
+                    moved = m;
+                    if !m {
+                        threshold_frozen = true; // within 1%: stop adjusting
+                    }
+                }
+            }
+
+            let stats = IterationStats {
+                iteration,
+                new_clusters: k_n,
+                removed_clusters: removed,
+                clusters_at_end: clusters.len(),
+                membership_changes: scan.changes,
+                log_t,
+                threshold_moved: moved,
+            };
+            progress(&stats);
+            history.push(stats);
+
+            // ---- Termination (§4): the clustering is a fixpoint ----
+            // A fixpoint requires the threshold to have settled too: if t
+            // just moved, the next scan can expel members and re-open the
+            // seed pool, so the clustering is not final yet.
+            let stable = iteration > 0
+                && clusters.len() == prev_cluster_count
+                && scan.changes == 0
+                && k_n == removed // the only activity was churn consolidation undid
+                && !moved;
+
+            prev_new = k_n;
+            prev_removed = removed;
+            prev_cluster_count = clusters.len();
+            prev_best = scan.best_cluster;
+
+            if stable {
+                break;
+            }
+        }
+
+        self.finalize(db, clusters, log_t, history)
+    }
+
+    /// Final assignment pass: score every sequence against the surviving
+    /// clusters so the reported memberships reflect the *final* models and
+    /// threshold (intermediate memberships can reference clusters that were
+    /// later consolidated away).
+    fn finalize(
+        &self,
+        db: &SequenceDatabase,
+        mut clusters: Vec<Cluster>,
+        log_t: f64,
+        history: Vec<IterationStats>,
+    ) -> CluseqOutcome {
+        let background = db.background();
+        let n = db.len();
+        let mut best_cluster = vec![None::<usize>; n];
+        let mut best_score = vec![f64::NEG_INFINITY; n];
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
+
+        // Scoring is read-only and embarrassingly parallel over sequences;
+        // results are bit-identical for any thread count.
+        let threads = self.params.threads.max(1).min(n.max(1));
+        let score_range = |lo: usize, hi: usize| -> Vec<(usize, usize, f64)> {
+            let mut joins = Vec::new();
+            for seq_id in lo..hi {
+                let seq = db.sequence(seq_id).symbols();
+                for (slot, cluster) in clusters.iter().enumerate() {
+                    let sim = max_similarity_pst(&cluster.pst, &background, seq);
+                    if sim.log_sim >= log_t && !seq.is_empty() {
+                        joins.push((seq_id, slot, sim.log_sim));
+                    }
+                }
+            }
+            joins
+        };
+        let all_joins: Vec<(usize, usize, f64)> = if threads <= 1 {
+            score_range(0, n)
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        let score_range = &score_range;
+                        scope.spawn(move || score_range(lo, hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scoring worker panicked"))
+                    .collect()
+            })
+        };
+        for (seq_id, slot, log_sim) in all_joins {
+            members[slot].push(seq_id);
+            if log_sim > best_score[seq_id] {
+                best_score[seq_id] = log_sim;
+                best_cluster[seq_id] = Some(slot);
+            }
+        }
+        for m in &mut members {
+            m.sort_unstable();
+        }
+        for (cluster, m) in clusters.iter_mut().zip(members) {
+            cluster.members = m;
+        }
+        let outliers: Vec<usize> = (0..n).filter(|&i| best_cluster[i].is_none()).collect();
+
+        CluseqOutcome {
+            clusters,
+            best_cluster,
+            outliers,
+            final_log_t: log_t,
+            iterations: history.len(),
+            history,
+            background,
+        }
+    }
+}
+
+/// The paper's growth rule: `k_n = k' · f` with
+/// `f = max(k'_n − k'_c, 0) / k'_c`, clamped to `[0, 1]`; when nothing was
+/// consolidated (`k'_c = 0`), `f = 1` (unchecked exponential growth phase).
+fn growth_count(current_clusters: usize, prev_new: usize, prev_removed: usize) -> usize {
+    let f = if prev_removed == 0 {
+        1.0
+    } else {
+        (prev_new.saturating_sub(prev_removed)) as f64 / prev_removed as f64
+    };
+    let f = f.clamp(0.0, 1.0);
+    (current_clusters as f64 * f).round() as usize
+}
+
+fn unclustered_ids(n: usize, clusters: &[Cluster]) -> Vec<usize> {
+    let mut clustered = vec![false; n];
+    for c in clusters {
+        for &m in &c.members {
+            clustered[m] = true;
+        }
+    }
+    (0..n).filter(|&i| !clustered[i]).collect()
+}
+
+/// Builds the §4.6 similarity histogram. The domain is clipped at the
+/// 98th percentile: a handful of extreme member-to-own-cluster scores
+/// Builds the §4.6 similarity histogram over the full observed range, as
+/// the paper specifies ("the granularity of the histogram is 1/n of the
+/// domain"). Robust-clipping variants (drop values past a percentile or a
+/// Tukey fence before bucketing) were evaluated and made the valley
+/// detection *less* stable across workloads — the long member tail is
+/// precisely what anchors the right-hand regression line's low slope.
+fn build_histogram(sims: &[f64], buckets: usize) -> Option<Histogram> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &s in sims {
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-9 {
+        return None;
+    }
+    let mut h = Histogram::new(lo, hi, buckets);
+    for &s in sims {
+        h.add(s);
+    }
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CluseqParams;
+    use crate::order::ExaminationOrder;
+
+    /// A small two-behaviour database with a couple of noise sequences.
+    fn two_cluster_db() -> SequenceDatabase {
+        let mut texts: Vec<String> = Vec::new();
+        for i in 0..20 {
+            let _ = i;
+            texts.push("abababababababababababab".into());
+            texts.push("ccacacaccacacaccacacacca".into());
+        }
+        // Outliers: alternating junk unlike either behaviour.
+        texts.push("bcabcabacbacbabcbacbcab".into());
+        texts.push("cbacbabcacbabcacbabcbca".into());
+        SequenceDatabase::from_strs(texts.iter().map(|s| s.as_str()))
+    }
+
+    fn base_params() -> CluseqParams {
+        CluseqParams::default()
+            .with_significance(3)
+            .with_max_depth(8)
+            .with_seed(13)
+    }
+
+    #[test]
+    fn recovers_two_planted_clusters() {
+        let db = two_cluster_db();
+        let outcome = Cluseq::new(base_params().with_initial_clusters(2)).run(&db);
+        assert!(
+            outcome.cluster_count() >= 2,
+            "found {} clusters",
+            outcome.cluster_count()
+        );
+        // The two big groups end up in different best clusters.
+        let a = outcome.best_cluster[0];
+        let c = outcome.best_cluster[1];
+        assert!(a.is_some() && c.is_some());
+        assert_ne!(a, c, "ab-repeats and ca-repeats must separate");
+    }
+
+    #[test]
+    fn adapts_cluster_count_from_a_single_seed() {
+        // The paper's headline claim: k = 1 still finds all clusters.
+        let db = two_cluster_db();
+        let outcome = Cluseq::new(base_params().with_initial_clusters(1)).run(&db);
+        assert!(outcome.cluster_count() >= 2);
+        assert_ne!(outcome.best_cluster[0], outcome.best_cluster[1]);
+    }
+
+    #[test]
+    fn terminates_before_the_cap_on_stable_data() {
+        let db = two_cluster_db();
+        let outcome = Cluseq::new(base_params().with_initial_clusters(2)).run(&db);
+        assert!(
+            outcome.iterations < outcome.history.capacity().max(50),
+            "should reach a fixpoint"
+        );
+        let last = outcome.history.last().unwrap();
+        assert_eq!(last.membership_changes, 0, "fixpoint reached");
+    }
+
+    #[test]
+    fn memberships_and_outliers_partition_consistently() {
+        let db = two_cluster_db();
+        let outcome = Cluseq::new(base_params()).run(&db);
+        let in_any: std::collections::HashSet<usize> = outcome
+            .membership_lists()
+            .into_iter()
+            .flatten()
+            .collect();
+        for i in 0..db.len() {
+            let clustered = in_any.contains(&i);
+            let is_outlier = outcome.outliers.contains(&i);
+            assert!(clustered != is_outlier, "sequence {i} must be exactly one");
+            assert_eq!(outcome.best_cluster[i].is_some(), clustered);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let db = two_cluster_db();
+        let a = Cluseq::new(base_params()).run(&db);
+        let b = Cluseq::new(base_params()).run(&db);
+        assert_eq!(a.cluster_count(), b.cluster_count());
+        assert_eq!(a.best_cluster, b.best_cluster);
+        assert_eq!(a.final_log_t, b.final_log_t);
+    }
+
+    #[test]
+    fn random_order_also_converges() {
+        let db = two_cluster_db();
+        let params = base_params().with_order(ExaminationOrder::Random);
+        let outcome = Cluseq::new(params).run(&db);
+        assert!(outcome.cluster_count() >= 2);
+    }
+
+    #[test]
+    fn growth_count_follows_the_paper() {
+        // Nothing consolidated => f = 1 => double the cluster count.
+        assert_eq!(growth_count(4, 4, 0), 4);
+        // Everything new was consolidated => f = 0 => no new clusters.
+        assert_eq!(growth_count(10, 3, 3), 0);
+        assert_eq!(growth_count(10, 2, 5), 0);
+        // Half survived => f = (4-2)/2 = 1 (clamped).
+        assert_eq!(growth_count(6, 4, 2), 6);
+        // f = (3-2)/2 = 0.5 => half of k'.
+        assert_eq!(growth_count(8, 3, 2), 4);
+    }
+
+    #[test]
+    fn histogram_of_constant_sims_is_none() {
+        assert!(build_histogram(&[1.0, 1.0, 1.0], 10).is_none());
+        assert!(build_histogram(&[], 10).is_none());
+        assert!(build_histogram(&[0.5, 2.5], 10).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_database_is_rejected() {
+        let db = SequenceDatabase::from_strs(std::iter::empty::<&str>());
+        Cluseq::new(CluseqParams::default()).run(&db);
+    }
+
+    #[test]
+    fn history_records_every_iteration() {
+        let db = two_cluster_db();
+        let outcome = Cluseq::new(base_params()).run(&db);
+        assert_eq!(outcome.history.len(), outcome.iterations);
+        for (i, h) in outcome.history.iter().enumerate() {
+            assert_eq!(h.iteration, i);
+        }
+    }
+
+    #[test]
+    fn progress_callback_sees_every_iteration_in_order() {
+        let db = two_cluster_db();
+        let mut seen: Vec<usize> = Vec::new();
+        let outcome = Cluseq::new(base_params()).run_with_progress(&db, |stats| {
+            seen.push(stats.iteration);
+        });
+        assert_eq!(seen.len(), outcome.iterations);
+        for (i, &it) in seen.iter().enumerate() {
+            assert_eq!(it, i);
+        }
+        // The callback saw exactly what the history records.
+        assert_eq!(seen.len(), outcome.history.len());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let db = two_cluster_db();
+        let serial = Cluseq::new(base_params()).run(&db);
+        let parallel = Cluseq::new(base_params().with_threads(4)).run(&db);
+        assert_eq!(serial.cluster_count(), parallel.cluster_count());
+        assert_eq!(serial.best_cluster, parallel.best_cluster);
+        assert_eq!(serial.membership_lists(), parallel.membership_lists());
+        assert_eq!(
+            serial.final_log_t.to_bits(),
+            parallel.final_log_t.to_bits()
+        );
+    }
+
+    #[test]
+    fn threshold_adjustment_can_be_disabled() {
+        let db = two_cluster_db();
+        let params = base_params()
+            .with_initial_threshold(1.5)
+            .with_threshold_adjustment(false);
+        let outcome = Cluseq::new(params).run(&db);
+        assert!((outcome.final_t() - 1.5).abs() < 1e-9);
+    }
+}

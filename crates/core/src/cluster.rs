@@ -1,0 +1,96 @@
+//! A CLUSEQ cluster: a probabilistic suffix tree plus its member set.
+
+use cluseq_pst::{Pst, PstParams};
+use cluseq_seq::{Sequence, Symbol};
+
+/// A cluster under construction: the PST modeling its CPD, the ids of the
+/// sequences currently belonging to it, and the seed it was grown from.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Stable identifier (creation order, never reused within a run).
+    pub id: usize,
+    /// The conditional probability model of the cluster.
+    pub pst: Pst,
+    /// Ids of member sequences, ascending. Rebuilt every iteration by the
+    /// re-clustering step; clusters may overlap.
+    pub members: Vec<usize>,
+    /// The sequence id the cluster was seeded from.
+    pub seed: usize,
+}
+
+impl Cluster {
+    /// Creates a new cluster seeded with a single sequence (paper §4.1:
+    /// *"each new cluster at its initial stage contains only one sequence
+    /// and is represented by the probabilistic suffix tree constructed from
+    /// the sequence"*).
+    pub fn from_seed(
+        id: usize,
+        seed: usize,
+        seq: &Sequence,
+        alphabet_size: usize,
+        params: PstParams,
+    ) -> Self {
+        Self {
+            id,
+            pst: Pst::from_sequence(alphabet_size, params, seq),
+            members: vec![seed],
+            seed,
+        }
+    }
+
+    /// Number of member sequences.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `seq_id` is currently a member (members stay sorted).
+    pub fn contains(&self, seq_id: usize) -> bool {
+        self.members.binary_search(&seq_id).is_ok()
+    }
+
+    /// Feeds the similarity-maximizing segment of a joining sequence into
+    /// the cluster's model (§4.4: *"instead of using the entire sequence,
+    /// only the segment that produces the highest similarity score is
+    /// used"*).
+    pub fn absorb_segment(&mut self, segment: &[Symbol]) {
+        self.pst.add_segment(segment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_seq::Alphabet;
+
+    fn params() -> PstParams {
+        PstParams::default()
+            .with_significance(1)
+            .without_smoothing()
+    }
+
+    #[test]
+    fn from_seed_builds_a_model_of_the_seed() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let seq = Sequence::parse_str(&alphabet, "abab").unwrap();
+        let c = Cluster::from_seed(3, 17, &seq, 2, params());
+        assert_eq!(c.id, 3);
+        assert_eq!(c.seed, 17);
+        assert_eq!(c.members, vec![17]);
+        assert_eq!(c.size(), 1);
+        assert!(c.contains(17));
+        assert!(!c.contains(0));
+        assert_eq!(c.pst.total_count(), 4);
+    }
+
+    #[test]
+    fn absorb_segment_grows_the_model() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let seq = Sequence::parse_str(&alphabet, "ab").unwrap();
+        let mut c = Cluster::from_seed(0, 0, &seq, 2, params());
+        let before = c.pst.total_count();
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        c.absorb_segment(&[a, b, a]);
+        assert_eq!(c.pst.total_count(), before + 3);
+    }
+}

@@ -1,0 +1,280 @@
+//! CLUSEQ parameters.
+
+use serde::{Deserialize, Serialize};
+
+use cluseq_pst::{PruneStrategy, PstParams};
+
+use crate::order::ExaminationOrder;
+
+/// What happens to a cluster that fails the consolidation test (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsolidationMode {
+    /// The paper's rule: the covered cluster is dismissed outright.
+    Dismiss,
+    /// Extension: the covered cluster's model is merged into the retained
+    /// cluster it overlaps most, so its statistical evidence survives.
+    /// Exposed for the ablation benches.
+    MergeIntoCovering,
+}
+
+/// Parameters of the CLUSEQ algorithm (`k`, `c`, `t` in the paper, plus the
+/// knobs of §4–§5 the paper fixes to stated defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CluseqParams {
+    /// `k`: number of clusters generated at the first iteration. The paper
+    /// stresses this only sets a starting point — the growth factor and
+    /// consolidation adapt the count automatically. Default 1.
+    pub initial_clusters: usize,
+    /// `c`: the significance threshold for PST nodes *and* the minimum
+    /// exclusive membership a cluster must keep to survive consolidation.
+    /// The paper's rule of thumb is 30.
+    pub significance: u64,
+    /// `t`: the initial similarity threshold (natural units, ≥ 1). The
+    /// paper's protein experiment deliberately starts from 1.0005 and lets
+    /// adjustment find the real value.
+    pub initial_threshold: f64,
+    /// Whether to adjust `t` toward the histogram valley each iteration
+    /// (§4.6). Default true.
+    pub adjust_threshold: bool,
+    /// Sample size multiplier: `m = sample_factor × k_n` sample sequences
+    /// are drawn when generating `k_n` new clusters. The paper uses 5.
+    pub sample_factor: usize,
+    /// Maximum context length `L` for every cluster's PST.
+    pub max_depth: usize,
+    /// Per-cluster PST byte budget (paper: 5 MB), or `None` for unbounded.
+    pub max_pst_bytes: Option<usize>,
+    /// PST pruning strategy when the budget is exceeded.
+    pub prune_strategy: PruneStrategy,
+    /// Smoothing floor `p_min` (§5.2); `None` disables adjustment.
+    pub smoothing: Option<f64>,
+    /// Order in which sequences are examined during re-clustering (§6.3).
+    pub order: ExaminationOrder,
+    /// Histogram resolution for threshold adjustment.
+    pub histogram_buckets: usize,
+    /// Hard iteration cap (the paper's loop terminates on a fixpoint; the
+    /// cap guards degenerate configurations).
+    pub max_iterations: usize,
+    /// What to do with clusters that fail consolidation: the paper's
+    /// dismissal, or the merge extension.
+    pub consolidation: ConsolidationMode,
+    /// Minimum number of *exclusive* members a cluster must keep to
+    /// survive consolidation. `None` (default) follows the paper and uses
+    /// the significance threshold `c`; setting it explicitly decouples the
+    /// two, which matters at reduced data scales where the statistically
+    /// right `c` is small.
+    pub min_exclusive: Option<usize>,
+    /// Rebuild each cluster's PST from its current members' maximizing
+    /// segments at the end of every iteration, instead of only inserting
+    /// segments when a sequence first joins. Not in the paper (which only
+    /// ever inserts); exposed for the ablation benches. Default false.
+    pub rebuild_psts: bool,
+    /// Worker threads for the read-only scoring passes (the final
+    /// assignment sweep). 1 = serial. Results are identical for any
+    /// value — scoring is embarrassingly parallel; the iterative scan
+    /// itself stays serial because its PST updates are order-dependent by
+    /// design (§6.3).
+    pub threads: usize,
+    /// RNG seed (sampling, random examination order).
+    pub seed: u64,
+}
+
+impl Default for CluseqParams {
+    fn default() -> Self {
+        Self {
+            initial_clusters: 1,
+            significance: 30,
+            initial_threshold: 1.0005,
+            adjust_threshold: true,
+            sample_factor: 5,
+            max_depth: 12,
+            max_pst_bytes: Some(5 * 1024 * 1024),
+            prune_strategy: PruneStrategy::Composite,
+            smoothing: Some(1e-4),
+            order: ExaminationOrder::Fixed,
+            histogram_buckets: 100,
+            max_iterations: 50,
+            consolidation: ConsolidationMode::Dismiss,
+            min_exclusive: None,
+            rebuild_psts: false,
+            threads: 1,
+            seed: 0xC105E9, // arbitrary fixed default for reproducibility
+        }
+    }
+}
+
+impl CluseqParams {
+    /// Sets `k`, the initial cluster count.
+    pub fn with_initial_clusters(mut self, k: usize) -> Self {
+        self.initial_clusters = k;
+        self
+    }
+
+    /// Sets `c`, the significance threshold.
+    pub fn with_significance(mut self, c: u64) -> Self {
+        self.significance = c;
+        self
+    }
+
+    /// Sets the initial similarity threshold `t` (natural units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 1` — the paper requires `t ≥ 1` for a meaningful
+    /// separation between clustered sequences and outliers.
+    pub fn with_initial_threshold(mut self, t: f64) -> Self {
+        assert!(t >= 1.0, "similarity threshold must be >= 1 (got {t})");
+        self.initial_threshold = t;
+        self
+    }
+
+    /// Enables or disables automatic threshold adjustment.
+    pub fn with_threshold_adjustment(mut self, on: bool) -> Self {
+        self.adjust_threshold = on;
+        self
+    }
+
+    /// Sets the sample multiplier (`m = factor × k_n`).
+    pub fn with_sample_factor(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "sample factor must be >= 1");
+        self.sample_factor = factor;
+        self
+    }
+
+    /// Sets the PST context-length bound `L`.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the per-cluster PST byte budget.
+    pub fn with_max_pst_bytes(mut self, bytes: usize) -> Self {
+        self.max_pst_bytes = Some(bytes);
+        self
+    }
+
+    /// Removes the per-cluster byte budget.
+    pub fn without_pst_limit(mut self) -> Self {
+        self.max_pst_bytes = None;
+        self
+    }
+
+    /// Sets the examination order.
+    pub fn with_order(mut self, order: ExaminationOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "need at least one iteration");
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Overrides the consolidation exclusive-membership minimum.
+    pub fn with_min_exclusive(mut self, min: usize) -> Self {
+        self.min_exclusive = Some(min);
+        self
+    }
+
+    /// The consolidation minimum actually in force.
+    pub fn effective_min_exclusive(&self) -> usize {
+        self.min_exclusive.unwrap_or(self.significance as usize)
+    }
+
+    /// Sets the consolidation mode (dismiss per the paper, or merge).
+    pub fn with_consolidation(mut self, mode: ConsolidationMode) -> Self {
+        self.consolidation = mode;
+        self
+    }
+
+    /// Sets the worker-thread count for read-only scoring passes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Enables the (non-paper) per-iteration PST rebuild ablation.
+    pub fn with_pst_rebuild(mut self, on: bool) -> Self {
+        self.rebuild_psts = on;
+        self
+    }
+
+    /// The PST parameter block derived from these settings.
+    pub fn pst_params(&self) -> PstParams {
+        let mut p = PstParams::default()
+            .with_max_depth(self.max_depth)
+            .with_significance(self.significance)
+            .with_prune_strategy(self.prune_strategy);
+        p = match self.smoothing {
+            Some(p_min) => p.with_smoothing(p_min),
+            None => p.without_smoothing(),
+        };
+        p.memory_limit = self.max_pst_bytes;
+        p
+    }
+
+    /// Validates parameter consistency for an alphabet of `n` symbols.
+    pub fn validate(&self, alphabet_size: usize) {
+        assert!(
+            self.initial_threshold >= 1.0,
+            "similarity threshold must be >= 1"
+        );
+        assert!(self.sample_factor >= 1);
+        assert!(self.histogram_buckets >= 3, "valley detection needs >= 3 buckets");
+        assert!(self.max_iterations >= 1);
+        self.pst_params().validate(alphabet_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = CluseqParams::default();
+        assert_eq!(p.initial_clusters, 1); // "the default value of k is 1"
+        assert_eq!(p.significance, 30); // "c is usually set to >= 30"
+        assert_eq!(p.sample_factor, 5); // "we set m = 5 k_n"
+        assert_eq!(p.max_pst_bytes, Some(5 * 1024 * 1024)); // "5MB"
+        assert_eq!(p.order, ExaminationOrder::Fixed); // "fixed order was used"
+        assert!(p.adjust_threshold);
+    }
+
+    #[test]
+    fn builders_compose_and_validate() {
+        let p = CluseqParams::default()
+            .with_initial_clusters(10)
+            .with_significance(3)
+            .with_initial_threshold(2.0)
+            .with_sample_factor(3)
+            .with_max_depth(6)
+            .with_seed(42);
+        p.validate(20);
+        assert_eq!(p.initial_clusters, 10);
+        assert_eq!(p.pst_params().significance, 3);
+        assert_eq!(p.pst_params().max_depth, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn threshold_below_one_is_rejected() {
+        CluseqParams::default().with_initial_threshold(0.5);
+    }
+
+    #[test]
+    fn pst_params_inherit_memory_limit() {
+        let p = CluseqParams::default().with_max_pst_bytes(1234);
+        assert_eq!(p.pst_params().memory_limit, Some(1234));
+        let p = p.without_pst_limit();
+        assert_eq!(p.pst_params().memory_limit, None);
+    }
+}

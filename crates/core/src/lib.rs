@@ -1,0 +1,60 @@
+//! CLUSEQ — efficient and effective sequence clustering
+//! (Yang & Wang, ICDE 2003).
+//!
+//! CLUSEQ groups symbol sequences into (possibly overlapping) clusters by
+//! their *sequential* statistical features. Each cluster is modeled by the
+//! conditional probability distribution of the next symbol given a
+//! preceding segment, held in a [probabilistic suffix tree](cluseq_pst);
+//! the similarity of a sequence to a cluster is the largest ratio, over all
+//! of its contiguous segments, between the probability of generating the
+//! segment under the cluster's model and under a memoryless background
+//! model. The algorithm iterates new-cluster generation, re-clustering,
+//! and cluster consolidation, adapting both the number of clusters and the
+//! similarity threshold automatically.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cluseq_core::{Cluseq, CluseqParams};
+//! use cluseq_seq::SequenceDatabase;
+//!
+//! // Two obvious groups: "ab"-repeats and "ba"-prefixed "c"-runs.
+//! let texts: Vec<String> = (0..40)
+//!     .map(|i| {
+//!         if i % 2 == 0 {
+//!             "abababababababab".to_string()
+//!         } else {
+//!             "ccccccccccccccc".to_string()
+//!         }
+//!     })
+//!     .collect();
+//! let db = SequenceDatabase::from_strs(texts.iter().map(|s| s.as_str()));
+//!
+//! let params = CluseqParams::default()
+//!     .with_initial_clusters(2)
+//!     .with_significance(2)
+//!     .with_seed(7);
+//! let outcome = Cluseq::new(params).run(&db);
+//! assert!(outcome.cluster_count() >= 2);
+//! ```
+
+pub mod algorithm;
+pub mod cluster;
+pub mod config;
+pub mod consolidate;
+pub mod order;
+pub mod online;
+pub mod outcome;
+pub mod persist;
+pub mod recluster;
+pub mod seeding;
+pub mod similarity;
+pub mod threshold;
+
+pub use algorithm::Cluseq;
+pub use cluster::Cluster;
+pub use config::{CluseqParams, ConsolidationMode};
+pub use order::ExaminationOrder;
+pub use online::{OnlineCluseq, OnlineReport};
+pub use outcome::{CluseqOutcome, IterationStats};
+pub use similarity::{max_similarity, max_similarity_pst, LogSim, SegmentSimilarity};

@@ -1,0 +1,104 @@
+//! Sequence examination orders (paper §6.3).
+//!
+//! The paper compares three orders for the per-iteration sequence scan:
+//! fixed (by id — the default, avoiding random disk I/O), random (a fresh
+//! permutation each iteration), and cluster-based (all sequences of one
+//! previous-iteration cluster examined consecutively — shown to trap the
+//! algorithm in local optima at 65% accuracy vs 82–83%).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The order in which sequences are examined during re-clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExaminationOrder {
+    /// Ascending sequence id, identical every iteration (paper default).
+    Fixed,
+    /// A fresh random permutation every iteration.
+    Random,
+    /// Sequences grouped by the cluster they belonged to after the previous
+    /// iteration (unclustered sequences last). Included because the paper
+    /// demonstrates it *harms* quality.
+    ClusterBased,
+}
+
+impl ExaminationOrder {
+    /// Produces the examination order for one iteration.
+    ///
+    /// `previous_best` maps each sequence to the cluster slot it was
+    /// assigned to after the previous iteration (`None` = unclustered);
+    /// only `ClusterBased` consults it.
+    pub fn sequence_order(
+        self,
+        n: usize,
+        previous_best: &[Option<usize>],
+        rng: &mut impl Rng,
+    ) -> Vec<usize> {
+        match self {
+            ExaminationOrder::Fixed => (0..n).collect(),
+            ExaminationOrder::Random => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(rng);
+                order
+            }
+            ExaminationOrder::ClusterBased => {
+                debug_assert_eq!(previous_best.len(), n);
+                let mut order: Vec<usize> = (0..n).collect();
+                // Stable sort: within a cluster, ids stay ascending.
+                // Unclustered sequences (None) sort last.
+                order.sort_by_key(|&i| match previous_best.get(i).copied().flatten() {
+                    Some(c) => (0usize, c),
+                    None => (1usize, 0),
+                });
+                order
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_order_is_the_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let order = ExaminationOrder::Fixed.sequence_order(5, &[None; 5], &mut rng);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_order_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut order = ExaminationOrder::Random.sequence_order(50, &[None; 50], &mut rng);
+        order.sort_unstable();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_order_differs_between_draws() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ExaminationOrder::Random.sequence_order(50, &[None; 50], &mut rng);
+        let b = ExaminationOrder::Random.sequence_order(50, &[None; 50], &mut rng);
+        assert_ne!(a, b, "two draws from the same rng should differ");
+    }
+
+    #[test]
+    fn cluster_based_groups_members() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let prev = vec![Some(1), Some(0), None, Some(1), Some(0)];
+        let order = ExaminationOrder::ClusterBased.sequence_order(5, &prev, &mut rng);
+        // Cluster 0 first (ids 1, 4), then cluster 1 (0, 3), then outliers.
+        assert_eq!(order, vec![1, 4, 0, 3, 2]);
+    }
+
+    #[test]
+    fn cluster_based_with_no_history_is_stable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let order = ExaminationOrder::ClusterBased.sequence_order(4, &[None; 4], &mut rng);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,172 @@
+//! The result of a CLUSEQ run.
+
+use cluseq_seq::{BackgroundModel, Symbol};
+
+use crate::cluster::Cluster;
+use crate::similarity::{max_similarity_pst, LogSim, SegmentSimilarity};
+
+/// Per-iteration bookkeeping, reported for diagnostics and the sensitivity
+/// experiments (Tables 5 and 6 track cluster counts and `t` over time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// 0-based iteration number.
+    pub iteration: usize,
+    /// Clusters generated at the start of this iteration (`k_n`).
+    pub new_clusters: usize,
+    /// Clusters dismissed by consolidation at the end (`k_c`).
+    pub removed_clusters: usize,
+    /// Clusters alive after consolidation.
+    pub clusters_at_end: usize,
+    /// Membership flips during the re-clustering scan.
+    pub membership_changes: usize,
+    /// The (log-space) similarity threshold used this iteration.
+    pub log_t: f64,
+    /// Whether threshold adjustment moved `t` after this iteration.
+    pub threshold_moved: bool,
+}
+
+/// The final clustering: the surviving cluster models, the membership
+/// structure, and the run history.
+#[derive(Debug)]
+pub struct CluseqOutcome {
+    /// The surviving clusters, with their final member lists. Cluster
+    /// models stay usable: see [`CluseqOutcome::classify`].
+    pub clusters: Vec<Cluster>,
+    /// For each sequence, the index (into `clusters`) of its
+    /// highest-similarity cluster among those it belongs to.
+    pub best_cluster: Vec<Option<usize>>,
+    /// Sequence ids belonging to no cluster.
+    pub outliers: Vec<usize>,
+    /// The final similarity threshold, log-space.
+    pub final_log_t: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Per-iteration statistics.
+    pub history: Vec<IterationStats>,
+    /// The background model fitted on the input database (needed to score
+    /// new sequences consistently).
+    pub background: BackgroundModel,
+}
+
+impl CluseqOutcome {
+    /// Number of surviving clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The final threshold in the paper's natural units.
+    pub fn final_t(&self) -> f64 {
+        self.final_log_t.exp()
+    }
+
+    /// Membership lists (`clusters[k].members`), in cluster order — the
+    /// shape [`cluseq_eval::Confusion`] consumes.
+    pub fn membership_lists(&self) -> Vec<Vec<usize>> {
+        self.clusters.iter().map(|c| c.members.clone()).collect()
+    }
+
+    /// Hard assignment per sequence (best cluster or `None`).
+    pub fn assignment(&self) -> &[Option<usize>] {
+        &self.best_cluster
+    }
+
+    /// Fraction of sequences left unclustered.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.best_cluster.is_empty() {
+            return 0.0;
+        }
+        self.outliers.len() as f64 / self.best_cluster.len() as f64
+    }
+
+    /// Scores a (possibly unseen) sequence against every final cluster,
+    /// returning `(cluster index, log similarity, maximizing segment)`
+    /// sorted by descending similarity.
+    pub fn classify(&self, seq: &[Symbol]) -> Vec<(usize, SegmentSimilarity)> {
+        let mut scored: Vec<(usize, SegmentSimilarity)> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (k, max_similarity_pst(&c.pst, &self.background, seq)))
+            .collect();
+        scored.sort_by(|a, b| b.1.log_sim.total_cmp(&a.1.log_sim));
+        scored
+    }
+
+    /// The clusters a new sequence would join under the final threshold.
+    pub fn assign_new(&self, seq: &[Symbol]) -> Vec<(usize, LogSim)> {
+        self.classify(seq)
+            .into_iter()
+            .filter(|(_, s)| s.log_sim >= self.final_log_t)
+            .map(|(k, s)| (k, s.log_sim))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use cluseq_pst::PstParams;
+    use cluseq_seq::{Alphabet, Sequence};
+
+    fn outcome() -> (Alphabet, CluseqOutcome) {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let ab = Sequence::parse_str(&alphabet, "abababababab").unwrap();
+        let cc = Sequence::parse_str(&alphabet, "cccccccccccc").unwrap();
+        let params = PstParams::default().with_significance(2);
+        let mut c0 = Cluster::from_seed(0, 0, &ab, 3, params);
+        c0.members = vec![0, 1];
+        let mut c1 = Cluster::from_seed(1, 2, &cc, 3, params);
+        c1.members = vec![2];
+        let bg = BackgroundModel::uniform(3);
+        (
+            alphabet,
+            CluseqOutcome {
+                clusters: vec![c0, c1],
+                best_cluster: vec![Some(0), Some(0), Some(1), None],
+                outliers: vec![3],
+                // High enough that a lone lucky symbol (a single "b" after
+                // an unknown context scores P(b|root)/bg ≈ 1.5) cannot pass.
+                final_log_t: 1.0,
+                iterations: 2,
+                history: vec![],
+                background: bg,
+            },
+        )
+    }
+
+    #[test]
+    fn accessors_report_the_structure() {
+        let (_, o) = outcome();
+        assert_eq!(o.cluster_count(), 2);
+        assert_eq!(o.membership_lists(), vec![vec![0, 1], vec![2]]);
+        assert!((o.outlier_fraction() - 0.25).abs() < 1e-12);
+        assert!((o.final_t() - 1.0f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_ranks_the_generating_cluster_first() {
+        let (alphabet, o) = outcome();
+        let probe = Sequence::parse_str(&alphabet, "ababab").unwrap();
+        let ranked = o.classify(probe.symbols());
+        assert_eq!(ranked[0].0, 0, "ab-probe matches the ab-cluster best");
+        assert!(ranked[0].1.log_sim > ranked[1].1.log_sim);
+    }
+
+    #[test]
+    fn assign_new_applies_the_threshold() {
+        let (alphabet, o) = outcome();
+        let ab_probe = Sequence::parse_str(&alphabet, "abababab").unwrap();
+        let joined = o.assign_new(ab_probe.symbols());
+        assert!(joined.iter().any(|&(k, _)| k == 0));
+        // A sequence avoiding both clusters' transitions scores below the
+        // threshold against the ab-cluster: its only positive contribution
+        // is single symbols after unknown contexts (ratio 1.5, ln ≈ 0.4).
+        let noise = Sequence::parse_str(&alphabet, "ccbbccbb").unwrap();
+        let joined = o.assign_new(noise.symbols());
+        assert!(
+            joined.iter().all(|&(k, _)| k != 0),
+            "noise joined the ab-cluster: {joined:?}"
+        );
+    }
+}

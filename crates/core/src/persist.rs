@@ -1,0 +1,259 @@
+//! Persistence of trained clustering models.
+//!
+//! A [`SavedModel`] captures everything needed to classify new sequences
+//! with a finished clustering — the per-cluster PSTs, the background
+//! model, and the final similarity threshold — in the same hand-rolled
+//! little-endian binary framing as [`cluseq_pst::serial`]. Member lists
+//! and run history are deliberately *not* stored: they describe the
+//! training set, not the model.
+//!
+//! ```no_run
+//! use cluseq_core::{Cluseq, CluseqParams};
+//! use cluseq_core::persist::SavedModel;
+//! use cluseq_seq::SequenceDatabase;
+//!
+//! let db = SequenceDatabase::from_strs(["abab", "cdcd"]);
+//! let outcome = Cluseq::new(CluseqParams::default().with_significance(1)).run(&db);
+//!
+//! // Train once, save…
+//! let mut file = std::fs::File::create("model.cseq").unwrap();
+//! SavedModel::from_outcome(&outcome).save(&mut file).unwrap();
+//!
+//! // …classify forever.
+//! let mut file = std::fs::File::open("model.cseq").unwrap();
+//! let model = SavedModel::load(&mut file).unwrap();
+//! let hits = model.assign(db.sequence(0).symbols());
+//! ```
+
+use std::io::{Read, Write};
+
+use cluseq_pst::serial::{
+    read_f64, read_u32, read_u64, write_f64, write_u32, write_u64,
+};
+use cluseq_pst::{Pst, SerialError};
+use cluseq_seq::{BackgroundModel, Symbol};
+
+use crate::outcome::CluseqOutcome;
+use crate::similarity::{max_similarity_pst, LogSim, SegmentSimilarity};
+
+const MAGIC: &[u8; 4] = b"CSEQ";
+const VERSION: u32 = 1;
+
+/// One persisted cluster: its stable id, seed sequence id, and model.
+#[derive(Debug)]
+pub struct SavedCluster {
+    /// The cluster's id from the producing run.
+    pub id: u64,
+    /// The sequence id the cluster was seeded from (training-set relative;
+    /// informational only).
+    pub seed: u64,
+    /// The conditional probability model.
+    pub pst: Pst,
+}
+
+/// A self-contained classifier: cluster models + background + threshold.
+#[derive(Debug)]
+pub struct SavedModel {
+    /// The persisted clusters, in the producing run's order.
+    pub clusters: Vec<SavedCluster>,
+    /// Background symbol probabilities (denominator of the similarity).
+    pub background: BackgroundModel,
+    /// The final similarity threshold, log-space.
+    pub log_t: f64,
+}
+
+impl SavedModel {
+    /// Captures the model part of a finished run.
+    pub fn from_outcome(outcome: &CluseqOutcome) -> Self {
+        Self {
+            clusters: outcome
+                .clusters
+                .iter()
+                .map(|c| SavedCluster {
+                    id: c.id as u64,
+                    seed: c.seed as u64,
+                    pst: c.pst.clone(),
+                })
+                .collect(),
+            background: outcome.background.clone(),
+            log_t: outcome.final_log_t,
+        }
+    }
+
+    /// Number of clusters in the model.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Scores `seq` against every cluster, best first.
+    pub fn classify(&self, seq: &[Symbol]) -> Vec<(usize, SegmentSimilarity)> {
+        let mut scored: Vec<(usize, SegmentSimilarity)> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (k, max_similarity_pst(&c.pst, &self.background, seq)))
+            .collect();
+        scored.sort_by(|a, b| b.1.log_sim.total_cmp(&a.1.log_sim));
+        scored
+    }
+
+    /// The clusters `seq` would join under the stored threshold.
+    pub fn assign(&self, seq: &[Symbol]) -> Vec<(usize, LogSim)> {
+        self.classify(seq)
+            .into_iter()
+            .filter(|(_, s)| s.log_sim >= self.log_t)
+            .map(|(k, s)| (k, s.log_sim))
+            .collect()
+    }
+
+    /// Serializes the model.
+    pub fn save(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        write_f64(w, self.log_t)?;
+        // Background probabilities.
+        write_u32(w, self.background.alphabet_size() as u32)?;
+        for i in 0..self.background.alphabet_size() {
+            write_f64(w, self.background.prob(Symbol(i as u16)))?;
+        }
+        write_u32(w, self.clusters.len() as u32)?;
+        for c in &self.clusters {
+            write_u64(w, c.id)?;
+            write_u64(w, c.seed)?;
+            c.pst.save(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a model.
+    pub fn load(r: &mut impl Read) -> Result<Self, SerialError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SerialError::BadMagic);
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(SerialError::BadVersion(version));
+        }
+        let log_t = read_f64(r)?;
+        let n_sym = read_u32(r)? as usize;
+        if n_sym == 0 {
+            return Err(SerialError::Corrupt("empty background model"));
+        }
+        let mut probs = Vec::with_capacity(n_sym);
+        for _ in 0..n_sym {
+            let p = read_f64(r)?;
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(SerialError::Corrupt("background probability range"));
+            }
+            probs.push(p);
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(SerialError::Corrupt("background does not normalize"));
+        }
+        let background = BackgroundModel::from_probs(probs);
+        let n_clusters = read_u32(r)? as usize;
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for _ in 0..n_clusters {
+            let id = read_u64(r)?;
+            let seed = read_u64(r)?;
+            let pst = Pst::load(r)?;
+            clusters.push(SavedCluster { id, seed, pst });
+        }
+        Ok(Self {
+            clusters,
+            background,
+            log_t,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Cluseq;
+    use crate::config::CluseqParams;
+    use cluseq_seq::SequenceDatabase;
+
+    fn trained() -> (SequenceDatabase, CluseqOutcome) {
+        let mut texts: Vec<String> = Vec::new();
+        for _ in 0..15 {
+            texts.push("abababababababab".into());
+            texts.push("cdcdcdcdcdcdcdcd".into());
+        }
+        let db = SequenceDatabase::from_strs(texts.iter().map(|s| s.as_str()));
+        let outcome = Cluseq::new(
+            CluseqParams::default()
+                .with_initial_clusters(2)
+                .with_significance(4)
+                .with_max_depth(5)
+                .with_seed(3),
+        )
+        .run(&db);
+        (db, outcome)
+    }
+
+    #[test]
+    fn round_trip_preserves_classification() {
+        let (db, outcome) = trained();
+        let model = SavedModel::from_outcome(&outcome);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = SavedModel::load(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.cluster_count(), outcome.cluster_count());
+        assert_eq!(loaded.log_t, outcome.final_log_t);
+        for i in 0..db.len() {
+            let seq = db.sequence(i).symbols();
+            let orig = outcome.classify(seq);
+            let redo = loaded.classify(seq);
+            assert_eq!(orig.len(), redo.len());
+            for (a, b) in orig.iter().zip(&redo) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.log_sim.to_bits(), b.1.log_sim.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn assign_applies_the_stored_threshold() {
+        let (db, outcome) = trained();
+        let model = SavedModel::from_outcome(&outcome);
+        let joined = model.assign(db.sequence(0).symbols());
+        assert!(!joined.is_empty(), "a training member must pass");
+        for &(_, sim) in &joined {
+            assert!(sim >= model.log_t);
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert!(matches!(
+            SavedModel::load(&mut &b"XXXX"[..]).unwrap_err(),
+            SerialError::BadMagic
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            SavedModel::load(&mut buf.as_slice()).unwrap_err(),
+            SerialError::BadVersion(7)
+        ));
+    }
+
+    #[test]
+    fn corrupt_background_is_rejected() {
+        let (_, outcome) = trained();
+        let mut buf = Vec::new();
+        SavedModel::from_outcome(&outcome).save(&mut buf).unwrap();
+        // The background probs start right after magic+version+log_t+len.
+        let offset = 4 + 4 + 8 + 4;
+        buf[offset..offset + 8].copy_from_slice(&2.5f64.to_le_bytes());
+        assert!(matches!(
+            SavedModel::load(&mut buf.as_slice()).unwrap_err(),
+            SerialError::Corrupt(_)
+        ));
+    }
+}

@@ -1,0 +1,257 @@
+//! The per-iteration sequence scan (paper §4.2).
+//!
+//! Every sequence is examined against every cluster; it joins each cluster
+//! whose similarity reaches the threshold, and for each *new* join the
+//! similarity-maximizing segment is inserted into that cluster's PST. The
+//! similarities of all sequence–cluster combinations are collected for the
+//! threshold-adjustment histogram (the paper notes they "need to be
+//! calculated anyway").
+
+use cluseq_seq::{BackgroundModel, SequenceDatabase};
+
+use crate::cluster::Cluster;
+use crate::similarity::{max_similarity_pst, LogSim};
+
+/// The result of one re-clustering scan.
+#[derive(Debug)]
+pub struct ReclusterOutcome {
+    /// All finite sequence–cluster log-similarities observed in the scan
+    /// (feed for the §4.6 histogram).
+    pub similarities: Vec<LogSim>,
+    /// Number of (sequence, cluster) membership flips relative to the
+    /// memberships at the start of the scan.
+    pub changes: usize,
+    /// For each sequence, the cluster *slot* (index into the `clusters`
+    /// argument) with the highest similarity among those it joined.
+    pub best_cluster: Vec<Option<usize>>,
+}
+
+/// Scans sequences in `order`, rebuilding every cluster's member list and
+/// updating cluster models with the maximizing segments of new joins.
+///
+/// When `rebuild_psts` is set, models are instead rebuilt from scratch at
+/// the end of the scan from all current members' maximizing segments (an
+/// ablation variant; the paper only ever inserts incrementally).
+pub fn recluster(
+    db: &SequenceDatabase,
+    clusters: &mut [Cluster],
+    log_t: f64,
+    order: &[usize],
+    background: &BackgroundModel,
+    rebuild_psts: bool,
+) -> ReclusterOutcome {
+    let n = db.len();
+    let mut similarities = Vec::with_capacity(n * clusters.len());
+    let mut best_cluster = vec![None::<usize>; n];
+    let mut best_score = vec![f64::NEG_INFINITY; n];
+
+    // Snapshot starting memberships, then clear member lists for rebuild.
+    let old_members: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+    let mut new_members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
+    // Per-cluster (seq, start, end) join records for the rebuild ablation.
+    let mut join_segments: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); clusters.len()];
+
+    for &seq_id in order {
+        let seq = db.sequence(seq_id).symbols();
+        for (slot, cluster) in clusters.iter_mut().enumerate() {
+            let sim = max_similarity_pst(&cluster.pst, background, seq);
+            if sim.log_sim.is_finite() {
+                similarities.push(sim.log_sim);
+            }
+            if sim.log_sim >= log_t && !seq.is_empty() {
+                new_members[slot].push(seq_id);
+                if sim.log_sim > best_score[seq_id] {
+                    best_score[seq_id] = sim.log_sim;
+                    best_cluster[seq_id] = Some(slot);
+                }
+                let was_member = old_members[slot].binary_search(&seq_id).is_ok();
+                if rebuild_psts {
+                    join_segments[slot].push((seq_id, sim.start, sim.end));
+                } else if !was_member {
+                    // New join: feed the maximizing segment to the model
+                    // immediately (order-dependent, per the paper).
+                    cluster.absorb_segment(&seq[sim.start..sim.end]);
+                }
+            }
+        }
+    }
+
+    // Install the rebuilt member lists and count flips.
+    let mut changes = 0usize;
+    for (slot, cluster) in clusters.iter_mut().enumerate() {
+        new_members[slot].sort_unstable();
+        changes += symmetric_difference(&old_members[slot], &new_members[slot]);
+        cluster.members = std::mem::take(&mut new_members[slot]);
+    }
+
+    if rebuild_psts {
+        let alphabet_size = db.alphabet().len();
+        for (slot, cluster) in clusters.iter_mut().enumerate() {
+            let params = *cluster.pst.params();
+            let mut fresh = cluseq_pst::Pst::new(alphabet_size, params);
+            // Seed sequence first (a cluster always models its seed), then
+            // each member's maximizing segment.
+            fresh.add_sequence(db.sequence(cluster.seed));
+            for &(member, start, end) in &join_segments[slot] {
+                fresh.add_segment(&db.sequence(member).symbols()[start..end]);
+            }
+            cluster.pst = fresh;
+        }
+    }
+
+    ReclusterOutcome {
+        similarities,
+        changes,
+        best_cluster,
+    }
+}
+
+/// |A Δ B| for two ascending id lists.
+fn symmetric_difference(a: &[usize], b: &[usize]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut diff = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                diff += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                diff += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    diff + (a.len() - i) + (b.len() - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_pst::PstParams;
+
+    fn fixture() -> (SequenceDatabase, BackgroundModel) {
+        let texts = [
+            "abababababababab",
+            "abababababababab",
+            "abababababababab",
+            "cccccccccccccccc",
+            "cccccccccccccccc",
+        ];
+        let db = SequenceDatabase::from_strs(texts);
+        let bg = db.background();
+        (db, bg)
+    }
+
+    fn params() -> PstParams {
+        PstParams::default().with_significance(2)
+    }
+
+    fn make_clusters(db: &SequenceDatabase, seeds: &[usize]) -> Vec<Cluster> {
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Cluster::from_seed(i, s, db.sequence(s), db.alphabet().len(), params()))
+            .collect()
+    }
+
+    #[test]
+    fn sequences_join_their_generating_cluster() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0, 3]);
+        let order: Vec<usize> = (0..db.len()).collect();
+        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        assert_eq!(clusters[0].members, vec![0, 1, 2]);
+        assert_eq!(clusters[1].members, vec![3, 4]);
+        assert_eq!(out.best_cluster[1], Some(0));
+        assert_eq!(out.best_cluster[4], Some(1));
+    }
+
+    #[test]
+    fn similarities_cover_every_pair() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0, 3]);
+        let order: Vec<usize> = (0..db.len()).collect();
+        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        assert_eq!(out.similarities.len(), db.len() * 2);
+    }
+
+    #[test]
+    fn impossible_threshold_unclusters_everything() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0]);
+        let order: Vec<usize> = (0..db.len()).collect();
+        let out = recluster(&db, &mut clusters, 1e9, &order, &bg, false);
+        assert!(clusters[0].members.is_empty());
+        // The seed itself left the cluster: one membership change.
+        assert_eq!(out.changes, 1);
+        assert!(out.best_cluster.iter().all(|b| b.is_none()));
+    }
+
+    #[test]
+    fn changes_count_joins_and_leaves() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0]);
+        let order: Vec<usize> = (0..db.len()).collect();
+        // First scan: ids 1, 2 join (changes = 2; id 0 stays).
+        let out1 = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        assert_eq!(out1.changes, 2);
+        // Second scan: stable clustering, no changes.
+        let out2 = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        assert_eq!(out2.changes, 0);
+    }
+
+    #[test]
+    fn new_joins_grow_the_model() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0]);
+        let before = clusters[0].pst.total_count();
+        let order: Vec<usize> = (0..db.len()).collect();
+        recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        assert!(
+            clusters[0].pst.total_count() > before,
+            "absorbing segments must increase the root count"
+        );
+    }
+
+    #[test]
+    fn repeat_members_do_not_reinflate_the_model() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0]);
+        let order: Vec<usize> = (0..db.len()).collect();
+        recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        let after_first = clusters[0].pst.total_count();
+        recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        assert_eq!(
+            clusters[0].pst.total_count(),
+            after_first,
+            "stable members are not re-absorbed"
+        );
+    }
+
+    #[test]
+    fn rebuild_mode_keeps_model_size_bounded() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0]);
+        let order: Vec<usize> = (0..db.len()).collect();
+        recluster(&db, &mut clusters, 0.05, &order, &bg, true);
+        let after_first = clusters[0].pst.total_count();
+        recluster(&db, &mut clusters, 0.05, &order, &bg, true);
+        let after_second = clusters[0].pst.total_count();
+        assert_eq!(after_first, after_second, "rebuild is idempotent at a fixpoint");
+    }
+
+    #[test]
+    fn symmetric_difference_counts_flips() {
+        assert_eq!(symmetric_difference(&[], &[]), 0);
+        assert_eq!(symmetric_difference(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(symmetric_difference(&[1, 2], &[2, 3]), 2);
+        assert_eq!(symmetric_difference(&[1], &[]), 1);
+        assert_eq!(symmetric_difference(&[], &[5, 6, 7]), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! New-cluster seed selection (paper §4.1).
+//!
+//! To generate `k_n` new clusters, `m = sample_factor × k_n` unclustered
+//! sequences are sampled; each sample gets its own probabilistic suffix
+//! tree; then a greedy farthest-first pass runs `k_n` steps, each time
+//! choosing the remaining sample whose *highest* similarity to any cluster
+//! in the current collection (existing clusters plus seeds already chosen)
+//! is *lowest* — i.e. the sample least explained by everything so far.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use cluseq_pst::{Pst, PstParams};
+use cluseq_seq::{BackgroundModel, SequenceDatabase};
+
+use crate::cluster::Cluster;
+use crate::similarity::max_similarity_pst;
+
+/// Selects up to `k_n` seed sequence ids from `unclustered`.
+///
+/// Returns fewer than `k_n` seeds when there are not enough unclustered
+/// sequences (or when `k_n` is 0).
+#[allow(clippy::too_many_arguments)] // internal driver call, mirrors §4.1's inputs
+pub fn select_seeds(
+    db: &SequenceDatabase,
+    background: &BackgroundModel,
+    clusters: &[Cluster],
+    unclustered: &[usize],
+    k_n: usize,
+    sample_factor: usize,
+    pst_params: PstParams,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    if k_n == 0 || unclustered.is_empty() {
+        return Vec::new();
+    }
+    let k_n = k_n.min(unclustered.len());
+    let m = (sample_factor * k_n).min(unclustered.len());
+
+    // Sample m candidates without replacement.
+    let mut candidates: Vec<usize> = unclustered.to_vec();
+    candidates.shuffle(rng);
+    candidates.truncate(m);
+
+    // One PST per candidate, used both to score candidates against chosen
+    // seeds and (by the caller) to found the new cluster.
+    let alphabet_size = db.alphabet().len();
+    let candidate_psts: Vec<Pst> = candidates
+        .iter()
+        .map(|&id| Pst::from_sequence(alphabet_size, pst_params, db.sequence(id)))
+        .collect();
+
+    // best_sim[i] = highest similarity of candidate i to any cluster chosen
+    // so far (existing clusters first). Farthest-first then only needs to
+    // fold in the newest seed each step.
+    let mut best_sim: Vec<f64> = candidates
+        .iter()
+        .map(|&id| {
+            clusters
+                .iter()
+                .map(|c| max_similarity_pst(&c.pst, background, db.sequence(id).symbols()).log_sim)
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(k_n); // candidate indices
+    let mut taken = vec![false; candidates.len()];
+    for _ in 0..k_n {
+        // The remaining candidate with the LEAST max-similarity.
+        let Some(pick) = (0..candidates.len())
+            .filter(|&i| !taken[i])
+            .min_by(|&a, &b| best_sim[a].total_cmp(&best_sim[b]))
+        else {
+            break;
+        };
+        taken[pick] = true;
+        chosen.push(pick);
+
+        // Fold the new seed into every remaining candidate's best score.
+        for i in 0..candidates.len() {
+            if taken[i] {
+                continue;
+            }
+            let sim = max_similarity_pst(
+                &candidate_psts[pick],
+                background,
+                db.sequence(candidates[i]).symbols(),
+            )
+            .log_sim;
+            if sim > best_sim[i] {
+                best_sim[i] = sim;
+            }
+        }
+    }
+
+    chosen.into_iter().map(|i| candidates[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (SequenceDatabase, BackgroundModel) {
+        // Three well-separated behaviours, several sequences each.
+        let texts = [
+            "abababababababababab",
+            "abababababababababab",
+            "abababababababababab",
+            "cccccccccccccccccccc",
+            "cccccccccccccccccccc",
+            "cccccccccccccccccccc",
+            "aabbaabbaabbaabbaabb",
+            "aabbaabbaabbaabbaabb",
+        ];
+        let db = SequenceDatabase::from_strs(texts);
+        let bg = db.background();
+        (db, bg)
+    }
+
+    fn params() -> PstParams {
+        PstParams::default().with_significance(2)
+    }
+
+    #[test]
+    fn selects_requested_number_of_seeds() {
+        let (db, bg) = fixture();
+        let mut rng = StdRng::seed_from_u64(3);
+        let all: Vec<usize> = (0..db.len()).collect();
+        let seeds = select_seeds(&db, &bg, &[], &all, 3, 5, params(), &mut rng);
+        assert_eq!(seeds.len(), 3);
+        // All seeds are distinct and drawn from the pool.
+        let mut s = seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn farthest_first_spreads_across_behaviours() {
+        let (db, bg) = fixture();
+        let mut rng = StdRng::seed_from_u64(11);
+        let all: Vec<usize> = (0..db.len()).collect();
+        // Sample everything (factor large enough) so selection is purely
+        // similarity-driven.
+        let seeds = select_seeds(&db, &bg, &[], &all, 3, 10, params(), &mut rng);
+        // The three seeds should cover the three behaviours: ab-repeats
+        // (ids 0-2), c-runs (3-5), aabb-repeats (6-7).
+        let groups: Vec<usize> = seeds
+            .iter()
+            .map(|&id| match id {
+                0..=2 => 0,
+                3..=5 => 1,
+                _ => 2,
+            })
+            .collect();
+        let mut g = groups.clone();
+        g.sort_unstable();
+        g.dedup();
+        assert_eq!(g.len(), 3, "seeds {seeds:?} collapse into groups {groups:?}");
+    }
+
+    #[test]
+    fn seeds_avoid_existing_clusters() {
+        let (db, bg) = fixture();
+        let mut rng = StdRng::seed_from_u64(5);
+        // An existing cluster already models the ab-repeat behaviour.
+        let existing = Cluster::from_seed(0, 0, db.sequence(0), db.alphabet().len(), params());
+        let pool: Vec<usize> = (1..db.len()).collect();
+        let seeds = select_seeds(&db, &bg, &[existing], &pool, 1, 10, params(), &mut rng);
+        assert_eq!(seeds.len(), 1);
+        assert!(
+            seeds[0] >= 3,
+            "seed {} should come from an unmodeled behaviour",
+            seeds[0]
+        );
+    }
+
+    #[test]
+    fn empty_pool_or_zero_k_yields_nothing() {
+        let (db, bg) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(select_seeds(&db, &bg, &[], &[], 3, 5, params(), &mut rng).is_empty());
+        let all: Vec<usize> = (0..db.len()).collect();
+        assert!(select_seeds(&db, &bg, &[], &all, 0, 5, params(), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_pool_is_clamped() {
+        let (db, bg) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = vec![0, 3];
+        let seeds = select_seeds(&db, &bg, &[], &pool, 10, 5, params(), &mut rng);
+        assert_eq!(seeds.len(), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! The paper's synthetic cluster generator.
+//!
+//! §6.2: *"we utilize a synthetic data set that consists of 100,000
+//! sequences … There are 100 distinct symbols and we embed 50 clusters.
+//! Sequences in a cluster are all generated according to the same
+//! probabilistic suffix tree."*
+//!
+//! Each planted cluster is a [`ClusterModel`]: a deterministic
+//! variable-memory conditional model in which the next-symbol distribution
+//! of any context is derived by hashing `(cluster key, last L symbols)`.
+//! That realizes "a distinct PST per cluster" without materializing
+//! exponential tables, scales to any alphabet, and keeps generation O(1)
+//! per symbol. Distributions are *peaked*: a few preferred successors
+//! carry most of the mass, so clusters have strong, learnable sequential
+//! signatures while remaining stochastic.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cluseq_seq::{Alphabet, Sequence, SequenceDatabase, Symbol};
+
+use crate::outliers::random_sequence;
+
+/// A planted cluster's generative model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// Alphabet size.
+    pub alphabet: usize,
+    /// Memory length: the next symbol depends on the last `order` symbols.
+    pub order: usize,
+    /// Number of preferred successors per context.
+    pub peaks: usize,
+    /// Total probability mass shared by the preferred successors
+    /// (the rest is spread uniformly); higher = more separable clusters.
+    pub peak_mass: f64,
+    /// The cluster's identity — different keys give (almost surely)
+    /// different conditional models.
+    pub key: u64,
+}
+
+impl ClusterModel {
+    /// Creates a model with the defaults used throughout the benches:
+    /// order 1 (a peaked digraph structure — each cluster has its own
+    /// characteristic symbol-transition graph), 3 preferred successors
+    /// carrying 85% of the mass.
+    ///
+    /// Order 1 keeps the low-order conditional distributions sharply
+    /// distinct between clusters, which is the short-memory signal CLUSEQ
+    /// (and the Markov-flavoured baselines) learn from; higher orders make
+    /// the marginals of short contexts nearly uniform and every method
+    /// needs far more data per cluster.
+    pub fn new(alphabet: usize, key: u64) -> Self {
+        Self {
+            alphabet,
+            order: 1,
+            peaks: 3,
+            peak_mass: 0.85,
+            key,
+        }
+    }
+
+    /// Deterministic hash of the cluster key and a context window.
+    fn context_hash(&self, context: &[Symbol]) -> u64 {
+        let start = context.len().saturating_sub(self.order);
+        let mut h = self.key ^ 0x9E37_79B9_7F4A_7C15;
+        for &s in &context[start..] {
+            h = h
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(s.0 as u64 + 1);
+            h ^= h >> 29;
+        }
+        h.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+    }
+
+    /// The preferred successors of `context` (deterministic per context).
+    fn preferred(&self, context: &[Symbol]) -> impl Iterator<Item = usize> + '_ {
+        let h = self.context_hash(context);
+        let n = self.alphabet as u64;
+        // Distinct peak slots from one hash: stride through the alphabet
+        // with a coprime-ish step so peaks don't collide for small n.
+        let first = h % n;
+        let step = 1 + (h >> 32) % (n - 1).max(1);
+        (0..self.peaks.min(self.alphabet)).map(move |i| ((first + i as u64 * step) % n) as usize)
+    }
+
+    /// `P(next | context)` under this model.
+    pub fn prob(&self, context: &[Symbol], next: Symbol) -> f64 {
+        let peaks: Vec<usize> = self.preferred(context).collect();
+        let k = peaks.len() as f64;
+        let uniform_share = (1.0 - self.peak_mass) / self.alphabet as f64;
+        if peaks.contains(&next.index()) {
+            self.peak_mass / k + uniform_share
+        } else {
+            uniform_share
+        }
+    }
+
+    /// Samples the next symbol.
+    pub fn sample_next(&self, context: &[Symbol], rng: &mut impl Rng) -> Symbol {
+        let r: f64 = rng.gen();
+        if r < self.peak_mass {
+            let peaks: Vec<usize> = self.preferred(context).collect();
+            let pick = (r / self.peak_mass * peaks.len() as f64) as usize;
+            Symbol(peaks[pick.min(peaks.len() - 1)] as u16)
+        } else {
+            Symbol(Uniform::new(0, self.alphabet as u16).sample(rng))
+        }
+    }
+
+    /// Samples a whole sequence of length `len`.
+    pub fn sample_sequence(&self, len: usize, rng: &mut impl Rng) -> Sequence {
+        let mut symbols: Vec<Symbol> = Vec::with_capacity(len);
+        for _ in 0..len {
+            let next = self.sample_next(&symbols, rng);
+            symbols.push(next);
+        }
+        Sequence::new(symbols)
+    }
+}
+
+/// Specification of a full synthetic database (the paper's §6.2–§6.4
+/// workloads).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Number of sequences (paper: 100 000; scale to taste).
+    pub sequences: usize,
+    /// Number of planted clusters (paper: 10–100).
+    pub clusters: usize,
+    /// Average sequence length (paper: 100–2000). Lengths are uniform in
+    /// `[0.5·avg, 1.5·avg]`.
+    pub avg_len: usize,
+    /// Alphabet size (paper: 100, varied in Figure 6(d)).
+    pub alphabet: usize,
+    /// Fraction of sequences replaced by memoryless noise (paper: 5–10%).
+    pub outlier_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        Self {
+            sequences: 1000,
+            clusters: 10,
+            avg_len: 200,
+            alphabet: 100,
+            outlier_fraction: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// Generates the database. Sequence `i`'s label is its planted cluster
+    /// (`None` for injected outliers). Cluster sizes are balanced.
+    pub fn generate(&self) -> SequenceDatabase {
+        assert!(self.clusters >= 1, "need at least one planted cluster");
+        assert!(self.alphabet >= 2, "need at least two symbols");
+        assert!(
+            (0.0..1.0).contains(&self.outlier_fraction),
+            "outlier fraction must be in [0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let models: Vec<ClusterModel> = (0..self.clusters)
+            .map(|k| ClusterModel::new(self.alphabet, self.seed.wrapping_add(k as u64 * 0x51ED)))
+            .collect();
+
+        let mut db = SequenceDatabase::new(Alphabet::synthetic(self.alphabet));
+        let len_dist = Uniform::new_inclusive(self.avg_len / 2, self.avg_len * 3 / 2);
+        let n_outliers = (self.sequences as f64 * self.outlier_fraction) as usize;
+        let n_clustered = self.sequences - n_outliers;
+
+        for i in 0..n_clustered {
+            let cluster = i % self.clusters;
+            let len = len_dist.sample(&mut rng).max(1);
+            let seq = models[cluster].sample_sequence(len, &mut rng);
+            db.push_labeled(seq, Some(cluster as u32));
+        }
+        for _ in 0..n_outliers {
+            let len = len_dist.sample(&mut rng).max(1);
+            db.push_labeled(random_sequence(self.alphabet, len, &mut rng), None);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_probabilities_normalize() {
+        let m = ClusterModel::new(7, 99);
+        let ctx = [Symbol(1), Symbol(3), Symbol(5)];
+        let total: f64 = (0..7).map(|s| m.prob(&ctx, Symbol(s))).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_is_deterministic_per_context() {
+        let m = ClusterModel::new(10, 7);
+        let ctx = [Symbol(2), Symbol(4)];
+        assert_eq!(m.prob(&ctx, Symbol(3)), m.prob(&ctx, Symbol(3)));
+    }
+
+    #[test]
+    fn different_keys_give_different_models() {
+        let a = ClusterModel::new(20, 1);
+        let b = ClusterModel::new(20, 2);
+        let ctx = [Symbol(0), Symbol(1), Symbol(2)];
+        // At least one successor probability must differ.
+        let differs = (0..20).any(|s| (a.prob(&ctx, Symbol(s)) - b.prob(&ctx, Symbol(s))).abs() > 1e-9);
+        assert!(differs);
+    }
+
+    #[test]
+    fn only_last_order_symbols_matter() {
+        let m = ClusterModel {
+            order: 3,
+            ..ClusterModel::new(10, 5)
+        };
+        let short = [Symbol(7), Symbol(8), Symbol(9)];
+        let long = [Symbol(1), Symbol(2), Symbol(7), Symbol(8), Symbol(9)];
+        for s in 0..10 {
+            assert_eq!(m.prob(&short, Symbol(s)), m.prob(&long, Symbol(s)));
+        }
+    }
+
+    #[test]
+    fn sampling_follows_the_peaks() {
+        let m = ClusterModel::new(10, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ctx = [Symbol(4), Symbol(4), Symbol(4)];
+        let mut hits = 0;
+        const DRAWS: usize = 2000;
+        for _ in 0..DRAWS {
+            let s = m.sample_next(&ctx, &mut rng);
+            if m.prob(&ctx, s) > 0.1 {
+                hits += 1;
+            }
+        }
+        // ~90% of draws should land on preferred successors.
+        assert!(hits as f64 / DRAWS as f64 > 0.8, "hits = {hits}");
+    }
+
+    #[test]
+    fn generate_produces_the_requested_shape() {
+        let spec = SyntheticSpec {
+            sequences: 100,
+            clusters: 4,
+            avg_len: 50,
+            alphabet: 12,
+            outlier_fraction: 0.1,
+            seed: 7,
+        };
+        let db = spec.generate();
+        assert_eq!(db.len(), 100);
+        assert_eq!(db.alphabet().len(), 12);
+        assert_eq!(db.class_count(), 4);
+        let outliers = db.labels().iter().filter(|l| l.is_none()).count();
+        assert_eq!(outliers, 10);
+        let avg = db.avg_len();
+        assert!((30.0..75.0).contains(&avg), "avg len {avg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::default();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.sequence(i), b.sequence(i));
+        }
+    }
+
+    #[test]
+    fn clusters_are_statistically_distinct() {
+        // Sequences from the same model should share far more trigrams
+        // than sequences from different models.
+        let spec = SyntheticSpec {
+            sequences: 20,
+            clusters: 2,
+            avg_len: 400,
+            alphabet: 20,
+            outlier_fraction: 0.0,
+            seed: 3,
+        };
+        let db = spec.generate();
+        let trigrams = |i: usize| -> std::collections::HashSet<Vec<u16>> {
+            db.sequence(i)
+                .symbols()
+                .windows(3)
+                .map(|w| w.iter().map(|s| s.0).collect())
+                .collect()
+        };
+        // ids alternate cluster: 0, 1, 0, 1, ...
+        let same = trigrams(0).intersection(&trigrams(2)).count();
+        let cross = trigrams(0).intersection(&trigrams(1)).count();
+        assert!(
+            same > cross * 2,
+            "same-cluster trigram overlap {same} should dwarf cross {cross}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic workload generators for the CLUSEQ reproduction.
+//!
+//! The paper evaluates on data we cannot redistribute or re-scrape
+//! (SWISS-PROT protein families; sentences scraped from news sites in
+//! 2002), plus synthetic databases whose generator is described only as
+//! *"sequences in a cluster are all generated according to the same
+//! probabilistic suffix tree"*. This crate rebuilds all three kinds of
+//! workload from scratch:
+//!
+//! * [`cluster_gen`] — the paper's synthetic generator: each planted
+//!   cluster is a distinct variable-memory conditional model; sequences
+//!   are sampled from their cluster's model (drives Figures 4–6,
+//!   Tables 5–6);
+//! * [`markov`] — explicit order-k Markov chains (tests and ablations);
+//! * [`protein`] — a SWISS-PROT stand-in: motif-bearing families over the
+//!   20-letter amino-acid alphabet (drives Tables 2–3);
+//! * [`language`] — a stand-in for the English / romanized-Chinese /
+//!   romanized-Japanese sentence corpora (drives Table 4);
+//! * [`outliers`] — noise-sequence injection (outlier-robustness study).
+//!
+//! Every generator is deterministic given its seed.
+
+pub mod cluster_gen;
+pub mod language;
+pub mod markov;
+pub mod outliers;
+pub mod protein;
+pub mod weblog;
+
+pub use cluster_gen::{ClusterModel, SyntheticSpec};
+pub use language::{Language, LanguageSpec};
+pub use markov::MarkovChain;
+pub use outliers::inject_outliers;
+pub use protein::{ProteinFamilySpec, FAMILY_NAMES};
+pub use weblog::{Profile, WeblogSpec};

@@ -1,0 +1,174 @@
+//! Explicit order-k Markov chains with stored transition tables.
+//!
+//! Unlike [`crate::cluster_gen::ClusterModel`] (which derives distributions
+//! by hashing and never materializes them), a [`MarkovChain`] stores its
+//! table explicitly — handy for tests that need to know the exact
+//! generating distribution, and for ablation workloads with controlled
+//! divergence between clusters.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use cluseq_seq::{Sequence, Symbol};
+
+/// An order-k Markov chain over a dense alphabet.
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    alphabet: usize,
+    order: usize,
+    /// context window → next-symbol distribution (must sum to 1). Missing
+    /// contexts fall back to the uniform distribution.
+    table: HashMap<Vec<Symbol>, Vec<f64>>,
+}
+
+impl MarkovChain {
+    /// Creates a chain with no transitions (everything uniform).
+    pub fn new(alphabet: usize, order: usize) -> Self {
+        assert!(alphabet >= 1);
+        Self {
+            alphabet,
+            order,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Sets the next-symbol distribution of one context window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context length exceeds the order, the distribution
+    /// size mismatches the alphabet, or it does not sum to ~1.
+    pub fn set(&mut self, context: &[Symbol], dist: Vec<f64>) -> &mut Self {
+        assert!(context.len() <= self.order, "context longer than order");
+        assert_eq!(dist.len(), self.alphabet, "distribution size mismatch");
+        let sum: f64 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "distribution sums to {sum}");
+        assert!(dist.iter().all(|&p| p >= 0.0));
+        self.table.insert(context.to_vec(), dist);
+        self
+    }
+
+    /// Convenience: a deterministic transition `context → next`.
+    pub fn set_deterministic(&mut self, context: &[Symbol], next: Symbol) -> &mut Self {
+        let mut dist = vec![0.0; self.alphabet];
+        dist[next.index()] = 1.0;
+        self.set(context, dist)
+    }
+
+    /// The distribution used for `context` (exact window of up to `order`
+    /// trailing symbols; falls back to shorter windows, then uniform).
+    pub fn distribution(&self, context: &[Symbol]) -> Vec<f64> {
+        let start = context.len().saturating_sub(self.order);
+        let window = &context[start..];
+        // Longest stored suffix of the window.
+        for w in (0..=window.len()).rev() {
+            if let Some(d) = self.table.get(&window[window.len() - w..]) {
+                return d.clone();
+            }
+        }
+        vec![1.0 / self.alphabet as f64; self.alphabet]
+    }
+
+    /// `P(next | context)`.
+    pub fn prob(&self, context: &[Symbol], next: Symbol) -> f64 {
+        self.distribution(context)[next.index()]
+    }
+
+    /// Samples one symbol.
+    pub fn sample_next(&self, context: &[Symbol], rng: &mut impl Rng) -> Symbol {
+        let dist = self.distribution(context);
+        let mut r: f64 = rng.gen();
+        for (i, &p) in dist.iter().enumerate() {
+            if r < p {
+                return Symbol(i as u16);
+            }
+            r -= p;
+        }
+        Symbol((self.alphabet - 1) as u16)
+    }
+
+    /// Samples a sequence of length `len`.
+    pub fn sample_sequence(&self, len: usize, rng: &mut impl Rng) -> Sequence {
+        let mut out: Vec<Symbol> = Vec::with_capacity(len);
+        for _ in 0..len {
+            let next = self.sample_next(&out, rng);
+            out.push(next);
+        }
+        Sequence::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sym(i: u16) -> Symbol {
+        Symbol(i)
+    }
+
+    #[test]
+    fn unset_contexts_are_uniform() {
+        let chain = MarkovChain::new(4, 2);
+        let d = chain.distribution(&[sym(0)]);
+        assert!(d.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn set_distribution_is_returned_exactly() {
+        let mut chain = MarkovChain::new(2, 1);
+        chain.set(&[sym(0)], vec![0.3, 0.7]);
+        assert_eq!(chain.prob(&[sym(0)], sym(1)), 0.7);
+        assert_eq!(chain.prob(&[sym(1)], sym(1)), 0.5, "unset stays uniform");
+    }
+
+    #[test]
+    fn longest_suffix_wins() {
+        let mut chain = MarkovChain::new(2, 2);
+        chain.set(&[sym(1)], vec![0.9, 0.1]);
+        chain.set(&[sym(0), sym(1)], vec![0.1, 0.9]);
+        // Context "...0 1": the order-2 entry applies.
+        assert_eq!(chain.prob(&[sym(0), sym(1)], sym(1)), 0.9);
+        // Context "...1 1": only the order-1 entry matches.
+        assert_eq!(chain.prob(&[sym(1), sym(1)], sym(1)), 0.1);
+    }
+
+    #[test]
+    fn only_trailing_window_is_considered() {
+        let mut chain = MarkovChain::new(2, 1);
+        chain.set(&[sym(1)], vec![1.0, 0.0]);
+        let long_ctx = [sym(0), sym(0), sym(0), sym(1)];
+        assert_eq!(chain.prob(&long_ctx, sym(0)), 1.0);
+    }
+
+    #[test]
+    fn deterministic_chain_generates_its_cycle() {
+        let mut chain = MarkovChain::new(2, 1);
+        chain.set_deterministic(&[sym(0)], sym(1));
+        chain.set_deterministic(&[sym(1)], sym(0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq = chain.sample_sequence(20, &mut rng);
+        for w in seq.symbols().windows(2) {
+            assert_ne!(w[0], w[1], "strict alternation");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        let mut chain = MarkovChain::new(2, 0);
+        chain.set(&[], vec![0.8, 0.2]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let seq = chain.sample_sequence(5000, &mut rng);
+        let zeros = seq.iter().filter(|s| s.index() == 0).count();
+        let frac = zeros as f64 / 5000.0;
+        assert!((frac - 0.8).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn set_rejects_unnormalized_distributions() {
+        MarkovChain::new(2, 1).set(&[sym(0)], vec![0.5, 0.1]);
+    }
+}

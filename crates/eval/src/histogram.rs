@@ -1,0 +1,182 @@
+//! Fixed-bucket histograms.
+//!
+//! The CLUSEQ threshold-adjustment step (§4.6) builds a histogram of all
+//! sequence–cluster similarities and looks for the "valley" where the curve
+//! makes its sharpest turn. The valley detection itself lives in the core
+//! crate (it is algorithm logic); the bucket bookkeeping lives here so the
+//! experiment harness can reuse it for reporting distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with `n` equal-width buckets over `[lo, hi)`.
+///
+/// Values outside the range are clamped into the first/last bucket — the
+/// similarity distribution has a long right tail and the paper's valley
+/// detection only cares about the shape near the bulk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// The bucket index a value falls into (clamped).
+    pub fn bucket_of(&self, value: f64) -> usize {
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        let i = (frac * self.counts.len() as f64).floor();
+        (i.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: f64) {
+        let i = self.bucket_of(value);
+        self.counts[i] += 1;
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The median value of bucket `i` — the paper's `xᵢ` for the regression
+    /// fit.
+    pub fn bucket_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Renders the histogram as text-art bars, `width` characters at the
+    /// tallest bucket — the CLI's similarity-distribution diagnostic.
+    pub fn render_ascii(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as usize * width) / max as usize;
+            let _ = writeln!(
+                out,
+                "{:>10.3} | {:<width$} {c}",
+                self.bucket_center(i),
+                "#".repeat(bar),
+                width = width
+            );
+        }
+        out
+    }
+
+    /// `(xᵢ, yᵢ)` points for all buckets.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bucket_center(i), c as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_their_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(5.5);
+        h.add(9.9);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(42.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn boundary_value_goes_to_last_bucket() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(1.0);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn bucket_centers_are_medians() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bucket_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bucket_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_pair_centers_with_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.1);
+        h.add(0.2);
+        h.add(1.5);
+        let pts = h.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], (0.5, 2.0));
+        assert_eq!(pts[1], (1.5, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn ascii_rendering_scales_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..10 {
+            h.add(0.5);
+        }
+        h.add(1.5);
+        let art = h.render_ascii(20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].matches('#').count() == 20, "{art}");
+        assert!(lines[1].matches('#').count() == 2, "{art}");
+        assert!(lines[0].ends_with("10"));
+    }
+
+    #[test]
+    fn ascii_rendering_of_empty_histogram_has_no_bars() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        let art = h.render_ascii(10);
+        assert!(!art.contains('#'));
+        assert_eq!(art.lines().count(), 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! The Hungarian (Kuhn–Munkres) assignment algorithm, maximization form.
+//!
+//! Used to match discovered clusters to ground-truth classes so that the
+//! reported accuracy is the best achievable one-to-one relabeling — the
+//! standard methodology behind "percentage of correctly labeled" numbers
+//! like the paper's Table 2.
+//!
+//! Implementation: the O(n³) potentials formulation (Jonker–Volgenant
+//! style) on a square padded cost matrix.
+
+// The potentials method walks index-parallel arrays (mins/links/visited);
+// indexed loops mirror the standard presentation.
+#[allow(clippy::needless_range_loop)]
+/// Solves the maximum-weight one-to-one assignment.
+///
+/// `weights[r][c]` is the benefit of assigning row `r` to column `c`.
+/// Rows and columns need not be equal in number; the matrix is implicitly
+/// padded with zero-benefit cells. Returns, for each row, the matched
+/// column (`None` when the row is matched to a padding column, which can
+/// only happen when there are more rows than columns).
+///
+/// # Panics
+///
+/// Panics if `weights` is ragged or any weight is not finite.
+pub fn hungarian_max(weights: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let rows = weights.len();
+    if rows == 0 {
+        return Vec::new();
+    }
+    let cols = weights[0].len();
+    assert!(
+        weights.iter().all(|r| r.len() == cols),
+        "weight matrix must be rectangular"
+    );
+    assert!(
+        weights.iter().flatten().all(|w| w.is_finite()),
+        "weights must be finite"
+    );
+    if cols == 0 {
+        return vec![None; rows];
+    }
+
+    // Convert maximization to minimization on a square matrix of side n.
+    let n = rows.max(cols);
+    let max_w = weights
+        .iter()
+        .flatten()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        .max(0.0);
+    let cost = |r: usize, c: usize| -> f64 {
+        if r < rows && c < cols {
+            max_w - weights[r][c]
+        } else {
+            max_w // padding: zero benefit
+        }
+    };
+
+    // Potentials method, 1-indexed internally (index 0 is a sentinel).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut match_col = vec![0usize; n + 1]; // column -> row (0 = free)
+
+    for r in 1..=n {
+        // Find an augmenting path for row r via Dijkstra on reduced costs.
+        let mut links = vec![0usize; n + 1];
+        let mut mins = vec![inf; n + 1];
+        let mut visited = vec![false; n + 1];
+        let mut col = 0usize; // virtual starting column
+        match_col[0] = r;
+        loop {
+            visited[col] = true;
+            let row = match_col[col];
+            let mut delta = inf;
+            let mut next_col = 0;
+            for c in 1..=n {
+                if visited[c] {
+                    continue;
+                }
+                let reduced = cost(row - 1, c - 1) - u[row] - v[c];
+                if reduced < mins[c] {
+                    mins[c] = reduced;
+                    links[c] = col;
+                }
+                if mins[c] < delta {
+                    delta = mins[c];
+                    next_col = c;
+                }
+            }
+            for c in 0..=n {
+                if visited[c] {
+                    u[match_col[c]] += delta;
+                    v[c] -= delta;
+                } else {
+                    mins[c] -= delta;
+                }
+            }
+            col = next_col;
+            if match_col[col] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        while col != 0 {
+            let prev = links[col];
+            match_col[col] = match_col[prev];
+            col = prev;
+        }
+    }
+
+    let mut result = vec![None; rows];
+    for c in 1..=n {
+        let r = match_col[c];
+        if r >= 1 && r - 1 < rows && c - 1 < cols {
+            result[r - 1] = Some(c - 1);
+        }
+    }
+    result
+}
+
+/// Total benefit of an assignment under `weights` (padding cells score 0).
+pub fn assignment_value(weights: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(r, c)| c.map(|c| weights[r][c]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive max assignment over all row→column injections.
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        let rows = weights.len();
+        let cols = if rows == 0 { 0 } else { weights[0].len() };
+        fn rec(weights: &[Vec<f64>], r: usize, used: &mut Vec<bool>) -> f64 {
+            if r == weights.len() {
+                return 0.0;
+            }
+            // Option: leave this row unassigned (padding).
+            let mut best = rec(weights, r + 1, used);
+            for c in 0..used.len() {
+                if !used[c] {
+                    used[c] = true;
+                    best = best.max(weights[r][c] + rec(weights, r + 1, used));
+                    used[c] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; cols];
+        rec(weights, 0, &mut used)
+    }
+
+    #[test]
+    fn identity_matrix_matches_diagonal() {
+        let w = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let a = hungarian_max(&w);
+        assert_eq!(a, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(assignment_value(&w, &a), 3.0);
+    }
+
+    #[test]
+    fn picks_off_diagonal_when_better() {
+        let w = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
+        let a = hungarian_max(&w);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+        assert_eq!(assignment_value(&w, &a), 20.0);
+    }
+
+    #[test]
+    fn rectangular_more_rows_than_cols() {
+        let w = vec![vec![5.0], vec![9.0], vec![2.0]];
+        let a = hungarian_max(&w);
+        // Only one column; the best row gets it.
+        assert_eq!(a[1], Some(0));
+        assert_eq!(a.iter().filter(|c| c.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn rectangular_more_cols_than_rows() {
+        let w = vec![vec![1.0, 3.0, 2.0]];
+        assert_eq!(hungarian_max(&w), vec![Some(1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(hungarian_max(&[]).is_empty());
+        assert_eq!(hungarian_max(&[vec![], vec![]]), vec![None, None]);
+    }
+
+    #[test]
+    fn ties_still_produce_a_valid_perfect_matching() {
+        let w = vec![vec![1.0; 4]; 4];
+        let a = hungarian_max(&w);
+        let mut cols: Vec<_> = a.iter().map(|c| c.unwrap()).collect();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_matrices() {
+        let cases: Vec<Vec<Vec<f64>>> = vec![
+            vec![vec![7.0, 5.0, 11.0], vec![5.0, 4.0, 1.0], vec![9.0, 3.0, 2.0]],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]],
+            vec![vec![2.5, 2.5], vec![2.5, 2.5]],
+        ];
+        for w in cases {
+            let a = hungarian_max(&w);
+            let got = assignment_value(&w, &a);
+            let want = brute_force(&w);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "matrix {w:?}: got {got}, brute force {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_injective() {
+        let w = vec![
+            vec![3.0, 1.0, 4.0, 1.0],
+            vec![5.0, 9.0, 2.0, 6.0],
+            vec![5.0, 3.0, 5.0, 8.0],
+            vec![9.0, 7.0, 9.0, 3.0],
+        ];
+        let a = hungarian_max(&w);
+        let mut cols: Vec<_> = a.iter().filter_map(|&c| c).collect();
+        let before = cols.len();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), before, "no column assigned twice");
+        assert_eq!(before, 4);
+    }
+}

@@ -1,0 +1,25 @@
+//! Evaluation substrate for the CLUSEQ workspace.
+//!
+//! The paper evaluates clusterings against known partitions (protein
+//! families, languages, planted synthetic clusters) with per-class
+//! **precision** and **recall** and an overall **percentage of correctly
+//! labeled** sequences (Table 2). Computing those numbers requires matching
+//! discovered clusters to ground-truth classes; this crate provides both a
+//! greedy matcher and an optimal assignment via a from-scratch
+//! [Hungarian algorithm](hungarian::hungarian_max).
+//!
+//! Also here: the similarity [histogram](histogram::Histogram) machinery
+//! shared by the threshold-adjustment experiments, and simple wall-clock
+//! helpers for the response-time tables.
+
+pub mod confusion;
+pub mod histogram;
+pub mod hungarian;
+pub mod metrics;
+pub mod timer;
+
+pub use confusion::{ClassMetrics, Confusion, MatchStrategy};
+pub use histogram::Histogram;
+pub use hungarian::hungarian_max;
+pub use metrics::{adjusted_rand_index, normalized_mutual_information, purity};
+pub use timer::Stopwatch;

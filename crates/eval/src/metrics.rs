@@ -1,0 +1,221 @@
+//! Partition-quality metrics beyond matched precision/recall.
+//!
+//! These operate on hard assignments (`Option<usize>` per sequence: its
+//! primary cluster or none) and are used by the experiment harness as
+//! secondary quality signals.
+
+/// Cluster purity: each cluster votes for its majority class; purity is the
+/// fraction of clustered sequences that agree with their cluster's vote.
+/// Unclustered sequences are excluded. Returns 1.0 when nothing is
+/// clustered.
+pub fn purity(labels: &[Option<u32>], assignment: &[Option<usize>]) -> f64 {
+    assert_eq!(labels.len(), assignment.len());
+    let k = assignment.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut per_cluster: Vec<std::collections::HashMap<u32, usize>> = vec![Default::default(); k];
+    let mut clustered = 0usize;
+    for (l, a) in labels.iter().zip(assignment) {
+        if let (Some(l), Some(a)) = (l, a) {
+            *per_cluster[*a].entry(*l).or_insert(0) += 1;
+            clustered += 1;
+        }
+    }
+    if clustered == 0 {
+        return 1.0;
+    }
+    let majority: usize = per_cluster
+        .iter()
+        .map(|m| m.values().copied().max().unwrap_or(0))
+        .sum();
+    majority as f64 / clustered as f64
+}
+
+/// Adjusted Rand index between the ground-truth partition and a hard
+/// assignment. Sequences that are unlabeled or unassigned are excluded.
+/// Returns 1.0 for identical partitions, ~0.0 for random ones; may be
+/// negative for adversarial ones.
+pub fn adjusted_rand_index(labels: &[Option<u32>], assignment: &[Option<usize>]) -> f64 {
+    assert_eq!(labels.len(), assignment.len());
+    let pairs: Vec<(u32, usize)> = labels
+        .iter()
+        .zip(assignment)
+        .filter_map(|(l, a)| Some(((*l)?, (*a)?)))
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return 1.0;
+    }
+
+    let mut contingency: std::collections::HashMap<(u32, usize), u64> = Default::default();
+    let mut row_sums: std::collections::HashMap<u32, u64> = Default::default();
+    let mut col_sums: std::collections::HashMap<usize, u64> = Default::default();
+    for &(l, a) in &pairs {
+        *contingency.entry((l, a)).or_insert(0) += 1;
+        *row_sums.entry(l).or_insert(0) += 1;
+        *col_sums.entry(a).or_insert(0) += 1;
+    }
+
+    fn choose2(x: u64) -> f64 {
+        (x as f64) * (x as f64 - 1.0) / 2.0
+    }
+
+    let sum_ij: f64 = contingency.values().map(|&c| choose2(c)).sum();
+    let sum_i: f64 = row_sums.values().map(|&c| choose2(c)).sum();
+    let sum_j: f64 = col_sums.values().map(|&c| choose2(c)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_i * sum_j / total;
+    let max_index = 0.5 * (sum_i + sum_j);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information between ground truth and a hard
+/// assignment, in `[0, 1]` (arithmetic-mean normalization). Sequences
+/// that are unlabeled or unassigned are excluded; degenerate cases (either
+/// partition trivial) return 1.0 when the partitions agree trivially and
+/// 0.0 otherwise.
+pub fn normalized_mutual_information(
+    labels: &[Option<u32>],
+    assignment: &[Option<usize>],
+) -> f64 {
+    assert_eq!(labels.len(), assignment.len());
+    let pairs: Vec<(u32, usize)> = labels
+        .iter()
+        .zip(assignment)
+        .filter_map(|(l, a)| Some(((*l)?, (*a)?)))
+        .collect();
+    let n = pairs.len() as f64;
+    if pairs.is_empty() {
+        return 1.0;
+    }
+
+    let mut joint: std::collections::HashMap<(u32, usize), f64> = Default::default();
+    let mut px: std::collections::HashMap<u32, f64> = Default::default();
+    let mut py: std::collections::HashMap<usize, f64> = Default::default();
+    for &(l, a) in &pairs {
+        *joint.entry((l, a)).or_insert(0.0) += 1.0;
+        *px.entry(l).or_insert(0.0) += 1.0;
+        *py.entry(a).or_insert(0.0) += 1.0;
+    }
+    let entropy = |m: &std::collections::HashMap<u32, f64>| -> f64 {
+        m.values().map(|&c| -(c / n) * (c / n).ln()).sum()
+    };
+    let hx = entropy(&px);
+    let hy: f64 = py.values().map(|&c| -(c / n) * (c / n).ln()).sum();
+    let mut mi = 0.0;
+    for (&(l, a), &c) in &joint {
+        let pxy = c / n;
+        mi += pxy * (pxy / (px[&l] / n) / (py[&a] / n)).ln();
+    }
+    let denom = 0.5 * (hx + hy);
+    if denom < 1e-12 {
+        // Both partitions trivial: identical iff both single-block.
+        return if px.len() == py.len() { 1.0 } else { 0.0 };
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab(v: &[i64]) -> Vec<Option<u32>> {
+        v.iter()
+            .map(|&x| if x < 0 { None } else { Some(x as u32) })
+            .collect()
+    }
+
+    fn asg(v: &[i64]) -> Vec<Option<usize>> {
+        v.iter()
+            .map(|&x| if x < 0 { None } else { Some(x as usize) })
+            .collect()
+    }
+
+    #[test]
+    fn purity_of_perfect_clustering_is_one() {
+        let p = purity(&lab(&[0, 0, 1, 1]), &asg(&[0, 0, 1, 1]));
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn purity_of_mixed_cluster() {
+        // One cluster holding 3 of class 0 and 1 of class 1.
+        let p = purity(&lab(&[0, 0, 0, 1]), &asg(&[0, 0, 0, 0]));
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_ignores_unclustered() {
+        let p = purity(&lab(&[0, 0, 1]), &asg(&[0, 0, -1]));
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn purity_with_nothing_clustered_is_one() {
+        assert_eq!(purity(&lab(&[0, 1]), &asg(&[-1, -1])), 1.0);
+    }
+
+    #[test]
+    fn ari_identical_partitions() {
+        let a = adjusted_rand_index(&lab(&[0, 0, 1, 1, 2]), &asg(&[4, 4, 7, 7, 1]));
+        assert!((a - 1.0).abs() < 1e-12, "label names don't matter");
+    }
+
+    #[test]
+    fn ari_orthogonal_partitions_is_low() {
+        // All sequences in one cluster vs two true classes.
+        let a = adjusted_rand_index(&lab(&[0, 0, 1, 1]), &asg(&[0, 0, 0, 0]));
+        assert!(a.abs() < 1e-9 || a == 1.0 || a < 0.5);
+    }
+
+    #[test]
+    fn ari_partial_agreement_is_intermediate() {
+        let a = adjusted_rand_index(&lab(&[0, 0, 0, 1, 1, 1]), &asg(&[0, 0, 1, 1, 1, 1]));
+        assert!(a > 0.0 && a < 1.0);
+    }
+
+    #[test]
+    fn ari_on_tiny_input_is_one() {
+        assert_eq!(adjusted_rand_index(&lab(&[0]), &asg(&[0])), 1.0);
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn nmi_of_identical_partitions_is_one() {
+        let v = normalized_mutual_information(
+            &lab(&[0, 0, 1, 1, 2, 2]),
+            &asg(&[5, 5, 3, 3, 0, 0]),
+        );
+        assert!((v - 1.0).abs() < 1e-9, "nmi = {v}");
+    }
+
+    #[test]
+    fn nmi_of_single_block_assignment_is_zero() {
+        let v = normalized_mutual_information(&lab(&[0, 0, 1, 1]), &asg(&[0, 0, 0, 0]));
+        assert!(v < 1e-9, "nmi = {v}");
+    }
+
+    #[test]
+    fn nmi_partial_agreement_is_intermediate() {
+        let v = normalized_mutual_information(
+            &lab(&[0, 0, 0, 1, 1, 1]),
+            &asg(&[0, 0, 1, 1, 1, 1]),
+        );
+        assert!(v > 0.05 && v < 0.95, "nmi = {v}");
+    }
+
+    #[test]
+    fn nmi_ignores_unlabeled_and_unassigned() {
+        let v = normalized_mutual_information(
+            &lab(&[0, 0, 1, 1, -1]),
+            &asg(&[2, 2, 7, 7, 1]),
+        );
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_of_empty_input_is_one() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+    }
+}

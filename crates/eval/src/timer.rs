@@ -1,0 +1,85 @@
+//! Wall-clock measurement helpers for the response-time tables.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch accumulating named laps.
+///
+/// The experiment binaries use it to report per-phase response times in the
+/// same layout as the paper's tables.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+    laps: Vec<(String, Duration)>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Records the time since the previous lap (or start) under `name`.
+    pub fn lap(&mut self, name: &str) -> Duration {
+        let now = Instant::now();
+        let d = now - self.start;
+        let prev: Duration = self.laps.iter().map(|(_, d)| *d).sum();
+        let lap = d - prev;
+        self.laps.push((name.to_owned(), lap));
+        lap
+    }
+
+    /// Total elapsed time since the stopwatch started.
+    pub fn total(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The recorded laps.
+    pub fn laps(&self) -> &[(String, Duration)] {
+        &self.laps
+    }
+
+    /// Times a closure, returning its result and the elapsed wall-clock.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now();
+        let out = f();
+        (out, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate() {
+        let mut sw = Stopwatch::new();
+        sw.lap("a");
+        sw.lap("b");
+        assert_eq!(sw.laps().len(), 2);
+        assert_eq!(sw.laps()[0].0, "a");
+    }
+
+    #[test]
+    fn time_returns_result_and_duration() {
+        let (v, d) = Stopwatch::time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn total_is_at_least_sum_of_laps() {
+        let mut sw = Stopwatch::new();
+        sw.lap("x");
+        let lap_sum: Duration = sw.laps().iter().map(|(_, d)| *d).sum();
+        assert!(sw.total() >= lap_sum);
+    }
+}

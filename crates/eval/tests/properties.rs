@@ -1,0 +1,114 @@
+//! Property-based tests for the evaluation substrate.
+
+use proptest::prelude::*;
+
+use cluseq_eval::hungarian::{assignment_value, hungarian_max};
+use cluseq_eval::{adjusted_rand_index, purity, Confusion, MatchStrategy};
+
+/// Exhaustive optimal assignment for small matrices.
+fn brute_force(weights: &[Vec<f64>]) -> f64 {
+    fn rec(weights: &[Vec<f64>], r: usize, used: &mut Vec<bool>) -> f64 {
+        if r == weights.len() {
+            return 0.0;
+        }
+        let mut best = rec(weights, r + 1, used);
+        for c in 0..used.len() {
+            if !used[c] {
+                used[c] = true;
+                best = best.max(weights[r][c] + rec(weights, r + 1, used));
+                used[c] = false;
+            }
+        }
+        best
+    }
+    let cols = weights.first().map_or(0, |r| r.len());
+    rec(weights, 0, &mut vec![false; cols])
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..100.0, cols), rows)
+}
+
+proptest! {
+    /// Hungarian equals the exhaustive optimum on every random matrix.
+    #[test]
+    fn hungarian_is_optimal(w in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let a = hungarian_max(&w);
+        let got = assignment_value(&w, &a);
+        let want = brute_force(&w);
+        prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want} on {w:?}");
+    }
+
+    /// The assignment is always injective and in-range.
+    #[test]
+    fn hungarian_assignment_is_injective(w in matrix(5, 3)) {
+        let a = hungarian_max(&w);
+        let mut cols: Vec<usize> = a.iter().filter_map(|&c| c).collect();
+        for &c in &cols {
+            prop_assert!(c < 3);
+        }
+        let before = cols.len();
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), before);
+    }
+
+    /// Accuracy of a perfect clustering is 1 for any label arrangement.
+    #[test]
+    fn perfect_clustering_is_always_accurate(labels in prop::collection::vec(0u32..5, 1..40)) {
+        let opt: Vec<Option<u32>> = labels.iter().copied().map(Some).collect();
+        let k = labels.iter().copied().max().unwrap() as usize + 1;
+        let mut clusters = vec![Vec::new(); k];
+        for (i, &l) in labels.iter().enumerate() {
+            clusters[l as usize].push(i);
+        }
+        let c = Confusion::new(&opt, &clusters, MatchStrategy::Hungarian);
+        prop_assert!((c.accuracy() - 1.0).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(
+            &opt,
+            &labels.iter().map(|&l| Some(l as usize)).collect::<Vec<_>>()
+        ) - 1.0).abs() < 1e-12);
+    }
+
+    /// Accuracy, purity, and ARI are within their documented ranges on
+    /// arbitrary clusterings.
+    #[test]
+    fn metrics_stay_in_range(
+        labels in prop::collection::vec(prop::option::of(0u32..4), 2..30),
+        assignment in prop::collection::vec(prop::option::of(0usize..4), 2..30),
+    ) {
+        let n = labels.len().min(assignment.len());
+        let labels = &labels[..n];
+        let assignment = &assignment[..n];
+        let mut clusters = vec![Vec::new(); 4];
+        for (i, a) in assignment.iter().enumerate() {
+            if let Some(a) = a {
+                clusters[*a].push(i);
+            }
+        }
+        let c = Confusion::new(labels, &clusters, MatchStrategy::Hungarian);
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        let p = purity(labels, assignment);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let ari = adjusted_rand_index(labels, assignment);
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&ari));
+    }
+
+    /// Greedy matching never beats Hungarian in total matched overlap
+    /// (hence never in accuracy of labeled-only data without outliers).
+    #[test]
+    fn hungarian_at_least_as_good_as_greedy(
+        labels in prop::collection::vec(0u32..4, 4..30),
+        cuts in prop::collection::vec(0usize..4, 4..30),
+    ) {
+        let n = labels.len().min(cuts.len());
+        let opt: Vec<Option<u32>> = labels[..n].iter().copied().map(Some).collect();
+        let mut clusters = vec![Vec::new(); 4];
+        for (i, &c) in cuts[..n].iter().enumerate() {
+            clusters[c].push(i);
+        }
+        let h = Confusion::new(&opt, &clusters, MatchStrategy::Hungarian);
+        let g = Confusion::new(&opt, &clusters, MatchStrategy::Greedy);
+        prop_assert!(h.accuracy() + 1e-12 >= g.accuracy());
+    }
+}

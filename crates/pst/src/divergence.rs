@@ -1,0 +1,201 @@
+//! Distribution-distance measures between cluster models — the similarity
+//! approach the paper *rejects* (§2), implemented so the rejection is
+//! reproducible.
+//!
+//! The paper considers comparing two conditional probability distributions
+//! directly, via the **variational distance**
+//! `V(P₁,P₂) = Σ_σ |P₁(σ) − P₂(σ)|` or the symmetrized
+//! **Kullback–Leibler divergence**
+//! `J(P₁,P₂) = Σ_σ (P₁(σ) − P₂(σ))·ln(P₁(σ)/P₂(σ))`, where σ ranges over
+//! all segments up to length L — and dismisses both because `|Ω| =
+//! O(|ℑ|^L)`: *"the computational complexity of calculating the difference
+//! between two probability distributions is exponential with respect to
+//! the length of the segment."* The `divergence` Criterion bench plots
+//! exactly that blow-up against the prediction-based similarity the paper
+//! adopts instead.
+//!
+//! Probabilities here are chain products of (smoothed) conditional
+//! predictions, `P(σ) = Π P(sᵢ | s₁…sᵢ₋₁)`, so for each length k the
+//! segment probabilities form a distribution over ℑᵏ.
+
+use cluseq_seq::Symbol;
+
+use crate::model::ConditionalModel;
+
+/// Accumulator visiting every segment up to `max_len` with both models'
+/// chain probabilities, via DFS over the segment tree.
+fn walk_segments<M1: ConditionalModel, M2: ConditionalModel>(
+    a: &M1,
+    b: &M2,
+    max_len: usize,
+    visit: &mut impl FnMut(f64, f64),
+) {
+    assert_eq!(
+        a.alphabet_size(),
+        b.alphabet_size(),
+        "models must share an alphabet"
+    );
+    let n = a.alphabet_size();
+    // Explicit stack: (prefix, prob_a, prob_b).
+    let mut prefix: Vec<Symbol> = Vec::with_capacity(max_len);
+    #[allow(clippy::too_many_arguments)] // recursive DFS helper
+    fn rec<M1: ConditionalModel, M2: ConditionalModel>(
+        a: &M1,
+        b: &M2,
+        n: usize,
+        max_len: usize,
+        prefix: &mut Vec<Symbol>,
+        pa: f64,
+        pb: f64,
+        visit: &mut impl FnMut(f64, f64),
+    ) {
+        if prefix.len() == max_len {
+            return;
+        }
+        for s in 0..n as u16 {
+            let sym = Symbol(s);
+            let qa = pa * a.predict(prefix, sym);
+            let qb = pb * b.predict(prefix, sym);
+            visit(qa, qb);
+            prefix.push(sym);
+            rec(a, b, n, max_len, prefix, qa, qb, visit);
+            prefix.pop();
+        }
+    }
+    rec(a, b, n, max_len, &mut prefix, 1.0, 1.0, visit);
+}
+
+/// The variational distance `Σ_σ |P₁(σ) − P₂(σ)|` over all segments of
+/// length 1..=`max_len`. Cost: O(|ℑ|^max_len) — exponential by
+/// construction; keep `max_len` small.
+pub fn variational_distance<M1: ConditionalModel, M2: ConditionalModel>(
+    a: &M1,
+    b: &M2,
+    max_len: usize,
+) -> f64 {
+    let mut total = 0.0;
+    walk_segments(a, b, max_len, &mut |pa, pb| total += (pa - pb).abs());
+    total
+}
+
+/// The symmetrized Kullback–Leibler divergence
+/// `Σ_σ (P₁(σ) − P₂(σ))·ln(P₁(σ)/P₂(σ))` over segments of length
+/// 1..=`max_len`. Segments with a zero probability under either model are
+/// skipped (with smoothing enabled — the default — none are zero). Same
+/// exponential cost as [`variational_distance`].
+pub fn kl_divergence<M1: ConditionalModel, M2: ConditionalModel>(
+    a: &M1,
+    b: &M2,
+    max_len: usize,
+) -> f64 {
+    let mut total = 0.0;
+    walk_segments(a, b, max_len, &mut |pa, pb| {
+        if pa > 0.0 && pb > 0.0 {
+            total += (pa - pb) * (pa / pb).ln();
+        }
+    });
+    total
+}
+
+/// Number of segments the distance computations enumerate for a given
+/// alphabet size and maximum length: `Σ_{k=1..L} n^k`. Useful for the
+/// benches' cost reporting.
+pub fn segment_space(alphabet: usize, max_len: usize) -> u128 {
+    let mut total: u128 = 0;
+    let mut pow: u128 = 1;
+    for _ in 0..max_len {
+        pow = pow.saturating_mul(alphabet as u128);
+        total = total.saturating_add(pow);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PstParams;
+    use crate::tree::Pst;
+    use cluseq_seq::{Alphabet, Sequence};
+
+    fn build(text: &str) -> Pst {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let mut pst = Pst::new(
+            3,
+            PstParams::default()
+                .with_significance(1)
+                .with_smoothing(0.01),
+        );
+        pst.add_sequence(&Sequence::parse_str(&alphabet, text).unwrap());
+        pst
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let pst = build("abcabcab");
+        assert!(variational_distance(&pst, &pst, 3).abs() < 1e-12);
+        assert!(kl_divergence(&pst, &pst, 3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_models_have_positive_distance() {
+        let a = build("abababab");
+        let b = build("cccccccc");
+        assert!(variational_distance(&a, &b, 3) > 0.5);
+        assert!(kl_divergence(&a, &b, 3) > 0.5);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let a = build("abcabc");
+        let b = build("bcabca");
+        let v1 = variational_distance(&a, &b, 3);
+        let v2 = variational_distance(&b, &a, 3);
+        assert!((v1 - v2).abs() < 1e-12);
+        let j1 = kl_divergence(&a, &b, 3);
+        let j2 = kl_divergence(&b, &a, 3);
+        assert!((j1 - j2).abs() < 1e-9, "J is symmetrized by definition");
+    }
+
+    #[test]
+    fn per_length_probabilities_sum_to_one() {
+        // Sanity of the chain-product enumeration: for each fixed length
+        // the segment probabilities form a distribution, so V ≤ 2·max_len.
+        let a = build("abcabcabc");
+        let b = build("aabbcc");
+        let v = variational_distance(&a, &b, 4);
+        assert!(v <= 2.0 * 4.0 + 1e-9, "V = {v}");
+        // And a direct check for length 1.
+        let mut total_a = 0.0;
+        for s in 0..3u16 {
+            total_a += crate::model::ConditionalModel::predict(&a, &[], cluseq_seq::Symbol(s));
+        }
+        assert!((total_a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similar_models_are_closer_than_dissimilar_ones() {
+        let a1 = build("ababababab");
+        let a2 = build("babababa");
+        let c = build("cccccccc");
+        assert!(
+            variational_distance(&a1, &a2, 3) < variational_distance(&a1, &c, 3),
+            "two ab-repeat models must be closer than ab vs c"
+        );
+    }
+
+    #[test]
+    fn segment_space_grows_exponentially() {
+        assert_eq!(segment_space(2, 3), 2 + 4 + 8);
+        assert_eq!(segment_space(10, 2), 110);
+        // The paper's point: 100 symbols at L = 8 is astronomically many.
+        assert!(segment_space(100, 8) > 10u128.pow(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "share an alphabet")]
+    fn mismatched_alphabets_are_rejected() {
+        let a = build("abc");
+        let b = Pst::new(5, PstParams::default().with_significance(1));
+        variational_distance(&a, &b, 2);
+    }
+}

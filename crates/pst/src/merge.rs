@@ -1,0 +1,193 @@
+//! Merging one probabilistic suffix tree into another.
+//!
+//! Supports the merge-based consolidation variant (see
+//! `cluseq_core::consolidate`): instead of *dismissing* a covered cluster
+//! as the paper does, its statistical evidence can be folded into the
+//! covering cluster's model. The merge adds the other tree's occurrence
+//! counts and successor counts node-by-node (creating missing contexts up
+//! to this tree's own depth cap), which is exactly equivalent to having
+//! inserted the other tree's training segments here — except for contexts
+//! beyond either tree's cap, which neither tree stored to begin with.
+//!
+//! Right-extension links are *not* reconstructed for newly created merge
+//! nodes (their right-parents may be anywhere in the tree); the merged
+//! tree therefore drops to the exact fallback scanning path, like a pruned
+//! tree does.
+
+use cluseq_seq::Symbol;
+
+use crate::node::NodeId;
+use crate::tree::Pst;
+
+impl Pst {
+    /// Folds `other`'s counts into `self`.
+    ///
+    /// Contexts deeper than `self`'s `max_depth` are truncated (their
+    /// counts land on the deepest stored suffix — consistent with how
+    /// insertion would have treated them). The significance threshold,
+    /// smoothing, and memory budget of `self` stay in force; the memory
+    /// budget is enforced after the merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ in size.
+    pub fn merge(&mut self, other: &Pst) {
+        assert_eq!(
+            self.alphabet_size(),
+            other.alphabet_size(),
+            "cannot merge trees over different alphabets"
+        );
+        // Root bookkeeping first.
+        let other_root = other.node(NodeId::ROOT);
+        let root_next: Vec<(Symbol, u32)> = other_root.next.clone();
+        let other_count = other_root.count;
+        self.bump_root(other_count, &root_next);
+
+        // DFS through `other`, mirroring each context path in `self`.
+        // Stack holds (other_node, self_node) pairs whose subtrees remain
+        // to be merged; `self_node` is the node for the same context.
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(NodeId::ROOT, NodeId::ROOT)];
+        while let Some((o_id, s_id)) = stack.pop() {
+            let children: Vec<(Symbol, NodeId)> = other.node(o_id).children.clone();
+            for (sym, o_child) in children {
+                let o_node = other.node(o_child);
+                if usize::from(o_node.depth) > self.params().max_depth {
+                    continue; // deeper than this tree stores
+                }
+                let s_child = self.ensure_child(s_id, sym);
+                self.bump_counts(s_child, o_node.count, &o_node.next);
+                stack.push((o_child, s_child));
+            }
+        }
+
+        // New nodes lack right links; scanning falls back to exact walks.
+        self.invalidate_right_links();
+        self.enforce_budget();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PstParams;
+    use cluseq_seq::{Alphabet, Sequence};
+
+    fn params() -> PstParams {
+        PstParams::default()
+            .with_significance(1)
+            .without_smoothing()
+            .with_max_depth(5)
+    }
+
+    fn build(texts: &[&str]) -> Pst {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let mut pst = Pst::new(3, params());
+        for t in texts {
+            pst.add_sequence(&Sequence::parse_str(&alphabet, t).unwrap());
+        }
+        pst
+    }
+
+    /// The gold standard: merging B into A equals building one tree from
+    /// both training sets.
+    #[test]
+    fn merge_equals_joint_construction() {
+        let mut a = build(&["abcabc", "aabb"]);
+        let b = build(&["cbacba", "ccc"]);
+        let joint = build(&["abcabc", "aabb", "cbacba", "ccc"]);
+        a.merge(&b);
+
+        assert_eq!(a.total_count(), joint.total_count());
+        assert_eq!(a.node_count(), joint.node_count());
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let probe = Sequence::parse_str(&alphabet, "abcba").unwrap();
+        let symbols: Vec<Symbol> = probe.iter().collect();
+        for i in 0..symbols.len() {
+            for s in 0..3u16 {
+                assert_eq!(
+                    a.raw_predict(&symbols[..i], Symbol(s)),
+                    joint.raw_predict(&symbols[..i], Symbol(s)),
+                    "context {:?} next {s}",
+                    &symbols[..i]
+                );
+            }
+        }
+        a.check_invariants();
+    }
+
+    #[test]
+    fn merge_into_empty_copies_the_other() {
+        let mut empty = build(&[]);
+        let b = build(&["abcabc"]);
+        empty.merge(&b);
+        assert_eq!(empty.total_count(), b.total_count());
+        assert_eq!(empty.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn merge_of_empty_is_a_noop() {
+        let mut a = build(&["abc"]);
+        let before_count = a.total_count();
+        let before_nodes = a.node_count();
+        a.merge(&build(&[]));
+        assert_eq!(a.total_count(), before_count);
+        assert_eq!(a.node_count(), before_nodes);
+    }
+
+    #[test]
+    fn deeper_contexts_are_truncated_to_this_trees_cap() {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let mut shallow = Pst::new(3, params().with_max_depth(2));
+        shallow.add_sequence(&Sequence::parse_str(&alphabet, "abc").unwrap());
+        let deep = build(&["abcabcabc"]); // depth 5
+        shallow.merge(&deep);
+        shallow.check_invariants();
+        for id in shallow.live_node_ids() {
+            assert!(shallow.node(id).depth <= 2);
+        }
+        // Depth-1/2 counts still merged fully.
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        assert_eq!(
+            shallow.segment_count(&[a, b]),
+            1 + 3,
+            "ab occurs once in shallow's data, three times in deep's"
+        );
+    }
+
+    #[test]
+    fn merge_disables_the_fast_scanner_but_stays_exact() {
+        let mut a = build(&["abcabc"]);
+        let b = build(&["cbacba"]);
+        a.merge(&b);
+        assert!(!a.right_links_intact());
+        // Scanner fallback still matches the root walk.
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let probe = Sequence::parse_str(&alphabet, "bacbac").unwrap();
+        let symbols: Vec<Symbol> = probe.iter().collect();
+        let mut scanner = a.scanner();
+        for i in 0..symbols.len() {
+            assert_eq!(scanner.prediction_node(), a.prediction_node(&symbols[..i]));
+            scanner.advance(symbols[i]);
+        }
+    }
+
+    #[test]
+    fn merge_respects_the_memory_budget() {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let mut a = Pst::new(3, params().with_memory_limit(4096));
+        a.add_sequence(&Sequence::parse_str(&alphabet, "abcabc").unwrap());
+        let b = build(&["cabcabacbacbabcacbabcbacbcaacbbca", "aabbccaabbcc"]);
+        a.merge(&b);
+        assert!(a.bytes() <= 4096, "budget enforced after merge");
+        a.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "different alphabets")]
+    fn mismatched_alphabets_are_rejected() {
+        let mut a = build(&["abc"]);
+        let b = Pst::new(7, PstParams::default().with_significance(1));
+        a.merge(&b);
+    }
+}

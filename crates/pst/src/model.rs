@@ -1,0 +1,81 @@
+//! The [`ConditionalModel`] abstraction.
+//!
+//! CLUSEQ's similarity dynamic program only needs *one* operation from a
+//! cluster model: the conditional probability of the next symbol given a
+//! preceding context. Abstracting it as a trait lets the similarity code be
+//! tested against hand-built probability tables (e.g. the paper's Table 1
+//! worked example) and lets alternative models plug into the same driver.
+
+use cluseq_seq::Symbol;
+
+/// A conditional probability model `P(next | context)` over a fixed
+/// alphabet.
+pub trait ConditionalModel {
+    /// Number of distinct symbols the model covers.
+    fn alphabet_size(&self) -> usize;
+
+    /// The (possibly smoothed) conditional probability of observing `next`
+    /// immediately after `context`. Implementations are free to truncate
+    /// `context` (the PST uses its longest significant suffix).
+    fn predict(&self, context: &[Symbol], next: Symbol) -> f64;
+
+    /// Probability of generating `segment` symbol-by-symbol under this
+    /// model: `∏ᵢ P(segment[i] | segment[..i])`.
+    fn segment_prob(&self, segment: &[Symbol]) -> f64 {
+        let mut p = 1.0;
+        for i in 0..segment.len() {
+            p *= self.predict(&segment[..i], segment[i]);
+        }
+        p
+    }
+}
+
+impl<M: ConditionalModel + ?Sized> ConditionalModel for &M {
+    fn alphabet_size(&self) -> usize {
+        (**self).alphabet_size()
+    }
+
+    fn predict(&self, context: &[Symbol], next: Symbol) -> f64 {
+        (**self).predict(context, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A memoryless mock: P(next | ·) = table[next].
+    struct Memoryless(Vec<f64>);
+
+    impl ConditionalModel for Memoryless {
+        fn alphabet_size(&self) -> usize {
+            self.0.len()
+        }
+        fn predict(&self, _context: &[Symbol], next: Symbol) -> f64 {
+            self.0[next.index()]
+        }
+    }
+
+    #[test]
+    fn segment_prob_multiplies_conditionals() {
+        let m = Memoryless(vec![0.25, 0.75]);
+        let seg = [Symbol(1), Symbol(1), Symbol(0)];
+        assert!((m.segment_prob(&seg) - 0.75 * 0.75 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_prob_of_empty_segment_is_one() {
+        let m = Memoryless(vec![1.0]);
+        assert_eq!(m.segment_prob(&[]), 1.0);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let m = Memoryless(vec![0.5, 0.5]);
+        let r: &dyn ConditionalModel = &m;
+        assert_eq!(r.alphabet_size(), 2);
+        let by_ref: &Memoryless = &m;
+        assert_eq!(by_ref.predict(&[], Symbol(0)), 0.5);
+        assert_eq!(r.predict(&[], Symbol(0)), 0.5);
+    }
+}

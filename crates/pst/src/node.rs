@@ -1,0 +1,265 @@
+//! Arena-backed PST nodes.
+
+use serde::{Deserialize, Serialize};
+
+use cluseq_seq::Symbol;
+
+/// Index of a node within a [`crate::Pst`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root node is always slot 0 and is never pruned.
+    pub const ROOT: NodeId = NodeId(0);
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One PST node: the context (node label) is implicit in the path from the
+/// root; the node stores its occurrence count and next-symbol counts.
+///
+/// Both the child table and the next-symbol counts are sparse sorted vectors
+/// — at paper scale (alphabets of 20–200 symbols, millions of nodes) a dense
+/// per-node vector would dominate memory, and most nodes see only a handful
+/// of distinct successors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// `C(σ′)`: occurrences of this node's label in the cluster. For the
+    /// root this is the cluster size (sum of inserted lengths).
+    pub count: u64,
+    /// Children, sorted by edge symbol. The child under symbol `x`
+    /// represents the context `x · σ′` (one symbol further into the past).
+    pub children: Vec<(Symbol, NodeId)>,
+    /// Next-symbol counts, sorted by symbol: `next[s]` is the number of
+    /// occurrences of `σ′` immediately followed by `s`.
+    pub next: Vec<(Symbol, u32)>,
+    /// Auxiliary *right-extension* links, sorted by symbol: the entry for
+    /// `s` points to the node whose label is `σ′·s` (this context with `s`
+    /// appended on the recent side). These are the "auxiliary links" the
+    /// paper alludes to for the O(l) similarity scan: they let the
+    /// prediction node be carried incrementally across positions instead
+    /// of re-walking from the root. Note this is *not* the child table —
+    /// children prepend an older symbol.
+    pub right: Vec<(Symbol, NodeId)>,
+    /// The inverse of a `right` entry: `(w, s)` such that this node's
+    /// label is `label(w)·s`. Used to unlink on pruning.
+    pub right_parent: Option<(NodeId, Symbol)>,
+    /// Context length (root = 0).
+    pub depth: u16,
+    /// Parent node (root points to itself).
+    pub parent: NodeId,
+    /// Edge symbol from the parent (unspecified for the root).
+    pub edge: Symbol,
+    /// Dead nodes are recycled through the free list.
+    pub live: bool,
+}
+
+impl Node {
+    pub(crate) fn new(parent: NodeId, edge: Symbol, depth: u16) -> Self {
+        Self {
+            count: 0,
+            children: Vec::new(),
+            next: Vec::new(),
+            right: Vec::new(),
+            right_parent: None,
+            depth,
+            parent,
+            edge,
+            live: true,
+        }
+    }
+
+    /// Looks up the child reached by `symbol`.
+    #[inline]
+    pub fn child(&self, symbol: Symbol) -> Option<NodeId> {
+        match self.children.binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => Some(self.children[i].1),
+            Err(_) => None,
+        }
+    }
+
+    pub(crate) fn insert_child(&mut self, symbol: Symbol, id: NodeId) {
+        match self.children.binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => self.children[i].1 = id,
+            Err(i) => self.children.insert(i, (symbol, id)),
+        }
+    }
+
+    pub(crate) fn remove_child(&mut self, symbol: Symbol) {
+        if let Ok(i) = self.children.binary_search_by_key(&symbol, |&(s, _)| s) {
+            self.children.remove(i);
+        }
+    }
+
+    /// The raw next-symbol count for `symbol`.
+    #[inline]
+    pub fn next_count(&self, symbol: Symbol) -> u32 {
+        match self.next.binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => self.next[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Increments the next-symbol count; returns `true` when a new entry was
+    /// created (so the tree can keep its byte estimate current).
+    pub(crate) fn bump_next(&mut self, symbol: Symbol) -> bool {
+        match self.next.binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => {
+                self.next[i].1 += 1;
+                false
+            }
+            Err(i) => {
+                self.next.insert(i, (symbol, 1));
+                true
+            }
+        }
+    }
+
+    /// Total count of observed successors (occurrences of the label that
+    /// are followed by *some* symbol; occurrences at the very end of a
+    /// segment have no successor and are excluded).
+    #[inline]
+    pub fn next_total(&self) -> u64 {
+        self.next.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// The empirical conditional probability `P(symbol | label)`, normalized
+    /// over observed successors. Returns `None` when the node has no
+    /// observed successors at all.
+    pub fn raw_prob(&self, symbol: Symbol) -> Option<f64> {
+        let total = self.next_total();
+        if total == 0 {
+            None
+        } else {
+            Some(self.next_count(symbol) as f64 / total as f64)
+        }
+    }
+
+    /// The right-extension of this context by `symbol`, if linked.
+    #[inline]
+    pub fn right_child(&self, symbol: Symbol) -> Option<NodeId> {
+        match self.right.binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => Some(self.right[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts a right-extension link; returns whether it was new.
+    pub(crate) fn insert_right(&mut self, symbol: Symbol, id: NodeId) -> bool {
+        match self.right.binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => {
+                debug_assert_eq!(self.right[i].1, id, "conflicting right link");
+                false
+            }
+            Err(i) => {
+                self.right.insert(i, (symbol, id));
+                true
+            }
+        }
+    }
+
+    pub(crate) fn remove_right(&mut self, symbol: Symbol) {
+        if let Ok(i) = self.right.binary_search_by_key(&symbol, |&(s, _)| s) {
+            self.right.remove(i);
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Estimated footprint of this node, in bytes, used for the paper's
+    /// §5.1 per-tree memory budget. Computed from table *lengths* (not
+    /// capacities) so the tree can maintain the estimate incrementally and
+    /// exactly; actual heap usage is within a small constant factor.
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of::<Node>()
+            + self.children.len() * std::mem::size_of::<(Symbol, NodeId)>()
+            + self.next.len() * std::mem::size_of::<(Symbol, u32)>()
+            + self.right.len() * std::mem::size_of::<(Symbol, NodeId)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u16) -> Symbol {
+        Symbol(i)
+    }
+
+    #[test]
+    fn child_table_stays_sorted() {
+        let mut n = Node::new(NodeId::ROOT, sym(0), 1);
+        n.insert_child(sym(5), NodeId(1));
+        n.insert_child(sym(2), NodeId(2));
+        n.insert_child(sym(9), NodeId(3));
+        let syms: Vec<u16> = n.children.iter().map(|&(s, _)| s.0).collect();
+        assert_eq!(syms, vec![2, 5, 9]);
+        assert_eq!(n.child(sym(5)), Some(NodeId(1)));
+        assert_eq!(n.child(sym(7)), None);
+    }
+
+    #[test]
+    fn insert_child_overwrites_existing_symbol() {
+        let mut n = Node::new(NodeId::ROOT, sym(0), 1);
+        n.insert_child(sym(1), NodeId(1));
+        n.insert_child(sym(1), NodeId(2));
+        assert_eq!(n.children.len(), 1);
+        assert_eq!(n.child(sym(1)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn remove_child_removes() {
+        let mut n = Node::new(NodeId::ROOT, sym(0), 1);
+        n.insert_child(sym(1), NodeId(1));
+        n.remove_child(sym(1));
+        assert!(n.is_leaf());
+        // removing a missing child is a no-op
+        n.remove_child(sym(2));
+    }
+
+    #[test]
+    fn next_counts_accumulate() {
+        let mut n = Node::new(NodeId::ROOT, sym(0), 0);
+        n.bump_next(sym(1));
+        n.bump_next(sym(1));
+        n.bump_next(sym(0));
+        assert_eq!(n.next_count(sym(1)), 2);
+        assert_eq!(n.next_count(sym(0)), 1);
+        assert_eq!(n.next_count(sym(3)), 0);
+        assert_eq!(n.next_total(), 3);
+    }
+
+    #[test]
+    fn raw_prob_normalizes_over_successors() {
+        let mut n = Node::new(NodeId::ROOT, sym(0), 0);
+        n.bump_next(sym(0));
+        n.bump_next(sym(1));
+        n.bump_next(sym(1));
+        n.bump_next(sym(1));
+        assert!((n.raw_prob(sym(1)).unwrap() - 0.75).abs() < 1e-12);
+        assert!((n.raw_prob(sym(0)).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(n.raw_prob(sym(2)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn raw_prob_is_none_without_successors() {
+        let n = Node::new(NodeId::ROOT, sym(0), 0);
+        assert!(n.raw_prob(sym(0)).is_none());
+    }
+
+    #[test]
+    fn bytes_grows_with_tables() {
+        let empty = Node::new(NodeId::ROOT, sym(0), 0).bytes();
+        let mut n = Node::new(NodeId::ROOT, sym(0), 0);
+        for i in 0..16 {
+            n.bump_next(sym(i));
+        }
+        assert!(n.bytes() > empty);
+    }
+}

@@ -1,0 +1,172 @@
+//! PST construction parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Node-pruning strategy used when a tree exceeds its memory budget
+/// (paper §5.1).
+///
+/// All strategies remove only *leaves* (repeatedly, so whole subtrees can
+/// disappear) — removing an interior node would orphan the longer contexts
+/// beneath it and break the longest-significant-suffix walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PruneStrategy {
+    /// *"Prune node with smallest count first."* Nodes with small counts
+    /// have the least chance of ever becoming significant.
+    SmallestCount,
+    /// *"Prune node with longest label first."* Short-memory property:
+    /// losing a long context costs the least prediction accuracy.
+    LongestLabel,
+    /// *"Prune node with expected probability vector first."* A leaf whose
+    /// next-symbol distribution is close (in variational distance) to its
+    /// parent's loses almost nothing when the parent substitutes for it.
+    ExpectedVector,
+    /// The paper's composite policy: insignificant leaves go first (by
+    /// smallest count, deepest-first tiebreak); once only significant nodes
+    /// remain, fall back to [`PruneStrategy::ExpectedVector`].
+    Composite,
+}
+
+/// Parameters governing a [`crate::Pst`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PstParams {
+    /// Maximum context length `L` retained in the tree (the paper's
+    /// short-memory bound: the CPD of the next symbol is approximated by
+    /// observing no more than the last `L` symbols).
+    pub max_depth: usize,
+    /// Significance threshold `c`: a node (segment) is significant when its
+    /// count is ≥ `c`. The paper's rule of thumb is `c ≥ 30`; small
+    /// examples and unit tests use smaller values.
+    pub significance: u64,
+    /// Byte budget for the tree, or `None` for unbounded. The paper's
+    /// experiments cap each tree at 5 MB.
+    pub memory_limit: Option<usize>,
+    /// Pruning strategy applied when the budget is exceeded.
+    pub prune_strategy: PruneStrategy,
+    /// Minimum adjusted probability `p_min` (paper §5.2). When `Some`, every
+    /// predicted probability is `(1 − n·p_min)·P + p_min` so no symbol is
+    /// ever impossible; `None` returns raw empirical probabilities.
+    pub smoothing: Option<f64>,
+    /// When pruning fires, shrink to this fraction of the budget so
+    /// insertion does not re-trigger pruning on every call (hysteresis).
+    pub prune_target_fraction: f64,
+}
+
+impl Default for PstParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            significance: 30,
+            memory_limit: None,
+            prune_strategy: PruneStrategy::Composite,
+            smoothing: Some(1e-4),
+            prune_target_fraction: 0.8,
+        }
+    }
+}
+
+impl PstParams {
+    /// Sets the maximum context length `L`.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the significance threshold `c`.
+    pub fn with_significance(mut self, c: u64) -> Self {
+        self.significance = c;
+        self
+    }
+
+    /// Sets the per-tree byte budget.
+    pub fn with_memory_limit(mut self, bytes: usize) -> Self {
+        self.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Removes the byte budget.
+    pub fn without_memory_limit(mut self) -> Self {
+        self.memory_limit = None;
+        self
+    }
+
+    /// Sets the pruning strategy.
+    pub fn with_prune_strategy(mut self, strategy: PruneStrategy) -> Self {
+        self.prune_strategy = strategy;
+        self
+    }
+
+    /// Sets the smoothing floor `p_min`.
+    pub fn with_smoothing(mut self, p_min: f64) -> Self {
+        assert!(p_min >= 0.0, "p_min must be non-negative");
+        self.smoothing = Some(p_min);
+        self
+    }
+
+    /// Disables smoothing (raw empirical probabilities).
+    pub fn without_smoothing(mut self) -> Self {
+        self.smoothing = None;
+        self
+    }
+
+    /// Validates the parameter combination for an alphabet of `n` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n·p_min > 1` (the adjustment would be ill-formed), if
+    /// `max_depth` is zero, or if the prune target fraction is outside
+    /// `(0, 1]`.
+    pub fn validate(&self, alphabet_size: usize) {
+        assert!(self.max_depth > 0, "max_depth must be at least 1");
+        assert!(
+            self.prune_target_fraction > 0.0 && self.prune_target_fraction <= 1.0,
+            "prune_target_fraction must be in (0, 1]"
+        );
+        if let Some(p_min) = self.smoothing {
+            assert!(
+                alphabet_size as f64 * p_min <= 1.0,
+                "n * p_min must be <= 1 (n = {alphabet_size}, p_min = {p_min})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_follow_the_paper() {
+        let p = PstParams::default();
+        assert_eq!(p.significance, 30); // the paper's rule of thumb
+        assert_eq!(p.prune_strategy, PruneStrategy::Composite);
+        assert!(p.smoothing.is_some());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let p = PstParams::default()
+            .with_max_depth(5)
+            .with_significance(2)
+            .with_memory_limit(1024)
+            .with_prune_strategy(PruneStrategy::LongestLabel)
+            .without_smoothing();
+        assert_eq!(p.max_depth, 5);
+        assert_eq!(p.significance, 2);
+        assert_eq!(p.memory_limit, Some(1024));
+        assert_eq!(p.prune_strategy, PruneStrategy::LongestLabel);
+        assert_eq!(p.smoothing, None);
+        p.validate(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "n * p_min")]
+    fn validate_rejects_oversized_smoothing() {
+        PstParams::default().with_smoothing(0.5).validate(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_depth")]
+    fn validate_rejects_zero_depth() {
+        PstParams::default().with_max_depth(0).validate(2);
+    }
+}

@@ -1,0 +1,325 @@
+//! Memory-budget enforcement (paper §5.1).
+//!
+//! When a tree outgrows its byte budget, leaves are pruned until the tree
+//! fits again. Only leaves are removed — pruning an interior node would
+//! orphan the longer contexts beneath it — so subtrees disappear
+//! leaf-by-leaf in priority order. The priority is given by the configured
+//! [`PruneStrategy`]:
+//!
+//! * **SmallestCount** — leaves with the smallest occurrence count go first
+//!   (they are least likely ever to become significant);
+//! * **LongestLabel** — the deepest leaves go first (short-memory: long
+//!   contexts contribute least);
+//! * **ExpectedVector** — leaves whose next-symbol distribution is closest
+//!   (variational distance) to their parent's go first (the parent
+//!   substitutes with the least error);
+//! * **Composite** — the paper's combined policy: insignificant leaves
+//!   first (smallest count, deepest tiebreak), then significant leaves by
+//!   expectedness.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::node::NodeId;
+use crate::params::PruneStrategy;
+use crate::tree::Pst;
+
+/// A heap key: lower sorts first (wrapped in `Reverse` for the max-heap).
+/// The `f64` component is compared with `total_cmp`.
+#[derive(Debug, PartialEq)]
+struct Priority(f64, u64, u64);
+
+impl Eq for Priority {}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then(self.1.cmp(&other.1))
+            .then(self.2.cmp(&other.2))
+    }
+}
+
+impl Pst {
+    /// Prunes leaves in strategy order until the byte estimate is at most
+    /// `target_bytes` (or only the root remains). Returns the number of
+    /// nodes removed.
+    pub fn prune_to(&mut self, target_bytes: usize) -> usize {
+        if self.bytes() <= target_bytes {
+            return 0;
+        }
+        let strategy = self.params().prune_strategy;
+
+        // Seed the heap with all current leaves; as leaves are removed,
+        // their parents may become leaves and are pushed in turn. Stale
+        // entries (nodes that died or grew children since being pushed) are
+        // skipped on pop — each node is pushed at most twice, so the heap
+        // stays linear in tree size.
+        let mut heap: BinaryHeap<Reverse<(Priority, NodeId)>> = self
+            .live_node_ids()
+            .filter(|&id| id != NodeId::ROOT && self.node(id).is_leaf())
+            .map(|id| Reverse((self.priority(strategy, id), id)))
+            .collect();
+
+        let mut removed = 0;
+        while self.bytes() > target_bytes {
+            let Some(Reverse((_, id))) = heap.pop() else {
+                break; // only the root left (or all leaves already pruned)
+            };
+            {
+                let n = self.raw_node(id);
+                if !n.live || !n.is_leaf() {
+                    continue; // stale entry
+                }
+            }
+            let parent = self.node(id).parent;
+            self.release_node(id);
+            removed += 1;
+            if parent != NodeId::ROOT && self.node(parent).is_leaf() {
+                heap.push(Reverse((self.priority(strategy, parent), parent)));
+            }
+        }
+        removed
+    }
+
+    fn priority(&self, strategy: PruneStrategy, id: NodeId) -> Priority {
+        let n = self.node(id);
+        match strategy {
+            // Smallest count first; among equals, deepest first.
+            PruneStrategy::SmallestCount => {
+                Priority(0.0, n.count, u64::MAX - u64::from(n.depth))
+            }
+            // Deepest first; among equals, smallest count first.
+            PruneStrategy::LongestLabel => {
+                Priority(0.0, u64::from(u16::MAX - n.depth), n.count)
+            }
+            // Most expected (closest to parent) first.
+            PruneStrategy::ExpectedVector => {
+                Priority(self.divergence_from_parent(id), n.count, 0)
+            }
+            // Insignificant nodes first (tier 0), by count then depth;
+            // significant nodes (tier 1) by expectedness.
+            PruneStrategy::Composite => {
+                if self.is_significant(id) {
+                    Priority(1.0 + self.divergence_from_parent(id), n.count, 0)
+                } else {
+                    // Map into [0, 1) by ordering on count, then depth.
+                    Priority(0.0, n.count, u64::MAX - u64::from(n.depth))
+                }
+            }
+        }
+    }
+
+    /// Variational distance `Σ_s |P(s|σ) − P(s|σ′)|` between a node's
+    /// next-symbol distribution and its parent's (σ′ = σ with the oldest
+    /// symbol dropped). A node with no observed successors carries no
+    /// predictive information and reports distance 0 (fully expected).
+    pub fn divergence_from_parent(&self, id: NodeId) -> f64 {
+        if id == NodeId::ROOT {
+            return 0.0;
+        }
+        let n = self.node(id);
+        let p = self.node(n.parent);
+        let n_total = n.next_total();
+        if n_total == 0 {
+            return 0.0;
+        }
+        let p_total = p.next_total();
+        let mut dist = 0.0;
+        let mut pi = 0usize;
+        let mut ni = 0usize;
+        while ni < n.next.len() || pi < p.next.len() {
+            let (n_sym, n_cnt) = n
+                .next
+                .get(ni)
+                .map_or((u16::MAX, 0), |&(s, c)| (s.0, c));
+            let (p_sym, p_cnt) = p
+                .next
+                .get(pi)
+                .map_or((u16::MAX, 0), |&(s, c)| (s.0, c));
+            let (np, pp) = match n_sym.cmp(&p_sym) {
+                std::cmp::Ordering::Less => {
+                    ni += 1;
+                    (n_cnt as f64 / n_total as f64, 0.0)
+                }
+                std::cmp::Ordering::Greater => {
+                    pi += 1;
+                    (0.0, p_cnt as f64 / p_total as f64)
+                }
+                std::cmp::Ordering::Equal => {
+                    ni += 1;
+                    pi += 1;
+                    (
+                        n_cnt as f64 / n_total as f64,
+                        p_cnt as f64 / p_total as f64,
+                    )
+                }
+            };
+            dist += (np - pp).abs();
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PstParams;
+    use cluseq_seq::{Alphabet, Sequence, Symbol};
+
+    fn build(text: &str, params: PstParams) -> (Alphabet, Pst) {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let seq = Sequence::parse_str(&alphabet, text).unwrap();
+        let mut pst = Pst::new(3, params);
+        pst.add_sequence(&seq);
+        (alphabet, pst)
+    }
+
+    fn base() -> PstParams {
+        PstParams::default()
+            .with_significance(1)
+            .without_smoothing()
+    }
+
+    #[test]
+    fn prune_to_respects_target() {
+        let (_, mut pst) = build("abcabcabcaabbcc", base());
+        let before = pst.node_count();
+        let target = pst.bytes() / 2;
+        let removed = pst.prune_to(target);
+        assert!(removed > 0);
+        assert!(pst.bytes() <= target);
+        assert_eq!(pst.node_count(), before - removed);
+    }
+
+    #[test]
+    fn prune_never_removes_the_root() {
+        let (_, mut pst) = build("abcabc", base());
+        pst.prune_to(0);
+        assert_eq!(pst.node_count(), 1);
+        assert!(!pst.is_empty(), "root counts survive pruning");
+    }
+
+    #[test]
+    fn pruned_tree_still_predicts_via_fallback() {
+        let (alphabet, mut pst) = build("ababababab", base());
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        pst.prune_to(pst.bytes() / 3);
+        // Whatever was pruned, prediction falls back to shorter contexts
+        // and stays a valid probability.
+        let p = pst.raw_predict(&[a, b, a], b);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.4, "the a->b structure survives in short contexts");
+    }
+
+    #[test]
+    fn longest_label_prunes_deepest_first() {
+        let (_, mut pst) = build(
+            "abcabcabc",
+            base().with_prune_strategy(PruneStrategy::LongestLabel),
+        );
+        let max_depth_before = pst
+            .live_node_ids()
+            .map(|id| pst.node(id).depth)
+            .max()
+            .unwrap();
+        // Remove just a little; only the deepest layer should shrink.
+        let target = pst.bytes() - pst.node(NodeId::ROOT).bytes();
+        pst.prune_to(target);
+        let max_depth_after = pst
+            .live_node_ids()
+            .map(|id| pst.node(id).depth)
+            .max()
+            .unwrap();
+        assert!(max_depth_after <= max_depth_before);
+        // All shallower nodes intact: counts at depth 1 unchanged.
+        assert_eq!(pst.segment_count(&[Symbol(0)]), 3);
+    }
+
+    #[test]
+    fn smallest_count_keeps_frequent_contexts() {
+        // "ab" dominates; one stray "c" creates rare contexts.
+        let (alphabet, mut pst) = build(
+            "ababababababababc",
+            base().with_prune_strategy(PruneStrategy::SmallestCount),
+        );
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        let c = alphabet.get("c").unwrap();
+        pst.prune_to(pst.bytes() * 2 / 3);
+        // The frequent "ab" context survives; the singleton "c" leaves died.
+        assert!(pst.segment_count(&[a, b]) > 0);
+        assert_eq!(pst.segment_count(&[b, c]), 0);
+    }
+
+    #[test]
+    fn expected_vector_prunes_redundant_leaves_first() {
+        // In "aaaa…", every deeper "a…a" context predicts exactly like its
+        // parent, so expectedness pruning should remove deep nodes and keep
+        // predictions unchanged.
+        let (alphabet, mut pst) = build(
+            "aaaaaaaaaaaa",
+            base().with_prune_strategy(PruneStrategy::ExpectedVector),
+        );
+        let a = alphabet.get("a").unwrap();
+        let before = pst.raw_predict(&[a, a, a], a);
+        pst.prune_to(pst.bytes() / 2);
+        let after = pst.raw_predict(&[a, a, a], a);
+        assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_from_parent_is_zero_for_identical_distributions() {
+        let (alphabet, pst) = build("abababab", base());
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        // Context "bab" predicts like "ab": both always continue with "a".
+        let deep = pst.prediction_node(&[b, a, b]);
+        assert!(pst.divergence_from_parent(deep) < 1e-12);
+    }
+
+    #[test]
+    fn divergence_from_parent_detects_differences() {
+        // After "ca" always comes b; after plain "a" it is mixed.
+        let (alphabet, pst) = build("aacabaacab", base());
+        let c = alphabet.get("c").unwrap();
+        let a = alphabet.get("a").unwrap();
+        let node = pst.prediction_node(&[c, a]);
+        assert_eq!(alphabet.render(&pst.label(node)), "ca");
+        assert!(pst.divergence_from_parent(node) > 0.1);
+    }
+
+    #[test]
+    fn memory_limit_triggers_automatic_pruning() {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let limit = 8 * 1024;
+        let mut pst = Pst::new(3, base().with_memory_limit(limit));
+        // Insert a long pseudo-random-ish sequence to force growth.
+        let text: String = (0..20_000)
+            .map(|i| match (i * 7 + i / 3) % 5 {
+                0 | 3 => 'a',
+                1 => 'b',
+                _ => 'c',
+            })
+            .collect();
+        pst.add_sequence(&Sequence::parse_str(&alphabet, &text).unwrap());
+        assert!(pst.bytes() <= limit, "budget enforced during insertion");
+        assert!(pst.node_count() > 1, "pruning keeps useful structure");
+    }
+
+    #[test]
+    fn priority_orders_by_float_then_keys() {
+        let a = Priority(0.0, 5, 0);
+        let b = Priority(0.0, 7, 0);
+        let c = Priority(1.0, 0, 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,190 @@
+//! Human-readable rendering of a probabilistic suffix tree.
+//!
+//! Produces the kind of picture the paper's Figure 1 shows: each node's
+//! label, its occurrence count, significance, and its next-symbol
+//! probability vector. Intended for debugging, the CLI `inspect`
+//! subcommand, and teaching.
+
+use std::fmt::Write as _;
+
+use cluseq_seq::Alphabet;
+
+use crate::node::NodeId;
+use crate::tree::Pst;
+
+/// Options for [`Pst::render`].
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    /// Only nodes with count ≥ this are shown (0 shows everything).
+    pub min_count: u64,
+    /// Depth cutoff (nodes deeper than this are elided).
+    pub max_depth: usize,
+    /// Cap on rendered nodes (the elision is reported).
+    pub max_nodes: usize,
+    /// Probability entries below this are not printed.
+    pub min_prob: f64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self {
+            min_count: 0,
+            max_depth: usize::MAX,
+            max_nodes: 200,
+            min_prob: 0.01,
+        }
+    }
+}
+
+impl Pst {
+    /// Renders the tree as indented text. Children are visited in symbol
+    /// order; each line shows the node label (via `alphabet`), count, a
+    /// `*` marker on significant nodes, and the leading next-symbol
+    /// probabilities.
+    pub fn render(&self, alphabet: &Alphabet, options: RenderOptions) -> String {
+        let mut out = String::new();
+        let root = self.node(NodeId::ROOT);
+        let _ = writeln!(
+            out,
+            "(root) count={} nodes={} bytes={}",
+            root.count,
+            self.node_count(),
+            self.bytes()
+        );
+        let mut rendered = 0usize;
+        let mut elided = 0usize;
+        self.render_children(
+            alphabet,
+            NodeId::ROOT,
+            1,
+            &options,
+            &mut out,
+            &mut rendered,
+            &mut elided,
+        );
+        if elided > 0 {
+            let _ = writeln!(out, "… {elided} more nodes elided");
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal recursive helper
+    fn render_children(
+        &self,
+        alphabet: &Alphabet,
+        id: NodeId,
+        depth: usize,
+        options: &RenderOptions,
+        out: &mut String,
+        rendered: &mut usize,
+        elided: &mut usize,
+    ) {
+        if depth > options.max_depth {
+            return;
+        }
+        for &(_, child) in &self.node(id).children {
+            let n = self.node(child);
+            if n.count < options.min_count {
+                continue;
+            }
+            if *rendered >= options.max_nodes {
+                *elided += 1;
+                continue;
+            }
+            *rendered += 1;
+            let label = alphabet.render(&self.label(child));
+            let marker = if self.is_significant(child) { "*" } else { " " };
+            let mut probs: Vec<String> = Vec::new();
+            let total = n.next_total();
+            if total > 0 {
+                let mut entries: Vec<_> = n.next.clone();
+                entries.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+                for (sym, c) in entries {
+                    let p = c as f64 / total as f64;
+                    if p >= options.min_prob {
+                        probs.push(format!("{}:{:.2}", alphabet.name(sym), p));
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{}{marker}{label:<12} count={:<6} next[{}]",
+                "  ".repeat(depth),
+                n.count,
+                probs.join(" ")
+            );
+            self.render_children(alphabet, child, depth + 1, options, out, rendered, elided);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PstParams;
+    use cluseq_seq::Sequence;
+
+    fn build(text: &str) -> (Alphabet, Pst) {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let mut pst = Pst::new(
+            2,
+            PstParams::default().with_significance(2).with_max_depth(4),
+        );
+        pst.add_sequence(&Sequence::parse_str(&alphabet, text).unwrap());
+        (alphabet, pst)
+    }
+
+    #[test]
+    fn render_shows_labels_counts_and_probabilities() {
+        let (alphabet, pst) = build("ababab");
+        let text = pst.render(&alphabet, RenderOptions::default());
+        assert!(text.contains("(root) count=6"));
+        assert!(text.contains("a "), "single-symbol contexts shown");
+        // The "a" context always continues with b.
+        assert!(text.contains("b:1.00"), "text:\n{text}");
+        // Significant nodes are starred.
+        assert!(text.contains("*a"), "text:\n{text}");
+    }
+
+    #[test]
+    fn min_count_filters_rare_nodes() {
+        let (alphabet, pst) = build("aaaaaaab");
+        let full = pst.render(&alphabet, RenderOptions::default());
+        let filtered = pst.render(
+            &alphabet,
+            RenderOptions {
+                min_count: 3,
+                ..Default::default()
+            },
+        );
+        assert!(filtered.len() < full.len());
+        assert!(filtered.contains("count=7") || filtered.contains("count=6"));
+    }
+
+    #[test]
+    fn max_nodes_elides_and_reports() {
+        let (alphabet, pst) = build("abababbaabab");
+        let text = pst.render(
+            &alphabet,
+            RenderOptions {
+                max_nodes: 3,
+                ..Default::default()
+            },
+        );
+        assert!(text.contains("more nodes elided"), "text:\n{text}");
+    }
+
+    #[test]
+    fn max_depth_limits_rendering() {
+        let (alphabet, pst) = build("ababab");
+        let text = pst.render(
+            &alphabet,
+            RenderOptions {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
+        // Depth-1 labels only: "a" and "b", no "ab"/"ba".
+        assert!(!text.contains("ab "), "text:\n{text}");
+    }
+}

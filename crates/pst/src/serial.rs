@@ -1,0 +1,394 @@
+//! Binary persistence for probabilistic suffix trees.
+//!
+//! A small, versioned, little-endian format written with std only (the
+//! workspace deliberately avoids serde *format* crates). Only live nodes
+//! are written; arena ids are remapped densely, so a loaded tree is also
+//! compacted. Right-extension links are serialized too, preserving the
+//! O(l) scanner fast path across a save/load cycle.
+//!
+//! Layout (version 1):
+//!
+//! ```text
+//! magic "CPST" | version u32 | alphabet u32 | params | node_count u32
+//! params: max_depth u32 | significance u64 | memory_limit u64 (MAX=none)
+//!       | prune_strategy u8 | smoothing f64 (NaN=none) | prune_target f64
+//!       | right_links_intact u8
+//! node:  count u64 | depth u16 | edge u16 | parent u32
+//!      | right_parent u32 (MAX=none) | right_parent_sym u16
+//!      | children (u16 len, then (sym u16, id u32)*)
+//!      | next     (u16 len, then (sym u16, cnt u32)*)
+//!      | right    (u16 len, then (sym u16, id u32)*)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use cluseq_seq::Symbol;
+
+use crate::node::{Node, NodeId};
+use crate::params::{PruneStrategy, PstParams};
+use crate::tree::Pst;
+
+const MAGIC: &[u8; 4] = b"CPST";
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding a serialized tree.
+#[derive(Debug)]
+pub enum SerialError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid content (message describes the field).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for SerialError {
+    fn from(e: io::Error) -> Self {
+        SerialError::Io(e)
+    }
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerialError::Io(e) => write!(f, "i/o error: {e}"),
+            SerialError::BadMagic => write!(f, "not a CPST file (bad magic)"),
+            SerialError::BadVersion(v) => write!(f, "unsupported CPST version {v}"),
+            SerialError::Corrupt(what) => write!(f, "corrupt CPST file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+// ---- primitive helpers -------------------------------------------------
+//
+// Public: the core crate's model persistence reuses the same framing.
+
+pub fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+pub fn write_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+pub fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+pub fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+pub fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+pub fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn write_sym_table<T, W: Write>(
+    w: &mut W,
+    table: &[(Symbol, T)],
+    mut write_val: impl FnMut(&mut W, &T) -> io::Result<()>,
+) -> io::Result<()> {
+    write_u16(w, table.len() as u16)?;
+    for (s, v) in table {
+        write_u16(w, s.0)?;
+        write_val(w, v)?;
+    }
+    Ok(())
+}
+
+impl Pst {
+    /// Serializes the tree to `w`.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        write_u32(w, self.alphabet_size() as u32)?;
+        let p = self.params();
+        write_u32(w, p.max_depth as u32)?;
+        write_u64(w, p.significance)?;
+        write_u64(w, p.memory_limit.map_or(u64::MAX, |m| m as u64))?;
+        write_u8(
+            w,
+            match p.prune_strategy {
+                PruneStrategy::SmallestCount => 0,
+                PruneStrategy::LongestLabel => 1,
+                PruneStrategy::ExpectedVector => 2,
+                PruneStrategy::Composite => 3,
+            },
+        )?;
+        write_f64(w, p.smoothing.unwrap_or(f64::NAN))?;
+        write_f64(w, p.prune_target_fraction)?;
+        write_u8(w, u8::from(self.right_links_intact()))?;
+
+        // Dense remap of live node ids, root first.
+        let live: Vec<NodeId> = self.live_node_ids().collect();
+        debug_assert_eq!(live.first(), Some(&NodeId::ROOT));
+        let mut remap = vec![u32::MAX; live.iter().map(|id| id.index()).max().unwrap_or(0) + 1];
+        for (new, id) in live.iter().enumerate() {
+            remap[id.index()] = new as u32;
+        }
+        write_u32(w, live.len() as u32)?;
+        for &id in &live {
+            let n = self.node(id);
+            write_u64(w, n.count)?;
+            write_u16(w, n.depth)?;
+            write_u16(w, n.edge.0)?;
+            write_u32(w, remap[n.parent.index()])?;
+            match n.right_parent {
+                Some((rp, sym)) => {
+                    write_u32(w, remap[rp.index()])?;
+                    write_u16(w, sym.0)?;
+                }
+                None => {
+                    write_u32(w, u32::MAX)?;
+                    write_u16(w, 0)?;
+                }
+            }
+            write_sym_table(w, &n.children, |w, id| write_u32(w, remap[id.index()]))?;
+            write_sym_table(w, &n.next, |w, &c| write_u32(w, c))?;
+            write_sym_table(w, &n.right, |w, id| write_u32(w, remap[id.index()]))?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a tree from `r`.
+    pub fn load(r: &mut impl Read) -> Result<Pst, SerialError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SerialError::BadMagic);
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(SerialError::BadVersion(version));
+        }
+        let alphabet = read_u32(r)? as usize;
+        if alphabet == 0 {
+            return Err(SerialError::Corrupt("alphabet size 0"));
+        }
+        let max_depth = read_u32(r)? as usize;
+        let significance = read_u64(r)?;
+        let memory_limit = match read_u64(r)? {
+            u64::MAX => None,
+            m => Some(m as usize),
+        };
+        let prune_strategy = match read_u8(r)? {
+            0 => PruneStrategy::SmallestCount,
+            1 => PruneStrategy::LongestLabel,
+            2 => PruneStrategy::ExpectedVector,
+            3 => PruneStrategy::Composite,
+            _ => return Err(SerialError::Corrupt("prune strategy")),
+        };
+        let smoothing_raw = read_f64(r)?;
+        let prune_target_fraction = read_f64(r)?;
+        let intact = read_u8(r)? != 0;
+        let mut params = PstParams {
+            max_depth,
+            significance,
+            memory_limit,
+            prune_strategy,
+            smoothing: if smoothing_raw.is_nan() {
+                None
+            } else {
+                Some(smoothing_raw)
+            },
+            prune_target_fraction,
+        };
+        // Defensive clamp: validate() would panic on adversarial input.
+        if params.max_depth == 0 {
+            params.max_depth = 1;
+        }
+
+        let node_count = read_u32(r)? as usize;
+        if node_count == 0 {
+            return Err(SerialError::Corrupt("zero nodes (root missing)"));
+        }
+        let mut nodes: Vec<Node> = Vec::with_capacity(node_count);
+        let check_id = |raw: u32| -> Result<NodeId, SerialError> {
+            if (raw as usize) < node_count {
+                Ok(NodeId(raw))
+            } else {
+                Err(SerialError::Corrupt("node id out of range"))
+            }
+        };
+        for _ in 0..node_count {
+            let count = read_u64(r)?;
+            let depth = read_u16(r)?;
+            let edge = Symbol(read_u16(r)?);
+            let parent = check_id(read_u32(r)?)?;
+            let rp_raw = read_u32(r)?;
+            let rp_sym = read_u16(r)?;
+            let right_parent = if rp_raw == u32::MAX {
+                None
+            } else {
+                Some((check_id(rp_raw)?, Symbol(rp_sym)))
+            };
+            let mut node = Node::new(parent, edge, depth);
+            node.count = count;
+            node.right_parent = right_parent;
+            let children_len = read_u16(r)? as usize;
+            for _ in 0..children_len {
+                let sym = Symbol(read_u16(r)?);
+                let id = check_id(read_u32(r)?)?;
+                node.children.push((sym, id));
+            }
+            let next_len = read_u16(r)? as usize;
+            for _ in 0..next_len {
+                let sym = Symbol(read_u16(r)?);
+                let cnt = read_u32(r)?;
+                node.next.push((sym, cnt));
+            }
+            let right_len = read_u16(r)? as usize;
+            for _ in 0..right_len {
+                let sym = Symbol(read_u16(r)?);
+                let id = check_id(read_u32(r)?)?;
+                node.right.push((sym, id));
+            }
+            // Tables must be sorted for binary search to work.
+            if !node.children.windows(2).all(|w| w[0].0 < w[1].0)
+                || !node.next.windows(2).all(|w| w[0].0 < w[1].0)
+                || !node.right.windows(2).all(|w| w[0].0 < w[1].0)
+            {
+                return Err(SerialError::Corrupt("unsorted symbol table"));
+            }
+            nodes.push(node);
+        }
+
+        Ok(Pst::from_parts(alphabet, params, nodes, intact))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_seq::{Alphabet, Sequence};
+
+    fn build(text: &str) -> Pst {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let mut pst = Pst::new(
+            3,
+            PstParams::default()
+                .with_significance(2)
+                .with_max_depth(5),
+        );
+        pst.add_sequence(&Sequence::parse_str(&alphabet, text).unwrap());
+        pst
+    }
+
+    fn round_trip(pst: &Pst) -> Pst {
+        let mut buf = Vec::new();
+        pst.save(&mut buf).unwrap();
+        Pst::load(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_counts_and_predictions() {
+        let pst = build("abcabcaabbccabacbc");
+        let loaded = round_trip(&pst);
+        assert_eq!(loaded.total_count(), pst.total_count());
+        assert_eq!(loaded.node_count(), pst.node_count());
+        assert_eq!(loaded.alphabet_size(), pst.alphabet_size());
+        assert_eq!(loaded.params(), pst.params());
+        let probe: Vec<Symbol> = "cabacb".chars().map(|c| Symbol("abc".find(c).unwrap() as u16)).collect();
+        for i in 0..probe.len() {
+            for s in 0..3u16 {
+                assert_eq!(
+                    pst.raw_predict(&probe[..i], Symbol(s)),
+                    loaded.raw_predict(&probe[..i], Symbol(s)),
+                );
+            }
+        }
+        loaded.check_invariants();
+    }
+
+    #[test]
+    fn round_trip_preserves_scanner_fast_path() {
+        let pst = build("abcabcabc");
+        assert!(pst.right_links_intact());
+        let loaded = round_trip(&pst);
+        assert!(loaded.right_links_intact());
+        assert!(loaded.scanner().is_fast());
+        // The scanner over the loaded tree matches the original root walk.
+        let probe: Vec<Symbol> = vec![Symbol(0), Symbol(1), Symbol(2), Symbol(0)];
+        let mut sc = loaded.scanner();
+        for i in 0..probe.len() {
+            assert_eq!(
+                loaded.label(sc.prediction_node()),
+                pst.label(pst.prediction_node(&probe[..i]))
+            );
+            sc.advance(probe[i]);
+        }
+    }
+
+    #[test]
+    fn round_trip_of_pruned_tree_compacts_ids() {
+        let mut pst = build("abcabcaabbccabacbcaaccbb");
+        pst.prune_to(pst.bytes() / 2);
+        let before_nodes = pst.node_count();
+        let loaded = round_trip(&pst);
+        assert_eq!(loaded.node_count(), before_nodes);
+        assert_eq!(loaded.right_links_intact(), pst.right_links_intact());
+        loaded.check_invariants();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Pst::load(&mut &b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, SerialError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = Pst::load(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerialError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncated_input_is_an_io_error() {
+        let mut buf = Vec::new();
+        build("abc").save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = Pst::load(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerialError::Io(_)));
+    }
+
+    #[test]
+    fn out_of_range_node_ids_are_rejected() {
+        let mut buf = Vec::new();
+        build("ab").save(&mut buf).unwrap();
+        // Corrupt the last 4 bytes (some node id or count payload) to a
+        // huge value; either Corrupt or a clean parse must result — never
+        // a panic.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let _ = Pst::load(&mut buf.as_slice());
+    }
+}

@@ -1,0 +1,155 @@
+//! Tree statistics for diagnostics and experiment reporting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::Pst;
+
+/// A snapshot of a tree's shape and budget usage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PstStats {
+    /// Live nodes, root included.
+    pub nodes: usize,
+    /// Nodes with count ≥ the significance threshold `c`.
+    pub significant_nodes: usize,
+    /// Leaves among the live nodes.
+    pub leaves: usize,
+    /// Deepest live context length.
+    pub max_depth: u16,
+    /// Estimated footprint in bytes.
+    pub bytes: usize,
+    /// Root count (total symbols inserted).
+    pub total_count: u64,
+}
+
+impl Pst {
+    /// Computes a statistics snapshot in one pass over the live nodes.
+    pub fn stats(&self) -> PstStats {
+        let mut stats = PstStats {
+            nodes: 0,
+            significant_nodes: 0,
+            leaves: 0,
+            max_depth: 0,
+            bytes: self.bytes(),
+            total_count: self.total_count(),
+        };
+        for id in self.live_node_ids() {
+            let n = self.node(id);
+            stats.nodes += 1;
+            if self.is_significant(id) {
+                stats.significant_nodes += 1;
+            }
+            if n.is_leaf() {
+                stats.leaves += 1;
+            }
+            stats.max_depth = stats.max_depth.max(n.depth);
+        }
+        stats
+    }
+
+    /// Renders a short human-readable summary line.
+    pub fn summary(&self) -> String {
+        let s = self.stats();
+        format!(
+            "PST: {} nodes ({} significant, {} leaves), depth {}, {} bytes, count {}",
+            s.nodes, s.significant_nodes, s.leaves, s.max_depth, s.bytes, s.total_count
+        )
+    }
+}
+
+/// Structural sanity checks used by tests and debug builds.
+impl Pst {
+    /// Verifies structural invariants, panicking with a description on the
+    /// first violation. Intended for tests; cost is linear in tree size.
+    ///
+    /// Invariants checked:
+    /// 1. child links are mutual (child's parent/edge match);
+    /// 2. depths increase by one along edges;
+    /// 3. a node's count is at least the sum of its children's counts
+    ///    (every occurrence of a longer context is one of the shorter);
+    /// 4. a node's successor total never exceeds its count;
+    /// 5. the byte estimate matches a fresh recomputation.
+    pub fn check_invariants(&self) {
+        let mut recomputed_bytes = 0usize;
+        for id in self.live_node_ids() {
+            let n = self.node(id);
+            // bytes() covers the node's own child table, so summing over
+            // all live nodes reproduces the tree total exactly.
+            recomputed_bytes += n.bytes();
+            let mut child_sum = 0u64;
+            for &(sym, child_id) in &n.children {
+                let c = self.node(child_id);
+                assert!(c.live, "child {child_id:?} of {id:?} is dead");
+                assert_eq!(c.parent, id, "parent link of {child_id:?}");
+                assert_eq!(c.edge, sym, "edge symbol of {child_id:?}");
+                assert_eq!(c.depth, n.depth + 1, "depth of {child_id:?}");
+                child_sum += c.count;
+            }
+            assert!(
+                n.count >= child_sum,
+                "count({id:?}) = {} < sum of child counts {}",
+                n.count,
+                child_sum
+            );
+            assert!(
+                n.next_total() <= n.count,
+                "successor total exceeds count at {id:?}"
+            );
+        }
+        assert_eq!(self.bytes(), recomputed_bytes, "byte estimate drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PstParams;
+    use cluseq_seq::{Alphabet, Sequence};
+
+    fn build(text: &str) -> Pst {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let mut pst = Pst::new(
+            3,
+            PstParams::default()
+                .with_significance(2)
+                .without_smoothing(),
+        );
+        pst.add_sequence(&Sequence::parse_str(&alphabet, text).unwrap());
+        pst
+    }
+
+    #[test]
+    fn stats_count_nodes_and_depth() {
+        let pst = build("abcabc");
+        let s = pst.stats();
+        assert!(s.nodes > 1);
+        assert!(s.max_depth >= 3);
+        assert_eq!(s.total_count, 6);
+        assert_eq!(s.bytes, pst.bytes());
+    }
+
+    #[test]
+    fn significant_node_count_respects_threshold() {
+        let pst = build("ababab");
+        let s = pst.stats();
+        // Root + "a" (3) + "b" (3) + "ab"(2) + "ba"(2) + deeper pairs…
+        assert!(s.significant_nodes >= 5);
+        assert!(s.significant_nodes <= s.nodes);
+    }
+
+    #[test]
+    fn invariants_hold_after_insertion() {
+        build("abcabcaabbccabc").check_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_after_pruning() {
+        let mut pst = build("abcabcaabbccabcbcbcaacb");
+        pst.prune_to(pst.bytes() / 2);
+        pst.check_invariants();
+    }
+
+    #[test]
+    fn summary_is_nonempty() {
+        assert!(build("abc").summary().contains("PST:"));
+    }
+}

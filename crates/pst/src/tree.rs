@@ -1,0 +1,639 @@
+//! The probabilistic suffix tree itself.
+
+use serde::{Deserialize, Serialize};
+
+use cluseq_seq::{Sequence, Symbol};
+
+use crate::model::ConditionalModel;
+use crate::node::{Node, NodeId};
+use crate::params::PstParams;
+
+/// Per-entry byte cost used in the incremental footprint estimate.
+pub(crate) const CHILD_ENTRY_BYTES: usize = std::mem::size_of::<(Symbol, NodeId)>();
+pub(crate) const NEXT_ENTRY_BYTES: usize = std::mem::size_of::<(Symbol, u32)>();
+
+/// A probabilistic suffix tree over reversed sequences (paper §3).
+///
+/// The node reached from the root by reading symbols `x₁, x₂, …, x_d`
+/// represents the context `x_d … x₂ x₁` — i.e. each step from the root moves
+/// one symbol further into the *past*. Consequently the parent of a node
+/// represents the suffix of the node's context with the oldest symbol
+/// dropped, which is exactly the fallback the longest-significant-suffix
+/// rule needs.
+///
+/// Counting convention: inserting a segment of length `l` counts **every**
+/// sub-segment of length ≤ `max_depth` (all suffixes of the reversed
+/// segment, as the paper prescribes), adds `l` to the root count, and
+/// records each occurrence's successor in the owning node's next-symbol
+/// table. Probability vectors are normalized over *observed successors*
+/// (occurrences at the very end of an inserted segment have no successor and
+/// are excluded), so each vector sums to 1, which the §5.2 adjustment
+/// requires.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pst {
+    params: PstParams,
+    alphabet_size: usize,
+    arena: Vec<Node>,
+    free: Vec<NodeId>,
+    live_nodes: usize,
+    bytes: usize,
+    /// Whether the right-extension link structure is still complete.
+    /// Pruning a node that other nodes extend from breaks incremental
+    /// scanning (see [`crate::scanner`]); scanners then fall back to the
+    /// per-position root walk, which is always exact.
+    right_links_intact: bool,
+}
+
+impl Pst {
+    /// Creates an empty tree for an alphabet of `alphabet_size` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet_size` is 0 or the parameters are invalid
+    /// (see [`PstParams::validate`]).
+    pub fn new(alphabet_size: usize, params: PstParams) -> Self {
+        assert!(alphabet_size > 0, "alphabet must have at least one symbol");
+        params.validate(alphabet_size);
+        let root = Node::new(NodeId::ROOT, Symbol(0), 0);
+        let bytes = root.bytes();
+        Self {
+            params,
+            alphabet_size,
+            arena: vec![root],
+            free: Vec::new(),
+            live_nodes: 1,
+            bytes,
+            right_links_intact: true,
+        }
+    }
+
+    /// Reassembles a tree from deserialized parts (all nodes live, ids
+    /// dense, root first). Byte and liveness accounting are recomputed.
+    pub(crate) fn from_parts(
+        alphabet_size: usize,
+        params: PstParams,
+        nodes: Vec<Node>,
+        right_links_intact: bool,
+    ) -> Self {
+        debug_assert!(!nodes.is_empty());
+        let bytes = nodes.iter().map(Node::bytes).sum();
+        let live_nodes = nodes.len();
+        Self {
+            params,
+            alphabet_size,
+            arena: nodes,
+            free: Vec::new(),
+            live_nodes,
+            bytes,
+            right_links_intact,
+        }
+    }
+
+    /// Builds a tree from a single sequence — the paper's initial cluster
+    /// state (*"each new cluster at its initial stage contains only one
+    /// sequence and is represented by the probabilistic suffix tree
+    /// constructed from the sequence"*).
+    pub fn from_sequence(alphabet_size: usize, params: PstParams, seq: &Sequence) -> Self {
+        let mut pst = Self::new(alphabet_size, params);
+        pst.add_sequence(seq);
+        pst
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &PstParams {
+        &self.params
+    }
+
+    /// The alphabet size `n`.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    /// Number of live nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Estimated footprint in bytes (see [`Node::bytes`]).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The root count: total number of symbols inserted (the paper's
+    /// "overall size of the sequence cluster").
+    pub fn total_count(&self) -> u64 {
+        self.arena[NodeId::ROOT.index()].count
+    }
+
+    /// Whether nothing has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.total_count() == 0
+    }
+
+    /// Read access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        let n = &self.arena[id.index()];
+        debug_assert!(n.live, "accessed a pruned node");
+        n
+    }
+
+    /// Liveness-tolerant node access: pruning bookkeeping legitimately
+    /// inspects nodes that may have just died.
+    pub(crate) fn raw_node(&self, id: NodeId) -> &Node {
+        &self.arena[id.index()]
+    }
+
+    /// Whether `id` is significant (count ≥ `c`). The root is always
+    /// treated as significant: it is the prediction fallback of last resort.
+    #[inline]
+    pub fn is_significant(&self, id: NodeId) -> bool {
+        id == NodeId::ROOT || self.arena[id.index()].count >= self.params.significance
+    }
+
+    /// Inserts a whole sequence (all its segments up to `max_depth`).
+    pub fn add_sequence(&mut self, seq: &Sequence) {
+        self.add_segment(seq.symbols());
+    }
+
+    /// Inserts a segment: counts every sub-segment of length ≤ `max_depth`
+    /// together with its successor symbol, then enforces the memory budget.
+    ///
+    /// This is the operation the CLUSEQ re-clustering step performs with the
+    /// similarity-maximizing segment of each joining sequence (§4.4).
+    pub fn add_segment(&mut self, seg: &[Symbol]) {
+        let len = seg.len();
+        if len == 0 {
+            return;
+        }
+        debug_assert!(
+            seg.iter().all(|s| s.index() < self.alphabet_size),
+            "segment contains symbols outside the tree's alphabet"
+        );
+
+        // Root: count += len; successor table records every position.
+        {
+            let root = &mut self.arena[NodeId::ROOT.index()];
+            root.count += len as u64;
+            let mut new_entries = 0usize;
+            for &s in seg {
+                if root.bump_next(s) {
+                    new_entries += 1;
+                }
+            }
+            self.bytes += new_entries * NEXT_ENTRY_BYTES;
+        }
+
+        // Every non-empty sub-segment, enumerated by its (exclusive) end.
+        // `prev_walk[d-1]` is the node for seg[(end-1)-d .. end-1] from the
+        // previous end position: the node for seg[end-d .. end-1], i.e. the
+        // current context minus its newest symbol — exactly the
+        // right-extension parent needed for the auxiliary O(l) links.
+        let max_depth = self.params.max_depth;
+        let mut prev_walk: Vec<NodeId> = Vec::with_capacity(max_depth);
+        let mut cur_walk: Vec<NodeId> = Vec::with_capacity(max_depth);
+        for end in 1..=len {
+            let successor = seg.get(end).copied();
+            let newest = seg[end - 1];
+            let mut node = NodeId::ROOT;
+            cur_walk.clear();
+            for d in 1..=max_depth.min(end) {
+                let sym = seg[end - d];
+                node = self.get_or_create_child(node, sym);
+                cur_walk.push(node);
+                {
+                    let n = &mut self.arena[node.index()];
+                    n.count += 1;
+                    if let Some(s) = successor {
+                        if n.bump_next(s) {
+                            self.bytes += NEXT_ENTRY_BYTES;
+                        }
+                    }
+                }
+                // Link right-parent (context minus newest symbol) -> node.
+                if self.arena[node.index()].right_parent.is_none() {
+                    let rp = if d == 1 {
+                        NodeId::ROOT
+                    } else {
+                        prev_walk[d - 2]
+                    };
+                    if self.arena[rp.index()].insert_right(newest, node) {
+                        self.bytes += CHILD_ENTRY_BYTES;
+                    }
+                    self.arena[node.index()].right_parent = Some((rp, newest));
+                }
+            }
+            std::mem::swap(&mut prev_walk, &mut cur_walk);
+        }
+
+        self.enforce_budget();
+    }
+
+    /// Prunes if the byte estimate exceeds the configured budget.
+    pub(crate) fn enforce_budget(&mut self) {
+        if let Some(limit) = self.params.memory_limit {
+            if self.bytes > limit {
+                let target = (limit as f64 * self.params.prune_target_fraction) as usize;
+                self.prune_to(target);
+            }
+        }
+    }
+
+    /// Adds `count` root occurrences and successor counts (merge support).
+    pub(crate) fn bump_root(&mut self, count: u64, next: &[(Symbol, u32)]) {
+        self.bump_counts(NodeId::ROOT, count, next);
+    }
+
+    /// Adds occurrence and successor counts to an existing node.
+    pub(crate) fn bump_counts(&mut self, id: NodeId, count: u64, next: &[(Symbol, u32)]) {
+        let node = &mut self.arena[id.index()];
+        node.count += count;
+        let mut new_entries = 0usize;
+        for &(sym, c) in next {
+            match node.next.binary_search_by_key(&sym, |&(s, _)| s) {
+                Ok(i) => node.next[i].1 += c,
+                Err(i) => {
+                    node.next.insert(i, (sym, c));
+                    new_entries += 1;
+                }
+            }
+        }
+        self.bytes += new_entries * NEXT_ENTRY_BYTES;
+    }
+
+    /// Looks up or creates the child of `parent` under `sym` (merge
+    /// support; counts are the caller's responsibility).
+    pub(crate) fn ensure_child(&mut self, parent: NodeId, sym: Symbol) -> NodeId {
+        self.get_or_create_child(parent, sym)
+    }
+
+    /// Marks the right-extension link structure incomplete (scanners fall
+    /// back to exact per-position walks).
+    pub(crate) fn invalidate_right_links(&mut self) {
+        self.right_links_intact = false;
+    }
+
+    fn get_or_create_child(&mut self, parent: NodeId, sym: Symbol) -> NodeId {
+        if let Some(child) = self.arena[parent.index()].child(sym) {
+            return child;
+        }
+        let depth = self.arena[parent.index()].depth + 1;
+        let node = Node::new(parent, sym, depth);
+        self.bytes += node.bytes() + CHILD_ENTRY_BYTES;
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.arena[id.index()] = node;
+                id
+            }
+            None => {
+                let id = NodeId(u32::try_from(self.arena.len()).expect("PST exceeds u32 nodes"));
+                self.arena.push(node);
+                id
+            }
+        };
+        self.arena[parent.index()].insert_child(sym, id);
+        self.live_nodes += 1;
+        id
+    }
+
+    pub(crate) fn release_node(&mut self, id: NodeId) {
+        debug_assert!(id != NodeId::ROOT, "the root is never pruned");
+        let (parent, edge, node_bytes, right_parent, right) = {
+            let n = &self.arena[id.index()];
+            debug_assert!(n.live && n.is_leaf(), "only live leaves are released");
+            (n.parent, n.edge, n.bytes(), n.right_parent, n.right.clone())
+        };
+        self.arena[parent.index()].remove_child(edge);
+        // Unlink from the right-extension structure. Losing a node that
+        // others extend from makes live nodes unreachable for incremental
+        // scanning; record that so scanners fall back to exact walks.
+        if let Some((rp, sym)) = right_parent {
+            if self.arena[rp.index()].live {
+                self.arena[rp.index()].remove_right(sym);
+                self.bytes -= CHILD_ENTRY_BYTES;
+            }
+        }
+        if !right.is_empty() {
+            self.right_links_intact = false;
+            for &(_, v) in &right {
+                if self.arena[v.index()].live {
+                    self.arena[v.index()].right_parent = None;
+                }
+            }
+        }
+        let n = &mut self.arena[id.index()];
+        n.live = false;
+        n.children = Vec::new();
+        n.next = Vec::new();
+        n.right = Vec::new();
+        n.right_parent = None;
+        self.bytes -= node_bytes + CHILD_ENTRY_BYTES;
+        self.live_nodes -= 1;
+        self.free.push(id);
+    }
+
+    /// Whether the incremental right-extension links still cover the whole
+    /// tree (true until a node with outgoing right links is pruned).
+    pub fn right_links_intact(&self) -> bool {
+        self.right_links_intact
+    }
+
+    /// Locates the **prediction node** of `context` (paper §3): the node
+    /// whose label is the longest significant suffix of `context`, found by
+    /// walking from the root through `context` in reverse and stopping
+    /// before any insignificant or missing node (and at `max_depth`).
+    ///
+    /// ```
+    /// use cluseq_pst::{Pst, PstParams};
+    /// use cluseq_seq::{Alphabet, Sequence};
+    ///
+    /// let alphabet = Alphabet::from_chars("ab".chars());
+    /// let train = Sequence::parse_str(&alphabet, "bababb").unwrap();
+    /// // "ba" occurs twice, "aba" once: with c = 2 the context "aba"
+    /// // falls back to its longest significant suffix "ba".
+    /// let pst = Pst::from_sequence(2, PstParams::default().with_significance(2), &train);
+    /// let a = alphabet.get("a").unwrap();
+    /// let b = alphabet.get("b").unwrap();
+    /// let node = pst.prediction_node(&[a, b, a]);
+    /// assert_eq!(pst.label(node), vec![b, a]);
+    /// ```
+    pub fn prediction_node(&self, context: &[Symbol]) -> NodeId {
+        let len = context.len();
+        let mut node = NodeId::ROOT;
+        for d in 1..=self.params.max_depth.min(len) {
+            let sym = context[len - d];
+            match self.arena[node.index()].child(sym) {
+                Some(child) if self.is_significant(child) => node = child,
+                _ => break,
+            }
+        }
+        node
+    }
+
+    /// The occurrence count `C(segment)`, or 0 if the segment was never
+    /// inserted. Only segments of length ≤ `max_depth` are represented;
+    /// longer queries return 0.
+    pub fn segment_count(&self, segment: &[Symbol]) -> u64 {
+        if segment.is_empty() {
+            return self.total_count();
+        }
+        if segment.len() > self.params.max_depth {
+            return 0;
+        }
+        let mut node = NodeId::ROOT;
+        for &sym in segment.iter().rev() {
+            match self.arena[node.index()].child(sym) {
+                Some(child) => node = child,
+                None => return 0,
+            }
+        }
+        self.arena[node.index()].count
+    }
+
+    /// The raw (unsmoothed) conditional probability `P(next | context)`
+    /// from the prediction node, normalized over observed successors.
+    /// Returns the uniform `1/n` when the prediction node has never seen a
+    /// successor (an empty tree).
+    pub fn raw_predict(&self, context: &[Symbol], next: Symbol) -> f64 {
+        let node = self.prediction_node(context);
+        self.arena[node.index()]
+            .raw_prob(next)
+            .unwrap_or(1.0 / self.alphabet_size as f64)
+    }
+
+    /// Applies the paper's §5.2 adjustment to a raw probability:
+    /// `P̂ = (1 − n·p_min)·P + p_min`.
+    #[inline]
+    pub fn smooth(&self, raw: f64) -> f64 {
+        match self.params.smoothing {
+            Some(p_min) => (1.0 - self.alphabet_size as f64 * p_min) * raw + p_min,
+            None => raw,
+        }
+    }
+
+    /// Iterates over the ids of all live nodes (root included).
+    pub fn live_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.arena
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.live)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Reconstructs a node's label (its context, oldest symbol first) by
+    /// walking parent links. Intended for diagnostics and tests.
+    pub fn label(&self, id: NodeId) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        let mut cur = id;
+        while cur != NodeId::ROOT {
+            let n = &self.arena[cur.index()];
+            out.push(n.edge);
+            cur = n.parent;
+        }
+        // Walking up yields edge symbols newest-context-step first, i.e.
+        // oldest symbol first — already the label order.
+        out
+    }
+}
+
+impl ConditionalModel for Pst {
+    fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    fn predict(&self, context: &[Symbol], next: Symbol) -> f64 {
+        self.smooth(self.raw_predict(context, next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_seq::Alphabet;
+
+    fn parse(alphabet: &Alphabet, s: &str) -> Sequence {
+        Sequence::parse_str(alphabet, s).unwrap()
+    }
+
+    fn params() -> PstParams {
+        PstParams::default()
+            .with_significance(1)
+            .without_smoothing()
+    }
+
+    #[test]
+    fn empty_tree_predicts_uniformly() {
+        let pst = Pst::new(4, params());
+        assert!(pst.is_empty());
+        assert!((pst.raw_predict(&[], Symbol(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_count_is_sum_of_lengths() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let mut pst = Pst::new(2, params());
+        pst.add_sequence(&parse(&alphabet, "abab"));
+        pst.add_sequence(&parse(&alphabet, "aa"));
+        assert_eq!(pst.total_count(), 6);
+    }
+
+    #[test]
+    fn segment_counts_match_brute_force() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let text = "ababbab";
+        let mut pst = Pst::new(2, params());
+        pst.add_sequence(&parse(&alphabet, text));
+
+        // Count every segment occurrence by brute force and compare.
+        let syms: Vec<Symbol> = parse(&alphabet, text).iter().collect();
+        for start in 0..syms.len() {
+            for end in start + 1..=syms.len() {
+                let seg = &syms[start..end];
+                let expected = (0..=syms.len() - seg.len())
+                    .filter(|&i| &syms[i..i + seg.len()] == seg)
+                    .count() as u64;
+                assert_eq!(
+                    pst.segment_count(seg),
+                    expected,
+                    "segment {:?}",
+                    alphabet.render(seg)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_probabilities_are_occurrence_ratios() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        // In "aabab": "a" occurs 3 times, followed by a(1), b(2).
+        let mut pst = Pst::new(2, params());
+        pst.add_sequence(&parse(&alphabet, "aabab"));
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        assert!((pst.raw_predict(&[a], b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pst.raw_predict(&[a], a) - 1.0 / 3.0).abs() < 1e-12);
+        // "b" occurs twice; only the first occurrence has a successor (a).
+        assert!((pst.raw_predict(&[b], a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_node_stops_at_significance_boundary() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        // In "bababb": "ba" occurs 2x but "aba" only once. With c = 2, the
+        // context "aba" must fall back to its longest significant suffix
+        // "ba".
+        let mut pst = Pst::new(
+            2,
+            PstParams::default().with_significance(2).without_smoothing(),
+        );
+        pst.add_sequence(&parse(&alphabet, "bababb"));
+        let node = pst.prediction_node(&[a, b, a]);
+        assert_eq!(alphabet.render(&pst.label(node)), "ba");
+        // The significant context "ba" is always followed by "b" here.
+        assert!((pst.raw_predict(&[a, b, a], b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_node_of_significant_context_is_exact() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        let mut pst = Pst::new(2, params());
+        pst.add_sequence(&parse(&alphabet, "abab"));
+        let node = pst.prediction_node(&[a, b]);
+        assert_eq!(alphabet.render(&pst.label(node)), "ab");
+        // A context that extends past what the tree stores falls back to
+        // the longest stored suffix.
+        let fallback = pst.prediction_node(&[b, b, a, b]);
+        assert_eq!(alphabet.render(&pst.label(fallback)), "bab");
+    }
+
+    #[test]
+    fn max_depth_caps_stored_contexts() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let p = params().with_max_depth(2);
+        let mut pst = Pst::new(2, p);
+        pst.add_sequence(&parse(&alphabet, "aaaa"));
+        let a = alphabet.get("a").unwrap();
+        assert_eq!(pst.segment_count(&[a, a]), 3);
+        assert_eq!(pst.segment_count(&[a, a, a]), 0, "deeper than max_depth");
+        // Every live node is within the depth cap.
+        for id in pst.live_node_ids() {
+            assert!(pst.node(id).depth <= 2);
+        }
+    }
+
+    #[test]
+    fn smoothing_floors_probabilities() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let p = PstParams::default()
+            .with_significance(1)
+            .with_smoothing(0.01);
+        let mut pst = Pst::new(2, p);
+        pst.add_sequence(&parse(&alphabet, "aaaa"));
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        // Raw P(b | a) = 0, smoothed = p_min.
+        assert!((pst.predict(&[a], b) - 0.01).abs() < 1e-12);
+        // Raw P(a | a) = 1, smoothed = 1 - n*p_min + p_min = 0.99.
+        assert!((pst.predict(&[a], a) - 0.99).abs() < 1e-12);
+        // The smoothed vector still sums to 1.
+        let total = pst.predict(&[a], a) + pst.predict(&[a], b);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sequence_equals_new_plus_add() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let seq = parse(&alphabet, "abba");
+        let one = Pst::from_sequence(2, params(), &seq);
+        let mut two = Pst::new(2, params());
+        two.add_sequence(&seq);
+        assert_eq!(one.total_count(), two.total_count());
+        assert_eq!(one.node_count(), two.node_count());
+    }
+
+    #[test]
+    fn add_empty_segment_is_a_noop() {
+        let mut pst = Pst::new(2, params());
+        pst.add_segment(&[]);
+        assert!(pst.is_empty());
+        assert_eq!(pst.node_count(), 1);
+    }
+
+    #[test]
+    fn labels_read_oldest_symbol_first() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let mut pst = Pst::new(2, params());
+        pst.add_sequence(&parse(&alphabet, "ab"));
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        // The context "ab" is stored by walking b then a from the root.
+        let node = pst.prediction_node(&[a, b]);
+        assert_eq!(pst.label(node), vec![a, b]);
+    }
+
+    #[test]
+    fn bytes_estimate_matches_recomputation() {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let mut pst = Pst::new(3, params());
+        pst.add_sequence(&parse(&alphabet, "abcabcaabbcc"));
+        // Each node's bytes() already covers its own children table, so the
+        // whole tree is exactly the sum over live nodes.
+        let recomputed: usize = pst.live_node_ids().map(|id| pst.node(id).bytes()).sum();
+        assert_eq!(pst.bytes(), recomputed);
+    }
+
+    #[test]
+    fn sequence_model_trait_is_implemented() {
+        let alphabet = Alphabet::from_chars("ab".chars());
+        let mut pst = Pst::new(2, params());
+        pst.add_sequence(&parse(&alphabet, "abab"));
+        let a = alphabet.get("a").unwrap();
+        let b = alphabet.get("b").unwrap();
+        let p = ConditionalModel::segment_prob(&pst, &[a, b, a]);
+        // P(a) * P(b|a) * P(a|ab) = 0.5 * 1.0 * 1.0
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,324 @@
+//! Property-based tests for the probabilistic suffix tree.
+//!
+//! Every property is checked against a brute-force reference computation on
+//! randomly generated small sequences.
+
+use proptest::prelude::*;
+
+use cluseq_pst::{ConditionalModel, Pst, PstParams, PruneStrategy};
+use cluseq_seq::{Sequence, Symbol};
+
+/// Random sequence over an alphabet of `n` symbols.
+fn seq_strategy(n: u16, max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec((0..n).prop_map(Symbol), 0..max_len)
+}
+
+/// Brute-force count of `seg` occurrences in `text`.
+fn brute_count(text: &[Symbol], seg: &[Symbol]) -> u64 {
+    if seg.is_empty() || seg.len() > text.len() {
+        return 0;
+    }
+    (0..=text.len() - seg.len())
+        .filter(|&i| &text[i..i + seg.len()] == seg)
+        .count() as u64
+}
+
+/// Brute-force next-symbol count: occurrences of `seg` followed by `next`.
+fn brute_next_count(text: &[Symbol], seg: &[Symbol], next: Symbol) -> u64 {
+    if text.len() < seg.len() + 1 {
+        return 0;
+    }
+    (0..text.len() - seg.len())
+        .filter(|&i| &text[i..i + seg.len()] == seg && text[i + seg.len()] == next)
+        .count() as u64
+}
+
+fn build(text: &[Symbol], n: usize, params: PstParams) -> Pst {
+    let mut pst = Pst::new(n, params);
+    pst.add_sequence(&Sequence::new(text.to_vec()));
+    pst
+}
+
+fn base_params() -> PstParams {
+    PstParams::default()
+        .with_significance(1)
+        .without_smoothing()
+}
+
+proptest! {
+    /// Every stored segment count equals the brute-force occurrence count.
+    #[test]
+    fn segment_counts_agree_with_brute_force(text in seq_strategy(3, 40)) {
+        let pst = build(&text, 3, base_params().with_max_depth(6));
+        for start in 0..text.len() {
+            for end in start + 1..=text.len().min(start + 6) {
+                let seg = &text[start..end];
+                prop_assert_eq!(pst.segment_count(seg), brute_count(&text, seg));
+            }
+        }
+    }
+
+    /// Raw conditional probabilities equal next-count / successor-total for
+    /// significant contexts.
+    #[test]
+    fn raw_probabilities_are_successor_ratios(text in seq_strategy(3, 40)) {
+        let pst = build(&text, 3, base_params().with_max_depth(4));
+        for start in 0..text.len() {
+            for end in start + 1..=text.len().min(start + 4) {
+                let seg = &text[start..end];
+                let total: u64 = (0..3)
+                    .map(|s| brute_next_count(&text, seg, Symbol(s)))
+                    .sum();
+                if total == 0 {
+                    continue;
+                }
+                // The context node exists and is significant (c = 1), so
+                // the prediction node is exactly this segment.
+                for s in 0..3u16 {
+                    let expected =
+                        brute_next_count(&text, seg, Symbol(s)) as f64 / total as f64;
+                    let got = pst.raw_predict(seg, Symbol(s));
+                    prop_assert!((got - expected).abs() < 1e-9,
+                        "segment {seg:?} next {s}: got {got}, expected {expected}");
+                }
+            }
+        }
+    }
+
+    /// The probability vector at every prediction node sums to 1 (when the
+    /// node has any successor), smoothed or not.
+    #[test]
+    fn probability_vectors_normalize(
+        text in seq_strategy(4, 50),
+        c in 1u64..5,
+        smooth in prop::option::of(0.0001f64..0.01),
+    ) {
+        prop_assume!(!text.is_empty());
+        let mut params = base_params().with_significance(c);
+        if let Some(p_min) = smooth {
+            params = params.with_smoothing(p_min);
+        }
+        let pst = build(&text, 4, params);
+        for start in 0..text.len().min(8) {
+            let context = &text[start..text.len().min(start + 5)];
+            let total: f64 = (0..4).map(|s| pst.predict(context, Symbol(s))).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+        }
+    }
+
+    /// Smoothing keeps every probability within [p_min, 1 - (n-1)·p_min].
+    #[test]
+    fn smoothing_bounds_probabilities(text in seq_strategy(3, 30), p_min in 0.0001f64..0.05) {
+        prop_assume!(!text.is_empty());
+        let pst = build(&text, 3, base_params().with_smoothing(p_min));
+        for s in 0..3u16 {
+            let p = pst.predict(&text[..text.len().min(3)], Symbol(s));
+            prop_assert!(p >= p_min - 1e-12);
+            prop_assert!(p <= 1.0 - 2.0 * p_min + 1e-12);
+        }
+    }
+
+    /// The prediction node's label is the longest significant suffix of the
+    /// context: significant itself, and either the full context (capped at
+    /// max_depth) or with an insignificant/absent one-longer extension.
+    #[test]
+    fn prediction_node_is_longest_significant_suffix(
+        text in seq_strategy(3, 60),
+        c in 1u64..6,
+    ) {
+        let params = base_params().with_significance(c).with_max_depth(5);
+        let pst = build(&text, 3, params);
+        prop_assume!(text.len() >= 2);
+        for start in 0..text.len() - 1 {
+            let context = &text[start..];
+            let node = pst.prediction_node(context);
+            let label = pst.label(node);
+            // 1. The label is a suffix of the context.
+            prop_assert!(context.ends_with(&label));
+            // 2. The label is significant (roots always are).
+            if !label.is_empty() {
+                prop_assert!(brute_count(&text, &label) >= c);
+            }
+            // 3. Maximality: the one-longer suffix is absent from the tree,
+            //    insignificant, or past the depth cap.
+            if label.len() < context.len() && label.len() < 5 {
+                let longer = &context[context.len() - label.len() - 1..];
+                prop_assert!(brute_count(&text, longer) < c,
+                    "a longer significant suffix {longer:?} was available");
+            }
+        }
+    }
+
+    /// Pruning always lands at or below the target and preserves all
+    /// structural invariants, for every strategy.
+    #[test]
+    fn pruning_respects_target_and_invariants(
+        text in seq_strategy(4, 120),
+        strategy_idx in 0usize..4,
+        keep in 0.2f64..0.9,
+    ) {
+        prop_assume!(text.len() >= 10);
+        let strategy = [
+            PruneStrategy::SmallestCount,
+            PruneStrategy::LongestLabel,
+            PruneStrategy::ExpectedVector,
+            PruneStrategy::Composite,
+        ][strategy_idx];
+        let mut pst = build(&text, 4, base_params().with_prune_strategy(strategy));
+        let target = (pst.bytes() as f64 * keep) as usize;
+        pst.prune_to(target);
+        pst.check_invariants();
+        // Either we fit, or only the root is left (nothing more to prune).
+        prop_assert!(pst.bytes() <= target || pst.node_count() == 1);
+        // Prediction still yields valid probabilities everywhere.
+        let p = pst.raw_predict(&text[..3.min(text.len())], Symbol(0));
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Inserting sequences one at a time or as segments yields identical
+    /// counts (insertion is associative over the root bookkeeping).
+    #[test]
+    fn insertion_order_does_not_change_counts(
+        a in seq_strategy(3, 30),
+        b in seq_strategy(3, 30),
+    ) {
+        let mut ab = Pst::new(3, base_params());
+        ab.add_segment(&a);
+        ab.add_segment(&b);
+        let mut ba = Pst::new(3, base_params());
+        ba.add_segment(&b);
+        ba.add_segment(&a);
+        prop_assert_eq!(ab.total_count(), ba.total_count());
+        prop_assert_eq!(ab.node_count(), ba.node_count());
+        for probe_start in 0..a.len().min(5) {
+            let probe = &a[probe_start..a.len().min(probe_start + 4)];
+            prop_assert_eq!(ab.segment_count(probe), ba.segment_count(probe));
+        }
+    }
+
+    /// segment_prob is the product of conditional predictions and lies in
+    /// (0, 1] under smoothing.
+    #[test]
+    fn segment_prob_is_a_probability(text in seq_strategy(3, 30)) {
+        prop_assume!(!text.is_empty());
+        let pst = build(&text, 3, PstParams::default().with_significance(1));
+        let p = pst.segment_prob(&text);
+        prop_assert!(p > 0.0, "smoothing forbids zero probability");
+        prop_assert!(p <= 1.0 + 1e-12);
+    }
+
+    /// The incremental scanner's prediction node equals the root walk's at
+    /// every position of every probe, on any training data, for any
+    /// significance threshold and depth cap.
+    #[test]
+    fn scanner_equals_root_walk(
+        train in seq_strategy(3, 80),
+        probe in seq_strategy(3, 50),
+        c in 1u64..6,
+        depth in 2usize..7,
+    ) {
+        prop_assume!(!train.is_empty());
+        let params = base_params().with_significance(c).with_max_depth(depth);
+        let pst = build(&train, 3, params);
+        prop_assert!(pst.right_links_intact());
+        let mut scanner = pst.scanner();
+        prop_assert!(scanner.is_fast());
+        for i in 0..probe.len() {
+            prop_assert_eq!(
+                scanner.prediction_node(),
+                pst.prediction_node(&probe[..i]),
+                "diverged at position {} (c={}, depth={})", i, c, depth
+            );
+            scanner.advance(probe[i]);
+        }
+    }
+
+    /// Merging two trees equals building one tree from the union of their
+    /// training data, for arbitrary training sets.
+    #[test]
+    fn merge_equals_joint_construction(
+        ta in seq_strategy(3, 60),
+        tb in seq_strategy(3, 60),
+        probe in seq_strategy(3, 15),
+        depth in 2usize..6,
+    ) {
+        let params = base_params().with_max_depth(depth);
+        let mut a = Pst::new(3, params);
+        a.add_segment(&ta);
+        let mut b = Pst::new(3, params);
+        b.add_segment(&tb);
+        let mut joint = Pst::new(3, params);
+        joint.add_segment(&ta);
+        joint.add_segment(&tb);
+
+        a.merge(&b);
+        a.check_invariants();
+        prop_assert_eq!(a.total_count(), joint.total_count());
+        prop_assert_eq!(a.node_count(), joint.node_count());
+        for i in 0..probe.len() {
+            for s in 0..3u16 {
+                prop_assert_eq!(
+                    a.raw_predict(&probe[..i], Symbol(s)).to_bits(),
+                    joint.raw_predict(&probe[..i], Symbol(s)).to_bits(),
+                    "context {:?} next {}", &probe[..i], s
+                );
+            }
+        }
+    }
+
+    /// Binary save/load round-trips any tree exactly: same predictions,
+    /// same structure, invariants intact.
+    #[test]
+    fn serialization_round_trips(
+        train in seq_strategy(4, 100),
+        probe in seq_strategy(4, 20),
+        c in 1u64..5,
+        prune in proptest::bool::ANY,
+    ) {
+        prop_assume!(!train.is_empty());
+        let mut pst = build(&train, 4, base_params().with_significance(c).with_max_depth(5));
+        if prune {
+            let target = pst.bytes() * 2 / 3;
+            pst.prune_to(target);
+        }
+        let mut buf = Vec::new();
+        pst.save(&mut buf).unwrap();
+        let loaded = Pst::load(&mut buf.as_slice()).unwrap();
+        loaded.check_invariants();
+        prop_assert_eq!(loaded.total_count(), pst.total_count());
+        prop_assert_eq!(loaded.node_count(), pst.node_count());
+        prop_assert_eq!(loaded.right_links_intact(), pst.right_links_intact());
+        for i in 0..probe.len() {
+            for s in 0..4u16 {
+                prop_assert_eq!(
+                    pst.raw_predict(&probe[..i], Symbol(s)).to_bits(),
+                    loaded.raw_predict(&probe[..i], Symbol(s)).to_bits(),
+                    "prediction differs at position {}", i
+                );
+            }
+        }
+    }
+
+    /// After arbitrary pruning, the scanner (now possibly in fallback
+    /// mode) still matches the root walk exactly.
+    #[test]
+    fn scanner_stays_exact_after_pruning(
+        train in seq_strategy(3, 120),
+        probe in seq_strategy(3, 40),
+        keep in 0.2f64..0.9,
+    ) {
+        prop_assume!(train.len() >= 10);
+        let mut pst = build(&train, 3, base_params().with_max_depth(5));
+        let target = (pst.bytes() as f64 * keep) as usize;
+        pst.prune_to(target);
+        let mut scanner = pst.scanner();
+        for i in 0..probe.len() {
+            prop_assert_eq!(
+                scanner.prediction_node(),
+                pst.prediction_node(&probe[..i]),
+                "diverged at position {}", i
+            );
+            scanner.advance(probe[i]);
+        }
+    }
+}

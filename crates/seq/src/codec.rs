@@ -1,0 +1,201 @@
+//! Text codecs for sequence databases.
+//!
+//! Two simple line-oriented formats are supported:
+//!
+//! * **lines** — one sequence per line, one character per symbol, with an
+//!   optional `label<TAB>` prefix (`3\tabba` = sequence `abba` labeled 3,
+//!   `-\tabba` = explicit outlier);
+//! * **FASTA-like** — `>header` lines start a record, subsequent lines are
+//!   concatenated symbols; a header of the form `>name family=ig` attaches
+//!   the family name as a label (families are interned in appearance order).
+
+use std::collections::HashMap;
+
+use crate::alphabet::Alphabet;
+use crate::database::SequenceDatabase;
+use crate::sequence::Sequence;
+
+/// Errors produced while decoding text into a [`SequenceDatabase`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A label field could not be parsed as an integer or `-`.
+    BadLabel { line: usize, text: String },
+    /// A FASTA body line appeared before any `>` header.
+    BodyBeforeHeader { line: usize },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadLabel { line, text } => {
+                write!(f, "line {line}: cannot parse label {text:?}")
+            }
+            CodecError::BodyBeforeHeader { line } => {
+                write!(f, "line {line}: sequence data before first '>' header")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Decodes the one-sequence-per-line format.
+///
+/// Blank lines and lines starting with `#` are skipped. If a line contains a
+/// tab, the text before the first tab is the label (`-` for outlier).
+pub fn decode_lines(text: &str) -> Result<SequenceDatabase, CodecError> {
+    let mut db = SequenceDatabase::new(Alphabet::new());
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end_matches(['\r', '\n']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (label, body) = match line.split_once('\t') {
+            Some((lab, body)) => {
+                let label = if lab == "-" {
+                    None
+                } else {
+                    Some(lab.parse::<u32>().map_err(|_| CodecError::BadLabel {
+                        line: lineno + 1,
+                        text: lab.to_owned(),
+                    })?)
+                };
+                (label, body)
+            }
+            None => (None, line),
+        };
+        let seq = Sequence::intern_str(db.alphabet_mut(), body);
+        db.push_labeled(seq, label);
+    }
+    Ok(db)
+}
+
+/// Encodes a database in the one-sequence-per-line format (inverse of
+/// [`decode_lines`] when all symbol names are single characters).
+pub fn encode_lines(db: &SequenceDatabase) -> String {
+    let mut out = String::new();
+    for (_, seq, label) in db.iter() {
+        match label {
+            Some(l) => {
+                out.push_str(&l.to_string());
+                out.push('\t');
+            }
+            None if db.has_labels() => out.push_str("-\t"),
+            None => {}
+        }
+        out.push_str(&seq.render(db.alphabet()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes a FASTA-like format. `family=<name>` in a header attaches a
+/// label; family names are interned to dense ids in appearance order.
+pub fn decode_fasta(text: &str) -> Result<SequenceDatabase, CodecError> {
+    let mut db = SequenceDatabase::new(Alphabet::new());
+    let mut families: HashMap<String, u32> = HashMap::new();
+    let mut current: Option<(Option<u32>, String)> = None;
+
+    let flush = |db: &mut SequenceDatabase, cur: &mut Option<(Option<u32>, String)>| {
+        if let Some((label, body)) = cur.take() {
+            let seq = Sequence::intern_str(db.alphabet_mut(), &body);
+            db.push_labeled(seq, label);
+        }
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            flush(&mut db, &mut current);
+            let label = header
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("family="))
+                .map(|fam| {
+                    let next = families.len() as u32;
+                    *families.entry(fam.to_owned()).or_insert(next)
+                });
+            current = Some((label, String::new()));
+        } else {
+            match &mut current {
+                Some((_, body)) => body.push_str(line),
+                None => return Err(CodecError::BodyBeforeHeader { line: lineno + 1 }),
+            }
+        }
+    }
+    flush(&mut db, &mut current);
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_lines_plain() {
+        let db = decode_lines("ab\nba\n").unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(!db.has_labels());
+    }
+
+    #[test]
+    fn decode_lines_with_labels_and_outliers() {
+        let db = decode_lines("0\tab\n1\tba\n-\tzz\n").unwrap();
+        assert_eq!(db.labels(), vec![Some(0), Some(1), None]);
+        assert_eq!(db.alphabet().len(), 3); // a, b, z
+    }
+
+    #[test]
+    fn decode_lines_skips_comments_and_blanks() {
+        let db = decode_lines("# header\n\nab\n").unwrap();
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn decode_lines_rejects_bad_label() {
+        let err = decode_lines("x\tab\n").unwrap_err();
+        assert!(matches!(err, CodecError::BadLabel { line: 1, .. }));
+    }
+
+    #[test]
+    fn lines_round_trip_preserves_labels() {
+        let text = "0\tab\n-\tba\n";
+        let db = decode_lines(text).unwrap();
+        assert_eq!(encode_lines(&db), text);
+    }
+
+    #[test]
+    fn lines_round_trip_unlabeled() {
+        let text = "ab\nba\n";
+        let db = decode_lines(text).unwrap();
+        assert_eq!(encode_lines(&db), text);
+    }
+
+    #[test]
+    fn decode_fasta_concatenates_body_lines() {
+        let db = decode_fasta(">p1 family=ig\nABC\nDEF\n>p2 family=globin\nGG\n").unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.sequence(0).len(), 6);
+        assert_eq!(db.labels(), vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn decode_fasta_shares_family_ids() {
+        let db = decode_fasta(">a family=x\nAA\n>b family=y\nBB\n>c family=x\nCC\n").unwrap();
+        assert_eq!(db.labels(), vec![Some(0), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn decode_fasta_headers_without_family_are_unlabeled() {
+        let db = decode_fasta(">anon\nAA\n").unwrap();
+        assert_eq!(db.labels(), vec![None]);
+    }
+
+    #[test]
+    fn decode_fasta_rejects_headerless_body() {
+        let err = decode_fasta("ABC\n").unwrap_err();
+        assert_eq!(err, CodecError::BodyBeforeHeader { line: 1 });
+    }
+}

@@ -1,0 +1,207 @@
+//! Sequence databases: collections of sequences over a shared alphabet,
+//! optionally carrying ground-truth class labels for evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::Alphabet;
+use crate::background::BackgroundModel;
+use crate::sequence::Sequence;
+
+/// A sequence together with an optional ground-truth class label.
+///
+/// Labels are *never* consulted by the clustering algorithms; they exist so
+/// the evaluation crate can compute precision/recall against a known
+/// partition (the paper's protein families and languages).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledSequence {
+    /// The sequence itself.
+    pub sequence: Sequence,
+    /// Ground-truth class id; `None` marks a planted outlier/noise sequence.
+    pub label: Option<u32>,
+}
+
+/// A set of sequences sharing one [`Alphabet`].
+///
+/// This is the input to every clustering algorithm in the workspace. The
+/// paper (§2): *"A sequence database is a set of sequences. Given a sequence
+/// database, our objective is to categorize these sequences into clusters
+/// according to their sequential similarities."*
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SequenceDatabase {
+    alphabet: Alphabet,
+    entries: Vec<LabeledSequence>,
+}
+
+impl SequenceDatabase {
+    /// Creates an empty database over `alphabet`.
+    pub fn new(alphabet: Alphabet) -> Self {
+        Self {
+            alphabet,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a database from single-character-symbol strings, interning
+    /// symbols as they appear.
+    pub fn from_strs<'a>(texts: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut alphabet = Alphabet::new();
+        let entries = texts
+            .into_iter()
+            .map(|t| LabeledSequence {
+                sequence: Sequence::intern_str(&mut alphabet, t),
+                label: None,
+            })
+            .collect();
+        Self { alphabet, entries }
+    }
+
+    /// Adds an unlabeled sequence, returning its id (index).
+    pub fn push(&mut self, sequence: Sequence) -> usize {
+        self.push_labeled(sequence, None)
+    }
+
+    /// Adds a sequence with an optional ground-truth label, returning its id.
+    pub fn push_labeled(&mut self, sequence: Sequence, label: Option<u32>) -> usize {
+        debug_assert!(
+            sequence
+                .iter()
+                .all(|s| s.index() < self.alphabet.len().max(1)),
+            "sequence contains symbols outside the database alphabet"
+        );
+        self.entries.push(LabeledSequence { sequence, label });
+        self.entries.len() - 1
+    }
+
+    /// The shared alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Mutable access to the alphabet (for interning while loading).
+    pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        &mut self.alphabet
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sequence with id `i`.
+    pub fn sequence(&self, i: usize) -> &Sequence {
+        &self.entries[i].sequence
+    }
+
+    /// The ground-truth label of sequence `i`, if any.
+    pub fn label(&self, i: usize) -> Option<u32> {
+        self.entries[i].label
+    }
+
+    /// Iterates over the sequences in id order.
+    pub fn sequences(&self) -> impl ExactSizeIterator<Item = &Sequence> + '_ {
+        self.entries.iter().map(|e| &e.sequence)
+    }
+
+    /// Iterates over `(id, sequence, label)` triples.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, &Sequence, Option<u32>)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, &e.sequence, e.label))
+    }
+
+    /// All ground-truth labels in id order (`None` for outliers).
+    pub fn labels(&self) -> Vec<Option<u32>> {
+        self.entries.iter().map(|e| e.label).collect()
+    }
+
+    /// Whether any sequence carries a ground-truth label.
+    pub fn has_labels(&self) -> bool {
+        self.entries.iter().any(|e| e.label.is_some())
+    }
+
+    /// Number of distinct ground-truth classes (ignoring outliers).
+    pub fn class_count(&self) -> usize {
+        let mut seen: Vec<u32> = self.entries.iter().filter_map(|e| e.label).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Total number of symbols across all sequences.
+    pub fn total_symbols(&self) -> usize {
+        self.entries.iter().map(|e| e.sequence.len()).sum()
+    }
+
+    /// Average sequence length (0.0 for an empty database).
+    pub fn avg_len(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.total_symbols() as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// Fits the memoryless background model over the whole database.
+    pub fn background(&self) -> BackgroundModel {
+        BackgroundModel::fit(self.alphabet.len(), self.sequences())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_strs_interns_and_stores() {
+        let db = SequenceDatabase::from_strs(["ab", "ba", "aab"]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.alphabet().len(), 2);
+        assert_eq!(db.sequence(2).len(), 3);
+        assert_eq!(db.total_symbols(), 7);
+    }
+
+    #[test]
+    fn labels_default_to_none() {
+        let db = SequenceDatabase::from_strs(["ab"]);
+        assert_eq!(db.label(0), None);
+        assert!(!db.has_labels());
+        assert_eq!(db.class_count(), 0);
+    }
+
+    #[test]
+    fn push_labeled_tracks_classes() {
+        let mut db = SequenceDatabase::new(Alphabet::from_chars("ab".chars()));
+        let s = Sequence::parse_str(db.alphabet(), "ab").unwrap();
+        db.push_labeled(s.clone(), Some(7));
+        db.push_labeled(s.clone(), Some(7));
+        db.push_labeled(s, None);
+        assert_eq!(db.class_count(), 1);
+        assert!(db.has_labels());
+        assert_eq!(db.labels(), vec![Some(7), Some(7), None]);
+    }
+
+    #[test]
+    fn avg_len_over_mixed_lengths() {
+        let db = SequenceDatabase::from_strs(["a", "aaa"]);
+        assert!((db.avg_len() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_len_of_empty_database_is_zero() {
+        let db = SequenceDatabase::new(Alphabet::new());
+        assert_eq!(db.avg_len(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let db = SequenceDatabase::from_strs(["a", "b"]);
+        let ids: Vec<usize> = db.iter().map(|(i, _, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

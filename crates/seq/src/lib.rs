@@ -1,0 +1,29 @@
+//! Sequence substrate for the CLUSEQ sequence-clustering system.
+//!
+//! This crate provides the foundational types every other crate in the
+//! workspace builds on:
+//!
+//! * [`Alphabet`] — an interning table mapping external symbols (characters
+//!   or strings) to dense [`Symbol`] ids;
+//! * [`Sequence`] — an ordered list of symbols, stored densely;
+//! * [`SequenceDatabase`] — a set of sequences sharing one alphabet,
+//!   optionally carrying ground-truth labels;
+//! * [`BackgroundModel`] — the memoryless symbol distribution `p(s)` used as
+//!   the denominator of the CLUSEQ similarity measure;
+//! * [`codec`] — simple text codecs (one-sequence-per-line, FASTA-like).
+//!
+//! The CLUSEQ paper (Yang & Wang, ICDE 2003) defines a sequence as an
+//! ordered list of symbols over a finite alphabet ℑ and a *segment* as a
+//! consecutive portion of a sequence; those definitions are mirrored here.
+
+pub mod alphabet;
+pub mod background;
+pub mod binio;
+pub mod codec;
+pub mod database;
+pub mod sequence;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use background::BackgroundModel;
+pub use database::{LabeledSequence, SequenceDatabase};
+pub use sequence::Sequence;

@@ -1,0 +1,193 @@
+//! The [`Sequence`] type: an ordered list of symbols.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::{Alphabet, Symbol};
+
+/// An ordered list of symbols over some [`Alphabet`].
+///
+/// Per the paper (§2): *"A sequence is an ordered list of symbols in ℑ. The
+/// number of symbols in a sequence is referred to as the length of the
+/// sequence. Given a sequence, a segment is defined as a consecutive portion
+/// of the sequence."*
+///
+/// Symbols are stored in a boxed slice — sequences are immutable once built,
+/// and a boxed slice saves one word per sequence versus `Vec` (the paper's
+/// workloads hold 100 000+ sequences in memory).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sequence {
+    symbols: Box<[Symbol]>,
+}
+
+impl Sequence {
+    /// Builds a sequence from a vector of symbols.
+    pub fn new(symbols: Vec<Symbol>) -> Self {
+        Self {
+            symbols: symbols.into_boxed_slice(),
+        }
+    }
+
+    /// Parses a string of single-character symbols, interning each character.
+    pub fn intern_str(alphabet: &mut Alphabet, text: &str) -> Self {
+        let mut buf = [0u8; 4];
+        Self::new(
+            text.chars()
+                .map(|c| alphabet.intern(c.encode_utf8(&mut buf)))
+                .collect(),
+        )
+    }
+
+    /// Parses a string of single-character symbols against a fixed alphabet.
+    ///
+    /// Returns `None` if any character is not in the alphabet.
+    pub fn parse_str(alphabet: &Alphabet, text: &str) -> Option<Self> {
+        text.chars()
+            .map(|c| alphabet.get_char(c))
+            .collect::<Option<Vec<_>>>()
+            .map(Self::new)
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the sequence has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbols as a slice.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// The segment (consecutive portion) `[start, end)` of this sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn segment(&self, start: usize, end: usize) -> &[Symbol] {
+        &self.symbols[start..end]
+    }
+
+    /// A new sequence holding this sequence's symbols in reverse order.
+    ///
+    /// The paper builds each probabilistic suffix tree *"on the reversed
+    /// sequences (instead of the original sequences)"* (§3) so that the
+    /// longest significant suffix of a context is found by a single
+    /// root-to-node walk.
+    pub fn reversed(&self) -> Sequence {
+        Self::new(self.symbols.iter().rev().copied().collect())
+    }
+
+    /// Iterates over the symbols.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Symbol> + ExactSizeIterator + '_ {
+        self.symbols.iter().copied()
+    }
+
+    /// Renders the sequence with the names from `alphabet`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        alphabet.render(&self.symbols)
+    }
+}
+
+impl Index<usize> for Sequence {
+    type Output = Symbol;
+
+    fn index(&self, i: usize) -> &Symbol {
+        &self.symbols[i]
+    }
+}
+
+impl From<Vec<Symbol>> for Sequence {
+    fn from(v: Vec<Symbol>) -> Self {
+        Self::new(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = Symbol;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Symbol>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.symbols.iter().copied()
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in self.symbols.iter() {
+            write!(f, "{s} ")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars("ab".chars())
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let alphabet = ab();
+        let s = Sequence::parse_str(&alphabet, "abba").unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.render(&alphabet), "abba");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_symbols() {
+        let alphabet = ab();
+        assert!(Sequence::parse_str(&alphabet, "abc").is_none());
+    }
+
+    #[test]
+    fn intern_str_extends_the_alphabet() {
+        let mut alphabet = ab();
+        let s = Sequence::intern_str(&mut alphabet, "abc");
+        assert_eq!(alphabet.len(), 3);
+        assert_eq!(s.render(&alphabet), "abc");
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let alphabet = ab();
+        let s = Sequence::parse_str(&alphabet, "aab").unwrap();
+        assert_eq!(s.reversed().render(&alphabet), "baa");
+        // Reversal is an involution.
+        assert_eq!(s.reversed().reversed(), s);
+    }
+
+    #[test]
+    fn segment_is_a_consecutive_portion() {
+        let alphabet = ab();
+        let s = Sequence::parse_str(&alphabet, "abba").unwrap();
+        assert_eq!(alphabet.render(s.segment(1, 3)), "bb");
+        assert_eq!(s.segment(0, 0), &[] as &[Symbol]);
+        assert_eq!(s.segment(0, 4).len(), 4);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Sequence::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.reversed().is_empty());
+    }
+
+    #[test]
+    fn indexing_yields_symbols() {
+        let alphabet = ab();
+        let s = Sequence::parse_str(&alphabet, "ab").unwrap();
+        assert_eq!(s[0], alphabet.get("a").unwrap());
+        assert_eq!(s[1], alphabet.get("b").unwrap());
+    }
+}

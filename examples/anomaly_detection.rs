@@ -1,0 +1,87 @@
+//! Anomaly detection with CLUSEQ — using the outlier boundary as a
+//! sequence anomaly detector.
+//!
+//! CLUSEQ's similarity threshold separates clustered sequences from
+//! outliers automatically. This example trains on a clean system-trace-like
+//! workload (three behavioural profiles), then streams a mix of normal and
+//! anomalous traces through [`CluseqOutcome::assign_new`] and reports
+//! detection quality — the "system traces" use case from the paper's
+//! introduction.
+//!
+//! ```sh
+//! cargo run --release --example anomaly_detection
+//! ```
+
+use cluseq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Training data: three "normal" behavioural profiles, no noise.
+    let spec = SyntheticSpec {
+        sequences: 240,
+        clusters: 3,
+        avg_len: 120,
+        alphabet: 60,
+        outlier_fraction: 0.0,
+        seed: 77,
+    };
+    let db = spec.generate();
+
+    let params = CluseqParams::default()
+        .with_initial_clusters(3)
+        .with_significance(10)
+        .with_max_depth(6)
+        .with_seed(5);
+    let outcome = Cluseq::new(params).run(&db);
+    println!(
+        "trained: {} behaviour profiles, decision threshold ln(t) = {:.1}",
+        outcome.cluster_count(),
+        outcome.final_log_t
+    );
+
+    // Test stream: fresh normal traces (from the planted models) and two
+    // kinds of anomaly — uniform noise, and shuffles of real traces
+    // (identical symbol composition, destroyed order).
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut tp = 0usize; // anomaly flagged as anomaly
+    let mut fn_ = 0usize;
+    let mut tn = 0usize; // normal accepted as normal
+    let mut fp = 0usize;
+
+    for round in 0..50 {
+        let model = ClusterModel::new(60, 77u64.wrapping_add((round % 3) * 0x51ED));
+        let normal = model.sample_sequence(120, &mut rng);
+        if outcome.assign_new(normal.symbols()).is_empty() {
+            fp += 1;
+        } else {
+            tn += 1;
+        }
+
+        let anomaly = if round % 2 == 0 {
+            cluseq::datagen::outliers::random_sequence(60, 120, &mut rng)
+        } else {
+            cluseq::datagen::outliers::shuffled_sequence(&normal, &mut rng)
+        };
+        if outcome.assign_new(anomaly.symbols()).is_empty() {
+            tp += 1;
+        } else {
+            fn_ += 1;
+        }
+    }
+
+    println!("\n           flagged   accepted");
+    println!("anomalies  {tp:>7}   {fn_:>8}");
+    println!("normals    {fp:>7}   {tn:>8}");
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    println!(
+        "\ndetection precision {:.0}%, recall {:.0}%",
+        precision * 100.0,
+        recall * 100.0
+    );
+    println!(
+        "(shuffled traces keep the exact symbol histogram — a composition-\n\
+         based detector cannot flag them; CLUSEQ's sequential model can)"
+    );
+}

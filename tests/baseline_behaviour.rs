@@ -1,0 +1,187 @@
+//! Integration tests for the comparison models, including the qualitative
+//! claims the paper makes about their weaknesses.
+
+use cluseq::baselines::{
+    block_edit_distance, edit_distance, k_medoids, qgram::qgram_cluster, HmmClustering,
+};
+use cluseq::prelude::*;
+
+fn spec(seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        sequences: 80,
+        clusters: 4,
+        avg_len: 80,
+        alphabet: 30,
+        outlier_fraction: 0.0,
+        seed,
+    }
+}
+
+fn accuracy(db: &SequenceDatabase, assignment: &[Option<usize>]) -> f64 {
+    let k = assignment.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut clusters = vec![Vec::new(); k];
+    for (i, a) in assignment.iter().enumerate() {
+        if let Some(a) = a {
+            clusters[*a].push(i);
+        }
+    }
+    Confusion::new(&db.labels(), &clusters, MatchStrategy::Hungarian).accuracy()
+}
+
+#[test]
+fn qgram_clustering_beats_chance_on_separable_data() {
+    let db = spec(1).generate();
+    let a = qgram_cluster(&db, 3, 4, 20, 5);
+    let acc = accuracy(&db, &a);
+    assert!(acc > 0.6, "q-gram accuracy {acc}");
+}
+
+#[test]
+fn hmm_clustering_beats_chance_on_separable_data() {
+    // Clusters that differ in symbol composition (order-0 structure) —
+    // squarely what a small HMM's emission distributions capture.
+    use cluseq::datagen::MarkovChain;
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut db = SequenceDatabase::new(Alphabet::synthetic(8));
+    for cluster in 0..3u32 {
+        let mut chain = MarkovChain::new(8, 0);
+        let mut dist = [0.02f64; 8];
+        // Three heavy symbols per cluster, disjoint across clusters.
+        for j in 0..3 {
+            dist[(cluster as usize * 3 + j) % 8] += 0.86 / 3.0;
+        }
+        let total: f64 = dist.iter().sum();
+        chain.set(&[], dist.iter().map(|d| d / total).collect());
+        for _ in 0..12 {
+            db.push_labeled(chain.sample_sequence(60, &mut rng), Some(cluster));
+        }
+    }
+    let a = HmmClustering {
+        states: 4,
+        em_rounds: 5,
+        bw_iters: 6,
+        seed: 3,
+    }
+    .cluster(&db, 3);
+    let acc = accuracy(&db, &a);
+    assert!(acc > 0.6, "HMM accuracy {acc}");
+}
+
+#[test]
+fn edit_distance_clustering_works_when_global_alignment_suffices() {
+    // Edit distance needs globally alignable families: mutated copies of a
+    // per-cluster prototype. (On CLUSEQ's statistical workloads — distinct
+    // random walks from a shared model — ED genuinely fails, which is the
+    // paper's Table 2 finding.)
+    use cluseq::datagen::outliers::random_sequence;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut db = SequenceDatabase::new(Alphabet::synthetic(10));
+    for cluster in 0..3u32 {
+        let prototype = random_sequence(10, 50, &mut rng);
+        for _ in 0..10 {
+            // 10% point mutations.
+            let mutated: Vec<Symbol> = prototype
+                .iter()
+                .map(|s| {
+                    if rng.gen::<f64>() < 0.1 {
+                        Symbol(rng.gen_range(0..10) as u16)
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            db.push_labeled(Sequence::new(mutated), Some(cluster));
+        }
+    }
+    let a = k_medoids(
+        db.len(),
+        3,
+        |i, j| edit_distance(db.sequence(i).symbols(), db.sequence(j).symbols()) as f64,
+        15,
+        6,
+    );
+    let acc = accuracy(&db, &a);
+    assert!(acc > 0.8, "edit-distance accuracy {acc}");
+}
+
+/// The paper's §1 motivating failure: edit distance cannot tell a block
+/// swap from an unrelated sequence, but block edit distance and CLUSEQ
+/// both can.
+#[test]
+fn block_swaps_fool_edit_distance_but_not_block_edit() {
+    let mut alphabet = Alphabet::new();
+    let x = Sequence::intern_str(&mut alphabet, "aaaabbb");
+    let y = Sequence::intern_str(&mut alphabet, "bbbaaaa");
+    let z = Sequence::intern_str(&mut alphabet, "abcdefg");
+
+    let ed_xy = edit_distance(x.symbols(), y.symbols());
+    let ed_xz = edit_distance(x.symbols(), z.symbols());
+    assert_eq!(ed_xy, ed_xz, "the paper's anomaly: both are 6");
+
+    let bed_xy = block_edit_distance(x.symbols(), y.symbols(), 2);
+    let bed_xz = block_edit_distance(x.symbols(), z.symbols(), 2);
+    assert!(
+        bed_xy < bed_xz,
+        "block edit fixes it: {bed_xy} < {bed_xz}"
+    );
+}
+
+/// CLUSEQ distinguishes order-sensitive structure that q-grams blur: two
+/// families over the *same* symbol composition, differing only in
+/// transition order.
+#[test]
+fn cluseq_beats_qgrams_on_order_only_differences() {
+    // Family A alternates ab; family B alternates ba-pairs (aabb): both
+    // have identical unigram composition and heavily overlapping 2-gram
+    // sets read in windows, but very different transition structure.
+    let mut texts: Vec<(String, u32)> = Vec::new();
+    for _ in 0..20 {
+        texts.push(("ab".repeat(30), 0));
+        texts.push(("aabb".repeat(15), 1));
+    }
+    let mut db = SequenceDatabase::new(Alphabet::from_chars("ab".chars()));
+    for (t, label) in &texts {
+        let seq = Sequence::parse_str(db.alphabet(), t).unwrap();
+        db.push_labeled(seq, Some(*label));
+    }
+
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(2)
+            .with_significance(5)
+            .with_max_depth(4)
+            .with_seed(9),
+    )
+    .run(&db);
+    let cluseq_acc = Confusion::new(
+        &db.labels(),
+        &outcome.membership_lists(),
+        MatchStrategy::Hungarian,
+    )
+    .accuracy();
+
+    // q = 1 sees identical profiles; even q = 2 overlaps substantially.
+    let q1 = accuracy(&db, &qgram_cluster(&db, 1, 2, 20, 5));
+    assert!(
+        cluseq_acc > 0.9,
+        "CLUSEQ should nail order-only structure: {cluseq_acc}"
+    );
+    assert!(
+        q1 < 0.75,
+        "unigram profiles cannot separate identical compositions: {q1}"
+    );
+}
+
+#[test]
+fn all_baselines_produce_total_assignments() {
+    let db = spec(7).generate();
+    for a in [
+        qgram_cluster(&db, 3, 4, 10, 1),
+        HmmClustering::default().cluster(&db, 4),
+    ] {
+        assert_eq!(a.len(), db.len());
+        assert!(a.iter().all(|x| x.is_some()), "baselines assign everything");
+    }
+}

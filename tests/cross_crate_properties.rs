@@ -1,0 +1,125 @@
+//! Cross-crate property tests: invariants of the full pipeline on random
+//! workloads.
+
+use proptest::prelude::*;
+
+use cluseq::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        40usize..120,
+        2usize..5,
+        30usize..80,
+        10usize..40,
+        0u64..1000,
+    )
+        .prop_map(|(sequences, clusters, avg_len, alphabet, seed)| SyntheticSpec {
+            sequences,
+            clusters,
+            avg_len,
+            alphabet,
+            outlier_fraction: 0.0,
+            seed,
+        })
+}
+
+fn params(seed: u64) -> CluseqParams {
+    CluseqParams::default()
+        .with_initial_clusters(2)
+        .with_significance(5)
+        .with_max_depth(5)
+        .with_max_iterations(12)
+        .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Structural invariants of any outcome: memberships are sorted,
+    /// in-range, consistent with best_cluster and outliers; history is
+    /// coherent.
+    #[test]
+    fn outcome_structure_is_consistent(spec in arb_spec(), seed in 0u64..100) {
+        let db = spec.generate();
+        let outcome = Cluseq::new(params(seed)).run(&db);
+
+        let lists = outcome.membership_lists();
+        prop_assert_eq!(lists.len(), outcome.cluster_count());
+        let mut member_of_any = vec![false; db.len()];
+        for members in &lists {
+            // Sorted, deduplicated, in range.
+            for w in members.windows(2) {
+                prop_assert!(w[0] < w[1], "members sorted/unique");
+            }
+            for &m in members {
+                prop_assert!(m < db.len());
+                member_of_any[m] = true;
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // i indexes three parallel structures
+        for i in 0..db.len() {
+            prop_assert_eq!(outcome.best_cluster[i].is_some(), member_of_any[i]);
+            prop_assert_eq!(outcome.outliers.contains(&i), !member_of_any[i]);
+            if let Some(b) = outcome.best_cluster[i] {
+                prop_assert!(lists[b].contains(&i), "best cluster contains the sequence");
+            }
+        }
+        prop_assert_eq!(outcome.history.len(), outcome.iterations);
+        prop_assert!(outcome.iterations >= 1);
+        prop_assert!(outcome.final_log_t >= 0.0, "t >= 1 always");
+    }
+
+    /// Determinism: identical inputs and seeds give identical outcomes.
+    #[test]
+    fn pipeline_is_deterministic(spec in arb_spec()) {
+        let db = spec.generate();
+        let a = Cluseq::new(params(1)).run(&db);
+        let b = Cluseq::new(params(1)).run(&db);
+        prop_assert_eq!(a.cluster_count(), b.cluster_count());
+        prop_assert_eq!(a.best_cluster, b.best_cluster);
+        prop_assert_eq!(a.final_log_t, b.final_log_t);
+        prop_assert_eq!(a.iterations, b.iterations);
+    }
+
+    /// Every cluster a sequence belongs to really scores above the final
+    /// threshold with the final models (the final assignment pass
+    /// guarantees it — this pins the contract).
+    #[test]
+    fn memberships_respect_the_threshold(spec in arb_spec()) {
+        let db = spec.generate();
+        let outcome = Cluseq::new(params(3)).run(&db);
+        for (k, cluster) in outcome.clusters.iter().enumerate() {
+            for &m in cluster.members.iter().take(10) {
+                let ranked = outcome.classify(db.sequence(m).symbols());
+                let score = ranked.iter().find(|&&(kk, _)| kk == k).map(|&(_, s)| s.log_sim);
+                prop_assert!(score.is_some());
+                prop_assert!(
+                    score.unwrap() >= outcome.final_log_t - 1e-9,
+                    "member {m} of cluster {k} scores {:?} < t {}",
+                    score, outcome.final_log_t
+                );
+            }
+        }
+    }
+
+    /// The evaluation pipeline accepts any outcome without panicking and
+    /// produces in-range numbers.
+    #[test]
+    fn evaluation_is_total(spec in arb_spec(), seed in 0u64..50) {
+        let db = spec.generate();
+        let outcome = Cluseq::new(params(seed)).run(&db);
+        let c = Confusion::new(
+            &db.labels(),
+            &outcome.membership_lists(),
+            MatchStrategy::Hungarian,
+        );
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&c.macro_precision()));
+        prop_assert!((0.0..=1.0).contains(&c.macro_recall()));
+        for m in c.class_metrics() {
+            prop_assert!((0.0..=1.0).contains(&m.precision));
+            prop_assert!((0.0..=1.0).contains(&m.recall));
+            prop_assert!((0.0..=1.0).contains(&m.f1()));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! End-to-end integration tests: the full pipeline from workload
+//! generation through clustering to evaluation, spanning every crate.
+
+use cluseq::prelude::*;
+
+fn eval(db: &SequenceDatabase, outcome: &CluseqOutcome) -> Confusion {
+    Confusion::new(
+        &db.labels(),
+        &outcome.membership_lists(),
+        MatchStrategy::Hungarian,
+    )
+}
+
+#[test]
+fn recovers_planted_synthetic_clusters() {
+    let db = SyntheticSpec {
+        sequences: 300,
+        clusters: 5,
+        avg_len: 150,
+        alphabet: 100,
+        outlier_fraction: 0.05,
+        seed: 9,
+    }
+    .generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(1)
+            .with_significance(10)
+            .with_max_depth(6)
+            .with_seed(4),
+    )
+    .run(&db);
+    let c = eval(&db, &outcome);
+    assert!(
+        outcome.cluster_count() >= 4,
+        "found only {} of 5 planted clusters",
+        outcome.cluster_count()
+    );
+    assert!(c.accuracy() > 0.7, "accuracy {}", c.accuracy());
+    assert!(c.macro_precision() > 0.75, "precision {}", c.macro_precision());
+}
+
+#[test]
+fn cluster_count_adapts_regardless_of_initial_k() {
+    // Table 5's claim: the final number of clusters is insensitive to the
+    // initial k.
+    let db = SyntheticSpec {
+        sequences: 200,
+        clusters: 4,
+        avg_len: 120,
+        alphabet: 80,
+        outlier_fraction: 0.0,
+        seed: 21,
+    }
+    .generate();
+    let mut finals = Vec::new();
+    for k in [1, 4, 10] {
+        let outcome = Cluseq::new(
+            CluseqParams::default()
+                .with_initial_clusters(k)
+                .with_significance(8)
+                .with_max_depth(6)
+                .with_seed(5),
+        )
+        .run(&db);
+        finals.push(outcome.cluster_count());
+    }
+    for (&f, k) in finals.iter().zip([1, 4, 10]) {
+        assert!(
+            (3..=6).contains(&f),
+            "initial k = {k} ended at {f} clusters (want ~4); all: {finals:?}"
+        );
+    }
+}
+
+#[test]
+fn threshold_converges_from_different_starts() {
+    // Table 6's claim: the final t is insensitive to the initial t.
+    let db = SyntheticSpec {
+        sequences: 200,
+        clusters: 4,
+        avg_len: 120,
+        alphabet: 80,
+        outlier_fraction: 0.05,
+        seed: 33,
+    }
+    .generate();
+    let mut finals = Vec::new();
+    for t0 in [1.05, 2.0, 10.0] {
+        let outcome = Cluseq::new(
+            CluseqParams::default()
+                .with_initial_clusters(4)
+                .with_initial_threshold(t0)
+                .with_significance(8)
+                .with_max_depth(6)
+                .with_seed(5),
+        )
+        .run(&db);
+        finals.push(outcome.final_log_t);
+    }
+    let spread = finals
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        - finals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let scale = finals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        spread / scale < 0.5,
+        "final log-thresholds diverge too much: {finals:?}"
+    );
+}
+
+#[test]
+fn outliers_are_left_unclustered() {
+    let db = SyntheticSpec {
+        sequences: 220,
+        clusters: 4,
+        avg_len: 150,
+        alphabet: 100,
+        outlier_fraction: 0.10,
+        seed: 7,
+    }
+    .generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(4)
+            .with_significance(8)
+            .with_max_depth(6)
+            .with_seed(2),
+    )
+    .run(&db);
+    // Most planted outliers (label None) stay out of every cluster.
+    let outlier_ids: Vec<usize> = db
+        .iter()
+        .filter(|(_, _, l)| l.is_none())
+        .map(|(i, _, _)| i)
+        .collect();
+    let caught = outlier_ids
+        .iter()
+        .filter(|&&i| outcome.best_cluster[i].is_none())
+        .count();
+    assert!(
+        caught * 2 > outlier_ids.len(),
+        "only {caught} of {} outliers left unclustered",
+        outlier_ids.len()
+    );
+}
+
+#[test]
+fn language_corpus_separates() {
+    let db = LanguageSpec {
+        sentences_per_language: 120,
+        noise_sentences: 20,
+        // News-length sentences (~150 letters): short memory needs enough
+        // signal per sequence for single-seed models to bootstrap.
+        words_per_sentence: (20, 40),
+        ..Default::default()
+    }
+    .generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(3)
+            .with_significance(10)
+            .with_max_depth(4)
+            .with_seed(6),
+    )
+    .run(&db);
+    let c = eval(&db, &outcome);
+    assert!(
+        c.accuracy() > 0.6,
+        "language accuracy {} (paper reports ~0.8)",
+        c.accuracy()
+    );
+}
+
+#[test]
+fn protein_families_separate() {
+    let db = ProteinFamilySpec {
+        families: 5,
+        size_scale: 0.05,
+        seq_len: (120, 250),
+        motifs_per_family: 2,
+        mutation_rate: 0.10,
+        ..Default::default()
+    }
+    .generate();
+    // Tuned like the Table 2/3 reproduction: at this scale the
+    // statistically equivalent significance threshold is 1, with the
+    // consolidation minimum set separately.
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(5)
+            .with_significance(1)
+            .with_min_exclusive(3)
+            .with_max_depth(8)
+            .with_seed(8),
+    )
+    .run(&db);
+    let c = eval(&db, &outcome);
+    assert!(
+        c.accuracy() > 0.6,
+        "protein accuracy {} (paper reports 0.82)",
+        c.accuracy()
+    );
+}
+
+#[test]
+fn classify_assigns_fresh_sequences_to_the_right_cluster() {
+    let spec = SyntheticSpec {
+        sequences: 200,
+        clusters: 4,
+        avg_len: 150,
+        alphabet: 100,
+        outlier_fraction: 0.0,
+        seed: 17,
+    };
+    let db = spec.generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(4)
+            .with_significance(8)
+            .with_max_depth(6)
+            .with_seed(3),
+    )
+    .run(&db);
+
+    // Fresh sequences from the same generators (new RNG stream).
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(999);
+    let mut correct = 0;
+    let mut total = 0;
+    for planted in 0..4u64 {
+        let model = ClusterModel::new(100, spec.seed.wrapping_add(planted * 0x51ED));
+        // Which outcome cluster corresponds to this planted label? Use the
+        // majority of its training members.
+        let train_member = db
+            .iter()
+            .find(|(_, _, l)| *l == Some(planted as u32))
+            .map(|(i, _, _)| i)
+            .unwrap();
+        let Some(expected_cluster) = outcome.best_cluster[train_member] else {
+            continue;
+        };
+        for _ in 0..5 {
+            let fresh = model.sample_sequence(150, &mut rng);
+            let ranked = outcome.classify(fresh.symbols());
+            total += 1;
+            if ranked.first().map(|&(k, _)| k) == Some(expected_cluster) {
+                correct += 1;
+            }
+        }
+    }
+    assert!(
+        correct * 3 >= total * 2,
+        "only {correct}/{total} fresh sequences classified consistently"
+    );
+}
+
+#[test]
+fn web_sessions_separate_with_a_fixed_threshold() {
+    // The intro's "web usage data" domain: small alphabet (10 page types),
+    // four behavioural profiles. Small alphabets defeat the histogram
+    // valley heuristic (the noise bulk of lucky short matches swallows
+    // it), so the threshold is fixed — the paper's user-specified mode.
+    let db = WeblogSpec {
+        sessions_per_profile: 60,
+        session_len: (25, 90),
+        seed: 80,
+    }
+    .generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(4)
+            .with_initial_threshold(8.0f64.exp())
+            .with_threshold_adjustment(false)
+            .with_significance(2)
+            .with_min_exclusive(10)
+            .with_max_depth(4)
+            .with_seed(5),
+    )
+    .run(&db);
+    let c = eval(&db, &outcome);
+    assert_eq!(outcome.cluster_count(), 4);
+    assert!(c.accuracy() > 0.9, "web-session accuracy {}", c.accuracy());
+}
+
+#[test]
+fn saved_model_round_trips_through_bytes() {
+    let db = SyntheticSpec {
+        sequences: 150,
+        clusters: 3,
+        avg_len: 120,
+        alphabet: 60,
+        outlier_fraction: 0.0,
+        seed: 44,
+    }
+    .generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(3)
+            .with_significance(8)
+            .with_max_depth(6)
+            .with_seed(2),
+    )
+    .run(&db);
+    let mut buf = Vec::new();
+    SavedModel::from_outcome(&outcome).save(&mut buf).unwrap();
+    let model = SavedModel::load(&mut buf.as_slice()).unwrap();
+    assert_eq!(model.cluster_count(), outcome.cluster_count());
+    // Every training sequence classifies identically through the loaded
+    // model.
+    for i in (0..db.len()).step_by(7) {
+        let seq = db.sequence(i).symbols();
+        let orig: Vec<usize> = outcome.classify(seq).iter().map(|&(k, _)| k).collect();
+        let redo: Vec<usize> = model.classify(seq).iter().map(|&(k, _)| k).collect();
+        assert_eq!(orig, redo, "sequence {i}");
+    }
+}
+
+#[test]
+fn overlapping_membership_is_possible() {
+    // A sequence genuinely exhibiting two clusters' patterns should be
+    // allowed in both (CLUSEQ clusters "possibly overlap").
+    let mut texts: Vec<String> = Vec::new();
+    for _ in 0..15 {
+        texts.push("abababababababababab".into());
+        texts.push("cdcdcdcdcdcdcdcdcdcd".into());
+    }
+    // Chimeric sequences carrying both signatures.
+    for _ in 0..3 {
+        texts.push("ababababababcdcdcdcdcdcd".into());
+    }
+    let db = SequenceDatabase::from_strs(texts.iter().map(|s| s.as_str()));
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(2)
+            .with_significance(4)
+            .with_max_depth(5)
+            .with_seed(12),
+    )
+    .run(&db);
+    let lists = outcome.membership_lists();
+    let chimera_id = 30; // first chimeric sequence
+    let homes = lists.iter().filter(|l| l.contains(&chimera_id)).count();
+    assert!(
+        homes >= 1,
+        "the chimera must belong somewhere (ideally both clusters)"
+    );
+}
