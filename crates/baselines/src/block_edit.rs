@@ -143,7 +143,10 @@ mod tests {
 
     fn syms(text: &str) -> Vec<Symbol> {
         let alphabet = Alphabet::from_chars('a'..='h');
-        Sequence::parse_str(&alphabet, text).unwrap().iter().collect()
+        Sequence::parse_str(&alphabet, text)
+            .unwrap()
+            .iter()
+            .collect()
     }
 
     #[test]

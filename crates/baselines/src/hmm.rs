@@ -57,7 +57,9 @@ impl DiscreteHmm {
             normalize(&mut v);
             v
         };
-        let mut pi = (0..states).map(|_| 0.1 + rng.gen::<f64>()).collect::<Vec<_>>();
+        let mut pi = (0..states)
+            .map(|_| 0.1 + rng.gen::<f64>())
+            .collect::<Vec<_>>();
         normalize(&mut pi);
         Self {
             states,
@@ -303,9 +305,8 @@ impl HmmClustering {
                 c.iter().map(|x| x / total).collect()
             })
             .collect();
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         let mut seeds = vec![rng.gen_range(0..n)];
         let mut nearest = vec![f64::INFINITY; n];
         while seeds.len() < k {
@@ -384,7 +385,10 @@ mod tests {
 
     fn syms(text: &str) -> Vec<Symbol> {
         let alphabet = Alphabet::from_chars('a'..='d');
-        Sequence::parse_str(&alphabet, text).unwrap().iter().collect()
+        Sequence::parse_str(&alphabet, text)
+            .unwrap()
+            .iter()
+            .collect()
     }
 
     #[test]

@@ -86,8 +86,16 @@ pub fn k_medoids(
                 .iter()
                 .copied()
                 .min_by(|&a, &b| {
-                    let ca: f64 = members.iter().filter(|&&m| m != a).map(|&m| dist(a, m)).sum();
-                    let cb: f64 = members.iter().filter(|&&m| m != b).map(|&m| dist(b, m)).sum();
+                    let ca: f64 = members
+                        .iter()
+                        .filter(|&&m| m != a)
+                        .map(|&m| dist(a, m))
+                        .sum();
+                    let cb: f64 = members
+                        .iter()
+                        .filter(|&&m| m != b)
+                        .map(|&m| dist(b, m))
+                        .sum();
                     ca.total_cmp(&cb)
                 })
                 .expect("non-empty members");

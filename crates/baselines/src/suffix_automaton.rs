@@ -198,7 +198,10 @@ mod tests {
 
     fn syms(text: &str) -> Vec<Symbol> {
         let alphabet = Alphabet::from_chars('a'..='h');
-        Sequence::parse_str(&alphabet, text).unwrap().iter().collect()
+        Sequence::parse_str(&alphabet, text)
+            .unwrap()
+            .iter()
+            .collect()
     }
 
     /// Reference LCS via the O(n·m) DP.

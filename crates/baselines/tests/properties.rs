@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use cluseq_baselines::{banded_edit_distance, block_edit_distance, edit_distance, DiscreteHmm};
 use cluseq_baselines::qgram::{cosine_similarity, QgramProfile};
+use cluseq_baselines::{banded_edit_distance, block_edit_distance, edit_distance, DiscreteHmm};
 use cluseq_seq::Symbol;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -7,7 +7,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cluseq_baselines::qgram::QgramProfile;
-use cluseq_baselines::{banded_edit_distance, block_edit_distance, cosine_similarity, edit_distance};
+use cluseq_baselines::{
+    banded_edit_distance, block_edit_distance, cosine_similarity, edit_distance,
+};
 use cluseq_datagen::ProteinFamilySpec;
 use cluseq_seq::Symbol;
 

@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cluseq_datagen::ClusterModel;
-use cluseq_pst::{Pst, PstParams, PruneStrategy};
+use cluseq_pst::{PruneStrategy, Pst, PstParams};
 use cluseq_seq::Sequence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

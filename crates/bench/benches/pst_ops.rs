@@ -24,7 +24,9 @@ fn bench_insertion(c: &mut Criterion) {
             b.iter(|| {
                 let mut pst = Pst::new(
                     100,
-                    PstParams::default().with_max_depth(depth).with_significance(5),
+                    PstParams::default()
+                        .with_max_depth(depth)
+                        .with_significance(5),
                 );
                 pst.add_sequence(black_box(&seq));
                 black_box(pst.node_count())
@@ -45,20 +47,16 @@ fn bench_prediction(c: &mut Criterion) {
         );
         pst.add_sequence(&train);
         group.throughput(Throughput::Elements(probe.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("alphabet", alphabet),
-            &alphabet,
-            |b, _| {
-                let symbols = probe.symbols();
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for i in 0..symbols.len() {
-                        acc += pst.raw_predict(&symbols[..i], symbols[i]);
-                    }
-                    black_box(acc)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("alphabet", alphabet), &alphabet, |b, _| {
+            let symbols = probe.symbols();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..symbols.len() {
+                    acc += pst.raw_predict(&symbols[..i], symbols[i]);
+                }
+                black_box(acc)
+            })
+        });
     }
     group.finish();
 }

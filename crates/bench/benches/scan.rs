@@ -1,0 +1,145 @@
+//! The re-clustering scan under both [`ScanMode`]s and several thread
+//! counts (the tentpole measurement for the deterministic parallel
+//! scoring engine).
+//!
+//! Two groups:
+//!
+//! * `scan` — one `recluster` call over grown cluster models. Each
+//!   iteration clones the cluster state first (the scan mutates it); the
+//!   clone cost is identical across variants, so relative numbers are
+//!   conservative but comparable.
+//! * `pipeline` — the whole `Cluseq::run`, where seeding, the scan
+//!   (snapshot mode only), and the final assignment pass all ride the
+//!   engine.
+//!
+//! Snapshot results are bit-identical across thread counts — asserted by
+//! the test suite, so this harness only measures.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cluseq_core::recluster::{recluster, ScanOptions};
+use cluseq_core::{Cluseq, CluseqParams, Cluster, ScanMode};
+use cluseq_datagen::SyntheticSpec;
+use cluseq_seq::SequenceDatabase;
+
+fn workload() -> SequenceDatabase {
+    // The figure-6 family of workloads, at a laptop-friendly size.
+    SyntheticSpec {
+        sequences: 400,
+        clusters: 5,
+        avg_len: 150,
+        alphabet: 60,
+        outlier_fraction: 0.05,
+        seed: 31,
+    }
+    .generate()
+}
+
+fn params() -> CluseqParams {
+    CluseqParams::default()
+        .with_initial_clusters(5)
+        .with_significance(8)
+        .with_max_depth(6)
+        .with_max_iterations(20)
+        .with_seed(2)
+}
+
+/// Grown cluster models + the state a scan needs, prepared once.
+struct ScanFixture {
+    db: SequenceDatabase,
+    clusters: Vec<Cluster>,
+    log_t: f64,
+    order: Vec<usize>,
+    background: cluseq_seq::BackgroundModel,
+}
+
+fn scan_fixture() -> ScanFixture {
+    let db = workload();
+    // A full run produces realistic grown models and a converged
+    // threshold; benchmark one more scan from that state.
+    let outcome = Cluseq::new(params()).run(&db);
+    let background = db.background();
+    let order: Vec<usize> = (0..db.len()).collect();
+    ScanFixture {
+        log_t: outcome.final_log_t,
+        clusters: outcome.clusters,
+        background,
+        order,
+        db,
+    }
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let fx = scan_fixture();
+    let mut group = c.benchmark_group("scan");
+    group.throughput(Throughput::Elements(
+        (fx.db.len() * fx.clusters.len()) as u64,
+    ));
+    group.bench_function("incremental/1", |b| {
+        b.iter(|| {
+            let mut clusters = fx.clusters.clone();
+            recluster(
+                &fx.db,
+                &mut clusters,
+                fx.log_t,
+                &fx.order,
+                &fx.background,
+                ScanOptions::default(),
+            )
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut clusters = fx.clusters.clone();
+                    recluster(
+                        &fx.db,
+                        &mut clusters,
+                        fx.log_t,
+                        &fx.order,
+                        &fx.background,
+                        ScanOptions {
+                            mode: ScanMode::Snapshot,
+                            threads,
+                            ..ScanOptions::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let db = workload();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(db.len() as u64));
+    group.bench_function("incremental/1", |b| {
+        b.iter(|| Cluseq::new(params()).run(black_box(&db)))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Cluseq::new(
+                        params()
+                            .with_scan_mode(ScanMode::Snapshot)
+                            .with_threads(threads),
+                    )
+                    .run(black_box(&db))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_pipeline);
+criterion_main!(benches);

@@ -85,9 +85,7 @@ fn main() {
 
     match find_valley(&hist) {
         Some(valley) => {
-            println!(
-                "\ndetected valley (sharpest regression-slope turn): ln SIM = {valley:.2}"
-            );
+            println!("\ndetected valley (sharpest regression-slope turn): ln SIM = {valley:.2}");
             println!(
                 "final threshold:                                   ln t   = {:.2}",
                 outcome.final_log_t

@@ -63,7 +63,14 @@ fn main() {
     }
     print_table(
         "Figure 5: sample size m vs quality (a) and response time (b)",
-        &["m", "precision %", "recall %", "clusters", "iterations", "time"],
+        &[
+            "m",
+            "precision %",
+            "recall %",
+            "clusters",
+            "iterations",
+            "time",
+        ],
         &rows,
     );
     println!(

@@ -69,7 +69,15 @@ fn run_axis(scale: &Scale, axis: &str) {
             .collect(),
         "alphabet" => [25usize, 50, 100, 200]
             .iter()
-            .map(|&a| (format!("{a} symbols"), SyntheticSpec { alphabet: a, ..base }))
+            .map(|&a| {
+                (
+                    format!("{a} symbols"),
+                    SyntheticSpec {
+                        alphabet: a,
+                        ..base
+                    },
+                )
+            })
             .collect(),
         other => {
             eprintln!("error: unknown --axis {other:?}");
@@ -119,7 +127,14 @@ fn run_axis(scale: &Scale, axis: &str) {
     };
     print_table(
         &format!("Figure 6 ({axis}): response time — paper shape: {expected}"),
-        &["workload", "time", "iters", "time/iter", "final clusters", "accuracy %"],
+        &[
+            "workload",
+            "time",
+            "iters",
+            "time/iter",
+            "final clusters",
+            "accuracy %",
+        ],
         &rows,
     );
     // A crude shape statistic: the ratio of successive time ratios to the

@@ -41,12 +41,12 @@ fn main() {
                 &db,
                 CluseqParams::default()
                     .with_initial_clusters(spec.clusters)
-                // Warm start near the converged threshold (the paper's own
-                // sensitivity experiments start at the true t); a cold
-                // 1.0005 start under heavy noise can deadlock in a
-                // contaminated monopoly cluster at this reduced scale —
-                // see EXPERIMENTS.md.
-                .with_initial_threshold(3000.0)
+                    // Warm start near the converged threshold (the paper's own
+                    // sensitivity experiments start at the true t); a cold
+                    // 1.0005 start under heavy noise can deadlock in a
+                    // contaminated monopoly cluster at this reduced scale —
+                    // see EXPERIMENTS.md.
+                    .with_initial_threshold(3000.0)
                     .with_significance(10)
                     .with_max_depth(6)
                     .with_seed(scale.seed),
@@ -60,7 +60,10 @@ fn main() {
                 format!("{}", scored.clusters),
                 secs(scored.seconds),
             ]);
-            eprintln!("{percent}% {} done", if shuffled { "shuffle" } else { "random" });
+            eprintln!(
+                "{percent}% {} done",
+                if shuffled { "shuffle" } else { "random" }
+            );
         }
     }
     print_table(

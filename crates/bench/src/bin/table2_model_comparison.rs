@@ -32,11 +32,7 @@ fn main() {
     let families = if scale.full { 30 } else { 10 };
     let spec = ProteinFamilySpec {
         families,
-        size_scale: if scale.full {
-            1.0
-        } else {
-            0.04 * scale.factor
-        },
+        size_scale: if scale.full { 1.0 } else { 0.04 * scale.factor },
         seq_len: if scale.full { (150, 400) } else { (120, 250) },
         motifs_per_family: 2,
         mutation_rate: 0.10,

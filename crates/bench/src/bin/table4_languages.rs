@@ -21,7 +21,11 @@ use cluseq_core::CluseqParams;
 use cluseq_datagen::{Language, LanguageSpec};
 use cluseq_eval::{Confusion, MatchStrategy};
 
-const PAPER: [(&str, u32, u32); 3] = [("English", 86, 84), ("Chinese", 79, 78), ("Japanese", 81, 80)];
+const PAPER: [(&str, u32, u32); 3] = [
+    ("English", 86, 84),
+    ("Chinese", 79, 78),
+    ("Japanese", 81, 80),
+];
 
 fn main() {
     let scale = Scale::from_env();
@@ -79,7 +83,10 @@ fn main() {
     );
 
     // Confusion direction: where do mislabeled English sentences go?
-    let english_cluster = metrics.iter().find(|m| m.class == 0).and_then(|m| m.cluster);
+    let english_cluster = metrics
+        .iter()
+        .find(|m| m.class == 0)
+        .and_then(|m| m.cluster);
     let mut into: [usize; 3] = [0; 3];
     for (i, _, label) in db.iter() {
         if label != Some(0) {

@@ -50,9 +50,7 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    for (&k, (paper_k, paper_final, paper_time, paper_p, paper_r)) in
-        initial_ks.iter().zip(paper)
-    {
+    for (&k, (paper_k, paper_final, paper_time, paper_p, paper_r)) in initial_ks.iter().zip(paper) {
         let scored = run_and_score(
             &db,
             CluseqParams::default()

@@ -53,8 +53,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut finals = Vec::new();
-    for (&t0, (paper_t0, paper_final, paper_time, paper_p, paper_r)) in
-        initial_ts.iter().zip(paper)
+    for (&t0, (paper_t0, paper_final, paper_time, paper_p, paper_r)) in initial_ts.iter().zip(paper)
     {
         let scored = run_and_score(
             &db,
@@ -80,7 +79,13 @@ fn main() {
     }
     print_table(
         "Table 6: effect of the initial similarity threshold",
-        &["initial t", "final threshold", "time", "precision %", "recall %"],
+        &[
+            "initial t",
+            "final threshold",
+            "time",
+            "precision %",
+            "recall %",
+        ],
         &rows,
     );
 

@@ -144,7 +144,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let fmt_row = |cells: &[String]| {
         let mut line = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            line.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+            line.push_str(&format!(
+                "{:<w$}  ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", line.trim_end());
     };

@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 use args::Args;
 use cluseq_core::persist::SavedModel;
-use cluseq_core::{Cluseq, CluseqParams, ExaminationOrder};
+use cluseq_core::{Cluseq, CluseqParams, ExaminationOrder, ScanMode};
 use cluseq_datagen::{LanguageSpec, ProteinFamilySpec, SyntheticSpec};
 use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
 use cluseq_seq::codec;
@@ -46,6 +46,12 @@ CLUSTERING OPTIONS:
   --max-depth L          PST context bound (default 12)
   --pst-bytes BYTES      per-cluster PST memory budget (default 5 MiB)
   --order fixed|random|cluster   examination order (default fixed)
+  --scan-mode incremental|snapshot   re-clustering scan variant: the
+                         paper's immediate model updates, or parallel
+                         snapshot scoring with a sequential absorb phase
+                         (default incremental)
+  --threads N            worker threads for the scoring passes; results
+                         are identical for any value (default 1)
   --seed S               RNG seed (default fixed)
   --max-iterations N     iteration cap (default 50)
   --verbose              print per-iteration progress while clustering
@@ -192,7 +198,9 @@ fn params_from(args: &Args) -> CluseqParams {
         .with_max_depth(args.get("max-depth", 12))
         .with_max_pst_bytes(args.get("pst-bytes", 5 * 1024 * 1024))
         .with_seed(args.get("seed", 0xC105E9))
-        .with_max_iterations(args.get("max-iterations", 50));
+        .with_max_iterations(args.get("max-iterations", 50))
+        .with_threads(args.get("threads", 1usize).max(1))
+        .with_scan_mode(args.get("scan-mode", ScanMode::Incremental));
     if args.has("no-adjust") {
         p = p.with_threshold_adjustment(false);
     }
@@ -291,7 +299,10 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
                         eprintln!("error: writing model {path}: {e}");
                         return ExitCode::FAILURE;
                     }
-                    eprintln!("model with {} clusters saved to {path}", model.cluster_count());
+                    eprintln!(
+                        "model with {} clusters saved to {path}",
+                        model.cluster_count()
+                    );
                 }
                 Err(e) => {
                     eprintln!("error: creating {path}: {e}");
@@ -405,4 +416,30 @@ fn inspect(args: &Args) -> ExitCode {
         print!("{}", cluster.pst.render(&alphabet, options));
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_flags_reach_params() {
+        let args = Args::parse(
+            "cluster data.txt --threads 4 --scan-mode snapshot --significance 5"
+                .split_whitespace()
+                .map(str::to_owned),
+        );
+        let p = params_from(&args);
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.scan_mode, ScanMode::Snapshot);
+        assert_eq!(p.significance, 5);
+    }
+
+    #[test]
+    fn scan_mode_defaults_to_incremental() {
+        let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
+        let p = params_from(&args);
+        assert_eq!(p.scan_mode, ScanMode::Incremental);
+        assert_eq!(p.threads, 1);
+    }
 }

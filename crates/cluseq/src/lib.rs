@@ -61,18 +61,17 @@ pub use cluseq_seq as seq;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use cluseq_core::persist::SavedModel;
     pub use cluseq_core::online::OnlineCluseq;
+    pub use cluseq_core::persist::SavedModel;
     pub use cluseq_core::{
-        Cluseq, CluseqOutcome, CluseqParams, ConsolidationMode, ExaminationOrder,
-        IterationStats, LogSim,
-        SegmentSimilarity,
+        Cluseq, CluseqOutcome, CluseqParams, ConsolidationMode, ExaminationOrder, IterationStats,
+        LogSim, ScanMode, ScoreEngine, SegmentSimilarity,
     };
     pub use cluseq_datagen::{
-        inject_outliers, ClusterModel, Language, LanguageSpec, ProteinFamilySpec, Profile,
+        inject_outliers, ClusterModel, Language, LanguageSpec, Profile, ProteinFamilySpec,
         SyntheticSpec, WeblogSpec,
     };
     pub use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
-    pub use cluseq_pst::{ConditionalModel, ContextScanner, Pst, PstParams, PruneStrategy};
+    pub use cluseq_pst::{ConditionalModel, ContextScanner, PruneStrategy, Pst, PstParams};
     pub use cluseq_seq::{Alphabet, BackgroundModel, Sequence, SequenceDatabase, Symbol};
 }

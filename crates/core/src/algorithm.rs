@@ -17,7 +17,8 @@ use crate::cluster::Cluster;
 use crate::config::CluseqParams;
 use crate::consolidate::consolidate_with_mode;
 use crate::outcome::{CluseqOutcome, IterationStats};
-use crate::recluster::recluster;
+use crate::recluster::{recluster, ScanOptions};
+use crate::score::parallel_map;
 use crate::seeding::select_seeds;
 use crate::similarity::max_similarity_pst;
 use crate::threshold::adjust_threshold;
@@ -110,6 +111,7 @@ impl Cluseq {
                 k_n_target,
                 p.sample_factor,
                 pst_params,
+                p.threads,
                 &mut rng,
             );
             let k_n = seeds.len();
@@ -126,11 +128,26 @@ impl Cluseq {
 
             // ---- 2. Re-clustering scan (§4.2) ----
             let order = p.order.sequence_order(n, &prev_best, &mut rng);
-            let scan = recluster(db, &mut clusters, log_t, &order, &background, p.rebuild_psts);
+            let scan = recluster(
+                db,
+                &mut clusters,
+                log_t,
+                &order,
+                &background,
+                ScanOptions {
+                    mode: p.scan_mode,
+                    rebuild_psts: p.rebuild_psts,
+                    threads: p.threads,
+                },
+            );
 
             // ---- 3. Consolidation (§4.5) ----
-            let removed =
-                consolidate_with_mode(&mut clusters, p.effective_min_exclusive(), n, p.consolidation);
+            let removed = consolidate_with_mode(
+                &mut clusters,
+                p.effective_min_exclusive(),
+                n,
+                p.consolidation,
+            );
 
             // ---- 4. Threshold adjustment (§4.6) ----
             let mut moved = false;
@@ -200,45 +217,27 @@ impl Cluseq {
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
 
         // Scoring is read-only and embarrassingly parallel over sequences;
-        // results are bit-identical for any thread count.
-        let threads = self.params.threads.max(1).min(n.max(1));
-        let score_range = |lo: usize, hi: usize| -> Vec<(usize, usize, f64)> {
-            let mut joins = Vec::new();
-            for seq_id in lo..hi {
+        // results are bit-identical for any thread count (see
+        // [`crate::score`]).
+        let joins_per_seq: Vec<Vec<(usize, f64)>> =
+            parallel_map(n, self.params.threads, |seq_id| {
                 let seq = db.sequence(seq_id).symbols();
-                for (slot, cluster) in clusters.iter().enumerate() {
-                    let sim = max_similarity_pst(&cluster.pst, &background, seq);
-                    if sim.log_sim >= log_t && !seq.is_empty() {
-                        joins.push((seq_id, slot, sim.log_sim));
-                    }
-                }
-            }
-            joins
-        };
-        let all_joins: Vec<(usize, usize, f64)> = if threads <= 1 {
-            score_range(0, n)
-        } else {
-            let chunk = n.div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(n);
-                        let score_range = &score_range;
-                        scope.spawn(move || score_range(lo, hi))
+                clusters
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, cluster)| {
+                        let sim = max_similarity_pst(&cluster.pst, &background, seq);
+                        (sim.log_sim >= log_t && !seq.is_empty()).then_some((slot, sim.log_sim))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("scoring worker panicked"))
                     .collect()
-            })
-        };
-        for (seq_id, slot, log_sim) in all_joins {
-            members[slot].push(seq_id);
-            if log_sim > best_score[seq_id] {
-                best_score[seq_id] = log_sim;
-                best_cluster[seq_id] = Some(slot);
+            });
+        for (seq_id, joins) in joins_per_seq.into_iter().enumerate() {
+            for (slot, log_sim) in joins {
+                members[slot].push(seq_id);
+                if log_sim > best_score[seq_id] {
+                    best_score[seq_id] = log_sim;
+                    best_cluster[seq_id] = Some(slot);
+                }
             }
         }
         for m in &mut members {
@@ -377,11 +376,8 @@ mod tests {
     fn memberships_and_outliers_partition_consistently() {
         let db = two_cluster_db();
         let outcome = Cluseq::new(base_params()).run(&db);
-        let in_any: std::collections::HashSet<usize> = outcome
-            .membership_lists()
-            .into_iter()
-            .flatten()
-            .collect();
+        let in_any: std::collections::HashSet<usize> =
+            outcome.membership_lists().into_iter().flatten().collect();
         for i in 0..db.len() {
             let clustered = in_any.contains(&i);
             let is_outlier = outcome.outliers.contains(&i);
@@ -462,16 +458,39 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_results() {
+        use crate::config::ScanMode;
         let db = two_cluster_db();
-        let serial = Cluseq::new(base_params()).run(&db);
-        let parallel = Cluseq::new(base_params().with_threads(4)).run(&db);
-        assert_eq!(serial.cluster_count(), parallel.cluster_count());
-        assert_eq!(serial.best_cluster, parallel.best_cluster);
-        assert_eq!(serial.membership_lists(), parallel.membership_lists());
-        assert_eq!(
-            serial.final_log_t.to_bits(),
-            parallel.final_log_t.to_bits()
-        );
+        for mode in [ScanMode::Incremental, ScanMode::Snapshot] {
+            let serial = Cluseq::new(base_params().with_scan_mode(mode)).run(&db);
+            let parallel = Cluseq::new(base_params().with_scan_mode(mode).with_threads(4)).run(&db);
+            assert_eq!(serial.cluster_count(), parallel.cluster_count(), "{mode:?}");
+            assert_eq!(serial.best_cluster, parallel.best_cluster, "{mode:?}");
+            assert_eq!(
+                serial.membership_lists(),
+                parallel.membership_lists(),
+                "{mode:?}"
+            );
+            assert_eq!(
+                serial.final_log_t.to_bits(),
+                parallel.final_log_t.to_bits(),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_scan_mode_also_converges() {
+        use crate::config::ScanMode;
+        let db = two_cluster_db();
+        let outcome = Cluseq::new(
+            base_params()
+                .with_initial_clusters(2)
+                .with_scan_mode(ScanMode::Snapshot),
+        )
+        .run(&db);
+        assert!(outcome.cluster_count() >= 2);
+        assert_ne!(outcome.best_cluster[0], outcome.best_cluster[1]);
+        assert_eq!(outcome.history.last().unwrap().membership_changes, 0);
     }
 
     #[test]

@@ -17,6 +17,40 @@ pub enum ConsolidationMode {
     MergeIntoCovering,
 }
 
+/// How the re-clustering scan applies model updates (§4.2).
+///
+/// Joins the `rebuild_psts` / [`ExaminationOrder`] family of scan
+/// ablations; the default is the paper's rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScanMode {
+    /// The paper's rule: a new join's maximizing segment is inserted into
+    /// the cluster model *immediately*, so later sequences in the same
+    /// scan are scored against the updated model. Order-dependent by
+    /// design (§6.3), and therefore inherently serial.
+    #[default]
+    Incremental,
+    /// Scan variant: every (sequence, cluster) similarity is computed
+    /// against the models as they stood at the *start* of the scan — a
+    /// pure map, evaluated in parallel by [`crate::score`] — and the
+    /// maximizing segments of new joins are absorbed in a sequential
+    /// second phase. Results are bit-identical for any thread count.
+    Snapshot,
+}
+
+impl std::str::FromStr for ScanMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "incremental" => Ok(ScanMode::Incremental),
+            "snapshot" => Ok(ScanMode::Snapshot),
+            other => Err(format!(
+                "unknown scan mode {other:?} (expected incremental|snapshot)"
+            )),
+        }
+    }
+}
+
 /// Parameters of the CLUSEQ algorithm (`k`, `c`, `t` in the paper, plus the
 /// knobs of §4–§5 the paper fixes to stated defaults).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,11 +102,15 @@ pub struct CluseqParams {
     /// segments when a sequence first joins. Not in the paper (which only
     /// ever inserts); exposed for the ablation benches. Default false.
     pub rebuild_psts: bool,
-    /// Worker threads for the read-only scoring passes (the final
-    /// assignment sweep). 1 = serial. Results are identical for any
-    /// value — scoring is embarrassingly parallel; the iterative scan
-    /// itself stays serial because its PST updates are order-dependent by
-    /// design (§6.3).
+    /// How the re-clustering scan applies model updates: the paper's
+    /// immediate insertion, or the parallel snapshot-score variant.
+    pub scan_mode: ScanMode,
+    /// Worker threads for the read-only scoring passes: seed selection,
+    /// the final assignment sweep, online scoring, and — under
+    /// [`ScanMode::Snapshot`] — the scan's score phase. 1 = serial.
+    /// Results are bit-identical for any value (see [`crate::score`]);
+    /// under [`ScanMode::Incremental`] the scan itself stays serial
+    /// because its PST updates are order-dependent by design (§6.3).
     pub threads: usize,
     /// RNG seed (sampling, random examination order).
     pub seed: u64,
@@ -96,6 +134,7 @@ impl Default for CluseqParams {
             consolidation: ConsolidationMode::Dismiss,
             min_exclusive: None,
             rebuild_psts: false,
+            scan_mode: ScanMode::Incremental,
             threads: 1,
             seed: 0xC105E9, // arbitrary fixed default for reproducibility
         }
@@ -207,6 +246,12 @@ impl CluseqParams {
         self
     }
 
+    /// Sets the re-clustering scan mode.
+    pub fn with_scan_mode(mut self, mode: ScanMode) -> Self {
+        self.scan_mode = mode;
+        self
+    }
+
     /// The PST parameter block derived from these settings.
     pub fn pst_params(&self) -> PstParams {
         let mut p = PstParams::default()
@@ -228,7 +273,10 @@ impl CluseqParams {
             "similarity threshold must be >= 1"
         );
         assert!(self.sample_factor >= 1);
-        assert!(self.histogram_buckets >= 3, "valley detection needs >= 3 buckets");
+        assert!(
+            self.histogram_buckets >= 3,
+            "valley detection needs >= 3 buckets"
+        );
         assert!(self.max_iterations >= 1);
         self.pst_params().validate(alphabet_size);
     }
@@ -268,6 +316,20 @@ mod tests {
     #[should_panic(expected = ">= 1")]
     fn threshold_below_one_is_rejected() {
         CluseqParams::default().with_initial_threshold(0.5);
+    }
+
+    #[test]
+    fn scan_mode_parses_and_defaults_to_the_paper() {
+        assert_eq!(CluseqParams::default().scan_mode, ScanMode::Incremental);
+        assert_eq!("incremental".parse(), Ok(ScanMode::Incremental));
+        assert_eq!("snapshot".parse(), Ok(ScanMode::Snapshot));
+        assert!("Snapshot".parse::<ScanMode>().is_err());
+        assert_eq!(
+            CluseqParams::default()
+                .with_scan_mode(ScanMode::Snapshot)
+                .scan_mode,
+            ScanMode::Snapshot
+        );
     }
 
     #[test]

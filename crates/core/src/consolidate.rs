@@ -224,12 +224,8 @@ mod tests {
         let survivor_count_before = clusters[0].pst.total_count();
         let doomed_count = clusters[1].pst.total_count();
 
-        let removed = consolidate_with_mode(
-            &mut clusters,
-            2,
-            10,
-            ConsolidationMode::MergeIntoCovering,
-        );
+        let removed =
+            consolidate_with_mode(&mut clusters, 2, 10, ConsolidationMode::MergeIntoCovering);
         assert_eq!(removed, 1);
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].id, 0);
@@ -256,12 +252,8 @@ mod tests {
         // An empty failing cluster shares nothing; nothing to merge into.
         let mut clusters = vec![make_cluster(0, vec![0, 1, 2]), make_cluster(1, vec![])];
         let before = clusters[0].pst.total_count();
-        let removed = consolidate_with_mode(
-            &mut clusters,
-            1,
-            10,
-            ConsolidationMode::MergeIntoCovering,
-        );
+        let removed =
+            consolidate_with_mode(&mut clusters, 1, 10, ConsolidationMode::MergeIntoCovering);
         assert_eq!(removed, 1);
         assert_eq!(clusters[0].pst.total_count(), before);
     }

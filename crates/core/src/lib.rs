@@ -42,19 +42,22 @@ pub mod algorithm;
 pub mod cluster;
 pub mod config;
 pub mod consolidate;
-pub mod order;
 pub mod online;
+pub mod order;
 pub mod outcome;
 pub mod persist;
 pub mod recluster;
+pub mod score;
 pub mod seeding;
 pub mod similarity;
 pub mod threshold;
 
 pub use algorithm::Cluseq;
 pub use cluster::Cluster;
-pub use config::{CluseqParams, ConsolidationMode};
-pub use order::ExaminationOrder;
+pub use config::{CluseqParams, ConsolidationMode, ScanMode};
 pub use online::{OnlineCluseq, OnlineReport};
+pub use order::ExaminationOrder;
 pub use outcome::{CluseqOutcome, IterationStats};
+pub use recluster::ScanOptions;
+pub use score::ScoreEngine;
 pub use similarity::{max_similarity, max_similarity_pst, LogSim, SegmentSimilarity};

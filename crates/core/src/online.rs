@@ -35,6 +35,7 @@ use cluseq_seq::{BackgroundModel, Sequence};
 use crate::cluster::Cluster;
 use crate::config::CluseqParams;
 use crate::outcome::CluseqOutcome;
+use crate::score::parallel_map;
 use crate::similarity::{max_similarity_pst, LogSim};
 
 /// What happened to one streamed sequence.
@@ -66,6 +67,8 @@ pub struct OnlineCluseq {
     min_support: usize,
     /// Outliers older than this are evicted (confirmed noise).
     max_buffer: usize,
+    /// Worker threads for the read-only scoring passes.
+    threads: usize,
     processed: u64,
 }
 
@@ -77,12 +80,7 @@ impl OnlineCluseq {
         params: &CluseqParams,
         alphabet_size: usize,
     ) -> Self {
-        let next_id = outcome
-            .clusters
-            .iter()
-            .map(|c| c.id + 1)
-            .max()
-            .unwrap_or(0);
+        let next_id = outcome.clusters.iter().map(|c| c.id + 1).max().unwrap_or(0);
         Self {
             clusters: outcome.clusters.clone(),
             background: outcome.background.clone(),
@@ -93,6 +91,7 @@ impl OnlineCluseq {
             buffer: Vec::new(),
             min_support: params.effective_min_exclusive().max(2),
             max_buffer: 256,
+            threads: params.threads,
             processed: 0,
         }
     }
@@ -122,11 +121,16 @@ impl OnlineCluseq {
     pub fn process(&mut self, seq: &Sequence) -> OnlineReport {
         self.processed += 1;
         let symbols = seq.symbols();
+        // Score phase: each cluster's model is independent, so scoring is
+        // a pure parallel map (bit-identical to the serial loop for any
+        // thread count); absorption stays sequential in slot order.
+        let sims = parallel_map(self.clusters.len(), self.threads, |slot| {
+            max_similarity_pst(&self.clusters[slot].pst, &self.background, symbols)
+        });
         let mut joined: Vec<(usize, LogSim)> = Vec::new();
-        for (slot, cluster) in self.clusters.iter_mut().enumerate() {
-            let sim = max_similarity_pst(&cluster.pst, &self.background, symbols);
+        for (slot, sim) in sims.into_iter().enumerate() {
             if sim.log_sim >= self.log_t && !symbols.is_empty() {
-                cluster.absorb_segment(&symbols[sim.start..sim.end]);
+                self.clusters[slot].absorb_segment(&symbols[sim.start..sim.end]);
                 joined.push((slot, sim.log_sim));
             }
         }
@@ -171,22 +175,57 @@ impl OnlineCluseq {
             self.alphabet_size,
             self.pst_params,
         );
-        let mut supporters: Vec<usize> = Vec::new();
-        for (i, buffered) in self.buffer[..self.buffer.len() - 1].iter().enumerate() {
-            let sim = max_similarity_pst(&cluster.pst, &self.background, buffered.symbols());
-            if sim.log_sim >= self.log_t {
-                supporters.push(i);
-            }
-        }
+        let sims = parallel_map(self.buffer.len() - 1, self.threads, |i| {
+            max_similarity_pst(&cluster.pst, &self.background, self.buffer[i].symbols()).log_sim
+        });
+        let supporters: Vec<usize> = sims
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, sim)| (sim >= self.log_t).then_some(i))
+            .collect();
         if supporters.len() + 1 < self.min_support {
             return None;
         }
-        // Absorb supporters (their maximizing segments) and drain them —
-        // back to front so indices stay valid.
+        // Mutual-consistency check before committing. A single-sequence
+        // seed model is badly overfit, so mutually *dissimilar* outliers
+        // can each clear the threshold on a short coincidental overlap
+        // with the seed. Leave-one-out validation separates the two cases:
+        // every prospective member must stay above the threshold against a
+        // model built from the *other* members only. A genuinely shared
+        // behaviour generalizes (as grown batch clusters do); pairwise
+        // coincidences with the seed do not survive having the member's
+        // own contribution withheld.
+        let members: Vec<&Sequence> = supporters
+            .iter()
+            .map(|&i| &self.buffer[i])
+            .chain(std::iter::once(&seed_seq))
+            .collect();
+        let consistent = (0..members.len()).all(|j| {
+            let mut others = members.iter().enumerate().filter(|&(k, _)| k != j);
+            let (_, first) = others.next().expect("min_support >= 2");
+            let mut trial =
+                Cluster::from_seed(0, usize::MAX, first, self.alphabet_size, self.pst_params);
+            for (_, other) in others {
+                let sim = max_similarity_pst(&trial.pst, &self.background, other.symbols());
+                trial.absorb_segment(&other.symbols()[sim.start..sim.end]);
+            }
+            max_similarity_pst(&trial.pst, &self.background, members[j].symbols()).log_sim
+                >= self.log_t
+        });
+        if !consistent {
+            return None;
+        }
+        // Commit: grow the seed model with each supporter's maximizing
+        // segment against the evolving cluster, as the batch re-clustering
+        // rule does, then drain members back to front so indices stay
+        // valid.
+        for &i in supporters.iter() {
+            let sim = max_similarity_pst(&cluster.pst, &self.background, self.buffer[i].symbols());
+            let symbols = self.buffer[i].symbols();
+            cluster.absorb_segment(&symbols[sim.start..sim.end]);
+        }
         for &i in supporters.iter().rev() {
-            let member = self.buffer.remove(i);
-            let sim = max_similarity_pst(&cluster.pst, &self.background, member.symbols());
-            cluster.absorb_segment(&member.symbols()[sim.start..sim.end]);
+            self.buffer.remove(i);
         }
         self.buffer.pop(); // the seed itself
         self.next_id += 1;

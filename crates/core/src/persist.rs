@@ -27,9 +27,7 @@
 
 use std::io::{Read, Write};
 
-use cluseq_pst::serial::{
-    read_f64, read_u32, read_u64, write_f64, write_u32, write_u64,
-};
+use cluseq_pst::serial::{read_f64, read_u32, read_u64, write_f64, write_u32, write_u64};
 use cluseq_pst::{Pst, SerialError};
 use cluseq_seq::{BackgroundModel, Symbol};
 

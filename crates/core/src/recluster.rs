@@ -6,11 +6,48 @@
 //! similarities of all sequence–cluster combinations are collected for the
 //! threshold-adjustment histogram (the paper notes they "need to be
 //! calculated anyway").
+//!
+//! Two scan modes are supported (see [`ScanMode`]). The paper's
+//! [`ScanMode::Incremental`] rule absorbs each new join's segment
+//! mid-scan, so later scores observe the updated models — inherently
+//! serial. [`ScanMode::Snapshot`] splits the scan into a *score phase*
+//! (every pair evaluated against the models as of the start of the
+//! iteration, parallelized by [`crate::score`]) and a sequential *absorb
+//! phase* that applies the same membership and model updates in
+//! examination order. Snapshot results are bit-identical for any thread
+//! count.
 
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
-use crate::similarity::{max_similarity_pst, LogSim};
+use crate::config::ScanMode;
+use crate::score::ScoreEngine;
+use crate::similarity::{max_similarity_pst, LogSim, SegmentSimilarity};
+
+/// Options controlling one re-clustering scan.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Score against evolving models (the paper) or an iteration-start
+    /// snapshot (parallel variant).
+    pub mode: ScanMode,
+    /// Rebuild every cluster's PST from scratch at the end of the scan
+    /// from all current members' maximizing segments (an ablation variant;
+    /// the paper only ever inserts incrementally).
+    pub rebuild_psts: bool,
+    /// Worker threads for the snapshot score phase (ignored by the
+    /// incremental mode, whose scoring is order-dependent).
+    pub threads: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        Self {
+            mode: ScanMode::Incremental,
+            rebuild_psts: false,
+            threads: 1,
+        }
+    }
+}
 
 /// The result of one re-clustering scan.
 #[derive(Debug)]
@@ -26,51 +63,103 @@ pub struct ReclusterOutcome {
     pub best_cluster: Vec<Option<usize>>,
 }
 
+/// Bookkeeping shared by both scan modes: member lists being rebuilt,
+/// per-sequence best cluster, histogram feed, and the join records the
+/// rebuild ablation replays at the end.
+struct ScanState {
+    log_t: f64,
+    rebuild_psts: bool,
+    similarities: Vec<LogSim>,
+    best_cluster: Vec<Option<usize>>,
+    best_score: Vec<f64>,
+    old_members: Vec<Vec<usize>>,
+    new_members: Vec<Vec<usize>>,
+    join_segments: Vec<Vec<(usize, usize, usize)>>,
+}
+
+impl ScanState {
+    fn new(n: usize, clusters: &[Cluster], log_t: f64, rebuild_psts: bool) -> Self {
+        Self {
+            log_t,
+            rebuild_psts,
+            similarities: Vec::with_capacity(n * clusters.len()),
+            best_cluster: vec![None; n],
+            best_score: vec![f64::NEG_INFINITY; n],
+            old_members: clusters.iter().map(|c| c.members.clone()).collect(),
+            new_members: vec![Vec::new(); clusters.len()],
+            join_segments: vec![Vec::new(); clusters.len()],
+        }
+    }
+
+    /// Applies one (sequence, cluster) score: records the similarity,
+    /// membership, and — for a *new* join under the incremental rule —
+    /// feeds the maximizing segment to the model. Shared verbatim by both
+    /// modes so they cannot drift apart in bookkeeping.
+    fn apply(
+        &mut self,
+        seq_id: usize,
+        slot: usize,
+        sim: SegmentSimilarity,
+        seq: &[cluseq_seq::Symbol],
+        cluster: &mut Cluster,
+    ) {
+        if sim.log_sim.is_finite() {
+            self.similarities.push(sim.log_sim);
+        }
+        if sim.log_sim >= self.log_t && !seq.is_empty() {
+            self.new_members[slot].push(seq_id);
+            if sim.log_sim > self.best_score[seq_id] {
+                self.best_score[seq_id] = sim.log_sim;
+                self.best_cluster[seq_id] = Some(slot);
+            }
+            let was_member = self.old_members[slot].binary_search(&seq_id).is_ok();
+            if self.rebuild_psts {
+                self.join_segments[slot].push((seq_id, sim.start, sim.end));
+            } else if !was_member {
+                // New join: feed the maximizing segment to the model
+                // (immediately under the incremental rule; in the absorb
+                // phase under snapshot).
+                cluster.absorb_segment(&seq[sim.start..sim.end]);
+            }
+        }
+    }
+}
+
 /// Scans sequences in `order`, rebuilding every cluster's member list and
 /// updating cluster models with the maximizing segments of new joins.
-///
-/// When `rebuild_psts` is set, models are instead rebuilt from scratch at
-/// the end of the scan from all current members' maximizing segments (an
-/// ablation variant; the paper only ever inserts incrementally).
 pub fn recluster(
     db: &SequenceDatabase,
     clusters: &mut [Cluster],
     log_t: f64,
     order: &[usize],
     background: &BackgroundModel,
-    rebuild_psts: bool,
+    options: ScanOptions,
 ) -> ReclusterOutcome {
     let n = db.len();
-    let mut similarities = Vec::with_capacity(n * clusters.len());
-    let mut best_cluster = vec![None::<usize>; n];
-    let mut best_score = vec![f64::NEG_INFINITY; n];
+    let mut state = ScanState::new(n, clusters, log_t, options.rebuild_psts);
 
-    // Snapshot starting memberships, then clear member lists for rebuild.
-    let old_members: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
-    let mut new_members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
-    // Per-cluster (seq, start, end) join records for the rebuild ablation.
-    let mut join_segments: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); clusters.len()];
-
-    for &seq_id in order {
-        let seq = db.sequence(seq_id).symbols();
-        for (slot, cluster) in clusters.iter_mut().enumerate() {
-            let sim = max_similarity_pst(&cluster.pst, background, seq);
-            if sim.log_sim.is_finite() {
-                similarities.push(sim.log_sim);
-            }
-            if sim.log_sim >= log_t && !seq.is_empty() {
-                new_members[slot].push(seq_id);
-                if sim.log_sim > best_score[seq_id] {
-                    best_score[seq_id] = sim.log_sim;
-                    best_cluster[seq_id] = Some(slot);
+    match options.mode {
+        ScanMode::Incremental => {
+            for &seq_id in order {
+                let seq = db.sequence(seq_id).symbols();
+                for (slot, cluster) in clusters.iter_mut().enumerate() {
+                    let sim = max_similarity_pst(&cluster.pst, background, seq);
+                    state.apply(seq_id, slot, sim, seq, cluster);
                 }
-                let was_member = old_members[slot].binary_search(&seq_id).is_ok();
-                if rebuild_psts {
-                    join_segments[slot].push((seq_id, sim.start, sim.end));
-                } else if !was_member {
-                    // New join: feed the maximizing segment to the model
-                    // immediately (order-dependent, per the paper).
-                    cluster.absorb_segment(&seq[sim.start..sim.end]);
+            }
+        }
+        ScanMode::Snapshot => {
+            // Score phase: every pair against the iteration-start models,
+            // in parallel. Row `pos` holds sequence `order[pos]`'s scores
+            // in slot order, so the absorb phase below visits pairs in
+            // exactly the incremental scan's (sequence, slot) order.
+            let engine = ScoreEngine::new(options.threads);
+            let rows = engine.score_sequences(db, clusters, background, order);
+            // Absorb phase: sequential, in examination order.
+            for (pos, &seq_id) in order.iter().enumerate() {
+                let seq = db.sequence(seq_id).symbols();
+                for (slot, &sim) in rows[pos].iter().enumerate() {
+                    state.apply(seq_id, slot, sim, seq, &mut clusters[slot]);
                 }
             }
         }
@@ -79,12 +168,12 @@ pub fn recluster(
     // Install the rebuilt member lists and count flips.
     let mut changes = 0usize;
     for (slot, cluster) in clusters.iter_mut().enumerate() {
-        new_members[slot].sort_unstable();
-        changes += symmetric_difference(&old_members[slot], &new_members[slot]);
-        cluster.members = std::mem::take(&mut new_members[slot]);
+        state.new_members[slot].sort_unstable();
+        changes += symmetric_difference(&state.old_members[slot], &state.new_members[slot]);
+        cluster.members = std::mem::take(&mut state.new_members[slot]);
     }
 
-    if rebuild_psts {
+    if options.rebuild_psts {
         let alphabet_size = db.alphabet().len();
         for (slot, cluster) in clusters.iter_mut().enumerate() {
             let params = *cluster.pst.params();
@@ -92,7 +181,7 @@ pub fn recluster(
             // Seed sequence first (a cluster always models its seed), then
             // each member's maximizing segment.
             fresh.add_sequence(db.sequence(cluster.seed));
-            for &(member, start, end) in &join_segments[slot] {
+            for &(member, start, end) in &state.join_segments[slot] {
                 fresh.add_segment(&db.sequence(member).symbols()[start..end]);
             }
             cluster.pst = fresh;
@@ -100,9 +189,9 @@ pub fn recluster(
     }
 
     ReclusterOutcome {
-        similarities,
+        similarities: state.similarities,
         changes,
-        best_cluster,
+        best_cluster: state.best_cluster,
     }
 }
 
@@ -160,12 +249,31 @@ mod tests {
             .collect()
     }
 
+    fn incremental() -> ScanOptions {
+        ScanOptions::default()
+    }
+
+    fn rebuild() -> ScanOptions {
+        ScanOptions {
+            rebuild_psts: true,
+            ..ScanOptions::default()
+        }
+    }
+
+    fn snapshot(threads: usize) -> ScanOptions {
+        ScanOptions {
+            mode: ScanMode::Snapshot,
+            threads,
+            ..ScanOptions::default()
+        }
+    }
+
     #[test]
     fn sequences_join_their_generating_cluster() {
         let (db, bg) = fixture();
         let mut clusters = make_clusters(&db, &[0, 3]);
         let order: Vec<usize> = (0..db.len()).collect();
-        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, incremental());
         assert_eq!(clusters[0].members, vec![0, 1, 2]);
         assert_eq!(clusters[1].members, vec![3, 4]);
         assert_eq!(out.best_cluster[1], Some(0));
@@ -177,7 +285,7 @@ mod tests {
         let (db, bg) = fixture();
         let mut clusters = make_clusters(&db, &[0, 3]);
         let order: Vec<usize> = (0..db.len()).collect();
-        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, incremental());
         assert_eq!(out.similarities.len(), db.len() * 2);
     }
 
@@ -186,7 +294,7 @@ mod tests {
         let (db, bg) = fixture();
         let mut clusters = make_clusters(&db, &[0]);
         let order: Vec<usize> = (0..db.len()).collect();
-        let out = recluster(&db, &mut clusters, 1e9, &order, &bg, false);
+        let out = recluster(&db, &mut clusters, 1e9, &order, &bg, incremental());
         assert!(clusters[0].members.is_empty());
         // The seed itself left the cluster: one membership change.
         assert_eq!(out.changes, 1);
@@ -199,10 +307,10 @@ mod tests {
         let mut clusters = make_clusters(&db, &[0]);
         let order: Vec<usize> = (0..db.len()).collect();
         // First scan: ids 1, 2 join (changes = 2; id 0 stays).
-        let out1 = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        let out1 = recluster(&db, &mut clusters, 0.05, &order, &bg, incremental());
         assert_eq!(out1.changes, 2);
         // Second scan: stable clustering, no changes.
-        let out2 = recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        let out2 = recluster(&db, &mut clusters, 0.05, &order, &bg, incremental());
         assert_eq!(out2.changes, 0);
     }
 
@@ -212,7 +320,7 @@ mod tests {
         let mut clusters = make_clusters(&db, &[0]);
         let before = clusters[0].pst.total_count();
         let order: Vec<usize> = (0..db.len()).collect();
-        recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        recluster(&db, &mut clusters, 0.05, &order, &bg, incremental());
         assert!(
             clusters[0].pst.total_count() > before,
             "absorbing segments must increase the root count"
@@ -224,9 +332,9 @@ mod tests {
         let (db, bg) = fixture();
         let mut clusters = make_clusters(&db, &[0]);
         let order: Vec<usize> = (0..db.len()).collect();
-        recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        recluster(&db, &mut clusters, 0.05, &order, &bg, incremental());
         let after_first = clusters[0].pst.total_count();
-        recluster(&db, &mut clusters, 0.05, &order, &bg, false);
+        recluster(&db, &mut clusters, 0.05, &order, &bg, incremental());
         assert_eq!(
             clusters[0].pst.total_count(),
             after_first,
@@ -239,11 +347,71 @@ mod tests {
         let (db, bg) = fixture();
         let mut clusters = make_clusters(&db, &[0]);
         let order: Vec<usize> = (0..db.len()).collect();
-        recluster(&db, &mut clusters, 0.05, &order, &bg, true);
+        recluster(&db, &mut clusters, 0.05, &order, &bg, rebuild());
         let after_first = clusters[0].pst.total_count();
-        recluster(&db, &mut clusters, 0.05, &order, &bg, true);
+        recluster(&db, &mut clusters, 0.05, &order, &bg, rebuild());
         let after_second = clusters[0].pst.total_count();
-        assert_eq!(after_first, after_second, "rebuild is idempotent at a fixpoint");
+        assert_eq!(
+            after_first, after_second,
+            "rebuild is idempotent at a fixpoint"
+        );
+    }
+
+    #[test]
+    fn snapshot_mode_recovers_the_same_clusters() {
+        let (db, bg) = fixture();
+        let mut clusters = make_clusters(&db, &[0, 3]);
+        let order: Vec<usize> = (0..db.len()).collect();
+        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, snapshot(1));
+        assert_eq!(clusters[0].members, vec![0, 1, 2]);
+        assert_eq!(clusters[1].members, vec![3, 4]);
+        assert_eq!(out.similarities.len(), db.len() * 2);
+    }
+
+    /// The tentpole invariant at the single-scan level: a snapshot scan is
+    /// one deterministic function of its inputs, so every thread count
+    /// must reproduce the threads = 1 run bit for bit — similarities,
+    /// flips, memberships, and the models themselves.
+    #[test]
+    fn snapshot_scan_is_bit_identical_for_any_thread_count() {
+        let (db, bg) = fixture();
+        let order: Vec<usize> = vec![4, 1, 3, 0, 2];
+        let run = |threads: usize| {
+            let mut clusters = make_clusters(&db, &[0, 3]);
+            let out = recluster(&db, &mut clusters, 0.05, &order, &bg, snapshot(threads));
+            let members: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+            let counts: Vec<u64> = clusters.iter().map(|c| c.pst.total_count()).collect();
+            let sims: Vec<u64> = out.similarities.iter().map(|s| s.to_bits()).collect();
+            (sims, out.changes, out.best_cluster, members, counts)
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    /// Snapshot scoring happens against iteration-start models: a scan
+    /// from a fixpoint (no new joins) therefore produces exactly the
+    /// incremental scan's numbers.
+    #[test]
+    fn snapshot_equals_incremental_at_a_fixpoint() {
+        let (db, bg) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        let mut inc = make_clusters(&db, &[0, 3]);
+        recluster(&db, &mut inc, 0.05, &order, &bg, incremental());
+        let mut snap = inc.clone();
+
+        let out_inc = recluster(&db, &mut inc, 0.05, &order, &bg, incremental());
+        let out_snap = recluster(&db, &mut snap, 0.05, &order, &bg, snapshot(4));
+        assert_eq!(out_inc.changes, 0);
+        assert_eq!(out_snap.changes, 0);
+        let bits = |sims: &[f64]| sims.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out_inc.similarities), bits(&out_snap.similarities));
+        assert_eq!(out_inc.best_cluster, out_snap.best_cluster);
+        for (a, b) in inc.iter().zip(&snap) {
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.pst.total_count(), b.pst.total_count());
+        }
     }
 
     #[test]

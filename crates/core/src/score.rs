@@ -1,0 +1,236 @@
+//! Deterministic parallel scoring engine.
+//!
+//! Every hot path in CLUSEQ reduces to the same shape: a *pure* map over
+//! (sequence, model) pairs — similarity evaluation reads the PSTs and
+//! writes nothing. This module extracts that shape once so the scan, seed
+//! selection, the online scorer, and the final assignment pass all share
+//! it.
+//!
+//! # Determinism contract
+//!
+//! [`parallel_map`] guarantees **bit-identical output for every thread
+//! count**, including 1. The input index range `0..n` is split into at
+//! most `threads` *contiguous* chunks of `ceil(n / threads)` indices;
+//! worker `t` evaluates chunk `t` in ascending index order, and the chunk
+//! results are concatenated in chunk order. Because the function is
+//! required to be pure (it cannot observe evaluation order), the resulting
+//! vector is exactly `(0..n).map(f).collect()` — no atomics, no work
+//! stealing, no reduction-order ambiguity. Floating-point results are
+//! therefore reproducible to the bit, which is what lets the test suite
+//! assert equality between serial and parallel runs instead of comparing
+//! within a tolerance.
+
+use cluseq_pst::Pst;
+use cluseq_seq::{BackgroundModel, SequenceDatabase};
+
+use crate::cluster::Cluster;
+use crate::similarity::{max_similarity_pst, SegmentSimilarity};
+
+/// Maps `f` over `0..n` using up to `threads` scoped worker threads.
+///
+/// Equivalent to `(0..n).map(f).collect()` for any pure `f`, regardless of
+/// `threads` (see the module-level determinism contract). `threads` is
+/// clamped to `[1, n]`; small inputs run serially to avoid spawn overhead.
+///
+/// # Panics
+///
+/// A panic in `f` aborts the whole map: the calling thread panics with
+/// "scoring worker panicked".
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    // Below ~2 indices per worker the spawn cost dominates; the serial
+    // path is *defined* to produce the same output, so this cutoff is a
+    // pure performance choice.
+    if threads == 1 || n < 2 * threads {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                let f = &f;
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scoring worker panicked"))
+            .collect()
+    })
+}
+
+/// A configured scorer: the thread count plus the similarity shapes the
+/// algorithm needs.
+///
+/// All methods score against *fixed* models ("snapshot" semantics): the
+/// caller decides when model updates happen, which keeps every method here
+/// trivially parallel and deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreEngine {
+    threads: usize,
+}
+
+impl ScoreEngine {
+    /// An engine using up to `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Scores every sequence in `order` against every cluster model.
+    ///
+    /// `out[pos][slot]` is the similarity of sequence `order[pos]` to
+    /// `clusters[slot]`, all evaluated against the models as passed in.
+    pub fn score_sequences(
+        &self,
+        db: &SequenceDatabase,
+        clusters: &[Cluster],
+        background: &BackgroundModel,
+        order: &[usize],
+    ) -> Vec<Vec<SegmentSimilarity>> {
+        parallel_map(order.len(), self.threads, |pos| {
+            let seq = db.sequence(order[pos]).symbols();
+            clusters
+                .iter()
+                .map(|cluster| max_similarity_pst(&cluster.pst, background, seq))
+                .collect()
+        })
+    }
+
+    /// Scores each database sequence in `ids` against a single PST.
+    pub fn score_against_pst(
+        &self,
+        db: &SequenceDatabase,
+        pst: &Pst,
+        background: &BackgroundModel,
+        ids: &[usize],
+    ) -> Vec<SegmentSimilarity> {
+        parallel_map(ids.len(), self.threads, |i| {
+            max_similarity_pst(pst, background, db.sequence(ids[i]).symbols())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_pst::PstParams;
+
+    #[test]
+    fn parallel_map_equals_serial_map() {
+        for n in [0usize, 1, 2, 3, 7, 64, 100] {
+            let serial: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
+            for threads in [1usize, 2, 3, 4, 8, 200] {
+                let parallel = parallel_map(n, threads, |i| i * i + 1);
+                assert_eq!(parallel, serial, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_float_bits() {
+        // A float-heavy function whose result would differ under any
+        // reduction reordering; chunked mapping must not reorder anything.
+        let f = |i: usize| {
+            let mut acc = 0.1f64;
+            for k in 0..=i {
+                acc = (acc * 1.7 + k as f64).sin();
+            }
+            acc
+        };
+        let serial: Vec<u64> = (0..257).map(|i| f(i).to_bits()).collect();
+        for threads in [2usize, 5, 16] {
+            let parallel: Vec<u64> = parallel_map(257, threads, f)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped_not_trusted() {
+        assert_eq!(parallel_map(3, 0, |i| i), vec![0, 1, 2]);
+        assert_eq!(parallel_map(3, usize::MAX, |i| i), vec![0, 1, 2]);
+        assert!(parallel_map(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scoring worker panicked")]
+    fn worker_panics_propagate() {
+        parallel_map(64, 4, |i| {
+            if i == 40 {
+                panic!("deliberate");
+            }
+            i
+        });
+    }
+
+    fn fixture() -> (SequenceDatabase, BackgroundModel, Vec<Cluster>) {
+        let texts = [
+            "abababababababab",
+            "abababababababab",
+            "cccccccccccccccc",
+            "cccccccccccccccc",
+            "abcabcabcabcabca",
+        ];
+        let db = SequenceDatabase::from_strs(texts);
+        let bg = db.background();
+        let params = PstParams::default().with_significance(2);
+        let clusters = [0usize, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Cluster::from_seed(i, s, db.sequence(s), db.alphabet().len(), params))
+            .collect();
+        (db, bg, clusters)
+    }
+
+    #[test]
+    fn engine_matches_direct_scoring_for_any_thread_count() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = vec![4, 0, 3, 1, 2];
+        let direct: Vec<Vec<SegmentSimilarity>> = order
+            .iter()
+            .map(|&id| {
+                clusters
+                    .iter()
+                    .map(|c| max_similarity_pst(&c.pst, &bg, db.sequence(id).symbols()))
+                    .collect()
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let engine = ScoreEngine::new(threads);
+            assert_eq!(
+                engine.score_sequences(&db, &clusters, &bg, &order),
+                direct,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_scores_ids_against_one_pst() {
+        let (db, bg, clusters) = fixture();
+        let ids = [1usize, 2, 4];
+        let engine = ScoreEngine::new(4);
+        let got = engine.score_against_pst(&db, &clusters[0].pst, &bg, &ids);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                max_similarity_pst(&clusters[0].pst, &bg, db.sequence(id).symbols())
+            );
+        }
+    }
+}

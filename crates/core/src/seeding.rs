@@ -14,12 +14,18 @@ use cluseq_pst::{Pst, PstParams};
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
+use crate::score::parallel_map;
 use crate::similarity::max_similarity_pst;
 
 /// Selects up to `k_n` seed sequence ids from `unclustered`.
 ///
 /// Returns fewer than `k_n` seeds when there are not enough unclustered
 /// sequences (or when `k_n` is 0).
+///
+/// Candidate model building and all candidate scoring are pure reads, run
+/// through [`crate::score::parallel_map`] with `threads` workers; the
+/// selection itself (and the RNG draw for the sample) is identical for any
+/// thread count.
 #[allow(clippy::too_many_arguments)] // internal driver call, mirrors §4.1's inputs
 pub fn select_seeds(
     db: &SequenceDatabase,
@@ -29,6 +35,7 @@ pub fn select_seeds(
     k_n: usize,
     sample_factor: usize,
     pst_params: PstParams,
+    threads: usize,
     rng: &mut impl Rng,
 ) -> Vec<usize> {
     if k_n == 0 || unclustered.is_empty() {
@@ -45,23 +52,20 @@ pub fn select_seeds(
     // One PST per candidate, used both to score candidates against chosen
     // seeds and (by the caller) to found the new cluster.
     let alphabet_size = db.alphabet().len();
-    let candidate_psts: Vec<Pst> = candidates
-        .iter()
-        .map(|&id| Pst::from_sequence(alphabet_size, pst_params, db.sequence(id)))
-        .collect();
+    let candidate_psts: Vec<Pst> = parallel_map(candidates.len(), threads, |i| {
+        Pst::from_sequence(alphabet_size, pst_params, db.sequence(candidates[i]))
+    });
 
     // best_sim[i] = highest similarity of candidate i to any cluster chosen
     // so far (existing clusters first). Farthest-first then only needs to
     // fold in the newest seed each step.
-    let mut best_sim: Vec<f64> = candidates
-        .iter()
-        .map(|&id| {
-            clusters
-                .iter()
-                .map(|c| max_similarity_pst(&c.pst, background, db.sequence(id).symbols()).log_sim)
-                .fold(f64::NEG_INFINITY, f64::max)
-        })
-        .collect();
+    let mut best_sim: Vec<f64> = parallel_map(candidates.len(), threads, |i| {
+        let seq = db.sequence(candidates[i]).symbols();
+        clusters
+            .iter()
+            .map(|c| max_similarity_pst(&c.pst, background, seq).log_sim)
+            .fold(f64::NEG_INFINITY, f64::max)
+    });
 
     let mut chosen: Vec<usize> = Vec::with_capacity(k_n); // candidate indices
     let mut taken = vec![false; candidates.len()];
@@ -77,18 +81,24 @@ pub fn select_seeds(
         chosen.push(pick);
 
         // Fold the new seed into every remaining candidate's best score.
-        for i in 0..candidates.len() {
+        let step: Vec<Option<f64>> = parallel_map(candidates.len(), threads, |i| {
             if taken[i] {
-                continue;
+                return None;
             }
-            let sim = max_similarity_pst(
-                &candidate_psts[pick],
-                background,
-                db.sequence(candidates[i]).symbols(),
+            Some(
+                max_similarity_pst(
+                    &candidate_psts[pick],
+                    background,
+                    db.sequence(candidates[i]).symbols(),
+                )
+                .log_sim,
             )
-            .log_sim;
-            if sim > best_sim[i] {
-                best_sim[i] = sim;
+        });
+        for (i, sim) in step.into_iter().enumerate() {
+            if let Some(sim) = sim {
+                if sim > best_sim[i] {
+                    best_sim[i] = sim;
+                }
             }
         }
     }
@@ -128,7 +138,7 @@ mod tests {
         let (db, bg) = fixture();
         let mut rng = StdRng::seed_from_u64(3);
         let all: Vec<usize> = (0..db.len()).collect();
-        let seeds = select_seeds(&db, &bg, &[], &all, 3, 5, params(), &mut rng);
+        let seeds = select_seeds(&db, &bg, &[], &all, 3, 5, params(), 1, &mut rng);
         assert_eq!(seeds.len(), 3);
         // All seeds are distinct and drawn from the pool.
         let mut s = seeds.clone();
@@ -144,7 +154,7 @@ mod tests {
         let all: Vec<usize> = (0..db.len()).collect();
         // Sample everything (factor large enough) so selection is purely
         // similarity-driven.
-        let seeds = select_seeds(&db, &bg, &[], &all, 3, 10, params(), &mut rng);
+        let seeds = select_seeds(&db, &bg, &[], &all, 3, 10, params(), 1, &mut rng);
         // The three seeds should cover the three behaviours: ab-repeats
         // (ids 0-2), c-runs (3-5), aabb-repeats (6-7).
         let groups: Vec<usize> = seeds
@@ -158,7 +168,11 @@ mod tests {
         let mut g = groups.clone();
         g.sort_unstable();
         g.dedup();
-        assert_eq!(g.len(), 3, "seeds {seeds:?} collapse into groups {groups:?}");
+        assert_eq!(
+            g.len(),
+            3,
+            "seeds {seeds:?} collapse into groups {groups:?}"
+        );
     }
 
     #[test]
@@ -168,7 +182,7 @@ mod tests {
         // An existing cluster already models the ab-repeat behaviour.
         let existing = Cluster::from_seed(0, 0, db.sequence(0), db.alphabet().len(), params());
         let pool: Vec<usize> = (1..db.len()).collect();
-        let seeds = select_seeds(&db, &bg, &[existing], &pool, 1, 10, params(), &mut rng);
+        let seeds = select_seeds(&db, &bg, &[existing], &pool, 1, 10, params(), 1, &mut rng);
         assert_eq!(seeds.len(), 1);
         assert!(
             seeds[0] >= 3,
@@ -181,9 +195,34 @@ mod tests {
     fn empty_pool_or_zero_k_yields_nothing() {
         let (db, bg) = fixture();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(select_seeds(&db, &bg, &[], &[], 3, 5, params(), &mut rng).is_empty());
+        assert!(select_seeds(&db, &bg, &[], &[], 3, 5, params(), 1, &mut rng).is_empty());
         let all: Vec<usize> = (0..db.len()).collect();
-        assert!(select_seeds(&db, &bg, &[], &all, 0, 5, params(), &mut rng).is_empty());
+        assert!(select_seeds(&db, &bg, &[], &all, 0, 5, params(), 1, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_selection() {
+        let (db, bg) = fixture();
+        let all: Vec<usize> = (0..db.len()).collect();
+        let existing = Cluster::from_seed(0, 0, db.sequence(0), db.alphabet().len(), params());
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(11);
+            select_seeds(
+                &db,
+                &bg,
+                std::slice::from_ref(&existing),
+                &all,
+                3,
+                10,
+                params(),
+                threads,
+                &mut rng,
+            )
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
     }
 
     #[test]
@@ -191,7 +230,7 @@ mod tests {
         let (db, bg) = fixture();
         let mut rng = StdRng::seed_from_u64(1);
         let pool = vec![0, 3];
-        let seeds = select_seeds(&db, &bg, &[], &pool, 10, 5, params(), &mut rng);
+        let seeds = select_seeds(&db, &bg, &[], &pool, 10, 5, params(), 1, &mut rng);
         assert_eq!(seeds.len(), 2);
     }
 }

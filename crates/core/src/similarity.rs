@@ -233,7 +233,10 @@ mod tests {
             "SIM = {}",
             result.sim()
         );
-        assert!((result.sim() - 2.10).abs() < 0.02, "matches the paper's display");
+        assert!(
+            (result.sim() - 2.10).abs() < 0.02,
+            "matches the paper's display"
+        );
         // The maximizing segment is "bba" = positions [0, 3).
         assert_eq!((result.start, result.end), (0, 3));
     }
@@ -282,11 +285,7 @@ mod tests {
     /// Brute-force reference: SIM over all O(l²) segments, where each
     /// segment is scored with full-prefix conditioning exactly as the DP
     /// does.
-    fn brute_force<M: ConditionalModel>(
-        model: &M,
-        bg: &BackgroundModel,
-        seq: &[Symbol],
-    ) -> f64 {
+    fn brute_force<M: ConditionalModel>(model: &M, bg: &BackgroundModel, seq: &[Symbol]) -> f64 {
         let mut best = f64::NEG_INFINITY;
         for start in 0..seq.len() {
             let mut acc = 0.0;
@@ -388,7 +387,11 @@ mod tests {
         let bg = BackgroundModel::uniform(2);
         let seq = syms(&[0, 0, 0, 0]);
         let r = max_similarity(&Spiky, &bg, &seq);
-        assert!(r.start >= 2 || r.end <= 1, "segment {:?} crosses the void", (r.start, r.end));
+        assert!(
+            r.start >= 2 || r.end <= 1,
+            "segment {:?} crosses the void",
+            (r.start, r.end)
+        );
         assert!(r.log_sim.is_finite());
     }
 

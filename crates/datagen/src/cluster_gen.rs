@@ -66,9 +66,7 @@ impl ClusterModel {
         let start = context.len().saturating_sub(self.order);
         let mut h = self.key ^ 0x9E37_79B9_7F4A_7C15;
         for &s in &context[start..] {
-            h = h
-                .wrapping_mul(0x100_0000_01B3)
-                .wrapping_add(s.0 as u64 + 1);
+            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(s.0 as u64 + 1);
             h ^= h >> 29;
         }
         h.wrapping_mul(0xBF58_476D_1CE4_E5B9)
@@ -211,7 +209,8 @@ mod tests {
         let b = ClusterModel::new(20, 2);
         let ctx = [Symbol(0), Symbol(1), Symbol(2)];
         // At least one successor probability must differ.
-        let differs = (0..20).any(|s| (a.prob(&ctx, Symbol(s)) - b.prob(&ctx, Symbol(s))).abs() > 1e-9);
+        let differs =
+            (0..20).any(|s| (a.prob(&ctx, Symbol(s)) - b.prob(&ctx, Symbol(s))).abs() > 1e-9);
         assert!(differs);
     }
 

@@ -45,66 +45,245 @@ impl Language {
 }
 
 const ENGLISH_WORDS: &[&str] = &[
-    "the", "and", "that", "this", "with", "from", "they", "have", "been", "their", "which",
-    "there", "would", "about", "other", "these", "when", "them", "then", "than", "what",
-    "were", "into", "more", "some", "could", "time", "people", "government", "president",
-    "nation", "action", "election", "information", "situation", "decision", "question",
-    "administration", "attention", "position", "education", "operation", "production",
-    "protection", "relation", "section", "station", "while", "where", "white", "house",
-    "should", "through", "thought", "together", "another", "whether", "weather", "mother",
-    "father", "brother", "change", "charge", "church", "search", "reach", "teach", "each",
-    "much", "such", "which", "watch", "catch", "march", "show", "shall", "share", "shot",
-    "short", "should", "shut", "ship", "shape", "wish", "wash", "push", "fresh", "flash",
-    "news", "report", "world", "year", "week", "month", "state", "city", "country", "police",
-    "court", "case", "law", "party", "group", "member", "leader", "official", "minister",
-    "market", "money", "business", "company", "industry", "economy", "growth", "plan",
-    "program", "project", "service", "system", "public", "national", "international",
-    "political", "military", "security", "following", "including", "according", "during",
-    "against", "between", "because", "before", "after", "under", "over", "three", "there",
+    "the",
+    "and",
+    "that",
+    "this",
+    "with",
+    "from",
+    "they",
+    "have",
+    "been",
+    "their",
+    "which",
+    "there",
+    "would",
+    "about",
+    "other",
+    "these",
+    "when",
+    "them",
+    "then",
+    "than",
+    "what",
+    "were",
+    "into",
+    "more",
+    "some",
+    "could",
+    "time",
+    "people",
+    "government",
+    "president",
+    "nation",
+    "action",
+    "election",
+    "information",
+    "situation",
+    "decision",
+    "question",
+    "administration",
+    "attention",
+    "position",
+    "education",
+    "operation",
+    "production",
+    "protection",
+    "relation",
+    "section",
+    "station",
+    "while",
+    "where",
+    "white",
+    "house",
+    "should",
+    "through",
+    "thought",
+    "together",
+    "another",
+    "whether",
+    "weather",
+    "mother",
+    "father",
+    "brother",
+    "change",
+    "charge",
+    "church",
+    "search",
+    "reach",
+    "teach",
+    "each",
+    "much",
+    "such",
+    "which",
+    "watch",
+    "catch",
+    "march",
+    "show",
+    "shall",
+    "share",
+    "shot",
+    "short",
+    "should",
+    "shut",
+    "ship",
+    "shape",
+    "wish",
+    "wash",
+    "push",
+    "fresh",
+    "flash",
+    "news",
+    "report",
+    "world",
+    "year",
+    "week",
+    "month",
+    "state",
+    "city",
+    "country",
+    "police",
+    "court",
+    "case",
+    "law",
+    "party",
+    "group",
+    "member",
+    "leader",
+    "official",
+    "minister",
+    "market",
+    "money",
+    "business",
+    "company",
+    "industry",
+    "economy",
+    "growth",
+    "plan",
+    "program",
+    "project",
+    "service",
+    "system",
+    "public",
+    "national",
+    "international",
+    "political",
+    "military",
+    "security",
+    "following",
+    "including",
+    "according",
+    "during",
+    "against",
+    "between",
+    "because",
+    "before",
+    "after",
+    "under",
+    "over",
+    "three",
+    "there",
 ];
 
 /// Pinyin syllables (initial × final samples covering the characteristic
 /// zh/ch/sh/x/q initials and ng finals).
 const PINYIN_SYLLABLES: &[&str] = &[
     "zhang", "zhong", "zheng", "zhou", "zhao", "zhu", "zhi", "chang", "cheng", "chong", "chu",
-    "chi", "chen", "chao", "shang", "sheng", "shi", "shu", "shen", "shan", "shou", "xiang",
-    "xian", "xiao", "xin", "xing", "xu", "xue", "qing", "qian", "qiang", "qiao", "qu", "quan",
-    "jiang", "jian", "jiao", "jing", "jin", "ju", "jue", "wang", "wei", "wen", "wu", "wo",
-    "guo", "guan", "guang", "gong", "gao", "gai", "ge", "gu", "dao", "dang", "deng", "dong",
-    "du", "da", "de", "di", "tian", "tang", "tong", "tai", "ta", "te", "ti", "tu", "nian",
-    "ning", "nan", "nei", "na", "ne", "ni", "nu", "liang", "ling", "lian", "lao", "li", "lu",
-    "hai", "han", "hang", "hao", "he", "hen", "hong", "hu", "hua", "huang", "hui", "huo",
-    "ban", "bang", "bao", "bei", "ben", "bi", "bian", "biao", "bing", "bu", "mao", "mei",
-    "men", "mi", "mian", "min", "ming", "mu", "fang", "fei", "fen", "feng", "fu", "fa",
-    "ren", "ri", "rong", "ru", "ran", "rang", "kai", "kan", "kang", "ke", "kong", "kuo",
-    "yang", "yan", "yao", "ye", "yi", "yin", "ying", "yong", "you", "yu", "yuan", "yue",
-    "zai", "zan", "zao", "ze", "zen", "zi", "zong", "zou", "zu", "zuo", "cai", "cao", "ceng",
-    "ci", "cong", "cun", "san", "sang", "sao", "se", "si", "song", "su", "sun", "suo",
+    "chi", "chen", "chao", "shang", "sheng", "shi", "shu", "shen", "shan", "shou", "xiang", "xian",
+    "xiao", "xin", "xing", "xu", "xue", "qing", "qian", "qiang", "qiao", "qu", "quan", "jiang",
+    "jian", "jiao", "jing", "jin", "ju", "jue", "wang", "wei", "wen", "wu", "wo", "guo", "guan",
+    "guang", "gong", "gao", "gai", "ge", "gu", "dao", "dang", "deng", "dong", "du", "da", "de",
+    "di", "tian", "tang", "tong", "tai", "ta", "te", "ti", "tu", "nian", "ning", "nan", "nei",
+    "na", "ne", "ni", "nu", "liang", "ling", "lian", "lao", "li", "lu", "hai", "han", "hang",
+    "hao", "he", "hen", "hong", "hu", "hua", "huang", "hui", "huo", "ban", "bang", "bao", "bei",
+    "ben", "bi", "bian", "biao", "bing", "bu", "mao", "mei", "men", "mi", "mian", "min", "ming",
+    "mu", "fang", "fei", "fen", "feng", "fu", "fa", "ren", "ri", "rong", "ru", "ran", "rang",
+    "kai", "kan", "kang", "ke", "kong", "kuo", "yang", "yan", "yao", "ye", "yi", "yin", "ying",
+    "yong", "you", "yu", "yuan", "yue", "zai", "zan", "zao", "ze", "zen", "zi", "zong", "zou",
+    "zu", "zuo", "cai", "cao", "ceng", "ci", "cong", "cun", "san", "sang", "sao", "se", "si",
+    "song", "su", "sun", "suo",
 ];
 
 /// Romaji syllables: strict consonant–vowel (plus the bare vowels and the
 /// moraic "n"), reproducing the CV-alternation rule the paper highlights.
 const ROMAJI_SYLLABLES: &[&str] = &[
-    "ka", "ki", "ku", "ke", "ko", "sa", "shi", "su", "se", "so", "ta", "chi", "tsu", "te",
-    "to", "na", "ni", "nu", "ne", "no", "ha", "hi", "fu", "he", "ho", "ma", "mi", "mu", "me",
-    "mo", "ya", "yu", "yo", "ra", "ri", "ru", "re", "ro", "wa", "ga", "gi", "gu", "ge", "go",
-    "za", "ji", "zu", "ze", "zo", "da", "de", "do", "ba", "bi", "bu", "be", "bo", "pa", "pi",
-    "pu", "pe", "po", "kya", "kyu", "kyo", "sha", "shu", "sho", "cha", "chu", "cho", "n",
-    "a", "i", "u", "e", "o", "kai", "sei", "tou", "kou", "sou", "shou", "jou", "dou",
+    "ka", "ki", "ku", "ke", "ko", "sa", "shi", "su", "se", "so", "ta", "chi", "tsu", "te", "to",
+    "na", "ni", "nu", "ne", "no", "ha", "hi", "fu", "he", "ho", "ma", "mi", "mu", "me", "mo", "ya",
+    "yu", "yo", "ra", "ri", "ru", "re", "ro", "wa", "ga", "gi", "gu", "ge", "go", "za", "ji", "zu",
+    "ze", "zo", "da", "de", "do", "ba", "bi", "bu", "be", "bo", "pa", "pi", "pu", "pe", "po",
+    "kya", "kyu", "kyo", "sha", "shu", "sho", "cha", "chu", "cho", "n", "a", "i", "u", "e", "o",
+    "kai", "sei", "tou", "kou", "sou", "shou", "jou", "dou",
 ];
 
 const GERMAN_WORDS: &[&str] = &[
-    "der", "die", "das", "und", "nicht", "mit", "sich", "auf", "eine", "auch", "nach",
-    "werden", "wurde", "zwischen", "regierung", "deutschland", "gegen", "durch", "zeit",
-    "jahr", "uber", "unter", "schon", "noch", "immer", "wieder", "menschen", "leben",
-    "strasse", "schule", "sprache", "wirtschaft", "geschichte", "gesellschaft", "arbeit",
+    "der",
+    "die",
+    "das",
+    "und",
+    "nicht",
+    "mit",
+    "sich",
+    "auf",
+    "eine",
+    "auch",
+    "nach",
+    "werden",
+    "wurde",
+    "zwischen",
+    "regierung",
+    "deutschland",
+    "gegen",
+    "durch",
+    "zeit",
+    "jahr",
+    "uber",
+    "unter",
+    "schon",
+    "noch",
+    "immer",
+    "wieder",
+    "menschen",
+    "leben",
+    "strasse",
+    "schule",
+    "sprache",
+    "wirtschaft",
+    "geschichte",
+    "gesellschaft",
+    "arbeit",
 ];
 
 const RUSSIAN_TRANSLIT_WORDS: &[&str] = &[
-    "chto", "kak", "eto", "ochen", "mozhno", "nado", "budet", "byl", "byla", "gorod",
-    "strana", "pravitelstvo", "prezident", "vremya", "chelovek", "zhizn", "rabota",
-    "shkola", "yazyk", "istoriya", "obshchestvo", "ekonomika", "vopros", "otvet",
-    "khorosho", "plokho", "bolshoy", "novyy", "staryy", "dengi",
+    "chto",
+    "kak",
+    "eto",
+    "ochen",
+    "mozhno",
+    "nado",
+    "budet",
+    "byl",
+    "byla",
+    "gorod",
+    "strana",
+    "pravitelstvo",
+    "prezident",
+    "vremya",
+    "chelovek",
+    "zhizn",
+    "rabota",
+    "shkola",
+    "yazyk",
+    "istoriya",
+    "obshchestvo",
+    "ekonomika",
+    "vopros",
+    "otvet",
+    "khorosho",
+    "plokho",
+    "bolshoy",
+    "novyy",
+    "staryy",
+    "dengi",
 ];
 
 /// Specification of the Table 4 corpus.
@@ -222,8 +401,14 @@ mod tests {
         let mut en_th = 0usize;
         let mut ja_th = 0usize;
         for _ in 0..50 {
-            en_th += spec.sentence(Language::English, &mut rng).matches("th").count();
-            ja_th += spec.sentence(Language::Japanese, &mut rng).matches("th").count();
+            en_th += spec
+                .sentence(Language::English, &mut rng)
+                .matches("th")
+                .count();
+            ja_th += spec
+                .sentence(Language::Japanese, &mut rng)
+                .matches("th")
+                .count();
         }
         assert!(
             en_th > ja_th * 3,
@@ -259,8 +444,14 @@ mod tests {
         let mut zh_ng = 0usize;
         let mut en_ng = 0usize;
         for _ in 0..50 {
-            zh_ng += spec.sentence(Language::Chinese, &mut rng).matches("ng").count();
-            en_ng += spec.sentence(Language::English, &mut rng).matches("ng").count();
+            zh_ng += spec
+                .sentence(Language::Chinese, &mut rng)
+                .matches("ng")
+                .count();
+            en_ng += spec
+                .sentence(Language::English, &mut rng)
+                .matches("ng")
+                .count();
         }
         assert!(zh_ng > en_ng, "pinyin 'ng' {zh_ng} vs English {en_ng}");
     }

@@ -78,7 +78,10 @@ mod tests {
             c
         };
         assert_eq!(count(&original), count(&shuffled));
-        assert_ne!(original, shuffled, "a 60-symbol shuffle virtually never fixes");
+        assert_ne!(
+            original, shuffled,
+            "a 60-symbol shuffle virtually never fixes"
+        );
     }
 
     #[test]

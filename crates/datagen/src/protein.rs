@@ -28,10 +28,36 @@ use cluseq_seq::{Alphabet, Sequence, SequenceDatabase, Symbol};
 /// their sizes in [`TABLE3_SIZES`]) are exactly the ones the paper's
 /// Table 3 reports, in the paper's order.
 pub const FAMILY_NAMES: [&str; 30] = [
-    "ig", "pkinase", "globin", "7tm_1", "homeobox", "efhand", "RuBisCO_large", "gluts",
-    "actin", "rrm", "lipocalin", "ras", "HLH", "cyclin", "lectin_c", "kazal", "sushi", "ank",
-    "PH", "SH2", "SH3", "ww", "fn3", "EGF", "kringle", "thioredox", "trypsin", "tRNA-synt_1",
-    "zf-C2H2", "cytochrome_b",
+    "ig",
+    "pkinase",
+    "globin",
+    "7tm_1",
+    "homeobox",
+    "efhand",
+    "RuBisCO_large",
+    "gluts",
+    "actin",
+    "rrm",
+    "lipocalin",
+    "ras",
+    "HLH",
+    "cyclin",
+    "lectin_c",
+    "kazal",
+    "sushi",
+    "ank",
+    "PH",
+    "SH2",
+    "SH3",
+    "ww",
+    "fn3",
+    "EGF",
+    "kringle",
+    "thioredox",
+    "trypsin",
+    "tRNA-synt_1",
+    "zf-C2H2",
+    "cytochrome_b",
 ];
 
 /// Family sizes from the paper's Table 3 (the ten reported families); the
@@ -97,7 +123,10 @@ impl ProteinFamilySpec {
     pub fn generate(&self) -> SequenceDatabase {
         assert!(self.families >= 1 && self.families <= FAMILY_NAMES.len());
         assert!(self.motif_len.0 >= 2 && self.motif_len.0 <= self.motif_len.1);
-        assert!(self.seq_len.0 >= self.motif_len.1 * 2, "sequences must fit motifs");
+        assert!(
+            self.seq_len.0 >= self.motif_len.1 * 2,
+            "sequences must fit motifs"
+        );
         let alphabet = Alphabet::amino_acids();
         let n_sym = alphabet.len();
         let mut db = SequenceDatabase::new(alphabet);

@@ -178,10 +178,7 @@ impl Confusion {
             .iter()
             .enumerate()
             .map(|(ci, &class)| {
-                let cluster = self
-                    .matching
-                    .iter()
-                    .position(|&m| m == Some(ci));
+                let cluster = self.matching.iter().position(|&m| m == Some(ci));
                 let (precision, recall) = match cluster {
                     Some(k) => {
                         let hit = self.overlap[k][ci] as f64;

@@ -207,7 +207,11 @@ mod tests {
     #[test]
     fn matches_brute_force_on_fixed_matrices() {
         let cases: Vec<Vec<Vec<f64>>> = vec![
-            vec![vec![7.0, 5.0, 11.0], vec![5.0, 4.0, 1.0], vec![9.0, 3.0, 2.0]],
+            vec![
+                vec![7.0, 5.0, 11.0],
+                vec![5.0, 4.0, 1.0],
+                vec![9.0, 3.0, 2.0],
+            ],
             vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
             vec![vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]],
             vec![vec![2.5, 2.5], vec![2.5, 2.5]],

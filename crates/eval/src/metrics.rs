@@ -10,7 +10,12 @@
 /// clustered.
 pub fn purity(labels: &[Option<u32>], assignment: &[Option<usize>]) -> f64 {
     assert_eq!(labels.len(), assignment.len());
-    let k = assignment.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let k = assignment
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
     let mut per_cluster: Vec<std::collections::HashMap<u32, usize>> = vec![Default::default(); k];
     let mut clustered = 0usize;
     for (l, a) in labels.iter().zip(assignment) {
@@ -75,10 +80,7 @@ pub fn adjusted_rand_index(labels: &[Option<u32>], assignment: &[Option<usize>])
 /// that are unlabeled or unassigned are excluded; degenerate cases (either
 /// partition trivial) return 1.0 when the partitions agree trivially and
 /// 0.0 otherwise.
-pub fn normalized_mutual_information(
-    labels: &[Option<u32>],
-    assignment: &[Option<usize>],
-) -> f64 {
+pub fn normalized_mutual_information(labels: &[Option<u32>], assignment: &[Option<usize>]) -> f64 {
     assert_eq!(labels.len(), assignment.len());
     let pairs: Vec<(u32, usize)> = labels
         .iter()
@@ -183,10 +185,7 @@ mod tests {
 
     #[test]
     fn nmi_of_identical_partitions_is_one() {
-        let v = normalized_mutual_information(
-            &lab(&[0, 0, 1, 1, 2, 2]),
-            &asg(&[5, 5, 3, 3, 0, 0]),
-        );
+        let v = normalized_mutual_information(&lab(&[0, 0, 1, 1, 2, 2]), &asg(&[5, 5, 3, 3, 0, 0]));
         assert!((v - 1.0).abs() < 1e-9, "nmi = {v}");
     }
 
@@ -198,19 +197,13 @@ mod tests {
 
     #[test]
     fn nmi_partial_agreement_is_intermediate() {
-        let v = normalized_mutual_information(
-            &lab(&[0, 0, 0, 1, 1, 1]),
-            &asg(&[0, 0, 1, 1, 1, 1]),
-        );
+        let v = normalized_mutual_information(&lab(&[0, 0, 0, 1, 1, 1]), &asg(&[0, 0, 1, 1, 1, 1]));
         assert!(v > 0.05 && v < 0.95, "nmi = {v}");
     }
 
     #[test]
     fn nmi_ignores_unlabeled_and_unassigned() {
-        let v = normalized_mutual_information(
-            &lab(&[0, 0, 1, 1, -1]),
-            &asg(&[2, 2, 7, 7, 1]),
-        );
+        let v = normalized_mutual_information(&lab(&[0, 0, 1, 1, -1]), &asg(&[2, 2, 7, 7, 1]));
         assert!((v - 1.0).abs() < 1e-9);
     }
 

@@ -92,17 +92,11 @@ impl Pst {
         let n = self.node(id);
         match strategy {
             // Smallest count first; among equals, deepest first.
-            PruneStrategy::SmallestCount => {
-                Priority(0.0, n.count, u64::MAX - u64::from(n.depth))
-            }
+            PruneStrategy::SmallestCount => Priority(0.0, n.count, u64::MAX - u64::from(n.depth)),
             // Deepest first; among equals, smallest count first.
-            PruneStrategy::LongestLabel => {
-                Priority(0.0, u64::from(u16::MAX - n.depth), n.count)
-            }
+            PruneStrategy::LongestLabel => Priority(0.0, u64::from(u16::MAX - n.depth), n.count),
             // Most expected (closest to parent) first.
-            PruneStrategy::ExpectedVector => {
-                Priority(self.divergence_from_parent(id), n.count, 0)
-            }
+            PruneStrategy::ExpectedVector => Priority(self.divergence_from_parent(id), n.count, 0),
             // Insignificant nodes first (tier 0), by count then depth;
             // significant nodes (tier 1) by expectedness.
             PruneStrategy::Composite => {
@@ -135,14 +129,8 @@ impl Pst {
         let mut pi = 0usize;
         let mut ni = 0usize;
         while ni < n.next.len() || pi < p.next.len() {
-            let (n_sym, n_cnt) = n
-                .next
-                .get(ni)
-                .map_or((u16::MAX, 0), |&(s, c)| (s.0, c));
-            let (p_sym, p_cnt) = p
-                .next
-                .get(pi)
-                .map_or((u16::MAX, 0), |&(s, c)| (s.0, c));
+            let (n_sym, n_cnt) = n.next.get(ni).map_or((u16::MAX, 0), |&(s, c)| (s.0, c));
+            let (p_sym, p_cnt) = p.next.get(pi).map_or((u16::MAX, 0), |&(s, c)| (s.0, c));
             let (np, pp) = match n_sym.cmp(&p_sym) {
                 std::cmp::Ordering::Less => {
                     ni += 1;
@@ -155,10 +143,7 @@ impl Pst {
                 std::cmp::Ordering::Equal => {
                     ni += 1;
                     pi += 1;
-                    (
-                        n_cnt as f64 / n_total as f64,
-                        p_cnt as f64 / p_total as f64,
-                    )
+                    (n_cnt as f64 / n_total as f64, p_cnt as f64 / p_total as f64)
                 }
             };
             dist += (np - pp).abs();

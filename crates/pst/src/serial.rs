@@ -292,9 +292,7 @@ mod tests {
         let alphabet = Alphabet::from_chars("abc".chars());
         let mut pst = Pst::new(
             3,
-            PstParams::default()
-                .with_significance(2)
-                .with_max_depth(5),
+            PstParams::default().with_significance(2).with_max_depth(5),
         );
         pst.add_sequence(&Sequence::parse_str(&alphabet, text).unwrap());
         pst
@@ -314,7 +312,10 @@ mod tests {
         assert_eq!(loaded.node_count(), pst.node_count());
         assert_eq!(loaded.alphabet_size(), pst.alphabet_size());
         assert_eq!(loaded.params(), pst.params());
-        let probe: Vec<Symbol> = "cabacb".chars().map(|c| Symbol("abc".find(c).unwrap() as u16)).collect();
+        let probe: Vec<Symbol> = "cabacb"
+            .chars()
+            .map(|c| Symbol("abc".find(c).unwrap() as u16))
+            .collect();
         for i in 0..probe.len() {
             for s in 0..3u16 {
                 assert_eq!(

@@ -525,7 +525,9 @@ mod tests {
         // "ba".
         let mut pst = Pst::new(
             2,
-            PstParams::default().with_significance(2).without_smoothing(),
+            PstParams::default()
+                .with_significance(2)
+                .without_smoothing(),
         );
         pst.add_sequence(&parse(&alphabet, "bababb"));
         let node = pst.prediction_node(&[a, b, a]);

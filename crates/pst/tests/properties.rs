@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use cluseq_pst::{ConditionalModel, Pst, PstParams, PruneStrategy};
+use cluseq_pst::{ConditionalModel, PruneStrategy, Pst, PstParams};
 use cluseq_seq::{Sequence, Symbol};
 
 /// Random sequence over an alphabet of `n` symbols.

@@ -100,9 +100,8 @@ impl Alphabet {
         if let Some(&id) = self.ids.get(name) {
             return id;
         }
-        let id = Symbol(
-            u16::try_from(self.names.len()).expect("alphabet exceeds u16::MAX symbols"),
-        );
+        let id =
+            Symbol(u16::try_from(self.names.len()).expect("alphabet exceeds u16::MAX symbols"));
         self.names.push(name.to_owned());
         self.ids.insert(name.to_owned(), id);
         id

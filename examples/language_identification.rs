@@ -72,11 +72,7 @@ fn main() {
                 let count = cluster.pst.segment_count(&[a]);
                 if count >= 100 && p > 0.3 {
                     best.push((
-                        format!(
-                            "{}{}",
-                            db.alphabet().name(a),
-                            db.alphabet().name(b)
-                        ),
+                        format!("{}{}", db.alphabet().name(a), db.alphabet().name(b)),
                         p,
                     ));
                 }

@@ -57,7 +57,10 @@ fn main() {
     );
 
     // Table 3 layout: families by descending size.
-    println!("{:<15} {:>6} {:>12} {:>9}", "Family", "Size", "Precision %", "Recall %");
+    println!(
+        "{:<15} {:>6} {:>12} {:>9}",
+        "Family", "Size", "Precision %", "Recall %"
+    );
     for m in confusion.class_metrics() {
         println!(
             "{:<15} {:>6} {:>12.0} {:>9.0}",

@@ -51,7 +51,11 @@ fn main() {
     for h in &outcome.history {
         println!(
             "  iter {:>2}: +{} new, -{} consolidated -> {:>3} clusters, {:>4} membership changes",
-            h.iteration, h.new_clusters, h.removed_clusters, h.clusters_at_end, h.membership_changes
+            h.iteration,
+            h.new_clusters,
+            h.removed_clusters,
+            h.clusters_at_end,
+            h.membership_changes
         );
     }
 

@@ -80,7 +80,10 @@ fn main() {
             for to in 0..PAGES.len() as u16 {
                 let p = cluster.pst.raw_predict(&[Symbol(from)], Symbol(to));
                 if p > 0.35 {
-                    top.push((format!("{}→{}", PAGES[from as usize], PAGES[to as usize]), p));
+                    top.push((
+                        format!("{}→{}", PAGES[from as usize], PAGES[to as usize]),
+                        p,
+                    ));
                 }
             }
         }
@@ -120,7 +123,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "{correct}/{routed} fresh sessions routed to their profile's segment"
-    );
+    println!("{correct}/{routed} fresh sessions routed to their profile's segment");
 }

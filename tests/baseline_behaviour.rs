@@ -18,7 +18,12 @@ fn spec(seed: u64) -> SyntheticSpec {
 }
 
 fn accuracy(db: &SequenceDatabase, assignment: &[Option<usize>]) -> f64 {
-    let k = assignment.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let k = assignment
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
     let mut clusters = vec![Vec::new(); k];
     for (i, a) in assignment.iter().enumerate() {
         if let Some(a) = a {
@@ -122,10 +127,7 @@ fn block_swaps_fool_edit_distance_but_not_block_edit() {
 
     let bed_xy = block_edit_distance(x.symbols(), y.symbols(), 2);
     let bed_xz = block_edit_distance(x.symbols(), z.symbols(), 2);
-    assert!(
-        bed_xy < bed_xz,
-        "block edit fixes it: {bed_xy} < {bed_xz}"
-    );
+    assert!(bed_xy < bed_xz, "block edit fixes it: {bed_xy} < {bed_xz}");
 }
 
 /// CLUSEQ distinguishes order-sensitive structure that q-grams blur: two

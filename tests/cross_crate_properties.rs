@@ -13,14 +13,16 @@ fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
         10usize..40,
         0u64..1000,
     )
-        .prop_map(|(sequences, clusters, avg_len, alphabet, seed)| SyntheticSpec {
-            sequences,
-            clusters,
-            avg_len,
-            alphabet,
-            outlier_fraction: 0.0,
-            seed,
-        })
+        .prop_map(
+            |(sequences, clusters, avg_len, alphabet, seed)| SyntheticSpec {
+                sequences,
+                clusters,
+                avg_len,
+                alphabet,
+                outlier_fraction: 0.0,
+                seed,
+            },
+        )
 }
 
 fn params(seed: u64) -> CluseqParams {

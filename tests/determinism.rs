@@ -1,0 +1,140 @@
+//! Determinism suite for the parallel scoring engine: the full pipeline,
+//! run at several thread counts, must produce byte-for-byte identical
+//! outcomes.
+//!
+//! The contract (see DESIGN.md, "Deterministic parallel scoring"): thread
+//! count is a *performance* knob, never a *results* knob. For both scan
+//! modes, every observable of [`CluseqOutcome`] — memberships, hard
+//! assignments, outliers, the final threshold (compared bit-for-bit), and
+//! the per-iteration history — must match the single-threaded run
+//! exactly. `Snapshot` additionally exercises the parallel score phase of
+//! the re-clustering scan itself; `Incremental` keeps the scan serial but
+//! threads still fan out seeding, the final sweep, and online scoring.
+
+use cluseq::prelude::*;
+
+fn workload() -> SequenceDatabase {
+    SyntheticSpec {
+        sequences: 240,
+        clusters: 4,
+        avg_len: 130,
+        alphabet: 70,
+        outlier_fraction: 0.05,
+        seed: 58,
+    }
+    .generate()
+}
+
+fn params(mode: ScanMode, threads: usize) -> CluseqParams {
+    CluseqParams::default()
+        .with_initial_clusters(4)
+        .with_significance(8)
+        .with_max_depth(6)
+        .with_max_iterations(15)
+        .with_seed(3)
+        .with_scan_mode(mode)
+        .with_threads(threads)
+}
+
+/// Everything observable about an outcome, with floats captured as raw
+/// bits so "close enough" can never pass for "identical".
+#[derive(Debug, PartialEq, Eq)]
+struct Observables {
+    memberships: Vec<Vec<usize>>,
+    best_cluster: Vec<Option<usize>>,
+    outliers: Vec<usize>,
+    final_log_t: u64,
+    iterations: usize,
+    history: Vec<(usize, usize, usize, usize, usize, u64, bool)>,
+}
+
+fn observe(outcome: &CluseqOutcome) -> Observables {
+    Observables {
+        memberships: outcome.membership_lists(),
+        best_cluster: outcome.best_cluster.clone(),
+        outliers: outcome.outliers.clone(),
+        final_log_t: outcome.final_log_t.to_bits(),
+        iterations: outcome.iterations,
+        history: outcome
+            .history
+            .iter()
+            .map(|s| {
+                (
+                    s.iteration,
+                    s.new_clusters,
+                    s.removed_clusters,
+                    s.clusters_at_end,
+                    s.membership_changes,
+                    s.log_t.to_bits(),
+                    s.threshold_moved,
+                )
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn pipeline_is_thread_count_invariant_in_both_scan_modes() {
+    let db = workload();
+    for mode in [ScanMode::Incremental, ScanMode::Snapshot] {
+        let reference = observe(&Cluseq::new(params(mode, 1)).run(&db));
+        assert!(
+            !reference.memberships.is_empty(),
+            "{mode:?}: the reference run found no clusters — the invariance \
+             check would be vacuous"
+        );
+        for threads in [2usize, 4, 8] {
+            let got = observe(&Cluseq::new(params(mode, threads)).run(&db));
+            assert_eq!(
+                got, reference,
+                "{mode:?} with {threads} threads diverged from the serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_mode_ignores_scan_threads_by_construction() {
+    // The paper's order-dependent scan cannot parallelize over sequences;
+    // `threads` must only accelerate the phases around it. This is the
+    // seed-compatibility guarantee: Incremental output is independent of
+    // the threads knob entirely.
+    let db = workload();
+    let serial = observe(&Cluseq::new(params(ScanMode::Incremental, 1)).run(&db));
+    let threaded = observe(&Cluseq::new(params(ScanMode::Incremental, 8)).run(&db));
+    assert_eq!(serial, threaded);
+}
+
+#[test]
+fn online_processing_is_thread_count_invariant() {
+    // The streaming extension scores each arrival against every live
+    // cluster through the same engine; reports must not depend on threads.
+    let db = workload();
+    let fresh = SyntheticSpec {
+        sequences: 60,
+        clusters: 4,
+        avg_len: 130,
+        alphabet: 70,
+        outlier_fraction: 0.15,
+        seed: 59,
+    }
+    .generate();
+
+    let mut reports: Vec<Vec<String>> = Vec::new();
+    for threads in [1usize, 4] {
+        let outcome = Cluseq::new(params(ScanMode::Snapshot, threads)).run(&db);
+        let mut online = OnlineCluseq::from_outcome(
+            &outcome,
+            &params(ScanMode::Snapshot, threads),
+            db.alphabet().len(),
+        );
+        let log: Vec<String> = (0..fresh.len())
+            .map(|i| format!("{:?}", online.process(fresh.sequence(i))))
+            .collect();
+        reports.push(log);
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "online reports changed with thread count"
+    );
+}

@@ -37,7 +37,11 @@ fn recovers_planted_synthetic_clusters() {
         outcome.cluster_count()
     );
     assert!(c.accuracy() > 0.7, "accuracy {}", c.accuracy());
-    assert!(c.macro_precision() > 0.75, "precision {}", c.macro_precision());
+    assert!(
+        c.macro_precision() > 0.75,
+        "precision {}",
+        c.macro_precision()
+    );
 }
 
 #[test]
@@ -98,9 +102,7 @@ fn threshold_converges_from_different_starts() {
         .run(&db);
         finals.push(outcome.final_log_t);
     }
-    let spread = finals
-        .iter()
-        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    let spread = finals.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
         - finals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
     let scale = finals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     assert!(

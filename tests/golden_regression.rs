@@ -1,0 +1,98 @@
+//! Golden regression test: a fixed seeded workload, clustered with fixed
+//! parameters, must keep producing the exact outcome captured in
+//! `tests/golden/synthetic_seed41.txt`.
+//!
+//! Everything in the chain is deterministic — the datagen PRNG, seeding,
+//! the scan, threshold adjustment — so any diff here means an intentional
+//! algorithm change (re-bless the snapshot and explain why in the PR) or
+//! an accidental behaviour change (fix it). The threshold is stored as
+//! raw `f64` bits: a one-ulp drift fails the test.
+//!
+//! The snapshot format is line-oriented:
+//!
+//! ```text
+//! final_log_t_bits <u64>
+//! iterations <n>
+//! cluster <k> <member> <member> …
+//! outliers <id> <id> …
+//! ```
+//!
+//! To re-bless after an intentional change, run this test with
+//! `BLESS_GOLDEN=1` and commit the rewritten snapshot.
+
+use cluseq::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn workload() -> SequenceDatabase {
+    SyntheticSpec {
+        sequences: 200,
+        clusters: 4,
+        avg_len: 140,
+        alphabet: 80,
+        outlier_fraction: 0.05,
+        seed: 41,
+    }
+    .generate()
+}
+
+fn run() -> CluseqOutcome {
+    Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(4)
+            .with_significance(8)
+            .with_max_depth(6)
+            .with_max_iterations(15)
+            .with_seed(13),
+    )
+    .run(&workload())
+}
+
+fn render(outcome: &CluseqOutcome) -> String {
+    let mut s = String::new();
+    writeln!(s, "final_log_t_bits {:016x}", outcome.final_log_t.to_bits()).unwrap();
+    writeln!(s, "iterations {}", outcome.iterations).unwrap();
+    for (k, members) in outcome.membership_lists().iter().enumerate() {
+        write!(s, "cluster {k}").unwrap();
+        for m in members {
+            write!(s, " {m}").unwrap();
+        }
+        s.push('\n');
+    }
+    write!(s, "outliers").unwrap();
+    for o in &outcome.outliers {
+        write!(s, " {o}").unwrap();
+    }
+    s.push('\n');
+    s
+}
+
+fn snapshot_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/cluseq; the snapshot lives with the
+    // root-level tests it belongs to.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/synthetic_seed41.txt")
+}
+
+#[test]
+fn clustering_matches_the_blessed_snapshot() {
+    let got = render(&run());
+    let path = snapshot_path();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "outcome diverged from the golden snapshot; if the change is \
+         intentional, re-bless with BLESS_GOLDEN=1 and justify it in the PR"
+    );
+}
+
+#[test]
+fn golden_run_is_reproducible_within_a_process() {
+    // Guards the premise of the snapshot: two in-process runs agree
+    // exactly, so a snapshot diff can only come from a code change.
+    assert_eq!(render(&run()), render(&run()));
+}

@@ -1,0 +1,395 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the names this
+//! workspace's benches use: [`Criterion`], [`black_box`], [`BenchmarkId`],
+//! [`Throughput`], benchmark groups, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up for ~3 timed batches,
+//! then the iteration count is scaled until one sample batch runs at
+//! least ~50 ms; `sample_count` such batches are timed and the per-
+//! iteration mean/min/max are printed. No plots, no statistics files —
+//! numbers go to stdout. Substring filtering via the first CLI argument
+//! works like the real crate (`cargo bench -- <filter>`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `"{function}/{parameter}"`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter component.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Allows `bench_function("name", ..)` and `bench_function(BenchmarkId::new(..), ..)`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Units processed per iteration, reported as a rate alongside the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Advisory input-size hint for [`Bencher::iter_batched`] (accepted for
+/// signature compatibility; this shim caps batch sizes itself).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    sample_count: usize,
+    result: &'a mut Sample,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: grow the batch until it is long enough
+        // to time reliably.
+        let mut batch: u64 = 1;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..12 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) {
+                break;
+            }
+            // Aim the next batch at ~100 ms based on what we just saw.
+            let per_iter = elapsed.as_nanos().max(1) / batch as u128;
+            batch = (100_000_000u128 / per_iter).clamp(batch as u128 + 1, 1_000_000_000) as u64;
+        }
+
+        let mut means: Vec<f64> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            means.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        if means.is_empty() {
+            means.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        *self.result = Sample {
+            mean_ns: mean,
+            min_ns: means.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: means.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        };
+    }
+
+    /// Like [`Bencher::iter`], but each iteration consumes a fresh input
+    /// built by `setup`; only `routine` is timed. Batches are capped at
+    /// 1024 inputs so setup memory stays bounded regardless of the
+    /// [`BatchSize`] hint.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut batch: u64 = 1;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..12 {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) {
+                break;
+            }
+            let per_iter = elapsed.as_nanos().max(1) / batch as u128;
+            batch = (100_000_000u128 / per_iter).clamp(batch as u128 + 1, 1024) as u64;
+        }
+
+        let mut means: Vec<f64> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            means.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        if means.is_empty() {
+            means.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        *self.result = Sample {
+            mean_ns: mean,
+            min_ns: means.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: means.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        };
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager: owns the CLI filter and print formatting.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_count: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the benchmark filter from the command line (first free
+    /// argument, as `cargo bench -- <filter>` passes it).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion {
+            filter,
+            ..Default::default()
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        sample_count: usize,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut sample = Sample::default();
+        f(&mut Bencher {
+            sample_count,
+            result: &mut sample,
+        });
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if sample.mean_ns > 0.0 => {
+                format!(
+                    "  thrpt: {:.3} Melem/s",
+                    n as f64 / sample.mean_ns * 1_000.0
+                )
+            }
+            Some(Throughput::Bytes(n)) if sample.mean_ns > 0.0 => {
+                format!("  thrpt: {:.3} MiB/s", n as f64 / sample.mean_ns * 953.674)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{id:<48} time: [{} {} {}]{rate}",
+            format_ns(sample.min_ns),
+            format_ns(sample.mean_ns),
+            format_ns(sample.max_ns),
+        );
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let samples = self.sample_count;
+        self.run_one(&id.id, samples, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed sample batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion requires >= 10; accept anything >= 1 here.
+        self.sample_count = Some(n.clamp(1, 100));
+        self
+    }
+
+    /// Sets the throughput used for rate reporting of later benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, samples, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, samples, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut sample = Sample::default();
+        let mut b = Bencher {
+            sample_count: 3,
+            result: &mut sample,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(17));
+            acc
+        });
+        assert!(sample.mean_ns > 0.0);
+        assert!(sample.min_ns <= sample.mean_ns && sample.mean_ns <= sample.max_ns);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("insert", 512).id, "insert/512");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("pst".into()),
+            sample_count: 10,
+        };
+        assert!(c.matches("group/pst_insert/4"));
+        assert!(!c.matches("group/similarity/4"));
+        let all = Criterion::default();
+        assert!(all.matches("anything"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its parameter and
+//! result types for downstream embedders, but deliberately uses no serde
+//! *format* crate anywhere (persistence goes through `cluseq-seq`'s own
+//! binary codec). That means nothing in-tree ever calls serde's data-model
+//! machinery — so in this network-less build environment the traits can be
+//! satisfied by universal marker impls, and the derive macros (re-exported
+//! from [`serde_derive`]) expand to nothing.
+//!
+//! If a future PR adds a real serializer, replace this shim with the real
+//! crates via a vendored registry.
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

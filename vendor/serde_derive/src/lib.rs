@@ -1,0 +1,17 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! The real trait impls come from blanket impls in the `serde` shim, so
+//! these derives only need to (a) exist, and (b) accept `#[serde(...)]`
+//! helper attributes without error. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
