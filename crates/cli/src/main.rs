@@ -20,6 +20,7 @@ use std::process::ExitCode;
 
 use args::Args;
 use cluseq_core::persist::SavedModel;
+use cluseq_core::telemetry::{IterationRecord, RunContext, RunObserver, RunReport, RunSummary};
 use cluseq_core::{Cluseq, CluseqParams, ExaminationOrder, ScanMode};
 use cluseq_datagen::{LanguageSpec, ProteinFamilySpec, SyntheticSpec};
 use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
@@ -55,6 +56,12 @@ CLUSTERING OPTIONS:
   --seed S               RNG seed (default fixed)
   --max-iterations N     iteration cap (default 50)
   --verbose              print per-iteration progress while clustering
+  --report [PATH]        record per-iteration telemetry (phase timings,
+                         cluster lifecycle, similarity histogram, threshold
+                         trajectory, PST sizes), print the iteration table,
+                         and write the report to PATH (default
+                         results/reports/run-report.json)
+  --report-format json|text   report file format (default json)
 
 FILE FORMATS: text = one sequence per line, one character per symbol, an
 optional `label<TAB>` prefix carrying ground truth (`-` marks a known
@@ -237,28 +244,99 @@ fn load(args: &Args) -> Result<SequenceDatabase, ExitCode> {
     })
 }
 
+/// The CLI's telemetry sink: accumulates a [`RunReport`] for `--report`
+/// and prints the `--verbose` live log from the same event stream.
+/// Disabled (zero record-assembly cost) when neither flag is set.
+struct CliObserver {
+    report: RunReport,
+    collect: bool,
+    verbose: bool,
+}
+
+impl RunObserver for CliObserver {
+    fn enabled(&self) -> bool {
+        self.collect || self.verbose
+    }
+
+    fn on_run_start(&mut self, ctx: &RunContext) {
+        self.report.on_run_start(ctx);
+    }
+
+    fn on_iteration(&mut self, record: &IterationRecord) {
+        if self.verbose {
+            let stats = record.stats();
+            eprintln!(
+                "iter {:>3}: +{} new, -{} consolidated -> {} clusters, {} changes, ln t = {:.2}",
+                stats.iteration,
+                stats.new_clusters,
+                stats.removed_clusters,
+                stats.clusters_at_end,
+                stats.membership_changes,
+                stats.log_t,
+            );
+        }
+        if self.collect {
+            self.report.on_iteration(record);
+        }
+    }
+
+    fn on_run_end(&mut self, summary: &RunSummary) {
+        self.report.on_run_end(summary);
+    }
+}
+
+/// Writes the run report where `--report` asked for it (default:
+/// `results/reports/run-report.<ext>`), creating the directory if needed.
+fn write_report(args: &Args, report: &RunReport) -> Result<(), ExitCode> {
+    let format = args.get_str("report-format").unwrap_or("json");
+    let (content, default_name) = match format {
+        "json" => (report.to_json(), "results/reports/run-report.json"),
+        "text" => (report.render_table(), "results/reports/run-report.txt"),
+        other => {
+            eprintln!("error: unknown --report-format {other:?} (json|text)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let path = args.get_str("report").unwrap_or(default_name);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: creating {}: {e}", dir.display());
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("error: writing {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    eprintln!("run report ({format}) written to {path}");
+    Ok(())
+}
+
 fn cluster(args: &Args, evaluate: bool) -> ExitCode {
     let db = match load(args) {
         Ok(db) => db,
         Err(code) => return code,
     };
     let params = params_from(args);
-    let verbose = args.has("verbose");
-    let (outcome, elapsed) = Stopwatch::time(|| {
-        Cluseq::new(params).run_with_progress(&db, |stats| {
-            if verbose {
-                eprintln!(
-                    "iter {:>3}: +{} new, -{} consolidated -> {} clusters, {} changes, ln t = {:.2}",
-                    stats.iteration,
-                    stats.new_clusters,
-                    stats.removed_clusters,
-                    stats.clusters_at_end,
-                    stats.membership_changes,
-                    stats.log_t,
-                );
-            }
-        })
-    });
+    // `--report PATH` parses as an option, bare `--report` as a switch;
+    // either spelling turns collection on.
+    let want_report = args.has("report") || args.get_str("report").is_some();
+    let mut observer = CliObserver {
+        report: RunReport::new(),
+        collect: want_report,
+        verbose: args.has("verbose"),
+    };
+    let (outcome, elapsed) =
+        Stopwatch::time(|| Cluseq::new(params).run_observed(&db, &mut observer));
+
+    if observer.collect {
+        eprint!("{}", observer.report.render_table());
+        if let Err(code) = write_report(args, &observer.report) {
+            return code;
+        }
+    }
 
     eprintln!(
         "{} sequences -> {} clusters, {} outliers, {} iterations, final t = {:.3}, {elapsed:?}",

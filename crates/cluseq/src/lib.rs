@@ -63,6 +63,7 @@ pub use cluseq_seq as seq;
 pub mod prelude {
     pub use cluseq_core::online::OnlineCluseq;
     pub use cluseq_core::persist::SavedModel;
+    pub use cluseq_core::telemetry::{IterationRecord, NoopObserver, RunObserver, RunReport};
     pub use cluseq_core::{
         Cluseq, CluseqOutcome, CluseqParams, ConsolidationMode, ExaminationOrder, IterationStats,
         LogSim, ScanMode, ScoreEngine, SegmentSimilarity,

@@ -15,13 +15,17 @@ use cluseq_seq::SequenceDatabase;
 
 use crate::cluster::Cluster;
 use crate::config::CluseqParams;
-use crate::consolidate::consolidate_with_mode;
+use crate::consolidate::{consolidate_detailed, exclusive_member_counts};
 use crate::outcome::{CluseqOutcome, IterationStats};
 use crate::recluster::{recluster, ScanOptions};
 use crate::score::parallel_map;
-use crate::seeding::select_seeds;
+use crate::seeding::select_seeds_detailed;
 use crate::similarity::max_similarity_pst;
-use crate::threshold::adjust_threshold;
+use crate::telemetry::{
+    ClusterSnapshot, HistogramSnapshot, IterationRecord, NoopObserver, PhaseNanos, RunContext,
+    RunObserver, RunSummary,
+};
+use crate::threshold::decide_threshold;
 
 /// The CLUSEQ algorithm, configured and ready to run.
 ///
@@ -62,26 +66,56 @@ impl Cluseq {
     /// Panics if the database is empty or the parameters are inconsistent
     /// with its alphabet.
     pub fn run(&self, db: &SequenceDatabase) -> CluseqOutcome {
-        self.run_with_progress(db, |_| {})
+        self.run_observed(db, &mut NoopObserver)
     }
 
     /// [`Cluseq::run`] with a per-iteration progress callback — each
     /// iteration's [`IterationStats`] is delivered as soon as the
-    /// iteration finishes (the CLI's `--verbose` live log).
+    /// iteration finishes (the CLI's `--verbose` live log). For the full
+    /// per-iteration telemetry, use [`Cluseq::run_observed`].
     pub fn run_with_progress(
         &self,
         db: &SequenceDatabase,
-        mut progress: impl FnMut(&IterationStats),
+        progress: impl FnMut(&IterationStats),
+    ) -> CluseqOutcome {
+        struct ProgressObserver<F>(F);
+        impl<F: FnMut(&IterationStats)> RunObserver for ProgressObserver<F> {
+            fn on_iteration(&mut self, record: &IterationRecord) {
+                (self.0)(&record.stats());
+            }
+        }
+        self.run_observed(db, &mut ProgressObserver(progress))
+    }
+
+    /// [`Cluseq::run`] with a telemetry sink: `observer` receives the run
+    /// context, one [`IterationRecord`] per completed iteration, and a
+    /// final [`RunSummary`] (see [`crate::telemetry`]). Every counter
+    /// delivered to the observer is deterministic — only the wall-clock
+    /// fields vary across runs and thread counts.
+    pub fn run_observed(
+        &self,
+        db: &SequenceDatabase,
+        observer: &mut dyn RunObserver,
     ) -> CluseqOutcome {
         assert!(!db.is_empty(), "cannot cluster an empty database");
         let alphabet_size = db.alphabet().len();
         self.params.validate(alphabet_size);
         let p = &self.params;
 
+        let run_start = std::time::Instant::now();
         let background = db.background();
         let pst_params = p.pst_params();
         let mut rng = StdRng::seed_from_u64(p.seed);
         let n = db.len();
+
+        observer.on_run_start(&RunContext {
+            sequences: n,
+            alphabet_size,
+            threads: p.threads,
+            scan_mode: p.scan_mode,
+            seed: p.seed,
+            initial_log_t: p.initial_threshold.ln(),
+        });
 
         let mut clusters: Vec<Cluster> = Vec::new();
         let mut next_id = 0usize;
@@ -96,14 +130,18 @@ impl Cluseq {
         let mut prev_best: Vec<Option<usize>> = vec![None; n];
 
         for iteration in 0..p.max_iterations {
+            let iter_start = std::time::Instant::now();
+            let clusters_at_start = clusters.len();
+
             // ---- 1. New cluster generation (§4.1) ----
+            let seed_start = std::time::Instant::now();
             let k_n_target = if iteration == 0 {
                 p.initial_clusters
             } else {
                 growth_count(clusters.len(), prev_new, prev_removed)
             };
             let unclustered = unclustered_ids(n, &clusters);
-            let seeds = select_seeds(
+            let (seeds, seed_metrics) = select_seeds_detailed(
                 db,
                 &background,
                 &clusters,
@@ -125,6 +163,7 @@ impl Cluseq {
                 ));
                 next_id += 1;
             }
+            let seeding_nanos = seed_start.elapsed().as_nanos() as u64;
 
             // ---- 2. Re-clustering scan (§4.2) ----
             let order = p.order.sequence_order(n, &prev_best, &mut rng);
@@ -142,27 +181,44 @@ impl Cluseq {
             );
 
             // ---- 3. Consolidation (§4.5) ----
-            let removed = consolidate_with_mode(
+            let consolidate_start = std::time::Instant::now();
+            let consolidation = consolidate_detailed(
                 &mut clusters,
                 p.effective_min_exclusive(),
                 n,
                 p.consolidation,
             );
+            let removed = consolidation.dismissed;
+            let consolidate_nanos = consolidate_start.elapsed().as_nanos() as u64;
 
             // ---- 4. Threshold adjustment (§4.6) ----
+            let record_iteration = observer.enabled();
+            let threshold_start = std::time::Instant::now();
+            let log_t_before = log_t;
             let mut moved = false;
+            let mut valley = None;
+            // The histogram is needed for adjustment while it is live, and
+            // for the record (an observer sees every iteration's
+            // distribution, frozen or not).
+            let hist = if !threshold_frozen || record_iteration {
+                build_histogram(&scan.similarities, p.histogram_buckets)
+            } else {
+                None
+            };
             if !threshold_frozen {
-                if let Some(hist) = build_histogram(&scan.similarities, p.histogram_buckets) {
-                    let (new_log_t, m) = adjust_threshold(log_t, &hist, 0.01);
+                if let Some(hist) = &hist {
+                    let decision = decide_threshold(log_t, hist, 0.01);
+                    valley = decision.valley;
                     // The paper requires t >= 1 for a meaningful
                     // outlier separation; clamp the log to 0.
-                    log_t = new_log_t.max(0.0);
-                    moved = m;
-                    if !m {
+                    log_t = decision.log_t.max(0.0);
+                    moved = decision.moved;
+                    if !decision.moved {
                         threshold_frozen = true; // within 1%: stop adjusting
                     }
                 }
             }
+            let threshold_nanos = threshold_start.elapsed().as_nanos() as u64;
 
             let stats = IterationStats {
                 iteration,
@@ -173,7 +229,47 @@ impl Cluseq {
                 log_t,
                 threshold_moved: moved,
             };
-            progress(&stats);
+            if record_iteration {
+                let exclusive = exclusive_member_counts(&clusters, n);
+                let cluster_snapshots = clusters
+                    .iter()
+                    .zip(&exclusive)
+                    .map(|(c, &ex)| {
+                        let f = c.pst.footprint();
+                        ClusterSnapshot {
+                            id: c.id,
+                            members: c.size(),
+                            exclusive_members: ex,
+                            pst_nodes: f.nodes,
+                            pst_bytes: f.bytes,
+                            pst_total_count: f.total_count,
+                        }
+                    })
+                    .collect();
+                observer.on_iteration(&IterationRecord {
+                    iteration,
+                    clusters_at_start,
+                    seeding: seed_metrics,
+                    scan: scan.metrics,
+                    removed_clusters: removed,
+                    merged_clusters: consolidation.merged,
+                    clusters_at_end: clusters.len(),
+                    histogram: hist.as_ref().map(HistogramSnapshot::capture),
+                    valley,
+                    log_t_before,
+                    log_t_after: log_t,
+                    threshold_moved: moved,
+                    clusters: cluster_snapshots,
+                    timings: PhaseNanos {
+                        seeding: seeding_nanos,
+                        scan_score: scan.score_nanos,
+                        scan_absorb: scan.absorb_nanos,
+                        consolidate: consolidate_nanos,
+                        threshold: threshold_nanos,
+                        total: iter_start.elapsed().as_nanos() as u64,
+                    },
+                });
+            }
             history.push(stats);
 
             // ---- Termination (§4): the clustering is a fixpoint ----
@@ -196,7 +292,17 @@ impl Cluseq {
             }
         }
 
-        self.finalize(db, clusters, log_t, history)
+        let finalize_start = std::time::Instant::now();
+        let outcome = self.finalize(db, clusters, log_t, history);
+        observer.on_run_end(&RunSummary {
+            iterations: outcome.iterations,
+            clusters: outcome.cluster_count(),
+            outliers: outcome.outliers.len(),
+            final_log_t: outcome.final_log_t,
+            finalize_nanos: finalize_start.elapsed().as_nanos() as u64,
+            total_nanos: run_start.elapsed().as_nanos() as u64,
+        });
+        outcome
     }
 
     /// Final assignment pass: score every sequence against the surviving
@@ -454,6 +560,46 @@ mod tests {
         }
         // The callback saw exactly what the history records.
         assert_eq!(seen.len(), outcome.history.len());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_records_every_iteration() {
+        use crate::telemetry::RunReport;
+        let db = two_cluster_db();
+        let plain = Cluseq::new(base_params()).run(&db);
+        let mut report = RunReport::new();
+        let observed = Cluseq::new(base_params()).run_observed(&db, &mut report);
+
+        // Observation must not perturb the clustering.
+        assert_eq!(plain.best_cluster, observed.best_cluster);
+        assert_eq!(plain.final_log_t.to_bits(), observed.final_log_t.to_bits());
+        assert_eq!(plain.history, observed.history);
+
+        // One record per iteration, consistent with the history.
+        assert_eq!(report.iterations.len(), observed.iterations);
+        for (record, stats) in report.iterations.iter().zip(&observed.history) {
+            assert_eq!(&record.stats(), stats);
+            assert_eq!(
+                record.clusters_at_start + record.seeding.chosen - record.removed_clusters,
+                record.clusters_at_end,
+                "cluster lifecycle must balance"
+            );
+            assert_eq!(record.scan.pairs_scored, {
+                let scored_against = record.clusters_at_start + record.seeding.chosen;
+                (db.len() * scored_against) as u64
+            });
+            assert!(record.histogram.is_some(), "live threshold => histogram");
+        }
+        let ctx = report.context.expect("context recorded");
+        assert_eq!(ctx.sequences, db.len());
+        let summary = report.summary.expect("summary recorded");
+        assert_eq!(summary.iterations, observed.iterations);
+        assert_eq!(summary.clusters, observed.cluster_count());
+        assert_eq!(summary.outliers, observed.outliers.len());
+        assert_eq!(
+            summary.final_log_t.to_bits(),
+            observed.final_log_t.to_bits()
+        );
     }
 
     #[test]

@@ -37,6 +37,18 @@ pub enum ScanMode {
     Snapshot,
 }
 
+impl std::fmt::Display for ScanMode {
+    /// Renders the same lowercase token [`FromStr`](std::str::FromStr)
+    /// accepts (`incremental` / `snapshot`), so the value round-trips
+    /// through config files and run reports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScanMode::Incremental => "incremental",
+            ScanMode::Snapshot => "snapshot",
+        })
+    }
+}
+
 impl std::str::FromStr for ScanMode {
     type Err = String;
 
@@ -330,6 +342,13 @@ mod tests {
                 .scan_mode,
             ScanMode::Snapshot
         );
+    }
+
+    #[test]
+    fn scan_mode_display_round_trips_through_from_str() {
+        for mode in [ScanMode::Incremental, ScanMode::Snapshot] {
+            assert_eq!(mode.to_string().parse(), Ok(mode));
+        }
     }
 
     #[test]

@@ -33,6 +33,17 @@ pub fn consolidate(
     )
 }
 
+/// What [`consolidate_detailed`] did: how many clusters were dismissed,
+/// and how many of those had their models merged into a covering cluster
+/// (always 0 under [`ConsolidationMode::Dismiss`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConsolidationOutcome {
+    /// Clusters removed from the pool.
+    pub dismissed: usize,
+    /// Removed clusters whose PST was folded into an overlapping survivor.
+    pub merged: usize,
+}
+
 /// [`consolidate`] with an explicit failure mode: dismissed clusters can
 /// instead have their models merged into the retained cluster they overlap
 /// most (an extension — the paper always dismisses).
@@ -42,8 +53,36 @@ pub fn consolidate_with_mode(
     total_sequences: usize,
     mode: ConsolidationMode,
 ) -> usize {
+    consolidate_detailed(clusters, min_exclusive, total_sequences, mode).dismissed
+}
+
+/// Per-cluster exclusive-member counts: for each cluster, how many of its
+/// members belong to no *other* cluster in `clusters`. This is the quantity
+/// consolidation tests against `min_exclusive`, exposed separately for
+/// telemetry snapshots.
+pub fn exclusive_member_counts(clusters: &[Cluster], total_sequences: usize) -> Vec<usize> {
+    let mut coverage = vec![0u32; total_sequences];
+    for c in clusters {
+        for &m in &c.members {
+            coverage[m] += 1;
+        }
+    }
+    clusters
+        .iter()
+        .map(|c| c.members.iter().filter(|&&m| coverage[m] == 1).count())
+        .collect()
+}
+
+/// [`consolidate_with_mode`], additionally reporting how many of the
+/// dismissed clusters were merged (see [`ConsolidationOutcome`]).
+pub fn consolidate_detailed(
+    clusters: &mut Vec<Cluster>,
+    min_exclusive: usize,
+    total_sequences: usize,
+    mode: ConsolidationMode,
+) -> ConsolidationOutcome {
     if clusters.is_empty() {
-        return 0;
+        return ConsolidationOutcome::default();
     }
     // coverage[i] = how many retained clusters currently contain seq i.
     let mut coverage = vec![0u32; total_sequences];
@@ -65,6 +104,7 @@ pub fn consolidate_with_mode(
 
     let mut retain = vec![true; clusters.len()];
     let mut removed = 0usize;
+    let mut merged = 0usize;
     for &idx in &order {
         let exclusive = clusters[idx]
             .members
@@ -87,6 +127,7 @@ pub fn consolidate_with_mode(
                     if shared_members(&clusters[idx].members, &clusters[target].members) > 0 {
                         let source = clusters[idx].pst.clone();
                         clusters[target].pst.merge(&source);
+                        merged += 1;
                     }
                 }
             }
@@ -95,7 +136,10 @@ pub fn consolidate_with_mode(
 
     let mut keep_iter = retain.into_iter();
     clusters.retain(|_| keep_iter.next().unwrap());
-    removed
+    ConsolidationOutcome {
+        dismissed: removed,
+        merged,
+    }
 }
 
 /// |A ∩ B| for two ascending member lists.
@@ -256,6 +300,42 @@ mod tests {
             consolidate_with_mode(&mut clusters, 1, 10, ConsolidationMode::MergeIntoCovering);
         assert_eq!(removed, 1);
         assert_eq!(clusters[0].pst.total_count(), before);
+    }
+
+    #[test]
+    fn detailed_outcome_counts_merges() {
+        let mut clusters = vec![
+            make_cluster(0, vec![0, 1, 2, 3, 4]),
+            make_cluster(1, vec![0, 1, 2, 3]),
+        ];
+        let out = consolidate_detailed(&mut clusters, 2, 10, ConsolidationMode::MergeIntoCovering);
+        assert_eq!(out.dismissed, 1);
+        assert_eq!(out.merged, 1);
+
+        // Dismiss mode never merges.
+        let mut clusters = vec![
+            make_cluster(0, vec![0, 1, 2, 3, 4]),
+            make_cluster(1, vec![0, 1, 2, 3]),
+        ];
+        let out = consolidate_detailed(&mut clusters, 2, 10, ConsolidationMode::Dismiss);
+        assert_eq!(out.dismissed, 1);
+        assert_eq!(out.merged, 0);
+
+        // No overlap: dismissed but not merged.
+        let mut clusters = vec![make_cluster(0, vec![0, 1, 2]), make_cluster(1, vec![])];
+        let out = consolidate_detailed(&mut clusters, 1, 10, ConsolidationMode::MergeIntoCovering);
+        assert_eq!(out.dismissed, 1);
+        assert_eq!(out.merged, 0);
+    }
+
+    #[test]
+    fn exclusive_member_counts_match_the_consolidation_rule() {
+        let clusters = vec![
+            make_cluster(0, vec![0, 1, 2, 3, 4]),
+            make_cluster(1, vec![3, 4, 5]),
+        ];
+        assert_eq!(exclusive_member_counts(&clusters, 10), vec![3, 1]);
+        assert_eq!(exclusive_member_counts(&[], 10), Vec::<usize>::new());
     }
 
     #[test]

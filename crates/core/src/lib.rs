@@ -37,6 +37,13 @@
 //! let outcome = Cluseq::new(params).run(&db);
 //! assert!(outcome.cluster_count() >= 2);
 //! ```
+//!
+//! To watch a run instead of just reading its end state, pass a
+//! [`telemetry::RunObserver`] to [`Cluseq::run_observed`] — the bundled
+//! [`telemetry::RunReport`] records per-iteration phase timings, cluster
+//! lifecycle counts, threshold trajectory, and model sizes.
+
+#![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod cluster;
@@ -50,6 +57,7 @@ pub mod recluster;
 pub mod score;
 pub mod seeding;
 pub mod similarity;
+pub mod telemetry;
 pub mod threshold;
 
 pub use algorithm::Cluseq;
@@ -61,3 +69,4 @@ pub use outcome::{CluseqOutcome, IterationStats};
 pub use recluster::ScanOptions;
 pub use score::ScoreEngine;
 pub use similarity::{max_similarity, max_similarity_pst, LogSim, SegmentSimilarity};
+pub use telemetry::{IterationRecord, NoopObserver, RunObserver, RunReport};

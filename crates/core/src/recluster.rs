@@ -23,6 +23,7 @@ use crate::cluster::Cluster;
 use crate::config::ScanMode;
 use crate::score::ScoreEngine;
 use crate::similarity::{max_similarity_pst, LogSim, SegmentSimilarity};
+use crate::telemetry::ScanMetrics;
 
 /// Options controlling one re-clustering scan.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +62,16 @@ pub struct ReclusterOutcome {
     /// For each sequence, the cluster *slot* (index into the `clusters`
     /// argument) with the highest similarity among those it joined.
     pub best_cluster: Vec<Option<usize>>,
+    /// Scan activity counters (deterministic; `metrics.membership_changes`
+    /// equals `changes`).
+    pub metrics: ScanMetrics,
+    /// Wall time of the score work, nanoseconds. Under
+    /// [`ScanMode::Incremental`] this covers the whole interleaved scan
+    /// (scoring and model updates are inseparable there).
+    pub score_nanos: u64,
+    /// Wall time of the snapshot absorb phase, nanoseconds (0 under
+    /// [`ScanMode::Incremental`]).
+    pub absorb_nanos: u64,
 }
 
 /// Bookkeeping shared by both scan modes: member lists being rebuilt,
@@ -75,6 +86,7 @@ struct ScanState {
     old_members: Vec<Vec<usize>>,
     new_members: Vec<Vec<usize>>,
     join_segments: Vec<Vec<(usize, usize, usize)>>,
+    metrics: ScanMetrics,
 }
 
 impl ScanState {
@@ -88,6 +100,7 @@ impl ScanState {
             old_members: clusters.iter().map(|c| c.members.clone()).collect(),
             new_members: vec![Vec::new(); clusters.len()],
             join_segments: vec![Vec::new(); clusters.len()],
+            metrics: ScanMetrics::default(),
         }
     }
 
@@ -103,16 +116,21 @@ impl ScanState {
         seq: &[cluseq_seq::Symbol],
         cluster: &mut Cluster,
     ) {
+        self.metrics.pairs_scored += 1;
         if sim.log_sim.is_finite() {
             self.similarities.push(sim.log_sim);
         }
         if sim.log_sim >= self.log_t && !seq.is_empty() {
+            self.metrics.joins += 1;
             self.new_members[slot].push(seq_id);
             if sim.log_sim > self.best_score[seq_id] {
                 self.best_score[seq_id] = sim.log_sim;
                 self.best_cluster[seq_id] = Some(slot);
             }
             let was_member = self.old_members[slot].binary_search(&seq_id).is_ok();
+            if !was_member {
+                self.metrics.new_joins += 1;
+            }
             if self.rebuild_psts {
                 self.join_segments[slot].push((seq_id, sim.start, sim.end));
             } else if !was_member {
@@ -137,9 +155,14 @@ pub fn recluster(
 ) -> ReclusterOutcome {
     let n = db.len();
     let mut state = ScanState::new(n, clusters, log_t, options.rebuild_psts);
+    let score_nanos: u64;
+    let mut absorb_nanos = 0u64;
 
     match options.mode {
         ScanMode::Incremental => {
+            // Scoring and model updates interleave here, so the whole scan
+            // is attributed to the score phase (absorb stays 0).
+            let start = std::time::Instant::now();
             for &seq_id in order {
                 let seq = db.sequence(seq_id).symbols();
                 for (slot, cluster) in clusters.iter_mut().enumerate() {
@@ -147,6 +170,7 @@ pub fn recluster(
                     state.apply(seq_id, slot, sim, seq, cluster);
                 }
             }
+            score_nanos = start.elapsed().as_nanos() as u64;
         }
         ScanMode::Snapshot => {
             // Score phase: every pair against the iteration-start models,
@@ -154,14 +178,17 @@ pub fn recluster(
             // in slot order, so the absorb phase below visits pairs in
             // exactly the incremental scan's (sequence, slot) order.
             let engine = ScoreEngine::new(options.threads);
-            let rows = engine.score_sequences(db, clusters, background, order);
+            let (rows, nanos) = engine.score_sequences_timed(db, clusters, background, order);
+            score_nanos = nanos;
             // Absorb phase: sequential, in examination order.
+            let start = std::time::Instant::now();
             for (pos, &seq_id) in order.iter().enumerate() {
                 let seq = db.sequence(seq_id).symbols();
                 for (slot, &sim) in rows[pos].iter().enumerate() {
                     state.apply(seq_id, slot, sim, seq, &mut clusters[slot]);
                 }
             }
+            absorb_nanos = start.elapsed().as_nanos() as u64;
         }
     }
 
@@ -188,10 +215,16 @@ pub fn recluster(
         }
     }
 
+    let mut metrics = state.metrics;
+    metrics.membership_changes = changes;
+
     ReclusterOutcome {
         similarities: state.similarities,
         changes,
         best_cluster: state.best_cluster,
+        metrics,
+        score_nanos,
+        absorb_nanos,
     }
 }
 
@@ -411,6 +444,22 @@ mod tests {
         for (a, b) in inc.iter().zip(&snap) {
             assert_eq!(a.members, b.members);
             assert_eq!(a.pst.total_count(), b.pst.total_count());
+        }
+    }
+
+    #[test]
+    fn scan_metrics_count_pairs_and_joins() {
+        let (db, bg) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        for opts in [incremental(), snapshot(2)] {
+            let mut clusters = make_clusters(&db, &[0, 3]);
+            let out = recluster(&db, &mut clusters, 0.05, &order, &bg, opts);
+            assert_eq!(out.metrics.pairs_scored, (db.len() * 2) as u64);
+            // Joins = final membership entries (3 in cluster 0, 2 in 1).
+            assert_eq!(out.metrics.joins, 5);
+            // The seeds were already members; 3 sequences joined anew.
+            assert_eq!(out.metrics.new_joins, 3);
+            assert_eq!(out.metrics.membership_changes, out.changes);
         }
     }
 

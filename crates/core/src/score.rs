@@ -109,6 +109,22 @@ impl ScoreEngine {
         })
     }
 
+    /// [`score_sequences`](ScoreEngine::score_sequences) plus the wall
+    /// time of the whole scoring pass in nanoseconds — the telemetry
+    /// layer's `scan_score` phase attribution. The scores themselves are
+    /// identical to the untimed call.
+    pub fn score_sequences_timed(
+        &self,
+        db: &SequenceDatabase,
+        clusters: &[Cluster],
+        background: &BackgroundModel,
+        order: &[usize],
+    ) -> (Vec<Vec<SegmentSimilarity>>, u64) {
+        let start = std::time::Instant::now();
+        let rows = self.score_sequences(db, clusters, background, order);
+        (rows, start.elapsed().as_nanos() as u64)
+    }
+
     /// Scores each database sequence in `ids` against a single PST.
     pub fn score_against_pst(
         &self,
@@ -218,6 +234,16 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn timed_scoring_returns_identical_rows() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        let engine = ScoreEngine::new(2);
+        let plain = engine.score_sequences(&db, &clusters, &bg, &order);
+        let (timed, _nanos) = engine.score_sequences_timed(&db, &clusters, &bg, &order);
+        assert_eq!(plain, timed);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use cluseq_seq::{BackgroundModel, SequenceDatabase};
 use crate::cluster::Cluster;
 use crate::score::parallel_map;
 use crate::similarity::max_similarity_pst;
+use crate::telemetry::SeedingMetrics;
 
 /// Selects up to `k_n` seed sequence ids from `unclustered`.
 ///
@@ -38,8 +39,47 @@ pub fn select_seeds(
     threads: usize,
     rng: &mut impl Rng,
 ) -> Vec<usize> {
+    select_seeds_detailed(
+        db,
+        background,
+        clusters,
+        unclustered,
+        k_n,
+        sample_factor,
+        pst_params,
+        threads,
+        rng,
+    )
+    .0
+}
+
+/// [`select_seeds`] plus the [`SeedingMetrics`] the telemetry layer
+/// records. Draws from `rng` exactly as [`select_seeds`] does, so the two
+/// are interchangeable without perturbing downstream RNG state.
+#[allow(clippy::too_many_arguments)] // internal driver call, mirrors §4.1's inputs
+pub fn select_seeds_detailed(
+    db: &SequenceDatabase,
+    background: &BackgroundModel,
+    clusters: &[Cluster],
+    unclustered: &[usize],
+    k_n: usize,
+    sample_factor: usize,
+    pst_params: PstParams,
+    threads: usize,
+    rng: &mut impl Rng,
+) -> (Vec<usize>, SeedingMetrics) {
+    let requested = k_n;
+    let pool = unclustered.len();
     if k_n == 0 || unclustered.is_empty() {
-        return Vec::new();
+        return (
+            Vec::new(),
+            SeedingMetrics {
+                requested,
+                pool,
+                sampled: 0,
+                chosen: 0,
+            },
+        );
     }
     let k_n = k_n.min(unclustered.len());
     let m = (sample_factor * k_n).min(unclustered.len());
@@ -103,7 +143,14 @@ pub fn select_seeds(
         }
     }
 
-    chosen.into_iter().map(|i| candidates[i]).collect()
+    let seeds: Vec<usize> = chosen.into_iter().map(|i| candidates[i]).collect();
+    let metrics = SeedingMetrics {
+        requested,
+        pool,
+        sampled: m,
+        chosen: seeds.len(),
+    };
+    (seeds, metrics)
 }
 
 #[cfg(test)]
@@ -232,5 +279,36 @@ mod tests {
         let pool = vec![0, 3];
         let seeds = select_seeds(&db, &bg, &[], &pool, 10, 5, params(), 1, &mut rng);
         assert_eq!(seeds.len(), 2);
+    }
+
+    #[test]
+    fn detailed_selection_matches_plain_and_reports_metrics() {
+        let (db, bg) = fixture();
+        let all: Vec<usize> = (0..db.len()).collect();
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let plain = select_seeds(&db, &bg, &[], &all, 3, 2, params(), 1, &mut rng_a);
+        let (detailed, metrics) =
+            select_seeds_detailed(&db, &bg, &[], &all, 3, 2, params(), 1, &mut rng_b);
+        assert_eq!(plain, detailed, "identical RNG draws, identical seeds");
+        // Both consumed the same amount of RNG state.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        assert_eq!(metrics.requested, 3);
+        assert_eq!(metrics.pool, db.len());
+        assert_eq!(metrics.sampled, 6);
+        assert_eq!(metrics.chosen, 3);
+    }
+
+    #[test]
+    fn detailed_selection_reports_empty_pool() {
+        let (db, bg) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (seeds, metrics) =
+            select_seeds_detailed(&db, &bg, &[], &[], 3, 5, params(), 1, &mut rng);
+        assert!(seeds.is_empty());
+        assert_eq!(metrics.requested, 3);
+        assert_eq!(metrics.pool, 0);
+        assert_eq!(metrics.sampled, 0);
+        assert_eq!(metrics.chosen, 0);
     }
 }

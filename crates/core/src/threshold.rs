@@ -58,20 +58,47 @@ pub fn find_valley(hist: &Histogram) -> Option<f64> {
     best_x
 }
 
+/// The outcome of one threshold-adjustment step, with the intermediate
+/// valley exposed for telemetry ([`crate::telemetry::IterationRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdDecision {
+    /// The valley `t̂` the regression analysis found, if any (log-space).
+    pub valley: Option<f64>,
+    /// The threshold after the step (log-space; unchanged when `moved` is
+    /// false).
+    pub log_t: f64,
+    /// Whether the threshold actually moved.
+    pub moved: bool,
+}
+
 /// One threshold-adjustment step: moves `t` (log-space) half-way toward the
 /// valley of `hist`, unless already within `tolerance` (relative, on the
-/// log scale — the paper uses 1%). Returns the new threshold and whether it
-/// actually moved.
-pub fn adjust_threshold(log_t: f64, hist: &Histogram, tolerance: f64) -> (f64, bool) {
+/// log scale — the paper uses 1%). Exposes the valley it found; use
+/// [`adjust_threshold`] when only the resulting threshold matters.
+pub fn decide_threshold(log_t: f64, hist: &Histogram, tolerance: f64) -> ThresholdDecision {
     let Some(valley) = find_valley(hist) else {
-        return (log_t, false);
+        return ThresholdDecision {
+            valley: None,
+            log_t,
+            moved: false,
+        };
     };
     // "Virtually the same": relative distance under the tolerance.
     let scale = log_t.abs().max(valley.abs()).max(1e-9);
-    if (valley - log_t).abs() / scale < tolerance {
-        return (log_t, false);
+    let moved = (valley - log_t).abs() / scale >= tolerance;
+    ThresholdDecision {
+        valley: Some(valley),
+        log_t: if moved { (log_t + valley) / 2.0 } else { log_t },
+        moved,
     }
-    ((log_t + valley) / 2.0, true)
+}
+
+/// One threshold-adjustment step; see [`decide_threshold`] for the variant
+/// that also reports the valley. Returns the new threshold and whether it
+/// actually moved.
+pub fn adjust_threshold(log_t: f64, hist: &Histogram, tolerance: f64) -> (f64, bool) {
+    let d = decide_threshold(log_t, hist, tolerance);
+    (d.log_t, d.moved)
 }
 
 #[cfg(test)]
@@ -160,5 +187,29 @@ mod tests {
         let (t, moved) = adjust_threshold(valley * 0.999, &h, 0.01);
         assert!(!moved);
         assert_eq!(t, valley * 0.999);
+    }
+
+    #[test]
+    fn decide_threshold_reports_the_valley() {
+        let h = figure3_histogram();
+        let valley = find_valley(&h).unwrap();
+        let d = decide_threshold(0.0, &h, 0.01);
+        assert_eq!(d.valley, Some(valley));
+        assert!(d.moved);
+        assert!((d.log_t - valley / 2.0).abs() < 1e-9);
+        // Frozen case: valley still reported, threshold untouched.
+        let d2 = decide_threshold(valley, &h, 0.01);
+        assert_eq!(d2.valley, Some(valley));
+        assert!(!d2.moved);
+        assert_eq!(d2.log_t, valley);
+    }
+
+    #[test]
+    fn decide_threshold_without_a_valley_is_a_noop() {
+        let h = Histogram::new(0.0, 1.0, 10);
+        let d = decide_threshold(0.5, &h, 0.01);
+        assert_eq!(d.valley, None);
+        assert!(!d.moved);
+        assert_eq!(d.log_t, 0.5);
     }
 }

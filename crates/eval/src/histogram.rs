@@ -49,6 +49,11 @@ impl Histogram {
         self.counts[i] += 1;
     }
 
+    /// The `(lo, hi)` edges of the bucketed domain.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
     /// Number of buckets.
     pub fn buckets(&self) -> usize {
         self.counts.len()
@@ -130,6 +135,12 @@ mod tests {
         let mut h = Histogram::new(0.0, 1.0, 4);
         h.add(1.0);
         assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn range_returns_the_constructed_edges() {
+        let h = Histogram::new(-1.5, 4.25, 3);
+        assert_eq!(h.range(), (-1.5, 4.25));
     }
 
     #[test]

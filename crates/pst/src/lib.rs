@@ -55,5 +55,5 @@ pub use params::{PruneStrategy, PstParams};
 pub use render::RenderOptions;
 pub use scanner::ContextScanner;
 pub use serial::SerialError;
-pub use stats::PstStats;
+pub use stats::{PstFootprint, PstStats};
 pub use tree::Pst;

@@ -21,7 +21,31 @@ pub struct PstStats {
     pub total_count: u64,
 }
 
+/// The O(1) slice of [`PstStats`]: the size accounting the tree maintains
+/// incrementally on every insert/prune. Cheap enough to capture for every
+/// cluster on every iteration (telemetry does), unlike [`Pst::stats`],
+/// which walks all live nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PstFootprint {
+    /// Live nodes, root included.
+    pub nodes: usize,
+    /// Estimated footprint in bytes.
+    pub bytes: usize,
+    /// Root count (total symbols inserted).
+    pub total_count: u64,
+}
+
 impl Pst {
+    /// Reads the incrementally-maintained size counters — constant time,
+    /// no tree walk. Agrees with the corresponding [`Pst::stats`] fields.
+    pub fn footprint(&self) -> PstFootprint {
+        PstFootprint {
+            nodes: self.node_count(),
+            bytes: self.bytes(),
+            total_count: self.total_count(),
+        }
+    }
+
     /// Computes a statistics snapshot in one pass over the live nodes.
     pub fn stats(&self) -> PstStats {
         let mut stats = PstStats {
@@ -134,6 +158,16 @@ mod tests {
         // Root + "a" (3) + "b" (3) + "ab"(2) + "ba"(2) + deeper pairs…
         assert!(s.significant_nodes >= 5);
         assert!(s.significant_nodes <= s.nodes);
+    }
+
+    #[test]
+    fn footprint_agrees_with_full_stats() {
+        let pst = build("abcabcaabbcc");
+        let f = pst.footprint();
+        let s = pst.stats();
+        assert_eq!(f.nodes, s.nodes);
+        assert_eq!(f.bytes, s.bytes);
+        assert_eq!(f.total_count, s.total_count);
     }
 
     #[test]
