@@ -20,8 +20,10 @@ use std::process::ExitCode;
 
 use args::Args;
 use cluseq_core::persist::SavedModel;
-use cluseq_core::telemetry::{IterationRecord, RunContext, RunObserver, RunReport, RunSummary};
-use cluseq_core::{Cluseq, CluseqParams, ExaminationOrder, ScanMode};
+use cluseq_core::telemetry::{
+    CheckpointEvent, IterationRecord, ResumeInfo, RunContext, RunObserver, RunReport, RunSummary,
+};
+use cluseq_core::{Checkpoint, Cluseq, CluseqParams, ExaminationOrder, ScanMode};
 use cluseq_datagen::{LanguageSpec, ProteinFamilySpec, SyntheticSpec};
 use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
 use cluseq_seq::codec;
@@ -55,6 +57,17 @@ CLUSTERING OPTIONS:
                          are identical for any value (default 1)
   --seed S               RNG seed (default fixed)
   --max-iterations N     iteration cap (default 50)
+  --checkpoint-dir DIR   write crash-recovery checkpoints to DIR, one per
+                         cadence boundary (atomic temp+fsync+rename files
+                         named cluseq-NNNNNN.ckpt; a final checkpoint is
+                         always written at the fixpoint)
+  --checkpoint-every N   checkpoint cadence in iterations (default 1;
+                         needs --checkpoint-dir)
+  --resume               resume from the newest checkpoint in
+                         --checkpoint-dir instead of starting over; the
+                         finished run is bit-identical to an uninterrupted
+                         one (starts fresh when the directory is empty, so
+                         a crash-restart loop can always pass --resume)
   --verbose              print per-iteration progress while clustering
   --report [PATH]        record per-iteration telemetry (phase timings,
                          cluster lifecycle, similarity histogram, threshold
@@ -216,6 +229,9 @@ fn params_from(args: &Args) -> CluseqParams {
         "cluster" => ExaminationOrder::ClusterBased,
         _ => ExaminationOrder::Fixed,
     });
+    if let Some(dir) = args.get_str("checkpoint-dir") {
+        p = p.with_checkpoints(dir, args.get("checkpoint-every", 1usize));
+    }
     p
 }
 
@@ -280,6 +296,33 @@ impl RunObserver for CliObserver {
         }
     }
 
+    fn on_checkpoint(&mut self, event: &CheckpointEvent) {
+        if self.verbose {
+            match &event.error {
+                Some(e) => eprintln!("checkpoint after iter {} failed: {e}", event.completed),
+                None => eprintln!(
+                    "checkpoint after iter {} -> {} ({} bytes)",
+                    event.completed, event.path, event.bytes
+                ),
+            }
+        }
+        if self.collect {
+            self.report.on_checkpoint(event);
+        }
+    }
+
+    fn on_resume(&mut self, info: &ResumeInfo) {
+        if self.verbose {
+            eprintln!(
+                "resuming from checkpoint (v{}) after {} completed iterations",
+                info.version, info.completed
+            );
+        }
+        if self.collect {
+            self.report.on_resume(info);
+        }
+    }
+
     fn on_run_end(&mut self, summary: &RunSummary) {
         self.report.on_run_end(summary);
     }
@@ -328,8 +371,52 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
         collect: want_report,
         verbose: args.has("verbose"),
     };
-    let (outcome, elapsed) =
-        Stopwatch::time(|| Cluseq::new(params).run_observed(&db, &mut observer));
+    // `--resume` restarts from the newest checkpoint in --checkpoint-dir,
+    // or fresh when none exists yet, so a crash-restart loop can pass the
+    // flag unconditionally.
+    let resume_from = if args.has("resume") {
+        let Some(policy) = params.checkpoint.clone() else {
+            eprintln!("error: --resume requires --checkpoint-dir");
+            return ExitCode::from(2);
+        };
+        match Checkpoint::latest_in(&policy.dir) {
+            Ok(Some(path)) => match Checkpoint::load_path(&path) {
+                Ok(ckpt) => {
+                    if let Err(mismatch) = ckpt.verify_database(&db) {
+                        eprintln!("error: {}: {mismatch}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "resuming from {} ({} iterations completed)",
+                        path.display(),
+                        ckpt.completed
+                    );
+                    Some(ckpt)
+                }
+                Err(e) => {
+                    eprintln!("error: loading checkpoint {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Ok(None) => {
+                eprintln!(
+                    "no checkpoint found in {}; starting fresh",
+                    policy.dir.display()
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("error: scanning {}: {e}", policy.dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let (outcome, elapsed) = Stopwatch::time(|| match resume_from {
+        Some(ckpt) => Cluseq::resume_observed(ckpt, &db, &mut observer),
+        None => Cluseq::new(params).run_observed(&db, &mut observer),
+    });
 
     if observer.collect {
         eprint!("{}", observer.report.render_table());
@@ -519,5 +606,35 @@ mod tests {
         let p = params_from(&args);
         assert_eq!(p.scan_mode, ScanMode::Incremental);
         assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    fn checkpoint_flags_reach_params() {
+        let args = Args::parse(
+            "cluster data.txt --checkpoint-dir ckpts --checkpoint-every 3"
+                .split_whitespace()
+                .map(str::to_owned),
+        );
+        let p = params_from(&args);
+        let policy = p.checkpoint.expect("policy should be configured");
+        assert_eq!(policy.dir, std::path::PathBuf::from("ckpts"));
+        assert_eq!(policy.every, 3);
+    }
+
+    #[test]
+    fn checkpoint_cadence_defaults_to_every_iteration() {
+        let args = Args::parse(
+            "cluster data.txt --checkpoint-dir ckpts"
+                .split_whitespace()
+                .map(str::to_owned),
+        );
+        let p = params_from(&args);
+        assert_eq!(p.checkpoint.expect("policy").every, 1);
+    }
+
+    #[test]
+    fn checkpointing_is_off_by_default() {
+        let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
+        assert!(params_from(&args).checkpoint.is_none());
     }
 }

@@ -63,10 +63,13 @@ pub use cluseq_seq as seq;
 pub mod prelude {
     pub use cluseq_core::online::OnlineCluseq;
     pub use cluseq_core::persist::SavedModel;
-    pub use cluseq_core::telemetry::{IterationRecord, NoopObserver, RunObserver, RunReport};
+    pub use cluseq_core::telemetry::{
+        CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,
+    };
     pub use cluseq_core::{
-        Cluseq, CluseqOutcome, CluseqParams, ConsolidationMode, ExaminationOrder, IterationStats,
-        LogSim, ScanMode, ScoreEngine, SegmentSimilarity,
+        Checkpoint, CheckpointPolicy, Cluseq, CluseqOutcome, CluseqParams, ConsolidationMode,
+        ExaminationOrder, FailPlan, FailingReader, FailingWriter, IterationStats, LogSim, ScanMode,
+        ScoreEngine, SegmentSimilarity,
     };
     pub use cluseq_datagen::{
         inject_outliers, ClusterModel, Language, LanguageSpec, Profile, ProteinFamilySpec,

@@ -13,6 +13,7 @@ use rand::SeedableRng;
 use cluseq_eval::Histogram;
 use cluseq_seq::SequenceDatabase;
 
+use crate::checkpoint::{db_digest, Checkpoint};
 use crate::cluster::Cluster;
 use crate::config::CluseqParams;
 use crate::consolidate::{consolidate_detailed, exclusive_member_counts};
@@ -22,10 +23,36 @@ use crate::score::parallel_map;
 use crate::seeding::select_seeds_detailed;
 use crate::similarity::max_similarity_pst;
 use crate::telemetry::{
-    ClusterSnapshot, HistogramSnapshot, IterationRecord, NoopObserver, PhaseNanos, RunContext,
-    RunObserver, RunSummary,
+    CheckpointEvent, ClusterSnapshot, HistogramSnapshot, IterationRecord, NoopObserver, PhaseNanos,
+    ResumeInfo, RunContext, RunObserver, RunSummary,
 };
 use crate::threshold::decide_threshold;
+
+/// The mutable state of the iteration loop — exactly what a
+/// [`Checkpoint`] captures and [`Cluseq::resume`] restores. Keeping it in
+/// one struct guarantees the fresh-start and resume paths drive the same
+/// loop over the same variables.
+struct LoopState {
+    clusters: Vec<Cluster>,
+    next_id: usize,
+    log_t: f64,
+    threshold_frozen: bool,
+    history: Vec<IterationStats>,
+    /// Growth-factor carryover from the previous iteration (§4.1).
+    prev_new: usize,
+    prev_removed: usize,
+    prev_cluster_count: usize,
+    prev_best: Vec<Option<usize>>,
+    rng: StdRng,
+    /// First iteration index to execute (0 fresh, `completed` resumed).
+    start_iteration: usize,
+    /// Whether the fixpoint was already reached (resume of a final
+    /// checkpoint skips straight to the assignment sweep).
+    stable: bool,
+    /// Telemetry records accumulated for checkpoints (empty when
+    /// checkpointing is off — then nothing ever reads them).
+    records: Vec<IterationRecord>,
+}
 
 /// The CLUSEQ algorithm, configured and ready to run.
 ///
@@ -101,11 +128,6 @@ impl Cluseq {
         let alphabet_size = db.alphabet().len();
         self.params.validate(alphabet_size);
         let p = &self.params;
-
-        let run_start = std::time::Instant::now();
-        let background = db.background();
-        let pst_params = p.pst_params();
-        let mut rng = StdRng::seed_from_u64(p.seed);
         let n = db.len();
 
         observer.on_run_start(&RunContext {
@@ -117,60 +139,167 @@ impl Cluseq {
             initial_log_t: p.initial_threshold.ln(),
         });
 
-        let mut clusters: Vec<Cluster> = Vec::new();
-        let mut next_id = 0usize;
-        let mut log_t = p.initial_threshold.ln();
-        let mut threshold_frozen = !p.adjust_threshold;
-        let mut history: Vec<IterationStats> = Vec::new();
+        self.drive(
+            db,
+            observer,
+            LoopState {
+                clusters: Vec::new(),
+                next_id: 0,
+                log_t: p.initial_threshold.ln(),
+                threshold_frozen: !p.adjust_threshold,
+                history: Vec::new(),
+                prev_new: 0,
+                prev_removed: 0,
+                prev_cluster_count: 0,
+                prev_best: vec![None; n],
+                rng: StdRng::seed_from_u64(p.seed),
+                start_iteration: 0,
+                stable: false,
+                records: Vec::new(),
+            },
+        )
+    }
 
-        // Growth-factor state from the previous iteration.
-        let mut prev_new = 0usize;
-        let mut prev_removed = 0usize;
-        let mut prev_cluster_count = 0usize;
-        let mut prev_best: Vec<Option<usize>> = vec![None; n];
+    /// Continues a checkpointed run to completion (see
+    /// [`crate::checkpoint`]). The parameters stored *in the checkpoint*
+    /// drive the continuation, so the result is bit-identical — outcome
+    /// and [`crate::telemetry::RunReport::counters_json`] — to the
+    /// uninterrupted run the checkpoint was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db` is not the database the checkpoint was taken on
+    /// (sequence count, alphabet size, and content digest are all
+    /// checked). Call [`Checkpoint::verify_database`] first to handle a
+    /// mismatch gracefully.
+    pub fn resume(checkpoint: Checkpoint, db: &SequenceDatabase) -> CluseqOutcome {
+        Self::resume_observed(checkpoint, db, &mut NoopObserver)
+    }
 
-        for iteration in 0..p.max_iterations {
+    /// [`Cluseq::resume`] with a telemetry sink. The observer receives the
+    /// run context, then [`RunObserver::on_resume`], then the checkpoint's
+    /// stored iteration records replayed in order, then the live records of
+    /// the remaining iterations — the full sequence an uninterrupted
+    /// observed run would have delivered.
+    pub fn resume_observed(
+        checkpoint: Checkpoint,
+        db: &SequenceDatabase,
+        observer: &mut dyn RunObserver,
+    ) -> CluseqOutcome {
+        assert!(!db.is_empty(), "cannot cluster an empty database");
+        if let Err(mismatch) = checkpoint.verify_database(db) {
+            panic!("cannot resume: {mismatch}");
+        }
+        let alphabet_size = db.alphabet().len();
+        checkpoint.params.validate(alphabet_size);
+        let runner = Cluseq::new(checkpoint.params.clone());
+        let p = &runner.params;
+
+        observer.on_run_start(&RunContext {
+            sequences: db.len(),
+            alphabet_size,
+            threads: p.threads,
+            scan_mode: p.scan_mode,
+            seed: p.seed,
+            initial_log_t: p.initial_threshold.ln(),
+        });
+        observer.on_resume(&ResumeInfo {
+            completed: checkpoint.completed,
+            version: Checkpoint::VERSION,
+        });
+        if observer.enabled() {
+            for record in &checkpoint.records {
+                observer.on_iteration(record);
+            }
+        }
+
+        runner.drive(
+            db,
+            observer,
+            LoopState {
+                clusters: checkpoint.clusters,
+                next_id: checkpoint.next_id,
+                log_t: checkpoint.log_t,
+                threshold_frozen: checkpoint.threshold_frozen,
+                history: checkpoint.history,
+                prev_new: checkpoint.prev_new,
+                prev_removed: checkpoint.prev_removed,
+                prev_cluster_count: checkpoint.prev_cluster_count,
+                prev_best: checkpoint.prev_best,
+                rng: StdRng::from_state(checkpoint.rng_state),
+                start_iteration: checkpoint.completed,
+                stable: checkpoint.stable,
+                records: checkpoint.records,
+            },
+        )
+    }
+
+    /// The iteration loop proper, shared by fresh and resumed runs: seeds,
+    /// scans, consolidates, adjusts the threshold, and — when a
+    /// [`crate::CheckpointPolicy`] is configured — writes a checkpoint at
+    /// every cadence boundary and at the fixpoint.
+    fn drive(
+        &self,
+        db: &SequenceDatabase,
+        observer: &mut dyn RunObserver,
+        mut st: LoopState,
+    ) -> CluseqOutcome {
+        let p = &self.params;
+        let run_start = std::time::Instant::now();
+        let background = db.background();
+        let pst_params = p.pst_params();
+        let alphabet_size = db.alphabet().len();
+        let n = db.len();
+        // The guard digest is the same for every checkpoint of the run.
+        let guard_digest = p.checkpoint.as_ref().map(|_| db_digest(db));
+
+        let first = if st.stable {
+            p.max_iterations // fixpoint already reached: skip the loop
+        } else {
+            st.start_iteration
+        };
+        for iteration in first..p.max_iterations {
             let iter_start = std::time::Instant::now();
-            let clusters_at_start = clusters.len();
+            let clusters_at_start = st.clusters.len();
 
             // ---- 1. New cluster generation (§4.1) ----
             let seed_start = std::time::Instant::now();
             let k_n_target = if iteration == 0 {
                 p.initial_clusters
             } else {
-                growth_count(clusters.len(), prev_new, prev_removed)
+                growth_count(st.clusters.len(), st.prev_new, st.prev_removed)
             };
-            let unclustered = unclustered_ids(n, &clusters);
+            let unclustered = unclustered_ids(n, &st.clusters);
             let (seeds, seed_metrics) = select_seeds_detailed(
                 db,
                 &background,
-                &clusters,
+                &st.clusters,
                 &unclustered,
                 k_n_target,
                 p.sample_factor,
                 pst_params,
                 p.threads,
-                &mut rng,
+                &mut st.rng,
             );
             let k_n = seeds.len();
             for seed in seeds {
-                clusters.push(Cluster::from_seed(
-                    next_id,
+                st.clusters.push(Cluster::from_seed(
+                    st.next_id,
                     seed,
                     db.sequence(seed),
                     alphabet_size,
                     pst_params,
                 ));
-                next_id += 1;
+                st.next_id += 1;
             }
             let seeding_nanos = seed_start.elapsed().as_nanos() as u64;
 
             // ---- 2. Re-clustering scan (§4.2) ----
-            let order = p.order.sequence_order(n, &prev_best, &mut rng);
+            let order = p.order.sequence_order(n, &st.prev_best, &mut st.rng);
             let scan = recluster(
                 db,
-                &mut clusters,
-                log_t,
+                &mut st.clusters,
+                st.log_t,
                 &order,
                 &background,
                 ScanOptions {
@@ -183,7 +312,7 @@ impl Cluseq {
             // ---- 3. Consolidation (§4.5) ----
             let consolidate_start = std::time::Instant::now();
             let consolidation = consolidate_detailed(
-                &mut clusters,
+                &mut st.clusters,
                 p.effective_min_exclusive(),
                 n,
                 p.consolidation,
@@ -192,29 +321,33 @@ impl Cluseq {
             let consolidate_nanos = consolidate_start.elapsed().as_nanos() as u64;
 
             // ---- 4. Threshold adjustment (§4.6) ----
-            let record_iteration = observer.enabled();
+            // Records are assembled for a live observer *or* for the
+            // checkpoint stream — a resumed run must be able to replay
+            // them into any observer, so they cannot depend on the
+            // original run's observer being enabled.
+            let record_iteration = observer.enabled() || p.checkpoint.is_some();
             let threshold_start = std::time::Instant::now();
-            let log_t_before = log_t;
+            let log_t_before = st.log_t;
             let mut moved = false;
             let mut valley = None;
             // The histogram is needed for adjustment while it is live, and
             // for the record (an observer sees every iteration's
             // distribution, frozen or not).
-            let hist = if !threshold_frozen || record_iteration {
+            let hist = if !st.threshold_frozen || record_iteration {
                 build_histogram(&scan.similarities, p.histogram_buckets)
             } else {
                 None
             };
-            if !threshold_frozen {
+            if !st.threshold_frozen {
                 if let Some(hist) = &hist {
-                    let decision = decide_threshold(log_t, hist, 0.01);
+                    let decision = decide_threshold(st.log_t, hist, 0.01);
                     valley = decision.valley;
                     // The paper requires t >= 1 for a meaningful
                     // outlier separation; clamp the log to 0.
-                    log_t = decision.log_t.max(0.0);
+                    st.log_t = decision.log_t.max(0.0);
                     moved = decision.moved;
                     if !decision.moved {
-                        threshold_frozen = true; // within 1%: stop adjusting
+                        st.threshold_frozen = true; // within 1%: stop adjusting
                     }
                 }
             }
@@ -224,14 +357,15 @@ impl Cluseq {
                 iteration,
                 new_clusters: k_n,
                 removed_clusters: removed,
-                clusters_at_end: clusters.len(),
+                clusters_at_end: st.clusters.len(),
                 membership_changes: scan.changes,
-                log_t,
+                log_t: st.log_t,
                 threshold_moved: moved,
             };
             if record_iteration {
-                let exclusive = exclusive_member_counts(&clusters, n);
-                let cluster_snapshots = clusters
+                let exclusive = exclusive_member_counts(&st.clusters, n);
+                let cluster_snapshots = st
+                    .clusters
                     .iter()
                     .zip(&exclusive)
                     .map(|(c, &ex)| {
@@ -246,18 +380,18 @@ impl Cluseq {
                         }
                     })
                     .collect();
-                observer.on_iteration(&IterationRecord {
+                let record = IterationRecord {
                     iteration,
                     clusters_at_start,
                     seeding: seed_metrics,
                     scan: scan.metrics,
                     removed_clusters: removed,
                     merged_clusters: consolidation.merged,
-                    clusters_at_end: clusters.len(),
+                    clusters_at_end: st.clusters.len(),
                     histogram: hist.as_ref().map(HistogramSnapshot::capture),
                     valley,
                     log_t_before,
-                    log_t_after: log_t,
+                    log_t_after: st.log_t,
                     threshold_moved: moved,
                     clusters: cluster_snapshots,
                     timings: PhaseNanos {
@@ -268,24 +402,71 @@ impl Cluseq {
                         threshold: threshold_nanos,
                         total: iter_start.elapsed().as_nanos() as u64,
                     },
-                });
+                };
+                if observer.enabled() {
+                    observer.on_iteration(&record);
+                }
+                if p.checkpoint.is_some() {
+                    st.records.push(record);
+                }
             }
-            history.push(stats);
+            st.history.push(stats);
 
             // ---- Termination (§4): the clustering is a fixpoint ----
             // A fixpoint requires the threshold to have settled too: if t
             // just moved, the next scan can expel members and re-open the
             // seed pool, so the clustering is not final yet.
             let stable = iteration > 0
-                && clusters.len() == prev_cluster_count
+                && st.clusters.len() == st.prev_cluster_count
                 && scan.changes == 0
                 && k_n == removed // the only activity was churn consolidation undid
                 && !moved;
 
-            prev_new = k_n;
-            prev_removed = removed;
-            prev_cluster_count = clusters.len();
-            prev_best = scan.best_cluster;
+            st.prev_new = k_n;
+            st.prev_removed = removed;
+            st.prev_cluster_count = st.clusters.len();
+            st.prev_best = scan.best_cluster;
+
+            // ---- Checkpoint (crash safety; see `crate::checkpoint`) ----
+            // Written after the state advance so the file captures exactly
+            // the boundary a resume continues from; the fixpoint always
+            // gets a final checkpoint regardless of cadence. Writes are
+            // best-effort durability: an I/O failure is reported through
+            // the event and the run continues unharmed.
+            if let Some(policy) = &p.checkpoint {
+                let completed = iteration + 1;
+                if completed % policy.every == 0 || stable {
+                    let ckpt = Checkpoint {
+                        params: p.clone(),
+                        db_sequences: n,
+                        db_alphabet: alphabet_size,
+                        db_digest: guard_digest.expect("digest computed when policy set"),
+                        completed,
+                        stable,
+                        next_id: st.next_id,
+                        log_t: st.log_t,
+                        threshold_frozen: st.threshold_frozen,
+                        rng_state: st.rng.state(),
+                        prev_new: st.prev_new,
+                        prev_removed: st.prev_removed,
+                        prev_cluster_count: st.prev_cluster_count,
+                        prev_best: st.prev_best.clone(),
+                        history: st.history.clone(),
+                        clusters: st.clusters.clone(),
+                        records: st.records.clone(),
+                    };
+                    let path = policy.path_for(completed);
+                    let write_start = std::time::Instant::now();
+                    let result = ckpt.write_atomic(&path);
+                    observer.on_checkpoint(&CheckpointEvent {
+                        completed,
+                        path: path.to_string_lossy().into_owned(),
+                        bytes: result.as_ref().copied().unwrap_or(0),
+                        write_nanos: write_start.elapsed().as_nanos() as u64,
+                        error: result.err().map(|e| e.to_string()),
+                    });
+                }
+            }
 
             if stable {
                 break;
@@ -293,7 +474,7 @@ impl Cluseq {
         }
 
         let finalize_start = std::time::Instant::now();
-        let outcome = self.finalize(db, clusters, log_t, history);
+        let outcome = self.finalize(db, st.clusters, st.log_t, st.history);
         observer.on_run_end(&RunSummary {
             iterations: outcome.iterations,
             clusters: outcome.cluster_count(),

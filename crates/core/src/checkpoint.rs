@@ -1,0 +1,1034 @@
+//! Crash-safe checkpointing of the iteration loop.
+//!
+//! A [`Checkpoint`] freezes the complete state of [`crate::Cluseq`]'s
+//! iterative loop at an iteration boundary: every cluster model *with its
+//! member list*, the RNG stream position, the similarity-threshold
+//! trajectory, the growth-factor carryover, and the accumulated telemetry
+//! records. [`crate::Cluseq::resume`] rebuilds the loop from a checkpoint
+//! and continues it; because every input to the remaining iterations is
+//! restored bit-exactly, a resumed run's [`crate::CluseqOutcome`] and its
+//! [`crate::telemetry::RunReport::counters_json`] are **byte-identical**
+//! to an uninterrupted run's (enforced by `tests/checkpoint_resume.rs`).
+//!
+//! # Format
+//!
+//! The same hand-rolled little-endian framing as [`cluseq_pst::serial`],
+//! magic `CCKP`, version 1:
+//!
+//! ```text
+//! magic "CCKP" | version u32
+//! guard:    sequences u64 | alphabet u32 | digest u64   (FNV-1a, see below)
+//! params:   every CluseqParams field, enums as u8 tags, options tagged
+//! progress: completed u64 | stable u8 | next_id u64 | log_t f64
+//!         | threshold_frozen u8 | rng u64×4 | prev_new u64
+//!         | prev_removed u64 | prev_cluster_count u64
+//!         | prev_best (u64 len, u64 each, MAX=none)
+//! history:  u64 len, IterationStats each
+//! clusters: u32 len, (id u64 | seed u64 | members u64 len + u64 each
+//!         | CPST blob) each
+//! records:  u32 len, IterationRecord each (timings included — they are
+//!           replayed verbatim into the observer on resume)
+//! ```
+//!
+//! The guard digest is FNV-1a over the database's sequence lengths and
+//! symbols; [`Checkpoint::verify_database`] refuses to resume against a
+//! database that differs from the one the checkpoint was taken on.
+//!
+//! # Atomicity
+//!
+//! [`Checkpoint::write_atomic`] writes a temp file in the destination
+//! directory, fsyncs it, renames it over the final path, and fsyncs the
+//! directory. A crash at *any* byte of the write leaves either the
+//! previous complete checkpoint or nothing at the final path — never a
+//! partial file. [`Checkpoint::write_atomic_with`] threads a
+//! [`FailPlan`] through the same code path so `tests/fault_injection.rs`
+//! can prove that claim at every crash point.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use cluseq_pst::serial::{
+    decode_capacity, read_f64, read_u32, read_u64, read_u8, write_f64, write_u32, write_u64,
+    write_u8,
+};
+use cluseq_pst::{PruneStrategy, Pst, SerialError};
+use cluseq_seq::SequenceDatabase;
+
+use crate::cluster::Cluster;
+use crate::config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanMode};
+use crate::failpoint::{FailPlan, FailingWriter};
+use crate::order::ExaminationOrder;
+use crate::outcome::IterationStats;
+use crate::telemetry::{
+    ClusterSnapshot, HistogramSnapshot, IterationRecord, PhaseNanos, ScanMetrics, SeedingMetrics,
+};
+
+const MAGIC: &[u8; 4] = b"CCKP";
+
+/// The complete loop state at an iteration boundary. All fields are public
+/// so the driver can capture and restore without conversion layers; the
+/// serialized layout is the module's contract, not this struct's shape.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The parameters of the checkpointed run. Resume uses *these* — not
+    /// whatever the caller happens to hold — so the continuation cannot
+    /// drift from the original configuration.
+    pub params: CluseqParams,
+    /// Sequence count of the database the run was clustering.
+    pub db_sequences: usize,
+    /// Alphabet size of that database.
+    pub db_alphabet: usize,
+    /// FNV-1a digest of that database's content ([`db_digest`]).
+    pub db_digest: u64,
+    /// Iterations fully completed; resume continues at this index.
+    pub completed: usize,
+    /// Whether the loop had already reached its fixpoint — resuming a
+    /// stable checkpoint skips straight to the final assignment sweep.
+    pub stable: bool,
+    /// Next cluster id to assign.
+    pub next_id: usize,
+    /// Current similarity threshold, log-space.
+    pub log_t: f64,
+    /// Whether threshold adjustment has frozen (§4.6 convergence).
+    pub threshold_frozen: bool,
+    /// The xoshiro256++ RNG state after `completed` iterations.
+    pub rng_state: [u64; 4],
+    /// Clusters born in the last completed iteration (growth-factor input).
+    pub prev_new: usize,
+    /// Clusters dismissed in the last completed iteration.
+    pub prev_removed: usize,
+    /// Cluster count after the last completed iteration.
+    pub prev_cluster_count: usize,
+    /// Per-sequence best cluster *slot* from the last scan (the
+    /// cluster-based examination order's grouping key).
+    pub prev_best: Vec<Option<usize>>,
+    /// Per-iteration stats so far (the eventual outcome's `history`).
+    pub history: Vec<IterationStats>,
+    /// Live clusters: models *and* member lists.
+    pub clusters: Vec<Cluster>,
+    /// Telemetry records for the completed iterations, replayed into the
+    /// observer on resume so a resumed report is complete.
+    pub records: Vec<IterationRecord>,
+}
+
+impl Checkpoint {
+    /// Current checkpoint format version.
+    pub const VERSION: u32 = 1;
+
+    // ---- database guard -------------------------------------------------
+
+    /// Checks that `db` is the database this checkpoint was taken on.
+    /// The error names the first mismatching facet.
+    pub fn verify_database(&self, db: &SequenceDatabase) -> Result<(), &'static str> {
+        if db.len() != self.db_sequences {
+            return Err("checkpoint was taken on a database with a different sequence count");
+        }
+        if db.alphabet().len() != self.db_alphabet {
+            return Err("checkpoint was taken on a database with a different alphabet size");
+        }
+        if db_digest(db) != self.db_digest {
+            return Err("checkpoint was taken on a database with different content");
+        }
+        Ok(())
+    }
+
+    // ---- serialization --------------------------------------------------
+
+    /// Serializes the checkpoint. Use [`Checkpoint::write_atomic`] for
+    /// on-disk durability; this raw form exists for tests and composition.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u32(w, Self::VERSION)?;
+        write_u64(w, self.db_sequences as u64)?;
+        write_u32(w, self.db_alphabet as u32)?;
+        write_u64(w, self.db_digest)?;
+        save_params(w, &self.params)?;
+        write_u64(w, self.completed as u64)?;
+        write_bool(w, self.stable)?;
+        write_u64(w, self.next_id as u64)?;
+        write_f64(w, self.log_t)?;
+        write_bool(w, self.threshold_frozen)?;
+        for word in self.rng_state {
+            write_u64(w, word)?;
+        }
+        write_u64(w, self.prev_new as u64)?;
+        write_u64(w, self.prev_removed as u64)?;
+        write_u64(w, self.prev_cluster_count as u64)?;
+        write_u64(w, self.prev_best.len() as u64)?;
+        for &slot in &self.prev_best {
+            write_opt_u64(w, slot.map(|s| s as u64))?;
+        }
+        write_u64(w, self.history.len() as u64)?;
+        for s in &self.history {
+            save_stats(w, s)?;
+        }
+        write_u32(w, self.clusters.len() as u32)?;
+        for c in &self.clusters {
+            write_u64(w, c.id as u64)?;
+            write_u64(w, c.seed as u64)?;
+            write_u64(w, c.members.len() as u64)?;
+            for &m in &c.members {
+                write_u64(w, m as u64)?;
+            }
+            c.pst.save(w)?;
+        }
+        write_u32(w, self.records.len() as u32)?;
+        for r in &self.records {
+            save_record(w, r)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a checkpoint, validating every structural invariant:
+    /// enum tags, boolean bytes, RNG non-degeneracy, member-id ranges, and
+    /// the cross-field length relations. Corruption yields a descriptive
+    /// [`SerialError`], never a panic, and hostile length fields cannot
+    /// command large allocations (see
+    /// [`cluseq_pst::serial::decode_capacity`]).
+    pub fn load(r: &mut impl Read) -> Result<Self, SerialError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SerialError::BadMagic);
+        }
+        let version = read_u32(r)?;
+        if version != Self::VERSION {
+            return Err(SerialError::BadVersion(version));
+        }
+        let db_sequences = read_u64(r)? as usize;
+        let db_alphabet = read_u32(r)? as usize;
+        if db_sequences == 0 || db_alphabet == 0 {
+            return Err(SerialError::Corrupt("empty database guard"));
+        }
+        let db_digest = read_u64(r)?;
+        let params = load_params(r)?;
+        let completed = read_u64(r)? as usize;
+        let stable = read_bool(r)?;
+        let next_id = read_u64(r)? as usize;
+        let log_t = read_finite_f64(r)?;
+        let threshold_frozen = read_bool(r)?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = read_u64(r)?;
+        }
+        if rng_state.iter().all(|&w| w == 0) {
+            return Err(SerialError::Corrupt("all-zero rng state"));
+        }
+        let prev_new = read_u64(r)? as usize;
+        let prev_removed = read_u64(r)? as usize;
+        let prev_cluster_count = read_u64(r)? as usize;
+        let prev_best_len = read_u64(r)? as usize;
+        if prev_best_len != db_sequences {
+            return Err(SerialError::Corrupt("prev_best length mismatch"));
+        }
+        let mut prev_best = Vec::with_capacity(decode_capacity(prev_best_len));
+        for _ in 0..prev_best_len {
+            prev_best.push(read_opt_u64(r)?.map(|s| s as usize));
+        }
+        let history_len = read_u64(r)? as usize;
+        if history_len != completed {
+            return Err(SerialError::Corrupt("history length mismatch"));
+        }
+        let mut history = Vec::with_capacity(decode_capacity(history_len));
+        for i in 0..history_len {
+            let s = load_stats(r)?;
+            if s.iteration != i {
+                return Err(SerialError::Corrupt("history iteration numbering"));
+            }
+            history.push(s);
+        }
+        let cluster_len = read_u32(r)? as usize;
+        if cluster_len != prev_cluster_count {
+            return Err(SerialError::Corrupt("cluster count mismatch"));
+        }
+        let mut clusters = Vec::with_capacity(decode_capacity(cluster_len));
+        for _ in 0..cluster_len {
+            let id = read_u64(r)? as usize;
+            let seed = read_u64(r)? as usize;
+            let member_len = read_u64(r)? as usize;
+            let mut members = Vec::with_capacity(decode_capacity(member_len));
+            for _ in 0..member_len {
+                let m = read_u64(r)? as usize;
+                if m >= db_sequences {
+                    return Err(SerialError::Corrupt("member id out of range"));
+                }
+                members.push(m);
+            }
+            let pst = Pst::load(r)?;
+            clusters.push(Cluster {
+                id,
+                pst,
+                members,
+                seed,
+            });
+        }
+        let record_len = read_u32(r)? as usize;
+        if record_len != completed {
+            return Err(SerialError::Corrupt("record count mismatch"));
+        }
+        let mut records = Vec::with_capacity(decode_capacity(record_len));
+        for i in 0..record_len {
+            let rec = load_record(r)?;
+            if rec.iteration != i {
+                return Err(SerialError::Corrupt("record iteration numbering"));
+            }
+            records.push(rec);
+        }
+        Ok(Self {
+            params,
+            db_sequences,
+            db_alphabet,
+            db_digest,
+            completed,
+            stable,
+            next_id,
+            log_t,
+            threshold_frozen,
+            rng_state,
+            prev_new,
+            prev_removed,
+            prev_cluster_count,
+            prev_best,
+            history,
+            clusters,
+            records,
+        })
+    }
+
+    /// Loads a checkpoint from a file.
+    pub fn load_path(path: &Path) -> Result<Self, SerialError> {
+        let file = std::fs::File::open(path)?;
+        Self::load(&mut io::BufReader::new(file))
+    }
+
+    // ---- atomic file writes ---------------------------------------------
+
+    /// Writes the checkpoint durably and atomically to `path`: serialize
+    /// to `path + ".tmp"` in the same directory, fsync the file, rename it
+    /// over `path`, fsync the directory. Returns the serialized size.
+    ///
+    /// A crash (or I/O error) at any point leaves `path` either absent or
+    /// holding a previous *complete* checkpoint — never partial data.
+    pub fn write_atomic(&self, path: &Path) -> io::Result<u64> {
+        self.write_atomic_with(path, &FailPlan::none())
+    }
+
+    /// [`Checkpoint::write_atomic`] with fault injection: every byte of
+    /// the temp-file write flows through `plan`, and
+    /// [`FailPlan::fail_rename`] aborts between the durable temp write and
+    /// the rename, leaving the temp file behind exactly as `kill -9`
+    /// would. The production path is this function with a no-op plan —
+    /// the tests exercise the real writer, not a replica.
+    pub fn write_atomic_with(&self, path: &Path, plan: &FailPlan) -> io::Result<u64> {
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = tmp_path(path);
+        let written = (|| {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = FailingWriter::new(io::BufWriter::new(file), plan.clone());
+            self.save(&mut w)?;
+            w.flush()?;
+            let written = w.written();
+            let file = w.into_inner().into_inner().map_err(|e| e.into_error())?;
+            file.sync_all()?;
+            Ok(written)
+        })();
+        let written = match written {
+            Ok(n) => n,
+            Err(e) => {
+                // A graceful I/O error cleans up its debris; a real crash
+                // would leave the temp file, which loaders ignore by name.
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        if plan.fail_rename {
+            // Simulated crash after the temp file is durable but before
+            // it is published: leave it in place, exactly like kill -9.
+            return Err(io::Error::other("injected failpoint before rename"));
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = dir {
+            // The rename is only durable once the directory entry is; an
+            // fsync on the file alone does not cover its new name.
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+        Ok(written)
+    }
+
+    /// The newest checkpoint file in `dir` (highest completed-iteration
+    /// number in a `cluseq-NNNNNN.ckpt` name). `Ok(None)` when the
+    /// directory is missing or holds no checkpoint-named files; temp files
+    /// and foreign names are ignored.
+    pub fn latest_in(dir: &Path) -> io::Result<Option<PathBuf>> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut best: Option<(usize, PathBuf)> = None;
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(completed) = name.to_str().and_then(parse_checkpoint_name) else {
+                continue;
+            };
+            if best.as_ref().map_or(true, |(b, _)| completed > *b) {
+                best = Some((completed, entry.path()));
+            }
+        }
+        Ok(best.map(|(_, path)| path))
+    }
+}
+
+/// The completed-iteration number encoded in a `cluseq-NNNNNN.ckpt` file
+/// name, or `None` for any other name.
+fn parse_checkpoint_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("cluseq-")?.strip_suffix(".ckpt")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// FNV-1a digest of a database's content: sequence count, alphabet size,
+/// and every sequence's length and symbols. Labels are excluded — they do
+/// not influence clustering.
+pub fn db_digest(db: &SequenceDatabase) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(db.len() as u64);
+    mix(db.alphabet().len() as u64);
+    for (_, seq, _) in db.iter() {
+        mix(seq.len() as u64);
+        for sym in seq.iter() {
+            mix(u64::from(sym.0));
+        }
+    }
+    hash
+}
+
+// ---- framing helpers ---------------------------------------------------
+
+fn write_bool(w: &mut impl Write, v: bool) -> io::Result<()> {
+    write_u8(w, u8::from(v))
+}
+
+/// Booleans must be exactly 0 or 1 — anything else is corruption, and
+/// catching it here turns a silent misread into a descriptive error.
+fn read_bool(r: &mut impl Read) -> Result<bool, SerialError> {
+    match read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(SerialError::Corrupt("boolean flag out of range")),
+    }
+}
+
+fn write_opt_u64(w: &mut impl Write, v: Option<u64>) -> io::Result<()> {
+    // u64::MAX is the none sentinel: no stored quantity approaches it.
+    write_u64(w, v.unwrap_or(u64::MAX))
+}
+
+fn read_opt_u64(r: &mut impl Read) -> Result<Option<u64>, SerialError> {
+    match read_u64(r)? {
+        u64::MAX => Ok(None),
+        v => Ok(Some(v)),
+    }
+}
+
+fn read_finite_f64(r: &mut impl Read) -> Result<f64, SerialError> {
+    let v = read_f64(r)?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(SerialError::Corrupt("non-finite float"))
+    }
+}
+
+// ---- params ------------------------------------------------------------
+
+fn save_params(w: &mut impl Write, p: &CluseqParams) -> io::Result<()> {
+    write_u64(w, p.initial_clusters as u64)?;
+    write_u64(w, p.significance)?;
+    write_f64(w, p.initial_threshold)?;
+    write_bool(w, p.adjust_threshold)?;
+    write_u64(w, p.sample_factor as u64)?;
+    write_u64(w, p.max_depth as u64)?;
+    write_opt_u64(w, p.max_pst_bytes.map(|b| b as u64))?;
+    write_u8(
+        w,
+        match p.prune_strategy {
+            PruneStrategy::SmallestCount => 0,
+            PruneStrategy::LongestLabel => 1,
+            PruneStrategy::ExpectedVector => 2,
+            PruneStrategy::Composite => 3,
+        },
+    )?;
+    write_f64(w, p.smoothing.unwrap_or(f64::NAN))?;
+    write_u8(
+        w,
+        match p.order {
+            ExaminationOrder::Fixed => 0,
+            ExaminationOrder::Random => 1,
+            ExaminationOrder::ClusterBased => 2,
+        },
+    )?;
+    write_u64(w, p.histogram_buckets as u64)?;
+    write_u64(w, p.max_iterations as u64)?;
+    write_u8(
+        w,
+        match p.consolidation {
+            ConsolidationMode::Dismiss => 0,
+            ConsolidationMode::MergeIntoCovering => 1,
+        },
+    )?;
+    write_opt_u64(w, p.min_exclusive.map(|m| m as u64))?;
+    write_bool(w, p.rebuild_psts)?;
+    write_u8(
+        w,
+        match p.scan_mode {
+            ScanMode::Incremental => 0,
+            ScanMode::Snapshot => 1,
+        },
+    )?;
+    write_u64(w, p.threads as u64)?;
+    write_u64(w, p.seed)?;
+    match &p.checkpoint {
+        Some(policy) => {
+            write_bool(w, true)?;
+            write_u64(w, policy.every as u64)?;
+            // Paths are stored as UTF-8 (lossy): the CLI and tests only
+            // ever produce unicode paths, and the policy is advisory —
+            // resume may override it anyway.
+            let dir = policy.dir.to_string_lossy();
+            write_u32(w, dir.len() as u32)?;
+            w.write_all(dir.as_bytes())?;
+        }
+        None => write_bool(w, false)?,
+    }
+    Ok(())
+}
+
+fn load_params(r: &mut impl Read) -> Result<CluseqParams, SerialError> {
+    let initial_clusters = read_u64(r)? as usize;
+    let significance = read_u64(r)?;
+    let initial_threshold = read_finite_f64(r)?;
+    if initial_threshold < 1.0 {
+        return Err(SerialError::Corrupt("initial threshold below 1"));
+    }
+    let adjust_threshold = read_bool(r)?;
+    let sample_factor = read_u64(r)? as usize;
+    if sample_factor == 0 {
+        return Err(SerialError::Corrupt("zero sample factor"));
+    }
+    let max_depth = read_u64(r)? as usize;
+    let max_pst_bytes = read_opt_u64(r)?.map(|b| b as usize);
+    let prune_strategy = match read_u8(r)? {
+        0 => PruneStrategy::SmallestCount,
+        1 => PruneStrategy::LongestLabel,
+        2 => PruneStrategy::ExpectedVector,
+        3 => PruneStrategy::Composite,
+        _ => return Err(SerialError::Corrupt("prune strategy tag")),
+    };
+    let smoothing_raw = read_f64(r)?;
+    let smoothing = if smoothing_raw.is_nan() {
+        None
+    } else {
+        Some(smoothing_raw)
+    };
+    let order = match read_u8(r)? {
+        0 => ExaminationOrder::Fixed,
+        1 => ExaminationOrder::Random,
+        2 => ExaminationOrder::ClusterBased,
+        _ => return Err(SerialError::Corrupt("examination order tag")),
+    };
+    let histogram_buckets = read_u64(r)? as usize;
+    if histogram_buckets < 3 {
+        return Err(SerialError::Corrupt("histogram bucket count below 3"));
+    }
+    let max_iterations = read_u64(r)? as usize;
+    if max_iterations == 0 {
+        return Err(SerialError::Corrupt("zero iteration cap"));
+    }
+    let consolidation = match read_u8(r)? {
+        0 => ConsolidationMode::Dismiss,
+        1 => ConsolidationMode::MergeIntoCovering,
+        _ => return Err(SerialError::Corrupt("consolidation mode tag")),
+    };
+    let min_exclusive = read_opt_u64(r)?.map(|m| m as usize);
+    let rebuild_psts = read_bool(r)?;
+    let scan_mode = match read_u8(r)? {
+        0 => ScanMode::Incremental,
+        1 => ScanMode::Snapshot,
+        _ => return Err(SerialError::Corrupt("scan mode tag")),
+    };
+    let threads = read_u64(r)? as usize;
+    if threads == 0 {
+        return Err(SerialError::Corrupt("zero thread count"));
+    }
+    let seed = read_u64(r)?;
+    let checkpoint = if read_bool(r)? {
+        let every = read_u64(r)? as usize;
+        if every == 0 {
+            return Err(SerialError::Corrupt("zero checkpoint cadence"));
+        }
+        let dir_len = read_u32(r)? as usize;
+        if dir_len > 64 * 1024 {
+            return Err(SerialError::Corrupt("checkpoint dir length"));
+        }
+        let mut dir = vec![0u8; dir_len];
+        r.read_exact(&mut dir)?;
+        let dir =
+            String::from_utf8(dir).map_err(|_| SerialError::Corrupt("checkpoint dir utf-8"))?;
+        Some(CheckpointPolicy::new(dir, every))
+    } else {
+        None
+    };
+    Ok(CluseqParams {
+        initial_clusters,
+        significance,
+        initial_threshold,
+        adjust_threshold,
+        sample_factor,
+        max_depth,
+        max_pst_bytes,
+        prune_strategy,
+        smoothing,
+        order,
+        histogram_buckets,
+        max_iterations,
+        consolidation,
+        min_exclusive,
+        rebuild_psts,
+        scan_mode,
+        threads,
+        checkpoint,
+        seed,
+    })
+}
+
+// ---- iteration stats ----------------------------------------------------
+
+fn save_stats(w: &mut impl Write, s: &IterationStats) -> io::Result<()> {
+    write_u64(w, s.iteration as u64)?;
+    write_u64(w, s.new_clusters as u64)?;
+    write_u64(w, s.removed_clusters as u64)?;
+    write_u64(w, s.clusters_at_end as u64)?;
+    write_u64(w, s.membership_changes as u64)?;
+    write_f64(w, s.log_t)?;
+    write_bool(w, s.threshold_moved)
+}
+
+fn load_stats(r: &mut impl Read) -> Result<IterationStats, SerialError> {
+    Ok(IterationStats {
+        iteration: read_u64(r)? as usize,
+        new_clusters: read_u64(r)? as usize,
+        removed_clusters: read_u64(r)? as usize,
+        clusters_at_end: read_u64(r)? as usize,
+        membership_changes: read_u64(r)? as usize,
+        log_t: read_finite_f64(r)?,
+        threshold_moved: read_bool(r)?,
+    })
+}
+
+// ---- telemetry records --------------------------------------------------
+
+fn save_record(w: &mut impl Write, rec: &IterationRecord) -> io::Result<()> {
+    write_u64(w, rec.iteration as u64)?;
+    write_u64(w, rec.clusters_at_start as u64)?;
+    write_u64(w, rec.seeding.requested as u64)?;
+    write_u64(w, rec.seeding.pool as u64)?;
+    write_u64(w, rec.seeding.sampled as u64)?;
+    write_u64(w, rec.seeding.chosen as u64)?;
+    write_u64(w, rec.scan.pairs_scored)?;
+    write_u64(w, rec.scan.joins)?;
+    write_u64(w, rec.scan.new_joins)?;
+    write_u64(w, rec.scan.membership_changes as u64)?;
+    write_u64(w, rec.removed_clusters as u64)?;
+    write_u64(w, rec.merged_clusters as u64)?;
+    write_u64(w, rec.clusters_at_end as u64)?;
+    match &rec.histogram {
+        Some(h) => {
+            write_bool(w, true)?;
+            write_f64(w, h.lo)?;
+            write_f64(w, h.hi)?;
+            write_u32(w, h.counts.len() as u32)?;
+            for &c in &h.counts {
+                write_u64(w, c)?;
+            }
+        }
+        None => write_bool(w, false)?,
+    }
+    match rec.valley {
+        Some(v) => {
+            write_bool(w, true)?;
+            write_f64(w, v)?;
+        }
+        None => write_bool(w, false)?,
+    }
+    write_f64(w, rec.log_t_before)?;
+    write_f64(w, rec.log_t_after)?;
+    write_bool(w, rec.threshold_moved)?;
+    write_u32(w, rec.clusters.len() as u32)?;
+    for c in &rec.clusters {
+        write_u64(w, c.id as u64)?;
+        write_u64(w, c.members as u64)?;
+        write_u64(w, c.exclusive_members as u64)?;
+        write_u64(w, c.pst_nodes as u64)?;
+        write_u64(w, c.pst_bytes as u64)?;
+        write_u64(w, c.pst_total_count)?;
+    }
+    write_u64(w, rec.timings.seeding)?;
+    write_u64(w, rec.timings.scan_score)?;
+    write_u64(w, rec.timings.scan_absorb)?;
+    write_u64(w, rec.timings.consolidate)?;
+    write_u64(w, rec.timings.threshold)?;
+    write_u64(w, rec.timings.total)
+}
+
+fn load_record(r: &mut impl Read) -> Result<IterationRecord, SerialError> {
+    let iteration = read_u64(r)? as usize;
+    let clusters_at_start = read_u64(r)? as usize;
+    let seeding = SeedingMetrics {
+        requested: read_u64(r)? as usize,
+        pool: read_u64(r)? as usize,
+        sampled: read_u64(r)? as usize,
+        chosen: read_u64(r)? as usize,
+    };
+    let scan = ScanMetrics {
+        pairs_scored: read_u64(r)?,
+        joins: read_u64(r)?,
+        new_joins: read_u64(r)?,
+        membership_changes: read_u64(r)? as usize,
+    };
+    let removed_clusters = read_u64(r)? as usize;
+    let merged_clusters = read_u64(r)? as usize;
+    let clusters_at_end = read_u64(r)? as usize;
+    let histogram = if read_bool(r)? {
+        let lo = read_finite_f64(r)?;
+        let hi = read_finite_f64(r)?;
+        let len = read_u32(r)? as usize;
+        let mut counts = Vec::with_capacity(decode_capacity(len));
+        for _ in 0..len {
+            counts.push(read_u64(r)?);
+        }
+        Some(HistogramSnapshot { lo, hi, counts })
+    } else {
+        None
+    };
+    let valley = if read_bool(r)? {
+        Some(read_finite_f64(r)?)
+    } else {
+        None
+    };
+    let log_t_before = read_finite_f64(r)?;
+    let log_t_after = read_finite_f64(r)?;
+    let threshold_moved = read_bool(r)?;
+    let cluster_len = read_u32(r)? as usize;
+    let mut clusters = Vec::with_capacity(decode_capacity(cluster_len));
+    for _ in 0..cluster_len {
+        clusters.push(ClusterSnapshot {
+            id: read_u64(r)? as usize,
+            members: read_u64(r)? as usize,
+            exclusive_members: read_u64(r)? as usize,
+            pst_nodes: read_u64(r)? as usize,
+            pst_bytes: read_u64(r)? as usize,
+            pst_total_count: read_u64(r)?,
+        });
+    }
+    let timings = PhaseNanos {
+        seeding: read_u64(r)?,
+        scan_score: read_u64(r)?,
+        scan_absorb: read_u64(r)?,
+        consolidate: read_u64(r)?,
+        threshold: read_u64(r)?,
+        total: read_u64(r)?,
+    };
+    Ok(IterationRecord {
+        iteration,
+        clusters_at_start,
+        seeding,
+        scan,
+        removed_clusters,
+        merged_clusters,
+        clusters_at_end,
+        histogram,
+        valley,
+        log_t_before,
+        log_t_after,
+        threshold_moved,
+        clusters,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> SequenceDatabase {
+        SequenceDatabase::from_strs(["abab", "baba", "abba"])
+    }
+
+    /// A structurally consistent checkpoint over [`sample_db`] with one
+    /// cluster and one completed iteration.
+    fn sample_checkpoint() -> Checkpoint {
+        let db = sample_db();
+        let params = CluseqParams::default()
+            .with_significance(1)
+            .with_max_depth(3);
+        let cluster = Cluster::from_seed(
+            0,
+            1,
+            db.sequence(1),
+            db.alphabet().len(),
+            params.pst_params(),
+        );
+        let stats = IterationStats {
+            iteration: 0,
+            new_clusters: 1,
+            removed_clusters: 0,
+            clusters_at_end: 1,
+            membership_changes: 1,
+            log_t: 0.25,
+            threshold_moved: true,
+        };
+        let record = IterationRecord {
+            iteration: 0,
+            clusters_at_start: 0,
+            seeding: SeedingMetrics {
+                requested: 1,
+                pool: 3,
+                sampled: 3,
+                chosen: 1,
+            },
+            scan: ScanMetrics {
+                pairs_scored: 3,
+                joins: 1,
+                new_joins: 1,
+                membership_changes: 1,
+            },
+            removed_clusters: 0,
+            merged_clusters: 0,
+            clusters_at_end: 1,
+            histogram: Some(HistogramSnapshot {
+                lo: -0.5,
+                hi: 1.5,
+                counts: vec![1, 0, 2],
+            }),
+            valley: Some(0.25),
+            log_t_before: 0.0005,
+            log_t_after: 0.25,
+            threshold_moved: true,
+            clusters: vec![ClusterSnapshot {
+                id: 0,
+                members: 1,
+                exclusive_members: 1,
+                pst_nodes: 5,
+                pst_bytes: 512,
+                pst_total_count: 4,
+            }],
+            timings: PhaseNanos::default(),
+        };
+        Checkpoint {
+            params,
+            db_sequences: db.len(),
+            db_alphabet: db.alphabet().len(),
+            db_digest: db_digest(&db),
+            completed: 1,
+            stable: false,
+            next_id: 1,
+            log_t: 0.25,
+            threshold_frozen: false,
+            rng_state: [1, 2, 3, 4],
+            prev_new: 1,
+            prev_removed: 0,
+            prev_cluster_count: 1,
+            prev_best: vec![None, Some(0), None],
+            history: vec![stats],
+            clusters: vec![cluster],
+            records: vec![record],
+        }
+    }
+
+    fn to_bytes(ckpt: &Checkpoint) -> Vec<u8> {
+        let mut buf = Vec::new();
+        ckpt.save(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let ckpt = sample_checkpoint();
+        let bytes = to_bytes(&ckpt);
+        let loaded = Checkpoint::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(to_bytes(&loaded), bytes);
+        assert_eq!(loaded.completed, 1);
+        assert_eq!(loaded.params, ckpt.params);
+        assert_eq!(loaded.history, ckpt.history);
+        assert_eq!(loaded.records, ckpt.records);
+        assert_eq!(loaded.prev_best, ckpt.prev_best);
+        assert_eq!(loaded.rng_state, [1, 2, 3, 4]);
+        assert_eq!(loaded.clusters[0].members, ckpt.clusters[0].members);
+    }
+
+    #[test]
+    fn database_guard_accepts_the_original_and_names_mismatches() {
+        let ckpt = sample_checkpoint();
+        ckpt.verify_database(&sample_db()).unwrap();
+
+        let fewer = SequenceDatabase::from_strs(["abab", "baba"]);
+        assert!(ckpt
+            .verify_database(&fewer)
+            .unwrap_err()
+            .contains("sequence count"));
+
+        let bigger_alphabet = SequenceDatabase::from_strs(["abab", "baba", "abca"]);
+        assert!(ckpt
+            .verify_database(&bigger_alphabet)
+            .unwrap_err()
+            .contains("alphabet"));
+
+        let other_content = SequenceDatabase::from_strs(["abab", "baba", "aabb"]);
+        assert!(ckpt
+            .verify_database(&other_content)
+            .unwrap_err()
+            .contains("content"));
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        // Note the digest sees symbol *ids*, which `from_strs` assigns by
+        // first appearance — so the swapped pair must not be isomorphic
+        // under relabeling (e.g. ["ab","ba"] vs ["ba","ab"] would be).
+        let a = db_digest(&SequenceDatabase::from_strs(["aab", "abb"]));
+        let b = db_digest(&SequenceDatabase::from_strs(["abb", "aab"]));
+        let c = db_digest(&SequenceDatabase::from_strs(["aab", "abb"]));
+        assert_ne!(a, b, "sequence order must matter");
+        assert_eq!(a, c, "digest must be a pure function of content");
+        let d = db_digest(&SequenceDatabase::from_strs(["aab", "aba"]));
+        assert_ne!(a, d, "content must matter");
+    }
+
+    #[test]
+    fn bad_magic_version_and_flags_are_descriptive() {
+        assert!(matches!(
+            Checkpoint::load(&mut &b"NOPE"[..]).unwrap_err(),
+            SerialError::BadMagic
+        ));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::load(&mut buf.as_slice()).unwrap_err(),
+            SerialError::BadVersion(9)
+        ));
+
+        // A boolean byte of 2 is corruption, not truth.
+        let ckpt = sample_checkpoint();
+        let bytes = to_bytes(&ckpt);
+        // `stable` sits right after guard + params + completed; find it by
+        // flipping every byte until the loader names the boolean — cheap
+        // and layout-independent.
+        let mut hit = false;
+        for i in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[i] = 2;
+            if let Err(SerialError::Corrupt(msg)) = Checkpoint::load(&mut evil.as_slice()) {
+                if msg.contains("boolean") {
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        assert!(hit, "some byte position must trip the boolean validation");
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = to_bytes(&sample_checkpoint());
+        for len in 0..bytes.len() {
+            assert!(
+                Checkpoint::load(&mut &bytes[..len]).is_err(),
+                "truncation at {len} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn member_ids_are_range_checked() {
+        let mut ckpt = sample_checkpoint();
+        ckpt.clusters[0].members = vec![99];
+        let bytes = to_bytes(&ckpt);
+        assert!(matches!(
+            Checkpoint::load(&mut bytes.as_slice()).unwrap_err(),
+            SerialError::Corrupt("member id out of range")
+        ));
+    }
+
+    #[test]
+    fn write_atomic_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("cluseq-ckpt-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = sample_checkpoint();
+        let path = dir.join("cluseq-000001.ckpt");
+        let bytes = ckpt.write_atomic(&path).unwrap();
+        assert_eq!(bytes, to_bytes(&ckpt).len() as u64);
+        let loaded = Checkpoint::load_path(&path).unwrap();
+        assert_eq!(to_bytes(&loaded), to_bytes(&ckpt));
+        // No temp debris left behind.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["cluseq-000001.ckpt".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_in_picks_the_highest_iteration_and_ignores_noise() {
+        let dir = std::env::temp_dir().join(format!("cluseq-ckpt-latest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(Checkpoint::latest_in(&dir).unwrap().is_none());
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Checkpoint::latest_in(&dir).unwrap().is_none());
+        for name in [
+            "cluseq-000002.ckpt",
+            "cluseq-000010.ckpt",
+            "cluseq-000003.ckpt",
+            "cluseq-000010.ckpt.tmp", // torn write debris
+            "notes.txt",
+            "cluseq-.ckpt",
+            "cluseq-12x4.ckpt",
+        ] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let latest = Checkpoint::latest_in(&dir).unwrap().unwrap();
+        assert_eq!(latest.file_name().unwrap(), "cluseq-000010.ckpt");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_name_parser_is_strict() {
+        assert_eq!(parse_checkpoint_name("cluseq-000042.ckpt"), Some(42));
+        assert_eq!(parse_checkpoint_name("cluseq-7.ckpt"), Some(7));
+        assert_eq!(parse_checkpoint_name("cluseq-.ckpt"), None);
+        assert_eq!(parse_checkpoint_name("cluseq-42.ckpt.tmp"), None);
+        assert_eq!(parse_checkpoint_name("cluseq-4a2.ckpt"), None);
+        assert_eq!(parse_checkpoint_name("model.cseq"), None);
+    }
+}

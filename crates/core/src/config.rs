@@ -63,6 +63,49 @@ impl std::str::FromStr for ScanMode {
     }
 }
 
+/// When and where the iteration loop writes crash-recovery checkpoints
+/// (see [`crate::checkpoint`]).
+///
+/// A checkpoint captures the complete loop state after an iteration —
+/// cluster models with member lists, the RNG stream position, the
+/// threshold trajectory, and accumulated telemetry — so a killed run can
+/// be resumed with [`crate::Cluseq::resume`] and finish **bit-identically**
+/// to an uninterrupted one. Files are written atomically (temp file +
+/// fsync + rename), one per checkpointed iteration, named
+/// `cluseq-NNNNNN.ckpt` under `dir`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Directory receiving checkpoint files (created on first write).
+    pub dir: std::path::PathBuf,
+    /// Write a checkpoint after every `every` completed iterations
+    /// (`1` = every iteration). A final checkpoint is also written when
+    /// the loop reaches its fixpoint, regardless of cadence.
+    ///
+    /// Must be at least 1; [`CheckpointPolicy::new`] enforces this.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing to `dir` every `every` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0.
+    pub fn new(dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        assert!(every >= 1, "checkpoint cadence must be >= 1");
+        Self {
+            dir: dir.into(),
+            every,
+        }
+    }
+
+    /// The file path of the checkpoint written after `completed`
+    /// iterations have finished.
+    pub fn path_for(&self, completed: usize) -> std::path::PathBuf {
+        self.dir.join(format!("cluseq-{completed:06}.ckpt"))
+    }
+}
+
 /// Parameters of the CLUSEQ algorithm (`k`, `c`, `t` in the paper, plus the
 /// knobs of §4–§5 the paper fixes to stated defaults).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -124,6 +167,9 @@ pub struct CluseqParams {
     /// under [`ScanMode::Incremental`] the scan itself stays serial
     /// because its PST updates are order-dependent by design (§6.3).
     pub threads: usize,
+    /// Crash-recovery checkpointing (see [`CheckpointPolicy`] and
+    /// [`crate::checkpoint`]); `None` (default) writes nothing.
+    pub checkpoint: Option<CheckpointPolicy>,
     /// RNG seed (sampling, random examination order).
     pub seed: u64,
 }
@@ -148,6 +194,7 @@ impl Default for CluseqParams {
             rebuild_psts: false,
             scan_mode: ScanMode::Incremental,
             threads: 1,
+            checkpoint: None,
             seed: 0xC105E9, // arbitrary fixed default for reproducibility
         }
     }
@@ -264,6 +311,19 @@ impl CluseqParams {
         self
     }
 
+    /// Enables crash-recovery checkpoints: one written to `dir` after
+    /// every `every` completed iterations (see [`CheckpointPolicy`]).
+    pub fn with_checkpoints(mut self, dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some(CheckpointPolicy::new(dir, every));
+        self
+    }
+
+    /// Disables checkpointing.
+    pub fn without_checkpoints(mut self) -> Self {
+        self.checkpoint = None;
+        self
+    }
+
     /// The PST parameter block derived from these settings.
     pub fn pst_params(&self) -> PstParams {
         let mut p = PstParams::default()
@@ -290,6 +350,9 @@ impl CluseqParams {
             "valley detection needs >= 3 buckets"
         );
         assert!(self.max_iterations >= 1);
+        if let Some(cp) = &self.checkpoint {
+            assert!(cp.every >= 1, "checkpoint cadence must be >= 1");
+        }
         self.pst_params().validate(alphabet_size);
     }
 }
@@ -349,6 +412,24 @@ mod tests {
         for mode in [ScanMode::Incremental, ScanMode::Snapshot] {
             assert_eq!(mode.to_string().parse(), Ok(mode));
         }
+    }
+
+    #[test]
+    fn checkpoint_policy_builds_and_names_files() {
+        let p = CluseqParams::default().with_checkpoints("/tmp/ckpt", 3);
+        let policy = p.checkpoint.as_ref().unwrap();
+        assert_eq!(policy.every, 3);
+        assert_eq!(
+            policy.path_for(12),
+            std::path::Path::new("/tmp/ckpt/cluseq-000012.ckpt")
+        );
+        assert!(p.without_checkpoints().checkpoint.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_checkpoint_cadence_is_rejected() {
+        CheckpointPolicy::new("x", 0);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Deterministic I/O fault injection for the crash-safety test suite.
+//!
+//! The checkpoint writer promises that **no partial file is ever visible
+//! at the final path** (see [`crate::checkpoint`]). That promise cannot be
+//! tested by waiting for a real disk to fail, so this module provides
+//! byte-exact failure injection: a [`FailPlan`] describes where the I/O
+//! stream breaks, and [`FailingWriter`] / [`FailingReader`] wrap any
+//! `Write` / `Read` to enact it. The plans are plain data — a test can
+//! sweep `error_after(k)` over every byte offset of a checkpoint and prove
+//! the atomicity invariant holds at every single crash point.
+//!
+//! The wrappers live in the library (not the test tree) because
+//! [`crate::checkpoint::Checkpoint::write_atomic_with`] threads a plan
+//! through its real production code path: the bytes the tests see failing
+//! are exactly the bytes a healthy run writes.
+
+use std::io::{self, Read, Write};
+
+/// Where and how an I/O stream should fail. The default plan never fails.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailPlan {
+    /// Fail with [`io::ErrorKind::Other`] once this many bytes have been
+    /// transferred. Bytes up to the limit are transferred normally — a
+    /// write straddling the limit is shortened to reach it exactly, and
+    /// the *next* call errors, mimicking a device that dies mid-stream.
+    pub fail_after: Option<u64>,
+    /// Transfer at most this many bytes per call (short reads/writes).
+    /// Exercises every `read_exact`/`write_all` retry loop in the framing.
+    pub max_chunk: Option<usize>,
+    /// Simulate a crash *between* the temp-file write and the rename:
+    /// [`crate::checkpoint::Checkpoint::write_atomic_with`] returns an
+    /// error after the temp file is fully written and synced, leaving it
+    /// on disk exactly as `kill -9` would.
+    pub fail_rename: bool,
+}
+
+impl FailPlan {
+    /// A plan that never fails (the production path).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail after exactly `bytes` bytes have been transferred.
+    pub fn error_after(bytes: u64) -> Self {
+        Self {
+            fail_after: Some(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// Transfer at most `chunk` bytes per call, never failing outright.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is 0 (a zero-byte write signals end-of-medium to
+    /// `write_all` and would turn every save into an error).
+    pub fn short_writes(chunk: usize) -> Self {
+        assert!(chunk >= 1, "a zero-byte chunk cannot make progress");
+        Self {
+            max_chunk: Some(chunk),
+            ..Self::default()
+        }
+    }
+
+    /// Crash after the temp file is durable but before the rename.
+    pub fn torn_rename() -> Self {
+        Self {
+            fail_rename: true,
+            ..Self::default()
+        }
+    }
+
+    fn injected_error() -> io::Error {
+        io::Error::other("injected failpoint")
+    }
+
+    /// How many bytes of a `len`-byte request may proceed, or the injected
+    /// error if the stream is already past its failure point.
+    fn admit(&self, transferred: u64, len: usize) -> io::Result<usize> {
+        let mut n = len;
+        if let Some(limit) = self.fail_after {
+            if transferred >= limit && len > 0 {
+                return Err(Self::injected_error());
+            }
+            n = n.min((limit - transferred) as usize);
+        }
+        if let Some(chunk) = self.max_chunk {
+            n = n.min(chunk);
+        }
+        Ok(n)
+    }
+}
+
+/// A `Write` adapter enacting a [`FailPlan`], counting accepted bytes.
+#[derive(Debug)]
+pub struct FailingWriter<W> {
+    inner: W,
+    plan: FailPlan,
+    written: u64,
+}
+
+impl<W: Write> FailingWriter<W> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: W, plan: FailPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            written: 0,
+        }
+    }
+
+    /// Bytes accepted so far (the logical stream position).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let admitted = self.plan.admit(self.written, buf.len())?;
+        if admitted == 0 && !buf.is_empty() {
+            // fail_after == written and the limit is not yet tripped: the
+            // admitted slice is empty only when the failure point is
+            // exactly here, which `admit` already turned into an error.
+            return Err(FailPlan::injected_error());
+        }
+        let n = self.inner.write(&buf[..admitted])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` adapter enacting a [`FailPlan`], counting delivered bytes.
+#[derive(Debug)]
+pub struct FailingReader<R> {
+    inner: R,
+    plan: FailPlan,
+    delivered: u64,
+}
+
+impl<R: Read> FailingReader<R> {
+    /// Wraps `inner` under `plan` (`fail_rename` is meaningless here).
+    pub fn new(inner: R, plan: FailPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            delivered: 0,
+        }
+    }
+
+    /// Bytes delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl<R: Read> Read for FailingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let admitted = self.plan.admit(self.delivered, buf.len())?;
+        let n = self.inner.read(&mut buf[..admitted])?;
+        self.delivered += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_all_survives_short_writes() {
+        let mut w = FailingWriter::new(Vec::new(), FailPlan::short_writes(3));
+        w.write_all(&[7u8; 100]).unwrap();
+        assert_eq!(w.written(), 100);
+        assert_eq!(w.into_inner(), vec![7u8; 100]);
+    }
+
+    #[test]
+    fn error_after_cuts_the_stream_at_the_exact_byte() {
+        for k in 0..20u64 {
+            let mut w = FailingWriter::new(Vec::new(), FailPlan::error_after(k));
+            let err = w.write_all(&[1u8; 20]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Other);
+            assert_eq!(w.written(), k, "accepted exactly k bytes");
+            assert_eq!(w.into_inner().len(), k as usize);
+        }
+    }
+
+    #[test]
+    fn reader_fails_after_the_configured_byte() {
+        let data = vec![9u8; 50];
+        let mut r = FailingReader::new(data.as_slice(), FailPlan::error_after(32));
+        let mut out = vec![0u8; 50];
+        let err = r.read_exact(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(r.delivered(), 32);
+    }
+
+    #[test]
+    fn short_reads_still_complete_read_exact() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut r = FailingReader::new(data.as_slice(), FailPlan::short_writes(7));
+        let mut out = vec![0u8; 100];
+        r.read_exact(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let mut w = FailingWriter::new(Vec::new(), FailPlan::none());
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.written(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte chunk")]
+    fn zero_chunk_is_rejected() {
+        FailPlan::short_writes(0);
+    }
+}

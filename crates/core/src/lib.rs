@@ -46,9 +46,11 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod consolidate;
+pub mod failpoint;
 pub mod online;
 pub mod order;
 pub mod outcome;
@@ -61,12 +63,16 @@ pub mod telemetry;
 pub mod threshold;
 
 pub use algorithm::Cluseq;
+pub use checkpoint::Checkpoint;
 pub use cluster::Cluster;
-pub use config::{CluseqParams, ConsolidationMode, ScanMode};
+pub use config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanMode};
+pub use failpoint::{FailPlan, FailingReader, FailingWriter};
 pub use online::{OnlineCluseq, OnlineReport};
 pub use order::ExaminationOrder;
 pub use outcome::{CluseqOutcome, IterationStats};
 pub use recluster::ScanOptions;
 pub use score::ScoreEngine;
 pub use similarity::{max_similarity, max_similarity_pst, LogSim, SegmentSimilarity};
-pub use telemetry::{IterationRecord, NoopObserver, RunObserver, RunReport};
+pub use telemetry::{
+    CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,
+};

@@ -27,7 +27,9 @@
 
 use std::io::{Read, Write};
 
-use cluseq_pst::serial::{read_f64, read_u32, read_u64, write_f64, write_u32, write_u64};
+use cluseq_pst::serial::{
+    decode_capacity, read_f64, read_u32, read_u64, write_f64, write_u32, write_u64,
+};
 use cluseq_pst::{Pst, SerialError};
 use cluseq_seq::{BackgroundModel, Symbol};
 
@@ -139,7 +141,7 @@ impl SavedModel {
         if n_sym == 0 {
             return Err(SerialError::Corrupt("empty background model"));
         }
-        let mut probs = Vec::with_capacity(n_sym);
+        let mut probs = Vec::with_capacity(decode_capacity(n_sym));
         for _ in 0..n_sym {
             let p = read_f64(r)?;
             if !(p > 0.0 && p <= 1.0) {
@@ -153,7 +155,7 @@ impl SavedModel {
         }
         let background = BackgroundModel::from_probs(probs);
         let n_clusters = read_u32(r)? as usize;
-        let mut clusters = Vec::with_capacity(n_clusters);
+        let mut clusters = Vec::with_capacity(decode_capacity(n_clusters));
         for _ in 0..n_clusters {
             let id = read_u64(r)?;
             let seed = read_u64(r)?;

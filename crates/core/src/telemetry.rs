@@ -175,6 +175,41 @@ impl HistogramSnapshot {
     }
 }
 
+/// One checkpoint write attempt by the iteration loop (see
+/// [`crate::checkpoint`]), delivered via [`RunObserver::on_checkpoint`].
+///
+/// Checkpoint events are *provenance*, not counters: whether and when they
+/// occur depends on the [`crate::CheckpointPolicy`] and on where a resumed
+/// run picked up, so they are excluded from
+/// [`RunReport::counters_json`] (like wall-clock timings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointEvent {
+    /// Completed iterations captured by this checkpoint (the file resumes
+    /// *after* iteration `completed - 1`).
+    pub completed: usize,
+    /// Where the checkpoint was written.
+    pub path: String,
+    /// Serialized size in bytes (0 when the write failed).
+    pub bytes: u64,
+    /// Wall time of the write, nanoseconds.
+    pub write_nanos: u64,
+    /// The I/O error message when the write failed. Checkpointing is
+    /// best-effort durability: a failed write is reported here and the run
+    /// continues unharmed.
+    pub error: Option<String>,
+}
+
+/// Where a resumed run picked up, delivered once via
+/// [`RunObserver::on_resume`] (before the replayed iteration records).
+/// Provenance only — excluded from [`RunReport::counters_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Iterations already completed by the checkpointed run.
+    pub completed: usize,
+    /// Checkpoint format version the state was restored from.
+    pub version: u32,
+}
+
 /// Everything the telemetry layer knows about one completed iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
@@ -251,7 +286,19 @@ pub trait RunObserver {
 
     /// Called after each completed iteration. Not called when
     /// [`enabled`](RunObserver::enabled) is `false`.
+    ///
+    /// A resumed run ([`crate::Cluseq::resume_observed`]) replays the
+    /// records captured in the checkpoint first, so the observer sees the
+    /// full iteration sequence exactly as an uninterrupted run delivers it.
     fn on_iteration(&mut self, _record: &IterationRecord) {}
+
+    /// Called after each checkpoint write attempt (only when a
+    /// [`crate::CheckpointPolicy`] is configured).
+    fn on_checkpoint(&mut self, _event: &CheckpointEvent) {}
+
+    /// Called once, before any replayed records, when a run is resumed
+    /// from a checkpoint.
+    fn on_resume(&mut self, _info: &ResumeInfo) {}
 
     /// Called once after the final assignment sweep.
     fn on_run_end(&mut self, _summary: &RunSummary) {}
@@ -294,8 +341,16 @@ impl RunObserver for NoopObserver {
 pub struct RunReport {
     /// The run's context, filled at `on_run_start`.
     pub context: Option<RunContext>,
-    /// One record per completed iteration, in order.
+    /// One record per completed iteration, in order. For a resumed run the
+    /// leading records are replayed from the checkpoint, so the list is
+    /// complete either way.
     pub iterations: Vec<IterationRecord>,
+    /// Checkpoint write attempts, in order (provenance; empty without a
+    /// [`crate::CheckpointPolicy`]).
+    pub checkpoints: Vec<CheckpointEvent>,
+    /// Resume provenance: `Some` when this run was restored from a
+    /// checkpoint rather than started fresh.
+    pub resumed: Option<ResumeInfo>,
     /// The run's summary, filled at `on_run_end`.
     pub summary: Option<RunSummary>,
 }
@@ -317,12 +372,14 @@ impl RunReport {
         self.write_json(true)
     }
 
-    /// Serializes the report with every wall-clock field omitted.
+    /// Serializes the report with every wall-clock and provenance field
+    /// omitted (timings, thread count, checkpoint events, resume info).
     ///
-    /// Two runs that differ only in thread count produce byte-identical
-    /// `counters_json` output for the same scan mode — the telemetry
-    /// extension of the [`crate::score`] determinism contract, enforced by
-    /// `tests/run_report.rs`.
+    /// Two runs that differ only in thread count — or in whether they were
+    /// resumed from a checkpoint — produce byte-identical `counters_json`
+    /// output for the same scan mode: the telemetry extension of the
+    /// [`crate::score`] determinism contract, enforced by
+    /// `tests/run_report.rs` and `tests/checkpoint_resume.rs`.
     pub fn counters_json(&self) -> String {
         self.write_json(false)
     }
@@ -354,6 +411,36 @@ impl RunReport {
             Self::write_record(&mut w, r, with_timings);
         }
         w.end_arr();
+        if with_timings {
+            // Checkpoint and resume provenance depend on policy and crash
+            // points, not on the clustering — kept out of counters_json so
+            // a resumed run's counters match the uninterrupted run's.
+            w.key("checkpoints");
+            w.begin_arr();
+            for e in &self.checkpoints {
+                w.begin_obj();
+                w.field_usize("completed", e.completed);
+                w.field_str("path", &e.path);
+                w.field_u64("bytes", e.bytes);
+                w.field_u64("write_nanos", e.write_nanos);
+                match &e.error {
+                    Some(msg) => w.field_str("error", msg),
+                    None => w.field_null("error"),
+                }
+                w.end_obj();
+            }
+            w.end_arr();
+            match &self.resumed {
+                Some(r) => {
+                    w.key("resumed");
+                    w.begin_obj();
+                    w.field_usize("completed", r.completed);
+                    w.field_u64("version", u64::from(r.version));
+                    w.end_obj();
+                }
+                None => w.field_null("resumed"),
+            }
+        }
         match &self.summary {
             Some(s) => {
                 w.key("summary");
@@ -521,6 +608,14 @@ impl RunObserver for RunReport {
 
     fn on_iteration(&mut self, record: &IterationRecord) {
         self.iterations.push(record.clone());
+    }
+
+    fn on_checkpoint(&mut self, event: &CheckpointEvent) {
+        self.checkpoints.push(event.clone());
+    }
+
+    fn on_resume(&mut self, info: &ResumeInfo) {
+        self.resumed = Some(info.clone());
     }
 
     fn on_run_end(&mut self, summary: &RunSummary) {
@@ -717,6 +812,8 @@ mod tests {
                 initial_log_t: 0.0005,
             }),
             iterations: vec![sample_record(0), sample_record(1)],
+            checkpoints: Vec::new(),
+            resumed: None,
             summary: Some(RunSummary {
                 iterations: 2,
                 clusters: 3,
@@ -776,8 +873,49 @@ mod tests {
         let json = RunReport::new().to_json();
         assert_eq!(
             json,
+            "{\"context\":null,\"iterations\":[],\"checkpoints\":[],\"resumed\":null,\
+             \"summary\":null}"
+        );
+        assert_eq!(
+            RunReport::new().counters_json(),
             "{\"context\":null,\"iterations\":[],\"summary\":null}"
         );
+    }
+
+    #[test]
+    fn checkpoint_and_resume_provenance_stay_out_of_counters() {
+        let mut report = sample_report();
+        report.checkpoints.push(CheckpointEvent {
+            completed: 1,
+            path: "ckpt/cluseq-000001.ckpt".into(),
+            bytes: 4096,
+            write_nanos: 777,
+            error: None,
+        });
+        report.checkpoints.push(CheckpointEvent {
+            completed: 2,
+            path: "ckpt/cluseq-000002.ckpt".into(),
+            bytes: 0,
+            write_nanos: 5,
+            error: Some("disk full".into()),
+        });
+        report.resumed = Some(ResumeInfo {
+            completed: 1,
+            version: 1,
+        });
+        let full = report.to_json();
+        assert!(full.contains("\"checkpoints\""), "{full}");
+        assert!(full.contains("\"error\":\"disk full\""), "{full}");
+        assert!(full.contains("\"resumed\":{\"completed\":1"), "{full}");
+        let counters = report.counters_json();
+        for absent in ["checkpoints", "resumed", "ckpt/"] {
+            assert!(!counters.contains(absent), "{absent} leaked: {counters}");
+        }
+        // Provenance must never perturb the counters themselves.
+        let mut plain = sample_report();
+        plain.checkpoints.clear();
+        plain.resumed = None;
+        assert_eq!(plain.counters_json(), report.counters_json());
     }
 
     #[test]

@@ -109,6 +109,15 @@ pub fn read_f64(r: &mut impl Read) -> io::Result<f64> {
     Ok(f64::from_le_bytes(b))
 }
 
+/// A safe initial capacity for a decoded collection whose length came from
+/// the (possibly hostile) input: enough to avoid reallocation for every
+/// honest file, bounded so a corrupt length field cannot command a huge
+/// up-front allocation. Decoding loops still push `len` elements — a lying
+/// length hits end-of-input long before memory becomes a problem.
+pub fn decode_capacity(len: usize) -> usize {
+    len.min(64 * 1024)
+}
+
 fn write_sym_table<T, W: Write>(
     w: &mut W,
     table: &[(Symbol, T)],
@@ -228,7 +237,7 @@ impl Pst {
         if node_count == 0 {
             return Err(SerialError::Corrupt("zero nodes (root missing)"));
         }
-        let mut nodes: Vec<Node> = Vec::with_capacity(node_count);
+        let mut nodes: Vec<Node> = Vec::with_capacity(decode_capacity(node_count));
         let check_id = |raw: u32| -> Result<NodeId, SerialError> {
             if (raw as usize) < node_count {
                 Ok(NodeId(raw))

@@ -1,0 +1,128 @@
+//! Forward-compatibility anchor for the checkpoint format: a committed
+//! version-1 checkpoint file that every future reader must keep loading
+//! and resuming correctly.
+//!
+//! The fixture (`tests/golden/checkpoint_v1.ckpt`) was produced by the
+//! `#[ignore]`d `regenerate_the_fixture` test: the first checkpoint of a
+//! fixed seeded run, with the scratch directory in its stored policy
+//! scrubbed to a relative path before committing. Because the whole
+//! pipeline is deterministic, resuming the fixture against the same
+//! regenerated workload must still land on the same final clustering as a
+//! fresh uninterrupted run — so this test fails if a format change breaks
+//! old files *or* silently changes their meaning. A breaking change must
+//! bump `Checkpoint::VERSION`, keep a version-1 decode path, and add a new
+//! fixture alongside this one.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cluseq::prelude::*;
+
+fn fixture_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/cluseq; the fixture lives with the
+    // repo-level tests.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/checkpoint_v1.ckpt")
+}
+
+/// The exact workload the fixture was generated from.
+fn workload() -> SequenceDatabase {
+    SyntheticSpec {
+        sequences: 60,
+        clusters: 2,
+        avg_len: 50,
+        alphabet: 12,
+        outlier_fraction: 0.0,
+        seed: 2003,
+    }
+    .generate()
+}
+
+/// The exact parameters the fixture was generated with (minus the scratch
+/// checkpoint directory, which is scrubbed to `ckpts` in the fixture).
+fn generation_params() -> CluseqParams {
+    CluseqParams::default()
+        .with_initial_clusters(2)
+        .with_significance(5)
+        .with_max_depth(5)
+        .with_max_iterations(8)
+        .with_seed(17)
+}
+
+#[test]
+fn the_v1_fixture_still_loads_and_resumes_identically() {
+    let bytes = fs::read(fixture_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}; regenerate with \
+             `cargo test -p cluseq --test checkpoint_golden -- --ignored`",
+            fixture_path().display()
+        )
+    });
+    let ckpt = Checkpoint::load(&mut bytes.as_slice())
+        .expect("a committed v1 checkpoint must keep loading");
+
+    // Structural sanity: the fixture is a mid-run boundary, not an
+    // end-state, so a resume exercises real iterations.
+    assert_eq!(ckpt.completed, 1, "fixture captures the first boundary");
+    assert!(!ckpt.stable, "fixture must not already be at the fixpoint");
+    assert!(!ckpt.clusters.is_empty());
+    assert_eq!(ckpt.records.len(), ckpt.completed);
+
+    let db = workload();
+    ckpt.verify_database(&db)
+        .expect("the guard must keep accepting the generating workload");
+
+    // Meaning-preservation: resuming the old file must land on the same
+    // clustering as running from scratch today, including the telemetry
+    // counters. The stored policy is dropped before resuming so the test
+    // leaves no checkpoint files in the workspace (checkpointing on/off
+    // equivalence is proven separately in checkpoint_resume.rs).
+    let mut ckpt = ckpt;
+    ckpt.params = ckpt.params.without_checkpoints();
+
+    let mut fresh_report = RunReport::new();
+    let fresh = Cluseq::new(generation_params()).run_observed(&db, &mut fresh_report);
+
+    let mut resumed_report = RunReport::new();
+    let resumed = Cluseq::resume_observed(ckpt, &db, &mut resumed_report);
+
+    assert_eq!(fresh.iterations, resumed.iterations);
+    assert_eq!(fresh.final_log_t.to_bits(), resumed.final_log_t.to_bits());
+    assert_eq!(fresh.best_cluster, resumed.best_cluster);
+    assert_eq!(fresh.outliers, resumed.outliers);
+    assert_eq!(fresh.history, resumed.history);
+    assert_eq!(
+        fresh_report.counters_json(),
+        resumed_report.counters_json(),
+        "telemetry counters must survive the format boundary"
+    );
+}
+
+/// Regenerates the fixture. Run explicitly after an *intentional* format
+/// revision (with a version bump and a back-compat decode path):
+///
+/// ```sh
+/// cargo test -p cluseq --test checkpoint_golden -- --ignored
+/// ```
+#[test]
+#[ignore = "writes the committed fixture; run by hand after a format revision"]
+fn regenerate_the_fixture() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("golden-regen");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let db = workload();
+    Cluseq::new(generation_params().with_checkpoints(&dir, 1)).run(&db);
+
+    let first = dir.join("cluseq-000001.ckpt");
+    let bytes = fs::read(&first).expect("first boundary checkpoint exists");
+    let mut ckpt = Checkpoint::load(&mut bytes.as_slice()).expect("loads");
+
+    // Scrub the machine-local scratch path before committing; the cadence
+    // is preserved.
+    ckpt.params = ckpt.params.with_checkpoints("ckpts", 1);
+
+    let mut out = Vec::new();
+    ckpt.save(&mut out).expect("Vec write cannot fail");
+    fs::write(fixture_path(), out).expect("write fixture");
+    eprintln!("fixture rewritten at {}", fixture_path().display());
+}

@@ -1,0 +1,283 @@
+//! Fault-injection suite: checkpoint writes survive injected I/O failure
+//! at every byte, torn renames, and short writes without ever exposing a
+//! partial file at the final path; checkpoint and model loads survive
+//! truncation, bit flips, and hostile headers without panicking.
+//!
+//! The write-side failpoints come from [`FailPlan`] /[`FailingWriter`]:
+//! `error_after(k)` kills the stream at exactly byte `k`, `short_writes`
+//! fragments every `write` call, and `torn_rename` simulates the process
+//! dying between the temp-file fsync and the rename. The invariant under
+//! all of them: the final `*.ckpt` path either holds the previous complete
+//! checkpoint or nothing — never a torn file — and the next attempt
+//! succeeds cleanly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cluseq::core::persist::SavedModel;
+use cluseq::prelude::*;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn workload() -> SequenceDatabase {
+    SyntheticSpec {
+        sequences: 24,
+        clusters: 2,
+        avg_len: 30,
+        alphabet: 8,
+        outlier_fraction: 0.0,
+        seed: 9,
+    }
+    .generate()
+}
+
+fn small_params(dir: &Path) -> CluseqParams {
+    CluseqParams::default()
+        .with_initial_clusters(2)
+        .with_significance(4)
+        .with_max_depth(4)
+        .with_max_iterations(4)
+        .with_seed(3)
+        .with_checkpoints(dir, 1)
+}
+
+/// A genuine checkpoint from a real (tiny) run, plus its serialized bytes.
+fn sample_checkpoint(name: &str) -> (Checkpoint, Vec<u8>) {
+    let dir = tmpdir(name);
+    let db = workload();
+    Cluseq::new(small_params(&dir)).run(&db);
+    let path = Checkpoint::latest_in(&dir)
+        .expect("scan")
+        .expect("a checkpoint was written");
+    let bytes = fs::read(path).expect("read checkpoint");
+    let ckpt = Checkpoint::load(&mut bytes.as_slice()).expect("checkpoint loads");
+    (ckpt, bytes)
+}
+
+fn sample_model() -> (SavedModel, Vec<u8>) {
+    let outcome =
+        Cluseq::new(small_params(Path::new("unused")).without_checkpoints()).run(&workload());
+    let model = SavedModel::from_outcome(&outcome);
+    let mut bytes = Vec::new();
+    model.save(&mut bytes).expect("Vec write cannot fail");
+    (model, bytes)
+}
+
+/// Byte offsets to probe: exhaustive while the blob is small, strided
+/// (but never skipping the header region) when it grows.
+fn probe_offsets(len: usize) -> Vec<usize> {
+    let stride = (len / 4096).max(1);
+    let mut offsets: Vec<usize> = (0..len.min(512)).collect();
+    offsets.extend((512..len).step_by(stride));
+    offsets
+}
+
+// ---- write-side failpoints ---------------------------------------------
+
+#[test]
+fn injected_write_errors_never_leave_a_partial_file() {
+    let (ckpt, bytes) = sample_checkpoint("inject-write");
+    let dir = tmpdir("inject-write-out");
+    let path = dir.join("cluseq-000001.ckpt");
+
+    for k in probe_offsets(bytes.len()) {
+        let plan = FailPlan::error_after(k as u64);
+        let err = ckpt
+            .write_atomic_with(&path, &plan)
+            .expect_err("a stream cut at byte {k} cannot succeed");
+        assert!(
+            err.to_string().contains("injected"),
+            "byte {k}: unexpected error {err}"
+        );
+        assert!(
+            !path.exists(),
+            "byte {k}: a partial file reached the final path"
+        );
+        let leftovers: Vec<_> = fs::read_dir(&dir).expect("scan").collect();
+        assert!(
+            leftovers.is_empty(),
+            "byte {k}: graceful failure must clean up its temp file"
+        );
+    }
+
+    // After any number of failures, a clean attempt succeeds and the file
+    // round-trips.
+    let written = ckpt.write_atomic(&path).expect("clean write succeeds");
+    assert_eq!(written, bytes.len() as u64, "logical size is the blob size");
+    let reread = Checkpoint::load_path(&path).expect("reloads");
+    assert_eq!(reread.completed, ckpt.completed);
+}
+
+#[test]
+fn a_failed_write_preserves_the_previous_checkpoint() {
+    let (ckpt, bytes) = sample_checkpoint("inject-preserve");
+    let dir = tmpdir("inject-preserve-out");
+    let path = dir.join("cluseq-000001.ckpt");
+
+    ckpt.write_atomic(&path).expect("initial write");
+    let before = fs::read(&path).expect("read initial");
+
+    for k in [0usize, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+        ckpt.write_atomic_with(&path, &FailPlan::error_after(k as u64))
+            .expect_err("injected failure");
+        assert_eq!(
+            fs::read(&path).expect("still readable"),
+            before,
+            "byte {k}: the previous checkpoint must survive a failed rewrite"
+        );
+    }
+}
+
+#[test]
+fn short_writes_still_produce_a_complete_checkpoint() {
+    let (ckpt, bytes) = sample_checkpoint("short-writes");
+    let dir = tmpdir("short-writes-out");
+    for chunk in [1usize, 3, 7, 64] {
+        let path = dir.join("cluseq-000001.ckpt");
+        let written = ckpt
+            .write_atomic_with(&path, &FailPlan::short_writes(chunk))
+            .expect("short writes make progress");
+        assert_eq!(written, bytes.len() as u64, "chunk {chunk}");
+        assert_eq!(
+            fs::read(&path).expect("read"),
+            bytes,
+            "chunk {chunk}: fragmented writes must still be byte-faithful"
+        );
+        fs::remove_file(&path).expect("reset");
+    }
+}
+
+#[test]
+fn a_torn_rename_leaves_only_the_temp_file() {
+    let (ckpt, _) = sample_checkpoint("torn");
+    let dir = tmpdir("torn-out");
+    let path = dir.join("cluseq-000001.ckpt");
+
+    let err = ckpt
+        .write_atomic_with(&path, &FailPlan::torn_rename())
+        .expect_err("the rename was torn");
+    assert!(err.to_string().contains("before rename"), "{err}");
+    assert!(!path.exists(), "no final file after a torn rename");
+
+    // The temp file is the simulated crash debris; the scanner must not
+    // mistake it for a checkpoint, and recovery is a plain re-write.
+    assert_eq!(Checkpoint::latest_in(&dir).expect("scan"), None);
+    ckpt.write_atomic(&path).expect("recovery write");
+    assert_eq!(
+        Checkpoint::latest_in(&dir).expect("scan").as_deref(),
+        Some(path.as_path())
+    );
+    Checkpoint::load_path(&path).expect("recovered checkpoint loads");
+}
+
+// ---- read-side faults --------------------------------------------------
+
+#[test]
+fn truncation_at_any_probed_length_is_an_error_never_a_panic() {
+    let (_, ckpt_bytes) = sample_checkpoint("trunc");
+    let (_, model_bytes) = sample_model();
+
+    for len in probe_offsets(ckpt_bytes.len()) {
+        assert!(
+            Checkpoint::load(&mut &ckpt_bytes[..len]).is_err(),
+            "checkpoint prefix of {len} bytes must not load"
+        );
+    }
+    for len in probe_offsets(model_bytes.len()) {
+        assert!(
+            SavedModel::load(&mut &model_bytes[..len]).is_err(),
+            "model prefix of {len} bytes must not load"
+        );
+    }
+}
+
+#[test]
+fn injected_read_errors_surface_as_io_never_a_panic() {
+    let (_, bytes) = sample_checkpoint("read-fault");
+    for k in probe_offsets(bytes.len()) {
+        let mut reader = FailingReader::new(bytes.as_slice(), FailPlan::error_after(k as u64));
+        Checkpoint::load(&mut reader).expect_err("a cut read stream cannot load");
+    }
+}
+
+/// Bit flips anywhere in the stream must be *handled*: most flips are
+/// detected as errors, a few (e.g. in stored wall-clock timings or float
+/// payloads) decode to different but structurally valid data — either way
+/// the loader must return, not panic or balloon memory on a hostile
+/// length.
+#[test]
+fn bit_flips_never_panic_the_loaders() {
+    let (_, ckpt_bytes) = sample_checkpoint("flips");
+    let (_, model_bytes) = sample_model();
+
+    for (what, bytes) in [("checkpoint", ckpt_bytes), ("model", model_bytes)] {
+        for i in probe_offsets(bytes.len()) {
+            for mask in [0x01u8, 0x80] {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= mask;
+                match what {
+                    "checkpoint" => {
+                        let _ = Checkpoint::load(&mut mutated.as_slice());
+                    }
+                    _ => {
+                        let _ = SavedModel::load(&mut mutated.as_slice());
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- header validation -------------------------------------------------
+
+#[test]
+fn foreign_magic_is_named_in_the_error() {
+    let (_, mut ckpt_bytes) = sample_checkpoint("magic");
+    ckpt_bytes[..4].copy_from_slice(b"XXXX");
+    let err = Checkpoint::load(&mut ckpt_bytes.as_slice()).expect_err("bad magic");
+    assert!(
+        err.to_string().contains("magic"),
+        "undescriptive error: {err}"
+    );
+
+    let (_, mut model_bytes) = sample_model();
+    model_bytes[..4].copy_from_slice(b"XXXX");
+    let err = SavedModel::load(&mut model_bytes.as_slice()).expect_err("bad magic");
+    assert!(
+        err.to_string().contains("magic"),
+        "undescriptive error: {err}"
+    );
+}
+
+#[test]
+fn future_versions_are_refused_with_the_version_number() {
+    let (_, mut ckpt_bytes) = sample_checkpoint("version");
+    ckpt_bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    let err = Checkpoint::load(&mut ckpt_bytes.as_slice()).expect_err("future version");
+    assert!(err.to_string().contains("99"), "undescriptive error: {err}");
+
+    let (_, mut model_bytes) = sample_model();
+    model_bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    let err = SavedModel::load(&mut model_bytes.as_slice()).expect_err("future version");
+    assert!(err.to_string().contains("99"), "undescriptive error: {err}");
+}
+
+/// A hostile stream advertising an absurd element count must fail fast on
+/// bounded reads instead of allocating what the length field promises.
+#[test]
+fn hostile_lengths_do_not_allocate() {
+    // CCKP magic + version 1, then a guard block claiming u64::MAX
+    // sequences and a giant alphabet, then nothing — the loader must
+    // reject or hit EOF without reserving gigabytes.
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(b"CCKP");
+    hostile.extend_from_slice(&1u32.to_le_bytes());
+    hostile.extend_from_slice(&u64::MAX.to_le_bytes());
+    hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+    Checkpoint::load(&mut hostile.as_slice()).expect_err("hostile header must not load");
+}

@@ -80,6 +80,32 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Workspace extension (not in the real `rand` API): the raw
+        /// xoshiro256++ state words, in order. Together with
+        /// [`StdRng::from_state`] this lets a long-running computation
+        /// checkpoint its generator mid-stream and resume the exact
+        /// numeric stream later — the crash-recovery path depends on it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Workspace extension (not in the real `rand` API): rebuilds a
+        /// generator from [`StdRng::state`] output. The restored generator
+        /// continues the original stream bit for bit.
+        ///
+        /// # Panics
+        ///
+        /// Panics if all four words are zero — the all-zero state is a
+        /// fixed point of xoshiro256++ (the generator would emit zeros
+        /// forever) and is unreachable from any seeded generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero xoshiro256++ state is degenerate"
+            );
+            StdRng { s }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;
@@ -403,6 +429,24 @@ mod tests {
         let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.gen::<u64>();
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        let expect: Vec<u64> = (0..8).map(|_| rng.gen::<u64>()).collect();
+        let got: Vec<u64> = (0..8).map(|_| resumed.gen::<u64>()).collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn all_zero_state_is_rejected() {
+        StdRng::from_state([0; 4]);
     }
 
     #[test]
