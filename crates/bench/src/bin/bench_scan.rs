@@ -1,0 +1,99 @@
+//! Records the scan-kernel perf trajectory as `BENCH_scan.json`.
+//!
+//! Times the same grid as the `scan_kernel` Criterion bench — interpreted
+//! tree walk vs compiled automaton, per probe symbol — and writes one
+//! machine-readable JSON file so successive commits can be compared
+//! without parsing Criterion's output directory.
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin bench_scan \
+//!     [--quick] [--out BENCH_scan.json]
+//! ```
+//!
+//! `--quick` shrinks the probe set and repetition count to a smoke-test
+//! size (CI uses it to prove the harness runs; the numbers are noisy).
+//! The target trajectory for the full run is a ≥2× median speedup of the
+//! compiled kernel over the interpreted one.
+
+use std::time::Instant;
+
+use cluseq_bench::scan_kernel::{configs, ScanFixture};
+use cluseq_bench::{flag_value, print_table};
+
+/// Median of a sample; the sample is consumed (sorted in place).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// ns/symbol for `reps` timed passes of `f`, one sample per pass.
+fn time_passes(reps: usize, symbols: usize, mut f: impl FnMut() -> f64) -> Vec<f64> {
+    let mut sink = 0.0;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink += f();
+        samples.push(start.elapsed().as_nanos() as f64 / symbols as f64);
+    }
+    assert!(sink.is_finite() || sink.is_nan(), "keep the passes live");
+    samples
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_scan.json".to_string());
+    let (probes, warmup, reps) = if quick { (8, 1, 5) } else { (32, 3, 21) };
+
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    for cfg in configs() {
+        let fx = ScanFixture::build(cfg, probes);
+        let symbols = fx.symbols();
+        for _ in 0..warmup {
+            fx.run_interpreted();
+            fx.run_compiled();
+        }
+        let interpreted = median(time_passes(reps, symbols, || fx.run_interpreted()));
+        let compiled = median(time_passes(reps, symbols, || fx.run_compiled()));
+        let speedup = interpreted / compiled;
+        speedups.push(speedup);
+        rows.push(vec![
+            cfg.to_string(),
+            fx.compiled.state_count().to_string(),
+            format!("{interpreted:.1}"),
+            format!("{compiled:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+        entries.push(format!(
+            "    {{\"config\": \"{cfg}\", \"alphabet\": {}, \"avg_len\": {}, \
+             \"states\": {}, \"interpreted_ns_per_symbol\": {interpreted:.3}, \
+             \"compiled_ns_per_symbol\": {compiled:.3}, \"speedup\": {speedup:.4}}}",
+            cfg.alphabet,
+            cfg.avg_len,
+            fx.compiled.state_count(),
+        ));
+    }
+
+    let median_speedup = median(speedups);
+    print_table(
+        "scan kernel: interpreted vs compiled (median ns/symbol)",
+        &["config", "states", "interp", "compiled", "speedup"],
+        &rows,
+    );
+    println!("\nmedian speedup across the grid: {median_speedup:.2}x (target >= 2x)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"scan_kernel\",\n  \"unit\": \"ns_per_symbol\",\n  \
+         \"quick\": {quick},\n  \"median_speedup\": {median_speedup:.4},\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

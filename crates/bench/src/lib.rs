@@ -13,6 +13,8 @@ use cluseq_core::{Cluseq, CluseqOutcome, CluseqParams};
 use cluseq_eval::{Confusion, MatchStrategy};
 use cluseq_seq::SequenceDatabase;
 
+pub mod scan_kernel;
+
 /// Workload scaling parsed from the command line.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {

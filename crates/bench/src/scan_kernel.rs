@@ -1,0 +1,132 @@
+//! Shared fixture for the scan-kernel measurements: the Criterion bench
+//! (`benches/scan_kernel.rs`) and the JSON trajectory runner
+//! (`src/bin/bench_scan.rs`) time the same workloads, so the interactive
+//! numbers and the recorded `BENCH_scan.json` trajectory are comparable.
+//!
+//! Each point on the grid trains one PST from a synthetic workload,
+//! compiles it, and measures a full similarity pass — interpreted tree
+//! walk vs compiled automaton — over a held-out probe set. Throughput is
+//! reported per probe *symbol*: the scan is a per-symbol loop, so
+//! ns/symbol is the number the kernel actually changes.
+
+use std::fmt;
+
+use cluseq_core::{max_similarity_compiled, max_similarity_pst};
+use cluseq_datagen::SyntheticSpec;
+use cluseq_pst::{CompiledPst, Pst, PstParams};
+use cluseq_seq::{BackgroundModel, Symbol};
+
+/// One measured grid point: an alphabet size × an average probe length.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanConfig {
+    pub alphabet: usize,
+    pub avg_len: usize,
+}
+
+impl fmt::Display for ScanConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}_len{}", self.alphabet, self.avg_len)
+    }
+}
+
+/// The measurement grid: small/paper-scale/large alphabets crossed with
+/// short and long sequences. Alphabet size moves the per-node successor
+/// summation the interpreted path pays; length moves how deep the scanner
+/// sits in the tree on average.
+pub fn configs() -> Vec<ScanConfig> {
+    let mut grid = Vec::new();
+    for &alphabet in &[4usize, 12, 60] {
+        for &avg_len in &[50usize, 200] {
+            grid.push(ScanConfig { alphabet, avg_len });
+        }
+    }
+    grid
+}
+
+/// A trained model plus held-out probes, built once per grid point.
+pub struct ScanFixture {
+    pub pst: Pst,
+    pub compiled: CompiledPst,
+    pub background: BackgroundModel,
+    pub probes: Vec<Vec<Symbol>>,
+}
+
+/// Sequences used to train the PST; the rest of the workload is probes.
+const TRAINING_SEQUENCES: usize = 40;
+
+impl ScanFixture {
+    pub fn build(cfg: ScanConfig, probe_count: usize) -> Self {
+        let db = SyntheticSpec {
+            sequences: TRAINING_SEQUENCES + probe_count,
+            clusters: 2,
+            avg_len: cfg.avg_len,
+            alphabet: cfg.alphabet,
+            outlier_fraction: 0.0,
+            seed: 71,
+        }
+        .generate();
+        let mut pst = Pst::new(
+            cfg.alphabet,
+            PstParams::default().with_max_depth(6).with_significance(5),
+        );
+        let mut probes = Vec::new();
+        for (i, seq, _) in db.iter() {
+            if i < TRAINING_SEQUENCES {
+                pst.add_sequence(seq);
+            } else {
+                probes.push(seq.iter().collect());
+            }
+        }
+        let background = db.background();
+        let compiled = CompiledPst::compile(&pst, &background);
+        Self {
+            pst,
+            compiled,
+            background,
+            probes,
+        }
+    }
+
+    /// Total probe symbols per full pass — the throughput denominator.
+    pub fn symbols(&self) -> usize {
+        self.probes.iter().map(Vec::len).sum()
+    }
+
+    /// One full interpreted pass; returns a checksum so the work is live.
+    pub fn run_interpreted(&self) -> f64 {
+        self.probes
+            .iter()
+            .map(|p| max_similarity_pst(&self.pst, &self.background, p).log_sim)
+            .sum()
+    }
+
+    /// One full compiled pass over the same probes.
+    pub fn run_compiled(&self) -> f64 {
+        self.probes
+            .iter()
+            .map(|p| max_similarity_compiled(&self.compiled, p).log_sim)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_kernels_agree_and_have_probes() {
+        let fx = ScanFixture::build(
+            ScanConfig {
+                alphabet: 4,
+                avg_len: 50,
+            },
+            8,
+        );
+        assert!(fx.symbols() > 0);
+        assert_eq!(
+            fx.run_interpreted().to_bits(),
+            fx.run_compiled().to_bits(),
+            "bench fixture must exercise bit-identical kernels"
+        );
+    }
+}

@@ -23,7 +23,7 @@ use cluseq_core::persist::SavedModel;
 use cluseq_core::telemetry::{
     CheckpointEvent, IterationRecord, ResumeInfo, RunContext, RunObserver, RunReport, RunSummary,
 };
-use cluseq_core::{Checkpoint, Cluseq, CluseqParams, ExaminationOrder, ScanMode};
+use cluseq_core::{Checkpoint, Cluseq, CluseqParams, ExaminationOrder, ScanKernel, ScanMode};
 use cluseq_datagen::{LanguageSpec, ProteinFamilySpec, SyntheticSpec};
 use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
 use cluseq_seq::codec;
@@ -53,6 +53,12 @@ CLUSTERING OPTIONS:
                          paper's immediate model updates, or parallel
                          snapshot scoring with a sequential absorb phase
                          (default incremental)
+  --scan-kernel interpreted|compiled   similarity-scan implementation:
+                         walk the suffix tree per symbol, or compile each
+                         cluster model into a flat transition-table
+                         automaton with precomputed log-ratio tables and
+                         threshold early-exit; results are bit-identical
+                         (default compiled)
   --threads N            worker threads for the scoring passes; results
                          are identical for any value (default 1)
   --seed S               RNG seed (default fixed)
@@ -220,7 +226,8 @@ fn params_from(args: &Args) -> CluseqParams {
         .with_seed(args.get("seed", 0xC105E9))
         .with_max_iterations(args.get("max-iterations", 50))
         .with_threads(args.get("threads", 1usize).max(1))
-        .with_scan_mode(args.get("scan-mode", ScanMode::Incremental));
+        .with_scan_mode(args.get("scan-mode", ScanMode::Incremental))
+        .with_scan_kernel(args.get("scan-kernel", ScanKernel::Compiled));
     if args.has("no-adjust") {
         p = p.with_threshold_adjustment(false);
     }
@@ -606,6 +613,18 @@ mod tests {
         let p = params_from(&args);
         assert_eq!(p.scan_mode, ScanMode::Incremental);
         assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    fn scan_kernel_flag_reaches_params_and_defaults_to_compiled() {
+        let args = Args::parse(
+            "cluster data.txt --scan-kernel interpreted"
+                .split_whitespace()
+                .map(str::to_owned),
+        );
+        assert_eq!(params_from(&args).scan_kernel, ScanKernel::Interpreted);
+        let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
+        assert_eq!(params_from(&args).scan_kernel, ScanKernel::Compiled);
     }
 
     #[test]

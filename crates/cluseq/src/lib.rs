@@ -67,15 +67,17 @@ pub mod prelude {
         CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,
     };
     pub use cluseq_core::{
-        Checkpoint, CheckpointPolicy, Cluseq, CluseqOutcome, CluseqParams, ConsolidationMode,
-        ExaminationOrder, FailPlan, FailingReader, FailingWriter, IterationStats, LogSim, ScanMode,
-        ScoreEngine, SegmentSimilarity,
+        BoundedSimilarity, Checkpoint, CheckpointPolicy, Cluseq, CluseqOutcome, CluseqParams,
+        ConsolidationMode, ExaminationOrder, FailPlan, FailingReader, FailingWriter,
+        IterationStats, LogSim, ScanKernel, ScanMode, ScoreEngine, SegmentSimilarity,
     };
     pub use cluseq_datagen::{
         inject_outliers, ClusterModel, Language, LanguageSpec, Profile, ProteinFamilySpec,
         SyntheticSpec, WeblogSpec,
     };
     pub use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
-    pub use cluseq_pst::{ConditionalModel, ContextScanner, PruneStrategy, Pst, PstParams};
+    pub use cluseq_pst::{
+        CompiledPst, ConditionalModel, ContextScanner, PruneStrategy, Pst, PstParams,
+    };
     pub use cluseq_seq::{Alphabet, BackgroundModel, Sequence, SequenceDatabase, Symbol};
 }

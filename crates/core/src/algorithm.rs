@@ -11,17 +11,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cluseq_eval::Histogram;
+use cluseq_pst::CompiledPst;
 use cluseq_seq::SequenceDatabase;
 
 use crate::checkpoint::{db_digest, Checkpoint};
 use crate::cluster::Cluster;
-use crate::config::CluseqParams;
+use crate::config::{CluseqParams, ScanKernel};
 use crate::consolidate::{consolidate_detailed, exclusive_member_counts};
 use crate::outcome::{CluseqOutcome, IterationStats};
 use crate::recluster::{recluster, ScanOptions};
 use crate::score::parallel_map;
 use crate::seeding::select_seeds_detailed;
-use crate::similarity::max_similarity_pst;
+use crate::similarity::{max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::{
     CheckpointEvent, ClusterSnapshot, HistogramSnapshot, IterationRecord, NoopObserver, PhaseNanos,
     ResumeInfo, RunContext, RunObserver, RunSummary,
@@ -279,6 +280,7 @@ impl Cluseq {
                 p.sample_factor,
                 pst_params,
                 p.threads,
+                p.scan_kernel,
                 &mut st.rng,
             );
             let k_n = seeds.len();
@@ -295,6 +297,15 @@ impl Cluseq {
             let seeding_nanos = seed_start.elapsed().as_nanos() as u64;
 
             // ---- 2. Re-clustering scan (§4.2) ----
+            // Records are assembled for a live observer *or* for the
+            // checkpoint stream — a resumed run must be able to replay
+            // them into any observer, so they cannot depend on the
+            // original run's observer being enabled. Computed before the
+            // scan because it also gates early-exit pruning: a recorded
+            // iteration feeds every similarity into its histogram
+            // snapshot, so pruning is only allowed once the threshold is
+            // frozen *and* nothing is being recorded.
+            let record_iteration = observer.enabled() || p.checkpoint.is_some();
             let order = p.order.sequence_order(n, &st.prev_best, &mut st.rng);
             let scan = recluster(
                 db,
@@ -306,6 +317,8 @@ impl Cluseq {
                     mode: p.scan_mode,
                     rebuild_psts: p.rebuild_psts,
                     threads: p.threads,
+                    kernel: p.scan_kernel,
+                    prune_below: (st.threshold_frozen && !record_iteration).then_some(st.log_t),
                 },
             );
 
@@ -321,11 +334,6 @@ impl Cluseq {
             let consolidate_nanos = consolidate_start.elapsed().as_nanos() as u64;
 
             // ---- 4. Threshold adjustment (§4.6) ----
-            // Records are assembled for a live observer *or* for the
-            // checkpoint stream — a resumed run must be able to replay
-            // them into any observer, so they cannot depend on the
-            // original run's observer being enabled.
-            let record_iteration = observer.enabled() || p.checkpoint.is_some();
             let threshold_start = std::time::Instant::now();
             let log_t_before = st.log_t;
             let mut moved = false;
@@ -474,12 +482,13 @@ impl Cluseq {
         }
 
         let finalize_start = std::time::Instant::now();
-        let outcome = self.finalize(db, st.clusters, st.log_t, st.history);
+        let (outcome, pairs_pruned) = self.finalize(db, st.clusters, st.log_t, st.history);
         observer.on_run_end(&RunSummary {
             iterations: outcome.iterations,
             clusters: outcome.cluster_count(),
             outliers: outcome.outliers.len(),
             final_log_t: outcome.final_log_t,
+            pairs_pruned,
             finalize_nanos: finalize_start.elapsed().as_nanos() as u64,
             total_nanos: run_start.elapsed().as_nanos() as u64,
         });
@@ -489,36 +498,66 @@ impl Cluseq {
     /// Final assignment pass: score every sequence against the surviving
     /// clusters so the reported memberships reflect the *final* models and
     /// threshold (intermediate memberships can reference clusters that were
-    /// later consolidated away).
+    /// later consolidated away). Returns the outcome and the number of
+    /// (sequence, cluster) pairs the compiled kernel's early-exit bound
+    /// skipped — always 0 under [`ScanKernel::Interpreted`]. Pruning here
+    /// needs no gating: a pruned pair is provably below the threshold, so
+    /// memberships, best clusters, and outliers are unaffected.
     fn finalize(
         &self,
         db: &SequenceDatabase,
         mut clusters: Vec<Cluster>,
         log_t: f64,
         history: Vec<IterationStats>,
-    ) -> CluseqOutcome {
+    ) -> (CluseqOutcome, u64) {
         let background = db.background();
         let n = db.len();
         let mut best_cluster = vec![None::<usize>; n];
         let mut best_score = vec![f64::NEG_INFINITY; n];
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
 
+        let compiled: Option<Vec<CompiledPst>> = (self.params.scan_kernel == ScanKernel::Compiled)
+            .then(|| {
+                parallel_map(clusters.len(), self.params.threads, |slot| {
+                    CompiledPst::compile(&clusters[slot].pst, &background)
+                })
+            });
+
         // Scoring is read-only and embarrassingly parallel over sequences;
         // results are bit-identical for any thread count (see
         // [`crate::score`]).
-        let joins_per_seq: Vec<Vec<(usize, f64)>> =
+        let joins_per_seq: Vec<(Vec<(usize, f64)>, u64)> =
             parallel_map(n, self.params.threads, |seq_id| {
                 let seq = db.sequence(seq_id).symbols();
-                clusters
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(slot, cluster)| {
-                        let sim = max_similarity_pst(&cluster.pst, &background, seq);
-                        (sim.log_sim >= log_t && !seq.is_empty()).then_some((slot, sim.log_sim))
-                    })
-                    .collect()
+                let mut joins = Vec::new();
+                let mut pruned = 0u64;
+                match &compiled {
+                    Some(automata) => {
+                        for (slot, automaton) in automata.iter().enumerate() {
+                            match max_similarity_compiled_bounded(automaton, seq, log_t) {
+                                BoundedSimilarity::Exact(sim) => {
+                                    if sim.log_sim >= log_t && !seq.is_empty() {
+                                        joins.push((slot, sim.log_sim));
+                                    }
+                                }
+                                BoundedSimilarity::Pruned => pruned += 1,
+                            }
+                        }
+                    }
+                    None => {
+                        for (slot, cluster) in clusters.iter().enumerate() {
+                            let sim = max_similarity_pst(&cluster.pst, &background, seq);
+                            if sim.log_sim >= log_t && !seq.is_empty() {
+                                joins.push((slot, sim.log_sim));
+                            }
+                        }
+                    }
+                }
+                (joins, pruned)
             });
-        for (seq_id, joins) in joins_per_seq.into_iter().enumerate() {
+        let mut pairs_pruned = 0u64;
+        for (seq_id, (joins, pruned)) in joins_per_seq.into_iter().enumerate() {
+            pairs_pruned += pruned;
             for (slot, log_sim) in joins {
                 members[slot].push(seq_id);
                 if log_sim > best_score[seq_id] {
@@ -535,7 +574,7 @@ impl Cluseq {
         }
         let outliers: Vec<usize> = (0..n).filter(|&i| best_cluster[i].is_none()).collect();
 
-        CluseqOutcome {
+        let outcome = CluseqOutcome {
             clusters,
             best_cluster,
             outliers,
@@ -543,7 +582,8 @@ impl Cluseq {
             iterations: history.len(),
             history,
             background,
-        }
+        };
+        (outcome, pairs_pruned)
     }
 }
 

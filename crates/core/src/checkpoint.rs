@@ -13,12 +13,13 @@
 //! # Format
 //!
 //! The same hand-rolled little-endian framing as [`cluseq_pst::serial`],
-//! magic `CCKP`, version 1:
+//! magic `CCKP`, version 2:
 //!
 //! ```text
 //! magic "CCKP" | version u32
 //! guard:    sequences u64 | alphabet u32 | digest u64   (FNV-1a, see below)
 //! params:   every CluseqParams field, enums as u8 tags, options tagged
+//!           (v2 adds the scan_kernel u8 tag after scan_mode)
 //! progress: completed u64 | stable u8 | next_id u64 | log_t f64
 //!         | threshold_frozen u8 | rng u64×4 | prev_new u64
 //!         | prev_removed u64 | prev_cluster_count u64
@@ -27,8 +28,17 @@
 //! clusters: u32 len, (id u64 | seed u64 | members u64 len + u64 each
 //!         | CPST blob) each
 //! records:  u32 len, IterationRecord each (timings included — they are
-//!           replayed verbatim into the observer on resume)
+//!           replayed verbatim into the observer on resume; v2 adds
+//!           scan.pairs_pruned u64 after scan.membership_changes)
 //! ```
+//!
+//! Version-1 files are still readable: the loader threads the header
+//! version through the params/record decoders, which default the fields a
+//! v1 writer never produced — `scan_kernel` to [`ScanKernel::Compiled`]
+//! (the kernels are bit-identical, so either replays the run exactly) and
+//! `pairs_pruned` to 0 (lossless: scan pruning is disabled whenever an
+//! iteration is being recorded, so a recorded iteration's true count *is*
+//! zero). Writers always emit the current version.
 //!
 //! The guard digest is FNV-1a over the database's sequence lengths and
 //! symbols; [`Checkpoint::verify_database`] refuses to resume against a
@@ -55,7 +65,7 @@ use cluseq_pst::{PruneStrategy, Pst, SerialError};
 use cluseq_seq::SequenceDatabase;
 
 use crate::cluster::Cluster;
-use crate::config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanMode};
+use crate::config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanKernel, ScanMode};
 use crate::failpoint::{FailPlan, FailingWriter};
 use crate::order::ExaminationOrder;
 use crate::outcome::IterationStats;
@@ -112,8 +122,10 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Current checkpoint format version.
-    pub const VERSION: u32 = 1;
+    /// Current checkpoint format version. Version 1 files (pre
+    /// scan-kernel) remain loadable; see the module docs for the decode
+    /// defaults.
+    pub const VERSION: u32 = 2;
 
     // ---- database guard -------------------------------------------------
 
@@ -192,7 +204,7 @@ impl Checkpoint {
             return Err(SerialError::BadMagic);
         }
         let version = read_u32(r)?;
-        if version != Self::VERSION {
+        if !(1..=Self::VERSION).contains(&version) {
             return Err(SerialError::BadVersion(version));
         }
         let db_sequences = read_u64(r)? as usize;
@@ -201,7 +213,7 @@ impl Checkpoint {
             return Err(SerialError::Corrupt("empty database guard"));
         }
         let db_digest = read_u64(r)?;
-        let params = load_params(r)?;
+        let params = load_params(r, version)?;
         let completed = read_u64(r)? as usize;
         let stable = read_bool(r)?;
         let next_id = read_u64(r)? as usize;
@@ -268,7 +280,7 @@ impl Checkpoint {
         }
         let mut records = Vec::with_capacity(decode_capacity(record_len));
         for i in 0..record_len {
-            let rec = load_record(r)?;
+            let rec = load_record(r, version)?;
             if rec.iteration != i {
                 return Err(SerialError::Corrupt("record iteration numbering"));
             }
@@ -504,6 +516,14 @@ fn save_params(w: &mut impl Write, p: &CluseqParams) -> io::Result<()> {
             ScanMode::Snapshot => 1,
         },
     )?;
+    // v2 field: absent from v1 files, where the loader defaults it.
+    write_u8(
+        w,
+        match p.scan_kernel {
+            ScanKernel::Interpreted => 0,
+            ScanKernel::Compiled => 1,
+        },
+    )?;
     write_u64(w, p.threads as u64)?;
     write_u64(w, p.seed)?;
     match &p.checkpoint {
@@ -522,7 +542,7 @@ fn save_params(w: &mut impl Write, p: &CluseqParams) -> io::Result<()> {
     Ok(())
 }
 
-fn load_params(r: &mut impl Read) -> Result<CluseqParams, SerialError> {
+fn load_params(r: &mut impl Read, version: u32) -> Result<CluseqParams, SerialError> {
     let initial_clusters = read_u64(r)? as usize;
     let significance = read_u64(r)?;
     let initial_threshold = read_finite_f64(r)?;
@@ -575,6 +595,17 @@ fn load_params(r: &mut impl Read) -> Result<CluseqParams, SerialError> {
         1 => ScanMode::Snapshot,
         _ => return Err(SerialError::Corrupt("scan mode tag")),
     };
+    // v1 predates the kernel choice; Compiled is safe because the two
+    // kernels are bit-identical, so the resumed run replays exactly.
+    let scan_kernel = if version >= 2 {
+        match read_u8(r)? {
+            0 => ScanKernel::Interpreted,
+            1 => ScanKernel::Compiled,
+            _ => return Err(SerialError::Corrupt("scan kernel tag")),
+        }
+    } else {
+        ScanKernel::Compiled
+    };
     let threads = read_u64(r)? as usize;
     if threads == 0 {
         return Err(SerialError::Corrupt("zero thread count"));
@@ -614,6 +645,7 @@ fn load_params(r: &mut impl Read) -> Result<CluseqParams, SerialError> {
         min_exclusive,
         rebuild_psts,
         scan_mode,
+        scan_kernel,
         threads,
         checkpoint,
         seed,
@@ -657,6 +689,9 @@ fn save_record(w: &mut impl Write, rec: &IterationRecord) -> io::Result<()> {
     write_u64(w, rec.scan.joins)?;
     write_u64(w, rec.scan.new_joins)?;
     write_u64(w, rec.scan.membership_changes as u64)?;
+    // v2 field: absent from v1 files, where the loader defaults it to 0
+    // (a recorded iteration never prunes, so 0 is the true count).
+    write_u64(w, rec.scan.pairs_pruned)?;
     write_u64(w, rec.removed_clusters as u64)?;
     write_u64(w, rec.merged_clusters as u64)?;
     write_u64(w, rec.clusters_at_end as u64)?;
@@ -699,7 +734,7 @@ fn save_record(w: &mut impl Write, rec: &IterationRecord) -> io::Result<()> {
     write_u64(w, rec.timings.total)
 }
 
-fn load_record(r: &mut impl Read) -> Result<IterationRecord, SerialError> {
+fn load_record(r: &mut impl Read, version: u32) -> Result<IterationRecord, SerialError> {
     let iteration = read_u64(r)? as usize;
     let clusters_at_start = read_u64(r)? as usize;
     let seeding = SeedingMetrics {
@@ -713,6 +748,7 @@ fn load_record(r: &mut impl Read) -> Result<IterationRecord, SerialError> {
         joins: read_u64(r)?,
         new_joins: read_u64(r)?,
         membership_changes: read_u64(r)? as usize,
+        pairs_pruned: if version >= 2 { read_u64(r)? } else { 0 },
     };
     let removed_clusters = read_u64(r)? as usize;
     let merged_clusters = read_u64(r)? as usize;
@@ -820,6 +856,7 @@ mod tests {
                 joins: 1,
                 new_joins: 1,
                 membership_changes: 1,
+                pairs_pruned: 2,
             },
             removed_clusters: 0,
             merged_clusters: 0,

@@ -63,6 +63,53 @@ impl std::str::FromStr for ScanMode {
     }
 }
 
+/// Which implementation evaluates the per-symbol similarity DP.
+///
+/// Both kernels compute the exact same X/Y/Z dynamic program and are
+/// **bit-identical** in every outcome (the compiled tables hold the very
+/// f64 values the interpreted path computes per symbol, consumed in the
+/// same order); they differ only in speed and in the `pairs_pruned`
+/// telemetry counter, since only the compiled kernel can prove mid-scan
+/// that a pair cannot reach the threshold and exit early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScanKernel {
+    /// Walk the PST per symbol via the [context
+    /// scanner](cluseq_pst::ContextScanner): child lookups, successor-count
+    /// summation, and two `ln()` calls per position.
+    Interpreted,
+    /// Flatten each frozen PST into a dense goto + log-ratio automaton
+    /// ([`cluseq_pst::CompiledPst`]) once per scan phase, making the hot
+    /// loop two array loads per symbol with threshold early-exit.
+    #[default]
+    Compiled,
+}
+
+impl std::fmt::Display for ScanKernel {
+    /// Renders the same lowercase token [`FromStr`](std::str::FromStr)
+    /// accepts (`interpreted` / `compiled`), so the value round-trips
+    /// through config files and run reports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScanKernel::Interpreted => "interpreted",
+            ScanKernel::Compiled => "compiled",
+        })
+    }
+}
+
+impl std::str::FromStr for ScanKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interpreted" => Ok(ScanKernel::Interpreted),
+            "compiled" => Ok(ScanKernel::Compiled),
+            other => Err(format!(
+                "unknown scan kernel {other:?} (expected interpreted|compiled)"
+            )),
+        }
+    }
+}
+
 /// When and where the iteration loop writes crash-recovery checkpoints
 /// (see [`crate::checkpoint`]).
 ///
@@ -160,6 +207,10 @@ pub struct CluseqParams {
     /// How the re-clustering scan applies model updates: the paper's
     /// immediate insertion, or the parallel snapshot-score variant.
     pub scan_mode: ScanMode,
+    /// Which similarity-DP implementation every scoring pass uses. The
+    /// two kernels are bit-identical in outcome (see [`ScanKernel`]);
+    /// compiled is the default and the fast path.
+    pub scan_kernel: ScanKernel,
     /// Worker threads for the read-only scoring passes: seed selection,
     /// the final assignment sweep, online scoring, and — under
     /// [`ScanMode::Snapshot`] — the scan's score phase. 1 = serial.
@@ -193,6 +244,7 @@ impl Default for CluseqParams {
             min_exclusive: None,
             rebuild_psts: false,
             scan_mode: ScanMode::Incremental,
+            scan_kernel: ScanKernel::Compiled,
             threads: 1,
             checkpoint: None,
             seed: 0xC105E9, // arbitrary fixed default for reproducibility
@@ -311,6 +363,13 @@ impl CluseqParams {
         self
     }
 
+    /// Sets the similarity-DP kernel (interpreted walk or compiled
+    /// automaton).
+    pub fn with_scan_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.scan_kernel = kernel;
+        self
+    }
+
     /// Enables crash-recovery checkpoints: one written to `dir` after
     /// every `every` completed iterations (see [`CheckpointPolicy`]).
     pub fn with_checkpoints(mut self, dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
@@ -411,6 +470,27 @@ mod tests {
     fn scan_mode_display_round_trips_through_from_str() {
         for mode in [ScanMode::Incremental, ScanMode::Snapshot] {
             assert_eq!(mode.to_string().parse(), Ok(mode));
+        }
+    }
+
+    #[test]
+    fn scan_kernel_parses_and_defaults_to_compiled() {
+        assert_eq!(CluseqParams::default().scan_kernel, ScanKernel::Compiled);
+        assert_eq!("interpreted".parse(), Ok(ScanKernel::Interpreted));
+        assert_eq!("compiled".parse(), Ok(ScanKernel::Compiled));
+        assert!("Compiled".parse::<ScanKernel>().is_err());
+        assert_eq!(
+            CluseqParams::default()
+                .with_scan_kernel(ScanKernel::Interpreted)
+                .scan_kernel,
+            ScanKernel::Interpreted
+        );
+    }
+
+    #[test]
+    fn scan_kernel_display_round_trips_through_from_str() {
+        for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+            assert_eq!(kernel.to_string().parse(), Ok(kernel));
         }
     }
 

@@ -65,14 +65,17 @@ pub mod threshold;
 pub use algorithm::Cluseq;
 pub use checkpoint::Checkpoint;
 pub use cluster::Cluster;
-pub use config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanMode};
+pub use config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanKernel, ScanMode};
 pub use failpoint::{FailPlan, FailingReader, FailingWriter};
 pub use online::{OnlineCluseq, OnlineReport};
 pub use order::ExaminationOrder;
 pub use outcome::{CluseqOutcome, IterationStats};
 pub use recluster::ScanOptions;
 pub use score::ScoreEngine;
-pub use similarity::{max_similarity, max_similarity_pst, LogSim, SegmentSimilarity};
+pub use similarity::{
+    max_similarity, max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
+    BoundedSimilarity, LogSim, SegmentSimilarity,
+};
 pub use telemetry::{
     CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,
 };

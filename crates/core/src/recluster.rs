@@ -17,12 +17,16 @@
 //! examination order. Snapshot results are bit-identical for any thread
 //! count.
 
+use cluseq_pst::CompiledPst;
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
-use crate::config::ScanMode;
+use crate::config::{ScanKernel, ScanMode};
 use crate::score::ScoreEngine;
-use crate::similarity::{max_similarity_pst, LogSim, SegmentSimilarity};
+use crate::similarity::{
+    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
+    BoundedSimilarity, LogSim,
+};
 use crate::telemetry::ScanMetrics;
 
 /// Options controlling one re-clustering scan.
@@ -38,6 +42,17 @@ pub struct ScanOptions {
     /// Worker threads for the snapshot score phase (ignored by the
     /// incremental mode, whose scoring is order-dependent).
     pub threads: usize,
+    /// Which similarity-DP implementation scores each pair. The kernels
+    /// are bit-identical (see [`ScanKernel`]); compiled additionally
+    /// honours `prune_below`.
+    pub kernel: ScanKernel,
+    /// With [`ScanKernel::Compiled`], abandon a pair early once it
+    /// provably cannot reach this log-threshold. Pruning forfeits the
+    /// pair's similarity sample, so the caller must only set this when the
+    /// histogram feed is not consumed (threshold frozen, no records kept);
+    /// a pruned pair is always a non-join, so memberships and models are
+    /// unaffected. Ignored by the interpreted kernel.
+    pub prune_below: Option<f64>,
 }
 
 impl Default for ScanOptions {
@@ -46,6 +61,8 @@ impl Default for ScanOptions {
             mode: ScanMode::Incremental,
             rebuild_psts: false,
             threads: 1,
+            kernel: ScanKernel::default(),
+            prune_below: None,
         }
     }
 }
@@ -108,18 +125,35 @@ impl ScanState {
     /// membership, and — for a *new* join under the incremental rule —
     /// feeds the maximizing segment to the model. Shared verbatim by both
     /// modes so they cannot drift apart in bookkeeping.
+    ///
+    /// A [`BoundedSimilarity::Pruned`] verdict (compiled kernel, early
+    /// exit) is a proven non-join: it counts in `pairs_scored` and
+    /// `pairs_pruned` and touches nothing else — in particular it yields
+    /// no histogram sample, which is why pruning is only enabled when the
+    /// histogram feed goes unread.
+    ///
+    /// Returns whether the cluster's model was mutated (so a compiled
+    /// caller knows its automaton for this slot is stale).
     fn apply(
         &mut self,
         seq_id: usize,
         slot: usize,
-        sim: SegmentSimilarity,
+        verdict: BoundedSimilarity,
         seq: &[cluseq_seq::Symbol],
         cluster: &mut Cluster,
-    ) {
+    ) -> bool {
         self.metrics.pairs_scored += 1;
+        let sim = match verdict {
+            BoundedSimilarity::Exact(sim) => sim,
+            BoundedSimilarity::Pruned => {
+                self.metrics.pairs_pruned += 1;
+                return false;
+            }
+        };
         if sim.log_sim.is_finite() {
             self.similarities.push(sim.log_sim);
         }
+        let mut mutated = false;
         if sim.log_sim >= self.log_t && !seq.is_empty() {
             self.metrics.joins += 1;
             self.new_members[slot].push(seq_id);
@@ -138,8 +172,10 @@ impl ScanState {
                 // (immediately under the incremental rule; in the absorb
                 // phase under snapshot).
                 cluster.absorb_segment(&seq[sim.start..sim.end]);
+                mutated = true;
             }
         }
+        mutated
     }
 }
 
@@ -158,8 +194,14 @@ pub fn recluster(
     let score_nanos: u64;
     let mut absorb_nanos = 0u64;
 
-    match options.mode {
-        ScanMode::Incremental => {
+    // Only the compiled kernel can prove a pair hopeless mid-scan.
+    let prune_below = match options.kernel {
+        ScanKernel::Compiled => options.prune_below,
+        ScanKernel::Interpreted => None,
+    };
+
+    match (options.mode, options.kernel) {
+        (ScanMode::Incremental, ScanKernel::Interpreted) => {
             // Scoring and model updates interleave here, so the whole scan
             // is attributed to the score phase (absorb stays 0).
             let start = std::time::Instant::now();
@@ -167,25 +209,69 @@ pub fn recluster(
                 let seq = db.sequence(seq_id).symbols();
                 for (slot, cluster) in clusters.iter_mut().enumerate() {
                     let sim = max_similarity_pst(&cluster.pst, background, seq);
-                    state.apply(seq_id, slot, sim, seq, cluster);
+                    state.apply(seq_id, slot, BoundedSimilarity::Exact(sim), seq, cluster);
                 }
             }
             score_nanos = start.elapsed().as_nanos() as u64;
         }
-        ScanMode::Snapshot => {
+        (ScanMode::Incremental, ScanKernel::Compiled) => {
+            // The incremental rule mutates a cluster's model mid-scan on
+            // every new join, so each slot's automaton is compiled lazily
+            // and recompiled after a mutation. Joins are rare relative to
+            // scored pairs once the clustering settles, so the automatons
+            // live long enough to pay for themselves.
+            let start = std::time::Instant::now();
+            let mut compiled: Vec<Option<CompiledPst>> = vec![None; clusters.len()];
+            for &seq_id in order {
+                let seq = db.sequence(seq_id).symbols();
+                for (slot, cluster) in clusters.iter_mut().enumerate() {
+                    let automaton = compiled[slot]
+                        .get_or_insert_with(|| CompiledPst::compile(&cluster.pst, background));
+                    let verdict = match prune_below {
+                        Some(log_t) => max_similarity_compiled_bounded(automaton, seq, log_t),
+                        None => BoundedSimilarity::Exact(max_similarity_compiled(automaton, seq)),
+                    };
+                    if state.apply(seq_id, slot, verdict, seq, cluster) {
+                        compiled[slot] = None;
+                    }
+                }
+            }
+            score_nanos = start.elapsed().as_nanos() as u64;
+        }
+        (ScanMode::Snapshot, kernel) => {
             // Score phase: every pair against the iteration-start models,
             // in parallel. Row `pos` holds sequence `order[pos]`'s scores
             // in slot order, so the absorb phase below visits pairs in
             // exactly the incremental scan's (sequence, slot) order.
             let engine = ScoreEngine::new(options.threads);
-            let (rows, nanos) = engine.score_sequences_timed(db, clusters, background, order);
+            let (rows, nanos) = match kernel {
+                ScanKernel::Interpreted => {
+                    let (rows, nanos) =
+                        engine.score_sequences_timed(db, clusters, background, order);
+                    let rows = rows
+                        .into_iter()
+                        .map(|row| row.into_iter().map(BoundedSimilarity::Exact).collect())
+                        .collect::<Vec<Vec<BoundedSimilarity>>>();
+                    (rows, nanos)
+                }
+                ScanKernel::Compiled => {
+                    // Compilation is part of the score phase's bill: it
+                    // only exists to serve this pass.
+                    let start = std::time::Instant::now();
+                    let compiled = engine.compile_clusters(clusters, background);
+                    let compile_nanos = start.elapsed().as_nanos() as u64;
+                    let (rows, nanos) =
+                        engine.score_sequences_compiled_timed(db, &compiled, order, prune_below);
+                    (rows, compile_nanos + nanos)
+                }
+            };
             score_nanos = nanos;
             // Absorb phase: sequential, in examination order.
             let start = std::time::Instant::now();
             for (pos, &seq_id) in order.iter().enumerate() {
                 let seq = db.sequence(seq_id).symbols();
-                for (slot, &sim) in rows[pos].iter().enumerate() {
-                    state.apply(seq_id, slot, sim, seq, &mut clusters[slot]);
+                for (slot, &verdict) in rows[pos].iter().enumerate() {
+                    state.apply(seq_id, slot, verdict, seq, &mut clusters[slot]);
                 }
             }
             absorb_nanos = start.elapsed().as_nanos() as u64;
@@ -461,6 +547,111 @@ mod tests {
             assert_eq!(out.metrics.new_joins, 3);
             assert_eq!(out.metrics.membership_changes, out.changes);
         }
+    }
+
+    fn with_kernel(mut opts: ScanOptions, kernel: ScanKernel) -> ScanOptions {
+        opts.kernel = kernel;
+        opts
+    }
+
+    /// The tentpole invariant: the compiled kernel reproduces the
+    /// interpreted kernel bit for bit — similarities, flips, memberships,
+    /// models — in every scan mode and at every thread count.
+    #[test]
+    fn compiled_kernel_scan_is_bit_identical_to_interpreted() {
+        let (db, bg) = fixture();
+        let order: Vec<usize> = vec![4, 1, 3, 0, 2];
+        let run = |opts: ScanOptions| {
+            let mut clusters = make_clusters(&db, &[0, 3]);
+            let out = recluster(&db, &mut clusters, 0.05, &order, &bg, opts);
+            let members: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+            let counts: Vec<u64> = clusters.iter().map(|c| c.pst.total_count()).collect();
+            let sims: Vec<u64> = out.similarities.iter().map(|s| s.to_bits()).collect();
+            (sims, out.changes, out.best_cluster, members, counts)
+        };
+        for base in [incremental(), rebuild(), snapshot(1), snapshot(4)] {
+            assert_eq!(
+                run(with_kernel(base, ScanKernel::Compiled)),
+                run(with_kernel(base, ScanKernel::Interpreted)),
+                "mode {:?} rebuild {}",
+                base.mode,
+                base.rebuild_psts,
+            );
+        }
+    }
+
+    /// With pruning enabled, hopeless pairs are counted — not silently
+    /// skipped — and every observable outcome matches the unpruned scan.
+    #[test]
+    fn scan_pruning_counts_pairs_and_preserves_outcomes() {
+        // Long sequences (≥ several prune-check intervals) in two sharply
+        // separated groups, so cross-group pairs are provably hopeless.
+        let texts: Vec<String> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "ab".repeat(100)
+                } else {
+                    "c".repeat(200)
+                }
+            })
+            .collect();
+        let db = SequenceDatabase::from_strs(texts.iter().map(|s| s.as_str()));
+        let bg = db.background();
+        let order: Vec<usize> = (0..db.len()).collect();
+        // High enough that a cross-group pair is provably hopeless well
+        // before its sequence ends, low enough that same-group pairs
+        // still join (they score ~140+ in log space here).
+        let log_t = 100.0f64;
+
+        let run = |opts: ScanOptions| {
+            let mut clusters = make_clusters(&db, &[0, 1]);
+            let out = recluster(&db, &mut clusters, log_t, &order, &bg, opts);
+            let members: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+            let counts: Vec<u64> = clusters.iter().map(|c| c.pst.total_count()).collect();
+            (out, members, counts)
+        };
+
+        for base in [incremental(), snapshot(2)] {
+            let mut pruned_opts = with_kernel(base, ScanKernel::Compiled);
+            pruned_opts.prune_below = Some(log_t);
+            let (out_p, members_p, counts_p) = run(pruned_opts);
+            let (out_x, members_x, counts_x) = run(with_kernel(base, ScanKernel::Compiled));
+
+            assert!(
+                out_p.metrics.pairs_pruned > 0,
+                "mode {:?}: cross-group pairs should be prunable",
+                base.mode
+            );
+            assert_eq!(out_x.metrics.pairs_pruned, 0, "no pruning when disabled");
+            assert!(out_x.metrics.joins > 0, "the threshold must stay reachable");
+            assert_eq!(out_p.metrics.pairs_scored, out_x.metrics.pairs_scored);
+            assert_eq!(out_p.metrics.joins, out_x.metrics.joins);
+            assert_eq!(out_p.metrics.new_joins, out_x.metrics.new_joins);
+            assert_eq!(out_p.changes, out_x.changes);
+            assert_eq!(out_p.best_cluster, out_x.best_cluster);
+            assert_eq!(members_p, members_x);
+            assert_eq!(counts_p, counts_x);
+            // A pruned pair forfeits its histogram sample — the only
+            // observable difference.
+            assert_eq!(
+                out_p.similarities.len() + out_p.metrics.pairs_pruned as usize,
+                out_x.similarities.len() + out_x.metrics.pairs_pruned as usize
+            );
+        }
+    }
+
+    /// The interpreted kernel cannot prune: a stray `prune_below` must be
+    /// ignored rather than half-applied.
+    #[test]
+    fn interpreted_kernel_ignores_prune_below() {
+        let (db, bg) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        let mut clusters = make_clusters(&db, &[0, 3]);
+        let mut opts = with_kernel(incremental(), ScanKernel::Interpreted);
+        opts.prune_below = Some(1e9);
+        let out = recluster(&db, &mut clusters, 0.05, &order, &bg, opts);
+        assert_eq!(out.metrics.pairs_pruned, 0);
+        assert_eq!(out.similarities.len(), db.len() * 2);
     }
 
     #[test]

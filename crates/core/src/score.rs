@@ -20,11 +20,14 @@
 //! assert equality between serial and parallel runs instead of comparing
 //! within a tolerance.
 
-use cluseq_pst::Pst;
+use cluseq_pst::{CompiledPst, Pst};
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
-use crate::similarity::{max_similarity_pst, SegmentSimilarity};
+use crate::similarity::{
+    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
+    BoundedSimilarity, SegmentSimilarity,
+};
 
 /// Maps `f` over `0..n` using up to `threads` scoped worker threads.
 ///
@@ -122,6 +125,63 @@ impl ScoreEngine {
     ) -> (Vec<Vec<SegmentSimilarity>>, u64) {
         let start = std::time::Instant::now();
         let rows = self.score_sequences(db, clusters, background, order);
+        (rows, start.elapsed().as_nanos() as u64)
+    }
+
+    /// Compiles every cluster's PST into its scan automaton, in slot
+    /// order. A helper for the compiled-kernel scoring paths; the compile
+    /// cost is paid once per frozen model, then amortized over every
+    /// sequence scored against it.
+    pub fn compile_clusters(
+        &self,
+        clusters: &[Cluster],
+        background: &BackgroundModel,
+    ) -> Vec<CompiledPst> {
+        parallel_map(clusters.len(), self.threads, |slot| {
+            CompiledPst::compile(&clusters[slot].pst, background)
+        })
+    }
+
+    /// [`score_sequences`](ScoreEngine::score_sequences) over precompiled
+    /// automatons, with optional threshold early-exit.
+    ///
+    /// `compiled[slot]` must be the compilation of `clusters[slot]` against
+    /// the same background model. With `prune_below = None` every entry is
+    /// [`BoundedSimilarity::Exact`] and bit-identical to the interpreted
+    /// engine; with `Some(log_t)`, pairs provably below `log_t` may come
+    /// back [`BoundedSimilarity::Pruned`] instead (see
+    /// [`max_similarity_compiled_bounded`]).
+    pub fn score_sequences_compiled(
+        &self,
+        db: &SequenceDatabase,
+        compiled: &[CompiledPst],
+        order: &[usize],
+        prune_below: Option<f64>,
+    ) -> Vec<Vec<BoundedSimilarity>> {
+        parallel_map(order.len(), self.threads, |pos| {
+            let seq = db.sequence(order[pos]).symbols();
+            compiled
+                .iter()
+                .map(|automaton| match prune_below {
+                    Some(log_t) => max_similarity_compiled_bounded(automaton, seq, log_t),
+                    None => BoundedSimilarity::Exact(max_similarity_compiled(automaton, seq)),
+                })
+                .collect()
+        })
+    }
+
+    /// [`score_sequences_compiled`](ScoreEngine::score_sequences_compiled)
+    /// plus the wall time of the pass (including nothing else — the caller
+    /// times compilation separately if it wants it attributed).
+    pub fn score_sequences_compiled_timed(
+        &self,
+        db: &SequenceDatabase,
+        compiled: &[CompiledPst],
+        order: &[usize],
+        prune_below: Option<f64>,
+    ) -> (Vec<Vec<BoundedSimilarity>>, u64) {
+        let start = std::time::Instant::now();
+        let rows = self.score_sequences_compiled(db, compiled, order, prune_below);
         (rows, start.elapsed().as_nanos() as u64)
     }
 
@@ -244,6 +304,53 @@ mod tests {
         let plain = engine.score_sequences(&db, &clusters, &bg, &order);
         let (timed, _nanos) = engine.score_sequences_timed(&db, &clusters, &bg, &order);
         assert_eq!(plain, timed);
+    }
+
+    #[test]
+    fn compiled_engine_matches_interpreted_engine_bit_for_bit() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = vec![4, 0, 3, 1, 2];
+        let engine = ScoreEngine::new(3);
+        let interpreted = engine.score_sequences(&db, &clusters, &bg, &order);
+        let compiled = engine.compile_clusters(&clusters, &bg);
+        let fast = engine.score_sequences_compiled(&db, &compiled, &order, None);
+        for (pos, row) in fast.iter().enumerate() {
+            for (slot, verdict) in row.iter().enumerate() {
+                let got = verdict.exact().expect("unpruned scoring is exact");
+                let want = interpreted[pos][slot];
+                assert_eq!(got.log_sim.to_bits(), want.log_sim.to_bits());
+                assert_eq!((got.start, got.end), (want.start, want.end));
+            }
+        }
+        let (timed, _nanos) = engine.score_sequences_compiled_timed(&db, &compiled, &order, None);
+        assert_eq!(timed, fast);
+    }
+
+    #[test]
+    fn compiled_engine_pruning_never_hides_a_join() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        let engine = ScoreEngine::new(2);
+        let exact = engine.score_sequences(&db, &clusters, &bg, &order);
+        let compiled = engine.compile_clusters(&clusters, &bg);
+        let log_t = 0.5f64;
+        let bounded = engine.score_sequences_compiled(&db, &compiled, &order, Some(log_t));
+        for (pos, row) in bounded.iter().enumerate() {
+            for (slot, verdict) in row.iter().enumerate() {
+                match verdict {
+                    BoundedSimilarity::Exact(s) => {
+                        assert_eq!(s.log_sim.to_bits(), exact[pos][slot].log_sim.to_bits());
+                    }
+                    BoundedSimilarity::Pruned => {
+                        assert!(
+                            exact[pos][slot].log_sim < log_t,
+                            "pruned pair ({pos},{slot}) actually scores {}",
+                            exact[pos][slot].log_sim
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

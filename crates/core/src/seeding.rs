@@ -10,12 +10,13 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use cluseq_pst::{Pst, PstParams};
+use cluseq_pst::{CompiledPst, Pst, PstParams};
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
+use crate::config::ScanKernel;
 use crate::score::parallel_map;
-use crate::similarity::max_similarity_pst;
+use crate::similarity::{max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::SeedingMetrics;
 
 /// Selects up to `k_n` seed sequence ids from `unclustered`.
@@ -37,6 +38,7 @@ pub fn select_seeds(
     sample_factor: usize,
     pst_params: PstParams,
     threads: usize,
+    kernel: ScanKernel,
     rng: &mut impl Rng,
 ) -> Vec<usize> {
     select_seeds_detailed(
@@ -48,6 +50,7 @@ pub fn select_seeds(
         sample_factor,
         pst_params,
         threads,
+        kernel,
         rng,
     )
     .0
@@ -56,6 +59,12 @@ pub fn select_seeds(
 /// [`select_seeds`] plus the [`SeedingMetrics`] the telemetry layer
 /// records. Draws from `rng` exactly as [`select_seeds`] does, so the two
 /// are interchangeable without perturbing downstream RNG state.
+///
+/// Under [`ScanKernel::Compiled`] the candidate scoring runs on compiled
+/// automata with threshold early-exit against the running farthest-first
+/// maxima. The selection is bit-identical to the interpreted path: a
+/// pruned pair is provably below the running maximum, so it could never
+/// have raised it.
 #[allow(clippy::too_many_arguments)] // internal driver call, mirrors §4.1's inputs
 pub fn select_seeds_detailed(
     db: &SequenceDatabase,
@@ -66,6 +75,7 @@ pub fn select_seeds_detailed(
     sample_factor: usize,
     pst_params: PstParams,
     threads: usize,
+    kernel: ScanKernel,
     rng: &mut impl Rng,
 ) -> (Vec<usize>, SeedingMetrics) {
     let requested = k_n;
@@ -96,15 +106,33 @@ pub fn select_seeds_detailed(
         Pst::from_sequence(alphabet_size, pst_params, db.sequence(candidates[i]))
     });
 
+    // Existing cluster models are compiled once and reused for every
+    // candidate; each picked candidate's model is compiled once below.
+    let cluster_automata: Option<Vec<CompiledPst>> = (kernel == ScanKernel::Compiled).then(|| {
+        parallel_map(clusters.len(), threads, |i| {
+            CompiledPst::compile(&clusters[i].pst, background)
+        })
+    });
+
     // best_sim[i] = highest similarity of candidate i to any cluster chosen
     // so far (existing clusters first). Farthest-first then only needs to
     // fold in the newest seed each step.
     let mut best_sim: Vec<f64> = parallel_map(candidates.len(), threads, |i| {
         let seq = db.sequence(candidates[i]).symbols();
-        clusters
-            .iter()
-            .map(|c| max_similarity_pst(&c.pst, background, seq).log_sim)
-            .fold(f64::NEG_INFINITY, f64::max)
+        match &cluster_automata {
+            Some(automata) => automata.iter().fold(f64::NEG_INFINITY, |acc, a| {
+                // Early-exit against the running max: a pruned score is
+                // strictly below `acc`, so the fold result is unchanged.
+                match max_similarity_compiled_bounded(a, seq, acc) {
+                    BoundedSimilarity::Exact(sim) => acc.max(sim.log_sim),
+                    BoundedSimilarity::Pruned => acc,
+                }
+            }),
+            None => clusters
+                .iter()
+                .map(|c| max_similarity_pst(&c.pst, background, seq).log_sim)
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
     });
 
     let mut chosen: Vec<usize> = Vec::with_capacity(k_n); // candidate indices
@@ -121,18 +149,23 @@ pub fn select_seeds_detailed(
         chosen.push(pick);
 
         // Fold the new seed into every remaining candidate's best score.
+        let pick_automaton = cluster_automata
+            .as_ref()
+            .map(|_| CompiledPst::compile(&candidate_psts[pick], background));
         let step: Vec<Option<f64>> = parallel_map(candidates.len(), threads, |i| {
             if taken[i] {
                 return None;
             }
-            Some(
-                max_similarity_pst(
-                    &candidate_psts[pick],
-                    background,
-                    db.sequence(candidates[i]).symbols(),
-                )
-                .log_sim,
-            )
+            let seq = db.sequence(candidates[i]).symbols();
+            match &pick_automaton {
+                // A pruned score is strictly below best_sim[i], so it
+                // could not have passed the `sim > best_sim[i]` update.
+                Some(a) => match max_similarity_compiled_bounded(a, seq, best_sim[i]) {
+                    BoundedSimilarity::Exact(sim) => Some(sim.log_sim),
+                    BoundedSimilarity::Pruned => None,
+                },
+                None => Some(max_similarity_pst(&candidate_psts[pick], background, seq).log_sim),
+            }
         });
         for (i, sim) in step.into_iter().enumerate() {
             if let Some(sim) = sim {
@@ -185,7 +218,18 @@ mod tests {
         let (db, bg) = fixture();
         let mut rng = StdRng::seed_from_u64(3);
         let all: Vec<usize> = (0..db.len()).collect();
-        let seeds = select_seeds(&db, &bg, &[], &all, 3, 5, params(), 1, &mut rng);
+        let seeds = select_seeds(
+            &db,
+            &bg,
+            &[],
+            &all,
+            3,
+            5,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng,
+        );
         assert_eq!(seeds.len(), 3);
         // All seeds are distinct and drawn from the pool.
         let mut s = seeds.clone();
@@ -201,7 +245,18 @@ mod tests {
         let all: Vec<usize> = (0..db.len()).collect();
         // Sample everything (factor large enough) so selection is purely
         // similarity-driven.
-        let seeds = select_seeds(&db, &bg, &[], &all, 3, 10, params(), 1, &mut rng);
+        let seeds = select_seeds(
+            &db,
+            &bg,
+            &[],
+            &all,
+            3,
+            10,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng,
+        );
         // The three seeds should cover the three behaviours: ab-repeats
         // (ids 0-2), c-runs (3-5), aabb-repeats (6-7).
         let groups: Vec<usize> = seeds
@@ -229,7 +284,18 @@ mod tests {
         // An existing cluster already models the ab-repeat behaviour.
         let existing = Cluster::from_seed(0, 0, db.sequence(0), db.alphabet().len(), params());
         let pool: Vec<usize> = (1..db.len()).collect();
-        let seeds = select_seeds(&db, &bg, &[existing], &pool, 1, 10, params(), 1, &mut rng);
+        let seeds = select_seeds(
+            &db,
+            &bg,
+            &[existing],
+            &pool,
+            1,
+            10,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng,
+        );
         assert_eq!(seeds.len(), 1);
         assert!(
             seeds[0] >= 3,
@@ -242,9 +308,33 @@ mod tests {
     fn empty_pool_or_zero_k_yields_nothing() {
         let (db, bg) = fixture();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(select_seeds(&db, &bg, &[], &[], 3, 5, params(), 1, &mut rng).is_empty());
+        assert!(select_seeds(
+            &db,
+            &bg,
+            &[],
+            &[],
+            3,
+            5,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng
+        )
+        .is_empty());
         let all: Vec<usize> = (0..db.len()).collect();
-        assert!(select_seeds(&db, &bg, &[], &all, 0, 5, params(), 1, &mut rng).is_empty());
+        assert!(select_seeds(
+            &db,
+            &bg,
+            &[],
+            &all,
+            0,
+            5,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng
+        )
+        .is_empty());
     }
 
     #[test]
@@ -263,6 +353,7 @@ mod tests {
                 10,
                 params(),
                 threads,
+                ScanKernel::Interpreted,
                 &mut rng,
             )
         };
@@ -277,7 +368,18 @@ mod tests {
         let (db, bg) = fixture();
         let mut rng = StdRng::seed_from_u64(1);
         let pool = vec![0, 3];
-        let seeds = select_seeds(&db, &bg, &[], &pool, 10, 5, params(), 1, &mut rng);
+        let seeds = select_seeds(
+            &db,
+            &bg,
+            &[],
+            &pool,
+            10,
+            5,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng,
+        );
         assert_eq!(seeds.len(), 2);
     }
 
@@ -287,9 +389,30 @@ mod tests {
         let all: Vec<usize> = (0..db.len()).collect();
         let mut rng_a = StdRng::seed_from_u64(11);
         let mut rng_b = StdRng::seed_from_u64(11);
-        let plain = select_seeds(&db, &bg, &[], &all, 3, 2, params(), 1, &mut rng_a);
-        let (detailed, metrics) =
-            select_seeds_detailed(&db, &bg, &[], &all, 3, 2, params(), 1, &mut rng_b);
+        let plain = select_seeds(
+            &db,
+            &bg,
+            &[],
+            &all,
+            3,
+            2,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng_a,
+        );
+        let (detailed, metrics) = select_seeds_detailed(
+            &db,
+            &bg,
+            &[],
+            &all,
+            3,
+            2,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng_b,
+        );
         assert_eq!(plain, detailed, "identical RNG draws, identical seeds");
         // Both consumed the same amount of RNG state.
         assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
@@ -303,12 +426,47 @@ mod tests {
     fn detailed_selection_reports_empty_pool() {
         let (db, bg) = fixture();
         let mut rng = StdRng::seed_from_u64(1);
-        let (seeds, metrics) =
-            select_seeds_detailed(&db, &bg, &[], &[], 3, 5, params(), 1, &mut rng);
+        let (seeds, metrics) = select_seeds_detailed(
+            &db,
+            &bg,
+            &[],
+            &[],
+            3,
+            5,
+            params(),
+            1,
+            ScanKernel::Interpreted,
+            &mut rng,
+        );
         assert!(seeds.is_empty());
         assert_eq!(metrics.requested, 3);
         assert_eq!(metrics.pool, 0);
         assert_eq!(metrics.sampled, 0);
         assert_eq!(metrics.chosen, 0);
+    }
+
+    #[test]
+    fn compiled_kernel_selects_identical_seeds() {
+        let (db, bg) = fixture();
+        let all: Vec<usize> = (0..db.len()).collect();
+        let existing = Cluster::from_seed(0, 0, db.sequence(0), db.alphabet().len(), params());
+        let run = |kernel: ScanKernel| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let seeds = select_seeds(
+                &db,
+                &bg,
+                std::slice::from_ref(&existing),
+                &all,
+                3,
+                10,
+                params(),
+                1,
+                kernel,
+                &mut rng,
+            );
+            // Both kernels must consume identical RNG state too.
+            (seeds, rng.gen::<u64>())
+        };
+        assert_eq!(run(ScanKernel::Interpreted), run(ScanKernel::Compiled));
     }
 }

@@ -17,7 +17,7 @@
 //! logarithms of the paper's similarity values ([`LogSim`]); `SIM ≥ t`
 //! becomes `log SIM ≥ ln t`.
 
-use cluseq_pst::{ConditionalModel, Pst};
+use cluseq_pst::{CompiledPst, ConditionalModel, Pst};
 use cluseq_seq::{BackgroundModel, Symbol};
 
 /// A similarity score in natural-log space (`ln SIM`).
@@ -94,11 +94,13 @@ pub fn max_similarity<M: ConditionalModel>(
 
     for i in 0..seq.len() {
         let p_model = model.predict(&seq[..i], seq[i]);
-        let p_bg = background.prob(seq[i]);
-        debug_assert!(p_bg > 0.0, "background probabilities must be positive");
+        debug_assert!(
+            background.prob(seq[i]) > 0.0,
+            "background probabilities must be positive"
+        );
         // ln Xᵢ; a raw model probability of 0 (no smoothing) gives -∞,
         // which correctly voids any chain through position i.
-        let x = p_model.ln() - p_bg.ln();
+        let x = p_model.ln() - background.ln_prob(seq[i]);
 
         // Yᵢ = max(Yᵢ₋₁·Xᵢ, Xᵢ) — extend the chain or restart at i.
         let extended = y + x;
@@ -146,7 +148,7 @@ pub fn max_similarity_pst(
 
     for (i, &sym) in seq.iter().enumerate() {
         let p_model = scanner.predict_and_advance(sym);
-        let x = p_model.ln() - background.prob(sym).ln();
+        let x = p_model.ln() - background.ln_prob(sym);
         let extended = y + x;
         if extended >= x {
             y = extended;
@@ -163,6 +165,152 @@ pub fn max_similarity_pst(
         }
     }
     best
+}
+
+/// How often [`max_similarity_compiled_bounded`] re-evaluates its prune
+/// bound, in symbols. Checking every position would spend more on bound
+/// arithmetic than it saves; every 32 symbols the overhead is noise while
+/// a hopeless pair is still abandoned almost immediately.
+const PRUNE_CHECK_INTERVAL: usize = 32;
+
+/// Safety margin for the early-exit decision. The upper bound is computed
+/// with a different (shorter) chain of f64 operations than the DP itself,
+/// so the two can disagree by accumulated rounding — at most a few ulps
+/// per position, i.e. ≲1e-7 even for million-symbol sequences at the
+/// paper's score magnitudes. Requiring the bound to clear the threshold by
+/// this much before pruning makes rounding divergence irrelevant while
+/// giving up no meaningful pruning power.
+const PRUNE_SLACK: f64 = 1e-6;
+
+/// [`max_similarity`] over a [`CompiledPst`]: the same X/Y/Z dynamic
+/// program with the per-symbol model interpretation replaced by two array
+/// loads (see [`cluseq_pst::compile`]).
+///
+/// Bit-identical to [`max_similarity_pst`] on the tree the automaton was
+/// compiled from: the precomputed ratio table holds the same f64 values
+/// the interpreted path computes per symbol, and the DP accumulates them
+/// in the same order.
+pub fn max_similarity_compiled(compiled: &CompiledPst, seq: &[Symbol]) -> SegmentSimilarity {
+    let mut best = SegmentSimilarity {
+        log_sim: f64::NEG_INFINITY,
+        start: 0,
+        end: 0,
+    };
+    let mut y = f64::NEG_INFINITY;
+    let mut y_start = 0usize;
+    let mut state = CompiledPst::START;
+
+    for (i, &sym) in seq.iter().enumerate() {
+        let (x, next) = compiled.step(state, sym);
+        state = next;
+        let extended = y + x;
+        if extended >= x {
+            y = extended;
+        } else {
+            y = x;
+            y_start = i;
+        }
+        if y > best.log_sim {
+            best = SegmentSimilarity {
+                log_sim: y,
+                start: y_start,
+                end: i + 1,
+            };
+        }
+    }
+    best
+}
+
+/// The outcome of a threshold-bounded similarity evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedSimilarity {
+    /// The scan ran to completion; the similarity is exact and
+    /// bit-identical to the unbounded kernels.
+    Exact(SegmentSimilarity),
+    /// The scan proved mid-sequence that no segment can reach the
+    /// threshold and exited early. The (unknown) exact similarity is
+    /// strictly below the threshold the caller passed.
+    Pruned,
+}
+
+impl BoundedSimilarity {
+    /// The exact result, if the scan was not pruned.
+    pub fn exact(self) -> Option<SegmentSimilarity> {
+        match self {
+            Self::Exact(s) => Some(s),
+            Self::Pruned => None,
+        }
+    }
+
+    /// Whether the scan early-exited.
+    pub fn is_pruned(self) -> bool {
+        matches!(self, Self::Pruned)
+    }
+}
+
+/// [`max_similarity_compiled`] with threshold early-exit: once no suffix
+/// extension can reach `threshold` (in log space), the scan abandons the
+/// pair and reports [`BoundedSimilarity::Pruned`].
+///
+/// The bound: at position `i` with chain value `y` and automaton state
+/// `u`, every later chain value is at most
+///
+/// ```text
+/// max(max(y, 0) + best_step(u), 0) + (rem − 1) · max_step_plus
+/// ```
+///
+/// where `rem` is the number of unconsumed symbols — the next position
+/// contributes at most `best_step(u)` on top of either the current chain
+/// or a restart, and each position after that at most `max_step_plus`
+/// (clamped at zero because a chain can always restart). When that bound
+/// cannot reach `threshold` (minus the `PRUNE_SLACK` guard of 1e-6) and no prior segment
+/// reached it either, no future `Z` update can matter to a caller who only
+/// asks "is the similarity ≥ threshold".
+///
+/// When the scan is *not* pruned the result is exact — identical to
+/// [`max_similarity_compiled`] bit for bit, because the bound checks never
+/// touch the DP state.
+pub fn max_similarity_compiled_bounded(
+    compiled: &CompiledPst,
+    seq: &[Symbol],
+    threshold: f64,
+) -> BoundedSimilarity {
+    let mut best = SegmentSimilarity {
+        log_sim: f64::NEG_INFINITY,
+        start: 0,
+        end: 0,
+    };
+    let mut y = f64::NEG_INFINITY;
+    let mut y_start = 0usize;
+    let mut state = CompiledPst::START;
+
+    for (i, &sym) in seq.iter().enumerate() {
+        if i % PRUNE_CHECK_INTERVAL == 0 && best.log_sim < threshold {
+            let rem = (seq.len() - i) as f64;
+            let bound = (y.max(0.0) + compiled.best_step(state)).max(0.0)
+                + (rem - 1.0) * compiled.max_step_plus();
+            if bound < threshold - PRUNE_SLACK {
+                return BoundedSimilarity::Pruned;
+            }
+        }
+        let (x, next) = compiled.step(state, sym);
+        state = next;
+        let extended = y + x;
+        if extended >= x {
+            y = extended;
+        } else {
+            y = x;
+            y_start = i;
+        }
+        if y > best.log_sim {
+            best = SegmentSimilarity {
+                log_sim: y,
+                start: y_start,
+                end: i + 1,
+            };
+        }
+    }
+    BoundedSimilarity::Exact(best)
 }
 
 #[cfg(test)]
@@ -434,6 +582,94 @@ mod tests {
             max_similarity(&pst, &bg, &probe),
             max_similarity_pst(&pst, &bg, &probe)
         );
+    }
+
+    #[test]
+    fn compiled_kernel_is_bit_identical_to_interpreted() {
+        use cluseq_pst::{Pst, PstParams};
+        let mut pst = Pst::new(
+            3,
+            PstParams::default().with_significance(2).with_max_depth(4),
+        );
+        let train = syms(&[0, 1, 2, 0, 1, 2, 0, 0, 1, 1, 2, 2, 0, 1, 2, 0, 1, 2]);
+        pst.add_segment(&train);
+        let bg = BackgroundModel::from_probs(vec![0.5, 0.3, 0.2]);
+        let compiled = cluseq_pst::CompiledPst::compile(&pst, &bg);
+        for probe in [
+            syms(&[0, 1, 2, 0, 1]),
+            syms(&[2, 2, 2]),
+            syms(&[1]),
+            syms(&[]),
+            syms(&[0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 1, 2, 0, 1, 2]),
+        ] {
+            let interpreted = max_similarity_pst(&pst, &bg, &probe);
+            let fast = max_similarity_compiled(&compiled, &probe);
+            assert_eq!(
+                interpreted.log_sim.to_bits(),
+                fast.log_sim.to_bits(),
+                "probe {probe:?}"
+            );
+            assert_eq!((interpreted.start, interpreted.end), (fast.start, fast.end));
+        }
+    }
+
+    #[test]
+    fn bounded_scan_is_exact_when_not_pruned() {
+        use cluseq_pst::{CompiledPst, Pst, PstParams};
+        let mut pst = Pst::new(
+            2,
+            PstParams::default().with_significance(2).with_max_depth(3),
+        );
+        pst.add_segment(&syms(&[0, 1, 0, 1, 0, 1, 0, 1, 0, 1]));
+        let bg = BackgroundModel::uniform(2);
+        let compiled = CompiledPst::compile(&pst, &bg);
+        let probe = syms(&[0, 1, 0, 1, 0, 1]);
+        let exact = max_similarity_compiled(&compiled, &probe);
+        // A threshold the probe clearly beats: never pruned, identical.
+        match max_similarity_compiled_bounded(&compiled, &probe, exact.log_sim - 1.0) {
+            BoundedSimilarity::Exact(s) => {
+                assert_eq!(s.log_sim.to_bits(), exact.log_sim.to_bits());
+                assert_eq!((s.start, s.end), (exact.start, exact.end));
+            }
+            BoundedSimilarity::Pruned => panic!("a reachable threshold must not prune"),
+        }
+        assert_eq!(
+            max_similarity_compiled_bounded(&compiled, &probe, exact.log_sim - 1.0)
+                .exact()
+                .map(|s| s.log_sim),
+            Some(exact.log_sim)
+        );
+    }
+
+    #[test]
+    fn pruned_pairs_are_truly_below_threshold() {
+        use cluseq_pst::{CompiledPst, Pst, PstParams};
+        let mut pst = Pst::new(
+            2,
+            PstParams::default().with_significance(2).with_max_depth(3),
+        );
+        pst.add_segment(&syms(&[0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1]));
+        let bg = BackgroundModel::uniform(2);
+        let compiled = CompiledPst::compile(&pst, &bg);
+        // A long anti-correlated probe: every threshold that prunes it must
+        // sit strictly above its exact similarity.
+        let probe: Vec<Symbol> = (0..200).map(|i| Symbol((i / 7 % 2) as u16)).collect();
+        let exact = max_similarity_compiled(&compiled, &probe);
+        let huge = exact.log_sim + 1_000.0;
+        let verdict = max_similarity_compiled_bounded(&compiled, &probe, huge);
+        assert!(verdict.is_pruned(), "an unreachable threshold must prune");
+        // And pruning never lies: whenever *any* threshold prunes, the
+        // exact score is below it.
+        for k in 0..60 {
+            let t = exact.log_sim - 3.0 + k as f64 * 0.2;
+            if max_similarity_compiled_bounded(&compiled, &probe, t).is_pruned() {
+                assert!(
+                    exact.log_sim < t,
+                    "pruned at threshold {t} but exact is {}",
+                    exact.log_sim
+                );
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,14 @@ pub struct RunSummary {
     pub finalize_nanos: u64,
     /// Wall time of the whole run, nanoseconds.
     pub total_nanos: u64,
+    /// (sequence, cluster) pairs of the final assignment sweep whose
+    /// evaluation was abandoned early because the compiled kernel proved
+    /// they could not reach the threshold (always 0 under
+    /// [`crate::config::ScanKernel::Interpreted`]). A pruned pair is
+    /// guaranteed to be a non-join, so outcomes are unaffected; this
+    /// counter exists so skipped work is visible rather than silently
+    /// folded into `pairs_scored`-style totals.
+    pub pairs_pruned: u64,
 }
 
 /// What seed selection (§4.1) did in one iteration.
@@ -98,6 +106,14 @@ pub struct ScanMetrics {
     /// Membership flips relative to the start of the scan
     /// (joins + departures).
     pub membership_changes: usize,
+    /// Pairs the compiled kernel abandoned mid-scan after proving they
+    /// could not reach the threshold; such pairs still count in
+    /// `pairs_scored`. Scan pruning is only enabled once the threshold is
+    /// frozen *and* no iteration records are being kept (pruning skips the
+    /// similarity histogram those records carry), so this is always 0 in a
+    /// recorded iteration — which is also why version-1 checkpoints, which
+    /// predate the field, decode losslessly with 0.
+    pub pairs_pruned: u64,
 }
 
 /// Wall-clock attribution of one iteration's phases, in nanoseconds.
@@ -449,6 +465,7 @@ impl RunReport {
                 w.field_usize("clusters", s.clusters);
                 w.field_usize("outliers", s.outliers);
                 w.field_f64("final_log_t", s.final_log_t);
+                w.field_u64("pairs_pruned", s.pairs_pruned);
                 if with_timings {
                     w.field_u64("finalize_nanos", s.finalize_nanos);
                     w.field_u64("total_nanos", s.total_nanos);
@@ -478,6 +495,7 @@ impl RunReport {
         w.field_u64("joins", r.scan.joins);
         w.field_u64("new_joins", r.scan.new_joins);
         w.field_usize("membership_changes", r.scan.membership_changes);
+        w.field_u64("pairs_pruned", r.scan.pairs_pruned);
         w.end_obj();
         w.field_usize("removed_clusters", r.removed_clusters);
         w.field_usize("merged_clusters", r.merged_clusters);
@@ -590,10 +608,11 @@ impl RunReport {
         if let Some(s) = &self.summary {
             let _ = writeln!(
                 out,
-                "final: {} clusters, {} outliers, ln t = {:.4}, {:.2} ms total",
+                "final: {} clusters, {} outliers, ln t = {:.4}, {} pairs pruned, {:.2} ms total",
                 s.clusters,
                 s.outliers,
                 s.final_log_t,
+                s.pairs_pruned,
                 s.total_nanos as f64 / 1e6
             );
         }
@@ -769,6 +788,7 @@ mod tests {
                 joins: 12,
                 new_joins: 3,
                 membership_changes: 5,
+                pairs_pruned: 0,
             },
             removed_clusters: 1,
             merged_clusters: 0,
@@ -821,6 +841,7 @@ mod tests {
                 final_log_t: 0.375,
                 finalize_nanos: 99,
                 total_nanos: 500,
+                pairs_pruned: 4,
             }),
         }
     }
@@ -833,6 +854,7 @@ mod tests {
             "\"iterations\"",
             "\"summary\"",
             "\"pairs_scored\":40",
+            "\"pairs_pruned\":4",
             "\"valley\":0.75",
             "\"histogram\"",
             "\"counts\":[3,0,9]",

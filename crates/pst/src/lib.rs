@@ -36,6 +36,7 @@
 //! assert!(pst.predict(&[a], b) > 0.99);
 //! ```
 
+pub mod compile;
 pub mod divergence;
 pub mod merge;
 pub mod model;
@@ -48,6 +49,7 @@ pub mod serial;
 pub mod stats;
 pub mod tree;
 
+pub use compile::CompiledPst;
 pub use divergence::{kl_divergence, variational_distance};
 pub use model::ConditionalModel;
 pub use node::{Node, NodeId};

@@ -36,8 +36,11 @@ pub struct ContextScanner<'a> {
     node: NodeId,
     /// Whether the incremental fast path is usable.
     fast: bool,
-    /// Fallback context buffer (only maintained when `fast` is false):
-    /// the last `max_depth` symbols consumed.
+    /// Fallback scratch buffer (only maintained when `fast` is false).
+    /// Holds a suffix of the consumed symbols whose last `max_depth`
+    /// entries are the context window; it is compacted in place only once
+    /// it reaches `2 × max_depth`, so the per-symbol cost is one push
+    /// (amortized) instead of shifting the whole window every call.
     context: Vec<Symbol>,
 }
 
@@ -114,14 +117,20 @@ impl<'a> ContextScanner<'a> {
                 w = self.pst.node(w).parent;
             }
         } else {
-            // Exact fallback: keep a bounded context window and re-walk.
+            // Exact fallback: keep a bounded scratch buffer and re-walk the
+            // last `max_depth` symbols. Compacting only when the buffer hits
+            // twice the window size makes the maintenance O(1) amortized —
+            // the old `drain(..excess)` shifted every retained symbol on
+            // every call.
             let depth = self.pst.params().max_depth;
             self.context.push(s);
-            if self.context.len() > depth {
-                let excess = self.context.len() - depth;
-                self.context.drain(..excess);
+            if self.context.len() >= depth.saturating_mul(2).max(depth + 1) {
+                let keep_from = self.context.len() - depth;
+                self.context.copy_within(keep_from.., 0);
+                self.context.truncate(depth);
             }
-            self.node = self.pst.prediction_node(&self.context);
+            let window_start = self.context.len().saturating_sub(depth);
+            self.node = self.pst.prediction_node(&self.context[window_start..]);
         }
     }
 }
@@ -227,14 +236,17 @@ mod tests {
     }
 
     #[test]
-    fn fallback_context_window_is_bounded() {
+    fn fallback_scratch_buffer_is_bounded() {
         let (alphabet, mut pst) = build("abcabcabcabcabc", 1);
         pst.prune_to(pst.bytes() * 2 / 3);
         let mut scanner = pst.scanner();
+        let depth = pst.params().max_depth;
         let probe = Sequence::parse_str(&alphabet, "abcabcabcabcabcabcabcabc").unwrap();
         for s in probe.iter() {
             scanner.advance(s);
+            // The scratch buffer is allowed to run ahead of the window (that
+            // is the amortization), but never past twice its size.
+            assert!(scanner.context.len() < depth * 2);
         }
-        assert!(scanner.context.len() <= pst.params().max_depth);
     }
 }

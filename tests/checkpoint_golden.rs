@@ -1,27 +1,30 @@
-//! Forward-compatibility anchor for the checkpoint format: a committed
-//! version-1 checkpoint file that every future reader must keep loading
-//! and resuming correctly.
+//! Forward-compatibility anchors for the checkpoint format: committed
+//! checkpoint files — one per on-disk version — that every future reader
+//! must keep loading and resuming correctly.
 //!
-//! The fixture (`tests/golden/checkpoint_v1.ckpt`) was produced by the
-//! `#[ignore]`d `regenerate_the_fixture` test: the first checkpoint of a
-//! fixed seeded run, with the scratch directory in its stored policy
-//! scrubbed to a relative path before committing. Because the whole
-//! pipeline is deterministic, resuming the fixture against the same
-//! regenerated workload must still land on the same final clustering as a
-//! fresh uninterrupted run — so this test fails if a format change breaks
-//! old files *or* silently changes their meaning. A breaking change must
-//! bump `Checkpoint::VERSION`, keep a version-1 decode path, and add a new
-//! fixture alongside this one.
+//! Each fixture (`tests/golden/checkpoint_v{1,2}.ckpt`) was produced by
+//! the `#[ignore]`d `regenerate_the_fixture` test at the time its format
+//! was current: the first checkpoint of a fixed seeded run, with the
+//! scratch directory in its stored policy scrubbed to a relative path
+//! before committing. Because the whole pipeline is deterministic,
+//! resuming a fixture against the same regenerated workload must still
+//! land on the same final clustering as a fresh uninterrupted run — so
+//! these tests fail if a format change breaks old files *or* silently
+//! changes their meaning. A breaking change must bump
+//! `Checkpoint::VERSION`, keep the old decode paths, and add a new
+//! fixture alongside the existing ones.
 
 use std::fs;
 use std::path::PathBuf;
 
 use cluseq::prelude::*;
 
-fn fixture_path() -> PathBuf {
-    // CARGO_MANIFEST_DIR is crates/cluseq; the fixture lives with the
+fn fixture_path(name: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/cluseq; the fixtures live with the
     // repo-level tests.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/checkpoint_v1.ckpt")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
 }
 
 /// The exact workload the fixture was generated from.
@@ -48,17 +51,18 @@ fn generation_params() -> CluseqParams {
         .with_seed(17)
 }
 
-#[test]
-fn the_v1_fixture_still_loads_and_resumes_identically() {
-    let bytes = fs::read(fixture_path()).unwrap_or_else(|e| {
+/// Loads a committed fixture, checks its structural shape, and proves
+/// resuming it matches a fresh run of `params` bit for bit.
+fn assert_fixture_resumes_identically(name: &str, params: CluseqParams) -> Checkpoint {
+    let bytes = fs::read(fixture_path(name)).unwrap_or_else(|e| {
         panic!(
             "missing golden fixture {}: {e}; regenerate with \
              `cargo test -p cluseq --test checkpoint_golden -- --ignored`",
-            fixture_path().display()
+            fixture_path(name).display()
         )
     });
-    let ckpt = Checkpoint::load(&mut bytes.as_slice())
-        .expect("a committed v1 checkpoint must keep loading");
+    let ckpt =
+        Checkpoint::load(&mut bytes.as_slice()).expect("a committed checkpoint must keep loading");
 
     // Structural sanity: the fixture is a mid-run boundary, not an
     // end-state, so a resume exercises real iterations.
@@ -76,14 +80,14 @@ fn the_v1_fixture_still_loads_and_resumes_identically() {
     // counters. The stored policy is dropped before resuming so the test
     // leaves no checkpoint files in the workspace (checkpointing on/off
     // equivalence is proven separately in checkpoint_resume.rs).
-    let mut ckpt = ckpt;
-    ckpt.params = ckpt.params.without_checkpoints();
+    let mut resumable = ckpt.clone();
+    resumable.params = resumable.params.without_checkpoints();
 
     let mut fresh_report = RunReport::new();
-    let fresh = Cluseq::new(generation_params()).run_observed(&db, &mut fresh_report);
+    let fresh = Cluseq::new(params).run_observed(&db, &mut fresh_report);
 
     let mut resumed_report = RunReport::new();
-    let resumed = Cluseq::resume_observed(ckpt, &db, &mut resumed_report);
+    let resumed = Cluseq::resume_observed(resumable, &db, &mut resumed_report);
 
     assert_eq!(fresh.iterations, resumed.iterations);
     assert_eq!(fresh.final_log_t.to_bits(), resumed.final_log_t.to_bits());
@@ -95,10 +99,32 @@ fn the_v1_fixture_still_loads_and_resumes_identically() {
         resumed_report.counters_json(),
         "telemetry counters must survive the format boundary"
     );
+    ckpt
 }
 
-/// Regenerates the fixture. Run explicitly after an *intentional* format
-/// revision (with a version bump and a back-compat decode path):
+#[test]
+fn the_v1_fixture_still_loads_and_resumes_identically() {
+    let ckpt = assert_fixture_resumes_identically("checkpoint_v1.ckpt", generation_params());
+    // v1 files predate the scan-kernel field; the loader must default it
+    // to the compiled kernel (safe: the kernels are bit-identical).
+    assert_eq!(ckpt.params.scan_kernel, ScanKernel::Compiled);
+}
+
+#[test]
+fn the_v2_fixture_loads_and_resumes_identically() {
+    let ckpt = assert_fixture_resumes_identically(
+        "checkpoint_v2.ckpt",
+        generation_params().with_scan_kernel(ScanKernel::Interpreted),
+    );
+    // v2 stores the kernel choice; the fixture was generated with the
+    // non-default interpreted kernel precisely so a lossy decode (falling
+    // back to the default) would be caught here.
+    assert_eq!(ckpt.params.scan_kernel, ScanKernel::Interpreted);
+}
+
+/// Regenerates the *current-format* fixture (today: v2). Run explicitly
+/// after an *intentional* format revision (with a version bump and
+/// back-compat decode paths for every older fixture):
 ///
 /// ```sh
 /// cargo test -p cluseq --test checkpoint_golden -- --ignored
@@ -111,7 +137,12 @@ fn regenerate_the_fixture() {
     fs::create_dir_all(&dir).expect("create scratch dir");
 
     let db = workload();
-    Cluseq::new(generation_params().with_checkpoints(&dir, 1)).run(&db);
+    Cluseq::new(
+        generation_params()
+            .with_scan_kernel(ScanKernel::Interpreted)
+            .with_checkpoints(&dir, 1),
+    )
+    .run(&db);
 
     let first = dir.join("cluseq-000001.ckpt");
     let bytes = fs::read(&first).expect("first boundary checkpoint exists");
@@ -123,6 +154,7 @@ fn regenerate_the_fixture() {
 
     let mut out = Vec::new();
     ckpt.save(&mut out).expect("Vec write cannot fail");
-    fs::write(fixture_path(), out).expect("write fixture");
-    eprintln!("fixture rewritten at {}", fixture_path().display());
+    let path = fixture_path("checkpoint_v2.ckpt");
+    fs::write(&path, out).expect("write fixture");
+    eprintln!("fixture rewritten at {}", path.display());
 }

@@ -1,0 +1,128 @@
+//! Property tests for the compiled scan kernel: on random PSTs — before
+//! and after pruning — the flat-automaton kernel must reproduce the
+//! interpreted suffix-tree walk **byte for byte** (`f64::to_bits`, not an
+//! epsilon), and the threshold early-exit may only skip pairs that are
+//! provably below the threshold.
+
+use proptest::prelude::*;
+
+use cluseq::core::{
+    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity,
+};
+use cluseq::prelude::*;
+
+/// A random PST workload: alphabet size, training material, probe
+/// sequence, and model parameters (smoothing on or off, and an optional
+/// prune-to byte budget as a fraction of the unpruned size).
+#[derive(Debug, Clone)]
+struct Workload {
+    alphabet: usize,
+    training: Vec<Vec<u16>>,
+    probe: Vec<u16>,
+    max_depth: usize,
+    significance: u64,
+    smoothing: Option<f64>,
+    prune_fraction: Option<f64>,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (2usize..8).prop_flat_map(|alphabet| {
+        let sym = 0..alphabet as u16;
+        (
+            prop::collection::vec(prop::collection::vec(sym.clone(), 5..60), 1..5),
+            prop::collection::vec(sym, 0..80),
+            1usize..6,
+            1u64..5,
+            prop::option::of(1e-4f64..0.02),
+            prop::option::of(0.3f64..0.9),
+        )
+            .prop_map(
+                move |(training, probe, max_depth, significance, smoothing, prune_fraction)| {
+                    Workload {
+                        alphabet,
+                        training,
+                        probe,
+                        max_depth,
+                        significance,
+                        smoothing,
+                        prune_fraction,
+                    }
+                },
+            )
+    })
+}
+
+/// Builds the PST and background model a workload describes.
+fn build(w: &Workload) -> (Pst, BackgroundModel) {
+    let mut params = PstParams::default()
+        .with_max_depth(w.max_depth)
+        .with_significance(w.significance);
+    params.smoothing = w.smoothing;
+    let mut pst = Pst::new(w.alphabet, params);
+    for seq in &w.training {
+        pst.add_sequence(&Sequence::new(seq.iter().map(|&s| Symbol(s)).collect()));
+    }
+    if let Some(fraction) = w.prune_fraction {
+        pst.prune_to((pst.bytes() as f64 * fraction) as usize);
+    }
+    // A non-uniform background: symbol frequencies of the training data,
+    // exactly what the driver fits from a database.
+    let seqs: Vec<Sequence> = w
+        .training
+        .iter()
+        .map(|seq| Sequence::new(seq.iter().map(|&s| Symbol(s)).collect()))
+        .collect();
+    let background = BackgroundModel::fit(w.alphabet, seqs.iter());
+    (pst, background)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole contract: interpreted and compiled similarity are
+    /// byte-identical on arbitrary models (smoothed or not, pruned or
+    /// not) and arbitrary probes — same max log-ratio bits, same segment.
+    #[test]
+    fn compiled_similarity_is_byte_identical(w in arb_workload()) {
+        let (pst, background) = build(&w);
+        let probe: Vec<Symbol> = w.probe.iter().map(|&s| Symbol(s)).collect();
+        let interpreted = max_similarity_pst(&pst, &background, &probe);
+        let compiled = CompiledPst::compile(&pst, &background);
+        let fast = max_similarity_compiled(&compiled, &probe);
+        prop_assert_eq!(
+            interpreted.log_sim.to_bits(),
+            fast.log_sim.to_bits(),
+            "log_sim bits diverge: interpreted {} vs compiled {}",
+            interpreted.log_sim,
+            fast.log_sim
+        );
+        prop_assert_eq!(interpreted.start, fast.start);
+        prop_assert_eq!(interpreted.end, fast.end);
+    }
+
+    /// Early-exit contract: for any threshold, the bounded scan either
+    /// returns the exact result bit-for-bit, or prunes a pair whose true
+    /// similarity really is below the threshold — a pruned pair can never
+    /// hide a would-be join.
+    #[test]
+    fn early_exit_never_lies(w in arb_workload(), threshold in -5.0f64..200.0) {
+        let (pst, background) = build(&w);
+        let probe: Vec<Symbol> = w.probe.iter().map(|&s| Symbol(s)).collect();
+        let exact = max_similarity_pst(&pst, &background, &probe);
+        let compiled = CompiledPst::compile(&pst, &background);
+        match max_similarity_compiled_bounded(&compiled, &probe, threshold) {
+            BoundedSimilarity::Exact(sim) => {
+                prop_assert_eq!(sim.log_sim.to_bits(), exact.log_sim.to_bits());
+                prop_assert_eq!((sim.start, sim.end), (exact.start, exact.end));
+            }
+            BoundedSimilarity::Pruned => {
+                prop_assert!(
+                    exact.log_sim < threshold,
+                    "pruned a pair scoring {} >= threshold {}",
+                    exact.log_sim,
+                    threshold
+                );
+            }
+        }
+    }
+}
