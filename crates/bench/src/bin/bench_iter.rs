@@ -1,0 +1,194 @@
+//! Records the iteration-loop perf trajectory as `BENCH_iter.json`:
+//! per-phase median wall-times plus the tracing-overhead measurement.
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin bench_iter \
+//!     [--quick] [--out BENCH_iter.json]
+//! ```
+//!
+//! Three timed configurations of the same clustering workload:
+//!
+//! * **baseline** — `trace = None`, split into two interleaved sample
+//!   sets A and B. Both run identical code, so `|median(A) −
+//!   median(B)| / median(B)` is an A/A measurement: it bounds what the
+//!   disabled-trace path can possibly cost *and* calibrates the noise
+//!   floor of this machine. The acceptance target is < 2%.
+//! * **traced (in-memory)** — a full [`cluseq_core::TraceSession`]
+//!   registry with spans, counters, and histograms, but no JSONL file or
+//!   exporter. Its overhead over baseline is the real cost of enabling
+//!   live metrics.
+//! * **traced (jsonl)** — the same plus the crash-safe JSONL sink with
+//!   its per-iteration fsync, the most expensive configuration.
+//!
+//! Samples are interleaved round-robin (A, B, mem, jsonl, A, B, …) so
+//! thermal and frequency drift hits every configuration equally. The
+//! per-phase table comes from the in-memory sessions' span aggregates —
+//! the subsystem measuring itself.
+
+use std::time::Instant;
+
+use cluseq_bench::{flag_value, print_table, Scale};
+use cluseq_core::telemetry::NoopObserver;
+use cluseq_core::trace::{Phase, TraceConfig, TraceSession};
+use cluseq_core::{Cluseq, CluseqParams};
+use cluseq_datagen::SyntheticSpec;
+use cluseq_seq::SequenceDatabase;
+
+/// Median of a sample; the sample is consumed (sorted in place).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn workload(scale: &Scale, quick: bool) -> (SequenceDatabase, CluseqParams) {
+    let sequences = if quick {
+        120
+    } else {
+        scale.count(400, 2000, 120)
+    };
+    let db = SyntheticSpec {
+        sequences,
+        clusters: 4,
+        avg_len: 100,
+        alphabet: 20,
+        outlier_fraction: 0.05,
+        seed: scale.seed,
+    }
+    .generate();
+    let params = CluseqParams::default()
+        .with_initial_clusters(2)
+        .with_significance(5)
+        .with_max_depth(8)
+        .with_max_iterations(if quick { 4 } else { 8 })
+        .with_seed(scale.seed);
+    (db, params)
+}
+
+fn run_once(runner: &Cluseq, db: &SequenceDatabase, trace: Option<&TraceSession>) -> f64 {
+    let start = Instant::now();
+    let outcome = runner.run_traced(db, &mut NoopObserver, trace);
+    // Keep the run live past optimization.
+    assert!(outcome.cluster_count() < usize::MAX);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_iter.json".to_string());
+    let scale = Scale::from_env();
+    let reps = if quick { 3 } else { 9 };
+
+    let (db, params) = workload(&scale, quick);
+    let runner = Cluseq::new(params);
+    let jsonl_dir = std::env::temp_dir().join(format!("bench_iter-{}", std::process::id()));
+    std::fs::create_dir_all(&jsonl_dir).expect("create temp dir");
+
+    // Warmup: one pass of each configuration.
+    run_once(&runner, &db, None);
+    run_once(&runner, &db, Some(&TraceSession::in_memory()));
+
+    let mut base_a = Vec::with_capacity(reps);
+    let mut base_b = Vec::with_capacity(reps);
+    let mut traced_mem = Vec::with_capacity(reps);
+    let mut traced_jsonl = Vec::with_capacity(reps);
+    let mut phase_totals: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); Phase::ALL.len()];
+    let mut phase_counts = vec![0u64; Phase::ALL.len()];
+    for rep in 0..reps {
+        base_a.push(run_once(&runner, &db, None));
+        base_b.push(run_once(&runner, &db, None));
+
+        let session = TraceSession::in_memory();
+        traced_mem.push(run_once(&runner, &db, Some(&session)));
+        for (i, &phase) in Phase::ALL.iter().enumerate() {
+            let stats = session.phase_stats(phase);
+            phase_totals[i].push(stats.total_nanos as f64 / 1e9);
+            phase_counts[i] = stats.count;
+        }
+
+        let path = jsonl_dir.join(format!("trace-{rep}.jsonl"));
+        let session = TraceSession::start(&TraceConfig {
+            jsonl: Some(path),
+            metrics_addr: None,
+        })
+        .expect("open jsonl sink");
+        traced_jsonl.push(run_once(&runner, &db, Some(&session)));
+    }
+    let _ = std::fs::remove_dir_all(&jsonl_dir);
+
+    let med_a = median(base_a.clone());
+    let med_b = median(base_b.clone());
+    let med_base = median(base_a.iter().chain(&base_b).copied().collect());
+    let med_mem = median(traced_mem);
+    let med_jsonl = median(traced_jsonl);
+    let disabled_overhead = (med_a - med_b).abs() / med_b;
+    let mem_overhead = (med_mem - med_base) / med_base;
+    let jsonl_overhead = (med_jsonl - med_base) / med_base;
+
+    let mut rows = Vec::new();
+    let mut phase_entries = Vec::new();
+    for (i, &phase) in Phase::ALL.iter().enumerate() {
+        if phase_counts[i] == 0 {
+            continue;
+        }
+        let med = median(phase_totals[i].clone());
+        rows.push(vec![
+            phase.as_str().to_string(),
+            format!("{med:.4}"),
+            phase_counts[i].to_string(),
+        ]);
+        phase_entries.push(format!(
+            "    {{\"phase\": \"{}\", \"median_total_s\": {med:.6}, \"spans\": {}}}",
+            phase.as_str(),
+            phase_counts[i],
+        ));
+    }
+
+    print_table(
+        "iteration loop: per-phase wall time (median total s across reps)",
+        &["phase", "median_s", "spans"],
+        &rows,
+    );
+    println!(
+        "\nbaseline (A/A): {:.4}s vs {:.4}s -> disabled-trace overhead bound {:.2}% (target < 2%)",
+        med_a,
+        med_b,
+        disabled_overhead * 100.0
+    );
+    println!(
+        "traced in-memory: {:.4}s ({:+.2}%), traced jsonl: {:.4}s ({:+.2}%)",
+        med_mem,
+        mem_overhead * 100.0,
+        med_jsonl,
+        jsonl_overhead * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"iter_loop\",\n  \"quick\": {quick},\n  \
+         \"sequences\": {},\n  \"reps\": {reps},\n  \
+         \"baseline_a_median_s\": {med_a:.6},\n  \
+         \"baseline_b_median_s\": {med_b:.6},\n  \
+         \"baseline_median_s\": {med_base:.6},\n  \
+         \"disabled_trace_overhead_frac\": {disabled_overhead:.6},\n  \
+         \"disabled_trace_overhead_target_frac\": 0.02,\n  \
+         \"traced_inmem_median_s\": {med_mem:.6},\n  \
+         \"traced_inmem_overhead_frac\": {mem_overhead:.6},\n  \
+         \"traced_jsonl_median_s\": {med_jsonl:.6},\n  \
+         \"traced_jsonl_overhead_frac\": {jsonl_overhead:.6},\n  \
+         \"methodology\": \"interleaved A/A/mem/jsonl samples; the disabled-trace \
+         path runs identical code in both baseline sets, so the A/A median delta \
+         bounds its overhead and calibrates the noise floor\",\n  \
+         \"phases\": [\n{}\n  ]\n}}\n",
+        db.len(),
+        phase_entries.join(",\n")
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -6,6 +6,7 @@
 //! * `generate` — write a synthetic labeled database (lines format);
 //! * `cluster` — cluster a lines-format file, print memberships;
 //! * `evaluate` — cluster a labeled file and print quality metrics;
+//! * `trace-summary` — render a `--trace` JSONL file as a per-phase table;
 //! * `help` — usage.
 //!
 //! ```sh
@@ -23,7 +24,11 @@ use cluseq_core::persist::SavedModel;
 use cluseq_core::telemetry::{
     CheckpointEvent, IterationRecord, ResumeInfo, RunContext, RunObserver, RunReport, RunSummary,
 };
-use cluseq_core::{Checkpoint, Cluseq, CluseqParams, ExaminationOrder, ScanKernel, ScanMode};
+use cluseq_core::trace::{sink, summary};
+use cluseq_core::{
+    Checkpoint, Cluseq, CluseqParams, ExaminationOrder, ScanKernel, ScanMode, TraceConfig,
+    TraceSession,
+};
 use cluseq_datagen::{LanguageSpec, ProteinFamilySpec, SyntheticSpec};
 use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
 use cluseq_seq::codec;
@@ -40,6 +45,7 @@ USAGE:
   cluseq evaluate FILE [clustering options]
   cluseq classify FILE --model MODEL
   cluseq inspect  --model MODEL [--max-nodes N]
+  cluseq trace-summary TRACE_FILE
 
 CLUSTERING OPTIONS:
   --initial-clusters K   initial cluster count (default 1)
@@ -81,6 +87,15 @@ CLUSTERING OPTIONS:
                          and write the report to PATH (default
                          results/reports/run-report.json)
   --report-format json|text   report file format (default json)
+  --trace PATH           append a live JSONL trace event stream to PATH
+                         (crash-safe: fsynced every iteration before any
+                         checkpoint write; with --resume, pass the same
+                         PATH and the stream continues in place — render
+                         it any time with `cluseq trace-summary PATH`)
+  --metrics-addr ADDR    serve Prometheus text-format metrics on ADDR
+                         while clustering (e.g. 127.0.0.1:9184, or port 0
+                         for an ephemeral port; the bound address is
+                         printed on startup)
 
 FILE FORMATS: text = one sequence per line, one character per symbol, an
 optional `label<TAB>` prefix carrying ground truth (`-` marks a known
@@ -96,6 +111,7 @@ fn main() -> ExitCode {
         Some("evaluate") => cluster(&args, true),
         Some("classify") => classify(&args),
         Some("inspect") => inspect(&args),
+        Some("trace-summary") => trace_summary(&args),
         Some("help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -378,6 +394,26 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
         collect: want_report,
         verbose: args.has("verbose"),
     };
+    // Tracing is operational, not algorithmic: the session lives outside
+    // CluseqParams and never enters a checkpoint.
+    let trace_config = TraceConfig {
+        jsonl: args.get_str("trace").map(std::path::PathBuf::from),
+        metrics_addr: args.get_str("metrics-addr").map(str::to_owned),
+    };
+    let trace_session = if trace_config.jsonl.is_none() && trace_config.metrics_addr.is_none() {
+        None
+    } else {
+        match TraceSession::start(&trace_config) {
+            Ok(session) => Some(session),
+            Err(e) => {
+                eprintln!("error: starting trace session: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Some(addr) = trace_session.as_ref().and_then(|s| s.metrics_addr()) {
+        eprintln!("metrics exporter listening on http://{addr}/metrics");
+    }
     // `--resume` restarts from the newest checkpoint in --checkpoint-dir,
     // or fresh when none exists yet, so a crash-restart loop can pass the
     // flag unconditionally.
@@ -420,9 +456,10 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
     } else {
         None
     };
+    let trace = trace_session.as_ref();
     let (outcome, elapsed) = Stopwatch::time(|| match resume_from {
-        Some(ckpt) => Cluseq::resume_observed(ckpt, &db, &mut observer),
-        None => Cluseq::new(params).run_observed(&db, &mut observer),
+        Some(ckpt) => Cluseq::resume_traced(ckpt, &db, &mut observer, trace),
+        None => Cluseq::new(params).run_traced(&db, &mut observer, trace),
     });
 
     if observer.collect {
@@ -498,6 +535,23 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn trace_summary(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        eprintln!("error: missing trace file\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    match sink::read_trace(std::path::Path::new(path)) {
+        Ok(replay) => {
+            print!("{}", summary::render_summary(&replay));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: reading trace {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn classify(args: &Args) -> ExitCode {

@@ -69,7 +69,8 @@ pub mod prelude {
     pub use cluseq_core::{
         BoundedSimilarity, Checkpoint, CheckpointPolicy, Cluseq, CluseqOutcome, CluseqParams,
         ConsolidationMode, ExaminationOrder, FailPlan, FailingReader, FailingWriter,
-        IterationStats, LogSim, ScanKernel, ScanMode, ScoreEngine, SegmentSimilarity,
+        IterationStats, LogSim, ScanKernel, ScanMode, ScoreEngine, SegmentSimilarity, TraceConfig,
+        TraceSession,
     };
     pub use cluseq_datagen::{
         inject_outliers, ClusterModel, Language, LanguageSpec, Profile, ProteinFamilySpec,

@@ -17,17 +17,18 @@ use cluseq_seq::SequenceDatabase;
 use crate::checkpoint::{db_digest, Checkpoint};
 use crate::cluster::Cluster;
 use crate::config::{CluseqParams, ScanKernel};
-use crate::consolidate::{consolidate_detailed, exclusive_member_counts};
+use crate::consolidate::{consolidate_traced, exclusive_member_counts};
 use crate::outcome::{CluseqOutcome, IterationStats};
 use crate::recluster::{recluster, ScanOptions};
-use crate::score::parallel_map;
+use crate::score::{parallel_map, plan_chunk};
 use crate::seeding::select_seeds_detailed;
 use crate::similarity::{max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::{
     CheckpointEvent, ClusterSnapshot, HistogramSnapshot, IterationRecord, NoopObserver, PhaseNanos,
     ResumeInfo, RunContext, RunObserver, RunSummary,
 };
-use crate::threshold::decide_threshold;
+use crate::threshold::decide_threshold_traced;
+use crate::trace::{self, Counter, Gauge, HistKind, IterationEvent, Phase, TraceSession};
 
 /// The mutable state of the iteration loop — exactly what a
 /// [`Checkpoint`] captures and [`Cluseq::resume`] restores. Keeping it in
@@ -125,24 +126,54 @@ impl Cluseq {
         db: &SequenceDatabase,
         observer: &mut dyn RunObserver,
     ) -> CluseqOutcome {
+        self.run_inner(db, observer, None)
+    }
+
+    /// [`Cluseq::run_observed`] with live tracing: when `trace` is `Some`,
+    /// the session's registry, spans, JSONL stream, and exporter follow
+    /// the run (see [`crate::trace`]). Tracing never perturbs the
+    /// clustering — the outcome and every deterministic telemetry counter
+    /// are byte-identical to the untraced run.
+    pub fn run_traced(
+        &self,
+        db: &SequenceDatabase,
+        observer: &mut dyn RunObserver,
+        trace: Option<&TraceSession>,
+    ) -> CluseqOutcome {
+        self.run_inner(db, observer, trace)
+    }
+
+    fn run_inner(
+        &self,
+        db: &SequenceDatabase,
+        observer: &mut dyn RunObserver,
+        trace: Option<&TraceSession>,
+    ) -> CluseqOutcome {
         assert!(!db.is_empty(), "cannot cluster an empty database");
         let alphabet_size = db.alphabet().len();
         self.params.validate(alphabet_size);
         let p = &self.params;
         let n = db.len();
 
-        observer.on_run_start(&RunContext {
+        let ctx = RunContext {
             sequences: n,
             alphabet_size,
             threads: p.threads,
             scan_mode: p.scan_mode,
             seed: p.seed,
             initial_log_t: p.initial_threshold.ln(),
-        });
+        };
+        observer.on_run_start(&ctx);
+        if let Some(t) = trace {
+            t.event_run_start(&ctx, p.scan_kernel);
+            t.gauge_set_f64(Gauge::ThresholdLogT, ctx.initial_log_t);
+            t.sync();
+        }
 
         self.drive(
             db,
             observer,
+            trace,
             LoopState {
                 clusters: Vec::new(),
                 next_id: 0,
@@ -187,6 +218,29 @@ impl Cluseq {
         db: &SequenceDatabase,
         observer: &mut dyn RunObserver,
     ) -> CluseqOutcome {
+        Self::resume_inner(checkpoint, db, observer, None)
+    }
+
+    /// [`Cluseq::resume_observed`] with live tracing. When the
+    /// [`crate::TraceConfig`] points at the trace file of the interrupted
+    /// run, the session continues its JSONL stream in place — the `resume`
+    /// event is the marker [`crate::trace::sink::stitch_iterations`] uses
+    /// to splice the iteration history back together.
+    pub fn resume_traced(
+        checkpoint: Checkpoint,
+        db: &SequenceDatabase,
+        observer: &mut dyn RunObserver,
+        trace: Option<&TraceSession>,
+    ) -> CluseqOutcome {
+        Self::resume_inner(checkpoint, db, observer, trace)
+    }
+
+    fn resume_inner(
+        checkpoint: Checkpoint,
+        db: &SequenceDatabase,
+        observer: &mut dyn RunObserver,
+        trace: Option<&TraceSession>,
+    ) -> CluseqOutcome {
         assert!(!db.is_empty(), "cannot cluster an empty database");
         if let Err(mismatch) = checkpoint.verify_database(db) {
             panic!("cannot resume: {mismatch}");
@@ -196,27 +250,41 @@ impl Cluseq {
         let runner = Cluseq::new(checkpoint.params.clone());
         let p = &runner.params;
 
-        observer.on_run_start(&RunContext {
+        let ctx = RunContext {
             sequences: db.len(),
             alphabet_size,
             threads: p.threads,
             scan_mode: p.scan_mode,
             seed: p.seed,
             initial_log_t: p.initial_threshold.ln(),
-        });
-        observer.on_resume(&ResumeInfo {
+        };
+        observer.on_run_start(&ctx);
+        let info = ResumeInfo {
             completed: checkpoint.completed,
             version: Checkpoint::VERSION,
-        });
-        if observer.enabled() {
-            for record in &checkpoint.records {
-                observer.on_iteration(record);
+        };
+        observer.on_resume(&info);
+        if let Some(t) = trace {
+            t.event_run_start(&ctx, p.scan_kernel);
+            t.event_resume(&info);
+            t.gauge_set(Gauge::Iteration, checkpoint.completed as u64);
+            t.gauge_set(Gauge::ClustersLive, checkpoint.clusters.len() as u64);
+            t.gauge_set_f64(Gauge::ThresholdLogT, checkpoint.log_t);
+            t.sync();
+        }
+        {
+            let _span = trace.map(|t| t.span(Phase::Resume));
+            if observer.enabled() {
+                for record in &checkpoint.records {
+                    observer.on_iteration(record);
+                }
             }
         }
 
         runner.drive(
             db,
             observer,
+            trace,
             LoopState {
                 clusters: checkpoint.clusters,
                 next_id: checkpoint.next_id,
@@ -243,6 +311,7 @@ impl Cluseq {
         &self,
         db: &SequenceDatabase,
         observer: &mut dyn RunObserver,
+        trace: Option<&TraceSession>,
         mut st: LoopState,
     ) -> CluseqOutcome {
         let p = &self.params;
@@ -260,10 +329,14 @@ impl Cluseq {
             st.start_iteration
         };
         for iteration in first..p.max_iterations {
+            // The iteration span closes at the end of the loop body, so
+            // the checkpoint-save span nests under it.
+            let _iter_span = trace.map(|t| t.span(Phase::Iteration));
             let iter_start = std::time::Instant::now();
             let clusters_at_start = st.clusters.len();
 
             // ---- 1. New cluster generation (§4.1) ----
+            let seed_span = trace.map(|t| t.span(Phase::Seeding));
             let seed_start = std::time::Instant::now();
             let k_n_target = if iteration == 0 {
                 p.initial_clusters
@@ -282,6 +355,7 @@ impl Cluseq {
                 p.threads,
                 p.scan_kernel,
                 &mut st.rng,
+                trace,
             );
             let k_n = seeds.len();
             for seed in seeds {
@@ -295,6 +369,7 @@ impl Cluseq {
                 st.next_id += 1;
             }
             let seeding_nanos = seed_start.elapsed().as_nanos() as u64;
+            drop(seed_span);
 
             // ---- 2. Re-clustering scan (§4.2) ----
             // Records are assembled for a live observer *or* for the
@@ -319,21 +394,24 @@ impl Cluseq {
                     threads: p.threads,
                     kernel: p.scan_kernel,
                     prune_below: (st.threshold_frozen && !record_iteration).then_some(st.log_t),
+                    trace,
                 },
             );
 
             // ---- 3. Consolidation (§4.5) ----
             let consolidate_start = std::time::Instant::now();
-            let consolidation = consolidate_detailed(
+            let consolidation = consolidate_traced(
                 &mut st.clusters,
                 p.effective_min_exclusive(),
                 n,
                 p.consolidation,
+                trace,
             );
             let removed = consolidation.dismissed;
             let consolidate_nanos = consolidate_start.elapsed().as_nanos() as u64;
 
             // ---- 4. Threshold adjustment (§4.6) ----
+            let threshold_span = trace.map(|t| t.span(Phase::Threshold));
             let threshold_start = std::time::Instant::now();
             let log_t_before = st.log_t;
             let mut moved = false;
@@ -348,7 +426,7 @@ impl Cluseq {
             };
             if !st.threshold_frozen {
                 if let Some(hist) = &hist {
-                    let decision = decide_threshold(st.log_t, hist, 0.01);
+                    let decision = decide_threshold_traced(st.log_t, hist, 0.01, trace);
                     valley = decision.valley;
                     // The paper requires t >= 1 for a meaningful
                     // outlier separation; clamp the log to 0.
@@ -360,7 +438,16 @@ impl Cluseq {
                 }
             }
             let threshold_nanos = threshold_start.elapsed().as_nanos() as u64;
+            drop(threshold_span);
 
+            let phase_nanos = PhaseNanos {
+                seeding: seeding_nanos,
+                scan_score: scan.score_nanos,
+                scan_absorb: scan.absorb_nanos,
+                consolidate: consolidate_nanos,
+                threshold: threshold_nanos,
+                total: iter_start.elapsed().as_nanos() as u64,
+            };
             let stats = IterationStats {
                 iteration,
                 new_clusters: k_n,
@@ -402,14 +489,7 @@ impl Cluseq {
                     log_t_after: st.log_t,
                     threshold_moved: moved,
                     clusters: cluster_snapshots,
-                    timings: PhaseNanos {
-                        seeding: seeding_nanos,
-                        scan_score: scan.score_nanos,
-                        scan_absorb: scan.absorb_nanos,
-                        consolidate: consolidate_nanos,
-                        threshold: threshold_nanos,
-                        total: iter_start.elapsed().as_nanos() as u64,
-                    },
+                    timings: phase_nanos,
                 };
                 if observer.enabled() {
                     observer.on_iteration(&record);
@@ -434,6 +514,35 @@ impl Cluseq {
             st.prev_removed = removed;
             st.prev_cluster_count = st.clusters.len();
             st.prev_best = scan.best_cluster;
+
+            // ---- Trace boundary ----
+            // The iteration event is emitted and fsynced *before* any
+            // checkpoint write, so the trace on disk always covers at
+            // least as many iterations as any checkpoint.
+            if let Some(t) = trace {
+                t.add(Counter::SeedCandidatesSampled, seed_metrics.sampled as u64);
+                t.add(Counter::SeedsChosen, k_n as u64);
+                t.gauge_set(Gauge::Iteration, iteration as u64 + 1);
+                t.gauge_set(Gauge::ClustersLive, st.clusters.len() as u64);
+                t.gauge_set_f64(Gauge::ThresholdLogT, st.log_t);
+                t.observe(HistKind::IterationWall, 0, trace::nanos_since(iter_start));
+                t.event_iteration(&IterationEvent {
+                    iteration,
+                    clusters_at_start,
+                    new_clusters: k_n,
+                    removed_clusters: removed,
+                    clusters_live: st.clusters.len(),
+                    membership_changes: scan.changes,
+                    pairs_scored: scan.metrics.pairs_scored,
+                    pairs_pruned: scan.metrics.pairs_pruned,
+                    joins: scan.metrics.joins,
+                    new_joins: scan.metrics.new_joins,
+                    log_t: st.log_t,
+                    threshold_moved: moved,
+                    phases: phase_nanos,
+                });
+                t.sync();
+            }
 
             // ---- Checkpoint (crash safety; see `crate::checkpoint`) ----
             // Written after the state advance so the file captures exactly
@@ -465,12 +574,18 @@ impl Cluseq {
                     };
                     let path = policy.path_for(completed);
                     let write_start = std::time::Instant::now();
-                    let result = ckpt.write_atomic(&path);
+                    let result = ckpt.write_atomic_traced(&path, trace);
+                    let write_nanos = write_start.elapsed().as_nanos() as u64;
+                    let bytes = result.as_ref().copied().unwrap_or(0);
+                    if let Some(t) = trace {
+                        t.event_checkpoint(completed, bytes, write_nanos, result.is_ok());
+                        t.sync();
+                    }
                     observer.on_checkpoint(&CheckpointEvent {
                         completed,
                         path: path.to_string_lossy().into_owned(),
-                        bytes: result.as_ref().copied().unwrap_or(0),
-                        write_nanos: write_start.elapsed().as_nanos() as u64,
+                        bytes,
+                        write_nanos,
                         error: result.err().map(|e| e.to_string()),
                     });
                 }
@@ -482,8 +597,8 @@ impl Cluseq {
         }
 
         let finalize_start = std::time::Instant::now();
-        let (outcome, pairs_pruned) = self.finalize(db, st.clusters, st.log_t, st.history);
-        observer.on_run_end(&RunSummary {
+        let (outcome, pairs_pruned) = self.finalize(db, st.clusters, st.log_t, st.history, trace);
+        let summary = RunSummary {
             iterations: outcome.iterations,
             clusters: outcome.cluster_count(),
             outliers: outcome.outliers.len(),
@@ -491,7 +606,12 @@ impl Cluseq {
             pairs_pruned,
             finalize_nanos: finalize_start.elapsed().as_nanos() as u64,
             total_nanos: run_start.elapsed().as_nanos() as u64,
-        });
+        };
+        observer.on_run_end(&summary);
+        if let Some(t) = trace {
+            t.event_run_end(&summary);
+            t.sync();
+        }
         outcome
     }
 
@@ -509,7 +629,9 @@ impl Cluseq {
         mut clusters: Vec<Cluster>,
         log_t: f64,
         history: Vec<IterationStats>,
+        trace: Option<&TraceSession>,
     ) -> (CluseqOutcome, u64) {
+        let _span = trace.map(|t| t.span(Phase::Finalize));
         let background = db.background();
         let n = db.len();
         let mut best_cluster = vec![None::<usize>; n];
@@ -526,6 +648,7 @@ impl Cluseq {
         // Scoring is read-only and embarrassingly parallel over sequences;
         // results are bit-identical for any thread count (see
         // [`crate::score`]).
+        let chunk = plan_chunk(n, self.params.threads);
         let joins_per_seq: Vec<(Vec<(usize, f64)>, u64)> =
             parallel_map(n, self.params.threads, |seq_id| {
                 let seq = db.sequence(seq_id).symbols();
@@ -552,6 +675,11 @@ impl Cluseq {
                             }
                         }
                     }
+                }
+                if let Some(t) = trace {
+                    let shard = trace::shard_for(seq_id, chunk);
+                    t.add_at(shard, Counter::PairsScored, clusters.len() as u64);
+                    t.add_at(shard, Counter::PairsPruned, pruned);
                 }
                 (joins, pruned)
             });

@@ -325,6 +325,34 @@ impl Checkpoint {
         self.write_atomic_with(path, &FailPlan::none())
     }
 
+    /// [`Checkpoint::write_atomic`] under a `checkpoint_save` span, with
+    /// the write attempt, its outcome, its byte count, and its wall time
+    /// recorded in the tracing registry. The write itself is identical.
+    pub fn write_atomic_traced(
+        &self,
+        path: &Path,
+        trace: Option<&crate::trace::TraceSession>,
+    ) -> io::Result<u64> {
+        use crate::trace::{Counter, HistKind, Phase};
+        let Some(trace) = trace else {
+            return self.write_atomic(path);
+        };
+        let _span = trace.span(Phase::CheckpointSave);
+        let start = std::time::Instant::now();
+        let result = self.write_atomic(path);
+        trace.add(Counter::CheckpointWrites, 1);
+        trace.observe(
+            HistKind::CheckpointWrite,
+            0,
+            crate::trace::nanos_since(start),
+        );
+        match &result {
+            Ok(bytes) => trace.add(Counter::CheckpointBytes, *bytes),
+            Err(_) => trace.add(Counter::CheckpointFailures, 1),
+        }
+        result
+    }
+
     /// [`Checkpoint::write_atomic`] with fault injection: every byte of
     /// the temp-file write flows through `plan`, and
     /// [`FailPlan::fail_rename`] aborts between the durable temp write and

@@ -8,6 +8,7 @@
 
 use crate::cluster::Cluster;
 use crate::config::ConsolidationMode;
+use crate::trace::{Counter, Phase, TraceSession};
 
 /// Dismisses covered clusters in ascending size order (the paper's rule).
 /// Returns the number of clusters removed. See [`consolidate_with_mode`]
@@ -71,6 +72,25 @@ pub fn exclusive_member_counts(clusters: &[Cluster], total_sequences: usize) -> 
         .iter()
         .map(|c| c.members.iter().filter(|&&m| coverage[m] == 1).count())
         .collect()
+}
+
+/// [`consolidate_detailed`] under a `consolidate` span, recording the
+/// dismissed/merged counts into the tracing registry. The consolidation
+/// itself is identical with or without a session.
+pub fn consolidate_traced(
+    clusters: &mut Vec<Cluster>,
+    min_exclusive: usize,
+    total_sequences: usize,
+    mode: ConsolidationMode,
+    trace: Option<&TraceSession>,
+) -> ConsolidationOutcome {
+    let _span = trace.map(|t| t.span(Phase::Consolidate));
+    let outcome = consolidate_detailed(clusters, min_exclusive, total_sequences, mode);
+    if let Some(trace) = trace {
+        trace.add(Counter::ClustersDismissed, outcome.dismissed as u64);
+        trace.add(Counter::ClustersMerged, outcome.merged as u64);
+    }
+    outcome
 }
 
 /// [`consolidate_with_mode`], additionally reporting how many of the
@@ -326,6 +346,36 @@ mod tests {
         let out = consolidate_detailed(&mut clusters, 1, 10, ConsolidationMode::MergeIntoCovering);
         assert_eq!(out.dismissed, 1);
         assert_eq!(out.merged, 0);
+    }
+
+    #[test]
+    fn traced_consolidation_matches_and_counts() {
+        use crate::trace::{Counter, TraceSession};
+        let make = || {
+            vec![
+                make_cluster(0, vec![0, 1, 2, 3, 4]),
+                make_cluster(1, vec![0, 1, 2, 3]),
+            ]
+        };
+        let mut plain = make();
+        let expected = consolidate_detailed(&mut plain, 2, 10, ConsolidationMode::Dismiss);
+        let session = TraceSession::in_memory();
+        let mut traced = make();
+        let out = consolidate_traced(
+            &mut traced,
+            2,
+            10,
+            ConsolidationMode::Dismiss,
+            Some(&session),
+        );
+        assert_eq!(out, expected);
+        assert_eq!(traced.len(), plain.len());
+        assert_eq!(session.counter(Counter::ClustersDismissed), 1);
+        assert_eq!(session.counter(Counter::ClustersMerged), 0);
+        assert_eq!(
+            session.phase_stats(crate::trace::Phase::Consolidate).count,
+            1
+        );
     }
 
     #[test]

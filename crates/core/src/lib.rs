@@ -61,6 +61,7 @@ pub mod seeding;
 pub mod similarity;
 pub mod telemetry;
 pub mod threshold;
+pub mod trace;
 
 pub use algorithm::Cluseq;
 pub use checkpoint::Checkpoint;
@@ -74,8 +75,9 @@ pub use recluster::ScanOptions;
 pub use score::ScoreEngine;
 pub use similarity::{
     max_similarity, max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
-    BoundedSimilarity, LogSim, SegmentSimilarity,
+    prune_count, BoundedSimilarity, LogSim, SegmentSimilarity,
 };
 pub use telemetry::{
     CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,
 };
+pub use trace::{TraceConfig, TraceSession};

@@ -28,10 +28,11 @@ use crate::similarity::{
     BoundedSimilarity, LogSim,
 };
 use crate::telemetry::ScanMetrics;
+use crate::trace::{Counter, Phase, TraceSession};
 
 /// Options controlling one re-clustering scan.
 #[derive(Debug, Clone, Copy)]
-pub struct ScanOptions {
+pub struct ScanOptions<'a> {
     /// Score against evolving models (the paper) or an iteration-start
     /// snapshot (parallel variant).
     pub mode: ScanMode,
@@ -53,9 +54,15 @@ pub struct ScanOptions {
     /// a pruned pair is always a non-join, so memberships and models are
     /// unaffected. Ignored by the interpreted kernel.
     pub prune_below: Option<f64>,
+    /// Live tracing session. When set, the scan opens `scan_score` /
+    /// `scan_absorb` spans and records its [`ScanMetrics`] into the
+    /// registry — snapshot workers write `pairs_scored`/`pairs_pruned`
+    /// into their own shards as they go, everything else merges at the
+    /// end-of-scan barrier. The scan's outputs are identical either way.
+    pub trace: Option<&'a TraceSession>,
 }
 
-impl Default for ScanOptions {
+impl Default for ScanOptions<'_> {
     fn default() -> Self {
         Self {
             mode: ScanMode::Incremental,
@@ -63,6 +70,7 @@ impl Default for ScanOptions {
             threads: 1,
             kernel: ScanKernel::default(),
             prune_below: None,
+            trace: None,
         }
     }
 }
@@ -187,7 +195,7 @@ pub fn recluster(
     log_t: f64,
     order: &[usize],
     background: &BackgroundModel,
-    options: ScanOptions,
+    options: ScanOptions<'_>,
 ) -> ReclusterOutcome {
     let n = db.len();
     let mut state = ScanState::new(n, clusters, log_t, options.rebuild_psts);
@@ -204,6 +212,7 @@ pub fn recluster(
         (ScanMode::Incremental, ScanKernel::Interpreted) => {
             // Scoring and model updates interleave here, so the whole scan
             // is attributed to the score phase (absorb stays 0).
+            let _span = options.trace.map(|t| t.span(Phase::ScanScore));
             let start = std::time::Instant::now();
             for &seq_id in order {
                 let seq = db.sequence(seq_id).symbols();
@@ -220,6 +229,7 @@ pub fn recluster(
             // and recompiled after a mutation. Joins are rare relative to
             // scored pairs once the clustering settles, so the automatons
             // live long enough to pay for themselves.
+            let _span = options.trace.map(|t| t.span(Phase::ScanScore));
             let start = std::time::Instant::now();
             let mut compiled: Vec<Option<CompiledPst>> = vec![None; clusters.len()];
             for &seq_id in order {
@@ -244,29 +254,43 @@ pub fn recluster(
             // in slot order, so the absorb phase below visits pairs in
             // exactly the incremental scan's (sequence, slot) order.
             let engine = ScoreEngine::new(options.threads);
-            let (rows, nanos) = match kernel {
-                ScanKernel::Interpreted => {
-                    let (rows, nanos) =
-                        engine.score_sequences_timed(db, clusters, background, order);
-                    let rows = rows
-                        .into_iter()
-                        .map(|row| row.into_iter().map(BoundedSimilarity::Exact).collect())
-                        .collect::<Vec<Vec<BoundedSimilarity>>>();
-                    (rows, nanos)
-                }
-                ScanKernel::Compiled => {
-                    // Compilation is part of the score phase's bill: it
-                    // only exists to serve this pass.
-                    let start = std::time::Instant::now();
-                    let compiled = engine.compile_clusters(clusters, background);
-                    let compile_nanos = start.elapsed().as_nanos() as u64;
-                    let (rows, nanos) =
-                        engine.score_sequences_compiled_timed(db, &compiled, order, prune_below);
-                    (rows, compile_nanos + nanos)
+            let (rows, nanos) = {
+                let _span = options.trace.map(|t| t.span(Phase::ScanScore));
+                match kernel {
+                    ScanKernel::Interpreted => {
+                        let (rows, nanos) = engine.score_sequences_metered(
+                            db,
+                            clusters,
+                            background,
+                            order,
+                            options.trace,
+                        );
+                        let rows = rows
+                            .into_iter()
+                            .map(|row| row.into_iter().map(BoundedSimilarity::Exact).collect())
+                            .collect::<Vec<Vec<BoundedSimilarity>>>();
+                        (rows, nanos)
+                    }
+                    ScanKernel::Compiled => {
+                        // Compilation is part of the score phase's bill: it
+                        // only exists to serve this pass.
+                        let start = std::time::Instant::now();
+                        let compiled = engine.compile_clusters(clusters, background);
+                        let compile_nanos = start.elapsed().as_nanos() as u64;
+                        let (rows, nanos) = engine.score_sequences_compiled_metered(
+                            db,
+                            &compiled,
+                            order,
+                            prune_below,
+                            options.trace,
+                        );
+                        (rows, compile_nanos + nanos)
+                    }
                 }
             };
             score_nanos = nanos;
             // Absorb phase: sequential, in examination order.
+            let _span = options.trace.map(|t| t.span(Phase::ScanAbsorb));
             let start = std::time::Instant::now();
             for (pos, &seq_id) in order.iter().enumerate() {
                 let seq = db.sequence(seq_id).symbols();
@@ -303,6 +327,24 @@ pub fn recluster(
 
     let mut metrics = state.metrics;
     metrics.membership_changes = changes;
+
+    if let Some(trace) = options.trace {
+        // End-of-scan barrier merge. Pair counts were already written per
+        // worker shard by the snapshot score phase; the serial modes
+        // record theirs here. Everything merges as u64 sums, so registry
+        // totals are bit-identical across thread counts and equal to
+        // `metrics` — `tests/trace_stream.rs` enforces both.
+        if !matches!(options.mode, ScanMode::Snapshot) {
+            trace.add(Counter::PairsScored, metrics.pairs_scored);
+            trace.add(Counter::PairsPruned, metrics.pairs_pruned);
+        }
+        trace.add(Counter::Joins, metrics.joins);
+        trace.add(Counter::NewJoins, metrics.new_joins);
+        trace.add(
+            Counter::MembershipChanges,
+            metrics.membership_changes as u64,
+        );
+    }
 
     ReclusterOutcome {
         similarities: state.similarities,
@@ -368,18 +410,18 @@ mod tests {
             .collect()
     }
 
-    fn incremental() -> ScanOptions {
+    fn incremental() -> ScanOptions<'static> {
         ScanOptions::default()
     }
 
-    fn rebuild() -> ScanOptions {
+    fn rebuild() -> ScanOptions<'static> {
         ScanOptions {
             rebuild_psts: true,
             ..ScanOptions::default()
         }
     }
 
-    fn snapshot(threads: usize) -> ScanOptions {
+    fn snapshot(threads: usize) -> ScanOptions<'static> {
         ScanOptions {
             mode: ScanMode::Snapshot,
             threads,
@@ -549,7 +591,7 @@ mod tests {
         }
     }
 
-    fn with_kernel(mut opts: ScanOptions, kernel: ScanKernel) -> ScanOptions {
+    fn with_kernel<'a>(mut opts: ScanOptions<'a>, kernel: ScanKernel) -> ScanOptions<'a> {
         opts.kernel = kernel;
         opts
     }
@@ -652,6 +694,63 @@ mod tests {
         let out = recluster(&db, &mut clusters, 0.05, &order, &bg, opts);
         assert_eq!(out.metrics.pairs_pruned, 0);
         assert_eq!(out.similarities.len(), db.len() * 2);
+    }
+
+    /// A traced scan leaves its outputs untouched and lands exactly the
+    /// scan's [`ScanMetrics`] in the registry — regardless of mode,
+    /// kernel, or thread count (the per-shard vs barrier-merge split must
+    /// never double- or under-count).
+    #[test]
+    fn traced_scan_registry_equals_scan_metrics() {
+        use crate::trace::{Counter, TraceSession};
+        let (db, bg) = fixture();
+        let order: Vec<usize> = vec![4, 1, 3, 0, 2];
+        for base in [incremental(), snapshot(1), snapshot(4)] {
+            for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+                let opts = with_kernel(base, kernel);
+                let mut plain_clusters = make_clusters(&db, &[0, 3]);
+                let plain = recluster(&db, &mut plain_clusters, 0.05, &order, &bg, opts);
+
+                let session = TraceSession::in_memory();
+                let mut traced_clusters = make_clusters(&db, &[0, 3]);
+                let traced_opts = ScanOptions {
+                    trace: Some(&session),
+                    ..opts
+                };
+                let traced = recluster(&db, &mut traced_clusters, 0.05, &order, &bg, traced_opts);
+
+                let ctx = format!("mode {:?} kernel {:?}", base.mode, kernel);
+                let bits = |sims: &[f64]| sims.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&plain.similarities),
+                    bits(&traced.similarities),
+                    "{ctx}"
+                );
+                assert_eq!(plain.changes, traced.changes, "{ctx}");
+                for (a, b) in plain_clusters.iter().zip(&traced_clusters) {
+                    assert_eq!(a.members, b.members, "{ctx}");
+                    assert_eq!(a.pst.total_count(), b.pst.total_count(), "{ctx}");
+                }
+                let m = traced.metrics;
+                assert_eq!(
+                    session.counter(Counter::PairsScored),
+                    m.pairs_scored,
+                    "{ctx}"
+                );
+                assert_eq!(
+                    session.counter(Counter::PairsPruned),
+                    m.pairs_pruned,
+                    "{ctx}"
+                );
+                assert_eq!(session.counter(Counter::Joins), m.joins, "{ctx}");
+                assert_eq!(session.counter(Counter::NewJoins), m.new_joins, "{ctx}");
+                assert_eq!(
+                    session.counter(Counter::MembershipChanges),
+                    m.membership_changes as u64,
+                    "{ctx}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,9 +25,10 @@ use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
 use crate::similarity::{
-    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
+    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst, prune_count,
     BoundedSimilarity, SegmentSimilarity,
 };
+use crate::trace::{self, Counter, HistKind, TraceSession};
 
 /// Maps `f` over `0..n` using up to `threads` scoped worker threads.
 ///
@@ -66,6 +67,20 @@ where
             .flat_map(|h| h.join().expect("scoring worker panicked"))
             .collect()
     })
+}
+
+/// The chunk size [`parallel_map`] uses for `n` indices over `threads`
+/// workers — `n` itself on the serial path, so that
+/// [`trace::shard_for`]`(pos, plan_chunk(n, threads))` maps row `pos` to
+/// the registry shard owned by the worker that evaluates it (shard 0 for
+/// a serial map).
+pub fn plan_chunk(n: usize, threads: usize) -> usize {
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 2 * threads {
+        n.max(1)
+    } else {
+        n.div_ceil(threads)
+    }
 }
 
 /// A configured scorer: the thread count plus the similarity shapes the
@@ -123,9 +138,42 @@ impl ScoreEngine {
         background: &BackgroundModel,
         order: &[usize],
     ) -> (Vec<Vec<SegmentSimilarity>>, u64) {
+        self.score_sequences_metered(db, clusters, background, order, None)
+    }
+
+    /// [`score_sequences_timed`](ScoreEngine::score_sequences_timed) that
+    /// additionally records per-row metrics into `trace` when one is
+    /// given: each worker writes `pairs_scored` and a `score_row` latency
+    /// observation into its own registry shard, contention-free. Scores
+    /// are identical either way — the registry is write-only here.
+    pub fn score_sequences_metered(
+        &self,
+        db: &SequenceDatabase,
+        clusters: &[Cluster],
+        background: &BackgroundModel,
+        order: &[usize],
+        trace: Option<&TraceSession>,
+    ) -> (Vec<Vec<SegmentSimilarity>>, u64) {
         let start = std::time::Instant::now();
-        let rows = self.score_sequences(db, clusters, background, order);
-        (rows, start.elapsed().as_nanos() as u64)
+        let rows = match trace {
+            None => self.score_sequences(db, clusters, background, order),
+            Some(trace) => {
+                let chunk = plan_chunk(order.len(), self.threads);
+                parallel_map(order.len(), self.threads, |pos| {
+                    let row_start = std::time::Instant::now();
+                    let seq = db.sequence(order[pos]).symbols();
+                    let row: Vec<SegmentSimilarity> = clusters
+                        .iter()
+                        .map(|cluster| max_similarity_pst(&cluster.pst, background, seq))
+                        .collect();
+                    let shard = trace::shard_for(pos, chunk);
+                    trace.add_at(shard, Counter::PairsScored, row.len() as u64);
+                    trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+                    row
+                })
+            }
+        };
+        (rows, trace::nanos_since(start))
     }
 
     /// Compiles every cluster's PST into its scan automaton, in slot
@@ -180,9 +228,48 @@ impl ScoreEngine {
         order: &[usize],
         prune_below: Option<f64>,
     ) -> (Vec<Vec<BoundedSimilarity>>, u64) {
+        self.score_sequences_compiled_metered(db, compiled, order, prune_below, None)
+    }
+
+    /// [`score_sequences_compiled_timed`](ScoreEngine::score_sequences_compiled_timed)
+    /// with optional per-row metrics (see
+    /// [`score_sequences_metered`](ScoreEngine::score_sequences_metered));
+    /// pruned pairs additionally count into `pairs_pruned`, recorded by
+    /// the worker that proved the prune.
+    pub fn score_sequences_compiled_metered(
+        &self,
+        db: &SequenceDatabase,
+        compiled: &[CompiledPst],
+        order: &[usize],
+        prune_below: Option<f64>,
+        trace: Option<&TraceSession>,
+    ) -> (Vec<Vec<BoundedSimilarity>>, u64) {
         let start = std::time::Instant::now();
-        let rows = self.score_sequences_compiled(db, compiled, order, prune_below);
-        (rows, start.elapsed().as_nanos() as u64)
+        let rows = match trace {
+            None => self.score_sequences_compiled(db, compiled, order, prune_below),
+            Some(trace) => {
+                let chunk = plan_chunk(order.len(), self.threads);
+                parallel_map(order.len(), self.threads, |pos| {
+                    let row_start = std::time::Instant::now();
+                    let seq = db.sequence(order[pos]).symbols();
+                    let row: Vec<BoundedSimilarity> = compiled
+                        .iter()
+                        .map(|automaton| match prune_below {
+                            Some(log_t) => max_similarity_compiled_bounded(automaton, seq, log_t),
+                            None => {
+                                BoundedSimilarity::Exact(max_similarity_compiled(automaton, seq))
+                            }
+                        })
+                        .collect();
+                    let shard = trace::shard_for(pos, chunk);
+                    trace.add_at(shard, Counter::PairsScored, row.len() as u64);
+                    trace.add_at(shard, Counter::PairsPruned, prune_count(&row));
+                    trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+                    row
+                })
+            }
+        };
+        (rows, trace::nanos_since(start))
     }
 
     /// Scores each database sequence in `ids` against a single PST.
@@ -351,6 +438,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn metered_scoring_is_identical_and_counts_pairs() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        for threads in [1usize, 4] {
+            let engine = ScoreEngine::new(threads);
+            let session = TraceSession::in_memory();
+            let plain = engine.score_sequences(&db, &clusters, &bg, &order);
+            let (metered, _) =
+                engine.score_sequences_metered(&db, &clusters, &bg, &order, Some(&session));
+            assert_eq!(plain, metered, "threads={threads}");
+            let expected = (order.len() * clusters.len()) as u64;
+            assert_eq!(session.counter(Counter::PairsScored), expected);
+            assert_eq!(session.counter(Counter::PairsPruned), 0);
+            let hist = session.shared().hist_counts(HistKind::ScoreRow);
+            assert_eq!(hist.iter().sum::<u64>(), order.len() as u64);
+
+            let compiled = engine.compile_clusters(&clusters, &bg);
+            let session = TraceSession::in_memory();
+            let bounded = engine.score_sequences_compiled(&db, &compiled, &order, Some(0.5));
+            let (metered, _) = engine.score_sequences_compiled_metered(
+                &db,
+                &compiled,
+                &order,
+                Some(0.5),
+                Some(&session),
+            );
+            assert_eq!(bounded, metered, "threads={threads}");
+            assert_eq!(session.counter(Counter::PairsScored), expected);
+            let pruned: u64 = bounded.iter().map(|row| prune_count(row)).sum();
+            assert_eq!(session.counter(Counter::PairsPruned), pruned);
+        }
+    }
+
+    #[test]
+    fn plan_chunk_matches_parallel_map_layout() {
+        // Serial path: single chunk covering everything.
+        assert_eq!(plan_chunk(5, 1), 5);
+        assert_eq!(plan_chunk(7, 4), 7); // n < 2*threads => serial
+        assert_eq!(plan_chunk(0, 4), 1);
+        // Parallel path: ceil(n / clamped_threads).
+        assert_eq!(plan_chunk(100, 4), 25);
+        assert_eq!(plan_chunk(9, 4), 3);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::config::ScanKernel;
 use crate::score::parallel_map;
 use crate::similarity::{max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::SeedingMetrics;
+use crate::trace::{Phase, TraceSession};
 
 /// Selects up to `k_n` seed sequence ids from `unclustered`.
 ///
@@ -52,6 +53,7 @@ pub fn select_seeds(
         threads,
         kernel,
         rng,
+        None,
     )
     .0
 }
@@ -65,6 +67,10 @@ pub fn select_seeds(
 /// maxima. The selection is bit-identical to the interpreted path: a
 /// pruned pair is provably below the running maximum, so it could never
 /// have raised it.
+///
+/// With a `trace` session, the candidate scoring passes run under nested
+/// `seeding_score` spans (the caller holds the surrounding `seeding`
+/// span); tracing changes no draw, score, or pick.
 #[allow(clippy::too_many_arguments)] // internal driver call, mirrors §4.1's inputs
 pub fn select_seeds_detailed(
     db: &SequenceDatabase,
@@ -77,6 +83,7 @@ pub fn select_seeds_detailed(
     threads: usize,
     kernel: ScanKernel,
     rng: &mut impl Rng,
+    trace: Option<&TraceSession>,
 ) -> (Vec<usize>, SeedingMetrics) {
     let requested = k_n;
     let pool = unclustered.len();
@@ -117,6 +124,7 @@ pub fn select_seeds_detailed(
     // best_sim[i] = highest similarity of candidate i to any cluster chosen
     // so far (existing clusters first). Farthest-first then only needs to
     // fold in the newest seed each step.
+    let score_span = trace.map(|t| t.span(Phase::SeedingScore));
     let mut best_sim: Vec<f64> = parallel_map(candidates.len(), threads, |i| {
         let seq = db.sequence(candidates[i]).symbols();
         match &cluster_automata {
@@ -134,6 +142,7 @@ pub fn select_seeds_detailed(
                 .fold(f64::NEG_INFINITY, f64::max),
         }
     });
+    drop(score_span);
 
     let mut chosen: Vec<usize> = Vec::with_capacity(k_n); // candidate indices
     let mut taken = vec![false; candidates.len()];
@@ -149,6 +158,7 @@ pub fn select_seeds_detailed(
         chosen.push(pick);
 
         // Fold the new seed into every remaining candidate's best score.
+        let _span = trace.map(|t| t.span(Phase::SeedingScore));
         let pick_automaton = cluster_automata
             .as_ref()
             .map(|_| CompiledPst::compile(&candidate_psts[pick], background));
@@ -412,6 +422,7 @@ mod tests {
             1,
             ScanKernel::Interpreted,
             &mut rng_b,
+            None,
         );
         assert_eq!(plain, detailed, "identical RNG draws, identical seeds");
         // Both consumed the same amount of RNG state.
@@ -437,6 +448,7 @@ mod tests {
             1,
             ScanKernel::Interpreted,
             &mut rng,
+            None,
         );
         assert!(seeds.is_empty());
         assert_eq!(metrics.requested, 3);

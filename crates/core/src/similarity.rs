@@ -248,6 +248,13 @@ impl BoundedSimilarity {
     }
 }
 
+/// How many entries of a scored row were pruned — the per-row kernel
+/// early-exit count the tracing layer records at the worker that produced
+/// the row.
+pub fn prune_count(row: &[BoundedSimilarity]) -> u64 {
+    row.iter().filter(|v| v.is_pruned()).count() as u64
+}
+
 /// [`max_similarity_compiled`] with threshold early-exit: once no suffix
 /// extension can reach `threshold` (in log space), the scan abandons the
 /// pair and reports [`BoundedSimilarity::Pruned`].

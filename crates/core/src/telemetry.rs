@@ -644,21 +644,22 @@ impl RunObserver for RunReport {
 
 /// Minimal JSON emitter: tracks whether a comma is due at each nesting
 /// level; values are written through typed helpers so escaping and float
-/// formatting live in one place.
-struct JsonWriter {
+/// formatting live in one place. Shared with [`crate::trace`], whose
+/// JSONL events use the same formatting rules.
+pub(crate) struct JsonWriter {
     buf: String,
     needs_comma: Vec<bool>,
 }
 
 impl JsonWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             buf: String::new(),
             needs_comma: vec![false],
         }
     }
 
-    fn prep(&mut self) {
+    pub(crate) fn prep(&mut self) {
         if let Some(due) = self.needs_comma.last_mut() {
             if *due {
                 self.buf.push(',');
@@ -667,31 +668,31 @@ impl JsonWriter {
         }
     }
 
-    fn begin_obj(&mut self) {
+    pub(crate) fn begin_obj(&mut self) {
         self.prep();
         self.buf.push('{');
         self.needs_comma.push(false);
     }
 
-    fn end_obj(&mut self) {
+    pub(crate) fn end_obj(&mut self) {
         self.needs_comma.pop();
         self.buf.push('}');
     }
 
-    fn begin_arr(&mut self) {
+    pub(crate) fn begin_arr(&mut self) {
         self.prep();
         self.buf.push('[');
         self.needs_comma.push(false);
     }
 
-    fn end_arr(&mut self) {
+    pub(crate) fn end_arr(&mut self) {
         self.needs_comma.pop();
         self.buf.push(']');
     }
 
     /// Writes `"key":` and suppresses the comma bookkeeping for the value
     /// that follows (the value belongs to this key, not the sequence).
-    fn key(&mut self, key: &str) {
+    pub(crate) fn key(&mut self, key: &str) {
         self.prep();
         self.buf.push('"');
         self.buf.push_str(key); // keys are in-tree identifiers, no escaping
@@ -701,37 +702,37 @@ impl JsonWriter {
         }
     }
 
-    fn raw_value(&mut self, v: &str) {
+    pub(crate) fn raw_value(&mut self, v: &str) {
         self.prep();
         self.buf.push_str(v);
     }
 
-    fn field_usize(&mut self, key: &str, v: usize) {
+    pub(crate) fn field_usize(&mut self, key: &str, v: usize) {
         self.key(key);
         self.raw_value(&v.to_string());
     }
 
-    fn field_u64(&mut self, key: &str, v: u64) {
+    pub(crate) fn field_u64(&mut self, key: &str, v: u64) {
         self.key(key);
         self.raw_value(&v.to_string());
     }
 
-    fn field_bool(&mut self, key: &str, v: bool) {
+    pub(crate) fn field_bool(&mut self, key: &str, v: bool) {
         self.key(key);
         self.raw_value(if v { "true" } else { "false" });
     }
 
-    fn field_f64(&mut self, key: &str, v: f64) {
+    pub(crate) fn field_f64(&mut self, key: &str, v: f64) {
         self.key(key);
         self.push_f64(v);
     }
 
-    fn field_null(&mut self, key: &str) {
+    pub(crate) fn field_null(&mut self, key: &str) {
         self.key(key);
         self.raw_value("null");
     }
 
-    fn field_str(&mut self, key: &str, v: &str) {
+    pub(crate) fn field_str(&mut self, key: &str, v: &str) {
         self.key(key);
         self.prep();
         self.buf.push('"');
@@ -749,11 +750,11 @@ impl JsonWriter {
         self.buf.push('"');
     }
 
-    fn arr_u64(&mut self, v: u64) {
+    pub(crate) fn arr_u64(&mut self, v: u64) {
         self.raw_value(&v.to_string());
     }
 
-    fn push_f64(&mut self, v: f64) {
+    pub(crate) fn push_f64(&mut self, v: f64) {
         if v.is_finite() {
             // `{:?}` is Rust's shortest round-trip float formatting; it
             // always contains a '.' or an 'e', so the output is a valid
@@ -764,7 +765,7 @@ impl JsonWriter {
         }
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         self.buf
     }
 }

@@ -101,6 +101,25 @@ pub fn adjust_threshold(log_t: f64, hist: &Histogram, tolerance: f64) -> (f64, b
     (d.log_t, d.moved)
 }
 
+/// [`decide_threshold`], additionally counting a `threshold_moves` event
+/// in the tracing registry when the step moved the threshold. The caller
+/// holds the surrounding `threshold` span (which also covers building the
+/// histogram this function receives). The decision itself is unchanged.
+pub fn decide_threshold_traced(
+    log_t: f64,
+    hist: &Histogram,
+    tolerance: f64,
+    trace: Option<&crate::trace::TraceSession>,
+) -> ThresholdDecision {
+    let decision = decide_threshold(log_t, hist, tolerance);
+    if let Some(trace) = trace {
+        if decision.moved {
+            trace.add(crate::trace::Counter::ThresholdMoves, 1);
+        }
+    }
+    decision
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

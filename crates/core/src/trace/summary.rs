@@ -1,0 +1,270 @@
+//! Renders a JSONL trace into a per-phase, flamegraph-style text table.
+//!
+//! Backs the `trace-summary` CLI subcommand. The renderer works from the
+//! replayed event stream alone: the header comes from the last
+//! `run_start`, iterations are stitched across resumes
+//! ([`super::sink::stitch_iterations`]), and the phase table prefers the
+//! exact span aggregates in the last `run_end` event — falling back to
+//! summing the per-iteration `phase_nanos` when the run is still going
+//! (or crashed before `run_end`).
+
+use super::json::JsonValue;
+use super::sink::{stitch_iterations, TraceReplay};
+use super::Phase;
+
+/// The rendered indentation of each phase (two spaces per nesting level).
+fn indent(phase: Phase) -> usize {
+    match phase {
+        Phase::Iteration | Phase::Resume | Phase::Finalize => 0,
+        Phase::SeedingScore => 4,
+        _ => 2,
+    }
+}
+
+fn fmt_secs(nanos: u64) -> String {
+    format!("{:.3}", nanos as f64 / 1e9)
+}
+
+fn fmt_millis(nanos: u64) -> String {
+    format!("{:.2}", nanos as f64 / 1e6)
+}
+
+struct Row {
+    phase: Phase,
+    total_nanos: u64,
+    self_nanos: u64,
+    count: u64,
+    max_nanos: u64,
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// Span rows from a `run_end` event's exact aggregates.
+fn rows_from_run_end(run_end: &JsonValue) -> Option<Vec<Row>> {
+    let spans = run_end.get("spans")?;
+    let rows = Phase::ALL
+        .iter()
+        .filter_map(|&phase| {
+            let s = spans.get(phase.as_str())?;
+            Some(Row {
+                phase,
+                total_nanos: u64_field(s, "total_nanos"),
+                self_nanos: u64_field(s, "self_nanos"),
+                count: u64_field(s, "count"),
+                max_nanos: u64_field(s, "max_nanos"),
+            })
+        })
+        .collect::<Vec<_>>();
+    (!rows.is_empty()).then_some(rows)
+}
+
+/// Approximate span rows summed from per-iteration `phase_nanos` — the
+/// fallback when no `run_end` was recorded. Self time for the iteration
+/// row is total minus the four inner phases; inner phases have no
+/// recorded children at this granularity.
+fn rows_from_iterations(iterations: &[JsonValue]) -> Vec<Row> {
+    let keyed: [(Phase, &str); 5] = [
+        (Phase::Seeding, "seeding"),
+        (Phase::ScanScore, "scan_score"),
+        (Phase::ScanAbsorb, "scan_absorb"),
+        (Phase::Consolidate, "consolidate"),
+        (Phase::Threshold, "threshold"),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut iter_total = 0u64;
+    let mut iter_children = 0u64;
+    let mut iter_max = 0u64;
+    for (phase, key) in keyed {
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for it in iterations {
+            let v = it
+                .get("phase_nanos")
+                .map(|p| u64_field(p, key))
+                .unwrap_or(0);
+            total += v;
+            max = max.max(v);
+        }
+        iter_children += total;
+        rows.push(Row {
+            phase,
+            total_nanos: total,
+            self_nanos: total,
+            count: iterations.len() as u64,
+            max_nanos: max,
+        });
+    }
+    for it in iterations {
+        let v = it
+            .get("phase_nanos")
+            .map(|p| u64_field(p, "total"))
+            .unwrap_or(0);
+        iter_total += v;
+        iter_max = iter_max.max(v);
+    }
+    rows.insert(
+        0,
+        Row {
+            phase: Phase::Iteration,
+            total_nanos: iter_total,
+            self_nanos: iter_total.saturating_sub(iter_children),
+            count: iterations.len() as u64,
+            max_nanos: iter_max,
+        },
+    );
+    rows
+}
+
+/// Renders a replayed trace as the `trace-summary` report.
+pub fn render_summary(replay: &TraceReplay) -> String {
+    let mut out = String::new();
+    let last_start = replay
+        .events
+        .iter()
+        .rev()
+        .find(|e| e.kind == "run_start")
+        .map(|e| &e.value);
+    let last_end = replay
+        .events
+        .iter()
+        .rev()
+        .find(|e| e.kind == "run_end")
+        .map(|e| &e.value);
+    let resumes = replay.events.iter().filter(|e| e.kind == "resume").count();
+    let iterations = stitch_iterations(replay);
+
+    if let Some(start) = last_start {
+        out.push_str(&format!(
+            "run: {} sequences, alphabet {}, threads {}, scan {}/{}, seed {}\n",
+            u64_field(start, "sequences"),
+            u64_field(start, "alphabet_size"),
+            u64_field(start, "threads"),
+            start
+                .get("scan_mode")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            start
+                .get("scan_kernel")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            u64_field(start, "seed"),
+        ));
+    }
+    out.push_str(&format!(
+        "events: {}, iterations: {}, resumes: {}{}{}\n",
+        replay.events.len(),
+        iterations.len(),
+        resumes,
+        if replay.truncated_tail {
+            ", torn tail dropped"
+        } else {
+            ""
+        },
+        if last_end.is_some() {
+            ""
+        } else {
+            ", run still in progress (no run_end)"
+        },
+    ));
+
+    if let Some(last) = iterations.last() {
+        out.push_str(&format!(
+            "latest iteration {}: {} clusters, log_t {}, {} pairs scored, {} pruned\n",
+            u64_field(last, "iteration"),
+            u64_field(last, "clusters_live"),
+            last.get("log_t")
+                .and_then(JsonValue::as_f64)
+                .map_or("?".to_string(), |v| format!("{v:.4}")),
+            u64_field(last, "pairs_scored"),
+            u64_field(last, "pairs_pruned"),
+        ));
+    }
+
+    let (rows, exact) = match last_end.and_then(rows_from_run_end) {
+        Some(rows) => (rows, true),
+        None => (rows_from_iterations(&iterations), false),
+    };
+    out.push('\n');
+    out.push_str(&format!(
+        "phase{}  ({} span aggregates)\n",
+        " ".repeat(19),
+        if exact { "exact" } else { "approximate" }
+    ));
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>10} {:>8} {:>12}\n",
+        "", "total s", "self s", "count", "max ms"
+    ));
+    for row in rows {
+        if row.count == 0 && row.total_nanos == 0 {
+            continue;
+        }
+        let label = format!("{}{}", " ".repeat(indent(row.phase)), row.phase.as_str());
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>10} {:>8} {:>12}\n",
+            label,
+            fmt_secs(row.total_nanos),
+            fmt_secs(row.self_nanos),
+            row.count,
+            fmt_millis(row.max_nanos),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sink::read_trace_str;
+    use super::*;
+
+    const ITER: &str = concat!(
+        "{\"seq\":0,\"event\":\"run_start\",\"sequences\":40,\"alphabet_size\":4,",
+        "\"threads\":2,\"scan_mode\":\"incremental\",\"scan_kernel\":\"compiled\",\"seed\":7,",
+        "\"initial_log_t\":0.5}\n",
+        "{\"seq\":1,\"event\":\"iteration\",\"iteration\":0,\"clusters_live\":3,",
+        "\"pairs_scored\":120,\"pairs_pruned\":10,\"log_t\":0.25,\"phase_nanos\":",
+        "{\"seeding\":1000000,\"scan_score\":5000000,\"scan_absorb\":200000,",
+        "\"consolidate\":300000,\"threshold\":100000,\"total\":7000000}}\n",
+    );
+
+    #[test]
+    fn summary_without_run_end_uses_iteration_fallback() {
+        let replay = read_trace_str(ITER).unwrap();
+        let text = render_summary(&replay);
+        assert!(text.contains("run: 40 sequences"), "{text}");
+        assert!(text.contains("incremental/compiled"));
+        assert!(text.contains("run still in progress"));
+        assert!(text.contains("approximate"));
+        assert!(text.contains("latest iteration 0: 3 clusters, log_t 0.2500"));
+        assert!(text.contains(" iteration "));
+        assert!(text.contains("  scan_score"));
+    }
+
+    #[test]
+    fn summary_prefers_run_end_spans() {
+        let trace = format!(
+            "{ITER}{}",
+            concat!(
+                "{\"seq\":2,\"event\":\"run_end\",\"iterations\":1,\"clusters\":3,",
+                "\"outliers\":2,\"final_log_t\":0.25,\"finalize_nanos\":1,\"total_nanos\":9,",
+                "\"counters\":{\"pairs_scored\":120},\"spans\":{\"iteration\":",
+                "{\"total_nanos\":7000000,\"self_nanos\":400000,\"count\":1,",
+                "\"max_nanos\":7000000},\"scan_score\":{\"total_nanos\":5000000,",
+                "\"self_nanos\":5000000,\"count\":1,\"max_nanos\":5000000}}}\n",
+            )
+        );
+        let replay = read_trace_str(&trace).unwrap();
+        let text = render_summary(&replay);
+        assert!(text.contains("exact"), "{text}");
+        assert!(!text.contains("run still in progress"));
+        assert!(text.contains("scan_score"));
+    }
+
+    #[test]
+    fn summary_of_empty_trace_does_not_panic() {
+        let replay = read_trace_str("").unwrap();
+        let text = render_summary(&replay);
+        assert!(text.contains("events: 0, iterations: 0"));
+    }
+}

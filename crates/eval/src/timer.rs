@@ -28,11 +28,16 @@ impl Stopwatch {
     }
 
     /// Records the time since the previous lap (or start) under `name`.
+    ///
+    /// Clock-safe end to end: the elapsed reading saturates at zero
+    /// instead of panicking, so a platform whose monotonic clock steps
+    /// coarsely (or a lap recorded within the clock's resolution of the
+    /// previous one) yields a zero-length lap rather than a `Duration`
+    /// underflow panic.
     pub fn lap(&mut self, name: &str) -> Duration {
-        let now = Instant::now();
-        let d = now - self.start;
+        let d = Instant::now().saturating_duration_since(self.start);
         let prev: Duration = self.laps.iter().map(|(_, d)| *d).sum();
-        let lap = d - prev;
+        let lap = d.checked_sub(prev).unwrap_or_default();
         self.laps.push((name.to_owned(), lap));
         lap
     }
@@ -73,6 +78,19 @@ mod tests {
         let (v, d) = Stopwatch::time(|| 41 + 1);
         assert_eq!(v, 42);
         assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn rapid_laps_never_underflow() {
+        // Back-to-back laps land within the clock's resolution of each
+        // other; each must come out as a (possibly zero) duration, never
+        // a subtraction panic.
+        let mut sw = Stopwatch::new();
+        for i in 0..1_000 {
+            sw.lap(&format!("lap{i}"));
+        }
+        let lap_sum: Duration = sw.laps().iter().map(|(_, d)| *d).sum();
+        assert!(sw.total() >= lap_sum);
     }
 
     #[test]

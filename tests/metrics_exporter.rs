@@ -1,0 +1,203 @@
+//! Exporter suite: the `--metrics-addr` endpoint must serve valid
+//! Prometheus text format (version 0.0.4) over plain HTTP, and its
+//! `_total` series must be monotone across scrapes.
+//!
+//! The scrape goes over a raw [`TcpStream`] — no HTTP client library —
+//! which doubles as a check that the hand-rolled HTTP/1.0 response is
+//! well-formed enough for the simplest possible consumer.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cluseq::core::trace::Counter;
+use cluseq::prelude::*;
+
+fn workload() -> SequenceDatabase {
+    SyntheticSpec {
+        sequences: 90,
+        clusters: 3,
+        avg_len: 80,
+        alphabet: 24,
+        outlier_fraction: 0.05,
+        seed: 41,
+    }
+    .generate()
+}
+
+fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// A metric name per the Prometheus data model: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses text-format exposition into name → value, validating the
+/// format as it goes: `# TYPE` precedes its samples, names are legal,
+/// every value parses as a float.
+fn parse_exposition(body: &str) -> HashMap<String, f64> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("# TYPE carries a name");
+            let kind = parts.next().expect("# TYPE carries a kind");
+            assert!(valid_metric_name(name), "bad metric name {name:?}");
+            assert!(
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ),
+                "bad metric kind {kind:?}"
+            );
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let name = series.split('{').next().unwrap();
+        assert!(valid_metric_name(name), "bad sample name {name:?}");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("unparseable value in {line:?}: {e}"));
+        // A sample's metric family must have been declared first. Histogram
+        // samples append _bucket/_sum/_count to the declared family name.
+        assert!(
+            typed.iter().any(|t| name == t
+                || name.strip_suffix("_bucket") == Some(t.as_str())
+                || name.strip_suffix("_sum") == Some(t.as_str())
+                || name.strip_suffix("_count") == Some(t.as_str())),
+            "sample {name:?} has no preceding # TYPE"
+        );
+        samples.insert(series.to_string(), value);
+    }
+    assert!(!samples.is_empty(), "exposition carried no samples");
+    samples
+}
+
+#[test]
+fn exporter_serves_valid_prometheus_text_format() {
+    let session = TraceSession::start(&TraceConfig {
+        jsonl: None,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+    })
+    .expect("start exporter");
+    let addr = session.metrics_addr().expect("bound address");
+    assert_ne!(addr.port(), 0, "port 0 must resolve to an ephemeral port");
+
+    let db = workload();
+    let runner = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(3)
+            .with_significance(6)
+            .with_max_depth(5)
+            .with_max_iterations(4)
+            .with_seed(9)
+            .with_threads(2),
+    );
+    runner.run_traced(&db, &mut NoopObserver, Some(&session));
+
+    let (head, body) = scrape(addr, "/metrics");
+    let status = head.lines().next().expect("status line");
+    assert!(
+        status.starts_with("HTTP/1.0 200") || status.starts_with("HTTP/1.1 200"),
+        "unexpected status line {status:?}"
+    );
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "missing Prometheus content type in {head:?}"
+    );
+
+    let first = parse_exposition(&body);
+    for required in [
+        "cluseq_phase_seconds_total",
+        "cluseq_pairs_scored_total",
+        "cluseq_pairs_pruned_total",
+        "cluseq_clusters_live",
+        "cluseq_threshold",
+        "cluseq_iteration",
+    ] {
+        assert!(
+            first.keys().any(|k| k.split('{').next() == Some(required)),
+            "required family {required:?} absent from exposition"
+        );
+    }
+    assert_eq!(
+        first
+            .iter()
+            .find(|(k, _)| k.starts_with("cluseq_pairs_scored_total"))
+            .map(|(_, v)| *v as u64),
+        Some(session.counter(Counter::PairsScored)),
+        "exposed counter must equal the registry"
+    );
+
+    // Monotonicity: every *_total series only grows as the run continues.
+    runner.run_traced(&db, &mut NoopObserver, Some(&session));
+    let (_, body2) = scrape(addr, "/metrics");
+    let second = parse_exposition(&body2);
+    let mut compared = 0;
+    for (series, v1) in &first {
+        if !series.split('{').next().unwrap().ends_with("_total") {
+            continue;
+        }
+        let v2 = second
+            .get(series)
+            .unwrap_or_else(|| panic!("series {series:?} vanished between scrapes"));
+        assert!(v2 >= v1, "counter {series:?} went backwards: {v1} -> {v2}");
+        compared += 1;
+    }
+    assert!(compared > 0, "no _total series to compare");
+
+    // Unknown paths get a 404 without killing the listener.
+    let (head404, _) = scrape(addr, "/nope");
+    assert!(
+        head404.lines().next().unwrap().contains("404"),
+        "unknown path should 404"
+    );
+    let (head_again, _) = scrape(addr, "/metrics");
+    assert!(head_again.contains("200"), "listener must survive a 404");
+}
+
+/// Dropping the session must stop the listener and release the port.
+#[test]
+fn exporter_shuts_down_with_the_session() {
+    let session = TraceSession::start(&TraceConfig {
+        jsonl: None,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+    })
+    .expect("start exporter");
+    let addr = session.metrics_addr().expect("bound address");
+    let (head, _) = scrape(addr, "/metrics");
+    assert!(head.contains("200"));
+    drop(session);
+    // The accept thread is joined on drop, so a fresh connect must fail
+    // (nothing is listening any more).
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "exporter port still open after session drop"
+    );
+}
