@@ -1,0 +1,213 @@
+//! Load-generates the serve daemon and records `BENCH_serve.json`.
+//!
+//! Two phases against an in-process `cluseq serve` instance on a
+//! loopback socket, both issuing ASSIGN queries drawn from the training
+//! database:
+//!
+//! 1. **single-in-flight** — one connection, strictly sequential
+//!    request/response; the baseline a naive client sees.
+//! 2. **batched** — `--clients` (default 16) closed-loop connections;
+//!    the dispatcher coalesces concurrently queued requests into batches
+//!    scored through `parallel_map` at `--threads` (default 4).
+//!
+//! ```sh
+//! cargo run --release -p cluseq-bench --bin bench_serve \
+//!     [--quick] [--threads N] [--clients N] [--out BENCH_serve.json]
+//! ```
+//!
+//! The target trajectory is batched throughput ≥ 3× the single-in-flight
+//! qps at `--threads 4`. That ratio needs ≥ 4 cores: batching converts
+//! idle round-trip gaps into parallel scoring, so on a single-core host
+//! (the JSON records `cores`) the two phases are both CPU-bound and the
+//! ratio only reflects amortized wakeup overhead.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use cluseq_bench::{flag_value, print_table};
+use cluseq_core::persist::SavedModel;
+use cluseq_core::serve::client::ServeClient;
+use cluseq_core::serve::model::ServeModel;
+use cluseq_core::serve::{ServeConfig, Server};
+use cluseq_core::{Cluseq, CluseqParams, ScanKernel};
+use cluseq_datagen::SyntheticSpec;
+use cluseq_seq::Symbol;
+
+struct PhaseStats {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 / 1_000.0
+}
+
+fn stats(total: usize, wall: Duration, mut latencies_ns: Vec<u64>) -> PhaseStats {
+    latencies_ns.sort_unstable();
+    PhaseStats {
+        qps: total as f64 / wall.as_secs_f64(),
+        p50_us: percentile(&latencies_ns, 0.50),
+        p99_us: percentile(&latencies_ns, 0.99),
+    }
+}
+
+/// One connection, one request in flight at a time.
+fn run_single(addr: std::net::SocketAddr, queries: &[Vec<Symbol>], requests: usize) -> PhaseStats {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for q in queries.iter().take(64) {
+        client.assign(q).expect("warmup assign");
+    }
+    let mut latencies = Vec::with_capacity(requests);
+    let start = Instant::now();
+    for i in 0..requests {
+        let q = &queries[i % queries.len()];
+        let sent = Instant::now();
+        client.assign(q).expect("assign");
+        latencies.push(sent.elapsed().as_nanos() as u64);
+    }
+    stats(requests, start.elapsed(), latencies)
+}
+
+/// `clients` closed-loop connections hammering concurrently.
+fn run_batched(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<Symbol>],
+    clients: usize,
+    requests: usize,
+) -> PhaseStats {
+    let per_client = requests / clients;
+    let barrier = Barrier::new(clients + 1);
+    let (wall, latencies) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    for q in queries.iter().take(8) {
+                        client.assign(q).expect("warmup assign");
+                    }
+                    barrier.wait();
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        // Stagger starting offsets so batches mix queries.
+                        let q = &queries[(i + c * 7) % queries.len()];
+                        let sent = Instant::now();
+                        client.assign(q).expect("assign");
+                        latencies.push(sent.elapsed().as_nanos() as u64);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let latencies: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        (start.elapsed(), latencies)
+    });
+    stats(per_client * clients, wall, latencies)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let threads: usize = flag_value("--threads")
+        .map(|v| v.parse().expect("--threads needs an integer"))
+        .unwrap_or(4);
+    let clients: usize = flag_value("--clients")
+        .map(|v| v.parse().expect("--clients needs an integer"))
+        .unwrap_or(16);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (avg_len, max_depth, requests) = if quick { (80, 4, 640) } else { (240, 6, 6400) };
+
+    // Fixture: a trained 4-cluster model over moderately long sequences,
+    // so scoring (not loopback framing) dominates each request.
+    let db = SyntheticSpec {
+        sequences: 48,
+        clusters: 4,
+        avg_len,
+        alphabet: 12,
+        outlier_fraction: 0.0,
+        seed: 17,
+    }
+    .generate();
+    let outcome = Cluseq::new(
+        CluseqParams::default()
+            .with_initial_clusters(4)
+            .with_significance(5)
+            .with_max_depth(max_depth)
+            .with_max_iterations(4)
+            .with_seed(9),
+    )
+    .run(&db);
+    let model_path =
+        std::env::temp_dir().join(format!("cluseq_bench_serve_{}.cseq", std::process::id()));
+    let saved = SavedModel::from_outcome(&outcome);
+    let mut f = std::fs::File::create(&model_path).expect("create model file");
+    saved.save(&mut f).expect("save model");
+    drop(f);
+
+    let model = ServeModel::load(&model_path, None, ScanKernel::Compiled, 1).expect("load model");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        max_batch: 64,
+        kernel: ScanKernel::Compiled,
+        frame_timeout: Duration::from_secs(30),
+        watch_sighup: false,
+    };
+    let server = Server::start(model, None, &config, None).expect("start server");
+    let queries: Vec<Vec<Symbol>> = (0..db.len())
+        .map(|i| db.sequence(i).symbols().to_vec())
+        .collect();
+
+    eprintln!(
+        "serving {} clusters on {} ({} cores, {threads} scoring threads)",
+        saved.cluster_count(),
+        server.addr(),
+        cores
+    );
+    let single = run_single(server.addr(), &queries, requests);
+    let batched = run_batched(server.addr(), &queries, clients, requests);
+    server.shutdown();
+    let _ = std::fs::remove_file(&model_path);
+
+    let speedup = batched.qps / single.qps;
+    print_table(
+        "serve: single-in-flight vs batched concurrent load",
+        &["phase", "qps", "p50 (us)", "p99 (us)"],
+        &[
+            vec![
+                "single".into(),
+                format!("{:.0}", single.qps),
+                format!("{:.0}", single.p50_us),
+                format!("{:.0}", single.p99_us),
+            ],
+            vec![
+                format!("batched x{clients}"),
+                format!("{:.0}", batched.qps),
+                format!("{:.0}", batched.p50_us),
+                format!("{:.0}", batched.p99_us),
+            ],
+        ],
+    );
+    println!("\nbatched/single throughput: {speedup:.2}x (target >= 3x on >= 4 cores; this host: {cores})");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+         \"threads\": {threads},\n  \"clients\": {clients},\n  \"requests_per_phase\": {requests},\n  \
+         \"single\": {{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
+         \"batched\": {{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
+         \"speedup\": {speedup:.4}\n}}\n",
+        single.qps, single.p50_us, single.p99_us, batched.qps, batched.p50_us, batched.p99_us,
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -6,6 +6,8 @@
 //! * `generate` — write a synthetic labeled database (lines format);
 //! * `cluster` — cluster a lines-format file, print memberships;
 //! * `evaluate` — cluster a labeled file and print quality metrics;
+//! * `serve` — long-running clustering-as-a-service daemon over a frozen
+//!   model (binary protocol + HTTP JSON facade, hot swap on SIGHUP);
 //! * `trace-summary` — render a `--trace` JSONL file as a per-phase table;
 //! * `help` — usage.
 //!
@@ -45,7 +47,32 @@ USAGE:
   cluseq evaluate FILE [clustering options]
   cluseq classify FILE --model MODEL
   cluseq inspect  --model MODEL [--max-nodes N]
+  cluseq serve    --model MODEL [--data FILE] [serve options]
   cluseq trace-summary TRACE_FILE
+
+SERVE OPTIONS:
+  --model MODEL          frozen model to serve: a `cluster --save-model`
+                         snapshot (CSEQ) or a crash-recovery checkpoint
+                         (CCKP; needs --data, the training file, to
+                         re-derive the background model)
+  --addr ADDR            bind address (default 127.0.0.1:7878; port 0
+                         picks a free port — the bound address is printed)
+  --threads N            scoring worker threads per batch (default 1)
+  --max-batch N          most requests one scoring batch drains (default 64)
+  --scan-kernel interpreted|compiled   query scan kernel (default compiled)
+  --frame-timeout-ms MS  slow-loris cutoff: how long a started request may
+                         take to finish arriving (default 5000)
+  --metrics-addr ADDR    Prometheus exporter for request counters and
+                         latency histograms (serve_requests, serve_batches,
+                         serve_generation, serve_request_seconds)
+
+  The daemon answers a length-prefixed binary protocol (ASSIGN, SCORE,
+  ANOMALY, INFO, SWAP, SHUTDOWN) and speaks just enough HTTP/1.1 on the
+  same port for `curl`: GET /info /metrics, POST /assign /score /anomaly
+  (body = sequence, either symbol ids `0 1 0 1` or characters `abab`;
+  /anomaly takes ?threshold=LN_T), POST /swap (body = model path).
+  SIGHUP atomically reloads the model file in place: in-flight requests
+  finish on the generation that scored them, none are dropped.
 
 CLUSTERING OPTIONS:
   --initial-clusters K   initial cluster count (default 1)
@@ -111,6 +138,7 @@ fn main() -> ExitCode {
         Some("evaluate") => cluster(&args, true),
         Some("classify") => classify(&args),
         Some("inspect") => inspect(&args),
+        Some("serve") => serve(&args),
         Some("trace-summary") => trace_summary(&args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -263,24 +291,23 @@ fn load(args: &Args) -> Result<SequenceDatabase, ExitCode> {
         eprintln!("error: missing input file\n\n{USAGE}");
         return Err(ExitCode::from(2));
     };
-    let bytes = std::fs::read(path).map_err(|e| {
-        eprintln!("error: reading {path}: {e}");
-        ExitCode::FAILURE
-    })?;
-    if bytes.starts_with(b"CSDB") {
-        return cluseq_seq::binio::decode(&mut bytes.as_slice()).map_err(|e| {
-            eprintln!("error: parsing {path}: {e}");
-            ExitCode::FAILURE
-        });
-    }
-    let text = String::from_utf8(bytes).map_err(|e| {
-        eprintln!("error: {path} is neither CSDB nor utf-8 text: {e}");
-        ExitCode::FAILURE
-    })?;
-    codec::decode_lines(&text).map_err(|e| {
-        eprintln!("error: parsing {path}: {e}");
+    load_db_file(path).map_err(|e| {
+        eprintln!("error: {e}");
         ExitCode::FAILURE
     })
+}
+
+/// Reads a sequence database from `path`, sniffing CSDB binary vs. the
+/// lines text format by magic bytes.
+fn load_db_file(path: &str) -> Result<SequenceDatabase, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.starts_with(b"CSDB") {
+        return cluseq_seq::binio::decode(&mut bytes.as_slice())
+            .map_err(|e| format!("parsing {path}: {e}"));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|e| format!("{path} is neither CSDB nor utf-8 text: {e}"))?;
+    codec::decode_lines(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 /// The CLI's telemetry sink: accumulates a [`RunReport`] for `--report`
@@ -534,6 +561,89 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
             println!("{i}\t{best}\t{}", homes.join(","));
         }
     }
+    ExitCode::SUCCESS
+}
+
+fn serve(args: &Args) -> ExitCode {
+    use cluseq_core::serve::{model::ServeModel, ServeConfig, Server};
+
+    let Some(model_path) = args.get_str("model") else {
+        eprintln!("error: serve requires --model FILE\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let db = match args.get_str("data") {
+        Some(path) => match load_db_file(path) {
+            Ok(db) => Some(db),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let config = ServeConfig {
+        addr: args.get_str("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        threads: args.get("threads", 1usize).max(1),
+        max_batch: args.get("max-batch", 64usize).max(1),
+        kernel: args.get("scan-kernel", ScanKernel::Compiled),
+        frame_timeout: std::time::Duration::from_millis(args.get("frame-timeout-ms", 5000u64)),
+        watch_sighup: true,
+    };
+    let model = match ServeModel::load(
+        std::path::Path::new(model_path),
+        db.as_ref(),
+        config.kernel,
+        1,
+    ) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The trace session owns the /metrics exporter; the serve threads hold
+    // their own Arc to the registry, so it must outlive the handle.
+    let trace_session = match args.get_str("metrics-addr") {
+        None => None,
+        Some(addr) => {
+            let config = TraceConfig {
+                jsonl: None,
+                metrics_addr: Some(addr.to_owned()),
+            };
+            match TraceSession::start(&config) {
+                Ok(session) => Some(session),
+                Err(e) => {
+                    eprintln!("error: starting metrics exporter: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    if let Some(addr) = trace_session.as_ref().and_then(|s| s.metrics_addr()) {
+        eprintln!("metrics exporter listening on http://{addr}/metrics");
+    }
+    let clusters = model.saved.cluster_count();
+    let handle = match Server::start(
+        model,
+        db,
+        &config,
+        trace_session.as_ref().map(|s| s.shared_arc()),
+    ) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serving {clusters} clusters (generation {}) on {} — \
+         binary protocol + HTTP; SIGHUP reloads {model_path}; \
+         SHUTDOWN frame stops",
+        handle.generation(),
+        handle.addr()
+    );
+    handle.wait();
+    eprintln!("serve: drained and stopped");
     ExitCode::SUCCESS
 }
 

@@ -63,6 +63,9 @@ pub use cluseq_seq as seq;
 pub mod prelude {
     pub use cluseq_core::online::OnlineCluseq;
     pub use cluseq_core::persist::SavedModel;
+    pub use cluseq_core::serve::client::ServeClient;
+    pub use cluseq_core::serve::model::ServeModel;
+    pub use cluseq_core::serve::{ServeConfig, Server, ServerHandle};
     pub use cluseq_core::telemetry::{
         CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,
     };

@@ -58,6 +58,7 @@ pub mod persist;
 pub mod recluster;
 pub mod score;
 pub mod seeding;
+pub mod serve;
 pub mod similarity;
 pub mod telemetry;
 pub mod threshold;
@@ -73,6 +74,7 @@ pub use order::ExaminationOrder;
 pub use outcome::{CluseqOutcome, IterationStats};
 pub use recluster::ScanOptions;
 pub use score::ScoreEngine;
+pub use serve::{ServeConfig, Server, ServerHandle};
 pub use similarity::{
     max_similarity, max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
     prune_count, BoundedSimilarity, LogSim, SegmentSimilarity,

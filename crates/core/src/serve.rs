@@ -1,0 +1,520 @@
+//! `cluseq serve`: clustering as a service.
+//!
+//! The daemon loads a frozen model set (a `CSEQ` snapshot from
+//! [`crate::persist`] or a `CCKP` checkpoint from [`crate::checkpoint`]),
+//! binds one TCP port, and answers ASSIGN / SCORE / ANOMALY / INFO / SWAP
+//! queries over a length-prefixed binary protocol
+//! ([`protocol`]), with a minimal HTTP/1.1 JSON facade on the same port
+//! for curl-ability ([the first byte of a connection decides: frame magic
+//! → binary, anything else → HTTP](Server)).
+//!
+//! Three properties carry the subsystem, each with its own adversarial
+//! test suite:
+//!
+//! - **Batched determinism** ([`engine`]): concurrent requests are
+//!   drained into arrival-order batches and scored through the same
+//!   deterministic [`crate::score::parallel_map`] as the offline scan, so
+//!   responses are bit-identical to single-request scoring at any
+//!   `--threads` (`tests/serve_concurrent.rs`).
+//! - **Epoch-pinned hot swap** ([`engine::ServeEngine::swap`] /
+//!   SIGHUP): a generation switch is an `Arc` pointer swap; in-flight
+//!   batches finish on the generation they pinned, every response carries
+//!   its generation id, and zero requests drop (`tests/serve_swap.rs`).
+//! - **A total protocol** ([`protocol`]): hostile bytes — truncation,
+//!   oversized length prefixes, garbage magic, slow-loris stalls — get a
+//!   well-formed error frame or a clean close, never a panic or a hang
+//!   (`tests/serve_protocol.rs`).
+
+pub mod client;
+pub mod engine;
+mod http;
+pub mod model;
+pub mod protocol;
+pub mod signal;
+
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cluseq_seq::SequenceDatabase;
+
+use crate::config::ScanKernel;
+use crate::trace::{Counter, TraceShared};
+use engine::{EngineHandle, ServeEngine, Work};
+use model::ServeModel;
+use protocol::{errcode, parse_header, ProtoError, Request, Response, FRAME_MAGIC};
+
+/// How often blocked reads wake to check the stop flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// How the daemon binds, batches, and times out.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Scoring worker threads per batch (see [`crate::score::parallel_map`]).
+    pub threads: usize,
+    /// Most requests one dispatch batch may drain.
+    pub max_batch: usize,
+    /// Which scan kernel answers queries.
+    pub kernel: ScanKernel,
+    /// Once a frame (or HTTP request) has *started* arriving, how long the
+    /// rest may take — the slow-loris cutoff. Idle connections are not
+    /// subject to it.
+    pub frame_timeout: Duration,
+    /// Spawn the SIGHUP watcher that reloads the model from its source
+    /// path (unix only; ignored elsewhere).
+    pub watch_sighup: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            max_batch: 64,
+            kernel: ScanKernel::default(),
+            frame_timeout: Duration::from_secs(5),
+            watch_sighup: false,
+        }
+    }
+}
+
+/// The serve daemon's TCP front door.
+///
+/// [`Server::start`] binds the port, starts the [`ServeEngine`]
+/// dispatcher, and spawns the accept loop; the returned [`ServerHandle`]
+/// owns every thread and tears them down in drain order.
+pub struct Server;
+
+impl Server {
+    /// Starts serving `model` under `config`. `db` is kept for hot-swaps
+    /// to CCKP checkpoints; `trace` (when given) receives request
+    /// counters, batch counts, and latency observations.
+    pub fn start(
+        model: ServeModel,
+        db: Option<SequenceDatabase>,
+        config: &ServeConfig,
+        trace: Option<Arc<TraceShared>>,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine_handle =
+            ServeEngine::start(model, config.threads, config.max_batch, db, trace.clone());
+        let engine = Arc::clone(engine_handle.engine());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let engine = Arc::clone(&engine);
+            let trace = trace.clone();
+            let frame_timeout = config.frame_timeout;
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, stop, engine, trace, frame_timeout, addr))?
+        };
+
+        let hup = if config.watch_sighup && signal::install() {
+            let stop = Arc::clone(&stop);
+            let engine = Arc::clone(&engine);
+            Some(
+                std::thread::Builder::new()
+                    .name("serve-sighup".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            if signal::take() {
+                                match engine.reload() {
+                                    Ok((generation, clusters)) => eprintln!(
+                                        "serve: SIGHUP reload -> generation {generation} \
+                                         ({clusters} clusters)"
+                                    ),
+                                    Err(e) => eprintln!(
+                                        "serve: SIGHUP reload failed ({e}); previous \
+                                         generation keeps serving"
+                                    ),
+                                }
+                            }
+                            std::thread::sleep(POLL);
+                        }
+                    })?,
+            )
+        } else {
+            None
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+            hup,
+            engine,
+            engine_handle: Some(engine_handle),
+        })
+    }
+}
+
+/// A running daemon; owns the accept loop, connection handlers (via the
+/// accept loop), the optional SIGHUP watcher, and the dispatcher.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    hup: Option<JoinHandle<()>>,
+    engine: Arc<ServeEngine>,
+    engine_handle: Option<EngineHandle>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving core (generation queries, in-process swaps).
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Live model generation.
+    pub fn generation(&self) -> u64 {
+        self.engine.generation()
+    }
+
+    /// Blocks until the daemon stops — via a client SHUTDOWN frame or
+    /// [`ServerHandle::shutdown`] from another thread — then completes
+    /// the drain. The CLI parks on this.
+    pub fn wait(mut self) {
+        self.finish();
+    }
+
+    /// Initiates a graceful stop and drains: no new connections, existing
+    /// handlers get one grace poll to pick up already-sent frames, every
+    /// queued request is scored and answered before the dispatcher exits.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        wake(self.addr);
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        // Order matters: connection handlers (joined via the accept
+        // thread) block on engine replies, so the engine must outlive
+        // them; it shuts down last, after the queue can no longer grow.
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(hup) = self.hup.take() {
+            let _ = hup.join();
+        }
+        if let Some(engine_handle) = self.engine_handle.take() {
+            engine_handle.shutdown();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        wake(self.addr);
+        self.finish();
+    }
+}
+
+/// Wakes a blocking `accept` with a throwaway connection (the exporter's
+/// pattern), mapping unspecified bind IPs to loopback.
+fn wake(mut addr: SocketAddr) {
+    match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST)),
+        IpAddr::V6(ip) if ip.is_unspecified() => addr.set_ip(IpAddr::V6(Ipv6Addr::LOCALHOST)),
+        _ => {}
+    }
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    engine: Arc<ServeEngine>,
+    trace: Option<Arc<TraceShared>>,
+    frame_timeout: Duration,
+    addr: SocketAddr,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        handlers.retain(|h| !h.is_finished());
+        let conn = Connection {
+            engine: Arc::clone(&engine),
+            trace: trace.clone(),
+            stop: Arc::clone(&stop),
+            frame_timeout,
+            server_addr: addr,
+        };
+        match std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || conn.run(stream))
+        {
+            Ok(handle) => handlers.push(handle),
+            Err(_) => continue, // spawn failure: drop the connection
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Per-connection state: one handler thread per accepted stream.
+struct Connection {
+    engine: Arc<ServeEngine>,
+    trace: Option<Arc<TraceShared>>,
+    stop: Arc<AtomicBool>,
+    frame_timeout: Duration,
+    server_addr: SocketAddr,
+}
+
+enum FirstByte {
+    Byte(u8),
+    Closed,
+    Stopping,
+}
+
+enum Filled {
+    Done,
+    Closed,
+    TimedOut,
+}
+
+impl Connection {
+    fn run(&self, mut stream: TcpStream) {
+        loop {
+            let first = match self.idle_first_byte(&mut stream) {
+                Ok(b) => b,
+                Err(_) => return,
+            };
+            match first {
+                FirstByte::Closed | FirstByte::Stopping => return,
+                FirstByte::Byte(b) if b == FRAME_MAGIC[0] => {
+                    if !self.serve_frame(&mut stream, b) {
+                        return;
+                    }
+                }
+                FirstByte::Byte(b) => {
+                    // Not frame magic: one HTTP request, then close.
+                    let deadline = Instant::now() + self.frame_timeout;
+                    http::handle(&mut stream, b, &self.engine, self.trace.as_ref(), deadline);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Waits for the first byte of the next request. Idle waiting is
+    /// unbounded but polls the stop flag; after observing stop it grants
+    /// one extra poll interval so a frame already in the socket buffer
+    /// still gets served (the drain grace).
+    fn idle_first_byte(&self, stream: &mut TcpStream) -> io::Result<FirstByte> {
+        let mut grace_used = false;
+        let mut buf = [0u8; 1];
+        loop {
+            stream.set_read_timeout(Some(POLL))?;
+            match stream.read(&mut buf) {
+                Ok(0) => return Ok(FirstByte::Closed),
+                Ok(_) => return Ok(FirstByte::Byte(buf[0])),
+                Err(e) if is_timeout(&e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        if grace_used {
+                            return Ok(FirstByte::Stopping);
+                        }
+                        grace_used = true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads exactly `buf` from the stream before `deadline`.
+    fn fill(&self, stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> Filled {
+        let mut got = 0;
+        while got < buf.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Filled::TimedOut;
+            }
+            if stream
+                .set_read_timeout(Some((deadline - now).min(POLL)))
+                .is_err()
+            {
+                return Filled::Closed;
+            }
+            match stream.read(&mut buf[got..]) {
+                Ok(0) => return Filled::Closed,
+                Ok(n) => got += n,
+                Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Filled::Closed,
+            }
+        }
+        Filled::Done
+    }
+
+    /// Serves one binary frame whose first byte already arrived. Returns
+    /// whether the connection should keep going.
+    fn serve_frame(&self, stream: &mut TcpStream, first: u8) -> bool {
+        let deadline = Instant::now() + self.frame_timeout;
+        let mut header = [0u8; 8];
+        header[0] = first;
+        match self.fill(stream, &mut header[1..], deadline) {
+            Filled::Done => {}
+            Filled::Closed => return false,
+            Filled::TimedOut => {
+                self.send_error(stream, errcode::TIMEOUT, "frame header stalled");
+                return false;
+            }
+        }
+        let len = match parse_header(&header) {
+            Ok(len) => len as usize,
+            Err(ProtoError::Oversized(n)) => {
+                // Rejected from the header alone — the payload was never
+                // allocated or read.
+                self.send_error(
+                    stream,
+                    errcode::OVERSIZED,
+                    &format!("length prefix {n} exceeds cap"),
+                );
+                return false;
+            }
+            Err(_) => {
+                self.send_error(stream, errcode::BAD_MAGIC, "bad frame magic");
+                return false;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match self.fill(stream, &mut payload, deadline) {
+            Filled::Done => {}
+            Filled::Closed => return false,
+            Filled::TimedOut => {
+                self.send_error(stream, errcode::TIMEOUT, "frame payload stalled");
+                return false;
+            }
+        }
+        let request = match Request::decode_payload(&payload) {
+            Ok(request) => request,
+            Err(ProtoError::BadTag(op)) => {
+                self.send_error(
+                    stream,
+                    errcode::BAD_OP,
+                    &format!("unknown opcode {op:#04x}"),
+                );
+                return true; // framing is intact; the connection survives
+            }
+            Err(e) => {
+                self.send_error(stream, errcode::MALFORMED, &e.to_string());
+                return true;
+            }
+        };
+        self.dispatch(stream, request)
+    }
+
+    /// Executes one decoded request. Returns whether to keep the
+    /// connection open.
+    fn dispatch(&self, stream: &mut TcpStream, request: Request) -> bool {
+        match request {
+            Request::Assign { seq } => self.scored(stream, Work::Assign(seq)),
+            Request::Score { seq } => self.scored(stream, Work::Score(seq)),
+            Request::Anomaly { seq, threshold } => {
+                self.scored(stream, Work::Anomaly(seq, threshold))
+            }
+            Request::Info => {
+                self.count_ok();
+                self.send(stream, &self.engine.current().info())
+            }
+            Request::Swap { path } => match self.engine.swap(Path::new(&path)) {
+                Ok((generation, clusters)) => {
+                    self.count_ok();
+                    self.send(
+                        stream,
+                        &Response::Swapped {
+                            generation,
+                            clusters,
+                        },
+                    )
+                }
+                Err(e) => {
+                    self.send_error(stream, errcode::SWAP_FAILED, &e);
+                    true
+                }
+            },
+            Request::Shutdown => {
+                self.count_ok();
+                let _ = self.send(stream, &Response::ShuttingDown);
+                self.stop.store(true, Ordering::SeqCst);
+                wake(self.server_addr);
+                false
+            }
+        }
+    }
+
+    /// Queues scoring work and relays the batched answer.
+    fn scored(&self, stream: &mut TcpStream, work: Work) -> bool {
+        let response = self.engine.submit(work).recv().unwrap_or(Response::Error {
+            code: errcode::SHUTTING_DOWN,
+            message: "server is draining".into(),
+        });
+        self.send(stream, &response)
+    }
+
+    fn send(&self, stream: &mut TcpStream, response: &Response) -> bool {
+        stream.write_all(&response.encode_frame()).is_ok()
+    }
+
+    fn send_error(&self, stream: &mut TcpStream, code: u16, message: &str) {
+        if let Some(t) = &self.trace {
+            t.add(Counter::ServeErrors, 1);
+        }
+        let _ = self.send(
+            stream,
+            &Response::Error {
+                code,
+                message: message.into(),
+            },
+        );
+    }
+
+    fn count_ok(&self) {
+        if let Some(t) = &self.trace {
+            t.add(Counter::ServeRequests, 1);
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}

@@ -1,0 +1,113 @@
+//! A blocking binary-protocol client for the serve daemon.
+//!
+//! One [`ServeClient`] wraps one TCP connection and speaks strict
+//! request/response: every call writes one frame and blocks for one
+//! frame back. The tests, the bench load generator, and the anomaly
+//! example all query through this type, so the daemon's test surface
+//! exercises the exact codec production clients would use.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use cluseq_seq::Symbol;
+
+use crate::serve::protocol::{read_frame, ClusterScore, ProtoError, Request, Response};
+
+/// A connected binary-protocol client.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a serve daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Bounds how long [`ServeClient::request`] waits for a response
+    /// frame (`None` = forever).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request frame and blocks for the one response frame.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        self.stream.write_all(&req.encode_frame())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode_payload(&payload),
+            None => Err(ProtoError::Truncated),
+        }
+    }
+
+    /// ASSIGN: `(slot, log_sim)` hits plus the answering generation.
+    pub fn assign(&mut self, seq: &[Symbol]) -> Result<(u64, Vec<(u32, f64)>), ProtoError> {
+        match self.request(&Request::Assign { seq: seq.to_vec() })? {
+            Response::Assign { generation, hits } => Ok((generation, hits)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// SCORE: full ranked per-cluster scores plus the answering generation.
+    pub fn score(&mut self, seq: &[Symbol]) -> Result<(u64, Vec<ClusterScore>), ProtoError> {
+        match self.request(&Request::Score { seq: seq.to_vec() })? {
+            Response::Score { generation, scores } => Ok((generation, scores)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// ANOMALY: the full verdict response.
+    pub fn anomaly(
+        &mut self,
+        seq: &[Symbol],
+        threshold: Option<f64>,
+    ) -> Result<Response, ProtoError> {
+        let resp = self.request(&Request::Anomaly {
+            seq: seq.to_vec(),
+            threshold,
+        })?;
+        match resp {
+            Response::Anomaly { .. } => Ok(resp),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// INFO: the model metadata response.
+    pub fn info(&mut self) -> Result<Response, ProtoError> {
+        let resp = self.request(&Request::Info)?;
+        match resp {
+            Response::Info { .. } => Ok(resp),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// SWAP to the model at a server-side path; returns the new
+    /// generation and its cluster count.
+    pub fn swap(&mut self, path: &str) -> Result<(u64, u32), ProtoError> {
+        match self.request(&Request::Swap { path: path.into() })? {
+            Response::Swapped {
+                generation,
+                clusters,
+            } => Ok((generation, clusters)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ProtoError {
+    match resp {
+        Response::Error { .. } => ProtoError::Corrupt("server answered an error frame"),
+        _ => ProtoError::Corrupt("server answered the wrong response type"),
+    }
+}

@@ -1,0 +1,271 @@
+//! The batching dispatcher: concurrent requests in, deterministic
+//! batched scoring out.
+//!
+//! # Design
+//!
+//! Connection handlers enqueue [`Work`] items into a single mutex-guarded
+//! queue and block on a per-job reply channel. One dispatcher thread
+//! drains the queue in arrival order, up to `max_batch` jobs at a time,
+//! pins the live model `Arc` **once per batch**, and evaluates the batch
+//! through [`parallel_map`] — the same contiguous-chunk deterministic map
+//! the offline scan uses. Each job's answer is therefore the exact bytes
+//! a single-request server would produce: scoring is a pure function of
+//! (model generation, query), and batching only changes *when* it runs,
+//! never *what* it computes.
+//!
+//! # Hot swap
+//!
+//! [`ServeEngine::swap`] builds the replacement generation entirely
+//! outside the model lock, then installs it with a single `RwLock` write.
+//! Batches already holding the old `Arc` finish against the old
+//! generation; the next batch pins the new one. No request is ever
+//! dropped or scored against a half-installed model, and every response
+//! carries the generation that actually scored it. A failed load leaves
+//! the old generation serving untouched.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+use cluseq_seq::{SequenceDatabase, Symbol};
+
+use crate::score::parallel_map;
+use crate::serve::model::ServeModel;
+use crate::serve::protocol::{errcode, Response};
+use crate::trace::{self, Counter, Gauge, HistKind, TraceShared};
+
+/// One scoring query, decoded and validated off the wire.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// ASSIGN: clusters the sequence joins under the stored threshold.
+    Assign(Vec<Symbol>),
+    /// SCORE: full per-cluster similarity.
+    Score(Vec<Symbol>),
+    /// ANOMALY: verdict against the stored or overridden threshold.
+    Anomaly(Vec<Symbol>, Option<f64>),
+}
+
+struct Job {
+    work: Work,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The serving core: live model slot, request queue, dispatcher thread.
+pub struct ServeEngine {
+    model: RwLock<Arc<ServeModel>>,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    /// Serializes swaps so two concurrent SWAPs cannot both load against
+    /// the same predecessor generation.
+    swap_gate: Mutex<()>,
+    next_generation: AtomicU64,
+    threads: usize,
+    max_batch: usize,
+    db: Option<SequenceDatabase>,
+    trace: Option<Arc<TraceShared>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("generation", &self.generation())
+            .field("threads", &self.threads)
+            .field("max_batch", &self.max_batch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Joins the dispatcher thread when the engine shuts down; returned by
+/// [`ServeEngine::start`] so the owner controls teardown order.
+pub struct EngineHandle {
+    engine: Arc<ServeEngine>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHandle").finish_non_exhaustive()
+    }
+}
+
+impl EngineHandle {
+    /// The engine this handle owns the dispatcher of.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Marks the queue closed and joins the dispatcher. The dispatcher
+    /// only exits once the queue is *empty*, so every job submitted
+    /// before this call still receives its real scored answer — this is
+    /// the drain half of the zero-drop guarantee.
+    pub fn shutdown(mut self) {
+        self.engine.close_queue();
+        if let Some(handle) = self.dispatcher.take() {
+            handle.join().expect("serve dispatcher panicked");
+        }
+    }
+}
+
+impl ServeEngine {
+    /// Builds an engine around an initial model and starts its dispatcher.
+    ///
+    /// `db` is retained for hot-swapping to CCKP checkpoints (which need
+    /// the training database to re-derive the background model); swaps to
+    /// CSEQ snapshots work without it.
+    ///
+    /// `threads` is clamped to the host's available parallelism: scoring
+    /// is CPU-bound, so fanning out past the core count only adds spawn
+    /// and scheduling overhead. [`parallel_map`] produces bit-identical
+    /// output at every thread count, so the clamp never changes answers.
+    pub fn start(
+        initial: ServeModel,
+        threads: usize,
+        max_batch: usize,
+        db: Option<SequenceDatabase>,
+        trace: Option<Arc<TraceShared>>,
+    ) -> EngineHandle {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let generation = initial.generation;
+        let engine = Arc::new(ServeEngine {
+            model: RwLock::new(Arc::new(initial)),
+            queue: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            swap_gate: Mutex::new(()),
+            next_generation: AtomicU64::new(generation + 1),
+            threads: threads.clamp(1, cores),
+            max_batch: max_batch.max(1),
+            db,
+            trace,
+        });
+        if let Some(t) = &engine.trace {
+            t.gauge_set(Gauge::ServeGeneration, generation);
+        }
+        let worker = Arc::clone(&engine);
+        let dispatcher = std::thread::Builder::new()
+            .name("serve-dispatch".into())
+            .spawn(move || worker.dispatch_loop())
+            .expect("spawn serve dispatcher");
+        EngineHandle {
+            engine,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// The live model generation.
+    pub fn generation(&self) -> u64 {
+        self.model.read().expect("model lock poisoned").generation
+    }
+
+    /// A pinned handle to the live model (INFO queries bypass the queue).
+    pub fn current(&self) -> Arc<ServeModel> {
+        Arc::clone(&self.model.read().expect("model lock poisoned"))
+    }
+
+    /// Enqueues one query. The returned receiver yields exactly one
+    /// [`Response`] — immediately a shutting-down error if the queue has
+    /// already closed, otherwise the batched scoring answer.
+    pub fn submit(&self, work: Work) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.queue.lock().expect("queue lock poisoned");
+        if q.shutdown {
+            drop(q);
+            let _ = tx.send(Response::Error {
+                code: errcode::SHUTTING_DOWN,
+                message: "server is draining".into(),
+            });
+            return rx;
+        }
+        q.jobs.push_back(Job {
+            work,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        drop(q);
+        self.ready.notify_one();
+        rx
+    }
+
+    /// Atomically replaces the live model with the one at `path`,
+    /// returning the new generation and cluster count. On any failure the
+    /// previous generation keeps serving, untouched.
+    pub fn swap(&self, path: &Path) -> Result<(u64, u32), String> {
+        let _gate = self.swap_gate.lock().expect("swap gate poisoned");
+        let current = self.current();
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        // The expensive part — file read, deserialize, PST compilation —
+        // happens here, before the write lock, so readers never wait on it.
+        let fresh = ServeModel::load(path, self.db.as_ref(), current.kernel, generation)?;
+        let clusters = fresh.saved.cluster_count() as u32;
+        *self.model.write().expect("model lock poisoned") = Arc::new(fresh);
+        if let Some(t) = &self.trace {
+            t.add(Counter::ServeSwaps, 1);
+            t.gauge_set(Gauge::ServeGeneration, generation);
+        }
+        Ok((generation, clusters))
+    }
+
+    /// Reloads the live model from the file it was originally loaded from
+    /// (the SIGHUP action).
+    pub fn reload(&self) -> Result<(u64, u32), String> {
+        let source = self.current().source.clone();
+        self.swap(&source)
+    }
+
+    fn close_queue(&self) {
+        let mut q = self.queue.lock().expect("queue lock poisoned");
+        q.shutdown = true;
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    fn dispatch_loop(&self) {
+        loop {
+            let batch: Vec<Job> = {
+                let mut q = self.queue.lock().expect("queue lock poisoned");
+                loop {
+                    if !q.jobs.is_empty() {
+                        let n = q.jobs.len().min(self.max_batch);
+                        break q.jobs.drain(..n).collect();
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.ready.wait(q).expect("queue lock poisoned");
+                }
+            };
+            // Pin the model once: every job in this batch is answered by
+            // the same generation, and a concurrent swap cannot free it
+            // out from under the workers.
+            let model = self.current();
+            let responses = parallel_map(batch.len(), self.threads, |i| match &batch[i].work {
+                Work::Assign(seq) => model.assign(seq),
+                Work::Score(seq) => model.score(seq),
+                Work::Anomaly(seq, threshold) => model.anomaly(seq, *threshold),
+            });
+            if let Some(t) = &self.trace {
+                t.add(Counter::ServeBatches, 1);
+                for (job, response) in batch.iter().zip(&responses) {
+                    let counter = match response {
+                        Response::Error { .. } => Counter::ServeErrors,
+                        _ => Counter::ServeRequests,
+                    };
+                    t.add(counter, 1);
+                    t.observe(HistKind::ServeRequest, 0, trace::nanos_since(job.enqueued));
+                }
+            }
+            for (job, response) in batch.into_iter().zip(responses) {
+                // A vanished client (dropped receiver) is not an error.
+                let _ = job.reply.send(response);
+            }
+        }
+    }
+}

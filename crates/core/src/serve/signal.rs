@@ -1,0 +1,67 @@
+//! SIGHUP plumbing for hot model reload, with no libc crate.
+//!
+//! std already links the platform C library on unix, so a one-line
+//! `extern "C"` binding to `signal(2)` is all the daemon needs: the
+//! handler just flips an `AtomicBool` (the only thing that is
+//! async-signal-safe here), and the serve loop polls [`take`] from a
+//! normal thread. On non-unix targets the module compiles to inert
+//! stubs — [`install`] reports unsupported and [`take`] never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static HUP_PENDING: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::HUP_PENDING;
+    use std::sync::atomic::Ordering;
+
+    /// `SIGHUP` from `<signal.h>`; value 1 on every unix Rust targets.
+    pub const SIGHUP: i32 = 1;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn raise(signum: i32) -> i32;
+    }
+
+    extern "C" fn on_hup(_sig: i32) {
+        HUP_PENDING.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() -> bool {
+        // SIG_ERR is -1 cast to a handler pointer.
+        unsafe { signal(SIGHUP, on_hup as *const () as usize) != usize::MAX }
+    }
+
+    pub fn raise_hup() {
+        unsafe {
+            raise(SIGHUP);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+
+    pub fn raise_hup() {}
+}
+
+/// Installs the SIGHUP handler. Returns `false` where unsupported (non-unix
+/// targets, or `signal(2)` refusing the registration); the caller then
+/// simply serves without signal-triggered reload.
+pub fn install() -> bool {
+    imp::install()
+}
+
+/// Consumes a pending SIGHUP, if one arrived since the last call.
+pub fn take() -> bool {
+    HUP_PENDING.swap(false, Ordering::SeqCst)
+}
+
+/// Sends the process a SIGHUP (test hook; no-op on non-unix targets).
+pub fn raise_hup() {
+    imp::raise_hup()
+}

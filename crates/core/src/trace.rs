@@ -185,11 +185,19 @@ pub enum Counter {
     CheckpointFailures,
     /// Bytes of checkpoint data successfully written.
     CheckpointBytes,
+    /// Requests answered by the serve daemon (scored, not errored).
+    ServeRequests,
+    /// Error frames/responses the serve daemon produced.
+    ServeErrors,
+    /// Scoring batches the serve dispatcher executed.
+    ServeBatches,
+    /// Successful hot-swaps to a new model generation.
+    ServeSwaps,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::PairsScored,
         Counter::PairsPruned,
         Counter::Joins,
@@ -203,6 +211,10 @@ impl Counter {
         Counter::CheckpointWrites,
         Counter::CheckpointFailures,
         Counter::CheckpointBytes,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::ServeBatches,
+        Counter::ServeSwaps,
     ];
 
     /// The counter's stable snake_case name (JSONL and exporter base name).
@@ -221,6 +233,10 @@ impl Counter {
             Counter::CheckpointWrites => "checkpoint_writes",
             Counter::CheckpointFailures => "checkpoint_failures",
             Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeErrors => "serve_errors",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeSwaps => "serve_swaps",
         }
     }
 
@@ -241,11 +257,18 @@ pub enum Gauge {
     ClustersLive,
     /// The similarity threshold, log-space (stored as `f64` bits).
     ThresholdLogT,
+    /// The serve daemon's live model generation (0 when not serving).
+    ServeGeneration,
 }
 
 impl Gauge {
     /// Every gauge, in display order.
-    pub const ALL: [Gauge; 3] = [Gauge::Iteration, Gauge::ClustersLive, Gauge::ThresholdLogT];
+    pub const ALL: [Gauge; 4] = [
+        Gauge::Iteration,
+        Gauge::ClustersLive,
+        Gauge::ThresholdLogT,
+        Gauge::ServeGeneration,
+    ];
 
     fn index(self) -> usize {
         Gauge::ALL.iter().position(|g| *g == self).expect("in ALL")
@@ -261,14 +284,17 @@ pub enum HistKind {
     IterationWall,
     /// Checkpoint write wall time.
     CheckpointWrite,
+    /// Serve-daemon request latency, enqueue to scored response.
+    ServeRequest,
 }
 
 impl HistKind {
     /// Every histogram, in display order.
-    pub const ALL: [HistKind; 3] = [
+    pub const ALL: [HistKind; 4] = [
         HistKind::ScoreRow,
         HistKind::IterationWall,
         HistKind::CheckpointWrite,
+        HistKind::ServeRequest,
     ];
 
     /// The histogram's stable snake_case name.
@@ -277,6 +303,7 @@ impl HistKind {
             HistKind::ScoreRow => "score_row",
             HistKind::IterationWall => "iteration_wall",
             HistKind::CheckpointWrite => "checkpoint_write",
+            HistKind::ServeRequest => "serve_request",
         }
     }
 
@@ -591,6 +618,12 @@ impl TraceSession {
     /// The shared registry (what the exporter serves).
     pub fn shared(&self) -> &TraceShared {
         &self.shared
+    }
+
+    /// An owning handle to the shared registry, for subsystems that
+    /// outlive this session's borrow (the serve daemon's threads).
+    pub fn shared_arc(&self) -> Arc<TraceShared> {
+        Arc::clone(&self.shared)
     }
 
     /// The exporter's bound address, when one is running — with

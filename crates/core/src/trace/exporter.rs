@@ -176,6 +176,12 @@ pub fn render(shared: &TraceShared) -> String {
         "cluseq_threshold {}\n",
         fmt_f64(shared.gauge_f64(Gauge::ThresholdLogT).exp())
     ));
+    out.push_str("# HELP cluseq_serve_generation Live model generation of the serve daemon (0 when not serving).\n");
+    out.push_str("# TYPE cluseq_serve_generation gauge\n");
+    out.push_str(&format!(
+        "cluseq_serve_generation {}\n",
+        shared.gauge(Gauge::ServeGeneration)
+    ));
 
     // Per-phase span time.
     out.push_str("# HELP cluseq_phase_seconds_total Wall time spent in each phase (span total).\n");
@@ -274,6 +280,10 @@ fn counter_help(counter: Counter) -> &'static str {
         Counter::CheckpointWrites => "Checkpoint write attempts.",
         Counter::CheckpointFailures => "Checkpoint write attempts that failed.",
         Counter::CheckpointBytes => "Bytes of checkpoint data successfully written.",
+        Counter::ServeRequests => "Requests the serve daemon answered with a scored response.",
+        Counter::ServeErrors => "Error frames/responses the serve daemon produced.",
+        Counter::ServeBatches => "Scoring batches the serve dispatcher executed.",
+        Counter::ServeSwaps => "Successful hot-swaps to a new model generation.",
     }
 }
 
@@ -282,6 +292,7 @@ fn hist_help(hist: HistKind) -> &'static str {
         HistKind::ScoreRow => "Latency of scoring one sequence against all clusters.",
         HistKind::IterationWall => "Wall time of one whole iteration.",
         HistKind::CheckpointWrite => "Wall time of one checkpoint write.",
+        HistKind::ServeRequest => "Serve request latency, enqueue to scored response.",
     }
 }
 

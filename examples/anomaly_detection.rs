@@ -1,22 +1,38 @@
-//! Anomaly detection with CLUSEQ — using the outlier boundary as a
-//! sequence anomaly detector.
+//! Anomaly detection with CLUSEQ — served as a query type.
 //!
 //! CLUSEQ's similarity threshold separates clustered sequences from
-//! outliers automatically. This example trains on a clean system-trace-like
-//! workload (three behavioural profiles), then streams a mix of normal and
-//! anomalous traces through [`CluseqOutcome::assign_new`] and reports
-//! detection quality — the "system traces" use case from the paper's
-//! introduction.
+//! outliers automatically. This example trains on a clean
+//! system-trace-like workload (three behavioural profiles), freezes the
+//! model, stands up an in-process serve daemon, and streams a mix of
+//! normal and anomalous traces through the binary protocol's `ANOMALY`
+//! query — the "system traces" use case from the paper's introduction,
+//! in the shape a production deployment would run it.
 //!
 //! ```sh
-//! cargo run --release --example anomaly_detection
+//! cargo run --release --example anomaly_detection [-- --threshold LN_T]
 //! ```
+//!
+//! `--threshold` overrides the trained decision boundary `ln(t)` per
+//! query (the `ANOMALY` frame carries an optional threshold): lower it
+//! to accept more traces as normal, raise it to flag more as anomalous.
 
 use cluseq::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let threshold: Option<f64> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--threshold").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--threshold needs a number (a ln-similarity bound)");
+                    std::process::exit(2);
+                })
+        })
+    };
+
     // Training data: three "normal" behavioural profiles, no noise.
     let spec = SyntheticSpec {
         sequences: 240,
@@ -40,6 +56,24 @@ fn main() {
         outcome.final_log_t
     );
 
+    // Freeze the model and put it behind the daemon, exactly as a
+    // deployment would: snapshot to disk, load, serve.
+    let model_path = std::env::temp_dir().join(format!(
+        "cluseq_example_anomaly_{}.cseq",
+        std::process::id()
+    ));
+    let mut file = std::fs::File::create(&model_path).expect("create model snapshot");
+    SavedModel::from_outcome(&outcome)
+        .save(&mut file)
+        .expect("save model snapshot");
+    drop(file);
+    let model =
+        ServeModel::load(&model_path, None, ScanKernel::Compiled, 1).expect("load model snapshot");
+    let server =
+        Server::start(model, None, &ServeConfig::default(), None).expect("start serve daemon");
+    println!("serving on {} (binary protocol + HTTP)", server.addr());
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
     // Test stream: fresh normal traces (from the planted models) and two
     // kinds of anomaly — uniform noise, and shuffles of real traces
     // (identical symbol composition, destroyed order).
@@ -49,10 +83,17 @@ fn main() {
     let mut tn = 0usize; // normal accepted as normal
     let mut fp = 0usize;
 
+    let mut verdict = |seq: &[Symbol]| -> bool {
+        match client.anomaly(seq, threshold).expect("ANOMALY query") {
+            cluseq::core::serve::protocol::Response::Anomaly { anomalous, .. } => anomalous,
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+
     for round in 0..50 {
         let model = ClusterModel::new(60, 77u64.wrapping_add((round % 3) * 0x51ED));
         let normal = model.sample_sequence(120, &mut rng);
-        if outcome.assign_new(normal.symbols()).is_empty() {
+        if verdict(normal.symbols()) {
             fp += 1;
         } else {
             tn += 1;
@@ -63,13 +104,20 @@ fn main() {
         } else {
             cluseq::datagen::outliers::shuffled_sequence(&normal, &mut rng)
         };
-        if outcome.assign_new(anomaly.symbols()).is_empty() {
+        if verdict(anomaly.symbols()) {
             tp += 1;
         } else {
             fn_ += 1;
         }
     }
 
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(&model_path);
+
+    if let Some(t) = threshold {
+        println!("\n(using overridden threshold ln(t) = {t:.1})");
+    }
     println!("\n           flagged   accepted");
     println!("anomalies  {tp:>7}   {fn_:>8}");
     println!("normals    {fp:>7}   {tn:>8}");
