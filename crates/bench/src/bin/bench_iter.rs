@@ -24,12 +24,17 @@
 //! thermal and frequency drift hits every configuration equally. The
 //! per-phase table comes from the in-memory sessions' span aggregates —
 //! the subsystem measuring itself.
+//!
+//! With `--incremental`, a fourth section compares the same workload with
+//! the incremental iteration engine off vs. on (interleaved samples,
+//! byte-identity asserted) and records the `pairs_scored` /
+//! `pairs_reused` counter evidence in the JSON.
 
 use std::time::Instant;
 
 use cluseq_bench::{flag_value, print_table, Scale};
 use cluseq_core::telemetry::NoopObserver;
-use cluseq_core::trace::{Phase, TraceConfig, TraceSession};
+use cluseq_core::trace::{Counter, Phase, TraceConfig, TraceSession};
 use cluseq_core::{Cluseq, CluseqParams};
 use cluseq_datagen::SyntheticSpec;
 use cluseq_seq::SequenceDatabase;
@@ -82,6 +87,7 @@ fn run_once(runner: &Cluseq, db: &SequenceDatabase, trace: Option<&TraceSession>
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let incremental = std::env::args().any(|a| a == "--incremental");
     let out = flag_value("--out").unwrap_or_else(|| "BENCH_iter.json".to_string());
     let scale = Scale::from_env();
     let reps = if quick { 3 } else { 9 };
@@ -170,8 +176,56 @@ fn main() {
         jsonl_overhead * 100.0
     );
 
+    // ---- incremental engine comparison (--incremental) ----
+    // Off vs. on, interleaved, byte-identity asserted; the traced pair
+    // supplies the pairs_scored / pairs_reused counter evidence.
+    let incr_section = if incremental {
+        let incr_runner = Cluseq::new(runner.params().clone().with_incremental(true));
+        let sess_full = TraceSession::in_memory();
+        let out_full = runner.run_traced(&db, &mut NoopObserver, Some(&sess_full));
+        let sess_incr = TraceSession::in_memory();
+        let out_incr = incr_runner.run_traced(&db, &mut NoopObserver, Some(&sess_incr));
+        assert_eq!(
+            out_full.best_cluster, out_incr.best_cluster,
+            "incremental engine must not change the clustering"
+        );
+        assert_eq!(
+            out_full.final_log_t.to_bits(),
+            out_incr.final_log_t.to_bits()
+        );
+        let mut full_times = Vec::with_capacity(reps);
+        let mut incr_times = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            full_times.push(run_once(&runner, &db, None));
+            incr_times.push(run_once(&incr_runner, &db, None));
+        }
+        let med_full = median(full_times);
+        let med_incr = median(incr_times);
+        let scored_full = sess_full.counter(Counter::PairsScored);
+        let scored_incr = sess_incr.counter(Counter::PairsScored);
+        let reused = sess_incr.counter(Counter::PairsReused);
+        let recompiles = sess_incr.counter(Counter::PstRecompiles);
+        println!(
+            "\nincremental engine: full {med_full:.4}s / incremental {med_incr:.4}s \
+             ({:+.2}%); pairs scored {scored_full} -> {scored_incr} \
+             ({reused} reused, {recompiles} pst recompiles)",
+            (med_incr - med_full) / med_full * 100.0,
+        );
+        format!(
+            "  \"incremental\": {{\n    \"full_median_s\": {med_full:.6},\n    \
+             \"incremental_median_s\": {med_incr:.6},\n    \
+             \"pairs_scored_full\": {scored_full},\n    \
+             \"pairs_scored_incremental\": {scored_incr},\n    \
+             \"pairs_reused\": {reused},\n    \
+             \"pst_recompiles\": {recompiles},\n    \
+             \"byte_identical\": true\n  }},\n"
+        )
+    } else {
+        String::new()
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"iter_loop\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"bench\": \"iter_loop\",\n  \"quick\": {quick},\n{incr_section}  \
          \"sequences\": {},\n  \"reps\": {reps},\n  \
          \"baseline_a_median_s\": {med_a:.6},\n  \
          \"baseline_b_median_s\": {med_b:.6},\n  \

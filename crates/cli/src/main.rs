@@ -94,6 +94,12 @@ CLUSTERING OPTIONS:
                          (default compiled)
   --threads N            worker threads for the scoring passes; results
                          are identical for any value (default 1)
+  --incremental          incremental iteration engine: cache (sequence,
+                         cluster) similarities across iterations, rescore
+                         only against clusters whose model changed, and
+                         write checkpoints as deltas against the previous
+                         one; the clustering is byte-identical to a full
+                         rescore every iteration (default off)
   --seed S               RNG seed (default fixed)
   --max-iterations N     iteration cap (default 50)
   --checkpoint-dir DIR   write crash-recovery checkpoints to DIR, one per
@@ -102,11 +108,12 @@ CLUSTERING OPTIONS:
                          always written at the fixpoint)
   --checkpoint-every N   checkpoint cadence in iterations (default 1;
                          needs --checkpoint-dir)
-  --resume               resume from the newest checkpoint in
-                         --checkpoint-dir instead of starting over; the
-                         finished run is bit-identical to an uninterrupted
-                         one (starts fresh when the directory is empty, so
-                         a crash-restart loop can always pass --resume)
+  --resume [PATH]        resume from the newest checkpoint in
+                         --checkpoint-dir — or from PATH exactly — instead
+                         of starting over; the finished run is bit-identical
+                         to an uninterrupted one (the bare flag starts fresh
+                         when the directory is empty, so a crash-restart
+                         loop can always pass --resume)
   --verbose              print per-iteration progress while clustering
   --report [PATH]        record per-iteration telemetry (phase timings,
                          cluster lifecycle, similarity histogram, threshold
@@ -275,6 +282,9 @@ fn params_from(args: &Args) -> CluseqParams {
     if args.has("no-adjust") {
         p = p.with_threshold_adjustment(false);
     }
+    if args.has("incremental") {
+        p = p.with_incremental(true);
+    }
     p = p.with_order(match args.get_str("order").unwrap_or("fixed") {
         "random" => ExaminationOrder::Random,
         "cluster" => ExaminationOrder::ClusterBased,
@@ -441,39 +451,28 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
     if let Some(addr) = trace_session.as_ref().and_then(|s| s.metrics_addr()) {
         eprintln!("metrics exporter listening on http://{addr}/metrics");
     }
-    // `--resume` restarts from the newest checkpoint in --checkpoint-dir,
-    // or fresh when none exists yet, so a crash-restart loop can pass the
-    // flag unconditionally.
-    let resume_from = if args.has("resume") {
+    // `--resume` restarts from the newest checkpoint in --checkpoint-dir
+    // (or fresh when none exists yet, so a crash-restart loop can pass the
+    // flag unconditionally); `--resume PATH` loads that specific file. The
+    // explicit form must be handled: the argument parser stores `--resume
+    // foo.ckpt` as an option, not a switch, and silently ignoring the path
+    // would run fresh with default parameters instead of resuming.
+    let resume_path = if let Some(path) = args.get_str("resume") {
+        Some(std::path::PathBuf::from(path))
+    } else if args.has("resume") {
         let Some(policy) = params.checkpoint.clone() else {
-            eprintln!("error: --resume requires --checkpoint-dir");
+            eprintln!("error: --resume requires --checkpoint-dir (or an explicit --resume PATH)");
             return ExitCode::from(2);
         };
         match Checkpoint::latest_in(&policy.dir) {
-            Ok(Some(path)) => match Checkpoint::load_path(&path) {
-                Ok(ckpt) => {
-                    if let Err(mismatch) = ckpt.verify_database(&db) {
-                        eprintln!("error: {}: {mismatch}", path.display());
-                        return ExitCode::FAILURE;
-                    }
+            Ok(found) => {
+                if found.is_none() {
                     eprintln!(
-                        "resuming from {} ({} iterations completed)",
-                        path.display(),
-                        ckpt.completed
+                        "no checkpoint found in {}; starting fresh",
+                        policy.dir.display()
                     );
-                    Some(ckpt)
                 }
-                Err(e) => {
-                    eprintln!("error: loading checkpoint {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-            },
-            Ok(None) => {
-                eprintln!(
-                    "no checkpoint found in {}; starting fresh",
-                    policy.dir.display()
-                );
-                None
+                found
             }
             Err(e) => {
                 eprintln!("error: scanning {}: {e}", policy.dir.display());
@@ -482,6 +481,27 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
         }
     } else {
         None
+    };
+    let resume_from = match resume_path {
+        Some(path) => match Checkpoint::load_path(&path) {
+            Ok(ckpt) => {
+                if let Err(mismatch) = ckpt.verify_database(&db) {
+                    eprintln!("error: {}: {mismatch}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "resuming from {} ({} iterations completed)",
+                    path.display(),
+                    ckpt.completed
+                );
+                Some(ckpt)
+            }
+            Err(e) => {
+                eprintln!("error: loading checkpoint {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     let trace = trace_session.as_ref();
     let (outcome, elapsed) = Stopwatch::time(|| match resume_from {
@@ -789,6 +809,18 @@ mod tests {
         assert_eq!(params_from(&args).scan_kernel, ScanKernel::Interpreted);
         let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
         assert_eq!(params_from(&args).scan_kernel, ScanKernel::Compiled);
+    }
+
+    #[test]
+    fn incremental_flag_reaches_params_and_defaults_off() {
+        let args = Args::parse(
+            "cluster data.txt --incremental"
+                .split_whitespace()
+                .map(str::to_owned),
+        );
+        assert!(params_from(&args).incremental);
+        let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
+        assert!(!params_from(&args).incremental);
     }
 
     #[test]

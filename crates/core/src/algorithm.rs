@@ -7,6 +7,8 @@
 //! a fixpoint — same number of clusters and no membership change — or at
 //! the iteration cap.
 
+use std::collections::BTreeSet;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -18,8 +20,9 @@ use crate::checkpoint::{db_digest, Checkpoint};
 use crate::cluster::Cluster;
 use crate::config::{CluseqParams, ScanKernel};
 use crate::consolidate::{consolidate_traced, exclusive_member_counts};
+use crate::incremental::SimilarityCache;
 use crate::outcome::{CluseqOutcome, IterationStats};
-use crate::recluster::{recluster, ScanOptions};
+use crate::recluster::{recluster_cached, ScanOptions};
 use crate::score::{parallel_map, plan_chunk};
 use crate::seeding::select_seeds_detailed;
 use crate::similarity::{max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity};
@@ -54,6 +57,16 @@ struct LoopState {
     /// Telemetry records accumulated for checkpoints (empty when
     /// checkpointing is off — then nothing ever reads them).
     records: Vec<IterationRecord>,
+    /// The incremental engine's (sequence, cluster) similarity cache.
+    /// Stays empty — and costs nothing — unless `params.incremental`.
+    cache: SimilarityCache,
+    /// Completed-iteration number of the last successfully written
+    /// checkpoint, i.e. the base the next delta checkpoint references.
+    /// `None` until a full checkpoint exists (or when incremental is off).
+    ckpt_base: Option<usize>,
+    /// Ids of clusters seeded, mutated, merged into, or rebuilt since
+    /// `ckpt_base` — exactly the bodies the next delta must carry.
+    changed_since_base: BTreeSet<usize>,
 }
 
 /// The CLUSEQ algorithm, configured and ready to run.
@@ -188,6 +201,9 @@ impl Cluseq {
                 start_iteration: 0,
                 stable: false,
                 records: Vec::new(),
+                cache: SimilarityCache::new(n),
+                ckpt_base: None,
+                changed_since_base: BTreeSet::new(),
             },
         )
     }
@@ -281,6 +297,17 @@ impl Cluseq {
             }
         }
 
+        // The checkpoint's cache columns rebuild the incremental engine's
+        // warm state; resuming with a cold cache would also be correct
+        // (the cache only elides provably identical evaluations) but
+        // would re-pay one full scan. The resumed-from checkpoint is the
+        // base for the next delta — it is on disk by construction.
+        let cache = if p.incremental {
+            SimilarityCache::from_columns(db.len(), checkpoint.cache)
+        } else {
+            SimilarityCache::new(db.len())
+        };
+        let ckpt_base = p.incremental.then_some(checkpoint.completed);
         runner.drive(
             db,
             observer,
@@ -299,6 +326,9 @@ impl Cluseq {
                 start_iteration: checkpoint.completed,
                 stable: checkpoint.stable,
                 records: checkpoint.records,
+                cache,
+                ckpt_base,
+                changed_since_base: BTreeSet::new(),
             },
         )
     }
@@ -359,6 +389,9 @@ impl Cluseq {
             );
             let k_n = seeds.len();
             for seed in seeds {
+                if p.incremental {
+                    st.changed_since_base.insert(st.next_id);
+                }
                 st.clusters.push(Cluster::from_seed(
                     st.next_id,
                     seed,
@@ -382,7 +415,7 @@ impl Cluseq {
             // frozen *and* nothing is being recorded.
             let record_iteration = observer.enabled() || p.checkpoint.is_some();
             let order = p.order.sequence_order(n, &st.prev_best, &mut st.rng);
-            let scan = recluster(
+            let scan = recluster_cached(
                 db,
                 &mut st.clusters,
                 st.log_t,
@@ -396,18 +429,36 @@ impl Cluseq {
                     prune_below: (st.threshold_frozen && !record_iteration).then_some(st.log_t),
                     trace,
                 },
+                p.incremental.then_some(&mut st.cache),
             );
+            if p.incremental {
+                st.changed_since_base.extend(scan.changed_clusters.iter());
+            }
 
             // ---- 3. Consolidation (§4.5) ----
             let consolidate_start = std::time::Instant::now();
+            let mut merge_targets = Vec::new();
             let consolidation = consolidate_traced(
                 &mut st.clusters,
                 p.effective_min_exclusive(),
                 n,
                 p.consolidation,
                 trace,
+                &mut merge_targets,
             );
             let removed = consolidation.dismissed;
+            if p.incremental {
+                // A merge target absorbed another cluster's members: its
+                // model changed, so its cached column is stale and its
+                // body must travel in the next delta. Columns of dismissed
+                // clusters are dropped wholesale.
+                for &id in &merge_targets {
+                    st.cache.invalidate(id);
+                    st.changed_since_base.insert(id);
+                }
+                let live: BTreeSet<usize> = st.clusters.iter().map(|c| c.id).collect();
+                st.cache.retain_live(|id| live.contains(&id));
+            }
             let consolidate_nanos = consolidate_start.elapsed().as_nanos() as u64;
 
             // ---- 4. Threshold adjustment (§4.6) ----
@@ -535,6 +586,7 @@ impl Cluseq {
                     membership_changes: scan.changes,
                     pairs_scored: scan.metrics.pairs_scored,
                     pairs_pruned: scan.metrics.pairs_pruned,
+                    pairs_reused: scan.metrics.pairs_reused,
                     joins: scan.metrics.joins,
                     new_joins: scan.metrics.new_joins,
                     log_t: st.log_t,
@@ -571,12 +623,35 @@ impl Cluseq {
                         history: st.history.clone(),
                         clusters: st.clusters.clone(),
                         records: st.records.clone(),
+                        cache: st
+                            .cache
+                            .columns()
+                            .map(|(id, col)| (id, col.to_vec()))
+                            .collect(),
                     };
                     let path = policy.path_for(completed);
                     let write_start = std::time::Instant::now();
-                    let result = ckpt.write_atomic_traced(&path, trace);
+                    // With the incremental engine on and a base on disk,
+                    // write a delta: unchanged cluster bodies become
+                    // id-only references into the base chain. A failed
+                    // write keeps the old base and its changed-set, so
+                    // the next attempt still references a file that
+                    // exists.
+                    let result = match st.ckpt_base.filter(|_| p.incremental) {
+                        Some(base) => ckpt.write_atomic_delta_traced(
+                            &path,
+                            base,
+                            &st.changed_since_base,
+                            trace,
+                        ),
+                        None => ckpt.write_atomic_traced(&path, trace),
+                    };
                     let write_nanos = write_start.elapsed().as_nanos() as u64;
                     let bytes = result.as_ref().copied().unwrap_or(0);
+                    if result.is_ok() && p.incremental {
+                        st.ckpt_base = Some(completed);
+                        st.changed_since_base.clear();
+                    }
                     if let Some(t) = trace {
                         t.event_checkpoint(completed, bytes, write_nanos, result.is_ok());
                         t.sync();

@@ -13,32 +13,59 @@
 //! # Format
 //!
 //! The same hand-rolled little-endian framing as [`cluseq_pst::serial`],
-//! magic `CCKP`, version 2:
+//! magic `CCKP`, version 3:
 //!
 //! ```text
 //! magic "CCKP" | version u32
 //! guard:    sequences u64 | alphabet u32 | digest u64   (FNV-1a, see below)
 //! params:   every CluseqParams field, enums as u8 tags, options tagged
-//!           (v2 adds the scan_kernel u8 tag after scan_mode)
+//!           (v2 adds the scan_kernel u8 tag after scan_mode; v3 appends
+//!           the incremental u8 flag at the end)
+//! base:     u64, MAX = self-contained, else the completed-iteration
+//!           number of the base checkpoint this delta file references (v3)
 //! progress: completed u64 | stable u8 | next_id u64 | log_t f64
 //!         | threshold_frozen u8 | rng u64×4 | prev_new u64
 //!         | prev_removed u64 | prev_cluster_count u64
 //!         | prev_best (u64 len, u64 each, MAX=none)
 //! history:  u64 len, IterationStats each
-//! clusters: u32 len, (id u64 | seed u64 | members u64 len + u64 each
-//!         | CPST blob) each
+//! clusters: u32 len, (id u64 | tag u8) each; tag 0 = full body
+//!           (seed u64 | members u64 len + u64 each | CPST blob),
+//!           tag 1 = unchanged since the base checkpoint, body elided
+//!           (v1/v2 have no tag byte — every cluster is a full body)
 //! records:  u32 len, IterationRecord each (timings included — they are
 //!           replayed verbatim into the observer on resume; v2 adds
-//!           scan.pairs_pruned u64 after scan.membership_changes)
+//!           scan.pairs_pruned u64 after scan.membership_changes; v3 adds
+//!           scan.pairs_reused, scan.clusters_dirty, scan.pst_recompiles)
+//! cache:    u32 column count, (cluster id u64 | n u64 | n entries) each;
+//!           entry tag u8 0 = Exact (log_sim f64 | start u64 | end u64),
+//!           1 = Pruned (v3; absent before — loader yields an empty cache)
 //! ```
 //!
-//! Version-1 files are still readable: the loader threads the header
-//! version through the params/record decoders, which default the fields a
-//! v1 writer never produced — `scan_kernel` to [`ScanKernel::Compiled`]
-//! (the kernels are bit-identical, so either replays the run exactly) and
-//! `pairs_pruned` to 0 (lossless: scan pruning is disabled whenever an
-//! iteration is being recorded, so a recorded iteration's true count *is*
-//! zero). Writers always emit the current version.
+//! Version-1 and version-2 files are still readable: the loader threads
+//! the header version through the params/record decoders, which default
+//! the fields an older writer never produced — `scan_kernel` to
+//! [`ScanKernel::Compiled`] (the kernels are bit-identical, so either
+//! replays the run exactly), `incremental` to `false`, `pairs_pruned` and
+//! the v3 scan counters to 0 (lossless: scan pruning is disabled whenever
+//! an iteration is being recorded, and the incremental counters are zero
+//! unless the — then nonexistent — incremental engine was on), and the
+//! similarity cache to empty. Writers always emit the current version.
+//!
+//! # Delta checkpoints
+//!
+//! When the incremental engine is on ([`CluseqParams::incremental`]), the
+//! driver writes every checkpoint after the first as a **delta**:
+//! clusters untouched since the previous successfully written checkpoint
+//! are stored as an id-only reference (tag 1) into that *base* file, named
+//! by the base marker. [`Checkpoint::load_path`] resolves the chain —
+//! strictly decreasing completed-iteration numbers, so it terminates —
+//! by loading the base from its sibling file and splicing the referenced
+//! cluster bodies back in; the result is indistinguishable from a
+//! self-contained checkpoint. [`Checkpoint::load`] (reader-only, no
+//! directory context) refuses delta files with a descriptive error.
+//! Everything *except* cluster bodies — records, history, the similarity
+//! cache — is always written in full, so only the base chain's cluster
+//! sections are ever needed again.
 //!
 //! The guard digest is FNV-1a over the database's sequence lengths and
 //! symbols; [`Checkpoint::verify_database`] refuses to resume against a
@@ -54,6 +81,7 @@
 //! [`FailPlan`] through the same code path so `tests/fault_injection.rs`
 //! can prove that claim at every crash point.
 
+use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -69,11 +97,20 @@ use crate::config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanKerne
 use crate::failpoint::{FailPlan, FailingWriter};
 use crate::order::ExaminationOrder;
 use crate::outcome::IterationStats;
+use crate::similarity::{BoundedSimilarity, SegmentSimilarity};
 use crate::telemetry::{
     ClusterSnapshot, HistogramSnapshot, IterationRecord, PhaseNanos, ScanMetrics, SeedingMetrics,
 };
 
 const MAGIC: &[u8; 4] = b"CCKP";
+
+/// A cluster entry as parsed from the clusters section: either a complete
+/// body, or (v3 delta files) an id-only reference to the identical cluster
+/// in the base checkpoint, resolved by [`Checkpoint::load_path`].
+enum ParsedCluster {
+    Full(Cluster),
+    Unchanged(usize),
+}
 
 /// The complete loop state at an iteration boundary. All fields are public
 /// so the driver can capture and restore without conversion layers; the
@@ -119,13 +156,19 @@ pub struct Checkpoint {
     /// Telemetry records for the completed iterations, replayed into the
     /// observer on resume so a resumed report is complete.
     pub records: Vec<IterationRecord>,
+    /// The incremental engine's (sequence, cluster) similarity cache:
+    /// one column per clean cluster, sorted by cluster id, each covering
+    /// every sequence (see [`crate::incremental::SimilarityCache`]).
+    /// Empty when [`CluseqParams::incremental`] is off — resume then
+    /// starts with a cold cache, which is correct (just slower).
+    pub cache: Vec<(usize, Vec<BoundedSimilarity>)>,
 }
 
 impl Checkpoint {
-    /// Current checkpoint format version. Version 1 files (pre
-    /// scan-kernel) remain loadable; see the module docs for the decode
-    /// defaults.
-    pub const VERSION: u32 = 2;
+    /// Current checkpoint format version. Version 1 (pre scan-kernel) and
+    /// version 2 (pre incremental-engine) files remain loadable; see the
+    /// module docs for the decode defaults.
+    pub const VERSION: u32 = 3;
 
     // ---- database guard -------------------------------------------------
 
@@ -146,15 +189,41 @@ impl Checkpoint {
 
     // ---- serialization --------------------------------------------------
 
-    /// Serializes the checkpoint. Use [`Checkpoint::write_atomic`] for
-    /// on-disk durability; this raw form exists for tests and composition.
+    /// Serializes a self-contained checkpoint. Use
+    /// [`Checkpoint::write_atomic`] for on-disk durability; this raw form
+    /// exists for tests and composition.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        self.save_inner(w, None)
+    }
+
+    /// Serializes a **delta** checkpoint against the checkpoint whose
+    /// completed-iteration number is `base`: clusters whose id is *not* in
+    /// `changed` are written as id-only references into the base file.
+    /// The caller guarantees `base < self.completed` and that every live
+    /// cluster absent from `changed` is byte-identical in the base chain —
+    /// the driver's dirty-cluster tracking provides exactly that. Prefer
+    /// [`Checkpoint::write_atomic_delta_traced`] for on-disk writes.
+    pub fn save_delta(
+        &self,
+        w: &mut impl Write,
+        base: usize,
+        changed: &BTreeSet<usize>,
+    ) -> io::Result<()> {
+        self.save_inner(w, Some((base, changed)))
+    }
+
+    fn save_inner(
+        &self,
+        w: &mut impl Write,
+        delta: Option<(usize, &BTreeSet<usize>)>,
+    ) -> io::Result<()> {
         w.write_all(MAGIC)?;
         write_u32(w, Self::VERSION)?;
         write_u64(w, self.db_sequences as u64)?;
         write_u32(w, self.db_alphabet as u32)?;
         write_u64(w, self.db_digest)?;
         save_params(w, &self.params)?;
+        write_opt_u64(w, delta.map(|(base, _)| base as u64))?;
         write_u64(w, self.completed as u64)?;
         write_bool(w, self.stable)?;
         write_u64(w, self.next_id as u64)?;
@@ -177,6 +246,12 @@ impl Checkpoint {
         write_u32(w, self.clusters.len() as u32)?;
         for c in &self.clusters {
             write_u64(w, c.id as u64)?;
+            let unchanged = delta.is_some_and(|(_, changed)| !changed.contains(&c.id));
+            if unchanged {
+                write_u8(w, 1)?;
+                continue;
+            }
+            write_u8(w, 0)?;
             write_u64(w, c.seed as u64)?;
             write_u64(w, c.members.len() as u64)?;
             for &m in &c.members {
@@ -188,16 +263,85 @@ impl Checkpoint {
         for r in &self.records {
             save_record(w, r)?;
         }
+        write_u32(w, self.cache.len() as u32)?;
+        for (id, column) in &self.cache {
+            write_u64(w, *id as u64)?;
+            write_u64(w, column.len() as u64)?;
+            for entry in column {
+                match entry {
+                    BoundedSimilarity::Exact(sim) => {
+                        write_u8(w, 0)?;
+                        write_f64(w, sim.log_sim)?;
+                        write_u64(w, sim.start as u64)?;
+                        write_u64(w, sim.end as u64)?;
+                    }
+                    BoundedSimilarity::Pruned => write_u8(w, 1)?,
+                }
+            }
+        }
         Ok(())
     }
 
-    /// Deserializes a checkpoint, validating every structural invariant:
-    /// enum tags, boolean bytes, RNG non-degeneracy, member-id ranges, and
-    /// the cross-field length relations. Corruption yields a descriptive
-    /// [`SerialError`], never a panic, and hostile length fields cannot
-    /// command large allocations (see
+    /// Deserializes a **self-contained** checkpoint, validating every
+    /// structural invariant: enum tags, boolean bytes, RNG non-degeneracy,
+    /// member-id ranges, and the cross-field length relations. Corruption
+    /// yields a descriptive [`SerialError`], never a panic, and hostile
+    /// length fields cannot command large allocations (see
     /// [`cluseq_pst::serial::decode_capacity`]).
+    ///
+    /// A delta checkpoint (one with a base reference) is rejected with a
+    /// descriptive error: a bare reader has no directory to resolve the
+    /// base chain in. Use [`Checkpoint::load_path`] for files on disk.
     pub fn load(r: &mut impl Read) -> Result<Self, SerialError> {
+        let (ckpt, base_ref, clusters) = Self::load_parsed(r)?;
+        if base_ref.is_some() {
+            return Err(SerialError::Corrupt(
+                "delta checkpoint needs its base; load it from its directory via load_path",
+            ));
+        }
+        ckpt.resolve(clusters, None)
+    }
+
+    /// Loads a checkpoint from a file, resolving a delta chain when
+    /// needed: a base reference is followed to the sibling
+    /// `cluseq-NNNNNN.ckpt` file (recursively — completed-iteration
+    /// numbers strictly decrease along the chain, so resolution
+    /// terminates), the base's database digest is checked against this
+    /// file's, and the referenced cluster bodies are spliced back in. The
+    /// result is exactly what [`Checkpoint::load`] would return for a
+    /// self-contained file of the same state.
+    pub fn load_path(path: &Path) -> Result<Self, SerialError> {
+        let file = std::fs::File::open(path)?;
+        let (ckpt, base_ref, clusters) = Self::load_parsed(&mut io::BufReader::new(file))?;
+        let base = match base_ref {
+            None => None,
+            Some(base_completed) => {
+                if base_completed >= ckpt.completed {
+                    return Err(SerialError::Corrupt("delta base not older than checkpoint"));
+                }
+                let dir = path.parent().unwrap_or_else(|| Path::new(""));
+                let base_path = dir.join(format!("cluseq-{base_completed:06}.ckpt"));
+                let base = Self::load_path(&base_path)?;
+                if base.completed != base_completed {
+                    return Err(SerialError::Corrupt("delta base completed-count mismatch"));
+                }
+                if base.db_digest != ckpt.db_digest {
+                    return Err(SerialError::Corrupt("delta base database digest mismatch"));
+                }
+                Some(base)
+            }
+        };
+        ckpt.resolve(clusters, base.as_ref())
+    }
+
+    /// Parses the full framing, returning the checkpoint with an *empty*
+    /// cluster list, the base reference, and the parsed cluster entries
+    /// (full bodies and unchanged-since-base references) for the caller to
+    /// resolve.
+    #[allow(clippy::type_complexity)]
+    fn load_parsed(
+        r: &mut impl Read,
+    ) -> Result<(Self, Option<usize>, Vec<ParsedCluster>), SerialError> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -214,6 +358,11 @@ impl Checkpoint {
         }
         let db_digest = read_u64(r)?;
         let params = load_params(r, version)?;
+        let base_ref = if version >= 3 {
+            read_opt_u64(r)?.map(|b| b as usize)
+        } else {
+            None
+        };
         let completed = read_u64(r)? as usize;
         let stable = read_bool(r)?;
         let next_id = read_u64(r)? as usize;
@@ -256,6 +405,24 @@ impl Checkpoint {
         let mut clusters = Vec::with_capacity(decode_capacity(cluster_len));
         for _ in 0..cluster_len {
             let id = read_u64(r)? as usize;
+            let unchanged = if version >= 3 {
+                match read_u8(r)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(SerialError::Corrupt("cluster body tag")),
+                }
+            } else {
+                false
+            };
+            if unchanged {
+                if base_ref.is_none() {
+                    return Err(SerialError::Corrupt(
+                        "unchanged-cluster reference without a base checkpoint",
+                    ));
+                }
+                clusters.push(ParsedCluster::Unchanged(id));
+                continue;
+            }
             let seed = read_u64(r)? as usize;
             let member_len = read_u64(r)? as usize;
             let mut members = Vec::with_capacity(decode_capacity(member_len));
@@ -267,12 +434,12 @@ impl Checkpoint {
                 members.push(m);
             }
             let pst = Pst::load(r)?;
-            clusters.push(Cluster {
+            clusters.push(ParsedCluster::Full(Cluster {
                 id,
                 pst,
                 members,
                 seed,
-            });
+            }));
         }
         let record_len = read_u32(r)? as usize;
         if record_len != completed {
@@ -286,31 +453,99 @@ impl Checkpoint {
             }
             records.push(rec);
         }
-        Ok(Self {
-            params,
-            db_sequences,
-            db_alphabet,
-            db_digest,
-            completed,
-            stable,
-            next_id,
-            log_t,
-            threshold_frozen,
-            rng_state,
-            prev_new,
-            prev_removed,
-            prev_cluster_count,
-            prev_best,
-            history,
+        let cache = if version >= 3 {
+            let column_len = read_u32(r)? as usize;
+            let mut cache = Vec::with_capacity(decode_capacity(column_len));
+            let mut prev_id = None;
+            for _ in 0..column_len {
+                let id = read_u64(r)? as usize;
+                if prev_id.is_some_and(|p| id <= p) {
+                    return Err(SerialError::Corrupt("cache columns not sorted by id"));
+                }
+                prev_id = Some(id);
+                let n = read_u64(r)? as usize;
+                if n != db_sequences {
+                    return Err(SerialError::Corrupt("cache column length mismatch"));
+                }
+                let mut column = Vec::with_capacity(decode_capacity(n));
+                for _ in 0..n {
+                    column.push(match read_u8(r)? {
+                        0 => {
+                            let log_sim = read_f64(r)?;
+                            // -inf is a legitimate similarity (empty
+                            // sequence); only NaN marks corruption.
+                            if log_sim.is_nan() {
+                                return Err(SerialError::Corrupt("NaN cache similarity"));
+                            }
+                            let start = read_u64(r)? as usize;
+                            let end = read_u64(r)? as usize;
+                            BoundedSimilarity::Exact(SegmentSimilarity {
+                                log_sim,
+                                start,
+                                end,
+                            })
+                        }
+                        1 => BoundedSimilarity::Pruned,
+                        _ => return Err(SerialError::Corrupt("cache entry tag")),
+                    });
+                }
+                cache.push((id, column));
+            }
+            cache
+        } else {
+            Vec::new()
+        };
+        Ok((
+            Self {
+                params,
+                db_sequences,
+                db_alphabet,
+                db_digest,
+                completed,
+                stable,
+                next_id,
+                log_t,
+                threshold_frozen,
+                rng_state,
+                prev_new,
+                prev_removed,
+                prev_cluster_count,
+                prev_best,
+                history,
+                clusters: Vec::new(),
+                records,
+                cache,
+            },
+            base_ref,
             clusters,
-            records,
-        })
+        ))
     }
 
-    /// Loads a checkpoint from a file.
-    pub fn load_path(path: &Path) -> Result<Self, SerialError> {
-        let file = std::fs::File::open(path)?;
-        Self::load(&mut io::BufReader::new(file))
+    /// Fills in the parsed cluster entries: full bodies are taken as-is,
+    /// unchanged references are copied out of `base` by cluster id.
+    fn resolve(
+        mut self,
+        parsed: Vec<ParsedCluster>,
+        base: Option<&Checkpoint>,
+    ) -> Result<Self, SerialError> {
+        self.clusters = parsed
+            .into_iter()
+            .map(|entry| match entry {
+                ParsedCluster::Full(c) => Ok(c),
+                ParsedCluster::Unchanged(id) => base
+                    .ok_or(SerialError::Corrupt(
+                        "unchanged-cluster reference without a base checkpoint",
+                    ))?
+                    .clusters
+                    .iter()
+                    .find(|c| c.id == id)
+                    .cloned()
+                    .ok_or(SerialError::Corrupt(
+                        "base checkpoint missing a referenced cluster",
+                    )),
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(self)
     }
 
     // ---- atomic file writes ---------------------------------------------
@@ -325,6 +560,17 @@ impl Checkpoint {
         self.write_atomic_with(path, &FailPlan::none())
     }
 
+    /// The delta counterpart of [`Checkpoint::write_atomic`]: same
+    /// durability protocol, [`Checkpoint::save_delta`] payload.
+    pub fn write_atomic_delta(
+        &self,
+        path: &Path,
+        base: usize,
+        changed: &BTreeSet<usize>,
+    ) -> io::Result<u64> {
+        self.write_atomic_delta_with(path, base, changed, &FailPlan::none())
+    }
+
     /// [`Checkpoint::write_atomic`] under a `checkpoint_save` span, with
     /// the write attempt, its outcome, its byte count, and its wall time
     /// recorded in the tracing registry. The write itself is identical.
@@ -333,13 +579,35 @@ impl Checkpoint {
         path: &Path,
         trace: Option<&crate::trace::TraceSession>,
     ) -> io::Result<u64> {
+        self.traced_write(path, trace, None)
+    }
+
+    /// The delta counterpart of [`Checkpoint::write_atomic_traced`] — the
+    /// driver's cadence writes when the incremental engine has a live base.
+    pub fn write_atomic_delta_traced(
+        &self,
+        path: &Path,
+        base: usize,
+        changed: &BTreeSet<usize>,
+        trace: Option<&crate::trace::TraceSession>,
+    ) -> io::Result<u64> {
+        self.traced_write(path, trace, Some((base, changed)))
+    }
+
+    fn traced_write(
+        &self,
+        path: &Path,
+        trace: Option<&crate::trace::TraceSession>,
+        delta: Option<(usize, &BTreeSet<usize>)>,
+    ) -> io::Result<u64> {
         use crate::trace::{Counter, HistKind, Phase};
+        let plan = FailPlan::none();
         let Some(trace) = trace else {
-            return self.write_atomic(path);
+            return self.write_atomic_inner(path, &plan, delta);
         };
         let _span = trace.span(Phase::CheckpointSave);
         let start = std::time::Instant::now();
-        let result = self.write_atomic(path);
+        let result = self.write_atomic_inner(path, &plan, delta);
         trace.add(Counter::CheckpointWrites, 1);
         trace.observe(
             HistKind::CheckpointWrite,
@@ -360,6 +628,28 @@ impl Checkpoint {
     /// would. The production path is this function with a no-op plan —
     /// the tests exercise the real writer, not a replica.
     pub fn write_atomic_with(&self, path: &Path, plan: &FailPlan) -> io::Result<u64> {
+        self.write_atomic_inner(path, plan, None)
+    }
+
+    /// [`Checkpoint::write_atomic_delta`] with fault injection, so the
+    /// crash-safety suite can prove the delta writer torn-write-free at
+    /// every byte, exactly like the self-contained writer.
+    pub fn write_atomic_delta_with(
+        &self,
+        path: &Path,
+        base: usize,
+        changed: &BTreeSet<usize>,
+        plan: &FailPlan,
+    ) -> io::Result<u64> {
+        self.write_atomic_inner(path, plan, Some((base, changed)))
+    }
+
+    fn write_atomic_inner(
+        &self,
+        path: &Path,
+        plan: &FailPlan,
+        delta: Option<(usize, &BTreeSet<usize>)>,
+    ) -> io::Result<u64> {
         let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
         if let Some(dir) = dir {
             std::fs::create_dir_all(dir)?;
@@ -368,7 +658,7 @@ impl Checkpoint {
         let written = (|| {
             let file = std::fs::File::create(&tmp)?;
             let mut w = FailingWriter::new(io::BufWriter::new(file), plan.clone());
-            self.save(&mut w)?;
+            self.save_inner(&mut w, delta)?;
             w.flush()?;
             let written = w.written();
             let file = w.into_inner().into_inner().map_err(|e| e.into_error())?;
@@ -567,6 +857,9 @@ fn save_params(w: &mut impl Write, p: &CluseqParams) -> io::Result<()> {
         }
         None => write_bool(w, false)?,
     }
+    // v3 field: absent from older files, where the loader defaults it —
+    // the incremental engine did not exist, so `false` is the true value.
+    write_bool(w, p.incremental)?;
     Ok(())
 }
 
@@ -656,6 +949,7 @@ fn load_params(r: &mut impl Read, version: u32) -> Result<CluseqParams, SerialEr
     } else {
         None
     };
+    let incremental = if version >= 3 { read_bool(r)? } else { false };
     Ok(CluseqParams {
         initial_clusters,
         significance,
@@ -675,6 +969,7 @@ fn load_params(r: &mut impl Read, version: u32) -> Result<CluseqParams, SerialEr
         scan_mode,
         scan_kernel,
         threads,
+        incremental,
         checkpoint,
         seed,
     })
@@ -720,6 +1015,11 @@ fn save_record(w: &mut impl Write, rec: &IterationRecord) -> io::Result<()> {
     // v2 field: absent from v1 files, where the loader defaults it to 0
     // (a recorded iteration never prunes, so 0 is the true count).
     write_u64(w, rec.scan.pairs_pruned)?;
+    // v3 fields: absent from older files, where the loader defaults them
+    // to 0 (the incremental engine did not exist, so 0 is the true count).
+    write_u64(w, rec.scan.pairs_reused)?;
+    write_u64(w, rec.scan.clusters_dirty)?;
+    write_u64(w, rec.scan.pst_recompiles)?;
     write_u64(w, rec.removed_clusters as u64)?;
     write_u64(w, rec.merged_clusters as u64)?;
     write_u64(w, rec.clusters_at_end as u64)?;
@@ -777,6 +1077,9 @@ fn load_record(r: &mut impl Read, version: u32) -> Result<IterationRecord, Seria
         new_joins: read_u64(r)?,
         membership_changes: read_u64(r)? as usize,
         pairs_pruned: if version >= 2 { read_u64(r)? } else { 0 },
+        pairs_reused: if version >= 3 { read_u64(r)? } else { 0 },
+        clusters_dirty: if version >= 3 { read_u64(r)? } else { 0 },
+        pst_recompiles: if version >= 3 { read_u64(r)? } else { 0 },
     };
     let removed_clusters = read_u64(r)? as usize;
     let merged_clusters = read_u64(r)? as usize;
@@ -885,6 +1188,9 @@ mod tests {
                 new_joins: 1,
                 membership_changes: 1,
                 pairs_pruned: 2,
+                pairs_reused: 4,
+                clusters_dirty: 1,
+                pst_recompiles: 1,
             },
             removed_clusters: 0,
             merged_clusters: 0,
@@ -926,6 +1232,22 @@ mod tests {
             history: vec![stats],
             clusters: vec![cluster],
             records: vec![record],
+            cache: vec![(
+                0,
+                vec![
+                    BoundedSimilarity::Exact(SegmentSimilarity {
+                        log_sim: 0.5,
+                        start: 0,
+                        end: 4,
+                    }),
+                    BoundedSimilarity::Pruned,
+                    BoundedSimilarity::Exact(SegmentSimilarity {
+                        log_sim: f64::NEG_INFINITY,
+                        start: 0,
+                        end: 0,
+                    }),
+                ],
+            )],
         }
     }
 
@@ -948,6 +1270,101 @@ mod tests {
         assert_eq!(loaded.prev_best, ckpt.prev_best);
         assert_eq!(loaded.rng_state, [1, 2, 3, 4]);
         assert_eq!(loaded.clusters[0].members, ckpt.clusters[0].members);
+        assert_eq!(loaded.cache, ckpt.cache);
+        assert!(!loaded.params.incremental);
+    }
+
+    #[test]
+    fn delta_checkpoint_resolves_through_its_base_chain() {
+        let dir = std::env::temp_dir().join(format!("cluseq-ckpt-delta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = sample_checkpoint();
+        base.write_atomic(&dir.join("cluseq-000001.ckpt")).unwrap();
+
+        // Iteration 2: the cluster is untouched, so the delta elides it.
+        let mut delta = sample_checkpoint();
+        delta.completed = 2;
+        delta.history.push(delta.history[0]);
+        delta.history[1].iteration = 1;
+        delta.records.push(delta.records[0].clone());
+        delta.records[1].iteration = 1;
+        let changed = BTreeSet::new();
+        let delta_path = dir.join("cluseq-000002.ckpt");
+        delta.write_atomic_delta(&delta_path, 1, &changed).unwrap();
+
+        // A delta is smaller than the same state written self-contained.
+        let mut full_bytes = Vec::new();
+        delta.save(&mut full_bytes).unwrap();
+        assert!(std::fs::metadata(&delta_path).unwrap().len() < full_bytes.len() as u64);
+
+        // load_path splices the base's cluster body back in …
+        let resolved = Checkpoint::load_path(&delta_path).unwrap();
+        assert_eq!(to_bytes(&resolved), full_bytes);
+        assert_eq!(resolved.clusters[0].members, base.clusters[0].members);
+
+        // … while the bare reader refuses the unresolvable file.
+        let raw = std::fs::read(&delta_path).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&mut raw.as_slice()).unwrap_err(),
+            SerialError::Corrupt(msg) if msg.contains("delta")
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_with_a_changed_cluster_carries_its_body() {
+        let dir =
+            std::env::temp_dir().join(format!("cluseq-ckpt-delta-chg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = sample_checkpoint();
+        base.write_atomic(&dir.join("cluseq-000001.ckpt")).unwrap();
+
+        let mut delta = sample_checkpoint();
+        delta.completed = 2;
+        delta.history.push(delta.history[0]);
+        delta.history[1].iteration = 1;
+        delta.records.push(delta.records[0].clone());
+        delta.records[1].iteration = 1;
+        delta.clusters[0].members = vec![0, 1]; // the cluster changed
+        let changed: BTreeSet<usize> = [0].into();
+        let delta_path = dir.join("cluseq-000002.ckpt");
+        delta.write_atomic_delta(&delta_path, 1, &changed).unwrap();
+
+        let resolved = Checkpoint::load_path(&delta_path).unwrap();
+        assert_eq!(resolved.clusters[0].members, vec![0, 1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_against_a_missing_or_foreign_base_is_an_error() {
+        let dir =
+            std::env::temp_dir().join(format!("cluseq-ckpt-delta-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut delta = sample_checkpoint();
+        delta.completed = 2;
+        delta.history.push(delta.history[0]);
+        delta.history[1].iteration = 1;
+        delta.records.push(delta.records[0].clone());
+        delta.records[1].iteration = 1;
+        let delta_path = dir.join("cluseq-000002.ckpt");
+        delta
+            .write_atomic_delta(&delta_path, 1, &BTreeSet::new())
+            .unwrap();
+
+        // No base file at all.
+        assert!(Checkpoint::load_path(&delta_path).is_err());
+
+        // A base from a different database is rejected by digest.
+        let mut foreign = sample_checkpoint();
+        foreign.db_digest ^= 1;
+        foreign
+            .write_atomic(&dir.join("cluseq-000001.ckpt"))
+            .unwrap();
+        assert!(matches!(
+            Checkpoint::load_path(&delta_path).unwrap_err(),
+            SerialError::Corrupt(msg) if msg.contains("digest")
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

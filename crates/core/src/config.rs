@@ -218,6 +218,14 @@ pub struct CluseqParams {
     /// under [`ScanMode::Incremental`] the scan itself stays serial
     /// because its PST updates are order-dependent by design (§6.3).
     pub threads: usize,
+    /// Reuse cached (sequence, cluster) similarities for clusters whose
+    /// model did not change, recompile automata only for dirty clusters,
+    /// and delta-encode checkpoints against the previous one (see
+    /// [`crate::incremental`]). Clustering output is byte-identical with
+    /// the flag on or off; only work skipped (and the `pairs_reused`,
+    /// `clusters_dirty`, `pst_recompiles` telemetry) changes. Default
+    /// false.
+    pub incremental: bool,
     /// Crash-recovery checkpointing (see [`CheckpointPolicy`] and
     /// [`crate::checkpoint`]); `None` (default) writes nothing.
     pub checkpoint: Option<CheckpointPolicy>,
@@ -246,6 +254,7 @@ impl Default for CluseqParams {
             scan_mode: ScanMode::Incremental,
             scan_kernel: ScanKernel::Compiled,
             threads: 1,
+            incremental: false,
             checkpoint: None,
             seed: 0xC105E9, // arbitrary fixed default for reproducibility
         }
@@ -367,6 +376,14 @@ impl CluseqParams {
     /// automaton).
     pub fn with_scan_kernel(mut self, kernel: ScanKernel) -> Self {
         self.scan_kernel = kernel;
+        self
+    }
+
+    /// Enables or disables the incremental iteration engine (cached
+    /// similarities for clean clusters, dirty-only recompiles, delta
+    /// checkpoints). See [`crate::incremental`].
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
         self
     }
 

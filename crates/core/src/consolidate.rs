@@ -83,9 +83,16 @@ pub fn consolidate_traced(
     total_sequences: usize,
     mode: ConsolidationMode,
     trace: Option<&TraceSession>,
+    merge_targets: &mut Vec<usize>,
 ) -> ConsolidationOutcome {
     let _span = trace.map(|t| t.span(Phase::Consolidate));
-    let outcome = consolidate_detailed(clusters, min_exclusive, total_sequences, mode);
+    let outcome = consolidate_tracked(
+        clusters,
+        min_exclusive,
+        total_sequences,
+        mode,
+        merge_targets,
+    );
     if let Some(trace) = trace {
         trace.add(Counter::ClustersDismissed, outcome.dismissed as u64);
         trace.add(Counter::ClustersMerged, outcome.merged as u64);
@@ -100,6 +107,27 @@ pub fn consolidate_detailed(
     min_exclusive: usize,
     total_sequences: usize,
     mode: ConsolidationMode,
+) -> ConsolidationOutcome {
+    let mut merge_targets = Vec::new();
+    consolidate_tracked(
+        clusters,
+        min_exclusive,
+        total_sequences,
+        mode,
+        &mut merge_targets,
+    )
+}
+
+/// [`consolidate_detailed`] that also appends to `merge_targets` the id of
+/// every surviving cluster a dismissed model was merged *into*. Those
+/// clusters' models changed without any scan activity, so the incremental
+/// engine must treat them as dirty (see [`crate::incremental`]).
+pub fn consolidate_tracked(
+    clusters: &mut Vec<Cluster>,
+    min_exclusive: usize,
+    total_sequences: usize,
+    mode: ConsolidationMode,
+    merge_targets: &mut Vec<usize>,
 ) -> ConsolidationOutcome {
     if clusters.is_empty() {
         return ConsolidationOutcome::default();
@@ -148,6 +176,7 @@ pub fn consolidate_detailed(
                         let source = clusters[idx].pst.clone();
                         clusters[target].pst.merge(&source);
                         merged += 1;
+                        merge_targets.push(clusters[target].id);
                     }
                 }
             }
@@ -332,6 +361,23 @@ mod tests {
         assert_eq!(out.dismissed, 1);
         assert_eq!(out.merged, 1);
 
+        // The tracked variant reports the surviving cluster that received
+        // the dismissed model.
+        let mut clusters = vec![
+            make_cluster(0, vec![0, 1, 2, 3, 4]),
+            make_cluster(1, vec![0, 1, 2, 3]),
+        ];
+        let mut merge_targets = Vec::new();
+        let out = consolidate_tracked(
+            &mut clusters,
+            2,
+            10,
+            ConsolidationMode::MergeIntoCovering,
+            &mut merge_targets,
+        );
+        assert_eq!(out.merged, 1);
+        assert_eq!(merge_targets, vec![0]);
+
         // Dismiss mode never merges.
         let mut clusters = vec![
             make_cluster(0, vec![0, 1, 2, 3, 4]),
@@ -361,14 +407,17 @@ mod tests {
         let expected = consolidate_detailed(&mut plain, 2, 10, ConsolidationMode::Dismiss);
         let session = TraceSession::in_memory();
         let mut traced = make();
+        let mut merge_targets = Vec::new();
         let out = consolidate_traced(
             &mut traced,
             2,
             10,
             ConsolidationMode::Dismiss,
             Some(&session),
+            &mut merge_targets,
         );
         assert_eq!(out, expected);
+        assert!(merge_targets.is_empty(), "dismiss mode never merges");
         assert_eq!(traced.len(), plain.len());
         assert_eq!(session.counter(Counter::ClustersDismissed), 1);
         assert_eq!(session.counter(Counter::ClustersMerged), 0);

@@ -1,0 +1,284 @@
+//! The incremental iteration engine: dirty-cluster tracking and a
+//! (sequence, cluster) similarity cache.
+//!
+//! A converging CLUSEQ run spends almost all of its time re-scoring pairs
+//! whose answer cannot have changed: once a cluster stops absorbing
+//! segments, the similarity of every sequence to that cluster is a pure
+//! function of inputs that are all frozen. This module holds the state
+//! that lets the scan ([`crate::recluster`]) skip that work — enabled by
+//! [`crate::CluseqParams::incremental`], off by default.
+//!
+//! # The cache invariant
+//!
+//! A [`SimilarityCache`] maps a **stable cluster id** to a *column*: one
+//! [`BoundedSimilarity`] verdict per database sequence, indexed by
+//! sequence id. The invariant, maintained by the scan and the driver
+//! together, is:
+//!
+//! > A column is present for cluster `C` **only if** every entry equals
+//! > the verdict a fresh evaluation of (sequence, `C`) would produce
+//! > against `C`'s *current* model.
+//!
+//! Presence of a column is therefore exactly "cluster `C` is clean"; a
+//! dirty cluster simply has no column. Anything that mutates a cluster's
+//! model — a new join absorbing a segment mid-scan, a consolidation merge,
+//! the `rebuild_psts` ablation — must remove (or never install) the
+//! column. Because reused verdicts are bit-for-bit the values a fresh scan
+//! would compute, an incremental run is **byte-identical** to a full run
+//! in every clustering observable; only the reuse telemetry
+//! (`pairs_reused`, `clusters_dirty`, `pst_recompiles`) differs from zero.
+//!
+//! Cached [`BoundedSimilarity::Pruned`] verdicts are safe to reuse for the
+//! same reason: scan pruning is only enabled once the threshold is frozen,
+//! so a pair pruned against an unchanged model at an unchanged threshold
+//! would be pruned again.
+//!
+//! # Checkpointing
+//!
+//! The cache is part of the loop state a version-3 [`crate::Checkpoint`]
+//! captures, so a resumed incremental run reuses exactly the pairs the
+//! uninterrupted run would have — keeping even the reuse counters
+//! byte-identical across a crash/resume boundary.
+
+use std::collections::BTreeMap;
+
+use crate::similarity::BoundedSimilarity;
+
+/// Cached similarity verdicts for the clean clusters of a run (see the
+/// [module docs](self) for the validity invariant).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimilarityCache {
+    /// Database size; every column holds exactly this many entries.
+    sequences: usize,
+    /// Cluster id → verdict per sequence id. A `BTreeMap` so iteration
+    /// (and therefore checkpoint serialization) is deterministic.
+    columns: BTreeMap<usize, Vec<BoundedSimilarity>>,
+}
+
+impl SimilarityCache {
+    /// An empty cache for a database of `sequences` sequences.
+    pub fn new(sequences: usize) -> Self {
+        Self {
+            sequences,
+            columns: BTreeMap::new(),
+        }
+    }
+
+    /// The database size the cache was built for.
+    pub fn sequences(&self) -> usize {
+        self.sequences
+    }
+
+    /// The cached column for cluster `id`, if the cluster is clean.
+    /// Entries are indexed by sequence id.
+    pub fn column(&self, id: usize) -> Option<&[BoundedSimilarity]> {
+        self.columns.get(&id).map(Vec::as_slice)
+    }
+
+    /// Whether cluster `id` is clean (has a valid column).
+    pub fn is_clean(&self, id: usize) -> bool {
+        self.columns.contains_key(&id)
+    }
+
+    /// Number of clean clusters.
+    pub fn clean_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Installs a freshly-scored column for cluster `id`, marking it
+    /// clean. The caller asserts the column invariant: every entry was
+    /// computed against the cluster's current (post-scan) model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column length does not match the database size.
+    pub fn install(&mut self, id: usize, column: Vec<BoundedSimilarity>) {
+        assert_eq!(
+            column.len(),
+            self.sequences,
+            "cache column must cover every sequence"
+        );
+        self.columns.insert(id, column);
+    }
+
+    /// Marks cluster `id` dirty, dropping its column (a no-op if it was
+    /// already dirty).
+    pub fn invalidate(&mut self, id: usize) {
+        self.columns.remove(&id);
+    }
+
+    /// Drops every column whose cluster id fails `live` — called after
+    /// consolidation so dismissed clusters do not pin stale columns.
+    pub fn retain_live(&mut self, mut live: impl FnMut(usize) -> bool) {
+        self.columns.retain(|&id, _| live(id));
+    }
+
+    /// Drops every column (the `rebuild_psts` ablation, which replaces
+    /// every model each iteration).
+    pub fn clear(&mut self) {
+        self.columns.clear();
+    }
+
+    /// The columns in ascending cluster-id order — the checkpoint
+    /// serializer's view.
+    pub fn columns(&self) -> impl Iterator<Item = (usize, &[BoundedSimilarity])> {
+        self.columns.iter().map(|(&id, col)| (id, col.as_slice()))
+    }
+
+    /// Rebuilds a cache from checkpointed columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column's length does not match `sequences`.
+    pub fn from_columns(
+        sequences: usize,
+        columns: impl IntoIterator<Item = (usize, Vec<BoundedSimilarity>)>,
+    ) -> Self {
+        let mut cache = Self::new(sequences);
+        for (id, col) in columns {
+            cache.install(id, col);
+        }
+        cache
+    }
+}
+
+/// Accumulates one cluster's fresh verdicts during a serial (incremental-
+/// mode) scan, where the model can mutate mid-scan.
+///
+/// The builder is *poisoned* when its cluster's model mutates: entries
+/// recorded before the mutation were computed against a model that no
+/// longer exists, so the whole column is discarded rather than installed.
+/// A builder that survives the scan unpoisoned with all `n` entries filled
+/// yields a column satisfying the cache invariant — the model never
+/// changed, so every entry reflects the final model.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    entries: Vec<Option<BoundedSimilarity>>,
+    filled: usize,
+    poisoned: bool,
+}
+
+impl ColumnBuilder {
+    /// A builder for a database of `sequences` sequences.
+    pub fn new(sequences: usize) -> Self {
+        Self {
+            entries: vec![None; sequences],
+            filled: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Records the fresh verdict for `seq_id`. Recording the same sequence
+    /// twice keeps the latest verdict (it can only arise from a re-scored
+    /// pair after a mutation, which also poisons the builder).
+    pub fn record(&mut self, seq_id: usize, verdict: BoundedSimilarity) {
+        if self.entries[seq_id].is_none() {
+            self.filled += 1;
+        }
+        self.entries[seq_id] = Some(verdict);
+    }
+
+    /// Marks the column unusable (the cluster's model mutated mid-scan).
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Whether the builder has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The finished column: `Some` only if the builder is unpoisoned and
+    /// every sequence was recorded.
+    pub fn finish(self) -> Option<Vec<BoundedSimilarity>> {
+        if self.poisoned || self.filled != self.entries.len() {
+            return None;
+        }
+        self.entries.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::SegmentSimilarity;
+
+    fn exact(log_sim: f64) -> BoundedSimilarity {
+        BoundedSimilarity::Exact(SegmentSimilarity {
+            log_sim,
+            start: 0,
+            end: 1,
+        })
+    }
+
+    #[test]
+    fn install_lookup_invalidate_round_trip() {
+        let mut cache = SimilarityCache::new(3);
+        assert!(!cache.is_clean(7));
+        cache.install(7, vec![exact(1.0), BoundedSimilarity::Pruned, exact(2.0)]);
+        assert!(cache.is_clean(7));
+        assert_eq!(cache.clean_count(), 1);
+        let col = cache.column(7).unwrap();
+        assert_eq!(col[0], exact(1.0));
+        assert!(col[1].is_pruned());
+        cache.invalidate(7);
+        assert!(cache.column(7).is_none());
+        assert_eq!(cache.clean_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every sequence")]
+    fn short_columns_are_rejected() {
+        SimilarityCache::new(3).install(0, vec![exact(1.0)]);
+    }
+
+    #[test]
+    fn retain_live_drops_dismissed_ids() {
+        let mut cache = SimilarityCache::new(1);
+        cache.install(1, vec![exact(0.5)]);
+        cache.install(2, vec![exact(0.5)]);
+        cache.install(5, vec![exact(0.5)]);
+        cache.retain_live(|id| id != 2);
+        assert!(cache.is_clean(1));
+        assert!(!cache.is_clean(2));
+        assert!(cache.is_clean(5));
+    }
+
+    #[test]
+    fn columns_iterate_in_ascending_id_order() {
+        let mut cache = SimilarityCache::new(1);
+        for id in [9, 3, 6] {
+            cache.install(id, vec![exact(id as f64)]);
+        }
+        let ids: Vec<usize> = cache.columns().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 6, 9]);
+        let rebuilt =
+            SimilarityCache::from_columns(1, cache.columns().map(|(id, col)| (id, col.to_vec())));
+        assert_eq!(rebuilt, cache);
+    }
+
+    #[test]
+    fn builder_completes_only_when_full_and_unpoisoned() {
+        let mut b = ColumnBuilder::new(2);
+        b.record(1, exact(1.0));
+        // Incomplete: sequence 0 missing.
+        assert!(ColumnBuilder::new(2).finish().is_none());
+        b.record(0, exact(0.0));
+        let col = b.finish().expect("complete and unpoisoned");
+        assert_eq!(col.len(), 2);
+
+        let mut poisoned = ColumnBuilder::new(1);
+        poisoned.record(0, exact(1.0));
+        poisoned.poison();
+        assert!(poisoned.is_poisoned());
+        assert!(poisoned.finish().is_none());
+    }
+
+    #[test]
+    fn builder_rerecord_keeps_latest() {
+        let mut b = ColumnBuilder::new(1);
+        b.record(0, exact(1.0));
+        b.record(0, exact(2.0));
+        assert_eq!(b.finish().unwrap()[0], exact(2.0));
+    }
+}

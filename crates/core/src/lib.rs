@@ -51,6 +51,7 @@ pub mod cluster;
 pub mod config;
 pub mod consolidate;
 pub mod failpoint;
+pub mod incremental;
 pub mod online;
 pub mod order;
 pub mod outcome;
@@ -69,6 +70,7 @@ pub use checkpoint::Checkpoint;
 pub use cluster::Cluster;
 pub use config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanKernel, ScanMode};
 pub use failpoint::{FailPlan, FailingReader, FailingWriter};
+pub use incremental::SimilarityCache;
 pub use online::{OnlineCluseq, OnlineReport};
 pub use order::ExaminationOrder;
 pub use outcome::{CluseqOutcome, IterationStats};
@@ -77,7 +79,7 @@ pub use score::ScoreEngine;
 pub use serve::{ServeConfig, Server, ServerHandle};
 pub use similarity::{
     max_similarity, max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
-    prune_count, BoundedSimilarity, LogSim, SegmentSimilarity,
+    max_similarity_pst_with_scratch, prune_count, BoundedSimilarity, LogSim, SegmentSimilarity,
 };
 pub use telemetry::{
     CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,

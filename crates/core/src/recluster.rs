@@ -22,9 +22,10 @@ use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
 use crate::config::{ScanKernel, ScanMode};
+use crate::incremental::{ColumnBuilder, SimilarityCache};
 use crate::score::ScoreEngine;
 use crate::similarity::{
-    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
+    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst_with_scratch,
     BoundedSimilarity, LogSim,
 };
 use crate::telemetry::ScanMetrics;
@@ -97,6 +98,10 @@ pub struct ReclusterOutcome {
     /// Wall time of the snapshot absorb phase, nanoseconds (0 under
     /// [`ScanMode::Incremental`]).
     pub absorb_nanos: u64,
+    /// Ids of clusters whose membership or model changed during the scan
+    /// (every live cluster under `rebuild_psts`). The driver uses this to
+    /// delta-encode checkpoints; always computed, cheap either way.
+    pub changed_clusters: Vec<usize>,
 }
 
 /// Bookkeeping shared by both scan modes: member lists being rebuilt,
@@ -111,6 +116,8 @@ struct ScanState {
     old_members: Vec<Vec<usize>>,
     new_members: Vec<Vec<usize>>,
     join_segments: Vec<Vec<(usize, usize, usize)>>,
+    /// Per slot: whether the cluster's model was mutated during this scan.
+    mutated: Vec<bool>,
     metrics: ScanMetrics,
 }
 
@@ -125,6 +132,7 @@ impl ScanState {
             old_members: clusters.iter().map(|c| c.members.clone()).collect(),
             new_members: vec![Vec::new(); clusters.len()],
             join_segments: vec![Vec::new(); clusters.len()],
+            mutated: vec![false; clusters.len()],
             metrics: ScanMetrics::default(),
         }
     }
@@ -140,6 +148,12 @@ impl ScanState {
     /// no histogram sample, which is why pruning is only enabled when the
     /// histogram feed goes unread.
     ///
+    /// `reused` says the verdict came from the incremental cache instead
+    /// of a fresh evaluation: the pair then counts in `pairs_reused`
+    /// rather than `pairs_scored`/`pairs_pruned`. All join, membership,
+    /// and model bookkeeping is identical — a cached verdict is by
+    /// construction the value a fresh evaluation would have produced.
+    ///
     /// Returns whether the cluster's model was mutated (so a compiled
     /// caller knows its automaton for this slot is stale).
     fn apply(
@@ -149,12 +163,19 @@ impl ScanState {
         verdict: BoundedSimilarity,
         seq: &[cluseq_seq::Symbol],
         cluster: &mut Cluster,
+        reused: bool,
     ) -> bool {
-        self.metrics.pairs_scored += 1;
+        if reused {
+            self.metrics.pairs_reused += 1;
+        } else {
+            self.metrics.pairs_scored += 1;
+        }
         let sim = match verdict {
             BoundedSimilarity::Exact(sim) => sim,
             BoundedSimilarity::Pruned => {
-                self.metrics.pairs_pruned += 1;
+                if !reused {
+                    self.metrics.pairs_pruned += 1;
+                }
                 return false;
             }
         };
@@ -181,9 +202,88 @@ impl ScanState {
                 // phase under snapshot).
                 cluster.absorb_segment(&seq[sim.start..sim.end]);
                 mutated = true;
+                self.mutated[slot] = true;
             }
         }
         mutated
+    }
+}
+
+/// Per-scan reuse bookkeeping for the serial (incremental-mode) arms: a
+/// snapshot of each slot's valid column, plus the fresh columns being
+/// accumulated for slots that had none.
+///
+/// A slot's column stops being reused at the slot's first model mutation
+/// this scan (the cached values no longer match the evolving model); a
+/// fresh column under construction is poisoned by any mutation of its
+/// slot, because entries recorded before the mutation were computed
+/// against a model that no longer exists.
+struct SerialReuse {
+    cols: Vec<Option<Vec<BoundedSimilarity>>>,
+    builders: Vec<Option<ColumnBuilder>>,
+    dirty_at_start: u64,
+}
+
+impl SerialReuse {
+    fn new(cache: &SimilarityCache, clusters: &[Cluster], n: usize) -> Self {
+        let cols: Vec<Option<Vec<BoundedSimilarity>>> = clusters
+            .iter()
+            .map(|c| cache.column(c.id).map(<[_]>::to_vec))
+            .collect();
+        let builders = cols
+            .iter()
+            .map(|col| col.is_none().then(|| ColumnBuilder::new(n)))
+            .collect();
+        let dirty_at_start = cols.iter().filter(|col| col.is_none()).count() as u64;
+        Self {
+            cols,
+            builders,
+            dirty_at_start,
+        }
+    }
+
+    /// The reusable verdict for this pair, if the slot's column is still
+    /// valid at this point of the scan.
+    fn lookup(&self, slot: usize, seq_id: usize) -> Option<BoundedSimilarity> {
+        self.cols[slot].as_ref().map(|col| col[seq_id])
+    }
+
+    /// Bookkeeping after one pair: record fresh verdicts into the slot's
+    /// column under construction, and react to a model mutation by
+    /// stopping reuse and poisoning the builder.
+    fn after_pair(
+        &mut self,
+        slot: usize,
+        seq_id: usize,
+        verdict: BoundedSimilarity,
+        reused: bool,
+        mutated: bool,
+    ) {
+        if !reused {
+            if let Some(builder) = self.builders[slot].as_mut() {
+                builder.record(seq_id, verdict);
+            }
+        }
+        if mutated {
+            self.cols[slot] = None;
+            if let Some(builder) = self.builders[slot].as_mut() {
+                builder.poison();
+            }
+        }
+    }
+
+    /// Writes the scan's outcome back to the cache: mutated slots lose
+    /// their columns, dirty slots that stayed constant gain the column
+    /// just scored.
+    fn commit(self, cache: &mut SimilarityCache, clusters: &[Cluster], mutated: &[bool]) {
+        for (slot, builder) in self.builders.into_iter().enumerate() {
+            let id = clusters[slot].id;
+            if mutated[slot] {
+                cache.invalidate(id);
+            } else if let Some(col) = builder.and_then(ColumnBuilder::finish) {
+                cache.install(id, col);
+            }
+        }
     }
 }
 
@@ -197,10 +297,47 @@ pub fn recluster(
     background: &BackgroundModel,
     options: ScanOptions<'_>,
 ) -> ReclusterOutcome {
+    recluster_cached(db, clusters, log_t, order, background, options, None)
+}
+
+/// [`recluster`] with an optional incremental similarity cache (see
+/// [`crate::incremental`]).
+///
+/// With `cache = None` this *is* [`recluster`]. With a cache, pairs whose
+/// cluster has a valid column are answered from it instead of being
+/// re-scored, and the cache is updated in place to reflect the scan:
+/// clusters whose model mutated lose their column, clusters scored fresh
+/// whose model stayed constant gain one. Every clustering observable —
+/// similarities, joins, memberships, models, `best_cluster` — is
+/// bit-identical with or without the cache; only the work skipped (and the
+/// `pairs_reused` / `clusters_dirty` / `pst_recompiles` metrics) changes.
+///
+/// `order` must visit every database sequence (it always does in the
+/// driver); a partial order would leave fresh columns incomplete, which is
+/// detected and the column simply not cached.
+#[allow(clippy::too_many_arguments)]
+pub fn recluster_cached(
+    db: &SequenceDatabase,
+    clusters: &mut [Cluster],
+    log_t: f64,
+    order: &[usize],
+    background: &BackgroundModel,
+    options: ScanOptions<'_>,
+    mut cache: Option<&mut SimilarityCache>,
+) -> ReclusterOutcome {
     let n = db.len();
     let mut state = ScanState::new(n, clusters, log_t, options.rebuild_psts);
     let score_nanos: u64;
     let mut absorb_nanos = 0u64;
+
+    // The rebuild ablation replaces every model at the end of the scan, so
+    // nothing cached can survive and nothing fresh is worth caching.
+    if options.rebuild_psts {
+        if let Some(cache) = cache.as_deref_mut() {
+            cache.clear();
+        }
+        cache = None;
+    }
 
     // Only the compiled kernel can prove a pair hopeless mid-scan.
     let prune_below = match options.kernel {
@@ -214,12 +351,35 @@ pub fn recluster(
             // is attributed to the score phase (absorb stays 0).
             let _span = options.trace.map(|t| t.span(Phase::ScanScore));
             let start = std::time::Instant::now();
+            let mut reuse = cache
+                .as_deref()
+                .map(|cache| SerialReuse::new(cache, clusters, n));
+            let mut scratch: Vec<cluseq_seq::Symbol> = Vec::new();
             for &seq_id in order {
                 let seq = db.sequence(seq_id).symbols();
                 for (slot, cluster) in clusters.iter_mut().enumerate() {
-                    let sim = max_similarity_pst(&cluster.pst, background, seq);
-                    state.apply(seq_id, slot, BoundedSimilarity::Exact(sim), seq, cluster);
+                    let (verdict, reused) =
+                        match reuse.as_ref().and_then(|r| r.lookup(slot, seq_id)) {
+                            Some(verdict) => (verdict, true),
+                            None => {
+                                let sim = max_similarity_pst_with_scratch(
+                                    &cluster.pst,
+                                    background,
+                                    seq,
+                                    &mut scratch,
+                                );
+                                (BoundedSimilarity::Exact(sim), false)
+                            }
+                        };
+                    let mutated = state.apply(seq_id, slot, verdict, seq, cluster, reused);
+                    if let Some(reuse) = reuse.as_mut() {
+                        reuse.after_pair(slot, seq_id, verdict, reused, mutated);
+                    }
                 }
+            }
+            if let (Some(reuse), Some(cache)) = (reuse, cache.as_deref_mut()) {
+                state.metrics.clusters_dirty = reuse.dirty_at_start;
+                reuse.commit(cache, clusters, &state.mutated);
             }
             score_nanos = start.elapsed().as_nanos() as u64;
         }
@@ -228,23 +388,51 @@ pub fn recluster(
             // every new join, so each slot's automaton is compiled lazily
             // and recompiled after a mutation. Joins are rare relative to
             // scored pairs once the clustering settles, so the automatons
-            // live long enough to pay for themselves.
+            // live long enough to pay for themselves. With a cache, a
+            // clean slot's automaton is never compiled at all — reuse
+            // needs no automaton — so a converged scan compiles nothing.
             let _span = options.trace.map(|t| t.span(Phase::ScanScore));
             let start = std::time::Instant::now();
+            let mut reuse = cache
+                .as_deref()
+                .map(|cache| SerialReuse::new(cache, clusters, n));
             let mut compiled: Vec<Option<CompiledPst>> = vec![None; clusters.len()];
+            let mut compiles = 0u64;
             for &seq_id in order {
                 let seq = db.sequence(seq_id).symbols();
                 for (slot, cluster) in clusters.iter_mut().enumerate() {
-                    let automaton = compiled[slot]
-                        .get_or_insert_with(|| CompiledPst::compile(&cluster.pst, background));
-                    let verdict = match prune_below {
-                        Some(log_t) => max_similarity_compiled_bounded(automaton, seq, log_t),
-                        None => BoundedSimilarity::Exact(max_similarity_compiled(automaton, seq)),
-                    };
-                    if state.apply(seq_id, slot, verdict, seq, cluster) {
+                    let (verdict, reused) =
+                        match reuse.as_ref().and_then(|r| r.lookup(slot, seq_id)) {
+                            Some(verdict) => (verdict, true),
+                            None => {
+                                let automaton = compiled[slot].get_or_insert_with(|| {
+                                    compiles += 1;
+                                    CompiledPst::compile(&cluster.pst, background)
+                                });
+                                let verdict = match prune_below {
+                                    Some(log_t) => {
+                                        max_similarity_compiled_bounded(automaton, seq, log_t)
+                                    }
+                                    None => BoundedSimilarity::Exact(max_similarity_compiled(
+                                        automaton, seq,
+                                    )),
+                                };
+                                (verdict, false)
+                            }
+                        };
+                    let mutated = state.apply(seq_id, slot, verdict, seq, cluster, reused);
+                    if mutated {
                         compiled[slot] = None;
                     }
+                    if let Some(reuse) = reuse.as_mut() {
+                        reuse.after_pair(slot, seq_id, verdict, reused, mutated);
+                    }
                 }
+            }
+            if let (Some(reuse), Some(cache)) = (reuse, cache.as_deref_mut()) {
+                state.metrics.clusters_dirty = reuse.dirty_at_start;
+                state.metrics.pst_recompiles = compiles;
+                reuse.commit(cache, clusters, &state.mutated);
             }
             score_nanos = start.elapsed().as_nanos() as u64;
         }
@@ -254,38 +442,59 @@ pub fn recluster(
             // in slot order, so the absorb phase below visits pairs in
             // exactly the incremental scan's (sequence, slot) order.
             let engine = ScoreEngine::new(options.threads);
-            let (rows, nanos) = {
-                let _span = options.trace.map(|t| t.span(Phase::ScanScore));
-                match kernel {
-                    ScanKernel::Interpreted => {
-                        let (rows, nanos) = engine.score_sequences_metered(
-                            db,
-                            clusters,
-                            background,
-                            order,
-                            options.trace,
-                        );
-                        let rows = rows
-                            .into_iter()
-                            .map(|row| row.into_iter().map(BoundedSimilarity::Exact).collect())
-                            .collect::<Vec<Vec<BoundedSimilarity>>>();
-                        (rows, nanos)
-                    }
-                    ScanKernel::Compiled => {
-                        // Compilation is part of the score phase's bill: it
-                        // only exists to serve this pass.
-                        let start = std::time::Instant::now();
-                        let compiled = engine.compile_clusters(clusters, background);
-                        let compile_nanos = start.elapsed().as_nanos() as u64;
-                        let (rows, nanos) = engine.score_sequences_compiled_metered(
-                            db,
-                            &compiled,
-                            order,
-                            prune_below,
-                            options.trace,
-                        );
-                        (rows, compile_nanos + nanos)
-                    }
+            let (rows, nanos, had_column) = match cache.as_deref() {
+                None => {
+                    let _span = options.trace.map(|t| t.span(Phase::ScanScore));
+                    let (rows, nanos) = match kernel {
+                        ScanKernel::Interpreted => {
+                            let (rows, nanos) = engine.score_sequences_metered(
+                                db,
+                                clusters,
+                                background,
+                                order,
+                                options.trace,
+                            );
+                            let rows = rows
+                                .into_iter()
+                                .map(|row| row.into_iter().map(BoundedSimilarity::Exact).collect())
+                                .collect::<Vec<Vec<BoundedSimilarity>>>();
+                            (rows, nanos)
+                        }
+                        ScanKernel::Compiled => {
+                            // Compilation is part of the score phase's
+                            // bill: it only exists to serve this pass.
+                            let start = std::time::Instant::now();
+                            let compiled = engine.compile_clusters(clusters, background);
+                            let compile_nanos = start.elapsed().as_nanos() as u64;
+                            let (rows, nanos) = engine.score_sequences_compiled_metered(
+                                db,
+                                &compiled,
+                                order,
+                                prune_below,
+                                options.trace,
+                            );
+                            (rows, compile_nanos + nanos)
+                        }
+                    };
+                    (rows, nanos, None)
+                }
+                Some(cache_ref) => {
+                    let _span = options.trace.map(|t| t.span(Phase::ScanScore));
+                    let had_column: Vec<bool> =
+                        clusters.iter().map(|c| cache_ref.is_clean(c.id)).collect();
+                    let pass = engine.score_sequences_cached(
+                        db,
+                        clusters,
+                        background,
+                        order,
+                        kernel,
+                        prune_below,
+                        cache_ref,
+                        options.trace,
+                    );
+                    state.metrics.clusters_dirty = pass.dirty_slots.len() as u64;
+                    state.metrics.pst_recompiles = pass.compiles;
+                    (pass.rows, pass.nanos, Some(had_column))
                 }
             };
             score_nanos = nanos;
@@ -295,18 +504,44 @@ pub fn recluster(
             for (pos, &seq_id) in order.iter().enumerate() {
                 let seq = db.sequence(seq_id).symbols();
                 for (slot, &verdict) in rows[pos].iter().enumerate() {
-                    state.apply(seq_id, slot, verdict, seq, &mut clusters[slot]);
+                    let reused = had_column.as_ref().is_some_and(|h| h[slot]);
+                    state.apply(seq_id, slot, verdict, seq, &mut clusters[slot], reused);
+                }
+            }
+            // Cache write-back: a slot whose model mutated during absorb —
+            // clean slots *can* mutate, a threshold move can turn a reused
+            // verdict into a new join — loses its column; a dirty slot
+            // that stayed constant gains the column just scored.
+            if let (Some(cache), Some(had_column)) = (cache.as_mut(), had_column.as_ref()) {
+                for (slot, cluster) in clusters.iter().enumerate() {
+                    if state.mutated[slot] {
+                        cache.invalidate(cluster.id);
+                    } else if !had_column[slot] {
+                        let mut builder = ColumnBuilder::new(n);
+                        for (pos, &seq_id) in order.iter().enumerate() {
+                            builder.record(seq_id, rows[pos][slot]);
+                        }
+                        if let Some(col) = builder.finish() {
+                            cache.install(cluster.id, col);
+                        }
+                    }
                 }
             }
             absorb_nanos = start.elapsed().as_nanos() as u64;
         }
     }
 
-    // Install the rebuilt member lists and count flips.
+    // Install the rebuilt member lists, count flips, and collect the ids
+    // of clusters the scan changed (for delta checkpoints).
     let mut changes = 0usize;
+    let mut changed_clusters = Vec::new();
     for (slot, cluster) in clusters.iter_mut().enumerate() {
         state.new_members[slot].sort_unstable();
-        changes += symmetric_difference(&state.old_members[slot], &state.new_members[slot]);
+        let flips = symmetric_difference(&state.old_members[slot], &state.new_members[slot]);
+        changes += flips;
+        if flips > 0 || state.mutated[slot] || options.rebuild_psts {
+            changed_clusters.push(cluster.id);
+        }
         cluster.members = std::mem::take(&mut state.new_members[slot]);
     }
 
@@ -337,6 +572,7 @@ pub fn recluster(
         if !matches!(options.mode, ScanMode::Snapshot) {
             trace.add(Counter::PairsScored, metrics.pairs_scored);
             trace.add(Counter::PairsPruned, metrics.pairs_pruned);
+            trace.add(Counter::PairsReused, metrics.pairs_reused);
         }
         trace.add(Counter::Joins, metrics.joins);
         trace.add(Counter::NewJoins, metrics.new_joins);
@@ -344,6 +580,8 @@ pub fn recluster(
             Counter::MembershipChanges,
             metrics.membership_changes as u64,
         );
+        trace.add(Counter::ClustersDirty, metrics.clusters_dirty);
+        trace.add(Counter::PstRecompiles, metrics.pst_recompiles);
     }
 
     ReclusterOutcome {
@@ -353,6 +591,7 @@ pub fn recluster(
         metrics,
         score_nanos,
         absorb_nanos,
+        changed_clusters,
     }
 }
 
@@ -749,6 +988,139 @@ mod tests {
                     m.membership_changes as u64,
                     "{ctx}"
                 );
+            }
+        }
+    }
+
+    /// The incremental-engine invariant at the single-scan level: scans
+    /// driven through a similarity cache are bit-identical to uncached
+    /// scans in every observable, and a stable clustering converges to
+    /// full reuse — zero pairs scored, zero compiles.
+    #[test]
+    fn cached_scans_are_bit_identical_and_converge_to_full_reuse() {
+        let (db, bg) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        let observe = |out: &ReclusterOutcome, clusters: &[Cluster]| {
+            (
+                out.similarities
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                out.changes,
+                out.best_cluster.clone(),
+                out.changed_clusters.clone(),
+                clusters
+                    .iter()
+                    .map(|c| c.members.clone())
+                    .collect::<Vec<_>>(),
+                clusters
+                    .iter()
+                    .map(|c| c.pst.total_count())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for base in [incremental(), snapshot(1), snapshot(4)] {
+            for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+                let opts = with_kernel(base, kernel);
+                let mut plain_clusters = make_clusters(&db, &[0, 3]);
+                let mut cached_clusters = make_clusters(&db, &[0, 3]);
+                let mut cache = SimilarityCache::new(db.len());
+                for round in 0..3 {
+                    let plain = recluster(&db, &mut plain_clusters, 0.05, &order, &bg, opts);
+                    let cached = recluster_cached(
+                        &db,
+                        &mut cached_clusters,
+                        0.05,
+                        &order,
+                        &bg,
+                        opts,
+                        Some(&mut cache),
+                    );
+                    let ctx = format!("mode {:?} kernel {:?} round {round}", base.mode, kernel);
+                    assert_eq!(
+                        observe(&plain, &plain_clusters),
+                        observe(&cached, &cached_clusters),
+                        "{ctx}"
+                    );
+                    assert_eq!(cached.metrics.joins, plain.metrics.joins, "{ctx}");
+                    // Reuse replaces scoring one for one.
+                    assert_eq!(
+                        cached.metrics.pairs_scored + cached.metrics.pairs_reused,
+                        plain.metrics.pairs_scored,
+                        "{ctx}"
+                    );
+                    if round == 2 {
+                        // Round 0 mutates both models (new joins), so no
+                        // columns survive it; round 1 rescores and caches;
+                        // round 2 must reuse everything.
+                        assert_eq!(cached.metrics.pairs_reused, (db.len() * 2) as u64, "{ctx}");
+                        assert_eq!(cached.metrics.pairs_scored, 0, "{ctx}");
+                        assert_eq!(cached.metrics.clusters_dirty, 0, "{ctx}");
+                        assert_eq!(cached.metrics.pst_recompiles, 0, "{ctx}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Traced cached scans land exactly their [`ScanMetrics`] in the
+    /// registry, including the three incremental counters, at every
+    /// mode × kernel × round point.
+    #[test]
+    fn traced_cached_scan_registry_equals_scan_metrics() {
+        use crate::trace::{Counter, TraceSession};
+        let (db, bg) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        for base in [incremental(), snapshot(1), snapshot(4)] {
+            for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+                let mut clusters = make_clusters(&db, &[0, 3]);
+                let mut cache = SimilarityCache::new(db.len());
+                for round in 0..3 {
+                    let session = TraceSession::in_memory();
+                    let opts = ScanOptions {
+                        trace: Some(&session),
+                        ..with_kernel(base, kernel)
+                    };
+                    let out = recluster_cached(
+                        &db,
+                        &mut clusters,
+                        0.05,
+                        &order,
+                        &bg,
+                        opts,
+                        Some(&mut cache),
+                    );
+                    let m = out.metrics;
+                    let ctx = format!("mode {:?} kernel {:?} round {round}", base.mode, kernel);
+                    assert_eq!(
+                        session.counter(Counter::PairsScored),
+                        m.pairs_scored,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        session.counter(Counter::PairsPruned),
+                        m.pairs_pruned,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        session.counter(Counter::PairsReused),
+                        m.pairs_reused,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        session.counter(Counter::ClustersDirty),
+                        m.clusters_dirty,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        session.counter(Counter::PstRecompiles),
+                        m.pst_recompiles,
+                        "{ctx}"
+                    );
+                    if round == 2 {
+                        assert!(m.pairs_reused > 0, "{ctx}");
+                    }
+                }
             }
         }
     }

@@ -24,9 +24,11 @@ use cluseq_pst::{CompiledPst, Pst};
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
+use crate::config::ScanKernel;
+use crate::incremental::SimilarityCache;
 use crate::similarity::{
-    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst, prune_count,
-    BoundedSimilarity, SegmentSimilarity,
+    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
+    max_similarity_pst_with_scratch, prune_count, BoundedSimilarity, SegmentSimilarity,
 };
 use crate::trace::{self, Counter, HistKind, TraceSession};
 
@@ -81,6 +83,23 @@ pub fn plan_chunk(n: usize, threads: usize) -> usize {
     } else {
         n.div_ceil(threads)
     }
+}
+
+/// The result of [`ScoreEngine::score_sequences_cached`]: the verdict
+/// rows plus what the cache did and did not save.
+#[derive(Debug)]
+pub struct CachedScorePass {
+    /// `rows[pos][slot]` — verdicts in examination order (reused or
+    /// fresh; see [`ScoreEngine::score_sequences_cached`]).
+    pub rows: Vec<Vec<BoundedSimilarity>>,
+    /// Wall time of the whole pass (dirty-slot automaton compiles plus
+    /// scoring), in nanoseconds.
+    pub nanos: u64,
+    /// Slots scored fresh (no valid cached column), ascending.
+    pub dirty_slots: Vec<usize>,
+    /// Automata compiled — `dirty_slots.len()` under the compiled kernel,
+    /// 0 under the interpreted one.
+    pub compiles: u64,
 }
 
 /// A configured scorer: the thread count plus the similarity shapes the
@@ -270,6 +289,114 @@ impl ScoreEngine {
             }
         };
         (rows, trace::nanos_since(start))
+    }
+
+    /// A snapshot scoring pass that reuses cached columns for clean
+    /// clusters and scores only dirty ones (see [`crate::incremental`]).
+    ///
+    /// `rows[pos][slot]` is the verdict of sequence `order[pos]` against
+    /// `clusters[slot]`: read straight from `cache` when the cluster has a
+    /// valid column, computed fresh otherwise. Fresh verdicts use `kernel`
+    /// (automata are compiled here, for dirty slots only) and honor
+    /// `prune_below` under the compiled kernel, exactly like the uncached
+    /// paths — so with an empty cache the rows are bit-identical to
+    /// [`score_sequences_compiled_metered`](ScoreEngine::score_sequences_compiled_metered)
+    /// (or the interpreted equivalent wrapped in
+    /// [`BoundedSimilarity::Exact`]).
+    ///
+    /// When `trace` is given, each worker records `pairs_scored` and
+    /// `pairs_pruned` for its *fresh* pairs and `pairs_reused` for its
+    /// cache hits, into its own shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_sequences_cached(
+        &self,
+        db: &SequenceDatabase,
+        clusters: &[Cluster],
+        background: &BackgroundModel,
+        order: &[usize],
+        kernel: ScanKernel,
+        prune_below: Option<f64>,
+        cache: &SimilarityCache,
+        trace: Option<&TraceSession>,
+    ) -> CachedScorePass {
+        let start = std::time::Instant::now();
+        let columns: Vec<Option<&[BoundedSimilarity]>> =
+            clusters.iter().map(|c| cache.column(c.id)).collect();
+        let dirty_slots: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, col)| col.is_none().then_some(slot))
+            .collect();
+        // Compile automata for dirty slots only — clean slots never touch
+        // their model, so steady state pays zero compilation.
+        let automata: Vec<Option<CompiledPst>> = match kernel {
+            ScanKernel::Interpreted => clusters.iter().map(|_| None).collect(),
+            ScanKernel::Compiled => parallel_map(clusters.len(), self.threads, |slot| {
+                columns[slot]
+                    .is_none()
+                    .then(|| CompiledPst::compile(&clusters[slot].pst, background))
+            }),
+        };
+        let compiles = automata.iter().flatten().count() as u64;
+        let chunk = plan_chunk(order.len(), self.threads);
+        let rows = parallel_map(order.len(), self.threads, |pos| {
+            let row_start = std::time::Instant::now();
+            let id = order[pos];
+            let seq = db.sequence(id).symbols();
+            let mut scratch: Vec<cluseq_seq::Symbol> = Vec::new();
+            let mut fresh = 0u64;
+            let mut fresh_pruned = 0u64;
+            let row: Vec<BoundedSimilarity> = columns
+                .iter()
+                .enumerate()
+                .map(|(slot, col)| match col {
+                    Some(col) => col[id],
+                    None => {
+                        fresh += 1;
+                        let verdict = match kernel {
+                            ScanKernel::Compiled => {
+                                let automaton =
+                                    automata[slot].as_ref().expect("dirty slot is compiled");
+                                match prune_below {
+                                    Some(log_t) => {
+                                        max_similarity_compiled_bounded(automaton, seq, log_t)
+                                    }
+                                    None => BoundedSimilarity::Exact(max_similarity_compiled(
+                                        automaton, seq,
+                                    )),
+                                }
+                            }
+                            ScanKernel::Interpreted => {
+                                BoundedSimilarity::Exact(max_similarity_pst_with_scratch(
+                                    &clusters[slot].pst,
+                                    background,
+                                    seq,
+                                    &mut scratch,
+                                ))
+                            }
+                        };
+                        if verdict.is_pruned() {
+                            fresh_pruned += 1;
+                        }
+                        verdict
+                    }
+                })
+                .collect();
+            if let Some(trace) = trace {
+                let shard = trace::shard_for(pos, chunk);
+                trace.add_at(shard, Counter::PairsScored, fresh);
+                trace.add_at(shard, Counter::PairsPruned, fresh_pruned);
+                trace.add_at(shard, Counter::PairsReused, row.len() as u64 - fresh);
+                trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+            }
+            row
+        });
+        CachedScorePass {
+            rows,
+            nanos: trace::nanos_since(start),
+            dirty_slots,
+            compiles,
+        }
     }
 
     /// Scores each database sequence in `ids` against a single PST.
@@ -472,6 +599,94 @@ mod tests {
             let pruned: u64 = bounded.iter().map(|row| prune_count(row)).sum();
             assert_eq!(session.counter(Counter::PairsPruned), pruned);
         }
+    }
+
+    #[test]
+    fn cached_scoring_with_empty_cache_matches_uncached() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = vec![4, 0, 3, 1, 2];
+        let empty = SimilarityCache::new(db.len());
+        for threads in [1usize, 4] {
+            let engine = ScoreEngine::new(threads);
+            let compiled = engine.compile_clusters(&clusters, &bg);
+            for prune_below in [None, Some(0.5)] {
+                let pass = engine.score_sequences_cached(
+                    &db,
+                    &clusters,
+                    &bg,
+                    &order,
+                    ScanKernel::Compiled,
+                    prune_below,
+                    &empty,
+                    None,
+                );
+                let want = engine.score_sequences_compiled(&db, &compiled, &order, prune_below);
+                assert_eq!(pass.rows, want, "threads={threads} prune={prune_below:?}");
+                assert_eq!(pass.dirty_slots, vec![0, 1]);
+                assert_eq!(pass.compiles, clusters.len() as u64);
+            }
+            let pass = engine.score_sequences_cached(
+                &db,
+                &clusters,
+                &bg,
+                &order,
+                ScanKernel::Interpreted,
+                None,
+                &empty,
+                None,
+            );
+            let want = engine.score_sequences(&db, &clusters, &bg, &order);
+            for (pos, row) in pass.rows.iter().enumerate() {
+                for (slot, verdict) in row.iter().enumerate() {
+                    assert_eq!(verdict.exact().unwrap(), want[pos][slot]);
+                }
+            }
+            assert_eq!(pass.compiles, 0);
+        }
+    }
+
+    #[test]
+    fn cached_scoring_reuses_columns_and_meters_reuse() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        let engine = ScoreEngine::new(2);
+        let compiled = engine.compile_clusters(&clusters, &bg);
+        let full = engine.score_sequences_compiled(&db, &compiled, &order, None);
+
+        // Cache cluster 0's column (a deliberately wrong sentinel value so
+        // reuse is observable), leave cluster 1 dirty.
+        let sentinel = SegmentSimilarity {
+            log_sim: 123.0,
+            start: 0,
+            end: 1,
+        };
+        let mut cache = SimilarityCache::new(db.len());
+        cache.install(
+            clusters[0].id,
+            vec![BoundedSimilarity::Exact(sentinel); db.len()],
+        );
+
+        let session = TraceSession::in_memory();
+        let pass = engine.score_sequences_cached(
+            &db,
+            &clusters,
+            &bg,
+            &order,
+            ScanKernel::Compiled,
+            None,
+            &cache,
+            Some(&session),
+        );
+        assert_eq!(pass.dirty_slots, vec![1]);
+        assert_eq!(pass.compiles, 1);
+        for (pos, row) in pass.rows.iter().enumerate() {
+            assert_eq!(row[0], BoundedSimilarity::Exact(sentinel), "reused");
+            assert_eq!(row[1], full[pos][1], "fresh");
+        }
+        let n = order.len() as u64;
+        assert_eq!(session.counter(Counter::PairsScored), n);
+        assert_eq!(session.counter(Counter::PairsReused), n);
+        assert_eq!(session.counter(Counter::PairsPruned), 0);
     }
 
     #[test]

@@ -137,6 +137,25 @@ pub fn max_similarity_pst(
     background: &BackgroundModel,
     seq: &[Symbol],
 ) -> SegmentSimilarity {
+    let mut scratch = Vec::new();
+    max_similarity_pst_with_scratch(pst, background, seq, &mut scratch)
+}
+
+/// [`max_similarity_pst`] with a caller-supplied scanner scratch buffer.
+///
+/// The interpreted scanner needs a fallback context buffer after PST
+/// pruning breaks the right-link structure; allocating it per (sequence,
+/// cluster) pair makes the allocator a hot-loop cost — worst when the
+/// incremental cache skips most pairs and the remaining fresh evaluations
+/// are interleaved with allocator-free cache hits. Threading one buffer
+/// through a whole scan keeps reuse paths allocation-free. Results are
+/// bit-identical to [`max_similarity_pst`].
+pub fn max_similarity_pst_with_scratch(
+    pst: &Pst,
+    background: &BackgroundModel,
+    seq: &[Symbol],
+    scratch: &mut Vec<Symbol>,
+) -> SegmentSimilarity {
     let mut best = SegmentSimilarity {
         log_sim: f64::NEG_INFINITY,
         start: 0,
@@ -144,7 +163,7 @@ pub fn max_similarity_pst(
     };
     let mut y = f64::NEG_INFINITY;
     let mut y_start = 0usize;
-    let mut scanner = pst.scanner();
+    let mut scanner = pst.scanner_with_scratch(std::mem::take(scratch));
 
     for (i, &sym) in seq.iter().enumerate() {
         let p_model = scanner.predict_and_advance(sym);
@@ -164,6 +183,7 @@ pub fn max_similarity_pst(
             };
         }
     }
+    *scratch = scanner.into_scratch();
     best
 }
 

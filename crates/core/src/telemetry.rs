@@ -114,6 +114,18 @@ pub struct ScanMetrics {
     /// recorded iteration — which is also why version-1 checkpoints, which
     /// predate the field, decode losslessly with 0.
     pub pairs_pruned: u64,
+    /// Pairs answered from the incremental similarity cache instead of
+    /// being re-scored; such pairs do **not** count in `pairs_scored` (or
+    /// `pairs_pruned`). Always 0 unless [`crate::CluseqParams::incremental`]
+    /// is on — which is why v1/v2 checkpoints, which predate the field,
+    /// decode losslessly with 0.
+    pub pairs_reused: u64,
+    /// Clusters whose column had to be scored fresh this scan (model
+    /// changed, newly seeded, or never cached). 0 unless incremental.
+    pub clusters_dirty: u64,
+    /// `CompiledPst` automata compiled for dirty clusters this scan.
+    /// 0 unless incremental.
+    pub pst_recompiles: u64,
 }
 
 /// Wall-clock attribution of one iteration's phases, in nanoseconds.
@@ -496,6 +508,9 @@ impl RunReport {
         w.field_u64("new_joins", r.scan.new_joins);
         w.field_usize("membership_changes", r.scan.membership_changes);
         w.field_u64("pairs_pruned", r.scan.pairs_pruned);
+        w.field_u64("pairs_reused", r.scan.pairs_reused);
+        w.field_u64("clusters_dirty", r.scan.clusters_dirty);
+        w.field_u64("pst_recompiles", r.scan.pst_recompiles);
         w.end_obj();
         w.field_usize("removed_clusters", r.removed_clusters);
         w.field_usize("merged_clusters", r.merged_clusters);
@@ -790,6 +805,9 @@ mod tests {
                 new_joins: 3,
                 membership_changes: 5,
                 pairs_pruned: 0,
+                pairs_reused: 0,
+                clusters_dirty: 0,
+                pst_recompiles: 0,
             },
             removed_clusters: 1,
             merged_clusters: 0,

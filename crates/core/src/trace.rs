@@ -193,11 +193,20 @@ pub enum Counter {
     ServeBatches,
     /// Successful hot-swaps to a new model generation.
     ServeSwaps,
+    /// Pairs answered from the incremental similarity cache instead of
+    /// being re-scored (0 unless `--incremental`).
+    PairsReused,
+    /// Clusters scored fresh in a scan because their model changed — or
+    /// was never cached (0 unless `--incremental`).
+    ClustersDirty,
+    /// `CompiledPst` automata compiled for dirty clusters under the
+    /// incremental engine (0 unless `--incremental`).
+    PstRecompiles,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::PairsScored,
         Counter::PairsPruned,
         Counter::Joins,
@@ -215,6 +224,9 @@ impl Counter {
         Counter::ServeErrors,
         Counter::ServeBatches,
         Counter::ServeSwaps,
+        Counter::PairsReused,
+        Counter::ClustersDirty,
+        Counter::PstRecompiles,
     ];
 
     /// The counter's stable snake_case name (JSONL and exporter base name).
@@ -237,6 +249,9 @@ impl Counter {
             Counter::ServeErrors => "serve_errors",
             Counter::ServeBatches => "serve_batches",
             Counter::ServeSwaps => "serve_swaps",
+            Counter::PairsReused => "pairs_reused",
+            Counter::ClustersDirty => "clusters_dirty",
+            Counter::PstRecompiles => "pst_recompiles",
         }
     }
 
@@ -572,6 +587,8 @@ pub struct IterationEvent {
     pub pairs_scored: u64,
     /// Pairs pruned by the compiled kernel's early exit.
     pub pairs_pruned: u64,
+    /// Pairs answered from the incremental cache (0 unless incremental).
+    pub pairs_reused: u64,
     /// Pairs that reached the threshold.
     pub joins: u64,
     /// Joins by non-members.
@@ -741,6 +758,7 @@ impl TraceSession {
             w.field_usize("membership_changes", ev.membership_changes);
             w.field_u64("pairs_scored", ev.pairs_scored);
             w.field_u64("pairs_pruned", ev.pairs_pruned);
+            w.field_u64("pairs_reused", ev.pairs_reused);
             w.field_u64("joins", ev.joins);
             w.field_u64("new_joins", ev.new_joins);
             w.field_f64("log_t", ev.log_t);

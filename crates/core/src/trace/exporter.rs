@@ -284,6 +284,9 @@ fn counter_help(counter: Counter) -> &'static str {
         Counter::ServeErrors => "Error frames/responses the serve daemon produced.",
         Counter::ServeBatches => "Scoring batches the serve dispatcher executed.",
         Counter::ServeSwaps => "Successful hot-swaps to a new model generation.",
+        Counter::PairsReused => "Pairs answered from the incremental engine's similarity cache.",
+        Counter::ClustersDirty => "Clusters entering a scan without a valid cached column.",
+        Counter::PstRecompiles => "Cluster automata recompiled for dirty clusters.",
     }
 }
 

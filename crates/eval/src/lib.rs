@@ -12,6 +12,8 @@
 //! shared by the threshold-adjustment experiments, and simple wall-clock
 //! helpers for the response-time tables.
 
+#![warn(missing_docs)]
+
 pub mod confusion;
 pub mod histogram;
 pub mod hungarian;

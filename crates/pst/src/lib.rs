@@ -36,6 +36,8 @@
 //! assert!(pst.predict(&[a], b) > 0.99);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod compile;
 pub mod divergence;
 pub mod merge;

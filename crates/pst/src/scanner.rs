@@ -47,11 +47,21 @@ pub struct ContextScanner<'a> {
 impl Pst {
     /// Starts a scanner at the empty context.
     pub fn scanner(&self) -> ContextScanner<'_> {
+        self.scanner_with_scratch(Vec::new())
+    }
+
+    /// Starts a scanner at the empty context, reusing `scratch` as the
+    /// fallback buffer so tight scan loops can recycle one allocation
+    /// across many scanners (recover it with
+    /// [`ContextScanner::into_scratch`]). The buffer is cleared; its
+    /// capacity is kept.
+    pub fn scanner_with_scratch(&self, mut scratch: Vec<Symbol>) -> ContextScanner<'_> {
+        scratch.clear();
         ContextScanner {
             pst: self,
             node: NodeId::ROOT,
             fast: self.right_links_intact(),
-            context: Vec::new(),
+            context: scratch,
         }
     }
 }
@@ -71,6 +81,12 @@ impl<'a> ContextScanner<'a> {
     pub fn reset(&mut self) {
         self.node = NodeId::ROOT;
         self.context.clear();
+    }
+
+    /// Consumes the scanner, returning its scratch buffer for reuse with
+    /// [`Pst::scanner_with_scratch`].
+    pub fn into_scratch(self) -> Vec<Symbol> {
+        self.context
     }
 
     /// Returns the (smoothed) conditional probability of `next` given the
@@ -233,6 +249,32 @@ mod tests {
         assert_ne!(scanner.prediction_node(), NodeId::ROOT);
         scanner.reset();
         assert_eq!(scanner.prediction_node(), NodeId::ROOT);
+    }
+
+    #[test]
+    fn scratch_reuse_preserves_capacity_and_exactness() {
+        let (alphabet, mut pst) = build("abcabcabcabcabc", 1);
+        pst.prune_to(pst.bytes() * 2 / 3);
+        let probe = Sequence::parse_str(&alphabet, "abcabacbcabc").unwrap();
+        let symbols: Vec<Symbol> = probe.iter().collect();
+
+        let mut scanner = pst.scanner();
+        for &s in &symbols {
+            scanner.advance(s);
+        }
+        let scratch = scanner.into_scratch();
+        let capacity = scratch.capacity();
+
+        // Rebuilding from the recycled scratch starts clean and matches the
+        // root walk, without having dropped the old allocation.
+        let mut reused = pst.scanner_with_scratch(scratch);
+        assert_eq!(reused.prediction_node(), NodeId::ROOT);
+        assert!(reused.context.is_empty());
+        assert!(reused.context.capacity() >= capacity.min(1));
+        for (i, &s) in symbols.iter().enumerate() {
+            assert_eq!(reused.prediction_node(), pst.prediction_node(&symbols[..i]));
+            reused.advance(s);
+        }
     }
 
     #[test]

@@ -67,42 +67,53 @@ impl std::error::Error for SerialError {}
 //
 // Public: the core crate's model persistence reuses the same framing.
 
+/// Write a single byte.
 pub fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
     w.write_all(&[v])
 }
+/// Write a `u16` as two little-endian bytes.
 pub fn write_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
+/// Write a `u32` as four little-endian bytes.
 pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
+/// Write a `u64` as eight little-endian bytes.
 pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
+/// Write an `f64` as its eight-byte little-endian bit pattern
+/// (round-trips NaN payloads exactly).
 pub fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
+/// Read a single byte.
 pub fn read_u8(r: &mut impl Read) -> io::Result<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0])
 }
+/// Read a little-endian `u16`.
 pub fn read_u16(r: &mut impl Read) -> io::Result<u16> {
     let mut b = [0u8; 2];
     r.read_exact(&mut b)?;
     Ok(u16::from_le_bytes(b))
 }
+/// Read a little-endian `u32`.
 pub fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
+/// Read a little-endian `u64`.
 pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
+/// Read a little-endian `f64` bit pattern.
 pub fn read_f64(r: &mut impl Read) -> io::Result<f64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;

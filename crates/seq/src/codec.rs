@@ -19,9 +19,17 @@ use crate::sequence::Sequence;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// A label field could not be parsed as an integer or `-`.
-    BadLabel { line: usize, text: String },
+    BadLabel {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending label text, verbatim.
+        text: String,
+    },
     /// A FASTA body line appeared before any `>` header.
-    BodyBeforeHeader { line: usize },
+    BodyBeforeHeader {
+        /// 1-based line number in the input.
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for CodecError {

@@ -16,6 +16,8 @@
 //! ordered list of symbols over a finite alphabet ℑ and a *segment* as a
 //! consecutive portion of a sequence; those definitions are mirrored here.
 
+#![warn(missing_docs)]
+
 pub mod alphabet;
 pub mod background;
 pub mod binio;

@@ -2,7 +2,7 @@
 //! checkpoint files — one per on-disk version — that every future reader
 //! must keep loading and resuming correctly.
 //!
-//! Each fixture (`tests/golden/checkpoint_v{1,2}.ckpt`) was produced by
+//! Each fixture (`tests/golden/checkpoint_v{1,2,3}.ckpt`) was produced by
 //! the `#[ignore]`d `regenerate_the_fixture` test at the time its format
 //! was current: the first checkpoint of a fixed seeded run, with the
 //! scratch directory in its stored policy scrubbed to a relative path
@@ -66,7 +66,7 @@ fn assert_fixture_resumes_identically(name: &str, params: CluseqParams) -> Check
 
     // Structural sanity: the fixture is a mid-run boundary, not an
     // end-state, so a resume exercises real iterations.
-    assert_eq!(ckpt.completed, 1, "fixture captures the first boundary");
+    assert!(ckpt.completed >= 1, "fixture captures a completed boundary");
     assert!(!ckpt.stable, "fixture must not already be at the fixpoint");
     assert!(!ckpt.clusters.is_empty());
     assert_eq!(ckpt.records.len(), ckpt.completed);
@@ -105,6 +105,7 @@ fn assert_fixture_resumes_identically(name: &str, params: CluseqParams) -> Check
 #[test]
 fn the_v1_fixture_still_loads_and_resumes_identically() {
     let ckpt = assert_fixture_resumes_identically("checkpoint_v1.ckpt", generation_params());
+    assert_eq!(ckpt.completed, 1, "fixture captures the first boundary");
     // v1 files predate the scan-kernel field; the loader must default it
     // to the compiled kernel (safe: the kernels are bit-identical).
     assert_eq!(ckpt.params.scan_kernel, ScanKernel::Compiled);
@@ -116,13 +117,36 @@ fn the_v2_fixture_loads_and_resumes_identically() {
         "checkpoint_v2.ckpt",
         generation_params().with_scan_kernel(ScanKernel::Interpreted),
     );
+    assert_eq!(ckpt.completed, 1, "fixture captures the first boundary");
     // v2 stores the kernel choice; the fixture was generated with the
     // non-default interpreted kernel precisely so a lossy decode (falling
     // back to the default) would be caught here.
     assert_eq!(ckpt.params.scan_kernel, ScanKernel::Interpreted);
+    // v2 predates the incremental engine; the decode defaults are an
+    // engine that is off with a cold cache — the true v2-era state.
+    assert!(!ckpt.params.incremental);
+    assert!(ckpt.cache.is_empty());
 }
 
-/// Regenerates the *current-format* fixture (today: v2). Run explicitly
+#[test]
+fn the_v3_fixture_loads_and_resumes_identically() {
+    let ckpt = assert_fixture_resumes_identically(
+        "checkpoint_v3.ckpt",
+        generation_params().with_incremental(true),
+    );
+    // v3 stores the incremental flag and the similarity cache; the
+    // fixture was generated with the non-default engine on precisely so
+    // a lossy decode (dropping the cache, falling back to off) would be
+    // caught here — a resumed run with a cold cache would report
+    // different pairs_scored/pairs_reused counters than the fresh run.
+    assert!(ckpt.params.incremental);
+    assert!(
+        !ckpt.cache.is_empty(),
+        "a boundary of an incremental run must carry cache columns"
+    );
+}
+
+/// Regenerates the *current-format* fixture (today: v3). Run explicitly
 /// after an *intentional* format revision (with a version bump and
 /// back-compat decode paths for every older fixture):
 ///
@@ -139,14 +163,33 @@ fn regenerate_the_fixture() {
     let db = workload();
     Cluseq::new(
         generation_params()
-            .with_scan_kernel(ScanKernel::Interpreted)
+            .with_incremental(true)
             .with_checkpoints(&dir, 1),
     )
     .run(&db);
 
-    let first = dir.join("cluseq-000001.ckpt");
-    let bytes = fs::read(&first).expect("first boundary checkpoint exists");
-    let mut ckpt = Checkpoint::load(&mut bytes.as_slice()).expect("loads");
+    // The fixture must exercise everything v3 added, so pick the *last*
+    // mid-run boundary whose similarity cache is warm (the first boundary
+    // always has a cold cache: freshly seeded clusters mutate during
+    // their first scan, which evicts their columns). Boundaries past the
+    // first are delta files; `load_path` resolves the chain, and the
+    // fixture is re-saved self-contained so the bare reader keeps
+    // accepting it.
+    let mut best: Option<Checkpoint> = None;
+    for entry in fs::read_dir(&dir).expect("scratch dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "ckpt") {
+            continue;
+        }
+        let ckpt = Checkpoint::load_path(&path).expect("every boundary loads");
+        if ckpt.stable || ckpt.cache.is_empty() {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| ckpt.completed > b.completed) {
+            best = Some(ckpt);
+        }
+    }
+    let mut ckpt = best.expect("some mid-run boundary must have a warm cache");
 
     // Scrub the machine-local scratch path before committing; the cadence
     // is preserved.
@@ -154,7 +197,12 @@ fn regenerate_the_fixture() {
 
     let mut out = Vec::new();
     ckpt.save(&mut out).expect("Vec write cannot fail");
-    let path = fixture_path("checkpoint_v2.ckpt");
+    let path = fixture_path("checkpoint_v3.ckpt");
     fs::write(&path, out).expect("write fixture");
-    eprintln!("fixture rewritten at {}", path.display());
+    eprintln!(
+        "fixture rewritten at {} (boundary {}, {} cache columns)",
+        path.display(),
+        ckpt.completed,
+        ckpt.cache.len()
+    );
 }
