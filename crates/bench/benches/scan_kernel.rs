@@ -1,5 +1,6 @@
-//! Interpreted tree walk vs compiled automaton on the similarity scan —
-//! the tentpole measurement for the compiled PST kernel.
+//! The `--scan-kernel` matrix on the similarity scan: interpreted tree
+//! walk, compiled automaton, batched lane-interleaved driver, and the
+//! quantized i16 table (single and batched).
 //!
 //! Each group member is one grid point of [`cluseq_bench::scan_kernel`]:
 //! an alphabet size × average probe length, with throughput in probe
@@ -22,6 +23,15 @@ fn bench_scan_kernel(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("compiled", cfg), &fx, |b, fx| {
             b.iter(|| black_box(fx.run_compiled()))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", cfg), &fx, |b, fx| {
+            b.iter(|| black_box(fx.run_batched()))
+        });
+        group.bench_with_input(BenchmarkId::new("quantized", cfg), &fx, |b, fx| {
+            b.iter(|| black_box(fx.run_quantized()))
+        });
+        group.bench_with_input(BenchmarkId::new("quantized_batched", cfg), &fx, |b, fx| {
+            b.iter(|| black_box(fx.run_quantized_batched()))
         });
     }
     group.finish();

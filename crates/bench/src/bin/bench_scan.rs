@@ -1,9 +1,13 @@
 //! Records the scan-kernel perf trajectory as `BENCH_scan.json`.
 //!
-//! Times the same grid as the `scan_kernel` Criterion bench — interpreted
-//! tree walk vs compiled automaton, per probe symbol — and writes one
+//! Times the same grid as the `scan_kernel` Criterion bench across the
+//! full `--scan-kernel` matrix — interpreted tree walk, compiled
+//! automaton, batched lane-interleaved driver, quantized i16 table, and
+//! the quantized+batched combination — per probe symbol, and writes one
 //! machine-readable JSON file so successive commits can be compared
-//! without parsing Criterion's output directory.
+//! without parsing Criterion's output directory. Every measurement
+//! records its median *and* its sample variance, so a regression can be
+//! told apart from a noisy run without re-benching.
 //!
 //! ```sh
 //! cargo run --release -p cluseq-bench --bin bench_scan \
@@ -12,85 +16,165 @@
 //!
 //! `--quick` shrinks the probe set and repetition count to a smoke-test
 //! size (CI uses it to prove the harness runs; the numbers are noisy).
-//! The target trajectory for the full run is a ≥2× median speedup of the
-//! compiled kernel over the interpreted one.
+//! The target trajectory for the full run: the compiled kernel ≥2× over
+//! interpreted, and at least one of batched/quantized ≥2× over compiled.
 
 use std::time::Instant;
 
 use cluseq_bench::scan_kernel::{configs, ScanFixture};
 use cluseq_bench::{flag_value, print_table};
 
-/// Median of a sample; the sample is consumed (sorted in place).
-fn median(mut xs: Vec<f64>) -> f64 {
+/// Median and sample variance (n−1) of a sample; sorted in place.
+fn stats(mut xs: Vec<f64>) -> (f64, f64) {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = xs.len();
-    if n % 2 == 1 {
+    let median = if n % 2 == 1 {
         xs[n / 2]
     } else {
         0.5 * (xs[n / 2 - 1] + xs[n / 2])
-    }
+    };
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    (median, var)
 }
 
-/// ns/symbol for `reps` timed passes of `f`, one sample per pass.
-fn time_passes(reps: usize, symbols: usize, mut f: impl FnMut() -> f64) -> Vec<f64> {
+/// Median of a sample, discarding the variance.
+fn median(xs: Vec<f64>) -> f64 {
+    stats(xs).0
+}
+
+/// ns/symbol samples for `reps` *interleaved* rounds: each round times
+/// one pass of every kernel back to back, so a contention burst on a
+/// shared box lands on all kernels of that round instead of skewing
+/// whichever kernel owned that stretch of wall clock — the per-kernel
+/// medians stay comparable even when the absolute numbers wander.
+fn time_rounds(reps: usize, symbols: usize, passes: &[&dyn Fn() -> f64]) -> Vec<Vec<f64>> {
     let mut sink = 0.0;
-    let mut samples = Vec::with_capacity(reps);
+    let mut samples = vec![Vec::with_capacity(reps); passes.len()];
     for _ in 0..reps {
-        let start = Instant::now();
-        sink += f();
-        samples.push(start.elapsed().as_nanos() as f64 / symbols as f64);
+        for (kernel, pass) in passes.iter().enumerate() {
+            let start = Instant::now();
+            sink += pass();
+            samples[kernel].push(start.elapsed().as_nanos() as f64 / symbols as f64);
+        }
     }
     assert!(sink.is_finite() || sink.is_nan(), "keep the passes live");
     samples
 }
 
+/// The measured kernels, in display order; `main` pairs each name with
+/// its driver closure over the one shared fixture.
+const KERNELS: [&str; 5] = [
+    "interpreted",
+    "compiled",
+    "batched",
+    "quantized",
+    "quantized_batched",
+];
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let out = flag_value("--out").unwrap_or_else(|| "BENCH_scan.json".to_string());
-    let (probes, warmup, reps) = if quick { (8, 1, 5) } else { (32, 3, 21) };
+    let (probes, warmup, reps) = if quick { (8, 1, 5) } else { (64, 3, 21) };
 
     let mut rows = Vec::new();
     let mut entries = Vec::new();
-    let mut speedups = Vec::new();
+    let mut compiled_speedups = Vec::new();
+    let mut batched_speedups = Vec::new();
+    let mut quantized_speedups = Vec::new();
+    let mut quantized_batched_speedups = Vec::new();
     for cfg in configs() {
         let fx = ScanFixture::build(cfg, probes);
         let symbols = fx.symbols();
+        let passes: [&dyn Fn() -> f64; 5] = [
+            &|| fx.run_interpreted(),
+            &|| fx.run_compiled(),
+            &|| fx.run_batched(),
+            &|| fx.run_quantized(),
+            &|| fx.run_quantized_batched(),
+        ];
         for _ in 0..warmup {
-            fx.run_interpreted();
-            fx.run_compiled();
+            for pass in passes {
+                pass();
+            }
         }
-        let interpreted = median(time_passes(reps, symbols, || fx.run_interpreted()));
-        let compiled = median(time_passes(reps, symbols, || fx.run_compiled()));
-        let speedup = interpreted / compiled;
-        speedups.push(speedup);
+        let measured: Vec<(f64, f64)> = time_rounds(reps, symbols, &passes)
+            .into_iter()
+            .map(stats)
+            .collect();
+        let (interp, compiled, batched, quantized, qbatched) = (
+            measured[0].0,
+            measured[1].0,
+            measured[2].0,
+            measured[3].0,
+            measured[4].0,
+        );
+        compiled_speedups.push(interp / compiled);
+        batched_speedups.push(compiled / batched);
+        quantized_speedups.push(compiled / quantized);
+        quantized_batched_speedups.push(compiled / qbatched);
         rows.push(vec![
             cfg.to_string(),
             fx.compiled.state_count().to_string(),
-            format!("{interpreted:.1}"),
+            format!("{interp:.1}"),
             format!("{compiled:.1}"),
-            format!("{speedup:.2}x"),
+            format!("{batched:.1}"),
+            format!("{quantized:.1}"),
+            format!("{qbatched:.1}"),
+            format!("{:.2}x", compiled / qbatched),
         ]);
+        let per_kernel: Vec<String> = KERNELS
+            .iter()
+            .zip(&measured)
+            .map(|(name, (med, var))| {
+                format!("\"{name}_ns_per_symbol\": {med:.3}, \"{name}_var\": {var:.4}")
+            })
+            .collect();
         entries.push(format!(
             "    {{\"config\": \"{cfg}\", \"alphabet\": {}, \"avg_len\": {}, \
-             \"states\": {}, \"interpreted_ns_per_symbol\": {interpreted:.3}, \
-             \"compiled_ns_per_symbol\": {compiled:.3}, \"speedup\": {speedup:.4}}}",
+             \"states\": {}, {}, \"speedup\": {:.4}, \
+             \"batched_speedup_vs_compiled\": {:.4}, \
+             \"quantized_speedup_vs_compiled\": {:.4}, \
+             \"quantized_batched_speedup_vs_compiled\": {:.4}}}",
             cfg.alphabet,
             cfg.avg_len,
             fx.compiled.state_count(),
+            per_kernel.join(", "),
+            interp / compiled,
+            compiled / batched,
+            compiled / quantized,
+            compiled / qbatched,
         ));
     }
 
-    let median_speedup = median(speedups);
+    let median_speedup = median(compiled_speedups);
+    let median_batched = median(batched_speedups);
+    let median_quantized = median(quantized_speedups);
+    let median_qbatched = median(quantized_batched_speedups);
     print_table(
-        "scan kernel: interpreted vs compiled (median ns/symbol)",
-        &["config", "states", "interp", "compiled", "speedup"],
+        "scan kernel matrix (median ns/symbol)",
+        &[
+            "config", "states", "interp", "compiled", "batched", "quant", "q+batch", "q+b/comp",
+        ],
         &rows,
     );
-    println!("\nmedian speedup across the grid: {median_speedup:.2}x (target >= 2x)");
+    println!(
+        "\nmedian speedups across the grid: compiled {median_speedup:.2}x over interpreted \
+         (target >= 2x); vs compiled: batched {median_batched:.2}x, quantized \
+         {median_quantized:.2}x, quantized+batched {median_qbatched:.2}x (target >= 2x for \
+         batched and/or quantized)"
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"scan_kernel\",\n  \"unit\": \"ns_per_symbol\",\n  \
          \"quick\": {quick},\n  \"median_speedup\": {median_speedup:.4},\n  \
+         \"median_batched_speedup_vs_compiled\": {median_batched:.4},\n  \
+         \"median_quantized_speedup_vs_compiled\": {median_quantized:.4},\n  \
+         \"median_quantized_batched_speedup_vs_compiled\": {median_qbatched:.4},\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

@@ -4,40 +4,116 @@
 //! numbers and the recorded `BENCH_scan.json` trajectory are comparable.
 //!
 //! Each point on the grid trains one PST from a synthetic workload,
-//! compiles it, and measures a full similarity pass — interpreted tree
-//! walk vs compiled automaton — over a held-out probe set. Throughput is
-//! reported per probe *symbol*: the scan is a per-symbol loop, so
-//! ns/symbol is the number the kernel actually changes.
+//! compiles it, and measures a full similarity pass under every
+//! `--scan-kernel` — interpreted tree walk, compiled automaton, batched
+//! lane-interleaved driver, and the i16 quantized table — over a held-out
+//! probe set. Throughput is reported per probe *symbol*: the scan is a
+//! per-symbol loop, so ns/symbol is the number the kernel actually
+//! changes.
 
 use std::fmt;
 
-use cluseq_core::{max_similarity_compiled, max_similarity_pst};
+use cluseq_core::{
+    max_similarity_compiled, max_similarity_compiled_batch, max_similarity_pst,
+    max_similarity_quantized, max_similarity_quantized_batch, BoundedSimilarity,
+};
 use cluseq_datagen::SyntheticSpec;
-use cluseq_pst::{CompiledPst, Pst, PstParams};
+use cluseq_pst::{CompiledPst, Pst, PstParams, QuantizedPst};
 use cluseq_seq::{BackgroundModel, Symbol};
 
-/// One measured grid point: an alphabet size × an average probe length.
+/// One measured grid point: an alphabet size × an average probe length,
+/// plus the model scale (training volume, depth, significance) that sets
+/// how large the compiled automaton gets.
 #[derive(Debug, Clone, Copy)]
 pub struct ScanConfig {
     pub alphabet: usize,
     pub avg_len: usize,
+    /// Sequences used to train the PST (the probes are held out on top).
+    pub training: usize,
+    pub max_depth: usize,
+    pub significance: u64,
+}
+
+impl ScanConfig {
+    /// The original small-model grid point: 40 training sequences, depth
+    /// 6, significance 5 — automatons in the hundreds-to-low-thousands of
+    /// states, tables L1/L2-resident.
+    pub fn small(alphabet: usize, avg_len: usize) -> Self {
+        Self {
+            alphabet,
+            avg_len,
+            training: 40,
+            max_depth: 6,
+            significance: 5,
+        }
+    }
+
+    /// A large-model grid point: an order of magnitude more training
+    /// data, deeper contexts, and a permissive significance cut — the
+    /// tens-of-thousands-of-states automatons whose tables overflow cache
+    /// and turn the single-sequence scan latency-bound. This is the
+    /// regime the batched and quantized kernels exist for.
+    pub fn large(alphabet: usize, avg_len: usize) -> Self {
+        Self {
+            alphabet,
+            avg_len,
+            training: 600,
+            max_depth: 8,
+            significance: 2,
+        }
+    }
+
+    /// The largest grid point: double `large`'s training volume and two
+    /// more context levels — protein-database scale, where even the
+    /// quantized tables overflow L2 and the scan is pure memory latency.
+    pub fn xxl(alphabet: usize, avg_len: usize) -> Self {
+        Self {
+            alphabet,
+            avg_len,
+            training: 1200,
+            max_depth: 10,
+            significance: 2,
+        }
+    }
+
+    /// The scale suffix for display names: `""`/`_xl`/`_xxl`.
+    fn scale_suffix(&self) -> &'static str {
+        if self.training > 600 {
+            "_xxl"
+        } else if self.training > 40 {
+            "_xl"
+        } else {
+            ""
+        }
+    }
 }
 
 impl fmt::Display for ScanConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "a{}_len{}", self.alphabet, self.avg_len)
+        write!(
+            f,
+            "a{}_len{}{}",
+            self.alphabet,
+            self.avg_len,
+            self.scale_suffix()
+        )
     }
 }
 
 /// The measurement grid: small/paper-scale/large alphabets crossed with
-/// short and long sequences. Alphabet size moves the per-node successor
-/// summation the interpreted path pays; length moves how deep the scanner
-/// sits in the tree on average.
+/// short and long sequences, at all three model scales. Alphabet size
+/// moves the per-node successor summation the interpreted path pays;
+/// length moves how deep the scanner sits in the tree on average; model
+/// scale moves the tables across the cache hierarchy — the axis the
+/// batched and quantized kernels exist for, and the regime (tens of
+/// thousands of states) real clustering runs spend their time in.
 pub fn configs() -> Vec<ScanConfig> {
     let mut grid = Vec::new();
-    for &alphabet in &[4usize, 12, 60] {
-        for &avg_len in &[50usize, 200] {
-            grid.push(ScanConfig { alphabet, avg_len });
+    for scale in [ScanConfig::small, ScanConfig::large, ScanConfig::xxl] {
+        for &alphabet in &[4usize, 12, 60] {
+            for &avg_len in &[50usize, 200] {
+                grid.push(scale(alphabet, avg_len));
+            }
         }
     }
     grid
@@ -47,17 +123,15 @@ pub fn configs() -> Vec<ScanConfig> {
 pub struct ScanFixture {
     pub pst: Pst,
     pub compiled: CompiledPst,
+    pub quantized: QuantizedPst,
     pub background: BackgroundModel,
     pub probes: Vec<Vec<Symbol>>,
 }
 
-/// Sequences used to train the PST; the rest of the workload is probes.
-const TRAINING_SEQUENCES: usize = 40;
-
 impl ScanFixture {
     pub fn build(cfg: ScanConfig, probe_count: usize) -> Self {
         let db = SyntheticSpec {
-            sequences: TRAINING_SEQUENCES + probe_count,
+            sequences: cfg.training + probe_count,
             clusters: 2,
             avg_len: cfg.avg_len,
             alphabet: cfg.alphabet,
@@ -67,11 +141,13 @@ impl ScanFixture {
         .generate();
         let mut pst = Pst::new(
             cfg.alphabet,
-            PstParams::default().with_max_depth(6).with_significance(5),
+            PstParams::default()
+                .with_max_depth(cfg.max_depth)
+                .with_significance(cfg.significance),
         );
         let mut probes = Vec::new();
         for (i, seq, _) in db.iter() {
-            if i < TRAINING_SEQUENCES {
+            if i < cfg.training {
                 pst.add_sequence(seq);
             } else {
                 probes.push(seq.iter().collect());
@@ -79,9 +155,11 @@ impl ScanFixture {
         }
         let background = db.background();
         let compiled = CompiledPst::compile(&pst, &background);
+        let quantized = compiled.quantize();
         Self {
             pst,
             compiled,
+            quantized,
             background,
             probes,
         }
@@ -107,6 +185,43 @@ impl ScanFixture {
             .map(|p| max_similarity_compiled(&self.compiled, p).log_sim)
             .sum()
     }
+
+    /// One full batched pass: the same compiled tables, the whole probe
+    /// set handed to the lane-interleaved driver in one call so its
+    /// length-grouped chunking can do its job.
+    pub fn run_batched(&self) -> f64 {
+        let refs: Vec<&[Symbol]> = self.probes.iter().map(Vec::as_slice).collect();
+        let mut sum = 0.0;
+        for verdict in max_similarity_compiled_batch(&self.compiled, &refs, None) {
+            match verdict {
+                BoundedSimilarity::Exact(s) => sum += s.log_sim,
+                BoundedSimilarity::Pruned => unreachable!("unbounded scans never prune"),
+            }
+        }
+        sum
+    }
+
+    /// One full quantized pass: the i16 ratio table, one probe at a time.
+    pub fn run_quantized(&self) -> f64 {
+        self.probes
+            .iter()
+            .map(|p| max_similarity_quantized(&self.quantized, p).log_sim)
+            .sum()
+    }
+
+    /// One full quantized *batched* pass — the integer table under the
+    /// lane-interleaved driver, the fastest configuration of the matrix.
+    pub fn run_quantized_batched(&self) -> f64 {
+        let refs: Vec<&[Symbol]> = self.probes.iter().map(Vec::as_slice).collect();
+        let mut sum = 0.0;
+        for verdict in max_similarity_quantized_batch(&self.quantized, &refs, None) {
+            match verdict {
+                BoundedSimilarity::Exact(s) => sum += s.log_sim,
+                BoundedSimilarity::Pruned => unreachable!("unbounded scans never prune"),
+            }
+        }
+        sum
+    }
 }
 
 #[cfg(test)]
@@ -115,18 +230,33 @@ mod tests {
 
     #[test]
     fn fixture_kernels_agree_and_have_probes() {
-        let fx = ScanFixture::build(
-            ScanConfig {
-                alphabet: 4,
-                avg_len: 50,
-            },
-            8,
-        );
+        let fx = ScanFixture::build(ScanConfig::small(4, 50), 8);
         assert!(fx.symbols() > 0);
         assert_eq!(
             fx.run_interpreted().to_bits(),
             fx.run_compiled().to_bits(),
             "bench fixture must exercise bit-identical kernels"
+        );
+        assert_eq!(
+            fx.run_compiled().to_bits(),
+            fx.run_batched().to_bits(),
+            "the batched driver must sum the same bits as the compiled scan"
+        );
+        assert_eq!(
+            fx.run_quantized().to_bits(),
+            fx.run_quantized_batched().to_bits(),
+            "the quantized batch driver must sum the same bits as the single scan"
+        );
+        // The quantized checksum is an approximation of the exact one:
+        // per-probe error is bounded, so the summed error is too.
+        let bound: f64 = fx
+            .probes
+            .iter()
+            .map(|p| fx.quantized.error_bound(p.len()))
+            .sum();
+        assert!(
+            (fx.run_compiled() - fx.run_quantized()).abs() <= bound,
+            "quantized checksum drifted past the summed error bound"
         );
     }
 }

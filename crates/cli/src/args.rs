@@ -39,16 +39,30 @@ impl Args {
     }
 
     /// A typed option with a default.
+    ///
+    /// Exits with status 2 on a malformed value, printing the type's own
+    /// parse error (e.g. an unknown `--scan-kernel` name lists the valid
+    /// set). Use [`Args::try_get`] where the caller wants the error
+    /// instead of the exit.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
     where
         T::Err: std::fmt::Display,
     {
+        self.try_get(key, default).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// [`Args::get`] that surfaces the parse failure instead of exiting:
+    /// `Err` carries `--key value: <the type's parse error>`.
+    pub fn try_get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
         match self.options.get(key) {
-            Some(raw) => raw.parse().unwrap_or_else(|e| {
-                eprintln!("error: --{key} {raw}: {e}");
-                std::process::exit(2);
-            }),
-            None => default,
+            Some(raw) => raw.parse().map_err(|e| format!("--{key} {raw}: {e}")),
+            None => Ok(default),
         }
     }
 
@@ -100,5 +114,29 @@ mod tests {
         let a = parse("");
         assert!(a.command.is_none());
         assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn try_get_surfaces_parse_errors_with_flag_context() {
+        let a = parse("cluster --sequences banana");
+        let err = a.try_get("sequences", 0usize).unwrap_err();
+        assert!(err.starts_with("--sequences banana:"), "{err}");
+        assert_eq!(a.try_get("missing", 7u32), Ok(7));
+    }
+
+    #[test]
+    fn unknown_scan_kernel_error_lists_the_valid_set() {
+        use cluseq_core::ScanKernel;
+        let a = parse("cluster data.txt --scan-kernel warp");
+        let err = a.try_get("scan-kernel", ScanKernel::Compiled).unwrap_err();
+        assert!(err.starts_with("--scan-kernel warp:"), "{err}");
+        for name in ["interpreted", "compiled", "batched", "quantized"] {
+            assert!(err.contains(name), "{err} should list {name}");
+        }
+        // All four valid names parse.
+        for kernel in ScanKernel::ALL {
+            let a = parse(&format!("cluster data.txt --scan-kernel {kernel}"));
+            assert_eq!(a.try_get("scan-kernel", ScanKernel::Compiled), Ok(kernel));
+        }
     }
 }

@@ -59,7 +59,10 @@ SERVE OPTIONS:
                          picks a free port — the bound address is printed)
   --threads N            scoring worker threads per batch (default 1)
   --max-batch N          most requests one scoring batch drains (default 64)
-  --scan-kernel interpreted|compiled   query scan kernel (default compiled)
+  --scan-kernel interpreted|compiled|batched|quantized
+                         query scan kernel (default compiled; batched
+                         scores like compiled, quantized trades a bounded
+                         score error for smaller tables)
   --frame-timeout-ms MS  slow-loris cutoff: how long a started request may
                          take to finish arriving (default 5000)
   --metrics-addr ADDR    Prometheus exporter for request counters and
@@ -86,11 +89,16 @@ CLUSTERING OPTIONS:
                          paper's immediate model updates, or parallel
                          snapshot scoring with a sequential absorb phase
                          (default incremental)
-  --scan-kernel interpreted|compiled   similarity-scan implementation:
-                         walk the suffix tree per symbol, or compile each
-                         cluster model into a flat transition-table
-                         automaton with precomputed log-ratio tables and
-                         threshold early-exit; results are bit-identical
+  --scan-kernel interpreted|compiled|batched|quantized
+                         similarity-scan implementation: walk the suffix
+                         tree per symbol; compile each cluster model into
+                         a flat transition-table automaton with
+                         precomputed log-ratio tables and threshold
+                         early-exit; scan batches of sequences
+                         interleaved through the compiled tables; or scan
+                         i16 fixed-point tables — interpreted, compiled,
+                         and batched are bit-identical, quantized is
+                         deterministic within a documented error bound
                          (default compiled)
   --threads N            worker threads for the scoring passes; results
                          are identical for any value (default 1)
@@ -809,6 +817,14 @@ mod tests {
         assert_eq!(params_from(&args).scan_kernel, ScanKernel::Interpreted);
         let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
         assert_eq!(params_from(&args).scan_kernel, ScanKernel::Compiled);
+        for kernel in ScanKernel::ALL {
+            let args = Args::parse(
+                format!("cluster data.txt --scan-kernel {kernel}")
+                    .split_whitespace()
+                    .map(str::to_owned),
+            );
+            assert_eq!(params_from(&args).scan_kernel, kernel);
+        }
     }
 
     #[test]

@@ -13,19 +13,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cluseq_eval::Histogram;
-use cluseq_pst::CompiledPst;
 use cluseq_seq::SequenceDatabase;
 
 use crate::checkpoint::{db_digest, Checkpoint};
 use crate::cluster::Cluster;
-use crate::config::{CluseqParams, ScanKernel};
+use crate::config::CluseqParams;
 use crate::consolidate::{consolidate_traced, exclusive_member_counts};
 use crate::incremental::SimilarityCache;
+use crate::kernel::ClusterAutomaton;
 use crate::outcome::{CluseqOutcome, IterationStats};
 use crate::recluster::{recluster_cached, ScanOptions};
 use crate::score::{parallel_map, plan_chunk};
 use crate::seeding::select_seeds_detailed;
-use crate::similarity::{max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity};
+use crate::similarity::{max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::{
     CheckpointEvent, ClusterSnapshot, HistogramSnapshot, IterationRecord, NoopObserver, PhaseNanos,
     ResumeInfo, RunContext, RunObserver, RunSummary,
@@ -713,10 +713,15 @@ impl Cluseq {
         let mut best_score = vec![f64::NEG_INFINITY; n];
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
 
-        let compiled: Option<Vec<CompiledPst>> = (self.params.scan_kernel == ScanKernel::Compiled)
-            .then(|| {
+        let automata: Option<Vec<ClusterAutomaton>> =
+            self.params.scan_kernel.uses_automaton().then(|| {
                 parallel_map(clusters.len(), self.params.threads, |slot| {
-                    CompiledPst::compile(&clusters[slot].pst, &background)
+                    ClusterAutomaton::build(
+                        &clusters[slot].pst,
+                        &background,
+                        self.params.scan_kernel,
+                    )
+                    .expect("automaton-backed kernel")
                 })
             });
 
@@ -729,10 +734,10 @@ impl Cluseq {
                 let seq = db.sequence(seq_id).symbols();
                 let mut joins = Vec::new();
                 let mut pruned = 0u64;
-                match &compiled {
+                match &automata {
                     Some(automata) => {
                         for (slot, automaton) in automata.iter().enumerate() {
-                            match max_similarity_compiled_bounded(automaton, seq, log_t) {
+                            match automaton.scan_bounded(seq, log_t) {
                                 BoundedSimilarity::Exact(sim) => {
                                     if sim.log_sim >= log_t && !seq.is_empty() {
                                         joins.push((slot, sim.log_sim));

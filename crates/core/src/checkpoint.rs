@@ -834,12 +834,17 @@ fn save_params(w: &mut impl Write, p: &CluseqParams) -> io::Result<()> {
             ScanMode::Snapshot => 1,
         },
     )?;
-    // v2 field: absent from v1 files, where the loader defaults it.
+    // v2 field: absent from v1 files, where the loader defaults it. Tags
+    // 2 (batched) and 3 (quantized) extend the original 0/1 value space
+    // without a version bump: old readers reject them as corrupt rather
+    // than misinterpreting them, and old files never contain them.
     write_u8(
         w,
         match p.scan_kernel {
             ScanKernel::Interpreted => 0,
             ScanKernel::Compiled => 1,
+            ScanKernel::Batched => 2,
+            ScanKernel::Quantized => 3,
         },
     )?;
     write_u64(w, p.threads as u64)?;
@@ -922,6 +927,8 @@ fn load_params(r: &mut impl Read, version: u32) -> Result<CluseqParams, SerialEr
         match read_u8(r)? {
             0 => ScanKernel::Interpreted,
             1 => ScanKernel::Compiled,
+            2 => ScanKernel::Batched,
+            3 => ScanKernel::Quantized,
             _ => return Err(SerialError::Corrupt("scan kernel tag")),
         }
     } else {
@@ -1255,6 +1262,17 @@ mod tests {
         let mut buf = Vec::new();
         ckpt.save(&mut buf).unwrap();
         buf
+    }
+
+    #[test]
+    fn every_scan_kernel_tag_round_trips() {
+        for kernel in ScanKernel::ALL {
+            let mut ckpt = sample_checkpoint();
+            ckpt.params = ckpt.params.with_scan_kernel(kernel);
+            let bytes = to_bytes(&ckpt);
+            let loaded = Checkpoint::load(&mut bytes.as_slice()).unwrap();
+            assert_eq!(loaded.params.scan_kernel, kernel);
+        }
     }
 
     #[test]

@@ -65,12 +65,20 @@ impl std::str::FromStr for ScanMode {
 
 /// Which implementation evaluates the per-symbol similarity DP.
 ///
-/// Both kernels compute the exact same X/Y/Z dynamic program and are
-/// **bit-identical** in every outcome (the compiled tables hold the very
-/// f64 values the interpreted path computes per symbol, consumed in the
-/// same order); they differ only in speed and in the `pairs_pruned`
-/// telemetry counter, since only the compiled kernel can prove mid-scan
-/// that a pair cannot reach the threshold and exit early.
+/// The first three kernels compute the exact same X/Y/Z dynamic program
+/// and are **bit-identical** in every outcome (the compiled tables hold
+/// the very f64 values the interpreted path computes per symbol, consumed
+/// in the same per-sequence order — batching interleaves sequences but
+/// never reorders one sequence's arithmetic); they differ only in speed
+/// and in the `pairs_pruned` telemetry counter, since the automaton
+/// kernels can prove mid-scan that a pair cannot reach the threshold and
+/// exit early. The quantized kernel trades exactness for a 4× smaller hot
+/// table: its scores deviate from the exact kernels by at most a
+/// documented per-automaton bound
+/// ([`QuantizedPst::error_bound`](cluseq_pst::QuantizedPst::error_bound))
+/// while remaining **byte-stable** — a pure deterministic function of
+/// (model, sequence), so cached columns and checkpoint/resume determinism
+/// hold exactly as for the exact kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ScanKernel {
     /// Walk the PST per symbol via the [context
@@ -82,16 +90,56 @@ pub enum ScanKernel {
     /// loop two array loads per symbol with threshold early-exit.
     #[default]
     Compiled,
+    /// The compiled automaton driven by the batched scan
+    /// ([`cluseq_pst::BatchScanner`]): snapshot score phases interleave
+    /// [`BATCH_LANES`](crate::similarity::BATCH_LANES) sequences per
+    /// automaton so table loads overlap instead of serializing on the
+    /// goto chain. Bit-identical to [`Compiled`](Self::Compiled) in every
+    /// outcome; serial paths (incremental-mode scans, single-sequence
+    /// classification) fall back to the per-pair compiled scan, which is
+    /// the same arithmetic.
+    Batched,
+    /// The batched driver over an `i16` fixed-point ratio table
+    /// ([`cluseq_pst::QuantizedPst`]): integer-only DP, 6 bytes per table
+    /// entry instead of 12, slack-free early exit. Similarities deviate
+    /// from the exact kernels within the documented quantization bound.
+    Quantized,
+}
+
+impl ScanKernel {
+    /// Every kernel, in the order the CLI documents them.
+    pub const ALL: [ScanKernel; 4] = [
+        ScanKernel::Interpreted,
+        ScanKernel::Compiled,
+        ScanKernel::Batched,
+        ScanKernel::Quantized,
+    ];
+
+    /// Whether this kernel scans via a precompiled automaton (everything
+    /// but [`Interpreted`](Self::Interpreted)) — and therefore supports
+    /// threshold early-exit (`prune_below`).
+    pub fn uses_automaton(self) -> bool {
+        !matches!(self, ScanKernel::Interpreted)
+    }
+
+    /// Whether this kernel's similarities are bit-identical to the
+    /// interpreted reference (everything but
+    /// [`Quantized`](Self::Quantized)).
+    pub fn is_exact(self) -> bool {
+        !matches!(self, ScanKernel::Quantized)
+    }
 }
 
 impl std::fmt::Display for ScanKernel {
     /// Renders the same lowercase token [`FromStr`](std::str::FromStr)
-    /// accepts (`interpreted` / `compiled`), so the value round-trips
-    /// through config files and run reports.
+    /// accepts (`interpreted` / `compiled` / `batched` / `quantized`), so
+    /// the value round-trips through config files and run reports.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             ScanKernel::Interpreted => "interpreted",
             ScanKernel::Compiled => "compiled",
+            ScanKernel::Batched => "batched",
+            ScanKernel::Quantized => "quantized",
         })
     }
 }
@@ -103,8 +151,10 @@ impl std::str::FromStr for ScanKernel {
         match s {
             "interpreted" => Ok(ScanKernel::Interpreted),
             "compiled" => Ok(ScanKernel::Compiled),
+            "batched" => Ok(ScanKernel::Batched),
+            "quantized" => Ok(ScanKernel::Quantized),
             other => Err(format!(
-                "unknown scan kernel {other:?} (expected interpreted|compiled)"
+                "unknown scan kernel {other:?} (expected interpreted|compiled|batched|quantized)"
             )),
         }
     }
@@ -506,9 +556,27 @@ mod tests {
 
     #[test]
     fn scan_kernel_display_round_trips_through_from_str() {
-        for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+        for kernel in ScanKernel::ALL {
             assert_eq!(kernel.to_string().parse(), Ok(kernel));
         }
+    }
+
+    #[test]
+    fn scan_kernel_rejects_unknown_names_listing_the_valid_set() {
+        let err = "warp".parse::<ScanKernel>().unwrap_err();
+        for token in ["warp", "interpreted", "compiled", "batched", "quantized"] {
+            assert!(err.contains(token), "error {err:?} must mention {token}");
+        }
+    }
+
+    #[test]
+    fn scan_kernel_classification_helpers() {
+        use ScanKernel::*;
+        assert!(!Interpreted.uses_automaton());
+        assert!(Compiled.uses_automaton() && Batched.uses_automaton());
+        assert!(Quantized.uses_automaton());
+        assert!(Interpreted.is_exact() && Compiled.is_exact() && Batched.is_exact());
+        assert!(!Quantized.is_exact());
     }
 
     #[test]

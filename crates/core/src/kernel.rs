@@ -1,0 +1,176 @@
+//! Kernel dispatch: one handle for "a cluster model, prepared for
+//! whichever scan kernel the run selected".
+//!
+//! The scan call-sites — recluster's serial arms, seeding's farthest-first
+//! folds, the final assignment sweep, serve's classifier, and the score
+//! engine's snapshot passes — all need the same four-way choice: walk the
+//! PST directly (interpreted), scan a [`CompiledPst`], scan it through the
+//! batched driver, or scan a [`QuantizedPst`]. [`ClusterAutomaton`] folds
+//! the three automaton-backed kernels into one value so every call-site
+//! matches once at *build* time and then scans through a uniform API,
+//! instead of re-encoding the kernel match in every loop.
+//!
+//! Batched vs. per-pair is a *driver* choice, not a table choice: the
+//! batched kernel scans the same `CompiledPst` tables, and its per-lane
+//! arithmetic is identical to the per-pair scan. Serial call-sites (one
+//! sequence at a time, models evolving mid-scan) therefore use
+//! [`ClusterAutomaton::scan_bounded`] under every exact kernel and get
+//! bit-identical results by construction; only the bulk snapshot paths
+//! route through [`ClusterAutomaton::scan_batch`].
+
+use cluseq_pst::{CompiledPst, Pst, QuantizedPst};
+use cluseq_seq::{BackgroundModel, Symbol};
+
+use crate::config::ScanKernel;
+use crate::similarity::{
+    max_similarity_compiled, max_similarity_compiled_batch, max_similarity_compiled_bounded,
+    max_similarity_quantized, max_similarity_quantized_batch, max_similarity_quantized_bounded,
+    BoundedSimilarity, SegmentSimilarity,
+};
+
+/// A cluster's frozen model, compiled for one of the automaton-backed
+/// scan kernels (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub enum ClusterAutomaton {
+    /// Exact f64 tables — the [`ScanKernel::Compiled`] and
+    /// [`ScanKernel::Batched`] kernels (same tables, different drivers).
+    Exact(CompiledPst),
+    /// `i16` fixed-point tables — the [`ScanKernel::Quantized`] kernel.
+    Quantized(QuantizedPst),
+}
+
+impl ClusterAutomaton {
+    /// Compiles `pst` for `kernel`. Returns `None` for
+    /// [`ScanKernel::Interpreted`], which scans the tree directly.
+    pub fn build(pst: &Pst, background: &BackgroundModel, kernel: ScanKernel) -> Option<Self> {
+        match kernel {
+            ScanKernel::Interpreted => None,
+            ScanKernel::Compiled | ScanKernel::Batched => {
+                Some(Self::Exact(CompiledPst::compile(pst, background)))
+            }
+            ScanKernel::Quantized => Some(Self::Quantized(
+                CompiledPst::compile(pst, background).quantize(),
+            )),
+        }
+    }
+
+    /// Scores one sequence, unbounded. Exact tables give the interpreted
+    /// kernel's bits; quantized tables the byte-stable quantized score.
+    pub fn scan(&self, seq: &[Symbol]) -> SegmentSimilarity {
+        match self {
+            Self::Exact(compiled) => max_similarity_compiled(compiled, seq),
+            Self::Quantized(quantized) => max_similarity_quantized(quantized, seq),
+        }
+    }
+
+    /// Scores one sequence with threshold early-exit (see
+    /// [`max_similarity_compiled_bounded`] /
+    /// [`max_similarity_quantized_bounded`]).
+    pub fn scan_bounded(&self, seq: &[Symbol], threshold: f64) -> BoundedSimilarity {
+        match self {
+            Self::Exact(compiled) => max_similarity_compiled_bounded(compiled, seq, threshold),
+            Self::Quantized(quantized) => {
+                max_similarity_quantized_bounded(quantized, seq, threshold)
+            }
+        }
+    }
+
+    /// [`scan_bounded`](Self::scan_bounded) driven by the caller's choice
+    /// of `prune_below`: `None` scans to completion and always yields
+    /// [`BoundedSimilarity::Exact`].
+    pub fn scan_pruned(&self, seq: &[Symbol], prune_below: Option<f64>) -> BoundedSimilarity {
+        match prune_below {
+            Some(log_t) => self.scan_bounded(seq, log_t),
+            None => BoundedSimilarity::Exact(self.scan(seq)),
+        }
+    }
+
+    /// Scores a batch of sequences through the interleaved multi-lane
+    /// driver. `out[lane]` is bit-identical to
+    /// [`scan_pruned`](Self::scan_pruned)`(seqs[lane], threshold)` — the
+    /// batching changes memory behavior, never per-lane arithmetic.
+    pub fn scan_batch(&self, seqs: &[&[Symbol]], threshold: Option<f64>) -> Vec<BoundedSimilarity> {
+        match self {
+            Self::Exact(compiled) => max_similarity_compiled_batch(compiled, seqs, threshold),
+            Self::Quantized(quantized) => {
+                max_similarity_quantized_batch(quantized, seqs, threshold)
+            }
+        }
+    }
+
+    /// Heap footprint of the underlying tables.
+    pub fn table_bytes(&self) -> usize {
+        match self {
+            Self::Exact(compiled) => compiled.table_bytes(),
+            Self::Quantized(quantized) => quantized.table_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluseq_pst::PstParams;
+    use cluseq_seq::Sequence;
+
+    fn fixture() -> (Pst, BackgroundModel, Vec<Symbol>) {
+        let alphabet = cluseq_seq::Alphabet::from_chars("abc".chars());
+        let train = Sequence::parse_str(&alphabet, "abcabcaabbccabcbacbca").unwrap();
+        let pst = Pst::from_sequence(
+            3,
+            PstParams::default().with_significance(2).with_max_depth(4),
+            &train,
+        );
+        let probe = Sequence::parse_str(&alphabet, "abcabcaabbcc")
+            .unwrap()
+            .iter()
+            .collect();
+        (pst, BackgroundModel::uniform(3), probe)
+    }
+
+    #[test]
+    fn interpreted_kernel_builds_no_automaton() {
+        let (pst, bg, _) = fixture();
+        assert!(ClusterAutomaton::build(&pst, &bg, ScanKernel::Interpreted).is_none());
+        for kernel in [
+            ScanKernel::Compiled,
+            ScanKernel::Batched,
+            ScanKernel::Quantized,
+        ] {
+            let a = ClusterAutomaton::build(&pst, &bg, kernel).unwrap();
+            assert!(a.table_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn compiled_and_batched_share_exact_tables() {
+        let (pst, bg, probe) = fixture();
+        let compiled = ClusterAutomaton::build(&pst, &bg, ScanKernel::Compiled).unwrap();
+        let batched = ClusterAutomaton::build(&pst, &bg, ScanKernel::Batched).unwrap();
+        assert_eq!(
+            compiled.scan(&probe).log_sim.to_bits(),
+            batched.scan(&probe).log_sim.to_bits()
+        );
+        assert!(matches!(batched, ClusterAutomaton::Exact(_)));
+    }
+
+    #[test]
+    fn scan_batch_matches_scan_pruned_per_lane() {
+        let (pst, bg, probe) = fixture();
+        let short: Vec<Symbol> = probe[..3].to_vec();
+        let lanes: Vec<&[Symbol]> = vec![&probe, &short, &[]];
+        for kernel in [ScanKernel::Batched, ScanKernel::Quantized] {
+            let a = ClusterAutomaton::build(&pst, &bg, kernel).unwrap();
+            for threshold in [None, Some(0.5), Some(1e9)] {
+                let batch = a.scan_batch(&lanes, threshold);
+                for (lane, seq) in lanes.iter().enumerate() {
+                    assert_eq!(
+                        batch[lane],
+                        a.scan_pruned(seq, threshold),
+                        "kernel {kernel} lane {lane} threshold {threshold:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub mod config;
 pub mod consolidate;
 pub mod failpoint;
 pub mod incremental;
+pub mod kernel;
 pub mod online;
 pub mod order;
 pub mod outcome;
@@ -71,6 +72,7 @@ pub use cluster::Cluster;
 pub use config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanKernel, ScanMode};
 pub use failpoint::{FailPlan, FailingReader, FailingWriter};
 pub use incremental::SimilarityCache;
+pub use kernel::ClusterAutomaton;
 pub use online::{OnlineCluseq, OnlineReport};
 pub use order::ExaminationOrder;
 pub use outcome::{CluseqOutcome, IterationStats};
@@ -78,8 +80,10 @@ pub use recluster::ScanOptions;
 pub use score::ScoreEngine;
 pub use serve::{ServeConfig, Server, ServerHandle};
 pub use similarity::{
-    max_similarity, max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
-    max_similarity_pst_with_scratch, prune_count, BoundedSimilarity, LogSim, SegmentSimilarity,
+    max_similarity, max_similarity_compiled, max_similarity_compiled_batch,
+    max_similarity_compiled_bounded, max_similarity_pst, max_similarity_pst_with_scratch,
+    max_similarity_quantized, max_similarity_quantized_batch, max_similarity_quantized_bounded,
+    prune_count, BoundedSimilarity, LogSim, SegmentSimilarity, BATCH_LANES,
 };
 pub use telemetry::{
     CheckpointEvent, IterationRecord, NoopObserver, ResumeInfo, RunObserver, RunReport,

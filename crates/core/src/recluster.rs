@@ -17,17 +17,14 @@
 //! examination order. Snapshot results are bit-identical for any thread
 //! count.
 
-use cluseq_pst::CompiledPst;
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
 use crate::config::{ScanKernel, ScanMode};
 use crate::incremental::{ColumnBuilder, SimilarityCache};
+use crate::kernel::ClusterAutomaton;
 use crate::score::ScoreEngine;
-use crate::similarity::{
-    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst_with_scratch,
-    BoundedSimilarity, LogSim,
-};
+use crate::similarity::{max_similarity_pst_with_scratch, BoundedSimilarity, LogSim};
 use crate::telemetry::ScanMetrics;
 use crate::trace::{Counter, Phase, TraceSession};
 
@@ -44,16 +41,18 @@ pub struct ScanOptions<'a> {
     /// Worker threads for the snapshot score phase (ignored by the
     /// incremental mode, whose scoring is order-dependent).
     pub threads: usize,
-    /// Which similarity-DP implementation scores each pair. The kernels
-    /// are bit-identical (see [`ScanKernel`]); compiled additionally
-    /// honours `prune_below`.
+    /// Which similarity-DP implementation scores each pair. The exact
+    /// kernels are bit-identical (see [`ScanKernel`]); quantized is
+    /// byte-stable within a documented error bound of exact. Automaton
+    /// kernels additionally honour `prune_below`.
     pub kernel: ScanKernel,
-    /// With [`ScanKernel::Compiled`], abandon a pair early once it
-    /// provably cannot reach this log-threshold. Pruning forfeits the
-    /// pair's similarity sample, so the caller must only set this when the
-    /// histogram feed is not consumed (threshold frozen, no records kept);
-    /// a pruned pair is always a non-join, so memberships and models are
-    /// unaffected. Ignored by the interpreted kernel.
+    /// With an automaton kernel (any but [`ScanKernel::Interpreted`]),
+    /// abandon a pair early once it provably cannot reach this
+    /// log-threshold. Pruning forfeits the pair's similarity sample, so
+    /// the caller must only set this when the histogram feed is not
+    /// consumed (threshold frozen, no records kept); a pruned pair is
+    /// always a non-join, so memberships and models are unaffected.
+    /// Ignored by the interpreted kernel.
     pub prune_below: Option<f64>,
     /// Live tracing session. When set, the scan opens `scan_score` /
     /// `scan_absorb` spans and records its [`ScanMetrics`] into the
@@ -339,10 +338,11 @@ pub fn recluster_cached(
         cache = None;
     }
 
-    // Only the compiled kernel can prove a pair hopeless mid-scan.
-    let prune_below = match options.kernel {
-        ScanKernel::Compiled => options.prune_below,
-        ScanKernel::Interpreted => None,
+    // Only an automaton kernel can prove a pair hopeless mid-scan.
+    let prune_below = if options.kernel.uses_automaton() {
+        options.prune_below
+    } else {
+        None
     };
 
     match (options.mode, options.kernel) {
@@ -383,20 +383,25 @@ pub fn recluster_cached(
             }
             score_nanos = start.elapsed().as_nanos() as u64;
         }
-        (ScanMode::Incremental, ScanKernel::Compiled) => {
+        (ScanMode::Incremental, kernel) => {
             // The incremental rule mutates a cluster's model mid-scan on
-            // every new join, so each slot's automaton is compiled lazily
-            // and recompiled after a mutation. Joins are rare relative to
-            // scored pairs once the clustering settles, so the automatons
-            // live long enough to pay for themselves. With a cache, a
-            // clean slot's automaton is never compiled at all — reuse
-            // needs no automaton — so a converged scan compiles nothing.
+            // every new join, so each slot's automaton is built lazily and
+            // rebuilt after a mutation. Joins are rare relative to scored
+            // pairs once the clustering settles, so the automatons live
+            // long enough to pay for themselves. With a cache, a clean
+            // slot's automaton is never built at all — reuse needs no
+            // automaton — so a converged scan compiles nothing.
+            //
+            // Sequences are scanned one at a time here (the mid-scan
+            // mutations forbid batching), which is still exactly the
+            // batched kernel's arithmetic: the batch driver is
+            // bit-identical to the per-pair scan by construction.
             let _span = options.trace.map(|t| t.span(Phase::ScanScore));
             let start = std::time::Instant::now();
             let mut reuse = cache
                 .as_deref()
                 .map(|cache| SerialReuse::new(cache, clusters, n));
-            let mut compiled: Vec<Option<CompiledPst>> = vec![None; clusters.len()];
+            let mut automata: Vec<Option<ClusterAutomaton>> = vec![None; clusters.len()];
             let mut compiles = 0u64;
             for &seq_id in order {
                 let seq = db.sequence(seq_id).symbols();
@@ -405,24 +410,17 @@ pub fn recluster_cached(
                         match reuse.as_ref().and_then(|r| r.lookup(slot, seq_id)) {
                             Some(verdict) => (verdict, true),
                             None => {
-                                let automaton = compiled[slot].get_or_insert_with(|| {
+                                let automaton = automata[slot].get_or_insert_with(|| {
                                     compiles += 1;
-                                    CompiledPst::compile(&cluster.pst, background)
+                                    ClusterAutomaton::build(&cluster.pst, background, kernel)
+                                        .expect("automaton-backed kernel")
                                 });
-                                let verdict = match prune_below {
-                                    Some(log_t) => {
-                                        max_similarity_compiled_bounded(automaton, seq, log_t)
-                                    }
-                                    None => BoundedSimilarity::Exact(max_similarity_compiled(
-                                        automaton, seq,
-                                    )),
-                                };
-                                (verdict, false)
+                                (automaton.scan_pruned(seq, prune_below), false)
                             }
                         };
                     let mutated = state.apply(seq_id, slot, verdict, seq, cluster, reused);
                     if mutated {
-                        compiled[slot] = None;
+                        automata[slot] = None;
                     }
                     if let Some(reuse) = reuse.as_mut() {
                         reuse.after_pair(slot, seq_id, verdict, reused, mutated);
@@ -460,17 +458,20 @@ pub fn recluster_cached(
                                 .collect::<Vec<Vec<BoundedSimilarity>>>();
                             (rows, nanos)
                         }
-                        ScanKernel::Compiled => {
-                            // Compilation is part of the score phase's
-                            // bill: it only exists to serve this pass.
+                        kernel => {
+                            // Automaton builds are part of the score
+                            // phase's bill: they only exist to serve this
+                            // pass.
                             let start = std::time::Instant::now();
-                            let compiled = engine.compile_clusters(clusters, background);
+                            let automata =
+                                engine.compile_cluster_automata(clusters, background, kernel);
                             let compile_nanos = start.elapsed().as_nanos() as u64;
-                            let (rows, nanos) = engine.score_sequences_compiled_metered(
+                            let (rows, nanos) = engine.score_sequences_automata_metered(
                                 db,
-                                &compiled,
+                                &automata,
                                 order,
                                 prune_below,
+                                kernel,
                                 options.trace,
                             );
                             (rows, compile_nanos + nanos)
@@ -835,9 +836,9 @@ mod tests {
         opts
     }
 
-    /// The tentpole invariant: the compiled kernel reproduces the
-    /// interpreted kernel bit for bit — similarities, flips, memberships,
-    /// models — in every scan mode and at every thread count.
+    /// The tentpole invariant: the compiled and batched kernels reproduce
+    /// the interpreted kernel bit for bit — similarities, flips,
+    /// memberships, models — in every scan mode and at every thread count.
     #[test]
     fn compiled_kernel_scan_is_bit_identical_to_interpreted() {
         let (db, bg) = fixture();
@@ -851,13 +852,70 @@ mod tests {
             (sims, out.changes, out.best_cluster, members, counts)
         };
         for base in [incremental(), rebuild(), snapshot(1), snapshot(4)] {
+            let reference = run(with_kernel(base, ScanKernel::Interpreted));
+            for kernel in [ScanKernel::Compiled, ScanKernel::Batched] {
+                assert_eq!(
+                    run(with_kernel(base, kernel)),
+                    reference,
+                    "kernel {kernel} mode {:?} rebuild {}",
+                    base.mode,
+                    base.rebuild_psts,
+                );
+            }
+        }
+    }
+
+    /// The quantized kernel is approximate but *deterministic*: the same
+    /// scan yields byte-identical results in every mode and at every
+    /// thread count, and every similarity it reports sits within the
+    /// per-automaton error bound of the exact kernel's value.
+    #[test]
+    fn quantized_kernel_scan_is_deterministic_and_near_exact() {
+        let (db, bg) = fixture();
+        let order: Vec<usize> = vec![4, 1, 3, 0, 2];
+        let run = |opts: ScanOptions| {
+            let mut clusters = make_clusters(&db, &[0, 3]);
+            let out = recluster(&db, &mut clusters, 0.05, &order, &bg, opts);
+            let members: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+            let counts: Vec<u64> = clusters.iter().map(|c| c.pst.total_count()).collect();
+            let sims: Vec<u64> = out.similarities.iter().map(|s| s.to_bits()).collect();
+            (sims, out.changes, out.best_cluster, members, counts)
+        };
+        // Snapshot scans are one deterministic function of their inputs:
+        // every thread count reproduces threads = 1 byte for byte.
+        let reference = run(with_kernel(snapshot(1), ScanKernel::Quantized));
+        for threads in [2usize, 4, 8] {
             assert_eq!(
-                run(with_kernel(base, ScanKernel::Compiled)),
-                run(with_kernel(base, ScanKernel::Interpreted)),
-                "mode {:?} rebuild {}",
-                base.mode,
-                base.rebuild_psts,
+                run(with_kernel(snapshot(threads), ScanKernel::Quantized)),
+                reference,
+                "threads={threads}"
             );
+        }
+        // And repeating the identical incremental scan is a no-op diff.
+        assert_eq!(
+            run(with_kernel(incremental(), ScanKernel::Quantized)),
+            run(with_kernel(incremental(), ScanKernel::Quantized)),
+        );
+        // Near-exactness on a fixed model: every quantized similarity of
+        // the first scored row is within the automaton's error bound.
+        let clusters = make_clusters(&db, &[0, 3]);
+        for cluster in &clusters {
+            let exact = ClusterAutomaton::build(&cluster.pst, &bg, ScanKernel::Compiled).unwrap();
+            let quant = ClusterAutomaton::build(&cluster.pst, &bg, ScanKernel::Quantized).unwrap();
+            let ClusterAutomaton::Quantized(ref q) = quant else {
+                unreachable!()
+            };
+            for id in 0..db.len() {
+                let seq = db.sequence(id).symbols();
+                let e = exact.scan(seq).log_sim;
+                let a = quant.scan(seq).log_sim;
+                assert!(
+                    (e - a).abs() <= q.error_bound(seq.len()),
+                    "cluster {} seq {id}: exact {e} quantized {a} bound {}",
+                    cluster.id,
+                    q.error_bound(seq.len())
+                );
+            }
         }
     }
 
@@ -893,31 +951,37 @@ mod tests {
         };
 
         for base in [incremental(), snapshot(2)] {
-            let mut pruned_opts = with_kernel(base, ScanKernel::Compiled);
-            pruned_opts.prune_below = Some(log_t);
-            let (out_p, members_p, counts_p) = run(pruned_opts);
-            let (out_x, members_x, counts_x) = run(with_kernel(base, ScanKernel::Compiled));
+            for kernel in [
+                ScanKernel::Compiled,
+                ScanKernel::Batched,
+                ScanKernel::Quantized,
+            ] {
+                let mut pruned_opts = with_kernel(base, kernel);
+                pruned_opts.prune_below = Some(log_t);
+                let (out_p, members_p, counts_p) = run(pruned_opts);
+                let (out_x, members_x, counts_x) = run(with_kernel(base, kernel));
 
-            assert!(
-                out_p.metrics.pairs_pruned > 0,
-                "mode {:?}: cross-group pairs should be prunable",
-                base.mode
-            );
-            assert_eq!(out_x.metrics.pairs_pruned, 0, "no pruning when disabled");
-            assert!(out_x.metrics.joins > 0, "the threshold must stay reachable");
-            assert_eq!(out_p.metrics.pairs_scored, out_x.metrics.pairs_scored);
-            assert_eq!(out_p.metrics.joins, out_x.metrics.joins);
-            assert_eq!(out_p.metrics.new_joins, out_x.metrics.new_joins);
-            assert_eq!(out_p.changes, out_x.changes);
-            assert_eq!(out_p.best_cluster, out_x.best_cluster);
-            assert_eq!(members_p, members_x);
-            assert_eq!(counts_p, counts_x);
-            // A pruned pair forfeits its histogram sample — the only
-            // observable difference.
-            assert_eq!(
-                out_p.similarities.len() + out_p.metrics.pairs_pruned as usize,
-                out_x.similarities.len() + out_x.metrics.pairs_pruned as usize
-            );
+                assert!(
+                    out_p.metrics.pairs_pruned > 0,
+                    "mode {:?} kernel {kernel}: cross-group pairs should be prunable",
+                    base.mode
+                );
+                assert_eq!(out_x.metrics.pairs_pruned, 0, "no pruning when disabled");
+                assert!(out_x.metrics.joins > 0, "the threshold must stay reachable");
+                assert_eq!(out_p.metrics.pairs_scored, out_x.metrics.pairs_scored);
+                assert_eq!(out_p.metrics.joins, out_x.metrics.joins);
+                assert_eq!(out_p.metrics.new_joins, out_x.metrics.new_joins);
+                assert_eq!(out_p.changes, out_x.changes);
+                assert_eq!(out_p.best_cluster, out_x.best_cluster);
+                assert_eq!(members_p, members_x);
+                assert_eq!(counts_p, counts_x);
+                // A pruned pair forfeits its histogram sample — the only
+                // observable difference.
+                assert_eq!(
+                    out_p.similarities.len() + out_p.metrics.pairs_pruned as usize,
+                    out_x.similarities.len() + out_x.metrics.pairs_pruned as usize
+                );
+            }
         }
     }
 
@@ -945,7 +1009,7 @@ mod tests {
         let (db, bg) = fixture();
         let order: Vec<usize> = vec![4, 1, 3, 0, 2];
         for base in [incremental(), snapshot(1), snapshot(4)] {
-            for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+            for kernel in ScanKernel::ALL {
                 let opts = with_kernel(base, kernel);
                 let mut plain_clusters = make_clusters(&db, &[0, 3]);
                 let plain = recluster(&db, &mut plain_clusters, 0.05, &order, &bg, opts);
@@ -1020,7 +1084,7 @@ mod tests {
             )
         };
         for base in [incremental(), snapshot(1), snapshot(4)] {
-            for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+            for kernel in ScanKernel::ALL {
                 let opts = with_kernel(base, kernel);
                 let mut plain_clusters = make_clusters(&db, &[0, 3]);
                 let mut cached_clusters = make_clusters(&db, &[0, 3]);
@@ -1072,7 +1136,7 @@ mod tests {
         let (db, bg) = fixture();
         let order: Vec<usize> = (0..db.len()).collect();
         for base in [incremental(), snapshot(1), snapshot(4)] {
-            for kernel in [ScanKernel::Interpreted, ScanKernel::Compiled] {
+            for kernel in ScanKernel::ALL {
                 let mut clusters = make_clusters(&db, &[0, 3]);
                 let mut cache = SimilarityCache::new(db.len());
                 for round in 0..3 {

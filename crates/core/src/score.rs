@@ -21,14 +21,16 @@
 //! within a tolerance.
 
 use cluseq_pst::{CompiledPst, Pst};
-use cluseq_seq::{BackgroundModel, SequenceDatabase};
+use cluseq_seq::{BackgroundModel, SequenceDatabase, Symbol};
 
 use crate::cluster::Cluster;
 use crate::config::ScanKernel;
 use crate::incremental::SimilarityCache;
+use crate::kernel::ClusterAutomaton;
 use crate::similarity::{
     max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst,
     max_similarity_pst_with_scratch, prune_count, BoundedSimilarity, SegmentSimilarity,
+    BATCH_LANES,
 };
 use crate::trace::{self, Counter, HistKind, TraceSession};
 
@@ -291,18 +293,138 @@ impl ScoreEngine {
         (rows, trace::nanos_since(start))
     }
 
+    /// Builds every cluster's [`ClusterAutomaton`] for `kernel`, in slot
+    /// order. The generalization of
+    /// [`compile_clusters`](ScoreEngine::compile_clusters) to every
+    /// automaton-backed kernel.
+    ///
+    /// # Panics
+    ///
+    /// If `kernel` is [`ScanKernel::Interpreted`], which has no automaton.
+    pub fn compile_cluster_automata(
+        &self,
+        clusters: &[Cluster],
+        background: &BackgroundModel,
+        kernel: ScanKernel,
+    ) -> Vec<ClusterAutomaton> {
+        assert!(
+            kernel.uses_automaton(),
+            "the interpreted kernel scans the tree directly"
+        );
+        parallel_map(clusters.len(), self.threads, |slot| {
+            ClusterAutomaton::build(&clusters[slot].pst, background, kernel)
+                .expect("automaton-backed kernel")
+        })
+    }
+
+    /// [`score_sequences_compiled`](ScoreEngine::score_sequences_compiled)
+    /// generalized over [`ClusterAutomaton`]s: scores every sequence in
+    /// `order` against every automaton, honoring `prune_below`.
+    ///
+    /// `kernel` selects the *driver*, not the tables (those are baked into
+    /// `automata`): under [`ScanKernel::Batched`] the order is split into
+    /// [`BATCH_LANES`]-wide groups and each group is scanned through the
+    /// interleaved batch driver — per-lane results are bit-identical to
+    /// the per-pair scan, so the choice reorders memory traffic, never
+    /// arithmetic. Every other kernel scans row by row.
+    pub fn score_sequences_automata(
+        &self,
+        db: &SequenceDatabase,
+        automata: &[ClusterAutomaton],
+        order: &[usize],
+        prune_below: Option<f64>,
+        kernel: ScanKernel,
+    ) -> Vec<Vec<BoundedSimilarity>> {
+        self.score_sequences_automata_metered(db, automata, order, prune_below, kernel, None)
+            .0
+    }
+
+    /// [`score_sequences_automata`](ScoreEngine::score_sequences_automata)
+    /// plus wall time, with optional per-worker metrics. Pair counters
+    /// total identically under both drivers; the `score_row` latency
+    /// histogram records one observation per row (per-pair driver) or per
+    /// lane group (batched driver).
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_sequences_automata_metered(
+        &self,
+        db: &SequenceDatabase,
+        automata: &[ClusterAutomaton],
+        order: &[usize],
+        prune_below: Option<f64>,
+        kernel: ScanKernel,
+        trace: Option<&TraceSession>,
+    ) -> (Vec<Vec<BoundedSimilarity>>, u64) {
+        let start = std::time::Instant::now();
+        let rows = if kernel == ScanKernel::Batched {
+            let n_groups = order.len().div_ceil(BATCH_LANES);
+            let chunk = plan_chunk(n_groups, self.threads);
+            let group_rows: Vec<Vec<Vec<BoundedSimilarity>>> =
+                parallel_map(n_groups, self.threads, |g| {
+                    let group_start = std::time::Instant::now();
+                    let lo = g * BATCH_LANES;
+                    let hi = (lo + BATCH_LANES).min(order.len());
+                    let seqs: Vec<&[Symbol]> = (lo..hi)
+                        .map(|pos| db.sequence(order[pos]).symbols())
+                        .collect();
+                    let mut rows: Vec<Vec<BoundedSimilarity>> = (lo..hi)
+                        .map(|_| Vec::with_capacity(automata.len()))
+                        .collect();
+                    for automaton in automata {
+                        let lane_verdicts = automaton.scan_batch(&seqs, prune_below);
+                        for (lane, verdict) in lane_verdicts.into_iter().enumerate() {
+                            rows[lane].push(verdict);
+                        }
+                    }
+                    if let Some(trace) = trace {
+                        let shard = trace::shard_for(g, chunk);
+                        let scored = (rows.len() * automata.len()) as u64;
+                        let pruned: u64 = rows.iter().map(|row| prune_count(row)).sum();
+                        trace.add_at(shard, Counter::PairsScored, scored);
+                        trace.add_at(shard, Counter::PairsPruned, pruned);
+                        trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(group_start));
+                    }
+                    rows
+                });
+            group_rows.into_iter().flatten().collect()
+        } else {
+            let chunk = plan_chunk(order.len(), self.threads);
+            parallel_map(order.len(), self.threads, |pos| {
+                let row_start = std::time::Instant::now();
+                let seq = db.sequence(order[pos]).symbols();
+                let row: Vec<BoundedSimilarity> = automata
+                    .iter()
+                    .map(|automaton| automaton.scan_pruned(seq, prune_below))
+                    .collect();
+                if let Some(trace) = trace {
+                    let shard = trace::shard_for(pos, chunk);
+                    trace.add_at(shard, Counter::PairsScored, row.len() as u64);
+                    trace.add_at(shard, Counter::PairsPruned, prune_count(&row));
+                    trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+                }
+                row
+            })
+        };
+        (rows, trace::nanos_since(start))
+    }
+
     /// A snapshot scoring pass that reuses cached columns for clean
     /// clusters and scores only dirty ones (see [`crate::incremental`]).
     ///
     /// `rows[pos][slot]` is the verdict of sequence `order[pos]` against
     /// `clusters[slot]`: read straight from `cache` when the cluster has a
     /// valid column, computed fresh otherwise. Fresh verdicts use `kernel`
-    /// (automata are compiled here, for dirty slots only) and honor
-    /// `prune_below` under the compiled kernel, exactly like the uncached
-    /// paths — so with an empty cache the rows are bit-identical to
+    /// (automata are built here, for dirty slots only) and honor
+    /// `prune_below` under the automaton kernels, exactly like the
+    /// uncached paths — so with an empty cache the rows are bit-identical
+    /// to
     /// [`score_sequences_compiled_metered`](ScoreEngine::score_sequences_compiled_metered)
     /// (or the interpreted equivalent wrapped in
-    /// [`BoundedSimilarity::Exact`]).
+    /// [`BoundedSimilarity::Exact`]). Dirty slots are always scored
+    /// per-pair, even under [`ScanKernel::Batched`] — legal because the
+    /// batched driver is bit-identical to the per-pair scan — and under
+    /// [`ScanKernel::Quantized`] the verdicts are byte-stable (pure
+    /// integer DP), so a column cached by one pass and reused by the next
+    /// upholds the cache's replay invariant.
     ///
     /// When `trace` is given, each worker records `pairs_scored` and
     /// `pairs_pruned` for its *fresh* pairs and `pairs_reused` for its
@@ -327,15 +449,17 @@ impl ScoreEngine {
             .enumerate()
             .filter_map(|(slot, col)| col.is_none().then_some(slot))
             .collect();
-        // Compile automata for dirty slots only — clean slots never touch
+        // Build automata for dirty slots only — clean slots never touch
         // their model, so steady state pays zero compilation.
-        let automata: Vec<Option<CompiledPst>> = match kernel {
-            ScanKernel::Interpreted => clusters.iter().map(|_| None).collect(),
-            ScanKernel::Compiled => parallel_map(clusters.len(), self.threads, |slot| {
-                columns[slot]
-                    .is_none()
-                    .then(|| CompiledPst::compile(&clusters[slot].pst, background))
-            }),
+        let automata: Vec<Option<ClusterAutomaton>> = if kernel.uses_automaton() {
+            parallel_map(clusters.len(), self.threads, |slot| {
+                columns[slot].is_none().then(|| {
+                    ClusterAutomaton::build(&clusters[slot].pst, background, kernel)
+                        .expect("automaton-backed kernel")
+                })
+            })
+        } else {
+            clusters.iter().map(|_| None).collect()
         };
         let compiles = automata.iter().flatten().count() as u64;
         let chunk = plan_chunk(order.len(), self.threads);
@@ -353,27 +477,14 @@ impl ScoreEngine {
                     Some(col) => col[id],
                     None => {
                         fresh += 1;
-                        let verdict = match kernel {
-                            ScanKernel::Compiled => {
-                                let automaton =
-                                    automata[slot].as_ref().expect("dirty slot is compiled");
-                                match prune_below {
-                                    Some(log_t) => {
-                                        max_similarity_compiled_bounded(automaton, seq, log_t)
-                                    }
-                                    None => BoundedSimilarity::Exact(max_similarity_compiled(
-                                        automaton, seq,
-                                    )),
-                                }
-                            }
-                            ScanKernel::Interpreted => {
-                                BoundedSimilarity::Exact(max_similarity_pst_with_scratch(
-                                    &clusters[slot].pst,
-                                    background,
-                                    seq,
-                                    &mut scratch,
-                                ))
-                            }
+                        let verdict = match &automata[slot] {
+                            Some(automaton) => automaton.scan_pruned(seq, prune_below),
+                            None => BoundedSimilarity::Exact(max_similarity_pst_with_scratch(
+                                &clusters[slot].pst,
+                                background,
+                                seq,
+                                &mut scratch,
+                            )),
                         };
                         if verdict.is_pruned() {
                             fresh_pruned += 1;
@@ -602,6 +713,103 @@ mod tests {
     }
 
     #[test]
+    fn batched_engine_is_bit_identical_to_compiled_engine() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = vec![4, 0, 3, 1, 2];
+        let reference = {
+            let engine = ScoreEngine::new(1);
+            let compiled = engine.compile_clusters(&clusters, &bg);
+            (
+                engine.score_sequences_compiled(&db, &compiled, &order, None),
+                engine.score_sequences_compiled(&db, &compiled, &order, Some(0.5)),
+            )
+        };
+        for threads in [1usize, 2, 4] {
+            let engine = ScoreEngine::new(threads);
+            for kernel in [ScanKernel::Compiled, ScanKernel::Batched] {
+                let automata = engine.compile_cluster_automata(&clusters, &bg, kernel);
+                for (prune_below, want) in [(None, &reference.0), (Some(0.5), &reference.1)] {
+                    let rows = engine.score_sequences_automata(
+                        &db,
+                        &automata,
+                        &order,
+                        prune_below,
+                        kernel,
+                    );
+                    assert_eq!(
+                        &rows, want,
+                        "threads={threads} kernel={kernel} prune={prune_below:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_engine_is_byte_stable_across_drivers_and_threads() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        let reference = {
+            let engine = ScoreEngine::new(1);
+            let automata = engine.compile_cluster_automata(&clusters, &bg, ScanKernel::Quantized);
+            // Per-pair quantized scans, the ground truth for this kernel.
+            order
+                .iter()
+                .map(|&id| {
+                    automata
+                        .iter()
+                        .map(|a| a.scan_pruned(db.sequence(id).symbols(), None))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        for threads in [1usize, 3, 8] {
+            let engine = ScoreEngine::new(threads);
+            let automata = engine.compile_cluster_automata(&clusters, &bg, ScanKernel::Quantized);
+            let rows = engine.score_sequences_automata(
+                &db,
+                &automata,
+                &order,
+                None,
+                ScanKernel::Quantized,
+            );
+            assert_eq!(rows, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn metered_automata_scoring_counts_pairs_under_both_drivers() {
+        let (db, bg, clusters) = fixture();
+        let order: Vec<usize> = (0..db.len()).collect();
+        for kernel in [
+            ScanKernel::Compiled,
+            ScanKernel::Batched,
+            ScanKernel::Quantized,
+        ] {
+            for threads in [1usize, 4] {
+                let engine = ScoreEngine::new(threads);
+                let automata = engine.compile_cluster_automata(&clusters, &bg, kernel);
+                let session = TraceSession::in_memory();
+                let plain =
+                    engine.score_sequences_automata(&db, &automata, &order, Some(0.5), kernel);
+                let (metered, _) = engine.score_sequences_automata_metered(
+                    &db,
+                    &automata,
+                    &order,
+                    Some(0.5),
+                    kernel,
+                    Some(&session),
+                );
+                assert_eq!(plain, metered, "kernel={kernel} threads={threads}");
+                let expected = (order.len() * clusters.len()) as u64;
+                assert_eq!(session.counter(Counter::PairsScored), expected);
+                let pruned: u64 = plain.iter().map(|row| prune_count(row)).sum();
+                assert_eq!(session.counter(Counter::PairsPruned), pruned);
+            }
+        }
+    }
+
+    #[test]
     fn cached_scoring_with_empty_cache_matches_uncached() {
         let (db, bg, clusters) = fixture();
         let order: Vec<usize> = vec![4, 0, 3, 1, 2];
@@ -624,6 +832,30 @@ mod tests {
                 assert_eq!(pass.rows, want, "threads={threads} prune={prune_below:?}");
                 assert_eq!(pass.dirty_slots, vec![0, 1]);
                 assert_eq!(pass.compiles, clusters.len() as u64);
+            }
+            for kernel in [ScanKernel::Batched, ScanKernel::Quantized] {
+                let automata = engine.compile_cluster_automata(&clusters, &bg, kernel);
+                for prune_below in [None, Some(0.5)] {
+                    let pass = engine.score_sequences_cached(
+                        &db,
+                        &clusters,
+                        &bg,
+                        &order,
+                        kernel,
+                        prune_below,
+                        &empty,
+                        None,
+                    );
+                    let want = engine.score_sequences_automata(
+                        &db,
+                        &automata,
+                        &order,
+                        prune_below,
+                        kernel,
+                    );
+                    assert_eq!(pass.rows, want, "kernel={kernel} prune={prune_below:?}");
+                    assert_eq!(pass.compiles, clusters.len() as u64);
+                }
             }
             let pass = engine.score_sequences_cached(
                 &db,

@@ -10,13 +10,14 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use cluseq_pst::{CompiledPst, Pst, PstParams};
+use cluseq_pst::{Pst, PstParams};
 use cluseq_seq::{BackgroundModel, SequenceDatabase};
 
 use crate::cluster::Cluster;
 use crate::config::ScanKernel;
+use crate::kernel::ClusterAutomaton;
 use crate::score::parallel_map;
-use crate::similarity::{max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity};
+use crate::similarity::{max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::SeedingMetrics;
 use crate::trace::{Phase, TraceSession};
 
@@ -62,11 +63,13 @@ pub fn select_seeds(
 /// records. Draws from `rng` exactly as [`select_seeds`] does, so the two
 /// are interchangeable without perturbing downstream RNG state.
 ///
-/// Under [`ScanKernel::Compiled`] the candidate scoring runs on compiled
+/// Under an automaton kernel the candidate scoring runs on prebuilt
 /// automata with threshold early-exit against the running farthest-first
-/// maxima. The selection is bit-identical to the interpreted path: a
-/// pruned pair is provably below the running maximum, so it could never
-/// have raised it.
+/// maxima. Selection under the exact automaton kernels is bit-identical
+/// to the interpreted path: a pruned pair is provably below the running
+/// maximum, so it could never have raised it. The quantized kernel
+/// selects on quantized scores — deterministic, and within the automaton
+/// error bound of exact — with the same sound early-exit.
 ///
 /// With a `trace` session, the candidate scoring passes run under nested
 /// `seeding_score` spans (the caller holds the surrounding `seeding`
@@ -115,9 +118,10 @@ pub fn select_seeds_detailed(
 
     // Existing cluster models are compiled once and reused for every
     // candidate; each picked candidate's model is compiled once below.
-    let cluster_automata: Option<Vec<CompiledPst>> = (kernel == ScanKernel::Compiled).then(|| {
+    let cluster_automata: Option<Vec<ClusterAutomaton>> = kernel.uses_automaton().then(|| {
         parallel_map(clusters.len(), threads, |i| {
-            CompiledPst::compile(&clusters[i].pst, background)
+            ClusterAutomaton::build(&clusters[i].pst, background, kernel)
+                .expect("automaton-backed kernel")
         })
     });
 
@@ -131,7 +135,7 @@ pub fn select_seeds_detailed(
             Some(automata) => automata.iter().fold(f64::NEG_INFINITY, |acc, a| {
                 // Early-exit against the running max: a pruned score is
                 // strictly below `acc`, so the fold result is unchanged.
-                match max_similarity_compiled_bounded(a, seq, acc) {
+                match a.scan_bounded(seq, acc) {
                     BoundedSimilarity::Exact(sim) => acc.max(sim.log_sim),
                     BoundedSimilarity::Pruned => acc,
                 }
@@ -159,9 +163,10 @@ pub fn select_seeds_detailed(
 
         // Fold the new seed into every remaining candidate's best score.
         let _span = trace.map(|t| t.span(Phase::SeedingScore));
-        let pick_automaton = cluster_automata
-            .as_ref()
-            .map(|_| CompiledPst::compile(&candidate_psts[pick], background));
+        let pick_automaton = cluster_automata.as_ref().map(|_| {
+            ClusterAutomaton::build(&candidate_psts[pick], background, kernel)
+                .expect("automaton-backed kernel")
+        });
         let step: Vec<Option<f64>> = parallel_map(candidates.len(), threads, |i| {
             if taken[i] {
                 return None;
@@ -170,7 +175,7 @@ pub fn select_seeds_detailed(
             match &pick_automaton {
                 // A pruned score is strictly below best_sim[i], so it
                 // could not have passed the `sim > best_sim[i]` update.
-                Some(a) => match max_similarity_compiled_bounded(a, seq, best_sim[i]) {
+                Some(a) => match a.scan_bounded(seq, best_sim[i]) {
                     BoundedSimilarity::Exact(sim) => Some(sim.log_sim),
                     BoundedSimilarity::Pruned => None,
                 },
@@ -479,6 +484,18 @@ mod tests {
             // Both kernels must consume identical RNG state too.
             (seeds, rng.gen::<u64>())
         };
-        assert_eq!(run(ScanKernel::Interpreted), run(ScanKernel::Compiled));
+        let reference = run(ScanKernel::Interpreted);
+        assert_eq!(reference, run(ScanKernel::Compiled));
+        assert_eq!(reference, run(ScanKernel::Batched));
+        // Quantized selection runs on quantized scores, which may rank
+        // near-ties differently, but it must consume identical RNG state
+        // and pick the requested number of distinct seeds.
+        let (seeds_q, rng_q) = run(ScanKernel::Quantized);
+        assert_eq!(rng_q, reference.1, "RNG draws are kernel-independent");
+        assert_eq!(seeds_q.len(), reference.0.len());
+        let mut distinct = seeds_q.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), seeds_q.len());
     }
 }

@@ -354,10 +354,11 @@ fn to_json(response: &Response) -> (u16, String) {
                 "{{\"generation\":{generation},\"clusters\":{clusters},\
                  \"alphabet\":{alphabet},\"log_t\":{},\"kernel\":\"{}\"}}",
                 json_f64(*log_t),
-                if *kernel == 1 {
-                    "compiled"
-                } else {
-                    "interpreted"
+                match kernel {
+                    1 => "compiled",
+                    2 => "batched",
+                    3 => "quantized",
+                    _ => "interpreted",
                 },
             ),
         ),

@@ -9,26 +9,26 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
-use cluseq_pst::CompiledPst;
 use cluseq_seq::{SequenceDatabase, Symbol};
 
 use crate::checkpoint::Checkpoint;
 use crate::config::ScanKernel;
+use crate::kernel::ClusterAutomaton;
 use crate::persist::{SavedCluster, SavedModel};
 use crate::serve::protocol::{errcode, ClusterScore, Response};
-use crate::similarity::{max_similarity_compiled, max_similarity_pst, SegmentSimilarity};
+use crate::similarity::{max_similarity_pst, SegmentSimilarity};
 
-/// One immutable model generation: the persisted classifier, its compiled
-/// scan automatons, and the provenance needed to reload it on SIGHUP.
+/// One immutable model generation: the persisted classifier, its scan
+/// automatons, and the provenance needed to reload it on SIGHUP.
 #[derive(Debug)]
 pub struct ServeModel {
     /// Monotonic generation id; stamped into every scored response.
     pub generation: u64,
     /// The classifier (clusters + background + threshold).
     pub saved: SavedModel,
-    /// Per-cluster compiled automatons, slot order; empty when the
+    /// Per-cluster scan automatons, slot order; empty when the
     /// interpreted kernel is selected.
-    pub compiled: Vec<CompiledPst>,
+    pub automata: Vec<ClusterAutomaton>,
     /// Which kernel [`ServeModel::classify`] dispatches to.
     pub kernel: ScanKernel,
     /// The file this generation was loaded from (SIGHUP reloads it).
@@ -92,18 +92,22 @@ impl ServeModel {
                 ))
             }
         };
-        let compiled = match kernel {
-            ScanKernel::Interpreted => Vec::new(),
-            ScanKernel::Compiled => saved
+        let automata = if kernel.uses_automaton() {
+            saved
                 .clusters
                 .iter()
-                .map(|c| CompiledPst::compile(&c.pst, &saved.background))
-                .collect(),
+                .map(|c| {
+                    ClusterAutomaton::build(&c.pst, &saved.background, kernel)
+                        .expect("automaton-backed kernel")
+                })
+                .collect()
+        } else {
+            Vec::new()
         };
         Ok(Self {
             generation,
             saved,
-            compiled,
+            automata,
             kernel,
             source: path.to_path_buf(),
         })
@@ -133,25 +137,26 @@ impl ServeModel {
 
     /// Scores `seq` against every cluster, best first — the serve-side
     /// twin of [`SavedModel::classify`], dispatching on the configured
-    /// kernel. Both kernels are bit-identical (the compiled tables hold
-    /// the exact f64 values the interpreted walk computes), and the sort
-    /// is the same stable descending `total_cmp`, so the ranking matches
-    /// offline classification bit for bit.
+    /// kernel. The exact kernels are bit-identical (the compiled tables
+    /// hold the exact f64 values the interpreted walk computes, and the
+    /// batched driver shares the per-pair arithmetic); the quantized
+    /// kernel is byte-stable within its documented error bound. The sort
+    /// is the same stable descending `total_cmp` everywhere, so exact
+    /// rankings match offline classification bit for bit.
     pub fn classify(&self, seq: &[Symbol]) -> Vec<(usize, SegmentSimilarity)> {
-        let mut scored: Vec<(usize, SegmentSimilarity)> = match self.kernel {
-            ScanKernel::Interpreted => self
-                .saved
+        let mut scored: Vec<(usize, SegmentSimilarity)> = if self.kernel.uses_automaton() {
+            self.automata
+                .iter()
+                .enumerate()
+                .map(|(k, automaton)| (k, automaton.scan(seq)))
+                .collect()
+        } else {
+            self.saved
                 .clusters
                 .iter()
                 .enumerate()
                 .map(|(k, c)| (k, max_similarity_pst(&c.pst, &self.saved.background, seq)))
-                .collect(),
-            ScanKernel::Compiled => self
-                .compiled
-                .iter()
-                .enumerate()
-                .map(|(k, automaton)| (k, max_similarity_compiled(automaton, seq)))
-                .collect(),
+                .collect()
         };
         scored.sort_by(|a, b| b.1.log_sim.total_cmp(&a.1.log_sim));
         scored
@@ -224,6 +229,8 @@ impl ServeModel {
             kernel: match self.kernel {
                 ScanKernel::Interpreted => 0,
                 ScanKernel::Compiled => 1,
+                ScanKernel::Batched => 2,
+                ScanKernel::Quantized => 3,
             },
         }
     }

@@ -1,0 +1,322 @@
+//! Fixed-point quantization of a [`CompiledPst`]'s ratio table.
+//!
+//! The compiled scan is memory-bound: every symbol loads one `f64` ratio
+//! and one `u32` goto entry, and for realistic automata the `states ×
+//! alphabet × 8`-byte ratio table overflows L2. A [`QuantizedPst`] shrinks
+//! the hot table 4× by storing each log-ratio as a signed 16-bit
+//! fixed-point value with one **per-automaton scale factor**:
+//!
+//! ```text
+//! scale = max |finite ratio| / 32767
+//! q[u][s] = round(ratio[u][s] / scale)        (finite entries)
+//! q[u][s] = QVOID                             (ratio = -∞, smoothing off)
+//! ```
+//!
+//! The X/Y/Z dynamic program then runs entirely in `i64` integer
+//! arithmetic (sums of `i16` steps cannot overflow for any realistic
+//! sequence length), and only the final best chain value is mapped back to
+//! log space by a single `q as f64 * scale` multiply. Integer accumulation
+//! makes the kernel **byte-stable by construction**: the same automaton
+//! and sequence produce the same similarity bits on every run, thread
+//! count, and evaluation order — which is what lets quantized verdicts
+//! live in the incremental `SimilarityCache` without weakening its column
+//! invariant.
+//!
+//! # Error bound
+//!
+//! Each finite table entry is off by at most half a quantization step:
+//! `|q·scale − ratio| ≤ scale/2` (round-to-nearest). A segment sum over
+//! `k ≤ L` positions is therefore off by at most `k · scale/2 ≤ L ·
+//! scale/2`, and taking the max over segments is 1-Lipschitz in the
+//! segment sums, so for a sequence of length `L` whose exact similarity is
+//! finite:
+//!
+//! ```text
+//! |quantized log_sim − exact log_sim| ≤ L · scale / 2   (+ fp slop)
+//! ```
+//!
+//! Void (`-∞`) entries quantize to the [`QVOID`](QuantizedPst::QVOID)
+//! sentinel and reproduce the exact kernel's chain-restart semantics
+//! exactly, so a sequence scores `-∞` under the quantized kernel iff it
+//! does under the exact one — the bound never has to cover an infinity.
+//! [`QuantizedPst::error_bound`] returns the bound with one extra
+//! quantization step of slack absorbing the `round(x / scale)` division
+//! rounding and the final multiply (each ≤ 1 ulp per operation, orders of
+//! magnitude below `scale/2`).
+//!
+//! # Early exit without slack
+//!
+//! The per-state bounds ([`best_step_q`](QuantizedPst::best_step_q),
+//! [`max_step_plus_q`](QuantizedPst::max_step_plus_q)) mirror the compiled
+//! kernel's, but in the integer domain — so the mid-scan threshold bound
+//! is computed *exactly*, with no floating-point divergence between the
+//! bound arithmetic and the DP it bounds. The compiled kernel needs a
+//! `1e-6` safety margin for that divergence; the quantized kernel needs
+//! none (`i64 → f64` conversion and the scale multiply are monotone, so
+//! `bound_q·scale < t` proves `best_q·scale < t`).
+
+use cluseq_seq::Symbol;
+
+use crate::compile::CompiledPst;
+
+/// A [`CompiledPst`] with its ratio table quantized to `i16` fixed point.
+///
+/// Holds its own copy of the goto table so a batch scan touches exactly
+/// two dense arrays (6 bytes per (state, symbol) entry instead of 12) —
+/// the structure-of-arrays layout the batched drivers stride over. See the
+/// [module docs](self) for the quantization scheme and error bound.
+#[derive(Debug, Clone)]
+pub struct QuantizedPst {
+    alphabet: usize,
+    /// `states × alphabet`, row-major; same layout as the source table.
+    goto_table: Vec<u32>,
+    /// `states × alphabet`, row-major: `round(ratio / scale)`, or
+    /// [`QVOID`](Self::QVOID) for a `-∞` ratio.
+    qratio: Vec<i16>,
+    /// The per-automaton quantization step (log-ratio units per count).
+    scale: f64,
+    /// Per-state `max_s qratio[state][s]` over finite entries, widened to
+    /// `i64` for bound arithmetic; [`QVOID_STEP`](Self::QVOID_STEP) when
+    /// every entry of the row is void.
+    best_step_q: Vec<i64>,
+    /// `max(0, max over all states of best_step_q)`.
+    max_step_plus_q: i64,
+}
+
+impl QuantizedPst {
+    /// The start state: the empty context (same state space as the source
+    /// automaton).
+    pub const START: u32 = 0;
+
+    /// Sentinel for a `-∞` ratio entry (a raw model probability of 0 with
+    /// smoothing off). Finite entries use the symmetric range
+    /// `[-32767, 32767]`.
+    pub const QVOID: i16 = i16::MIN;
+
+    /// Sentinel for a state whose every ratio entry is void. Far enough
+    /// below any reachable chain value that bound arithmetic treats it as
+    /// `-∞` without risking `i64` overflow.
+    pub const QVOID_STEP: i64 = i64::MIN / 4;
+
+    /// Largest magnitude of a finite quantized entry.
+    const Q_MAX: f64 = i16::MAX as f64;
+
+    /// Quantizes a compiled automaton's ratio table.
+    ///
+    /// Deterministic: the scale is a pure function of the table, each
+    /// entry rounds to nearest, and no accumulation order is involved —
+    /// the same `CompiledPst` always yields byte-identical tables.
+    pub fn from_compiled(compiled: &CompiledPst) -> Self {
+        let states = compiled.state_count();
+        let n = compiled.alphabet_size();
+
+        let mut max_abs = 0.0f64;
+        for u in 0..states {
+            for s in 0..n {
+                let (x, _) = compiled.step(u as u32, Symbol(s as u16));
+                if x.is_finite() {
+                    max_abs = max_abs.max(x.abs());
+                }
+            }
+        }
+        // An all-zero (or all-void) table quantizes exactly with any
+        // positive scale; 1.0 keeps the error bound meaningful.
+        let scale = if max_abs > 0.0 {
+            max_abs / Self::Q_MAX
+        } else {
+            1.0
+        };
+
+        let mut goto_table = vec![0u32; states * n];
+        let mut qratio = vec![0i16; states * n];
+        let mut best_step_q = vec![Self::QVOID_STEP; states];
+        for (u, best_q) in best_step_q.iter_mut().enumerate() {
+            for s in 0..n {
+                let (x, next) = compiled.step(u as u32, Symbol(s as u16));
+                let i = u * n + s;
+                goto_table[i] = next;
+                qratio[i] = if x.is_finite() {
+                    // The clamp guards the `x == ±max_abs` edge where the
+                    // division can land a hair above Q_MAX in fp.
+                    let q = (x / scale).round().clamp(-Self::Q_MAX, Self::Q_MAX);
+                    let q = q as i16;
+                    if i64::from(q) > *best_q {
+                        *best_q = i64::from(q);
+                    }
+                    q
+                } else {
+                    debug_assert!(x == f64::NEG_INFINITY, "ratios are finite or -inf");
+                    Self::QVOID
+                };
+            }
+        }
+        let max_step_plus_q = best_step_q.iter().fold(0i64, |a, &b| a.max(b));
+
+        Self {
+            alphabet: n,
+            goto_table,
+            qratio,
+            scale,
+            best_step_q,
+            max_step_plus_q,
+        }
+    }
+
+    /// Number of automaton states (identical to the source automaton).
+    pub fn state_count(&self) -> usize {
+        self.best_step_q.len()
+    }
+
+    /// Alphabet size shared with the source automaton.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The quantization step: log-ratio units per integer count.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The DP step from `state` on `sym`: the quantized ratio (or
+    /// [`QVOID`](Self::QVOID)) and the successor state.
+    #[inline(always)]
+    pub fn step(&self, state: u32, sym: Symbol) -> (i16, u32) {
+        let i = state as usize * self.alphabet + sym.index();
+        (self.qratio[i], self.goto_table[i])
+    }
+
+    /// Integer analogue of [`CompiledPst::best_step`]: the largest finite
+    /// quantized step from `state`, or [`QVOID_STEP`](Self::QVOID_STEP).
+    #[inline]
+    pub fn best_step_q(&self, state: u32) -> i64 {
+        self.best_step_q[state as usize]
+    }
+
+    /// Integer analogue of [`CompiledPst::max_step_plus`]: no future
+    /// position can add more than this to a chain. Always `≥ 0`.
+    #[inline]
+    pub fn max_step_plus_q(&self) -> i64 {
+        self.max_step_plus_q
+    }
+
+    /// Maps an integer chain value back to log space — the only
+    /// floating-point operation of a quantized scan.
+    #[inline(always)]
+    pub fn dequantize(&self, q: i64) -> f64 {
+        q as f64 * self.scale
+    }
+
+    /// The documented worst-case deviation of a quantized similarity from
+    /// the exact one for a sequence of `len` symbols (both finite; see the
+    /// [module docs](self) for the derivation). One extra quantization
+    /// step absorbs the sub-ulp floating-point slop of the quantization
+    /// divisions and the final dequantize multiply.
+    pub fn error_bound(&self, len: usize) -> f64 {
+        self.scale * (len as f64 / 2.0 + 1.0)
+    }
+
+    /// Heap footprint of the tables, for budget accounting.
+    pub fn table_bytes(&self) -> usize {
+        self.goto_table.len() * std::mem::size_of::<u32>()
+            + self.qratio.len() * std::mem::size_of::<i16>()
+            + self.best_step_q.len() * std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PstParams;
+    use crate::tree::Pst;
+    use cluseq_seq::{Alphabet, BackgroundModel, Sequence};
+
+    fn compiled(text: &str, smoothing: bool) -> CompiledPst {
+        let alphabet = Alphabet::from_chars("abc".chars());
+        let seq = Sequence::parse_str(&alphabet, text).unwrap();
+        let mut params = PstParams::default().with_significance(2).with_max_depth(4);
+        if !smoothing {
+            params = params.without_smoothing();
+        }
+        let mut pst = Pst::new(3, params);
+        pst.add_sequence(&seq);
+        CompiledPst::compile(&pst, &BackgroundModel::uniform(3))
+    }
+
+    #[test]
+    fn every_finite_entry_is_within_half_a_step() {
+        let c = compiled("abcabcaabbccabcbacbca", true);
+        let q = QuantizedPst::from_compiled(&c);
+        assert_eq!(q.state_count(), c.state_count());
+        assert_eq!(q.alphabet_size(), c.alphabet_size());
+        assert!(q.scale() > 0.0);
+        for u in 0..c.state_count() as u32 {
+            for s in 0..3u16 {
+                let (x, next) = c.step(u, Symbol(s));
+                let (qx, qnext) = q.step(u, Symbol(s));
+                assert_eq!(next, qnext, "goto must be copied verbatim");
+                assert_ne!(qx, QuantizedPst::QVOID, "smoothed table has no voids");
+                let err = (f64::from(qx) * q.scale() - x).abs();
+                assert!(
+                    err <= q.scale() * 0.5 + 1e-12,
+                    "state {u} sym {s}: err {err} vs scale {}",
+                    q.scale()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn void_entries_map_to_the_sentinel() {
+        let c = compiled("ababababab", false);
+        let q = QuantizedPst::from_compiled(&c);
+        let mut voids = 0;
+        for u in 0..c.state_count() as u32 {
+            for s in 0..3u16 {
+                let (x, _) = c.step(u, Symbol(s));
+                let (qx, _) = q.step(u, Symbol(s));
+                assert_eq!(x == f64::NEG_INFINITY, qx == QuantizedPst::QVOID);
+                if qx == QuantizedPst::QVOID {
+                    voids += 1;
+                }
+            }
+        }
+        assert!(voids > 0, "an unsmoothed ab-only tree must have void rows");
+    }
+
+    #[test]
+    fn integer_bounds_dominate_every_step() {
+        let c = compiled("abcabcaabbccabcbacbca", true);
+        let q = QuantizedPst::from_compiled(&c);
+        assert!(q.max_step_plus_q() >= 0);
+        for u in 0..q.state_count() as u32 {
+            for s in 0..3u16 {
+                let (qx, _) = q.step(u, Symbol(s));
+                if qx != QuantizedPst::QVOID {
+                    assert!(i64::from(qx) <= q.best_step_q(u));
+                    assert!(i64::from(qx) <= q.max_step_plus_q());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_is_deterministic() {
+        let c = compiled("abcabcaabbccabcbacbca", true);
+        let a = QuantizedPst::from_compiled(&c);
+        let b = QuantizedPst::from_compiled(&c);
+        assert_eq!(a.scale().to_bits(), b.scale().to_bits());
+        assert_eq!(a.qratio, b.qratio);
+        assert_eq!(a.goto_table, b.goto_table);
+    }
+
+    #[test]
+    fn error_bound_grows_linearly_and_tables_shrink() {
+        let c = compiled("abcabcaabbccabcbacbca", true);
+        let q = QuantizedPst::from_compiled(&c);
+        assert!(q.error_bound(200) > q.error_bound(10));
+        assert!(q.error_bound(0) > 0.0, "the slack term keeps it positive");
+        // The i16 table is the point: the quantized footprint must beat
+        // the f64 one.
+        assert!(q.table_bytes() < c.table_bytes());
+    }
+}

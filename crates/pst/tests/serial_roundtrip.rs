@@ -1,0 +1,169 @@
+//! Property tests for `cluseq_pst::serial`'s primitive framing — the
+//! little-endian write/read pairs that *every* on-disk format in the
+//! workspace (CPST trees, CSEQ models, CCKP checkpoints) is built from.
+//! Until now these were only exercised indirectly through whole-file
+//! round-trips; here each primitive is pinned down directly:
+//!
+//! - encode → decode is the identity for every value, **byte-identical**
+//!   for `f64` (NaN payloads, signed zeros, and infinities included —
+//!   the framing stores bit patterns, not values);
+//! - a heterogeneous token stream decodes in order with no framing drift
+//!   and its encoded length is exactly the sum of the fixed widths;
+//! - truncated input fails with `UnexpectedEof` instead of fabricating a
+//!   value;
+//! - `decode_capacity` never trusts a hostile length field.
+
+use proptest::prelude::*;
+
+use cluseq_pst::serial::{
+    decode_capacity, read_f64, read_u16, read_u32, read_u64, read_u8, write_f64, write_u16,
+    write_u32, write_u64, write_u8,
+};
+
+/// One token of a heterogeneous stream: every primitive the framing
+/// layer knows, with `f64` carried as raw bits so arbitrary NaN payloads
+/// survive proptest shrinking.
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    F64Bits(u64),
+}
+
+impl Token {
+    fn encoded_len(self) -> usize {
+        match self {
+            Token::U8(_) => 1,
+            Token::U16(_) => 2,
+            Token::U32(_) => 4,
+            Token::U64(_) | Token::F64Bits(_) => 8,
+        }
+    }
+}
+
+fn arb_token() -> impl Strategy<Value = Token> {
+    // The vendored proptest stand-in has no `prop_oneof!`; a tag plus a
+    // full-width value gives the same coverage.
+    (0u8..5, 0u64..=u64::MAX).prop_map(|(tag, v)| match tag {
+        0 => Token::U8(v as u8),
+        1 => Token::U16(v as u16),
+        2 => Token::U32(v as u32),
+        3 => Token::U64(v),
+        _ => Token::F64Bits(v),
+    })
+}
+
+proptest! {
+    /// Every primitive round-trips to the value (bits, for floats) that
+    /// went in, and each occupies exactly its fixed width.
+    #[test]
+    fn each_primitive_round_trips(
+        a in 0u8..=u8::MAX,
+        b in 0u16..=u16::MAX,
+        c in 0u32..=u32::MAX,
+        d in 0u64..=u64::MAX,
+        bits in 0u64..=u64::MAX,
+    ) {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, a).unwrap();
+        write_u16(&mut buf, b).unwrap();
+        write_u32(&mut buf, c).unwrap();
+        write_u64(&mut buf, d).unwrap();
+        write_f64(&mut buf, f64::from_bits(bits)).unwrap();
+        prop_assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 8);
+
+        let mut r = buf.as_slice();
+        prop_assert_eq!(read_u8(&mut r).unwrap(), a);
+        prop_assert_eq!(read_u16(&mut r).unwrap(), b);
+        prop_assert_eq!(read_u32(&mut r).unwrap(), c);
+        prop_assert_eq!(read_u64(&mut r).unwrap(), d);
+        prop_assert_eq!(read_f64(&mut r).unwrap().to_bits(), bits);
+        prop_assert!(r.is_empty(), "decoder left {} undrained bytes", r.len());
+    }
+
+    /// A heterogeneous stream of tokens decodes in order with no framing
+    /// drift: no token's width ever depends on its neighbours, and the
+    /// stream length is the sum of the widths.
+    #[test]
+    fn token_streams_never_drift(tokens in prop::collection::vec(arb_token(), 0..64)) {
+        let mut buf = Vec::new();
+        for &t in &tokens {
+            match t {
+                Token::U8(v) => write_u8(&mut buf, v).unwrap(),
+                Token::U16(v) => write_u16(&mut buf, v).unwrap(),
+                Token::U32(v) => write_u32(&mut buf, v).unwrap(),
+                Token::U64(v) => write_u64(&mut buf, v).unwrap(),
+                Token::F64Bits(v) => write_f64(&mut buf, f64::from_bits(v)).unwrap(),
+            }
+        }
+        let expected: usize = tokens.iter().map(|t| t.encoded_len()).sum();
+        prop_assert_eq!(buf.len(), expected);
+
+        let mut r = buf.as_slice();
+        for (i, &t) in tokens.iter().enumerate() {
+            match t {
+                Token::U8(v) => prop_assert_eq!(read_u8(&mut r).unwrap(), v, "token {}", i),
+                Token::U16(v) => prop_assert_eq!(read_u16(&mut r).unwrap(), v, "token {}", i),
+                Token::U32(v) => prop_assert_eq!(read_u32(&mut r).unwrap(), v, "token {}", i),
+                Token::U64(v) => prop_assert_eq!(read_u64(&mut r).unwrap(), v, "token {}", i),
+                Token::F64Bits(v) => {
+                    prop_assert_eq!(read_f64(&mut r).unwrap().to_bits(), v, "token {}", i)
+                }
+            }
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    /// `f64` framing is bit-exact for the values ordinary equality can't
+    /// see: NaNs with arbitrary payloads compare unequal to themselves,
+    /// and `-0.0 == 0.0`, so the round-trip must be checked on bits.
+    #[test]
+    fn f64_framing_is_bit_exact_for_nan_payloads(payload in 0u64..=u64::MAX) {
+        for bits in [
+            payload,
+            f64::NAN.to_bits() | (payload & ((1u64 << 52) - 1)), // NaN, arbitrary payload
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+        ] {
+            let mut buf = Vec::new();
+            write_f64(&mut buf, f64::from_bits(bits)).unwrap();
+            prop_assert_eq!(read_f64(&mut buf.as_slice()).unwrap().to_bits(), bits);
+        }
+    }
+
+    /// Truncated input is an error, never a fabricated value: reading any
+    /// multi-byte primitive from a buffer one byte short fails with
+    /// `UnexpectedEof`.
+    #[test]
+    fn truncated_reads_fail_cleanly(v in 0u64..=u64::MAX) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v).unwrap();
+        for short in 0..8usize {
+            let mut r = &buf[..short];
+            let err = read_u64(&mut r).unwrap_err();
+            prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        }
+        let mut r = &buf[..1];
+        prop_assert!(read_u16(&mut r).is_err());
+        let mut r = &buf[..3];
+        prop_assert!(read_u32(&mut r).is_err());
+        let mut r = &buf[..7];
+        prop_assert!(read_f64(&mut r).is_err());
+    }
+
+    /// `decode_capacity` pre-allocates for honest lengths and caps
+    /// hostile ones: never larger than the claimed length, never larger
+    /// than the 64 KiB bound, and exact below the bound.
+    #[test]
+    fn decode_capacity_is_bounded(len in 0usize..=usize::MAX) {
+        let cap = decode_capacity(len);
+        prop_assert!(cap <= len);
+        prop_assert!(cap <= 64 * 1024);
+        if len <= 64 * 1024 {
+            prop_assert_eq!(cap, len);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared fixtures for the repo-level integration and property suites.
+//!
+//! Three suites — `tests/determinism.rs`, `tests/incremental.rs`, and
+//! `tests/kernel_equivalence.rs` — compare runs for *byte* equality, and
+//! each grew its own copy of the same scaffolding: a synthetic clustered
+//! database, an [`Observables`] snapshot with floats captured as raw
+//! bits, and a proptest strategy producing random PST models. This crate
+//! is that scaffolding, written once. It is a dev-dependency only; no
+//! shipped artifact links it.
+
+use cluseq_core::CluseqOutcome;
+use cluseq_datagen::SyntheticSpec;
+use cluseq_pst::{Pst, PstParams};
+use cluseq_seq::{BackgroundModel, Sequence, SequenceDatabase, Symbol};
+use proptest::prelude::*;
+
+// ---- dataset builders --------------------------------------------------
+
+/// A synthetic clustered database, positionally: the [`SyntheticSpec`]
+/// struct literal every suite used to spell out.
+pub fn clustered_db(
+    sequences: usize,
+    clusters: usize,
+    avg_len: usize,
+    alphabet: usize,
+    outlier_fraction: f64,
+    seed: u64,
+) -> SequenceDatabase {
+    SyntheticSpec {
+        sequences,
+        clusters,
+        avg_len,
+        alphabet,
+        outlier_fraction,
+        seed,
+    }
+    .generate()
+}
+
+// ---- outcome observation -----------------------------------------------
+
+/// Everything observable about a [`CluseqOutcome`], with floats captured
+/// as raw bits so "close enough" can never pass for "identical".
+#[derive(Debug, PartialEq, Eq)]
+pub struct Observables {
+    pub memberships: Vec<Vec<usize>>,
+    pub best_cluster: Vec<Option<usize>>,
+    pub outliers: Vec<usize>,
+    pub final_log_t: u64,
+    pub iterations: usize,
+    pub history: Vec<(usize, usize, usize, usize, usize, u64, bool)>,
+}
+
+/// Snapshots `outcome` for bit-exact comparison (see [`Observables`]).
+pub fn observe(outcome: &CluseqOutcome) -> Observables {
+    Observables {
+        memberships: outcome.membership_lists(),
+        best_cluster: outcome.best_cluster.clone(),
+        outliers: outcome.outliers.clone(),
+        final_log_t: outcome.final_log_t.to_bits(),
+        iterations: outcome.iterations,
+        history: outcome
+            .history
+            .iter()
+            .map(|s| {
+                (
+                    s.iteration,
+                    s.new_clusters,
+                    s.removed_clusters,
+                    s.clusters_at_end,
+                    s.membership_changes,
+                    s.log_t.to_bits(),
+                    s.threshold_moved,
+                )
+            })
+            .collect(),
+    }
+}
+
+// ---- random model builders ---------------------------------------------
+
+/// A random PST workload: alphabet size, training material, probe
+/// sequence, and model parameters (smoothing on or off, and an optional
+/// prune-to byte budget as a fraction of the unpruned size).
+#[derive(Debug, Clone)]
+pub struct PstWorkload {
+    pub alphabet: usize,
+    pub training: Vec<Vec<u16>>,
+    pub probe: Vec<u16>,
+    pub max_depth: usize,
+    pub significance: u64,
+    pub smoothing: Option<f64>,
+    pub prune_fraction: Option<f64>,
+}
+
+impl PstWorkload {
+    /// Builds the PST and background model this workload describes. The
+    /// background is non-uniform — the symbol frequencies of the training
+    /// data, exactly what the driver fits from a database.
+    pub fn build(&self) -> (Pst, BackgroundModel) {
+        let mut params = PstParams::default()
+            .with_max_depth(self.max_depth)
+            .with_significance(self.significance);
+        params.smoothing = self.smoothing;
+        let mut pst = Pst::new(self.alphabet, params);
+        for seq in &self.training {
+            pst.add_sequence(&Sequence::new(seq.iter().map(|&s| Symbol(s)).collect()));
+        }
+        if let Some(fraction) = self.prune_fraction {
+            pst.prune_to((pst.bytes() as f64 * fraction) as usize);
+        }
+        let seqs: Vec<Sequence> = self
+            .training
+            .iter()
+            .map(|seq| Sequence::new(seq.iter().map(|&s| Symbol(s)).collect()))
+            .collect();
+        let background = BackgroundModel::fit(self.alphabet, seqs.iter());
+        (pst, background)
+    }
+
+    /// The probe as typed symbols.
+    pub fn probe_symbols(&self) -> Vec<Symbol> {
+        self.probe.iter().map(|&s| Symbol(s)).collect()
+    }
+}
+
+/// Strategy producing arbitrary [`PstWorkload`]s: small alphabets, a
+/// handful of training sequences, probes up to 80 symbols, smoothed or
+/// not, pruned or not.
+pub fn arb_pst_workload() -> impl Strategy<Value = PstWorkload> {
+    (2usize..8).prop_flat_map(|alphabet| {
+        let sym = 0..alphabet as u16;
+        (
+            prop::collection::vec(prop::collection::vec(sym.clone(), 5..60), 1..5),
+            prop::collection::vec(sym, 0..80),
+            1usize..6,
+            1u64..5,
+            prop::option::of(1e-4f64..0.02),
+            prop::option::of(0.3f64..0.9),
+        )
+            .prop_map(
+                move |(training, probe, max_depth, significance, smoothing, prune_fraction)| {
+                    PstWorkload {
+                        alphabet,
+                        training,
+                        probe,
+                        max_depth,
+                        significance,
+                        smoothing,
+                        prune_fraction,
+                    }
+                },
+            )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_db_matches_the_spec_it_abbreviates() {
+        let spec = SyntheticSpec {
+            sequences: 24,
+            clusters: 3,
+            avg_len: 30,
+            alphabet: 12,
+            outlier_fraction: 0.1,
+            seed: 9,
+        };
+        let via_helper = clustered_db(24, 3, 30, 12, 0.1, 9);
+        let via_spec = spec.generate();
+        assert_eq!(via_helper.len(), via_spec.len());
+        for i in 0..via_helper.len() {
+            assert_eq!(via_helper.sequence(i), via_spec.sequence(i));
+        }
+    }
+
+    #[test]
+    fn workload_build_is_deterministic() {
+        let w = PstWorkload {
+            alphabet: 4,
+            training: vec![vec![0, 1, 2, 3, 0, 1, 2], vec![3, 2, 1, 0]],
+            probe: vec![0, 1, 2],
+            max_depth: 3,
+            significance: 1,
+            smoothing: Some(0.01),
+            prune_fraction: None,
+        };
+        let (a, _) = w.build();
+        let (b, _) = w.build();
+        assert_eq!(a.bytes(), b.bytes());
+        assert_eq!(a.node_count(), b.node_count());
+    }
+}

@@ -12,17 +12,10 @@
 //! threads still fan out seeding, the final sweep, and online scoring.
 
 use cluseq::prelude::*;
+use cluseq_test_utils::{clustered_db, observe};
 
 fn workload() -> SequenceDatabase {
-    SyntheticSpec {
-        sequences: 240,
-        clusters: 4,
-        avg_len: 130,
-        alphabet: 70,
-        outlier_fraction: 0.05,
-        seed: 58,
-    }
-    .generate()
+    clustered_db(240, 4, 130, 70, 0.05, 58)
 }
 
 fn params(mode: ScanMode, threads: usize) -> CluseqParams {
@@ -34,43 +27,6 @@ fn params(mode: ScanMode, threads: usize) -> CluseqParams {
         .with_seed(3)
         .with_scan_mode(mode)
         .with_threads(threads)
-}
-
-/// Everything observable about an outcome, with floats captured as raw
-/// bits so "close enough" can never pass for "identical".
-#[derive(Debug, PartialEq, Eq)]
-struct Observables {
-    memberships: Vec<Vec<usize>>,
-    best_cluster: Vec<Option<usize>>,
-    outliers: Vec<usize>,
-    final_log_t: u64,
-    iterations: usize,
-    history: Vec<(usize, usize, usize, usize, usize, u64, bool)>,
-}
-
-fn observe(outcome: &CluseqOutcome) -> Observables {
-    Observables {
-        memberships: outcome.membership_lists(),
-        best_cluster: outcome.best_cluster.clone(),
-        outliers: outcome.outliers.clone(),
-        final_log_t: outcome.final_log_t.to_bits(),
-        iterations: outcome.iterations,
-        history: outcome
-            .history
-            .iter()
-            .map(|s| {
-                (
-                    s.iteration,
-                    s.new_clusters,
-                    s.removed_clusters,
-                    s.clusters_at_end,
-                    s.membership_changes,
-                    s.log_t.to_bits(),
-                    s.threshold_moved,
-                )
-            })
-            .collect(),
-    }
 }
 
 #[test]
@@ -110,15 +66,7 @@ fn online_processing_is_thread_count_invariant() {
     // The streaming extension scores each arrival against every live
     // cluster through the same engine; reports must not depend on threads.
     let db = workload();
-    let fresh = SyntheticSpec {
-        sequences: 60,
-        clusters: 4,
-        avg_len: 130,
-        alphabet: 70,
-        outlier_fraction: 0.15,
-        seed: 59,
-    }
-    .generate();
+    let fresh = clustered_db(60, 4, 130, 70, 0.15, 59);
 
     let mut reports: Vec<Vec<String>> = Vec::new();
     for threads in [1usize, 4] {

@@ -16,6 +16,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use cluseq::prelude::*;
+use cluseq_test_utils::{clustered_db, observe};
 use proptest::prelude::*;
 
 fn tmpdir(name: &str) -> PathBuf {
@@ -28,15 +29,7 @@ fn tmpdir(name: &str) -> PathBuf {
 }
 
 fn workload() -> SequenceDatabase {
-    SyntheticSpec {
-        sequences: 120,
-        clusters: 3,
-        avg_len: 90,
-        alphabet: 30,
-        outlier_fraction: 0.05,
-        seed: 77,
-    }
-    .generate()
+    clustered_db(120, 3, 90, 30, 0.05, 77)
 }
 
 fn params(mode: ScanMode, kernel: ScanKernel, threads: usize) -> CluseqParams {
@@ -49,44 +42,6 @@ fn params(mode: ScanMode, kernel: ScanKernel, threads: usize) -> CluseqParams {
         .with_scan_mode(mode)
         .with_scan_kernel(kernel)
         .with_threads(threads)
-}
-
-/// Everything observable about an outcome, floats captured as raw bits so
-/// "close enough" can never pass for "identical" (the determinism suite's
-/// shape, reused here for the full-vs-incremental comparison).
-#[derive(Debug, PartialEq, Eq)]
-struct Observables {
-    memberships: Vec<Vec<usize>>,
-    best_cluster: Vec<Option<usize>>,
-    outliers: Vec<usize>,
-    final_log_t: u64,
-    iterations: usize,
-    history: Vec<(usize, usize, usize, usize, usize, u64, bool)>,
-}
-
-fn observe(outcome: &CluseqOutcome) -> Observables {
-    Observables {
-        memberships: outcome.membership_lists(),
-        best_cluster: outcome.best_cluster.clone(),
-        outliers: outcome.outliers.clone(),
-        final_log_t: outcome.final_log_t.to_bits(),
-        iterations: outcome.iterations,
-        history: outcome
-            .history
-            .iter()
-            .map(|s| {
-                (
-                    s.iteration,
-                    s.new_clusters,
-                    s.removed_clusters,
-                    s.clusters_at_end,
-                    s.membership_changes,
-                    s.log_t.to_bits(),
-                    s.threshold_moved,
-                )
-            })
-            .collect(),
-    }
 }
 
 // ---- byte-identity -----------------------------------------------------
@@ -137,15 +92,7 @@ proptest! {
         compiled in proptest::bool::ANY,
         threads in 1usize..5,
     ) {
-        let db = SyntheticSpec {
-            sequences,
-            clusters,
-            avg_len: 40,
-            alphabet: alphabet as usize,
-            outlier_fraction: 0.0,
-            seed: data_seed,
-        }
-        .generate();
+        let db = clustered_db(sequences, clusters, 40, alphabet as usize, 0.0, data_seed);
         let p = CluseqParams::default()
             .with_initial_clusters(2)
             .with_significance(4)
@@ -227,15 +174,7 @@ fn reused_plus_scored_equals_the_full_runs_work() {
 /// more reused than freshly scored.
 #[test]
 fn converged_steady_state_reuses_at_least_five_to_one() {
-    let db = SyntheticSpec {
-        sequences: 320,
-        clusters: 8,
-        avg_len: 90,
-        alphabet: 30,
-        outlier_fraction: 0.02,
-        seed: 77,
-    }
-    .generate();
+    let db = clustered_db(320, 8, 90, 30, 0.02, 77);
     let mut report = RunReport::new();
     let outcome = Cluseq::new(
         CluseqParams::default()

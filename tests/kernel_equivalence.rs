@@ -1,91 +1,55 @@
-//! Property tests for the compiled scan kernel: on random PSTs — before
-//! and after pruning — the flat-automaton kernel must reproduce the
-//! interpreted suffix-tree walk **byte for byte** (`f64::to_bits`, not an
-//! epsilon), and the threshold early-exit may only skip pairs that are
-//! provably below the threshold.
+//! The kernel-equivalence gate: the four scan kernels behind
+//! `--scan-kernel` form a matrix of contracts, and every entry is proven
+//! here on random PSTs — before and after pruning, smoothed or not.
+//!
+//! - **interpreted ↔ compiled**: byte-identical (`f64::to_bits`, not an
+//!   epsilon) — same max log-ratio bits, same segment.
+//! - **compiled ↔ batched**: byte-identical per lane, including *which*
+//!   lanes the threshold early-exit prunes; the batch driver only
+//!   interleaves lanes, it never changes a lane's arithmetic.
+//! - **quantized ↔ exact**: deterministic, and within the proven error
+//!   bound `scale · (⌈len/2⌉ + 1)` of the exact score; threshold
+//!   decisions agree whenever the exact score clears the threshold by
+//!   more than the bound.
+//! - **early exit (both exact and quantized)**: may only skip pairs that
+//!   are provably below the threshold — a pruned pair can never hide a
+//!   would-be join.
+//!
+//! A full-pipeline matrix at the bottom seals the same contracts
+//! end-to-end through seeding, re-clustering, and the final sweep.
 
 use proptest::prelude::*;
 
 use cluseq::core::{
-    max_similarity_compiled, max_similarity_compiled_bounded, max_similarity_pst, BoundedSimilarity,
+    max_similarity_compiled, max_similarity_compiled_batch, max_similarity_compiled_bounded,
+    max_similarity_pst, max_similarity_quantized, max_similarity_quantized_batch,
+    max_similarity_quantized_bounded, BoundedSimilarity,
 };
 use cluseq::prelude::*;
+use cluseq_test_utils::{arb_pst_workload, clustered_db, observe, PstWorkload};
 
-/// A random PST workload: alphabet size, training material, probe
-/// sequence, and model parameters (smoothing on or off, and an optional
-/// prune-to byte budget as a fraction of the unpruned size).
-#[derive(Debug, Clone)]
-struct Workload {
-    alphabet: usize,
-    training: Vec<Vec<u16>>,
-    probe: Vec<u16>,
-    max_depth: usize,
-    significance: u64,
-    smoothing: Option<f64>,
-    prune_fraction: Option<f64>,
-}
-
-fn arb_workload() -> impl Strategy<Value = Workload> {
-    (2usize..8).prop_flat_map(|alphabet| {
-        let sym = 0..alphabet as u16;
-        (
-            prop::collection::vec(prop::collection::vec(sym.clone(), 5..60), 1..5),
-            prop::collection::vec(sym, 0..80),
-            1usize..6,
-            1u64..5,
-            prop::option::of(1e-4f64..0.02),
-            prop::option::of(0.3f64..0.9),
-        )
-            .prop_map(
-                move |(training, probe, max_depth, significance, smoothing, prune_fraction)| {
-                    Workload {
-                        alphabet,
-                        training,
-                        probe,
-                        max_depth,
-                        significance,
-                        smoothing,
-                        prune_fraction,
-                    }
-                },
-            )
-    })
-}
-
-/// Builds the PST and background model a workload describes.
-fn build(w: &Workload) -> (Pst, BackgroundModel) {
-    let mut params = PstParams::default()
-        .with_max_depth(w.max_depth)
-        .with_significance(w.significance);
-    params.smoothing = w.smoothing;
-    let mut pst = Pst::new(w.alphabet, params);
+/// The lanes a workload feeds through the batch drivers: the probe, every
+/// training sequence re-used as a probe, and an empty lane — enough shape
+/// variety to exercise lanes retiring at different positions.
+fn lanes_of(w: &PstWorkload) -> Vec<Vec<Symbol>> {
+    let mut lanes = vec![w.probe_symbols()];
     for seq in &w.training {
-        pst.add_sequence(&Sequence::new(seq.iter().map(|&s| Symbol(s)).collect()));
+        lanes.push(seq.iter().map(|&s| Symbol(s)).collect());
     }
-    if let Some(fraction) = w.prune_fraction {
-        pst.prune_to((pst.bytes() as f64 * fraction) as usize);
-    }
-    // A non-uniform background: symbol frequencies of the training data,
-    // exactly what the driver fits from a database.
-    let seqs: Vec<Sequence> = w
-        .training
-        .iter()
-        .map(|seq| Sequence::new(seq.iter().map(|&s| Symbol(s)).collect()))
-        .collect();
-    let background = BackgroundModel::fit(w.alphabet, seqs.iter());
-    (pst, background)
+    lanes.push(Vec::new());
+    lanes
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Tentpole contract: interpreted and compiled similarity are
-    /// byte-identical on arbitrary models (smoothed or not, pruned or
-    /// not) and arbitrary probes — same max log-ratio bits, same segment.
+    /// interpreted ↔ compiled: byte-identical on arbitrary models
+    /// (smoothed or not, pruned or not) and arbitrary probes — same max
+    /// log-ratio bits, same segment.
     #[test]
-    fn compiled_similarity_is_byte_identical(w in arb_workload()) {
-        let (pst, background) = build(&w);
-        let probe: Vec<Symbol> = w.probe.iter().map(|&s| Symbol(s)).collect();
+    fn compiled_similarity_is_byte_identical(w in arb_pst_workload()) {
+        let (pst, background) = w.build();
+        let probe = w.probe_symbols();
         let interpreted = max_similarity_pst(&pst, &background, &probe);
         let compiled = CompiledPst::compile(&pst, &background);
         let fast = max_similarity_compiled(&compiled, &probe);
@@ -102,12 +66,11 @@ proptest! {
 
     /// Early-exit contract: for any threshold, the bounded scan either
     /// returns the exact result bit-for-bit, or prunes a pair whose true
-    /// similarity really is below the threshold — a pruned pair can never
-    /// hide a would-be join.
+    /// similarity really is below the threshold.
     #[test]
-    fn early_exit_never_lies(w in arb_workload(), threshold in -5.0f64..200.0) {
-        let (pst, background) = build(&w);
-        let probe: Vec<Symbol> = w.probe.iter().map(|&s| Symbol(s)).collect();
+    fn early_exit_never_lies(w in arb_pst_workload(), threshold in -5.0f64..200.0) {
+        let (pst, background) = w.build();
+        let probe = w.probe_symbols();
         let exact = max_similarity_pst(&pst, &background, &probe);
         let compiled = CompiledPst::compile(&pst, &background);
         match max_similarity_compiled_bounded(&compiled, &probe, threshold) {
@@ -123,6 +86,241 @@ proptest! {
                     threshold
                 );
             }
+        }
+    }
+
+    /// compiled ↔ batched: every lane of the batch driver is
+    /// byte-identical to the single-sequence scan of that lane — same
+    /// bits, same segment, and the *same* prune verdicts — for any
+    /// threshold and any mix of lane lengths (including an empty lane).
+    #[test]
+    fn batched_scan_is_byte_identical_per_lane(
+        w in arb_pst_workload(),
+        threshold in prop::option::of(-5.0f64..200.0),
+    ) {
+        let (pst, background) = w.build();
+        let compiled = CompiledPst::compile(&pst, &background);
+        let lanes = lanes_of(&w);
+        let refs: Vec<&[Symbol]> = lanes.iter().map(Vec::as_slice).collect();
+        let batch = max_similarity_compiled_batch(&compiled, &refs, threshold);
+        prop_assert_eq!(batch.len(), refs.len());
+        for (lane, got) in batch.iter().enumerate() {
+            let single = match threshold {
+                Some(t) => max_similarity_compiled_bounded(&compiled, refs[lane], t),
+                None => BoundedSimilarity::Exact(max_similarity_compiled(&compiled, refs[lane])),
+            };
+            match (got, &single) {
+                (BoundedSimilarity::Exact(b), BoundedSimilarity::Exact(s)) => {
+                    prop_assert_eq!(
+                        b.log_sim.to_bits(),
+                        s.log_sim.to_bits(),
+                        "lane {} bits diverge: batched {} vs single {}",
+                        lane,
+                        b.log_sim,
+                        s.log_sim
+                    );
+                    prop_assert_eq!((b.start, b.end), (s.start, s.end), "lane {} segment", lane);
+                }
+                (BoundedSimilarity::Pruned, BoundedSimilarity::Pruned) => {}
+                (b, s) => {
+                    prop_assert!(false, "lane {lane} verdicts diverge: batched {b:?} vs single {s:?}");
+                }
+            }
+        }
+    }
+
+    /// quantized ↔ exact: the quantized score lands within the proven
+    /// bound `scale · (⌈len/2⌉ + 1)` of the exact score, and the `-∞`
+    /// verdict (no scorable segment) round-trips exactly — quantization
+    /// can blur a score but never invent or destroy one.
+    #[test]
+    fn quantized_error_is_within_the_proven_bound(w in arb_pst_workload()) {
+        let (pst, background) = w.build();
+        let probe = w.probe_symbols();
+        let exact = max_similarity_pst(&pst, &background, &probe);
+        let quantized = CompiledPst::compile(&pst, &background).quantize();
+        let approx = max_similarity_quantized(&quantized, &probe);
+        if exact.log_sim.is_infinite() {
+            prop_assert!(
+                approx.log_sim.is_infinite() && approx.log_sim < 0.0,
+                "exact is -inf but quantized scored {}",
+                approx.log_sim
+            );
+        } else {
+            let bound = quantized.error_bound(probe.len());
+            prop_assert!(
+                (exact.log_sim - approx.log_sim).abs() <= bound,
+                "quantized error {} exceeds the proven bound {} (exact {}, quantized {})",
+                (exact.log_sim - approx.log_sim).abs(),
+                bound,
+                exact.log_sim,
+                approx.log_sim
+            );
+        }
+    }
+
+    /// Threshold-decision agreement: whenever the exact score clears (or
+    /// misses) the threshold by more than the error bound, the quantized
+    /// kernel makes the *same* join/reject decision. Disagreement is only
+    /// possible inside the bound-wide band around the threshold — which
+    /// is exactly what EXPERIMENTS.md's methodology section documents.
+    #[test]
+    fn threshold_decisions_agree_outside_the_error_bound(
+        w in arb_pst_workload(),
+        threshold in -5.0f64..200.0,
+    ) {
+        let (pst, background) = w.build();
+        let probe = w.probe_symbols();
+        let exact = max_similarity_pst(&pst, &background, &probe);
+        let quantized = CompiledPst::compile(&pst, &background).quantize();
+        let approx = max_similarity_quantized(&quantized, &probe);
+        let bound = quantized.error_bound(probe.len());
+        if (exact.log_sim - threshold).abs() > bound {
+            prop_assert_eq!(
+                approx.log_sim >= threshold,
+                exact.log_sim >= threshold,
+                "decisions diverge outside the band: exact {} vs quantized {} at threshold {} (bound {})",
+                exact.log_sim,
+                approx.log_sim,
+                threshold,
+                bound
+            );
+        }
+    }
+
+    /// Quantized early-exit contract (slack-free by construction — the
+    /// integer bound is exact): the bounded scan either reproduces the
+    /// unbounded quantized result bit-for-bit, or prunes a pair whose
+    /// quantized score really is below the threshold.
+    #[test]
+    fn quantized_early_exit_never_lies(
+        w in arb_pst_workload(),
+        threshold in -5.0f64..200.0,
+    ) {
+        let (pst, background) = w.build();
+        let probe = w.probe_symbols();
+        let quantized = CompiledPst::compile(&pst, &background).quantize();
+        let full = max_similarity_quantized(&quantized, &probe);
+        match max_similarity_quantized_bounded(&quantized, &probe, threshold) {
+            BoundedSimilarity::Exact(sim) => {
+                prop_assert_eq!(sim.log_sim.to_bits(), full.log_sim.to_bits());
+                prop_assert_eq!((sim.start, sim.end), (full.start, full.end));
+            }
+            BoundedSimilarity::Pruned => {
+                prop_assert!(
+                    full.log_sim < threshold,
+                    "pruned a pair whose quantized score {} >= threshold {}",
+                    full.log_sim,
+                    threshold
+                );
+            }
+        }
+    }
+
+    /// quantized batch ↔ quantized single: the integer batch driver is
+    /// byte-identical per lane to the single-sequence quantized scan,
+    /// prune verdicts included.
+    #[test]
+    fn quantized_batch_is_byte_identical_per_lane(
+        w in arb_pst_workload(),
+        threshold in prop::option::of(-5.0f64..200.0),
+    ) {
+        let (pst, background) = w.build();
+        let quantized = CompiledPst::compile(&pst, &background).quantize();
+        let lanes = lanes_of(&w);
+        let refs: Vec<&[Symbol]> = lanes.iter().map(Vec::as_slice).collect();
+        let batch = max_similarity_quantized_batch(&quantized, &refs, threshold);
+        prop_assert_eq!(batch.len(), refs.len());
+        for (lane, got) in batch.iter().enumerate() {
+            let single = match threshold {
+                Some(t) => max_similarity_quantized_bounded(&quantized, refs[lane], t),
+                None => {
+                    BoundedSimilarity::Exact(max_similarity_quantized(&quantized, refs[lane]))
+                }
+            };
+            match (got, &single) {
+                (BoundedSimilarity::Exact(b), BoundedSimilarity::Exact(s)) => {
+                    prop_assert_eq!(b.log_sim.to_bits(), s.log_sim.to_bits(), "lane {}", lane);
+                    prop_assert_eq!((b.start, b.end), (s.start, s.end), "lane {} segment", lane);
+                }
+                (BoundedSimilarity::Pruned, BoundedSimilarity::Pruned) => {}
+                (b, s) => {
+                    prop_assert!(false, "lane {lane} verdicts diverge: batched {b:?} vs single {s:?}");
+                }
+            }
+        }
+    }
+}
+
+// ---- full-pipeline matrix ----------------------------------------------
+
+fn pipeline_params(mode: ScanMode, kernel: ScanKernel, threads: usize) -> CluseqParams {
+    CluseqParams::default()
+        .with_initial_clusters(3)
+        .with_significance(6)
+        .with_max_depth(5)
+        .with_max_iterations(10)
+        .with_seed(5)
+        .with_scan_mode(mode)
+        .with_scan_kernel(kernel)
+        .with_threads(threads)
+}
+
+/// End-to-end seal on the exact side of the matrix: under both scan
+/// modes, the interpreted, compiled, and batched kernels produce
+/// byte-identical outcomes — memberships, thresholds (as raw bits),
+/// history — at every thread count.
+#[test]
+fn full_pipeline_exact_kernels_are_byte_identical() {
+    let db = clustered_db(120, 3, 90, 30, 0.05, 77);
+    for mode in [ScanMode::Incremental, ScanMode::Snapshot] {
+        let reference =
+            observe(&Cluseq::new(pipeline_params(mode, ScanKernel::Compiled, 1)).run(&db));
+        assert!(
+            !reference.memberships.is_empty(),
+            "{mode:?}: the reference run found no clusters — the matrix \
+             comparison would be vacuous"
+        );
+        for kernel in [
+            ScanKernel::Interpreted,
+            ScanKernel::Compiled,
+            ScanKernel::Batched,
+        ] {
+            for threads in [1usize, 4] {
+                let got = observe(&Cluseq::new(pipeline_params(mode, kernel, threads)).run(&db));
+                assert_eq!(
+                    got, reference,
+                    "{mode:?}/{kernel:?} with {threads} threads diverged from \
+                     the compiled serial run"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end seal on the quantized corner: the quantized kernel is a
+/// *deterministic* approximation — its outcome is byte-stable across
+/// thread counts and across scan modes' serial/parallel drivers, and it
+/// still finds a non-trivial clustering on a plainly clustered workload.
+#[test]
+fn full_pipeline_quantized_kernel_is_deterministic() {
+    let db = clustered_db(120, 3, 90, 30, 0.05, 77);
+    for mode in [ScanMode::Incremental, ScanMode::Snapshot] {
+        let reference =
+            observe(&Cluseq::new(pipeline_params(mode, ScanKernel::Quantized, 1)).run(&db));
+        assert!(
+            !reference.memberships.is_empty(),
+            "{mode:?}: the quantized run found no clusters"
+        );
+        for threads in [2usize, 4, 8] {
+            let got = observe(
+                &Cluseq::new(pipeline_params(mode, ScanKernel::Quantized, threads)).run(&db),
+            );
+            assert_eq!(
+                got, reference,
+                "{mode:?} quantized run with {threads} threads diverged from \
+                 the serial quantized run"
+            );
         }
     }
 }
