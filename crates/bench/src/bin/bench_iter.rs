@@ -32,7 +32,7 @@
 
 use std::time::Instant;
 
-use cluseq_bench::{flag_value, print_table, Scale};
+use cluseq_bench::{flag_value, peak_rss_bytes, print_table, Scale};
 use cluseq_core::telemetry::NoopObserver;
 use cluseq_core::trace::{Counter, Phase, TraceConfig, TraceSession};
 use cluseq_core::{Cluseq, CluseqParams};
@@ -224,8 +224,10 @@ fn main() {
         String::new()
     };
 
+    let peak_rss = peak_rss_bytes().unwrap_or(0);
     let json = format!(
         "{{\n  \"bench\": \"iter_loop\",\n  \"quick\": {quick},\n{incr_section}  \
+         \"peak_rss_bytes\": {peak_rss},\n  \
          \"sequences\": {},\n  \"reps\": {reps},\n  \
          \"baseline_a_median_s\": {med_a:.6},\n  \
          \"baseline_b_median_s\": {med_b:.6},\n  \

@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use cluseq_bench::scan_kernel::{configs, ScanFixture};
-use cluseq_bench::{flag_value, print_table};
+use cluseq_bench::{flag_value, peak_rss_bytes, print_table};
 
 /// Median and sample variance (n−1) of a sample; sorted in place.
 fn stats(mut xs: Vec<f64>) -> (f64, f64) {
@@ -169,9 +169,11 @@ fn main() {
          batched and/or quantized)"
     );
 
+    let peak_rss = peak_rss_bytes().unwrap_or(0);
     let json = format!(
         "{{\n  \"bench\": \"scan_kernel\",\n  \"unit\": \"ns_per_symbol\",\n  \
-         \"quick\": {quick},\n  \"median_speedup\": {median_speedup:.4},\n  \
+         \"quick\": {quick},\n  \"peak_rss_bytes\": {peak_rss},\n  \
+         \"median_speedup\": {median_speedup:.4},\n  \
          \"median_batched_speedup_vs_compiled\": {median_batched:.4},\n  \
          \"median_quantized_speedup_vs_compiled\": {median_quantized:.4},\n  \
          \"median_quantized_batched_speedup_vs_compiled\": {median_qbatched:.4},\n  \

@@ -24,7 +24,7 @@
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use cluseq_bench::{flag_value, print_table};
+use cluseq_bench::{flag_value, peak_rss_bytes, print_table};
 use cluseq_core::persist::SavedModel;
 use cluseq_core::serve::client::ServeClient;
 use cluseq_core::serve::model::ServeModel;
@@ -200,8 +200,9 @@ fn main() {
     );
     println!("\nbatched/single throughput: {speedup:.2}x (target >= 3x on >= 4 cores; this host: {cores})");
 
+    let peak_rss = peak_rss_bytes().unwrap_or(0);
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cores\": {cores},\n  \
          \"threads\": {threads},\n  \"clients\": {clients},\n  \"requests_per_phase\": {requests},\n  \
          \"single\": {{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
          \"batched\": {{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \

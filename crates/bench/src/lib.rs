@@ -75,6 +75,20 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// The process's peak resident set size in bytes — `VmHWM` from
+/// `/proc/self/status`. `None` where procfs is unavailable (non-Linux).
+///
+/// The kernel reports a *high-water mark*: the value is monotone over the
+/// process lifetime. A bench that times several configurations therefore
+/// runs them in ascending size order, so the reading taken after each
+/// configuration is an honest bound for that configuration.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Extra argument lookup for experiment-specific flags (e.g. `--axis`).
 pub fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -238,6 +252,18 @@ mod tests {
         assert_eq!(acc, 1.0);
         assert_eq!(p, 1.0);
         assert_eq!(r, 1.0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_and_monotone() {
+        let before = peak_rss_bytes().expect("procfs available on linux");
+        assert!(before > 0);
+        // Touch some memory; the high-water mark must never decrease.
+        let ballast = vec![1u8; 1 << 20];
+        assert!(ballast.iter().map(|&b| b as usize).sum::<usize>() > 0);
+        let after = peak_rss_bytes().unwrap();
+        assert!(after >= before, "VmHWM is monotone: {after} >= {before}");
     }
 
     #[test]

@@ -34,7 +34,8 @@ use cluseq_core::{
 use cluseq_datagen::{LanguageSpec, ProteinFamilySpec, SyntheticSpec};
 use cluseq_eval::{Confusion, MatchStrategy, Stopwatch};
 use cluseq_seq::codec;
-use cluseq_seq::SequenceDatabase;
+use cluseq_seq::store::FileStore;
+use cluseq_seq::{SequenceDatabase, SequenceStore, StoreKind};
 
 const USAGE: &str = "\
 cluseq — sequence clustering by sequential statistical features (ICDE 2003)
@@ -47,7 +48,8 @@ USAGE:
   cluseq evaluate FILE [clustering options]
   cluseq classify FILE --model MODEL
   cluseq inspect  --model MODEL [--max-nodes N]
-  cluseq serve    --model MODEL [--data FILE] [serve options]
+  cluseq serve    --model MODEL [--data FILE [--store memory|file]]
+                  [serve options]
   cluseq trace-summary TRACE_FILE
 
 SERVE OPTIONS:
@@ -55,6 +57,8 @@ SERVE OPTIONS:
                          snapshot (CSEQ) or a crash-recovery checkpoint
                          (CCKP; needs --data, the training file, to
                          re-derive the background model)
+  --store memory|file    how --data is read: fully resident, or streamed
+                         out of core from a CSEQ binary (default memory)
   --addr ADDR            bind address (default 127.0.0.1:7878; port 0
                          picks a free port — the bound address is printed)
   --threads N            scoring worker threads per batch (default 1)
@@ -102,6 +106,21 @@ CLUSTERING OPTIONS:
                          (default compiled)
   --threads N            worker threads for the scoring passes; results
                          are identical for any value (default 1)
+  --store memory|file    corpus access: load the whole file into RAM, or
+                         stream a CSEQ binary out of core through its
+                         .csix offset index with a bounded per-worker
+                         window (default memory; file needs a binary
+                         input, e.g. from `generate --format bin`) — the
+                         clustering is byte-identical either way
+  --scan-shard N         snapshot-scan shard size: score and absorb N
+                         sequences at a time so per-scan buffers stay
+                         bounded by the shard, not the corpus; results
+                         are byte-identical for any value (requires
+                         --scan-mode snapshot, incompatible with
+                         --incremental)
+  --model-cache-mb MB    build per-cluster scan automata lazily and keep
+                         at most MB megabytes of them, evicting least
+                         recently used (default: keep all models hot)
   --incremental          incremental iteration engine: cache (sequence,
                          cluster) similarities across iterations, rescore
                          only against clusters whose model changed, and
@@ -142,7 +161,10 @@ CLUSTERING OPTIONS:
 FILE FORMATS: text = one sequence per line, one character per symbol, an
 optional `label<TAB>` prefix carrying ground truth (`-` marks a known
 outlier); bin = the CSDB binary format (any alphabet, much faster to
-load). Input files are detected by their magic bytes.
+load), written as CSEQ v2 with a `.csix` sidecar offset index so it can
+be clustered out of core with `--store file` — `generate --format bin
+--kind synthetic` streams the corpus straight to disk without ever
+holding it in RAM. Input files are detected by their magic bytes.
 ";
 
 fn main() -> ExitCode {
@@ -166,19 +188,25 @@ fn main() -> ExitCode {
     }
 }
 
+fn synthetic_spec(args: &Args) -> SyntheticSpec {
+    SyntheticSpec {
+        sequences: args.get("sequences", 500),
+        clusters: args.get("clusters", 5),
+        avg_len: args.get("avg-len", 150),
+        // Default fits the single-character file encoding (max 62).
+        alphabet: args.get("alphabet", 60),
+        outlier_fraction: args.get("outliers", 0.05),
+        seed: args.get("seed", 42),
+    }
+}
+
 fn generate(args: &Args) -> ExitCode {
     let kind = args.get_str("kind").unwrap_or("synthetic");
+    if args.get_str("format") == Some("bin") {
+        return generate_bin(args, kind);
+    }
     let db = match kind {
-        "synthetic" => SyntheticSpec {
-            sequences: args.get("sequences", 500),
-            clusters: args.get("clusters", 5),
-            avg_len: args.get("avg-len", 150),
-            // Default fits the single-character file encoding (max 62).
-            alphabet: args.get("alphabet", 60),
-            outlier_fraction: args.get("outliers", 0.05),
-            seed: args.get("seed", 42),
-        }
-        .generate(),
+        "synthetic" => synthetic_spec(args).generate(),
         "protein" => ProteinFamilySpec {
             families: args.get("clusters", 10),
             size_scale: args.get("scale", 0.05),
@@ -198,25 +226,6 @@ fn generate(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-
-    if args.get_str("format") == Some("bin") {
-        let Some(path) = args.get_str("out") else {
-            eprintln!("error: --format bin requires --out FILE");
-            return ExitCode::from(2);
-        };
-        let mut buf = Vec::new();
-        cluseq_seq::binio::encode(&db, &mut buf).expect("Vec write cannot fail");
-        if let Err(e) = std::fs::write(path, buf) {
-            eprintln!("error: writing {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!(
-            "wrote {} sequences ({} classes) to {path} (binary)",
-            db.len(),
-            db.class_count()
-        );
-        return ExitCode::SUCCESS;
-    }
 
     // Symbols must be single characters for the lines codec; synthetic
     // alphabets use numeric names, so re-encode them as alphanumerics.
@@ -247,6 +256,55 @@ fn generate(args: &Args) -> ExitCode {
         None => print!("{text}"),
     }
     ExitCode::SUCCESS
+}
+
+/// `generate --format bin`: writes CSEQ v2 with its `.csix` sidecar
+/// offset index. Synthetic corpora stream one sequence at a time, so
+/// `--sequences 10000000` never materializes the database in RAM; the
+/// protein and language corpora are small and fixed-shape, so they are
+/// built resident and written indexed.
+fn generate_bin(args: &Args, kind: &str) -> ExitCode {
+    let Some(path) = args.get_str("out") else {
+        eprintln!("error: --format bin requires --out FILE");
+        return ExitCode::from(2);
+    };
+    let written = match kind {
+        "synthetic" => synthetic_spec(args).generate_streamed(path),
+        "protein" => cluseq_seq::store::write_indexed(
+            &ProteinFamilySpec {
+                families: args.get("clusters", 10),
+                size_scale: args.get("scale", 0.05),
+                seed: args.get("seed", 2003),
+                ..Default::default()
+            }
+            .generate(),
+            path,
+        ),
+        "language" => cluseq_seq::store::write_indexed(
+            &LanguageSpec {
+                sentences_per_language: args.get("sequences", 600) / 3,
+                noise_sentences: args.get("noise", 100),
+                words_per_sentence: (20, 40),
+                seed: args.get("seed", 2002),
+            }
+            .generate(),
+            path,
+        ),
+        other => {
+            eprintln!("error: unknown --kind {other:?} (synthetic|protein|language)");
+            return ExitCode::from(2);
+        }
+    };
+    match written {
+        Ok(n) => {
+            eprintln!("wrote {n} sequences to {path} (CSEQ v2 + {path}.csix index)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: writing {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Rewrites a database onto a single-character alphabet (a–z, A–Z, 0–9)
@@ -293,6 +351,12 @@ fn params_from(args: &Args) -> CluseqParams {
     if args.has("incremental") {
         p = p.with_incremental(true);
     }
+    if args.get_str("scan-shard").is_some() {
+        p = p.with_scan_shard(args.get("scan-shard", 1usize).max(1));
+    }
+    if args.get_str("model-cache-mb").is_some() {
+        p = p.with_model_cache_mb(args.get("model-cache-mb", 0usize));
+    }
     p = p.with_order(match args.get_str("order").unwrap_or("fixed") {
         "random" => ExaminationOrder::Random,
         "cluster" => ExaminationOrder::ClusterBased,
@@ -313,6 +377,43 @@ fn load(args: &Args) -> Result<SequenceDatabase, ExitCode> {
         eprintln!("error: {e}");
         ExitCode::FAILURE
     })
+}
+
+/// The corpus behind `cluster`/`evaluate`: owned either way, scanned
+/// through [`SequenceStore`] either way.
+enum Corpus {
+    Memory(SequenceDatabase),
+    File(FileStore),
+}
+
+impl Corpus {
+    fn store(&self) -> &dyn SequenceStore {
+        match self {
+            Corpus::Memory(db) => db,
+            Corpus::File(fs) => fs,
+        }
+    }
+}
+
+/// Opens the input file under `--store`: fully resident (either format),
+/// or out of core through the offset index (CSEQ binaries only).
+fn load_corpus(args: &Args) -> Result<Corpus, ExitCode> {
+    match args.get("store", StoreKind::Memory) {
+        StoreKind::Memory => load(args).map(Corpus::Memory),
+        StoreKind::File => {
+            let Some(path) = args.positional.first() else {
+                eprintln!("error: missing input file\n\n{USAGE}");
+                return Err(ExitCode::from(2));
+            };
+            FileStore::open(path).map(Corpus::File).map_err(|e| {
+                eprintln!(
+                    "error: opening {path} out of core: {e} (--store file needs \
+                     a CSEQ binary; write one with `generate --format bin`)"
+                );
+                ExitCode::FAILURE
+            })
+        }
+    }
 }
 
 /// Reads a sequence database from `path`, sniffing CSDB binary vs. the
@@ -426,11 +527,22 @@ fn write_report(args: &Args, report: &RunReport) -> Result<(), ExitCode> {
 }
 
 fn cluster(args: &Args, evaluate: bool) -> ExitCode {
-    let db = match load(args) {
-        Ok(db) => db,
+    let corpus = match load_corpus(args) {
+        Ok(corpus) => corpus,
         Err(code) => return code,
     };
+    let store = corpus.store();
     let params = params_from(args);
+    // Surface parameter conflicts as CLI errors before the engine's
+    // validation would panic on them.
+    if params.scan_shard.is_some() && params.scan_mode != ScanMode::Snapshot {
+        eprintln!("error: --scan-shard requires --scan-mode snapshot");
+        return ExitCode::from(2);
+    }
+    if params.scan_shard.is_some() && params.incremental {
+        eprintln!("error: --scan-shard is incompatible with --incremental");
+        return ExitCode::from(2);
+    }
     // `--report PATH` parses as an option, bare `--report` as a switch;
     // either spelling turns collection on.
     let want_report = args.has("report") || args.get_str("report").is_some();
@@ -493,9 +605,17 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
     let resume_from = match resume_path {
         Some(path) => match Checkpoint::load_path(&path) {
             Ok(ckpt) => {
-                if let Err(mismatch) = ckpt.verify_database(&db) {
+                if let Err(mismatch) = ckpt.verify_database(store) {
                     eprintln!("error: {}: {mismatch}", path.display());
                     return ExitCode::FAILURE;
+                }
+                if ckpt.store != store.kind() {
+                    eprintln!(
+                        "note: checkpoint was taken with --store {}, resuming with \
+                         --store {} (the run stays bit-identical)",
+                        ckpt.store,
+                        store.kind()
+                    );
                 }
                 eprintln!(
                     "resuming from {} ({} iterations completed)",
@@ -513,8 +633,8 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
     };
     let trace = trace_session.as_ref();
     let (outcome, elapsed) = Stopwatch::time(|| match resume_from {
-        Some(ckpt) => Cluseq::resume_traced(ckpt, &db, &mut observer, trace),
-        None => Cluseq::new(params).run_traced(&db, &mut observer, trace),
+        Some(ckpt) => Cluseq::resume_traced(ckpt, store, &mut observer, trace),
+        None => Cluseq::new(params).run_traced(store, &mut observer, trace),
     });
 
     if observer.collect {
@@ -526,7 +646,7 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
 
     eprintln!(
         "{} sequences -> {} clusters, {} outliers, {} iterations, final t = {:.3}, {elapsed:?}",
-        db.len(),
+        store.len(),
         outcome.cluster_count(),
         outcome.outliers.len(),
         outcome.iterations,
@@ -534,12 +654,13 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
     );
 
     if evaluate {
-        if !db.has_labels() {
+        let labels: Vec<Option<u32>> = (0..store.len()).map(|i| store.label(i)).collect();
+        if labels.iter().all(|l| l.is_none()) {
             eprintln!("error: evaluate requires a labeled input file");
             return ExitCode::from(2);
         }
         let c = Confusion::new(
-            &db.labels(),
+            &labels,
             &outcome.membership_lists(),
             MatchStrategy::Hungarian,
         );
@@ -575,7 +696,7 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
             }
         }
         // One line per sequence: id, best cluster (or -), all memberships.
-        for i in 0..db.len() {
+        for i in 0..store.len() {
             let best = outcome.best_cluster[i]
                 .map(|b| b.to_string())
                 .unwrap_or_else(|| "-".into());
@@ -599,13 +720,28 @@ fn serve(args: &Args) -> ExitCode {
         eprintln!("error: serve requires --model FILE\n\n{USAGE}");
         return ExitCode::from(2);
     };
-    let db = match args.get_str("data") {
-        Some(path) => match load_db_file(path) {
-            Ok(db) => Some(db),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+    // The training corpus (only needed for CCKP models) routes through
+    // SequenceStore: `--store file` keeps the daemon's footprint bounded
+    // by the model, not the corpus.
+    let db: Option<Box<dyn SequenceStore + Send>> = match args.get_str("data") {
+        Some(path) => match args.get("store", StoreKind::Memory) {
+            StoreKind::Memory => match load_db_file(path) {
+                Ok(db) => Some(Box::new(db)),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            StoreKind::File => match FileStore::open(path) {
+                Ok(fs) => Some(Box::new(fs)),
+                Err(e) => {
+                    eprintln!(
+                        "error: opening {path} out of core: {e} (--store file \
+                         needs a CSEQ binary; write one with `generate --format bin`)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
         },
         None => None,
     };
@@ -619,7 +755,7 @@ fn serve(args: &Args) -> ExitCode {
     };
     let model = match ServeModel::load(
         std::path::Path::new(model_path),
-        db.as_ref(),
+        db.as_deref().map(|d| d as &dyn SequenceStore),
         config.kernel,
         1,
     ) {
@@ -837,6 +973,36 @@ mod tests {
         assert!(params_from(&args).incremental);
         let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
         assert!(!params_from(&args).incremental);
+    }
+
+    #[test]
+    fn out_of_core_flags_reach_params_and_default_off() {
+        let args = Args::parse(
+            "cluster data.cseq --store file --scan-shard 4096 --model-cache-mb 64"
+                .split_whitespace()
+                .map(str::to_owned),
+        );
+        assert_eq!(args.get("store", StoreKind::Memory), StoreKind::File);
+        let p = params_from(&args);
+        assert_eq!(p.scan_shard, Some(4096));
+        assert_eq!(p.model_cache_mb, Some(64));
+
+        let args = Args::parse(["cluster".to_owned(), "data.txt".to_owned()]);
+        assert_eq!(args.get("store", StoreKind::Memory), StoreKind::Memory);
+        let p = params_from(&args);
+        assert_eq!(p.scan_shard, None);
+        assert_eq!(p.model_cache_mb, None);
+    }
+
+    #[test]
+    fn unknown_store_kind_error_lists_the_valid_set() {
+        let args = Args::parse(
+            "cluster data.txt --store tape"
+                .split_whitespace()
+                .map(str::to_owned),
+        );
+        let err = args.try_get("store", StoreKind::Memory).unwrap_err();
+        assert!(err.contains("memory") && err.contains("file"), "{err}");
     }
 
     #[test]

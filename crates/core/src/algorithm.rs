@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cluseq_eval::Histogram;
-use cluseq_seq::SequenceDatabase;
+use cluseq_seq::SequenceStore;
 
 use crate::checkpoint::{db_digest, Checkpoint};
 use crate::cluster::Cluster;
@@ -21,9 +21,10 @@ use crate::config::CluseqParams;
 use crate::consolidate::{consolidate_traced, exclusive_member_counts};
 use crate::incremental::SimilarityCache;
 use crate::kernel::ClusterAutomaton;
+use crate::models::ModelCache;
 use crate::outcome::{CluseqOutcome, IterationStats};
-use crate::recluster::{recluster_cached, ScanOptions};
-use crate::score::{parallel_map, plan_chunk};
+use crate::recluster::{recluster_full, ScanOptions};
+use crate::score::{parallel_map, parallel_map_with, plan_chunk};
 use crate::seeding::select_seeds_detailed;
 use crate::similarity::{max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::{
@@ -101,14 +102,18 @@ impl Cluseq {
         &self.params
     }
 
-    /// Clusters `db`, consuming nothing: the database is only read.
+    /// Clusters `store`, consuming nothing: the store is only read. Any
+    /// [`SequenceStore`] works — an in-memory
+    /// [`SequenceDatabase`](cluseq_seq::SequenceDatabase) coerces here
+    /// directly, and a [`cluseq_seq::FileStore`] runs the identical
+    /// algorithm out of core (bit-identical output; see the store docs).
     ///
     /// # Panics
     ///
-    /// Panics if the database is empty or the parameters are inconsistent
+    /// Panics if the store is empty or the parameters are inconsistent
     /// with its alphabet.
-    pub fn run(&self, db: &SequenceDatabase) -> CluseqOutcome {
-        self.run_observed(db, &mut NoopObserver)
+    pub fn run(&self, store: &dyn SequenceStore) -> CluseqOutcome {
+        self.run_observed(store, &mut NoopObserver)
     }
 
     /// [`Cluseq::run`] with a per-iteration progress callback — each
@@ -117,7 +122,7 @@ impl Cluseq {
     /// per-iteration telemetry, use [`Cluseq::run_observed`].
     pub fn run_with_progress(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         progress: impl FnMut(&IterationStats),
     ) -> CluseqOutcome {
         struct ProgressObserver<F>(F);
@@ -126,7 +131,7 @@ impl Cluseq {
                 (self.0)(&record.stats());
             }
         }
-        self.run_observed(db, &mut ProgressObserver(progress))
+        self.run_observed(store, &mut ProgressObserver(progress))
     }
 
     /// [`Cluseq::run`] with a telemetry sink: `observer` receives the run
@@ -136,10 +141,10 @@ impl Cluseq {
     /// fields vary across runs and thread counts.
     pub fn run_observed(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         observer: &mut dyn RunObserver,
     ) -> CluseqOutcome {
-        self.run_inner(db, observer, None)
+        self.run_inner(store, observer, None)
     }
 
     /// [`Cluseq::run_observed`] with live tracing: when `trace` is `Some`,
@@ -149,24 +154,24 @@ impl Cluseq {
     /// are byte-identical to the untraced run.
     pub fn run_traced(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         observer: &mut dyn RunObserver,
         trace: Option<&TraceSession>,
     ) -> CluseqOutcome {
-        self.run_inner(db, observer, trace)
+        self.run_inner(store, observer, trace)
     }
 
     fn run_inner(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         observer: &mut dyn RunObserver,
         trace: Option<&TraceSession>,
     ) -> CluseqOutcome {
-        assert!(!db.is_empty(), "cannot cluster an empty database");
-        let alphabet_size = db.alphabet().len();
+        assert!(!store.is_empty(), "cannot cluster an empty database");
+        let alphabet_size = store.alphabet().len();
         self.params.validate(alphabet_size);
         let p = &self.params;
-        let n = db.len();
+        let n = store.len();
 
         let ctx = RunContext {
             sequences: n,
@@ -184,7 +189,7 @@ impl Cluseq {
         }
 
         self.drive(
-            db,
+            store,
             observer,
             trace,
             LoopState {
@@ -220,8 +225,8 @@ impl Cluseq {
     /// (sequence count, alphabet size, and content digest are all
     /// checked). Call [`Checkpoint::verify_database`] first to handle a
     /// mismatch gracefully.
-    pub fn resume(checkpoint: Checkpoint, db: &SequenceDatabase) -> CluseqOutcome {
-        Self::resume_observed(checkpoint, db, &mut NoopObserver)
+    pub fn resume(checkpoint: Checkpoint, store: &dyn SequenceStore) -> CluseqOutcome {
+        Self::resume_observed(checkpoint, store, &mut NoopObserver)
     }
 
     /// [`Cluseq::resume`] with a telemetry sink. The observer receives the
@@ -231,10 +236,10 @@ impl Cluseq {
     /// observed run would have delivered.
     pub fn resume_observed(
         checkpoint: Checkpoint,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         observer: &mut dyn RunObserver,
     ) -> CluseqOutcome {
-        Self::resume_inner(checkpoint, db, observer, None)
+        Self::resume_inner(checkpoint, store, observer, None)
     }
 
     /// [`Cluseq::resume_observed`] with live tracing. When the
@@ -244,30 +249,30 @@ impl Cluseq {
     /// to splice the iteration history back together.
     pub fn resume_traced(
         checkpoint: Checkpoint,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         observer: &mut dyn RunObserver,
         trace: Option<&TraceSession>,
     ) -> CluseqOutcome {
-        Self::resume_inner(checkpoint, db, observer, trace)
+        Self::resume_inner(checkpoint, store, observer, trace)
     }
 
     fn resume_inner(
         checkpoint: Checkpoint,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         observer: &mut dyn RunObserver,
         trace: Option<&TraceSession>,
     ) -> CluseqOutcome {
-        assert!(!db.is_empty(), "cannot cluster an empty database");
-        if let Err(mismatch) = checkpoint.verify_database(db) {
+        assert!(!store.is_empty(), "cannot cluster an empty database");
+        if let Err(mismatch) = checkpoint.verify_database(store) {
             panic!("cannot resume: {mismatch}");
         }
-        let alphabet_size = db.alphabet().len();
+        let alphabet_size = store.alphabet().len();
         checkpoint.params.validate(alphabet_size);
         let runner = Cluseq::new(checkpoint.params.clone());
         let p = &runner.params;
 
         let ctx = RunContext {
-            sequences: db.len(),
+            sequences: store.len(),
             alphabet_size,
             threads: p.threads,
             scan_mode: p.scan_mode,
@@ -303,13 +308,13 @@ impl Cluseq {
         // would re-pay one full scan. The resumed-from checkpoint is the
         // base for the next delta — it is on disk by construction.
         let cache = if p.incremental {
-            SimilarityCache::from_columns(db.len(), checkpoint.cache)
+            SimilarityCache::from_columns(store.len(), checkpoint.cache)
         } else {
-            SimilarityCache::new(db.len())
+            SimilarityCache::new(store.len())
         };
         let ckpt_base = p.incremental.then_some(checkpoint.completed);
         runner.drive(
-            db,
+            store,
             observer,
             trace,
             LoopState {
@@ -339,19 +344,24 @@ impl Cluseq {
     /// every cadence boundary and at the fixpoint.
     fn drive(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         observer: &mut dyn RunObserver,
         trace: Option<&TraceSession>,
         mut st: LoopState,
     ) -> CluseqOutcome {
         let p = &self.params;
         let run_start = std::time::Instant::now();
-        let background = db.background();
+        let background = store.background();
         let pst_params = p.pst_params();
-        let alphabet_size = db.alphabet().len();
-        let n = db.len();
+        let alphabet_size = store.alphabet().len();
+        let n = store.len();
         // The guard digest is the same for every checkpoint of the run.
-        let guard_digest = p.checkpoint.as_ref().map(|_| db_digest(db));
+        let guard_digest = p.checkpoint.as_ref().map(|_| db_digest(store));
+        // The paged model cache lives for the whole run: scan automata of
+        // clusters whose model did not change survive across iterations
+        // up to the byte budget (see `crate::models`). `None` preserves
+        // the compile-per-scan behaviour exactly.
+        let mut models = p.model_cache_mb.map(ModelCache::with_budget_mb);
 
         let first = if st.stable {
             p.max_iterations // fixpoint already reached: skip the loop
@@ -375,7 +385,7 @@ impl Cluseq {
             };
             let unclustered = unclustered_ids(n, &st.clusters);
             let (seeds, seed_metrics) = select_seeds_detailed(
-                db,
+                store,
                 &background,
                 &st.clusters,
                 &unclustered,
@@ -388,18 +398,21 @@ impl Cluseq {
                 trace,
             );
             let k_n = seeds.len();
-            for seed in seeds {
-                if p.incremental {
-                    st.changed_since_base.insert(st.next_id);
+            if !seeds.is_empty() {
+                let mut reader = store.reader();
+                for seed in seeds {
+                    if p.incremental {
+                        st.changed_since_base.insert(st.next_id);
+                    }
+                    st.clusters.push(Cluster::from_seed(
+                        st.next_id,
+                        seed,
+                        &reader.sequence(seed),
+                        alphabet_size,
+                        pst_params,
+                    ));
+                    st.next_id += 1;
                 }
-                st.clusters.push(Cluster::from_seed(
-                    st.next_id,
-                    seed,
-                    db.sequence(seed),
-                    alphabet_size,
-                    pst_params,
-                ));
-                st.next_id += 1;
             }
             let seeding_nanos = seed_start.elapsed().as_nanos() as u64;
             drop(seed_span);
@@ -415,8 +428,14 @@ impl Cluseq {
             // frozen *and* nothing is being recorded.
             let record_iteration = observer.enabled() || p.checkpoint.is_some();
             let order = p.order.sequence_order(n, &st.prev_best, &mut st.rng);
-            let scan = recluster_cached(
-                db,
+            // The histogram feed is read below iff the threshold is still
+            // live or the iteration is recorded; the same condition gates
+            // early-exit pruning (a pruned pair forfeits its sample) and
+            // sample collection (skipping unread samples bounds the scan's
+            // O(n·k) buffer on large runs).
+            let histogram_live = !st.threshold_frozen || record_iteration;
+            let scan = recluster_full(
+                store,
                 &mut st.clusters,
                 st.log_t,
                 &order,
@@ -426,10 +445,13 @@ impl Cluseq {
                     rebuild_psts: p.rebuild_psts,
                     threads: p.threads,
                     kernel: p.scan_kernel,
-                    prune_below: (st.threshold_frozen && !record_iteration).then_some(st.log_t),
+                    prune_below: (!histogram_live).then_some(st.log_t),
                     trace,
+                    scan_shard: p.scan_shard,
+                    collect_similarities: histogram_live,
                 },
                 p.incremental.then_some(&mut st.cache),
+                models.as_mut(),
             );
             if p.incremental {
                 st.changed_since_base.extend(scan.changed_clusters.iter());
@@ -447,6 +469,17 @@ impl Cluseq {
                 &mut merge_targets,
             );
             let removed = consolidation.dismissed;
+            if let Some(mc) = models.as_mut() {
+                // Consolidation mutates models outside the scan: a merge
+                // target absorbed another cluster's model, so its cached
+                // automaton is stale, and dismissed clusters' automata are
+                // dead weight against the byte budget.
+                for &id in &merge_targets {
+                    mc.invalidate(id);
+                }
+                let live: BTreeSet<usize> = st.clusters.iter().map(|c| c.id).collect();
+                mc.retain_live(|id| live.contains(&id));
+            }
             if p.incremental {
                 // A merge target absorbed another cluster's members: its
                 // model changed, so its cached column is stale and its
@@ -470,7 +503,7 @@ impl Cluseq {
             // The histogram is needed for adjustment while it is live, and
             // for the record (an observer sees every iteration's
             // distribution, frozen or not).
-            let hist = if !st.threshold_frozen || record_iteration {
+            let hist = if histogram_live {
                 build_histogram(&scan.similarities, p.histogram_buckets)
             } else {
                 None
@@ -610,6 +643,7 @@ impl Cluseq {
                         db_sequences: n,
                         db_alphabet: alphabet_size,
                         db_digest: guard_digest.expect("digest computed when policy set"),
+                        store: store.kind(),
                         completed,
                         stable,
                         next_id: st.next_id,
@@ -672,7 +706,9 @@ impl Cluseq {
         }
 
         let finalize_start = std::time::Instant::now();
-        let (outcome, pairs_pruned) = self.finalize(db, st.clusters, st.log_t, st.history, trace);
+        drop(models); // nothing below scans against cached automata
+        let (outcome, pairs_pruned) =
+            self.finalize(store, st.clusters, st.log_t, st.history, trace);
         let summary = RunSummary {
             iterations: outcome.iterations,
             clusters: outcome.cluster_count(),
@@ -700,15 +736,15 @@ impl Cluseq {
     /// memberships, best clusters, and outliers are unaffected.
     fn finalize(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         mut clusters: Vec<Cluster>,
         log_t: f64,
         history: Vec<IterationStats>,
         trace: Option<&TraceSession>,
     ) -> (CluseqOutcome, u64) {
         let _span = trace.map(|t| t.span(Phase::Finalize));
-        let background = db.background();
-        let n = db.len();
+        let background = store.background();
+        let n = store.len();
         let mut best_cluster = vec![None::<usize>; n];
         let mut best_score = vec![f64::NEG_INFINITY; n];
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
@@ -729,9 +765,12 @@ impl Cluseq {
         // results are bit-identical for any thread count (see
         // [`crate::score`]).
         let chunk = plan_chunk(n, self.params.threads);
-        let joins_per_seq: Vec<(Vec<(usize, f64)>, u64)> =
-            parallel_map(n, self.params.threads, |seq_id| {
-                let seq = db.sequence(seq_id).symbols();
+        let joins_per_seq: Vec<(Vec<(usize, f64)>, u64)> = parallel_map_with(
+            n,
+            self.params.threads,
+            || store.reader(),
+            |reader, seq_id| {
+                let seq = reader.symbols(seq_id);
                 let mut joins = Vec::new();
                 let mut pruned = 0u64;
                 match &automata {
@@ -762,7 +801,8 @@ impl Cluseq {
                     t.add_at(shard, Counter::PairsPruned, pruned);
                 }
                 (joins, pruned)
-            });
+            },
+        );
         let mut pairs_pruned = 0u64;
         for (seq_id, (joins, pruned)) in joins_per_seq.into_iter().enumerate() {
             pairs_pruned += pruned;
@@ -848,6 +888,7 @@ mod tests {
     use super::*;
     use crate::config::CluseqParams;
     use crate::order::ExaminationOrder;
+    use cluseq_seq::SequenceDatabase;
 
     /// A small two-behaviour database with a couple of noise sequences.
     fn two_cluster_db() -> SequenceDatabase {

@@ -13,14 +13,20 @@
 //! # Format
 //!
 //! The same hand-rolled little-endian framing as [`cluseq_pst::serial`],
-//! magic `CCKP`, version 3:
+//! magic `CCKP`, version 4:
 //!
 //! ```text
 //! magic "CCKP" | version u32
 //! guard:    sequences u64 | alphabet u32 | digest u64   (FNV-1a, see below)
 //! params:   every CluseqParams field, enums as u8 tags, options tagged
 //!           (v2 adds the scan_kernel u8 tag after scan_mode; v3 appends
-//!           the incremental u8 flag at the end)
+//!           the incremental u8 flag at the end; v4 appends scan_shard
+//!           and model_cache_mb as optional u64s after it)
+//! store:    u8 tag, 0 = in-memory, 1 = file-backed — which kind of
+//!           [`SequenceStore`] the run was clustering (v4). Informational:
+//!           the digest guards content, and either store kind resumes the
+//!           run bit-identically; the CLI uses this to warn when a resume
+//!           switches modes.
 //! base:     u64, MAX = self-contained, else the completed-iteration
 //!           number of the base checkpoint this delta file references (v3)
 //! progress: completed u64 | stable u8 | next_id u64 | log_t f64
@@ -41,15 +47,18 @@
 //!           1 = Pruned (v3; absent before — loader yields an empty cache)
 //! ```
 //!
-//! Version-1 and version-2 files are still readable: the loader threads
-//! the header version through the params/record decoders, which default
-//! the fields an older writer never produced — `scan_kernel` to
+//! Versions 1 through 3 are still readable: the loader threads the
+//! header version through the params/record decoders, which default the
+//! fields an older writer never produced — `scan_kernel` to
 //! [`ScanKernel::Compiled`] (the kernels are bit-identical, so either
 //! replays the run exactly), `incremental` to `false`, `pairs_pruned` and
 //! the v3 scan counters to 0 (lossless: scan pruning is disabled whenever
 //! an iteration is being recorded, and the incremental counters are zero
-//! unless the — then nonexistent — incremental engine was on), and the
-//! similarity cache to empty. Writers always emit the current version.
+//! unless the — then nonexistent — incremental engine was on), the
+//! similarity cache to empty, and the v4 fields to their no-op defaults
+//! (`scan_shard`/`model_cache_mb` unset, store kind
+//! [`StoreKind::Memory`] — the only kind older writers had). Writers
+//! always emit the current version.
 //!
 //! # Delta checkpoints
 //!
@@ -90,7 +99,7 @@ use cluseq_pst::serial::{
     write_u8,
 };
 use cluseq_pst::{PruneStrategy, Pst, SerialError};
-use cluseq_seq::SequenceDatabase;
+use cluseq_seq::{SequenceStore, StoreKind};
 
 use crate::cluster::Cluster;
 use crate::config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanKernel, ScanMode};
@@ -127,6 +136,11 @@ pub struct Checkpoint {
     pub db_alphabet: usize,
     /// FNV-1a digest of that database's content ([`db_digest`]).
     pub db_digest: u64,
+    /// Which kind of [`SequenceStore`] the run was clustering.
+    /// Informational — the digest above guards content, and either store
+    /// kind resumes bit-identically — but the CLI uses it to warn when a
+    /// resume switches between in-memory and file-backed modes.
+    pub store: StoreKind,
     /// Iterations fully completed; resume continues at this index.
     pub completed: usize,
     /// Whether the loop had already reached its fixpoint — resuming a
@@ -165,23 +179,27 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Current checkpoint format version. Version 1 (pre scan-kernel) and
-    /// version 2 (pre incremental-engine) files remain loadable; see the
-    /// module docs for the decode defaults.
-    pub const VERSION: u32 = 3;
+    /// Current checkpoint format version. Version 1 (pre scan-kernel),
+    /// version 2 (pre incremental-engine), and version 3 (pre
+    /// out-of-core) files remain loadable; see the module docs for the
+    /// decode defaults.
+    pub const VERSION: u32 = 4;
 
     // ---- database guard -------------------------------------------------
 
-    /// Checks that `db` is the database this checkpoint was taken on.
-    /// The error names the first mismatching facet.
-    pub fn verify_database(&self, db: &SequenceDatabase) -> Result<(), &'static str> {
-        if db.len() != self.db_sequences {
+    /// Checks that `store` holds the database this checkpoint was taken
+    /// on. The error names the first mismatching facet. The store *kind*
+    /// is deliberately not checked: the digest is content-only, so a run
+    /// checkpointed in memory resumes bit-identically from a file-backed
+    /// store of the same corpus (and vice versa).
+    pub fn verify_database(&self, store: &dyn SequenceStore) -> Result<(), &'static str> {
+        if store.len() != self.db_sequences {
             return Err("checkpoint was taken on a database with a different sequence count");
         }
-        if db.alphabet().len() != self.db_alphabet {
+        if store.alphabet().len() != self.db_alphabet {
             return Err("checkpoint was taken on a database with a different alphabet size");
         }
-        if db_digest(db) != self.db_digest {
+        if db_digest(store) != self.db_digest {
             return Err("checkpoint was taken on a database with different content");
         }
         Ok(())
@@ -223,6 +241,13 @@ impl Checkpoint {
         write_u32(w, self.db_alphabet as u32)?;
         write_u64(w, self.db_digest)?;
         save_params(w, &self.params)?;
+        write_u8(
+            w,
+            match self.store {
+                StoreKind::Memory => 0,
+                StoreKind::File => 1,
+            },
+        )?;
         write_opt_u64(w, delta.map(|(base, _)| base as u64))?;
         write_u64(w, self.completed as u64)?;
         write_bool(w, self.stable)?;
@@ -358,6 +383,15 @@ impl Checkpoint {
         }
         let db_digest = read_u64(r)?;
         let params = load_params(r, version)?;
+        let store = if version >= 4 {
+            match read_u8(r)? {
+                0 => StoreKind::Memory,
+                1 => StoreKind::File,
+                _ => return Err(SerialError::Corrupt("unknown store kind tag")),
+            }
+        } else {
+            StoreKind::Memory
+        };
         let base_ref = if version >= 3 {
             read_opt_u64(r)?.map(|b| b as usize)
         } else {
@@ -501,6 +535,7 @@ impl Checkpoint {
                 db_sequences,
                 db_alphabet,
                 db_digest,
+                store,
                 completed,
                 stable,
                 next_id,
@@ -729,23 +764,27 @@ fn tmp_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// FNV-1a digest of a database's content: sequence count, alphabet size,
+/// FNV-1a digest of a store's content: sequence count, alphabet size,
 /// and every sequence's length and symbols. Labels are excluded — they do
-/// not influence clustering.
-pub fn db_digest(db: &SequenceDatabase) -> u64 {
+/// not influence clustering — and so is the store *kind*: an in-memory
+/// database and a file-backed store of the same corpus digest identically,
+/// which is what lets a checkpoint resume across store modes.
+pub fn db_digest(store: &dyn SequenceStore) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
+    let mix = |hash: &mut u64, v: u64| {
         for b in v.to_le_bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
     };
-    mix(db.len() as u64);
-    mix(db.alphabet().len() as u64);
-    for (_, seq, _) in db.iter() {
-        mix(seq.len() as u64);
-        for sym in seq.iter() {
-            mix(u64::from(sym.0));
+    mix(&mut hash, store.len() as u64);
+    mix(&mut hash, store.alphabet().len() as u64);
+    let mut reader = store.reader();
+    for i in 0..store.len() {
+        let seq = reader.symbols(i);
+        mix(&mut hash, seq.len() as u64);
+        for sym in seq {
+            mix(&mut hash, u64::from(sym.0));
         }
     }
     hash
@@ -865,6 +904,10 @@ fn save_params(w: &mut impl Write, p: &CluseqParams) -> io::Result<()> {
     // v3 field: absent from older files, where the loader defaults it —
     // the incremental engine did not exist, so `false` is the true value.
     write_bool(w, p.incremental)?;
+    // v4 fields: same story — older writers had neither scan sharding nor
+    // a model-cache budget, so `None` is the true value on old files.
+    write_opt_u64(w, p.scan_shard.map(|s| s as u64))?;
+    write_opt_u64(w, p.model_cache_mb.map(|m| m as u64))?;
     Ok(())
 }
 
@@ -957,6 +1000,15 @@ fn load_params(r: &mut impl Read, version: u32) -> Result<CluseqParams, SerialEr
         None
     };
     let incremental = if version >= 3 { read_bool(r)? } else { false };
+    let (scan_shard, model_cache_mb) = if version >= 4 {
+        let shard = read_opt_u64(r)?.map(|s| s as usize);
+        if shard == Some(0) {
+            return Err(SerialError::Corrupt("zero scan shard"));
+        }
+        (shard, read_opt_u64(r)?.map(|m| m as usize))
+    } else {
+        (None, None)
+    };
     Ok(CluseqParams {
         initial_clusters,
         significance,
@@ -977,6 +1029,8 @@ fn load_params(r: &mut impl Read, version: u32) -> Result<CluseqParams, SerialEr
         scan_kernel,
         threads,
         incremental,
+        scan_shard,
+        model_cache_mb,
         checkpoint,
         seed,
     })
@@ -1152,6 +1206,7 @@ fn load_record(r: &mut impl Read, version: u32) -> Result<IterationRecord, Seria
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cluseq_seq::SequenceDatabase;
 
     fn sample_db() -> SequenceDatabase {
         SequenceDatabase::from_strs(["abab", "baba", "abba"])
@@ -1226,6 +1281,7 @@ mod tests {
             db_sequences: db.len(),
             db_alphabet: db.alphabet().len(),
             db_digest: db_digest(&db),
+            store: StoreKind::Memory,
             completed: 1,
             stable: false,
             next_id: 1,

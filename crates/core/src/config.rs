@@ -276,6 +276,25 @@ pub struct CluseqParams {
     /// `clusters_dirty`, `pst_recompiles` telemetry) changes. Default
     /// false.
     pub incremental: bool,
+    /// Under [`ScanMode::Snapshot`], split each re-clustering scan into
+    /// fixed shards of this many examination positions, bounding the
+    /// resident verdict matrix to `shard × clusters` instead of
+    /// `n × clusters` (the out-of-core engine's scan layer; see
+    /// [`crate::recluster`]). Shard boundaries are invisible — results
+    /// are bit-identical for any shard size. `None` (default) scans in
+    /// one shard. Rejected by [`CluseqParams::validate`] under
+    /// [`ScanMode::Incremental`] (already O(1) resident) and with the
+    /// incremental engine (its cache is O(n·k) resident, so sharding
+    /// would bound nothing).
+    pub scan_shard: Option<usize>,
+    /// Byte budget, in MiB, for the paged cluster-model cache (see
+    /// [`crate::models::ModelCache`]): compiled scan automata are kept
+    /// across iterations up to this budget and rebuilt deterministically
+    /// on demand, instead of all being recompiled (or all held) every
+    /// scan. `None` (default) keeps the pre-existing behaviour — every
+    /// scan compiles its own automata and drops them. Output is
+    /// bit-identical with any budget.
+    pub model_cache_mb: Option<usize>,
     /// Crash-recovery checkpointing (see [`CheckpointPolicy`] and
     /// [`crate::checkpoint`]); `None` (default) writes nothing.
     pub checkpoint: Option<CheckpointPolicy>,
@@ -305,6 +324,8 @@ impl Default for CluseqParams {
             scan_kernel: ScanKernel::Compiled,
             threads: 1,
             incremental: false,
+            scan_shard: None,
+            model_cache_mb: None,
             checkpoint: None,
             seed: 0xC105E9, // arbitrary fixed default for reproducibility
         }
@@ -437,6 +458,38 @@ impl CluseqParams {
         self
     }
 
+    /// Shards the snapshot scan into fixed ranges of `shard` examination
+    /// positions (see [`CluseqParams::scan_shard`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is 0.
+    pub fn with_scan_shard(mut self, shard: usize) -> Self {
+        assert!(shard >= 1, "scan shard must be >= 1");
+        self.scan_shard = Some(shard);
+        self
+    }
+
+    /// Removes the scan-shard bound (whole-corpus score phase).
+    pub fn without_scan_shard(mut self) -> Self {
+        self.scan_shard = None;
+        self
+    }
+
+    /// Caps the paged model cache at `mb` MiB (see
+    /// [`CluseqParams::model_cache_mb`]). `0` is allowed: every automaton
+    /// is rebuilt on demand and nothing is retained.
+    pub fn with_model_cache_mb(mut self, mb: usize) -> Self {
+        self.model_cache_mb = Some(mb);
+        self
+    }
+
+    /// Disables the paged model cache (automata compiled per scan).
+    pub fn without_model_cache(mut self) -> Self {
+        self.model_cache_mb = None;
+        self
+    }
+
     /// Enables crash-recovery checkpoints: one written to `dir` after
     /// every `every` completed iterations (see [`CheckpointPolicy`]).
     pub fn with_checkpoints(mut self, dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
@@ -478,6 +531,20 @@ impl CluseqParams {
         assert!(self.max_iterations >= 1);
         if let Some(cp) = &self.checkpoint {
             assert!(cp.every >= 1, "checkpoint cadence must be >= 1");
+        }
+        if let Some(shard) = self.scan_shard {
+            assert!(shard >= 1, "scan shard must be >= 1");
+            assert!(
+                self.scan_mode == ScanMode::Snapshot,
+                "scan sharding requires the snapshot scan mode \
+                 (the incremental scan is already O(1) resident)"
+            );
+            assert!(
+                !self.incremental,
+                "scan sharding is incompatible with the incremental engine \
+                 (its similarity cache is O(n·k) resident, so sharding would \
+                 bound nothing)"
+            );
         }
         self.pst_params().validate(alphabet_size);
     }
@@ -595,6 +662,41 @@ mod tests {
     #[should_panic(expected = "cadence")]
     fn zero_checkpoint_cadence_is_rejected() {
         CheckpointPolicy::new("x", 0);
+    }
+
+    #[test]
+    fn scan_shard_requires_the_snapshot_mode() {
+        let p = CluseqParams::default()
+            .with_scan_mode(ScanMode::Snapshot)
+            .with_scan_shard(1024)
+            .with_model_cache_mb(64);
+        p.validate(20);
+        assert_eq!(p.scan_shard, Some(1024));
+        assert_eq!(p.model_cache_mb, Some(64));
+        assert!(p.clone().without_scan_shard().scan_shard.is_none());
+        assert!(p.without_model_cache().model_cache_mb.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn scan_shard_under_incremental_mode_is_rejected() {
+        CluseqParams::default().with_scan_shard(64).validate(20);
+    }
+
+    #[test]
+    #[should_panic(expected = "incremental engine")]
+    fn scan_shard_with_the_incremental_engine_is_rejected() {
+        CluseqParams::default()
+            .with_scan_mode(ScanMode::Snapshot)
+            .with_incremental(true)
+            .with_scan_shard(64)
+            .validate(20);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_scan_shard_is_rejected() {
+        CluseqParams::default().with_scan_shard(0);
     }
 
     #[test]

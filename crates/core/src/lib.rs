@@ -53,6 +53,7 @@ pub mod consolidate;
 pub mod failpoint;
 pub mod incremental;
 pub mod kernel;
+pub mod models;
 pub mod online;
 pub mod order;
 pub mod outcome;
@@ -73,6 +74,7 @@ pub use config::{CheckpointPolicy, CluseqParams, ConsolidationMode, ScanKernel, 
 pub use failpoint::{FailPlan, FailingReader, FailingWriter};
 pub use incremental::SimilarityCache;
 pub use kernel::ClusterAutomaton;
+pub use models::ModelCache;
 pub use online::{OnlineCluseq, OnlineReport};
 pub use order::ExaminationOrder;
 pub use outcome::{CluseqOutcome, IterationStats};

@@ -16,13 +16,30 @@
 //! phase* that applies the same membership and model updates in
 //! examination order. Snapshot results are bit-identical for any thread
 //! count.
+//!
+//! # Out-of-core sharding
+//!
+//! The snapshot scan's verdict matrix is `order.len() × clusters.len()`
+//! rows — the memory bottleneck at 10⁷ sequences. With
+//! [`ScanOptions::scan_shard`] the scan splits the examination order into
+//! fixed contiguous position ranges and runs score-then-absorb per shard,
+//! bounding the resident matrix to `shard × clusters.len()`. Every shard
+//! scores against the *iteration-start* models (automata are frozen
+//! before the first shard; the interpreted kernel freezes PST clones), so
+//! shard boundaries are invisible: the absorb order is the examination
+//! order regardless of shard size, and results are bit-identical to the
+//! single-shard scan — `tests/out_of_core.rs` enforces this across store
+//! × kernel × threads × shard.
 
-use cluseq_seq::{BackgroundModel, SequenceDatabase};
+use std::sync::Arc;
+
+use cluseq_seq::{BackgroundModel, SequenceStore};
 
 use crate::cluster::Cluster;
 use crate::config::{ScanKernel, ScanMode};
 use crate::incremental::{ColumnBuilder, SimilarityCache};
 use crate::kernel::ClusterAutomaton;
+use crate::models::ModelCache;
 use crate::score::ScoreEngine;
 use crate::similarity::{max_similarity_pst_with_scratch, BoundedSimilarity, LogSim};
 use crate::telemetry::ScanMetrics;
@@ -60,6 +77,20 @@ pub struct ScanOptions<'a> {
     /// into their own shards as they go, everything else merges at the
     /// end-of-scan barrier. The scan's outputs are identical either way.
     pub trace: Option<&'a TraceSession>,
+    /// Split the snapshot scan into fixed shards of this many examination
+    /// positions, bounding the resident verdict matrix (see the
+    /// [module docs](self)). `None` (or a size ≥ the order length) scans
+    /// in one shard. Ignored by [`ScanMode::Incremental`] (already O(1)
+    /// resident) and by scans driven through a [`SimilarityCache`] (the
+    /// cache is O(n·k) resident, so sharding would bound nothing).
+    pub scan_shard: Option<usize>,
+    /// Collect the per-pair similarity samples that feed the §4.6
+    /// threshold histogram (`true`, the default). The driver sets this to
+    /// `false` once the threshold is frozen and no iteration record is
+    /// kept — nothing reads the samples then, and skipping them bounds
+    /// the scan's O(n·k) sample buffer. Memberships, models, and
+    /// `best_cluster` are unaffected.
+    pub collect_similarities: bool,
 }
 
 impl Default for ScanOptions<'_> {
@@ -71,6 +102,8 @@ impl Default for ScanOptions<'_> {
             kernel: ScanKernel::default(),
             prune_below: None,
             trace: None,
+            scan_shard: None,
+            collect_similarities: true,
         }
     }
 }
@@ -109,6 +142,8 @@ pub struct ReclusterOutcome {
 struct ScanState {
     log_t: f64,
     rebuild_psts: bool,
+    /// Whether finite similarities are pushed into `similarities`.
+    collect: bool,
     similarities: Vec<LogSim>,
     best_cluster: Vec<Option<usize>>,
     best_score: Vec<f64>,
@@ -121,11 +156,12 @@ struct ScanState {
 }
 
 impl ScanState {
-    fn new(n: usize, clusters: &[Cluster], log_t: f64, rebuild_psts: bool) -> Self {
+    fn new(n: usize, clusters: &[Cluster], log_t: f64, rebuild_psts: bool, collect: bool) -> Self {
         Self {
             log_t,
             rebuild_psts,
-            similarities: Vec::with_capacity(n * clusters.len()),
+            collect,
+            similarities: Vec::with_capacity(if collect { n * clusters.len() } else { 0 }),
             best_cluster: vec![None; n],
             best_score: vec![f64::NEG_INFINITY; n],
             old_members: clusters.iter().map(|c| c.members.clone()).collect(),
@@ -178,7 +214,7 @@ impl ScanState {
                 return false;
             }
         };
-        if sim.log_sim.is_finite() {
+        if self.collect && sim.log_sim.is_finite() {
             self.similarities.push(sim.log_sim);
         }
         let mut mutated = false;
@@ -289,14 +325,16 @@ impl SerialReuse {
 /// Scans sequences in `order`, rebuilding every cluster's member list and
 /// updating cluster models with the maximizing segments of new joins.
 pub fn recluster(
-    db: &SequenceDatabase,
+    store: &dyn SequenceStore,
     clusters: &mut [Cluster],
     log_t: f64,
     order: &[usize],
     background: &BackgroundModel,
     options: ScanOptions<'_>,
 ) -> ReclusterOutcome {
-    recluster_cached(db, clusters, log_t, order, background, options, None)
+    recluster_full(
+        store, clusters, log_t, order, background, options, None, None,
+    )
 }
 
 /// [`recluster`] with an optional incremental similarity cache (see
@@ -311,22 +349,56 @@ pub fn recluster(
 /// bit-identical with or without the cache; only the work skipped (and the
 /// `pairs_reused` / `clusters_dirty` / `pst_recompiles` metrics) changes.
 ///
-/// `order` must visit every database sequence (it always does in the
+/// `order` must visit every store sequence (it always does in the
 /// driver); a partial order would leave fresh columns incomplete, which is
 /// detected and the column simply not cached.
 #[allow(clippy::too_many_arguments)]
 pub fn recluster_cached(
-    db: &SequenceDatabase,
+    store: &dyn SequenceStore,
+    clusters: &mut [Cluster],
+    log_t: f64,
+    order: &[usize],
+    background: &BackgroundModel,
+    options: ScanOptions<'_>,
+    cache: Option<&mut SimilarityCache>,
+) -> ReclusterOutcome {
+    recluster_full(
+        store, clusters, log_t, order, background, options, cache, None,
+    )
+}
+
+/// [`recluster_cached`] with an optional paged model cache (see
+/// [`crate::models`]).
+///
+/// With a [`ModelCache`], the automaton-backed kernels fetch each
+/// cluster's scan automaton through the cache instead of compiling every
+/// automaton every scan: untouched clusters reuse the retained build,
+/// mutated clusters are invalidated here (the scan knows exactly which
+/// models it changed), and the cache's byte budget bounds what survives
+/// between iterations. Because automaton builds are pure, every clustering
+/// observable is bit-identical with or without the cache. Under
+/// [`ScanMode::Snapshot`] with a [`SimilarityCache`], the model cache is
+/// unused (dirty-slot automata are built inside the cached score pass).
+#[allow(clippy::too_many_arguments)]
+pub fn recluster_full(
+    store: &dyn SequenceStore,
     clusters: &mut [Cluster],
     log_t: f64,
     order: &[usize],
     background: &BackgroundModel,
     options: ScanOptions<'_>,
     mut cache: Option<&mut SimilarityCache>,
+    mut models: Option<&mut ModelCache>,
 ) -> ReclusterOutcome {
-    let n = db.len();
-    let mut state = ScanState::new(n, clusters, log_t, options.rebuild_psts);
-    let score_nanos: u64;
+    let n = store.len();
+    let mut state = ScanState::new(
+        n,
+        clusters,
+        log_t,
+        options.rebuild_psts,
+        options.collect_similarities,
+    );
+    let mut score_nanos: u64 = 0;
     let mut absorb_nanos = 0u64;
 
     // The rebuild ablation replaces every model at the end of the scan, so
@@ -355,8 +427,9 @@ pub fn recluster_cached(
                 .as_deref()
                 .map(|cache| SerialReuse::new(cache, clusters, n));
             let mut scratch: Vec<cluseq_seq::Symbol> = Vec::new();
+            let mut reader = store.reader();
             for &seq_id in order {
-                let seq = db.sequence(seq_id).symbols();
+                let seq = reader.symbols(seq_id);
                 for (slot, cluster) in clusters.iter_mut().enumerate() {
                     let (verdict, reused) =
                         match reuse.as_ref().and_then(|r| r.lookup(slot, seq_id)) {
@@ -403,24 +476,42 @@ pub fn recluster_cached(
                 .map(|cache| SerialReuse::new(cache, clusters, n));
             let mut automata: Vec<Option<ClusterAutomaton>> = vec![None; clusters.len()];
             let mut compiles = 0u64;
+            let mut reader = store.reader();
             for &seq_id in order {
-                let seq = db.sequence(seq_id).symbols();
+                let seq = reader.symbols(seq_id);
                 for (slot, cluster) in clusters.iter_mut().enumerate() {
                     let (verdict, reused) =
                         match reuse.as_ref().and_then(|r| r.lookup(slot, seq_id)) {
                             Some(verdict) => (verdict, true),
-                            None => {
-                                let automaton = automata[slot].get_or_insert_with(|| {
-                                    compiles += 1;
-                                    ClusterAutomaton::build(&cluster.pst, background, kernel)
-                                        .expect("automaton-backed kernel")
-                                });
-                                (automaton.scan_pruned(seq, prune_below), false)
-                            }
+                            // With a model cache, the slot's automaton is
+                            // fetched through it — retained builds survive
+                            // across scans within the cache's byte budget.
+                            None => match models.as_deref_mut() {
+                                Some(mc) => {
+                                    if !mc.contains(cluster.id) {
+                                        compiles += 1;
+                                    }
+                                    let automaton = mc
+                                        .get_or_build(cluster, background, kernel)
+                                        .expect("automaton-backed kernel");
+                                    (automaton.scan_pruned(seq, prune_below), false)
+                                }
+                                None => {
+                                    let automaton = automata[slot].get_or_insert_with(|| {
+                                        compiles += 1;
+                                        ClusterAutomaton::build(&cluster.pst, background, kernel)
+                                            .expect("automaton-backed kernel")
+                                    });
+                                    (automaton.scan_pruned(seq, prune_below), false)
+                                }
+                            },
                         };
                     let mutated = state.apply(seq_id, slot, verdict, seq, cluster, reused);
                     if mutated {
                         automata[slot] = None;
+                        if let Some(mc) = models.as_deref_mut() {
+                            mc.invalidate(cluster.id);
+                        }
                     }
                     if let Some(reuse) = reuse.as_mut() {
                         reuse.after_pair(slot, seq_id, verdict, reused, mutated);
@@ -434,86 +525,53 @@ pub fn recluster_cached(
             }
             score_nanos = start.elapsed().as_nanos() as u64;
         }
-        (ScanMode::Snapshot, kernel) => {
-            // Score phase: every pair against the iteration-start models,
-            // in parallel. Row `pos` holds sequence `order[pos]`'s scores
-            // in slot order, so the absorb phase below visits pairs in
-            // exactly the incremental scan's (sequence, slot) order.
+        (ScanMode::Snapshot, kernel) if cache.is_some() => {
+            // Cached snapshot scan: whole-corpus scoring. The similarity
+            // cache is O(n·k) resident by design, so sharding the verdict
+            // matrix would bound nothing — `scan_shard` is ignored here.
             let engine = ScoreEngine::new(options.threads);
-            let (rows, nanos, had_column) = match cache.as_deref() {
-                None => {
-                    let _span = options.trace.map(|t| t.span(Phase::ScanScore));
-                    let (rows, nanos) = match kernel {
-                        ScanKernel::Interpreted => {
-                            let (rows, nanos) = engine.score_sequences_metered(
-                                db,
-                                clusters,
-                                background,
-                                order,
-                                options.trace,
-                            );
-                            let rows = rows
-                                .into_iter()
-                                .map(|row| row.into_iter().map(BoundedSimilarity::Exact).collect())
-                                .collect::<Vec<Vec<BoundedSimilarity>>>();
-                            (rows, nanos)
-                        }
-                        kernel => {
-                            // Automaton builds are part of the score
-                            // phase's bill: they only exist to serve this
-                            // pass.
-                            let start = std::time::Instant::now();
-                            let automata =
-                                engine.compile_cluster_automata(clusters, background, kernel);
-                            let compile_nanos = start.elapsed().as_nanos() as u64;
-                            let (rows, nanos) = engine.score_sequences_automata_metered(
-                                db,
-                                &automata,
-                                order,
-                                prune_below,
-                                kernel,
-                                options.trace,
-                            );
-                            (rows, compile_nanos + nanos)
-                        }
-                    };
-                    (rows, nanos, None)
-                }
-                Some(cache_ref) => {
-                    let _span = options.trace.map(|t| t.span(Phase::ScanScore));
-                    let had_column: Vec<bool> =
-                        clusters.iter().map(|c| cache_ref.is_clean(c.id)).collect();
-                    let pass = engine.score_sequences_cached(
-                        db,
-                        clusters,
-                        background,
-                        order,
-                        kernel,
-                        prune_below,
-                        cache_ref,
-                        options.trace,
-                    );
-                    state.metrics.clusters_dirty = pass.dirty_slots.len() as u64;
-                    state.metrics.pst_recompiles = pass.compiles;
-                    (pass.rows, pass.nanos, Some(had_column))
-                }
+            let (rows, had_column) = {
+                let cache_ref = cache.as_deref().expect("guarded by cache.is_some()");
+                let _span = options.trace.map(|t| t.span(Phase::ScanScore));
+                let had_column: Vec<bool> =
+                    clusters.iter().map(|c| cache_ref.is_clean(c.id)).collect();
+                let pass = engine.score_sequences_cached(
+                    store,
+                    clusters,
+                    background,
+                    order,
+                    kernel,
+                    prune_below,
+                    cache_ref,
+                    options.trace,
+                );
+                state.metrics.clusters_dirty = pass.dirty_slots.len() as u64;
+                state.metrics.pst_recompiles = pass.compiles;
+                score_nanos = pass.nanos;
+                (pass.rows, had_column)
             };
-            score_nanos = nanos;
             // Absorb phase: sequential, in examination order.
             let _span = options.trace.map(|t| t.span(Phase::ScanAbsorb));
             let start = std::time::Instant::now();
+            let mut reader = store.reader();
             for (pos, &seq_id) in order.iter().enumerate() {
-                let seq = db.sequence(seq_id).symbols();
+                let seq = reader.symbols(seq_id);
                 for (slot, &verdict) in rows[pos].iter().enumerate() {
-                    let reused = had_column.as_ref().is_some_and(|h| h[slot]);
-                    state.apply(seq_id, slot, verdict, seq, &mut clusters[slot], reused);
+                    state.apply(
+                        seq_id,
+                        slot,
+                        verdict,
+                        seq,
+                        &mut clusters[slot],
+                        had_column[slot],
+                    );
                 }
             }
             // Cache write-back: a slot whose model mutated during absorb —
             // clean slots *can* mutate, a threshold move can turn a reused
             // verdict into a new join — loses its column; a dirty slot
             // that stayed constant gains the column just scored.
-            if let (Some(cache), Some(had_column)) = (cache.as_mut(), had_column.as_ref()) {
+            if let Some(cache) = cache.as_mut() {
                 for (slot, cluster) in clusters.iter().enumerate() {
                     if state.mutated[slot] {
                         cache.invalidate(cluster.id);
@@ -529,6 +587,119 @@ pub fn recluster_cached(
                 }
             }
             absorb_nanos = start.elapsed().as_nanos() as u64;
+        }
+        (ScanMode::Snapshot, kernel) => {
+            // Uncached snapshot scan, shardable. The iteration-start
+            // models are frozen once, before the first shard: automaton
+            // kernels freeze their compiled tables, the interpreted
+            // kernel freezes PST clones when (and only when) a later
+            // shard could observe an earlier shard's absorb. Each shard
+            // then runs score (parallel) → absorb (sequential); shards
+            // run in order, so the overall absorb order is exactly the
+            // examination order and results are bit-identical to the
+            // single-shard scan.
+            let engine = ScoreEngine::new(options.threads);
+            let n_order = order.len();
+            let shard_len = match options.scan_shard {
+                Some(s) if s > 0 => s.min(n_order.max(1)),
+                _ => n_order.max(1),
+            };
+            let mut mc_misses_before = 0u64;
+            let automata: Option<Vec<Arc<ClusterAutomaton>>> = if kernel.uses_automaton() {
+                // Automaton builds are part of the score phase's bill:
+                // they only exist to serve this pass.
+                let start = std::time::Instant::now();
+                let built: Vec<Arc<ClusterAutomaton>> = match models.as_deref_mut() {
+                    Some(mc) => {
+                        mc_misses_before = mc.stats().1;
+                        clusters
+                            .iter()
+                            .map(|c| {
+                                mc.get_or_build(c, background, kernel)
+                                    .expect("automaton-backed kernel")
+                            })
+                            .collect()
+                    }
+                    None => engine
+                        .compile_cluster_automata(clusters, background, kernel)
+                        .into_iter()
+                        .map(Arc::new)
+                        .collect(),
+                };
+                score_nanos += start.elapsed().as_nanos() as u64;
+                Some(built)
+            } else {
+                None
+            };
+            let frozen: Option<Vec<Cluster>> =
+                (!kernel.uses_automaton() && shard_len < n_order).then(|| clusters.to_vec());
+            let mut reader = store.reader();
+            for shard in order.chunks(shard_len) {
+                // Score phase: every shard pair against the frozen
+                // iteration-start models, in parallel. Row `pos` holds
+                // sequence `shard[pos]`'s scores in slot order, so the
+                // absorb below visits pairs in exactly the incremental
+                // scan's (sequence, slot) order.
+                let rows: Vec<Vec<BoundedSimilarity>> = match &automata {
+                    Some(automata) => {
+                        let _span = options.trace.map(|t| t.span(Phase::ScanScore));
+                        let (rows, nanos) = engine.score_sequences_automata_metered(
+                            store,
+                            automata,
+                            shard,
+                            prune_below,
+                            kernel,
+                            options.trace,
+                        );
+                        score_nanos += nanos;
+                        rows
+                    }
+                    None => {
+                        let _span = options.trace.map(|t| t.span(Phase::ScanScore));
+                        let src: &[Cluster] = frozen.as_deref().unwrap_or(clusters);
+                        let (rows, nanos) = engine.score_sequences_metered(
+                            store,
+                            src,
+                            background,
+                            shard,
+                            options.trace,
+                        );
+                        score_nanos += nanos;
+                        rows.into_iter()
+                            .map(|row| row.into_iter().map(BoundedSimilarity::Exact).collect())
+                            .collect()
+                    }
+                };
+                // Absorb phase: sequential, in examination order.
+                let _span = options.trace.map(|t| t.span(Phase::ScanAbsorb));
+                let start = std::time::Instant::now();
+                for (pos, &seq_id) in shard.iter().enumerate() {
+                    let seq = reader.symbols(seq_id);
+                    for (slot, &verdict) in rows[pos].iter().enumerate() {
+                        state.apply(seq_id, slot, verdict, seq, &mut clusters[slot], false);
+                    }
+                }
+                absorb_nanos += start.elapsed().as_nanos() as u64;
+            }
+            if let Some(mc) = models.as_deref_mut() {
+                state.metrics.pst_recompiles += mc.stats().1 - mc_misses_before;
+            }
+        }
+    }
+
+    // Model-cache invalidation: the scan knows exactly which models it
+    // mutated. (The serial arms invalidate inline at each mutation; doing
+    // it again here is a harmless no-op. Under `rebuild_psts` every model
+    // is replaced below, so everything cached dies.)
+    if let Some(mc) = models {
+        if options.rebuild_psts {
+            mc.clear();
+        } else {
+            for (slot, cluster) in clusters.iter().enumerate() {
+                if state.mutated[slot] {
+                    mc.invalidate(cluster.id);
+                }
+            }
         }
     }
 
@@ -547,15 +718,16 @@ pub fn recluster_cached(
     }
 
     if options.rebuild_psts {
-        let alphabet_size = db.alphabet().len();
+        let alphabet_size = store.alphabet().len();
+        let mut reader = store.reader();
         for (slot, cluster) in clusters.iter_mut().enumerate() {
             let params = *cluster.pst.params();
             let mut fresh = cluseq_pst::Pst::new(alphabet_size, params);
             // Seed sequence first (a cluster always models its seed), then
             // each member's maximizing segment.
-            fresh.add_sequence(db.sequence(cluster.seed));
+            fresh.add_sequence(&reader.sequence(cluster.seed));
             for &(member, start, end) in &state.join_segments[slot] {
-                fresh.add_segment(&db.sequence(member).symbols()[start..end]);
+                fresh.add_segment(&reader.sequence(member).symbols()[start..end]);
             }
             cluster.pst = fresh;
         }
@@ -624,6 +796,7 @@ fn symmetric_difference(a: &[usize], b: &[usize]) -> usize {
 mod tests {
     use super::*;
     use cluseq_pst::PstParams;
+    use cluseq_seq::SequenceDatabase;
 
     fn fixture() -> (SequenceDatabase, BackgroundModel) {
         let texts = [

@@ -20,8 +20,10 @@
 //! assert equality between serial and parallel runs instead of comparing
 //! within a tolerance.
 
+use std::borrow::Borrow;
+
 use cluseq_pst::{CompiledPst, Pst};
-use cluseq_seq::{BackgroundModel, SequenceDatabase, Symbol};
+use cluseq_seq::{BackgroundModel, Sequence, SequenceStore, Symbol};
 
 use crate::cluster::Cluster;
 use crate::config::ScanKernel;
@@ -64,6 +66,57 @@ where
                 let hi = ((t + 1) * chunk).min(n);
                 let f = &f;
                 scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scoring worker panicked"))
+            .collect()
+    })
+}
+
+/// [`parallel_map`] with per-worker scratch state.
+///
+/// `init` is called once per worker (once total on the serial path) and
+/// the resulting state is threaded through every call that worker makes —
+/// the shape the out-of-core scan needs, where each worker owns a
+/// [`cluseq_seq::StoreReader`] with its own resident window. The chunk
+/// layout, ordering, and output are *identical* to [`parallel_map`]: the
+/// determinism contract requires `f` to be pure with respect to the
+/// *returned values* (the state may buffer I/O, cache windows, or reuse
+/// scratch allocations, but must never change what `f` returns for a
+/// given index).
+///
+/// `S` needs no `Send` bound: each state is created and dropped inside
+/// the worker thread that uses it.
+///
+/// # Panics
+///
+/// A panic in `init` or `f` aborts the whole map: the calling thread
+/// panics with "scoring worker panicked".
+pub fn parallel_map_with<S, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 2 * threads {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = init();
+                    (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                })
             })
             .collect();
         handles
@@ -132,20 +185,31 @@ impl ScoreEngine {
     ///
     /// `out[pos][slot]` is the similarity of sequence `order[pos]` to
     /// `clusters[slot]`, all evaluated against the models as passed in.
+    ///
+    /// Every scoring method takes the corpus as a [`SequenceStore`]: a
+    /// resident [`cluseq_seq::SequenceDatabase`] coerces to the trait
+    /// object and reads zero-copy, while a [`cluseq_seq::FileStore`]
+    /// streams each worker's chunk through that worker's own windowed
+    /// reader — the scores are bit-identical either way.
     pub fn score_sequences(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         clusters: &[Cluster],
         background: &BackgroundModel,
         order: &[usize],
     ) -> Vec<Vec<SegmentSimilarity>> {
-        parallel_map(order.len(), self.threads, |pos| {
-            let seq = db.sequence(order[pos]).symbols();
-            clusters
-                .iter()
-                .map(|cluster| max_similarity_pst(&cluster.pst, background, seq))
-                .collect()
-        })
+        parallel_map_with(
+            order.len(),
+            self.threads,
+            || store.reader(),
+            |reader, pos| {
+                let seq = reader.symbols(order[pos]);
+                clusters
+                    .iter()
+                    .map(|cluster| max_similarity_pst(&cluster.pst, background, seq))
+                    .collect()
+            },
+        )
     }
 
     /// [`score_sequences`](ScoreEngine::score_sequences) plus the wall
@@ -154,12 +218,12 @@ impl ScoreEngine {
     /// identical to the untimed call.
     pub fn score_sequences_timed(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         clusters: &[Cluster],
         background: &BackgroundModel,
         order: &[usize],
     ) -> (Vec<Vec<SegmentSimilarity>>, u64) {
-        self.score_sequences_metered(db, clusters, background, order, None)
+        self.score_sequences_metered(store, clusters, background, order, None)
     }
 
     /// [`score_sequences_timed`](ScoreEngine::score_sequences_timed) that
@@ -169,7 +233,7 @@ impl ScoreEngine {
     /// are identical either way — the registry is write-only here.
     pub fn score_sequences_metered(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         clusters: &[Cluster],
         background: &BackgroundModel,
         order: &[usize],
@@ -177,21 +241,26 @@ impl ScoreEngine {
     ) -> (Vec<Vec<SegmentSimilarity>>, u64) {
         let start = std::time::Instant::now();
         let rows = match trace {
-            None => self.score_sequences(db, clusters, background, order),
+            None => self.score_sequences(store, clusters, background, order),
             Some(trace) => {
                 let chunk = plan_chunk(order.len(), self.threads);
-                parallel_map(order.len(), self.threads, |pos| {
-                    let row_start = std::time::Instant::now();
-                    let seq = db.sequence(order[pos]).symbols();
-                    let row: Vec<SegmentSimilarity> = clusters
-                        .iter()
-                        .map(|cluster| max_similarity_pst(&cluster.pst, background, seq))
-                        .collect();
-                    let shard = trace::shard_for(pos, chunk);
-                    trace.add_at(shard, Counter::PairsScored, row.len() as u64);
-                    trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
-                    row
-                })
+                parallel_map_with(
+                    order.len(),
+                    self.threads,
+                    || store.reader(),
+                    |reader, pos| {
+                        let row_start = std::time::Instant::now();
+                        let seq = reader.symbols(order[pos]);
+                        let row: Vec<SegmentSimilarity> = clusters
+                            .iter()
+                            .map(|cluster| max_similarity_pst(&cluster.pst, background, seq))
+                            .collect();
+                        let shard = trace::shard_for(pos, chunk);
+                        trace.add_at(shard, Counter::PairsScored, row.len() as u64);
+                        trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+                        row
+                    },
+                )
             }
         };
         (rows, trace::nanos_since(start))
@@ -222,21 +291,26 @@ impl ScoreEngine {
     /// [`max_similarity_compiled_bounded`]).
     pub fn score_sequences_compiled(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         compiled: &[CompiledPst],
         order: &[usize],
         prune_below: Option<f64>,
     ) -> Vec<Vec<BoundedSimilarity>> {
-        parallel_map(order.len(), self.threads, |pos| {
-            let seq = db.sequence(order[pos]).symbols();
-            compiled
-                .iter()
-                .map(|automaton| match prune_below {
-                    Some(log_t) => max_similarity_compiled_bounded(automaton, seq, log_t),
-                    None => BoundedSimilarity::Exact(max_similarity_compiled(automaton, seq)),
-                })
-                .collect()
-        })
+        parallel_map_with(
+            order.len(),
+            self.threads,
+            || store.reader(),
+            |reader, pos| {
+                let seq = reader.symbols(order[pos]);
+                compiled
+                    .iter()
+                    .map(|automaton| match prune_below {
+                        Some(log_t) => max_similarity_compiled_bounded(automaton, seq, log_t),
+                        None => BoundedSimilarity::Exact(max_similarity_compiled(automaton, seq)),
+                    })
+                    .collect()
+            },
+        )
     }
 
     /// [`score_sequences_compiled`](ScoreEngine::score_sequences_compiled)
@@ -244,12 +318,12 @@ impl ScoreEngine {
     /// times compilation separately if it wants it attributed).
     pub fn score_sequences_compiled_timed(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         compiled: &[CompiledPst],
         order: &[usize],
         prune_below: Option<f64>,
     ) -> (Vec<Vec<BoundedSimilarity>>, u64) {
-        self.score_sequences_compiled_metered(db, compiled, order, prune_below, None)
+        self.score_sequences_compiled_metered(store, compiled, order, prune_below, None)
     }
 
     /// [`score_sequences_compiled_timed`](ScoreEngine::score_sequences_compiled_timed)
@@ -259,7 +333,7 @@ impl ScoreEngine {
     /// the worker that proved the prune.
     pub fn score_sequences_compiled_metered(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         compiled: &[CompiledPst],
         order: &[usize],
         prune_below: Option<f64>,
@@ -267,27 +341,34 @@ impl ScoreEngine {
     ) -> (Vec<Vec<BoundedSimilarity>>, u64) {
         let start = std::time::Instant::now();
         let rows = match trace {
-            None => self.score_sequences_compiled(db, compiled, order, prune_below),
+            None => self.score_sequences_compiled(store, compiled, order, prune_below),
             Some(trace) => {
                 let chunk = plan_chunk(order.len(), self.threads);
-                parallel_map(order.len(), self.threads, |pos| {
-                    let row_start = std::time::Instant::now();
-                    let seq = db.sequence(order[pos]).symbols();
-                    let row: Vec<BoundedSimilarity> = compiled
-                        .iter()
-                        .map(|automaton| match prune_below {
-                            Some(log_t) => max_similarity_compiled_bounded(automaton, seq, log_t),
-                            None => {
-                                BoundedSimilarity::Exact(max_similarity_compiled(automaton, seq))
-                            }
-                        })
-                        .collect();
-                    let shard = trace::shard_for(pos, chunk);
-                    trace.add_at(shard, Counter::PairsScored, row.len() as u64);
-                    trace.add_at(shard, Counter::PairsPruned, prune_count(&row));
-                    trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
-                    row
-                })
+                parallel_map_with(
+                    order.len(),
+                    self.threads,
+                    || store.reader(),
+                    |reader, pos| {
+                        let row_start = std::time::Instant::now();
+                        let seq = reader.symbols(order[pos]);
+                        let row: Vec<BoundedSimilarity> = compiled
+                            .iter()
+                            .map(|automaton| match prune_below {
+                                Some(log_t) => {
+                                    max_similarity_compiled_bounded(automaton, seq, log_t)
+                                }
+                                None => BoundedSimilarity::Exact(max_similarity_compiled(
+                                    automaton, seq,
+                                )),
+                            })
+                            .collect();
+                        let shard = trace::shard_for(pos, chunk);
+                        trace.add_at(shard, Counter::PairsScored, row.len() as u64);
+                        trace.add_at(shard, Counter::PairsPruned, prune_count(&row));
+                        trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+                        row
+                    },
+                )
             }
         };
         (rows, trace::nanos_since(start))
@@ -327,15 +408,19 @@ impl ScoreEngine {
     /// interleaved batch driver — per-lane results are bit-identical to
     /// the per-pair scan, so the choice reorders memory traffic, never
     /// arithmetic. Every other kernel scans row by row.
-    pub fn score_sequences_automata(
+    ///
+    /// `automata` is generic over [`Borrow`] so both owned
+    /// `[ClusterAutomaton]` slices and `[std::sync::Arc<ClusterAutomaton>]`
+    /// slices handed out by the model cache score identically.
+    pub fn score_sequences_automata<A: Borrow<ClusterAutomaton> + Sync>(
         &self,
-        db: &SequenceDatabase,
-        automata: &[ClusterAutomaton],
+        store: &dyn SequenceStore,
+        automata: &[A],
         order: &[usize],
         prune_below: Option<f64>,
         kernel: ScanKernel,
     ) -> Vec<Vec<BoundedSimilarity>> {
-        self.score_sequences_automata_metered(db, automata, order, prune_below, kernel, None)
+        self.score_sequences_automata_metered(store, automata, order, prune_below, kernel, None)
             .0
     }
 
@@ -345,10 +430,10 @@ impl ScoreEngine {
     /// histogram records one observation per row (per-pair driver) or per
     /// lane group (batched driver).
     #[allow(clippy::too_many_arguments)]
-    pub fn score_sequences_automata_metered(
+    pub fn score_sequences_automata_metered<A: Borrow<ClusterAutomaton> + Sync>(
         &self,
-        db: &SequenceDatabase,
-        automata: &[ClusterAutomaton],
+        store: &dyn SequenceStore,
+        automata: &[A],
         order: &[usize],
         prune_below: Option<f64>,
         kernel: ScanKernel,
@@ -358,19 +443,25 @@ impl ScoreEngine {
         let rows = if kernel == ScanKernel::Batched {
             let n_groups = order.len().div_ceil(BATCH_LANES);
             let chunk = plan_chunk(n_groups, self.threads);
-            let group_rows: Vec<Vec<Vec<BoundedSimilarity>>> =
-                parallel_map(n_groups, self.threads, |g| {
+            let group_rows: Vec<Vec<Vec<BoundedSimilarity>>> = parallel_map_with(
+                n_groups,
+                self.threads,
+                || store.reader(),
+                |reader, g| {
                     let group_start = std::time::Instant::now();
                     let lo = g * BATCH_LANES;
                     let hi = (lo + BATCH_LANES).min(order.len());
-                    let seqs: Vec<&[Symbol]> = (lo..hi)
-                        .map(|pos| db.sequence(order[pos]).symbols())
-                        .collect();
+                    // The batch driver needs every lane's symbols alive at
+                    // once; a reader hands out one slice at a time, so the
+                    // lanes are copied into an owned arena first.
+                    let lanes: Vec<Sequence> =
+                        (lo..hi).map(|pos| reader.sequence(order[pos])).collect();
+                    let seqs: Vec<&[Symbol]> = lanes.iter().map(Sequence::symbols).collect();
                     let mut rows: Vec<Vec<BoundedSimilarity>> = (lo..hi)
                         .map(|_| Vec::with_capacity(automata.len()))
                         .collect();
                     for automaton in automata {
-                        let lane_verdicts = automaton.scan_batch(&seqs, prune_below);
+                        let lane_verdicts = automaton.borrow().scan_batch(&seqs, prune_below);
                         for (lane, verdict) in lane_verdicts.into_iter().enumerate() {
                             rows[lane].push(verdict);
                         }
@@ -384,25 +475,31 @@ impl ScoreEngine {
                         trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(group_start));
                     }
                     rows
-                });
+                },
+            );
             group_rows.into_iter().flatten().collect()
         } else {
             let chunk = plan_chunk(order.len(), self.threads);
-            parallel_map(order.len(), self.threads, |pos| {
-                let row_start = std::time::Instant::now();
-                let seq = db.sequence(order[pos]).symbols();
-                let row: Vec<BoundedSimilarity> = automata
-                    .iter()
-                    .map(|automaton| automaton.scan_pruned(seq, prune_below))
-                    .collect();
-                if let Some(trace) = trace {
-                    let shard = trace::shard_for(pos, chunk);
-                    trace.add_at(shard, Counter::PairsScored, row.len() as u64);
-                    trace.add_at(shard, Counter::PairsPruned, prune_count(&row));
-                    trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
-                }
-                row
-            })
+            parallel_map_with(
+                order.len(),
+                self.threads,
+                || store.reader(),
+                |reader, pos| {
+                    let row_start = std::time::Instant::now();
+                    let seq = reader.symbols(order[pos]);
+                    let row: Vec<BoundedSimilarity> = automata
+                        .iter()
+                        .map(|automaton| automaton.borrow().scan_pruned(seq, prune_below))
+                        .collect();
+                    if let Some(trace) = trace {
+                        let shard = trace::shard_for(pos, chunk);
+                        trace.add_at(shard, Counter::PairsScored, row.len() as u64);
+                        trace.add_at(shard, Counter::PairsPruned, prune_count(&row));
+                        trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+                    }
+                    row
+                },
+            )
         };
         (rows, trace::nanos_since(start))
     }
@@ -432,7 +529,7 @@ impl ScoreEngine {
     #[allow(clippy::too_many_arguments)]
     pub fn score_sequences_cached(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         clusters: &[Cluster],
         background: &BackgroundModel,
         order: &[usize],
@@ -463,45 +560,50 @@ impl ScoreEngine {
         };
         let compiles = automata.iter().flatten().count() as u64;
         let chunk = plan_chunk(order.len(), self.threads);
-        let rows = parallel_map(order.len(), self.threads, |pos| {
-            let row_start = std::time::Instant::now();
-            let id = order[pos];
-            let seq = db.sequence(id).symbols();
-            let mut scratch: Vec<cluseq_seq::Symbol> = Vec::new();
-            let mut fresh = 0u64;
-            let mut fresh_pruned = 0u64;
-            let row: Vec<BoundedSimilarity> = columns
-                .iter()
-                .enumerate()
-                .map(|(slot, col)| match col {
-                    Some(col) => col[id],
-                    None => {
-                        fresh += 1;
-                        let verdict = match &automata[slot] {
-                            Some(automaton) => automaton.scan_pruned(seq, prune_below),
-                            None => BoundedSimilarity::Exact(max_similarity_pst_with_scratch(
-                                &clusters[slot].pst,
-                                background,
-                                seq,
-                                &mut scratch,
-                            )),
-                        };
-                        if verdict.is_pruned() {
-                            fresh_pruned += 1;
+        let rows = parallel_map_with(
+            order.len(),
+            self.threads,
+            || store.reader(),
+            |reader, pos| {
+                let row_start = std::time::Instant::now();
+                let id = order[pos];
+                let seq = reader.symbols(id);
+                let mut scratch: Vec<cluseq_seq::Symbol> = Vec::new();
+                let mut fresh = 0u64;
+                let mut fresh_pruned = 0u64;
+                let row: Vec<BoundedSimilarity> = columns
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, col)| match col {
+                        Some(col) => col[id],
+                        None => {
+                            fresh += 1;
+                            let verdict = match &automata[slot] {
+                                Some(automaton) => automaton.scan_pruned(seq, prune_below),
+                                None => BoundedSimilarity::Exact(max_similarity_pst_with_scratch(
+                                    &clusters[slot].pst,
+                                    background,
+                                    seq,
+                                    &mut scratch,
+                                )),
+                            };
+                            if verdict.is_pruned() {
+                                fresh_pruned += 1;
+                            }
+                            verdict
                         }
-                        verdict
-                    }
-                })
-                .collect();
-            if let Some(trace) = trace {
-                let shard = trace::shard_for(pos, chunk);
-                trace.add_at(shard, Counter::PairsScored, fresh);
-                trace.add_at(shard, Counter::PairsPruned, fresh_pruned);
-                trace.add_at(shard, Counter::PairsReused, row.len() as u64 - fresh);
-                trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
-            }
-            row
-        });
+                    })
+                    .collect();
+                if let Some(trace) = trace {
+                    let shard = trace::shard_for(pos, chunk);
+                    trace.add_at(shard, Counter::PairsScored, fresh);
+                    trace.add_at(shard, Counter::PairsPruned, fresh_pruned);
+                    trace.add_at(shard, Counter::PairsReused, row.len() as u64 - fresh);
+                    trace.observe(HistKind::ScoreRow, shard, trace::nanos_since(row_start));
+                }
+                row
+            },
+        );
         CachedScorePass {
             rows,
             nanos: trace::nanos_since(start),
@@ -510,17 +612,20 @@ impl ScoreEngine {
         }
     }
 
-    /// Scores each database sequence in `ids` against a single PST.
+    /// Scores each store sequence in `ids` against a single PST.
     pub fn score_against_pst(
         &self,
-        db: &SequenceDatabase,
+        store: &dyn SequenceStore,
         pst: &Pst,
         background: &BackgroundModel,
         ids: &[usize],
     ) -> Vec<SegmentSimilarity> {
-        parallel_map(ids.len(), self.threads, |i| {
-            max_similarity_pst(pst, background, db.sequence(ids[i]).symbols())
-        })
+        parallel_map_with(
+            ids.len(),
+            self.threads,
+            || store.reader(),
+            |reader, i| max_similarity_pst(pst, background, reader.symbols(ids[i])),
+        )
     }
 }
 
@@ -528,6 +633,34 @@ impl ScoreEngine {
 mod tests {
     use super::*;
     use cluseq_pst::PstParams;
+    use cluseq_seq::SequenceDatabase;
+
+    #[test]
+    fn parallel_map_with_matches_parallel_map_for_any_thread_count() {
+        for n in [0usize, 1, 3, 7, 64, 100] {
+            let serial: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+            for threads in [1usize, 2, 4, 8, 200] {
+                // State buffers scratch but never changes the output.
+                let got = parallel_map_with(n, threads, Vec::<usize>::new, |scratch, i| {
+                    scratch.push(i);
+                    i * 3 + 1
+                });
+                assert_eq!(got, serial, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_with_initializes_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        // Serial path: exactly one state.
+        parallel_map_with(3, 1, || inits.fetch_add(1, Ordering::SeqCst), |_, i| i);
+        assert_eq!(inits.swap(0, Ordering::SeqCst), 1);
+        // Parallel path: one per spawned worker.
+        parallel_map_with(64, 4, || inits.fetch_add(1, Ordering::SeqCst), |_, i| i);
+        assert_eq!(inits.load(Ordering::SeqCst), 4);
+    }
 
     #[test]
     fn parallel_map_equals_serial_map() {
@@ -919,6 +1052,46 @@ mod tests {
         assert_eq!(session.counter(Counter::PairsScored), n);
         assert_eq!(session.counter(Counter::PairsReused), n);
         assert_eq!(session.counter(Counter::PairsPruned), 0);
+    }
+
+    #[test]
+    fn file_backed_store_scores_bit_identically_to_the_database() {
+        let (db, bg, clusters) = fixture();
+        let dir = std::env::temp_dir().join(format!("cluseq-score-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.cseq");
+        cluseq_seq::store::write_indexed(&db, &path).unwrap();
+        // A tiny window forces slides mid-chunk; scores must not notice.
+        let store = cluseq_seq::FileStore::open_windowed(&path, 16).unwrap();
+        let order: Vec<usize> = vec![4, 0, 3, 1, 2];
+        for threads in [1usize, 3] {
+            let engine = ScoreEngine::new(threads);
+            let resident = engine.score_sequences(&db, &clusters, &bg, &order);
+            let streamed = engine.score_sequences(&store, &clusters, &bg, &order);
+            assert_eq!(resident, streamed, "threads={threads}");
+            let compiled = engine.compile_clusters(&clusters, &bg);
+            for prune_below in [None, Some(0.5)] {
+                assert_eq!(
+                    engine.score_sequences_compiled(&db, &compiled, &order, prune_below),
+                    engine.score_sequences_compiled(&store, &compiled, &order, prune_below),
+                    "threads={threads} prune={prune_below:?}"
+                );
+            }
+            for kernel in [
+                ScanKernel::Compiled,
+                ScanKernel::Batched,
+                ScanKernel::Quantized,
+            ] {
+                let automata = engine.compile_cluster_automata(&clusters, &bg, kernel);
+                assert_eq!(
+                    engine.score_sequences_automata(&db, &automata, &order, None, kernel),
+                    engine.score_sequences_automata(&store, &automata, &order, None, kernel),
+                    "threads={threads} kernel={kernel}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

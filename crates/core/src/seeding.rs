@@ -11,12 +11,12 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use cluseq_pst::{Pst, PstParams};
-use cluseq_seq::{BackgroundModel, SequenceDatabase};
+use cluseq_seq::{BackgroundModel, SequenceStore};
 
 use crate::cluster::Cluster;
 use crate::config::ScanKernel;
 use crate::kernel::ClusterAutomaton;
-use crate::score::parallel_map;
+use crate::score::{parallel_map, parallel_map_with};
 use crate::similarity::{max_similarity_pst, BoundedSimilarity};
 use crate::telemetry::SeedingMetrics;
 use crate::trace::{Phase, TraceSession};
@@ -32,7 +32,7 @@ use crate::trace::{Phase, TraceSession};
 /// thread count.
 #[allow(clippy::too_many_arguments)] // internal driver call, mirrors §4.1's inputs
 pub fn select_seeds(
-    db: &SequenceDatabase,
+    store: &dyn SequenceStore,
     background: &BackgroundModel,
     clusters: &[Cluster],
     unclustered: &[usize],
@@ -44,7 +44,7 @@ pub fn select_seeds(
     rng: &mut impl Rng,
 ) -> Vec<usize> {
     select_seeds_detailed(
-        db,
+        store,
         background,
         clusters,
         unclustered,
@@ -76,7 +76,7 @@ pub fn select_seeds(
 /// span); tracing changes no draw, score, or pick.
 #[allow(clippy::too_many_arguments)] // internal driver call, mirrors §4.1's inputs
 pub fn select_seeds_detailed(
-    db: &SequenceDatabase,
+    store: &dyn SequenceStore,
     background: &BackgroundModel,
     clusters: &[Cluster],
     unclustered: &[usize],
@@ -110,11 +110,16 @@ pub fn select_seeds_detailed(
     candidates.truncate(m);
 
     // One PST per candidate, used both to score candidates against chosen
-    // seeds and (by the caller) to found the new cluster.
-    let alphabet_size = db.alphabet().len();
-    let candidate_psts: Vec<Pst> = parallel_map(candidates.len(), threads, |i| {
-        Pst::from_sequence(alphabet_size, pst_params, db.sequence(candidates[i]))
-    });
+    // seeds and (by the caller) to found the new cluster. Each worker
+    // reads candidate sequences through its own store reader, so a
+    // file-backed store pages candidates in without global state.
+    let alphabet_size = store.alphabet().len();
+    let candidate_psts: Vec<Pst> = parallel_map_with(
+        candidates.len(),
+        threads,
+        || store.reader(),
+        |reader, i| Pst::from_sequence(alphabet_size, pst_params, &reader.sequence(candidates[i])),
+    );
 
     // Existing cluster models are compiled once and reused for every
     // candidate; each picked candidate's model is compiled once below.
@@ -129,23 +134,28 @@ pub fn select_seeds_detailed(
     // so far (existing clusters first). Farthest-first then only needs to
     // fold in the newest seed each step.
     let score_span = trace.map(|t| t.span(Phase::SeedingScore));
-    let mut best_sim: Vec<f64> = parallel_map(candidates.len(), threads, |i| {
-        let seq = db.sequence(candidates[i]).symbols();
-        match &cluster_automata {
-            Some(automata) => automata.iter().fold(f64::NEG_INFINITY, |acc, a| {
-                // Early-exit against the running max: a pruned score is
-                // strictly below `acc`, so the fold result is unchanged.
-                match a.scan_bounded(seq, acc) {
-                    BoundedSimilarity::Exact(sim) => acc.max(sim.log_sim),
-                    BoundedSimilarity::Pruned => acc,
-                }
-            }),
-            None => clusters
-                .iter()
-                .map(|c| max_similarity_pst(&c.pst, background, seq).log_sim)
-                .fold(f64::NEG_INFINITY, f64::max),
-        }
-    });
+    let mut best_sim: Vec<f64> = parallel_map_with(
+        candidates.len(),
+        threads,
+        || store.reader(),
+        |reader, i| {
+            let seq = reader.symbols(candidates[i]);
+            match &cluster_automata {
+                Some(automata) => automata.iter().fold(f64::NEG_INFINITY, |acc, a| {
+                    // Early-exit against the running max: a pruned score
+                    // is strictly below `acc`, so the fold is unchanged.
+                    match a.scan_bounded(seq, acc) {
+                        BoundedSimilarity::Exact(sim) => acc.max(sim.log_sim),
+                        BoundedSimilarity::Pruned => acc,
+                    }
+                }),
+                None => clusters
+                    .iter()
+                    .map(|c| max_similarity_pst(&c.pst, background, seq).log_sim)
+                    .fold(f64::NEG_INFINITY, f64::max),
+            }
+        },
+    );
     drop(score_span);
 
     let mut chosen: Vec<usize> = Vec::with_capacity(k_n); // candidate indices
@@ -167,21 +177,28 @@ pub fn select_seeds_detailed(
             ClusterAutomaton::build(&candidate_psts[pick], background, kernel)
                 .expect("automaton-backed kernel")
         });
-        let step: Vec<Option<f64>> = parallel_map(candidates.len(), threads, |i| {
-            if taken[i] {
-                return None;
-            }
-            let seq = db.sequence(candidates[i]).symbols();
-            match &pick_automaton {
-                // A pruned score is strictly below best_sim[i], so it
-                // could not have passed the `sim > best_sim[i]` update.
-                Some(a) => match a.scan_bounded(seq, best_sim[i]) {
-                    BoundedSimilarity::Exact(sim) => Some(sim.log_sim),
-                    BoundedSimilarity::Pruned => None,
-                },
-                None => Some(max_similarity_pst(&candidate_psts[pick], background, seq).log_sim),
-            }
-        });
+        let step: Vec<Option<f64>> = parallel_map_with(
+            candidates.len(),
+            threads,
+            || store.reader(),
+            |reader, i| {
+                if taken[i] {
+                    return None;
+                }
+                let seq = reader.symbols(candidates[i]);
+                match &pick_automaton {
+                    // A pruned score is strictly below best_sim[i], so it
+                    // could not have passed the `sim > best_sim[i]` update.
+                    Some(a) => match a.scan_bounded(seq, best_sim[i]) {
+                        BoundedSimilarity::Exact(sim) => Some(sim.log_sim),
+                        BoundedSimilarity::Pruned => None,
+                    },
+                    None => {
+                        Some(max_similarity_pst(&candidate_psts[pick], background, seq).log_sim)
+                    }
+                }
+            },
+        );
         for (i, sim) in step.into_iter().enumerate() {
             if let Some(sim) = sim {
                 if sim > best_sim[i] {
@@ -204,6 +221,7 @@ pub fn select_seeds_detailed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cluseq_seq::SequenceDatabase;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cluseq_seq::SequenceDatabase;
+use cluseq_seq::SequenceStore;
 
 use crate::config::ScanKernel;
 use crate::trace::{Counter, TraceShared};
@@ -93,11 +93,13 @@ pub struct Server;
 
 impl Server {
     /// Starts serving `model` under `config`. `db` is kept for hot-swaps
-    /// to CCKP checkpoints; `trace` (when given) receives request
-    /// counters, batch counts, and latency observations.
+    /// to CCKP checkpoints — any [`SequenceStore`] works, and a
+    /// file-backed one keeps the daemon's resident footprint bounded by
+    /// the model rather than the corpus; `trace` (when given) receives
+    /// request counters, batch counts, and latency observations.
     pub fn start(
         model: ServeModel,
-        db: Option<SequenceDatabase>,
+        db: Option<Box<dyn SequenceStore + Send>>,
         config: &ServeConfig,
         trace: Option<Arc<TraceShared>>,
     ) -> io::Result<ServerHandle> {

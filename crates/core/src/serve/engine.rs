@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
-use cluseq_seq::{SequenceDatabase, Symbol};
+use cluseq_seq::{SequenceStore, Symbol};
 
 use crate::score::parallel_map;
 use crate::serve::model::ServeModel;
@@ -70,7 +70,7 @@ pub struct ServeEngine {
     next_generation: AtomicU64,
     threads: usize,
     max_batch: usize,
-    db: Option<SequenceDatabase>,
+    db: Option<Box<dyn SequenceStore + Send>>,
     trace: Option<Arc<TraceShared>>,
 }
 
@@ -119,8 +119,10 @@ impl ServeEngine {
     /// Builds an engine around an initial model and starts its dispatcher.
     ///
     /// `db` is retained for hot-swapping to CCKP checkpoints (which need
-    /// the training database to re-derive the background model); swaps to
-    /// CSEQ snapshots work without it.
+    /// the training corpus to re-derive the background model); swaps to
+    /// CSEQ snapshots work without it. Any [`SequenceStore`] serves — a
+    /// file-backed store keeps the daemon's footprint bounded by the
+    /// model, not the corpus.
     ///
     /// `threads` is clamped to the host's available parallelism: scoring
     /// is CPU-bound, so fanning out past the core count only adds spawn
@@ -130,7 +132,7 @@ impl ServeEngine {
         initial: ServeModel,
         threads: usize,
         max_batch: usize,
-        db: Option<SequenceDatabase>,
+        db: Option<Box<dyn SequenceStore + Send>>,
         trace: Option<Arc<TraceShared>>,
     ) -> EngineHandle {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -203,7 +205,12 @@ impl ServeEngine {
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
         // The expensive part — file read, deserialize, PST compilation —
         // happens here, before the write lock, so readers never wait on it.
-        let fresh = ServeModel::load(path, self.db.as_ref(), current.kernel, generation)?;
+        let fresh = ServeModel::load(
+            path,
+            self.db.as_deref().map(|d| d as &dyn SequenceStore),
+            current.kernel,
+            generation,
+        )?;
         let clusters = fresh.saved.cluster_count() as u32;
         *self.model.write().expect("model lock poisoned") = Arc::new(fresh);
         if let Some(t) = &self.trace {

@@ -9,7 +9,7 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
-use cluseq_seq::{SequenceDatabase, Symbol};
+use cluseq_seq::{SequenceStore, Symbol};
 
 use crate::checkpoint::Checkpoint;
 use crate::config::ScanKernel;
@@ -39,12 +39,14 @@ impl ServeModel {
     /// Loads a model from `path`, sniffing the format from its magic:
     /// `CSEQ` (a [`SavedModel`] snapshot) loads directly; `CCKP` (a
     /// crash-recovery [`Checkpoint`]) additionally needs the training
-    /// database — checkpoints don't store the background model, so it is
+    /// corpus — checkpoints don't store the background model, so it is
     /// re-derived from `db` after [`Checkpoint::verify_database`] proves
-    /// `db` is the database the checkpoint was taken on.
+    /// `db` is the corpus the checkpoint was taken on. Any
+    /// [`SequenceStore`] works: an in-memory database and a file-backed
+    /// store of the same content produce bit-identical background models.
     pub fn load(
         path: &Path,
-        db: Option<&SequenceDatabase>,
+        db: Option<&dyn SequenceStore>,
         kernel: ScanKernel,
         generation: u64,
     ) -> Result<Self, String> {

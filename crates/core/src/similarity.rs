@@ -366,7 +366,7 @@ pub const BATCH_LANES: usize = 8;
 /// yield the empty-segment `-∞` verdict, exactly like the single scans.
 ///
 /// More than [`BATCH_LANES`] sequences are processed in chunks of
-/// `BATCH_LANES`, grouped by length (see [`length_grouped_chunks`]) —
+/// `BATCH_LANES`, grouped by length (see `length_grouped_order`) —
 /// invisible per lane, since no lane's arithmetic ever observes another
 /// lane; results come back in input order.
 pub fn max_similarity_compiled_batch(

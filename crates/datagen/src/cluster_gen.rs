@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use cluseq_seq::store::CseqWriter;
 use cluseq_seq::{Alphabet, Sequence, SequenceDatabase, Symbol};
 
 use crate::outliers::random_sequence;
@@ -182,6 +183,44 @@ impl SyntheticSpec {
         }
         db
     }
+
+    /// Streams the database straight to disk as CSEQ v2 plus its `.csix`
+    /// sidecar, one sequence at a time — only the current sequence is ever
+    /// resident, so corpora far larger than RAM can be generated. The
+    /// sampling loop and RNG stream are identical to
+    /// [`SyntheticSpec::generate`]: the file holds byte-for-byte the same
+    /// sequences and labels an in-memory generate-then-write would.
+    /// Returns the sequence count.
+    pub fn generate_streamed(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        assert!(self.clusters >= 1, "need at least one planted cluster");
+        assert!(self.alphabet >= 2, "need at least two symbols");
+        assert!(
+            (0.0..1.0).contains(&self.outlier_fraction),
+            "outlier fraction must be in [0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let models: Vec<ClusterModel> = (0..self.clusters)
+            .map(|k| ClusterModel::new(self.alphabet, self.seed.wrapping_add(k as u64 * 0x51ED)))
+            .collect();
+
+        let mut w = CseqWriter::create(path, &Alphabet::synthetic(self.alphabet))?;
+        let len_dist = Uniform::new_inclusive(self.avg_len / 2, self.avg_len * 3 / 2);
+        let n_outliers = (self.sequences as f64 * self.outlier_fraction) as usize;
+        let n_clustered = self.sequences - n_outliers;
+
+        for i in 0..n_clustered {
+            let cluster = i % self.clusters;
+            let len = len_dist.sample(&mut rng).max(1);
+            let seq = models[cluster].sample_sequence(len, &mut rng);
+            w.push(seq.symbols(), Some(cluster as u32))?;
+        }
+        for _ in 0..n_outliers {
+            let len = len_dist.sample(&mut rng).max(1);
+            let seq = random_sequence(self.alphabet, len, &mut rng);
+            w.push(seq.symbols(), None)?;
+        }
+        w.finish()
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +301,32 @@ mod tests {
         assert_eq!(outliers, 10);
         let avg = db.avg_len();
         assert!((30.0..75.0).contains(&avg), "avg len {avg}");
+    }
+
+    #[test]
+    fn streamed_generation_matches_in_memory_exactly() {
+        let spec = SyntheticSpec {
+            sequences: 60,
+            clusters: 3,
+            avg_len: 40,
+            alphabet: 15,
+            outlier_fraction: 0.1,
+            seed: 11,
+        };
+        let dir = std::env::temp_dir().join(format!("cluseq-datagen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streamed.cseq");
+        assert_eq!(spec.generate_streamed(&path).unwrap(), 60);
+        let bytes = std::fs::read(&path).unwrap();
+        let streamed = cluseq_seq::binio::decode(&mut bytes.as_slice()).unwrap();
+        let resident = spec.generate();
+        assert_eq!(streamed.len(), resident.len());
+        for i in 0..resident.len() {
+            assert_eq!(streamed.sequence(i), resident.sequence(i), "sequence {i}");
+            assert_eq!(streamed.label(i), resident.label(i), "label {i}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

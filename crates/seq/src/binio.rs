@@ -6,7 +6,7 @@
 //! right choice for the `--full` paper-scale workloads (100 000 × 1000
 //! symbols ≈ 200 MB).
 //!
-//! Layout (version 1, little-endian):
+//! Layout (little-endian):
 //!
 //! ```text
 //! magic "CSDB" | version u32
@@ -14,6 +14,12 @@
 //! sequences: count u32, then per sequence:
 //!   label u32 (MAX = none) | len u32 | symbols (u16 each)
 //! ```
+//!
+//! Version 2 keeps this byte layout unchanged; the bump only marks files
+//! that may carry a `.csix` sidecar offset index for out-of-core access
+//! (see [`crate::store`]). [`decode`] accepts both versions; [`encode`]
+//! still writes version 1 (no sidecar), while the streaming
+//! [`crate::store::CseqWriter`] writes version 2 plus the sidecar.
 
 use std::io::{self, Read, Write};
 
@@ -22,8 +28,10 @@ use crate::database::SequenceDatabase;
 use crate::sequence::Sequence;
 use crate::Symbol;
 
-const MAGIC: &[u8; 4] = b"CSDB";
+pub(crate) const MAGIC: &[u8; 4] = b"CSDB";
 const VERSION: u32 = 1;
+/// The version written by the streaming indexed writer.
+pub(crate) const VERSION_INDEXED: u32 = 2;
 
 /// Errors produced while decoding a binary database.
 #[derive(Debug)]
@@ -96,15 +104,19 @@ pub fn encode(db: &SequenceDatabase, w: &mut impl Write) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a database in the binary format.
-pub fn decode(r: &mut impl Read) -> Result<SequenceDatabase, BinError> {
+/// Reads the container header — magic, version, alphabet, and the
+/// declared sequence count — leaving the reader positioned at the first
+/// record. Shared between [`decode`] and the out-of-core
+/// [`crate::store::FileStore`], which indexes records instead of
+/// materializing them.
+pub(crate) fn decode_header(r: &mut impl Read) -> Result<(Alphabet, usize), BinError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(BinError::BadMagic);
     }
     let version = r32(r)?;
-    if version != VERSION {
+    if !(VERSION..=VERSION_INDEXED).contains(&version) {
         return Err(BinError::BadVersion(version));
     }
     let n_sym = r32(r)? as usize;
@@ -122,8 +134,15 @@ pub fn decode(r: &mut impl Read) -> Result<SequenceDatabase, BinError> {
     if alphabet.len() != n_sym {
         return Err(BinError::Corrupt("duplicate symbol names"));
     }
-    let mut db = SequenceDatabase::new(alphabet);
     let n_seq = r32(r)? as usize;
+    Ok((alphabet, n_seq))
+}
+
+/// Reads a database in the binary format (either version).
+pub fn decode(r: &mut impl Read) -> Result<SequenceDatabase, BinError> {
+    let (alphabet, n_seq) = decode_header(r)?;
+    let n_sym = alphabet.len();
+    let mut db = SequenceDatabase::new(alphabet);
     for _ in 0..n_seq {
         let label = match r32(r)? {
             u32::MAX => None,
@@ -192,6 +211,19 @@ mod tests {
             decode(&mut &b"WXYZ"[..]).unwrap_err(),
             BinError::BadMagic
         ));
+    }
+
+    #[test]
+    fn version_2_files_decode_like_version_1() {
+        let db = fixture();
+        let mut buf = Vec::new();
+        encode(&db, &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&VERSION_INDEXED.to_le_bytes());
+        let loaded = decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        for i in 0..db.len() {
+            assert_eq!(loaded.sequence(i), db.sequence(i));
+        }
     }
 
     #[test]

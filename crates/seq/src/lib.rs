@@ -10,7 +10,10 @@
 //!   optionally carrying ground-truth labels;
 //! * [`BackgroundModel`] — the memoryless symbol distribution `p(s)` used as
 //!   the denominator of the CLUSEQ similarity measure;
-//! * [`codec`] — simple text codecs (one-sequence-per-line, FASTA-like).
+//! * [`codec`] — simple text codecs (one-sequence-per-line, FASTA-like);
+//! * [`store`] — the out-of-core [`SequenceStore`] abstraction: streaming
+//!   CSEQ v2 writes, the `.csix` sidecar offset index, and the windowed
+//!   file-backed [`FileStore`].
 //!
 //! The CLUSEQ paper (Yang & Wang, ICDE 2003) defines a sequence as an
 //! ordered list of symbols over a finite alphabet ℑ and a *segment* as a
@@ -24,8 +27,10 @@ pub mod binio;
 pub mod codec;
 pub mod database;
 pub mod sequence;
+pub mod store;
 
 pub use alphabet::{Alphabet, Symbol};
 pub use background::BackgroundModel;
 pub use database::{LabeledSequence, SequenceDatabase};
 pub use sequence::Sequence;
+pub use store::{CseqWriter, FileStore, SequenceStore, StoreKind, StoreReader};
