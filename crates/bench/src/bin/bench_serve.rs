@@ -10,6 +10,18 @@
 //!    the dispatcher coalesces concurrently queued requests into batches
 //!    scored through `parallel_map` at `--threads` (default 4).
 //!
+//! Both phases run with request tracing enabled (an in-memory registry),
+//! so the report also carries the server-side mean queue wait per phase,
+//! read back from the `serve_stage_queue_wait` histogram.
+//!
+//! A third section measures the observability tax directly: trios of
+//! fresh server instances (two untraced, one traced) probed with
+//! order-rotated interleaved bursts, respawned several times, with the
+//! median per-trio traced-vs-untraced throughput delta reported as
+//! `trace_overhead_pct` (budget: < 3%) and the median untraced A/A delta
+//! as `disabled_aa_pct` — the noise floor for the compiled-in-but-
+//! disabled path, which takes no clock reads at all (budget: < 1%).
+//!
 //! ```sh
 //! cargo run --release -p cluseq-bench --bin bench_serve \
 //!     [--quick] [--threads N] [--clients N] [--out BENCH_serve.json]
@@ -19,16 +31,21 @@
 //! qps at `--threads 4`. That ratio needs ≥ 4 cores: batching converts
 //! idle round-trip gaps into parallel scoring, so on a single-core host
 //! (the JSON records `cores`) the two phases are both CPU-bound and the
-//! ratio only reflects amortized wakeup overhead.
+//! ratio only reflects amortized wakeup overhead. The overhead deltas
+//! are likewise noisier on a single core, where client and server share
+//! one hardware thread.
 
-use std::sync::Barrier;
+use std::path::Path;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use cluseq_bench::{flag_value, peak_rss_bytes, print_table};
 use cluseq_core::persist::SavedModel;
 use cluseq_core::serve::client::ServeClient;
 use cluseq_core::serve::model::ServeModel;
+use cluseq_core::serve::obs::{ObsConfig, ServeObs};
 use cluseq_core::serve::{ServeConfig, Server};
+use cluseq_core::trace::{HistKind, TraceSession, TraceShared};
 use cluseq_core::{Cluseq, CluseqParams, ScanKernel};
 use cluseq_datagen::SyntheticSpec;
 use cluseq_seq::Symbol;
@@ -36,7 +53,9 @@ use cluseq_seq::Symbol;
 struct PhaseStats {
     qps: f64,
     p50_us: f64,
+    p95_us: f64,
     p99_us: f64,
+    mean_queue_wait_us: f64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -47,21 +66,57 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64 / 1_000.0
 }
 
-fn stats(total: usize, wall: Duration, mut latencies_ns: Vec<u64>) -> PhaseStats {
+/// Mean of the server-side queue-wait histogram since `before`.
+fn queue_wait_mean_us(trace: &TraceShared, before: (u64, u64)) -> f64 {
+    let (sum0, count0) = before;
+    let sum = trace.hist_sum(HistKind::ServeQueueWait) - sum0;
+    let count = trace
+        .hist_counts(HistKind::ServeQueueWait)
+        .iter()
+        .sum::<u64>()
+        - count0;
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64 / 1_000.0
+    }
+}
+
+fn queue_wait_snapshot(trace: &TraceShared) -> (u64, u64) {
+    (
+        trace.hist_sum(HistKind::ServeQueueWait),
+        trace.hist_counts(HistKind::ServeQueueWait).iter().sum(),
+    )
+}
+
+fn stats(
+    total: usize,
+    wall: Duration,
+    mut latencies_ns: Vec<u64>,
+    mean_queue_wait_us: f64,
+) -> PhaseStats {
     latencies_ns.sort_unstable();
     PhaseStats {
         qps: total as f64 / wall.as_secs_f64(),
         p50_us: percentile(&latencies_ns, 0.50),
+        p95_us: percentile(&latencies_ns, 0.95),
         p99_us: percentile(&latencies_ns, 0.99),
+        mean_queue_wait_us,
     }
 }
 
 /// One connection, one request in flight at a time.
-fn run_single(addr: std::net::SocketAddr, queries: &[Vec<Symbol>], requests: usize) -> PhaseStats {
+fn run_single(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<Symbol>],
+    requests: usize,
+    trace: &TraceShared,
+) -> PhaseStats {
     let mut client = ServeClient::connect(addr).expect("connect");
     for q in queries.iter().take(64) {
         client.assign(q).expect("warmup assign");
     }
+    let before = queue_wait_snapshot(trace);
     let mut latencies = Vec::with_capacity(requests);
     let start = Instant::now();
     for i in 0..requests {
@@ -70,7 +125,8 @@ fn run_single(addr: std::net::SocketAddr, queries: &[Vec<Symbol>], requests: usi
         client.assign(q).expect("assign");
         latencies.push(sent.elapsed().as_nanos() as u64);
     }
-    stats(requests, start.elapsed(), latencies)
+    let wall = start.elapsed();
+    stats(requests, wall, latencies, queue_wait_mean_us(trace, before))
 }
 
 /// `clients` closed-loop connections hammering concurrently.
@@ -79,9 +135,11 @@ fn run_batched(
     queries: &[Vec<Symbol>],
     clients: usize,
     requests: usize,
+    trace: &TraceShared,
 ) -> PhaseStats {
     let per_client = requests / clients;
     let barrier = Barrier::new(clients + 1);
+    let before = queue_wait_snapshot(trace);
     let (wall, latencies) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -112,7 +170,140 @@ fn run_batched(
             .collect();
         (start.elapsed(), latencies)
     });
-    stats(per_client * clients, wall, latencies)
+    stats(
+        per_client * clients,
+        wall,
+        latencies,
+        queue_wait_mean_us(trace, before),
+    )
+}
+
+/// One single-in-flight burst on an already-warm connection; returns the
+/// elapsed wall seconds.
+fn burst_secs(client: &mut ServeClient, queries: &[Vec<Symbol>], requests: usize) -> f64 {
+    let start = Instant::now();
+    for i in 0..requests {
+        client.assign(&queries[i % queries.len()]).expect("assign");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// The middle value (mean of the middle two for even counts). Sorts in
+/// place.
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+struct Overhead {
+    untraced_qps: f64,
+    traced_qps: f64,
+    trace_overhead_pct: f64,
+    disabled_aa_pct: f64,
+    /// Every trio's own overhead estimate, in spawn order — the spread
+    /// the medians were drawn from.
+    trio_overhead_pct: Vec<f64>,
+}
+
+/// The observability tax, measured against two distinct noise sources.
+///
+/// *Time-correlated* noise (thermal and noisy-neighbour bursts at the
+/// 10 ms–1 s scale) is cancelled by fine-grained interleaving: each sweep
+/// visits all three servers — two untraced, one traced — within a few
+/// milliseconds, in an order rotated every sweep, so a burst slows every
+/// leg of the sweep about equally and falls out of the ratio.
+///
+/// *Server-identity* noise is the nastier one: a freshly spawned server
+/// can land in a scheduling/layout mode a few percent slower than its
+/// peers and stay there for its whole life, which no amount of
+/// interleaving cancels. So the whole trio is torn down and respawned
+/// several times, each trio yields its own overhead estimate, and the
+/// report takes the *median* across trios — a mean would let one trio
+/// whose traced server drew a slow mode drag the headline number around,
+/// while the median shrugs it off.
+///
+/// The two untraced roles yield an A/A delta under the identical
+/// protocol: the measurement noise floor for the compiled-in-but-disabled
+/// path, which takes no clock reads at all.
+fn measure_overhead(
+    model_path: &Path,
+    config: &ServeConfig,
+    queries: &[Vec<Symbol>],
+    requests: usize,
+) -> Overhead {
+    const TRIOS: usize = 16;
+    const WARMUP_SWEEPS: usize = 8;
+    const SWEEPS: usize = 64;
+    let slice = (requests / 20).max(100);
+    let load = || ServeModel::load(model_path, None, ScanKernel::Compiled, 1).expect("load model");
+
+    let mut trio_overhead = Vec::with_capacity(TRIOS);
+    let mut trio_aa = Vec::with_capacity(TRIOS);
+    let mut trio_untraced = Vec::with_capacity(TRIOS);
+    let mut trio_traced = Vec::with_capacity(TRIOS);
+    for trio in 0..TRIOS {
+        let obs = Arc::new(
+            ServeObs::new(TraceSession::in_memory().shared_arc(), &ObsConfig::default())
+                .expect("open obs"),
+        );
+        let off_a = Server::start(load(), None, config, None).expect("start untraced a");
+        let off_b = Server::start(load(), None, config, None).expect("start untraced b");
+        let on = Server::start(load(), None, config, Some(obs)).expect("start traced");
+        let mut c_off_a = ServeClient::connect(off_a.addr()).expect("connect");
+        let mut c_off_b = ServeClient::connect(off_b.addr()).expect("connect");
+        let mut c_on = ServeClient::connect(on.addr()).expect("connect");
+        let mut trio_secs = [0.0f64; 3];
+        for sweep in 0..WARMUP_SWEEPS + SWEEPS {
+            let mut sweep_secs = [0.0f64; 3];
+            for slot in 0..3 {
+                let role = (slot + sweep + trio) % 3;
+                sweep_secs[role] = match role {
+                    0 => burst_secs(&mut c_off_a, queries, slice),
+                    1 => burst_secs(&mut c_on, queries, slice),
+                    _ => burst_secs(&mut c_off_b, queries, slice),
+                };
+            }
+            if sweep < WARMUP_SWEEPS {
+                continue; // warmup: caches, branch predictors, socket buffers
+            }
+            for (total, s) in trio_secs.iter_mut().zip(sweep_secs) {
+                *total += s;
+            }
+        }
+        drop((c_off_a, c_off_b, c_on));
+        off_a.shutdown();
+        off_b.shutdown();
+        on.shutdown();
+        let n = SWEEPS * slice;
+        // trio_secs[role]: 0 = untraced a, 1 = traced, 2 = untraced b.
+        let qps = trio_secs.map(|s| n as f64 / s);
+        let untraced = (qps[0] + qps[2]) / 2.0;
+        let overhead = (untraced - qps[1]) / untraced * 100.0;
+        eprintln!(
+            "overhead trio {}/{TRIOS}: untraced {:.0}/{:.0} qps, traced {:.0} qps ({overhead:+.2}%)",
+            trio + 1,
+            qps[0],
+            qps[2],
+            qps[1],
+        );
+        trio_overhead.push(overhead);
+        trio_aa.push((qps[0] - qps[2]).abs() / untraced * 100.0);
+        trio_untraced.push(untraced);
+        trio_traced.push(qps[1]);
+    }
+
+    Overhead {
+        untraced_qps: median(&mut trio_untraced),
+        traced_qps: median(&mut trio_traced),
+        trace_overhead_pct: median(&mut trio_overhead.clone()),
+        disabled_aa_pct: median(&mut trio_aa),
+        trio_overhead_pct: trio_overhead,
+    }
 }
 
 fn main() {
@@ -163,7 +354,12 @@ fn main() {
         frame_timeout: Duration::from_secs(30),
         watch_sighup: false,
     };
-    let server = Server::start(model, None, &config, None).expect("start server");
+    let obs = Arc::new(
+        ServeObs::new(TraceSession::in_memory().shared_arc(), &ObsConfig::default())
+            .expect("open obs"),
+    );
+    let trace = Arc::clone(obs.registry());
+    let server = Server::start(model, None, &config, Some(obs)).expect("start server");
     let queries: Vec<Vec<Symbol>> = (0..db.len())
         .map(|i| db.sequence(i).symbols().to_vec())
         .collect();
@@ -174,40 +370,66 @@ fn main() {
         server.addr(),
         cores
     );
-    let single = run_single(server.addr(), &queries, requests);
-    let batched = run_batched(server.addr(), &queries, clients, requests);
+    let single = run_single(server.addr(), &queries, requests, &trace);
+    let batched = run_batched(server.addr(), &queries, clients, requests, &trace);
     server.shutdown();
+
+    let overhead = measure_overhead(&model_path, &config, &queries, requests);
     let _ = std::fs::remove_file(&model_path);
 
     let speedup = batched.qps / single.qps;
+    let row = |name: String, s: &PhaseStats| {
+        vec![
+            name,
+            format!("{:.0}", s.qps),
+            format!("{:.0}", s.p50_us),
+            format!("{:.0}", s.p95_us),
+            format!("{:.0}", s.p99_us),
+            format!("{:.1}", s.mean_queue_wait_us),
+        ]
+    };
     print_table(
-        "serve: single-in-flight vs batched concurrent load",
-        &["phase", "qps", "p50 (us)", "p99 (us)"],
+        "serve: single-in-flight vs batched concurrent load (traced)",
+        &["phase", "qps", "p50 (us)", "p95 (us)", "p99 (us)", "queue wait (us)"],
         &[
-            vec![
-                "single".into(),
-                format!("{:.0}", single.qps),
-                format!("{:.0}", single.p50_us),
-                format!("{:.0}", single.p99_us),
-            ],
-            vec![
-                format!("batched x{clients}"),
-                format!("{:.0}", batched.qps),
-                format!("{:.0}", batched.p50_us),
-                format!("{:.0}", batched.p99_us),
-            ],
+            row("single".into(), &single),
+            row(format!("batched x{clients}"), &batched),
         ],
     );
     println!("\nbatched/single throughput: {speedup:.2}x (target >= 3x on >= 4 cores; this host: {cores})");
+    println!(
+        "tracing overhead: {:.2}% (traced {:.0} vs untraced {:.0} qps, budget < 3%); untraced A/A noise {:.2}% (budget < 1%)",
+        overhead.trace_overhead_pct, overhead.traced_qps, overhead.untraced_qps, overhead.disabled_aa_pct
+    );
 
     let peak_rss = peak_rss_bytes().unwrap_or(0);
+    let phase_json = |s: &PhaseStats| {
+        format!(
+            "{{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"mean_queue_wait_us\": {:.1}}}",
+            s.qps, s.p50_us, s.p95_us, s.p99_us, s.mean_queue_wait_us,
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cores\": {cores},\n  \
          \"threads\": {threads},\n  \"clients\": {clients},\n  \"requests_per_phase\": {requests},\n  \
-         \"single\": {{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
-         \"batched\": {{\"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
-         \"speedup\": {speedup:.4}\n}}\n",
-        single.qps, single.p50_us, single.p99_us, batched.qps, batched.p50_us, batched.p99_us,
+         \"traced\": true,\n  \
+         \"single\": {},\n  \
+         \"batched\": {},\n  \
+         \"speedup\": {speedup:.4},\n  \
+         \"overhead\": {{\"untraced_qps\": {:.1}, \"traced_qps\": {:.1}, \"trace_overhead_pct\": {:.3}, \"disabled_aa_pct\": {:.3}, \"trio_overhead_pct\": [{}]}},\n  \
+         \"note\": \"overhead numbers are medians of per-trio estimates over 16 respawned server trios, 64 order-rotated fine-grained sweeps each; noisy when cores=1 because client and server share one hardware thread\"\n}}\n",
+        phase_json(&single),
+        phase_json(&batched),
+        overhead.untraced_qps,
+        overhead.traced_qps,
+        overhead.trace_overhead_pct,
+        overhead.disabled_aa_pct,
+        overhead
+            .trio_overhead_pct
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");

@@ -7,8 +7,11 @@
 //! * `cluster` — cluster a lines-format file, print memberships;
 //! * `evaluate` — cluster a labeled file and print quality metrics;
 //! * `serve` — long-running clustering-as-a-service daemon over a frozen
-//!   model (binary protocol + HTTP JSON facade, hot swap on SIGHUP);
-//! * `trace-summary` — render a `--trace` JSONL file as a per-phase table;
+//!   model (binary protocol + HTTP JSON facade, hot swap on SIGHUP,
+//!   request observability with slow-request log and health endpoints);
+//! * `top` — live dashboard over a serve daemon's `/metrics`;
+//! * `trace-summary` — render a `--trace` JSONL file (clustering or
+//!   serve) as tables;
 //! * `help` — usage.
 //!
 //! ```sh
@@ -18,6 +21,7 @@
 //! ```
 
 mod args;
+mod top;
 
 use std::process::ExitCode;
 
@@ -50,6 +54,7 @@ USAGE:
   cluseq inspect  --model MODEL [--max-nodes N]
   cluseq serve    --model MODEL [--data FILE [--store memory|file]]
                   [serve options]
+  cluseq top      [ADDR] [--once] [--interval-ms MS]
   cluseq trace-summary TRACE_FILE
 
 SERVE OPTIONS:
@@ -69,17 +74,45 @@ SERVE OPTIONS:
                          score error for smaller tables)
   --frame-timeout-ms MS  slow-loris cutoff: how long a started request may
                          take to finish arriving (default 5000)
-  --metrics-addr ADDR    Prometheus exporter for request counters and
-                         latency histograms (serve_requests, serve_batches,
-                         serve_generation, serve_request_seconds)
+  --metrics-addr ADDR    standalone Prometheus exporter for the serve
+                         registry: per-opcode request counters and latency
+                         histograms, per-stage timing histograms, queue
+                         depth, in-flight, batch size, generation, RSS
+                         (the serve port's GET /metrics renders the same)
+  --slow-log PATH        append a crash-safe JSONL record (request id,
+                         opcode, generation, full stage timing breakdown)
+                         for every request at or over the slow threshold;
+                         an existing file gets its torn tail repaired and
+                         the stream continues (render with trace-summary)
+  --slow-threshold-ms MS slow-request threshold (default 100)
+  --trace PATH           append serve lifecycle events (serve_start,
+                         serve_swap, serve_end with a full counter and
+                         histogram snapshot) as JSONL; render with
+                         `cluseq trace-summary PATH`
+
+  Any of --metrics-addr / --slow-log / --trace enables request tracing:
+  every accepted request gets an id and a seven-stage timeline (accept,
+  decode, queue wait, batch formation, scan, encode, write-back). With
+  none of them the serve path is entirely uninstrumented.
 
   The daemon answers a length-prefixed binary protocol (ASSIGN, SCORE,
   ANOMALY, INFO, SWAP, SHUTDOWN) and speaks just enough HTTP/1.1 on the
-  same port for `curl`: GET /info /metrics, POST /assign /score /anomaly
-  (body = sequence, either symbol ids `0 1 0 1` or characters `abab`;
-  /anomaly takes ?threshold=LN_T), POST /swap (body = model path).
-  SIGHUP atomically reloads the model file in place: in-flight requests
-  finish on the generation that scored them, none are dropped.
+  same port for `curl`: GET /info /metrics /healthz /readyz, POST
+  /assign /score /anomaly (body = sequence, either symbol ids `0 1 0 1`
+  or characters `abab`; /anomaly takes ?threshold=LN_T), POST /swap
+  (body = model path). SIGHUP atomically reloads the model file in
+  place: in-flight requests finish on the generation that scored them,
+  none are dropped. SIGTERM drains gracefully: queued requests are
+  answered, then the observability streams are flushed.
+
+TOP OPTIONS:
+  cluseq top [ADDR]      live dashboard over a serve daemon's /metrics
+                         (default 127.0.0.1:7878): qps, in-flight, queue
+                         depth, per-opcode p50/p95/p99/p999, per-stage
+                         means, generation, RSS
+  --once                 print one frame (two scrapes 250 ms apart) and
+                         exit — for scripts and CI
+  --interval-ms MS       live refresh interval (default 2000)
 
 CLUSTERING OPTIONS:
   --initial-clusters K   initial cluster count (default 1)
@@ -176,6 +209,7 @@ fn main() -> ExitCode {
         Some("classify") => classify(&args),
         Some("inspect") => inspect(&args),
         Some("serve") => serve(&args),
+        Some("top") => top::run(&args),
         Some("trace-summary") => trace_summary(&args),
         Some("help") | None => {
             print!("{USAGE}");
@@ -714,6 +748,7 @@ fn cluster(args: &Args, evaluate: bool) -> ExitCode {
 }
 
 fn serve(args: &Args) -> ExitCode {
+    use cluseq_core::serve::obs::{ObsConfig, ServeObs};
     use cluseq_core::serve::{model::ServeModel, ServeConfig, Server};
 
     let Some(model_path) = args.get_str("model") else {
@@ -765,34 +800,51 @@ fn serve(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // The trace session owns the /metrics exporter; the serve threads hold
-    // their own Arc to the registry, so it must outlive the handle.
-    let trace_session = match args.get_str("metrics-addr") {
-        None => None,
-        Some(addr) => {
-            let config = TraceConfig {
-                jsonl: None,
-                metrics_addr: Some(addr.to_owned()),
-            };
-            match TraceSession::start(&config) {
-                Ok(session) => Some(session),
-                Err(e) => {
-                    eprintln!("error: starting metrics exporter: {e}");
-                    return ExitCode::FAILURE;
-                }
+    // Any observability flag turns the whole bundle on: the registry is
+    // shared, so counters, the exporter, the slow log, and the serve
+    // trace all read the same numbers. No flag → no bundle → the serve
+    // path pays nothing, not even clock reads.
+    let obs_config = ObsConfig {
+        slow_log: args.get_str("slow-log").map(std::path::PathBuf::from),
+        slow_threshold: std::time::Duration::from_millis(args.get("slow-threshold-ms", 100u64)),
+        trace_jsonl: args.get_str("trace").map(std::path::PathBuf::from),
+    };
+    let want_obs = args.get_str("metrics-addr").is_some()
+        || obs_config.slow_log.is_some()
+        || obs_config.trace_jsonl.is_some();
+    // The trace session owns the standalone /metrics exporter; the serve
+    // threads hold their own Arc to the registry, so it must outlive the
+    // handle.
+    let trace_session = if want_obs {
+        let config = TraceConfig {
+            jsonl: None,
+            metrics_addr: args.get_str("metrics-addr").map(str::to_owned),
+        };
+        match TraceSession::start(&config) {
+            Ok(session) => Some(session),
+            Err(e) => {
+                eprintln!("error: starting metrics exporter: {e}");
+                return ExitCode::FAILURE;
             }
         }
+    } else {
+        None
     };
     if let Some(addr) = trace_session.as_ref().and_then(|s| s.metrics_addr()) {
         eprintln!("metrics exporter listening on http://{addr}/metrics");
     }
+    let obs = match &trace_session {
+        Some(session) => match ServeObs::new(session.shared_arc(), &obs_config) {
+            Ok(obs) => Some(std::sync::Arc::new(obs)),
+            Err(e) => {
+                eprintln!("error: opening observability files: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let clusters = model.saved.cluster_count();
-    let handle = match Server::start(
-        model,
-        db,
-        &config,
-        trace_session.as_ref().map(|s| s.shared_arc()),
-    ) {
+    let handle = match Server::start(model, db, &config, obs) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("error: binding {}: {e}", config.addr);

@@ -24,14 +24,25 @@
 //!   oversized length prefixes, garbage magic, slow-loris stalls — get a
 //!   well-formed error frame or a clean close, never a panic or a hang
 //!   (`tests/serve_protocol.rs`).
+//!
+//! A fourth, optional, rides along: **request observability** ([`obs`]).
+//! With a [`ServeObs`] bundle attached, every accepted request gets an id
+//! and a seven-stage timeline (accept → decode → queue wait → batch
+//! formation → scan → encode → write-back) recorded into the sharded
+//! registry, outliers land in a crash-safe slow-request log, and the HTTP
+//! facade grows `/healthz`, `/readyz`, and the full `/metrics` series the
+//! `cluseq top` dashboard reads. Without the bundle the daemon pays for
+//! none of it — not even the clock reads.
 
 pub mod client;
 pub mod engine;
 mod http;
 pub mod model;
+pub mod obs;
 pub mod protocol;
 pub mod signal;
 
+use std::cell::RefCell;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -43,9 +54,10 @@ use std::time::{Duration, Instant};
 use cluseq_seq::SequenceStore;
 
 use crate::config::ScanKernel;
-use crate::trace::{Counter, TraceShared};
-use engine::{EngineHandle, ServeEngine, Work};
+use engine::{EngineHandle, Scored, ServeEngine, Work};
 use model::ServeModel;
+use obs::{ObsLocal, RequestRecord, ServeObs, ServeOp, StageNanos};
+use crate::trace::stamp::Stamp;
 use protocol::{errcode, parse_header, ProtoError, Request, Response, FRAME_MAGIC};
 
 /// How often blocked reads wake to check the stop flag.
@@ -66,8 +78,9 @@ pub struct ServeConfig {
     /// rest may take — the slow-loris cutoff. Idle connections are not
     /// subject to it.
     pub frame_timeout: Duration,
-    /// Spawn the SIGHUP watcher that reloads the model from its source
-    /// path (unix only; ignored elsewhere).
+    /// Spawn the signal watcher: SIGHUP reloads the model from its source
+    /// path, SIGTERM initiates a graceful drain (unix only; ignored
+    /// elsewhere).
     pub watch_sighup: bool,
 }
 
@@ -95,37 +108,52 @@ impl Server {
     /// Starts serving `model` under `config`. `db` is kept for hot-swaps
     /// to CCKP checkpoints — any [`SequenceStore`] works, and a
     /// file-backed one keeps the daemon's resident footprint bounded by
-    /// the model rather than the corpus; `trace` (when given) receives
-    /// request counters, batch counts, and latency observations.
+    /// the model rather than the corpus; `obs` (when given) receives the
+    /// full request observability stream: per-opcode counters, stage
+    /// timelines, the slow-request log, and the serve trace events.
     pub fn start(
         model: ServeModel,
         db: Option<Box<dyn SequenceStore + Send>>,
         config: &ServeConfig,
-        trace: Option<Arc<TraceShared>>,
+        obs: Option<Arc<ServeObs>>,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        if let Some(o) = &obs {
+            // Calibrate the stamp clock up front so the first traced
+            // request doesn't eat the ~2ms spin.
+            crate::trace::stamp::calibrate();
+            o.event_serve_start(
+                &addr.to_string(),
+                config.threads,
+                config.max_batch,
+                &config.kernel.to_string(),
+                model.generation,
+                model.saved.cluster_count() as u32,
+            );
+        }
         let engine_handle =
-            ServeEngine::start(model, config.threads, config.max_batch, db, trace.clone());
+            ServeEngine::start(model, config.threads, config.max_batch, db, obs.clone());
         let engine = Arc::clone(engine_handle.engine());
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept = {
             let stop = Arc::clone(&stop);
             let engine = Arc::clone(&engine);
-            let trace = trace.clone();
+            let obs = obs.clone();
             let frame_timeout = config.frame_timeout;
             std::thread::Builder::new()
                 .name("serve-accept".into())
-                .spawn(move || accept_loop(listener, stop, engine, trace, frame_timeout, addr))?
+                .spawn(move || accept_loop(listener, stop, engine, obs, frame_timeout, addr))?
         };
 
         let hup = if config.watch_sighup && signal::install() {
+            let term_installed = signal::install_term();
             let stop = Arc::clone(&stop);
             let engine = Arc::clone(&engine);
             Some(
                 std::thread::Builder::new()
-                    .name("serve-sighup".into())
+                    .name("serve-signal".into())
                     .spawn(move || {
                         while !stop.load(Ordering::SeqCst) {
                             if signal::take() {
@@ -139,6 +167,11 @@ impl Server {
                                          generation keeps serving"
                                     ),
                                 }
+                            }
+                            if term_installed && signal::take_term() {
+                                eprintln!("serve: SIGTERM -> graceful drain");
+                                stop.store(true, Ordering::SeqCst);
+                                wake(addr);
                             }
                             std::thread::sleep(POLL);
                         }
@@ -155,12 +188,13 @@ impl Server {
             hup,
             engine,
             engine_handle: Some(engine_handle),
+            obs,
         })
     }
 }
 
 /// A running daemon; owns the accept loop, connection handlers (via the
-/// accept loop), the optional SIGHUP watcher, and the dispatcher.
+/// accept loop), the optional signal watcher, and the dispatcher.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -168,6 +202,7 @@ pub struct ServerHandle {
     hup: Option<JoinHandle<()>>,
     engine: Arc<ServeEngine>,
     engine_handle: Option<EngineHandle>,
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -194,9 +229,9 @@ impl ServerHandle {
         self.engine.generation()
     }
 
-    /// Blocks until the daemon stops — via a client SHUTDOWN frame or
-    /// [`ServerHandle::shutdown`] from another thread — then completes
-    /// the drain. The CLI parks on this.
+    /// Blocks until the daemon stops — via a client SHUTDOWN frame, a
+    /// SIGTERM, or [`ServerHandle::shutdown`] from another thread — then
+    /// completes the drain. The CLI parks on this.
     pub fn wait(mut self) {
         self.finish();
     }
@@ -223,6 +258,12 @@ impl ServerHandle {
         }
         if let Some(engine_handle) = self.engine_handle.take() {
             engine_handle.shutdown();
+            // The drain is complete: snapshot the registry into the serve
+            // trace (`serve_end`) and make both JSONL streams durable.
+            if let Some(o) = &self.obs {
+                o.event_serve_end();
+                o.sync();
+            }
         }
     }
 }
@@ -250,7 +291,7 @@ fn accept_loop(
     listener: TcpListener,
     stop: Arc<AtomicBool>,
     engine: Arc<ServeEngine>,
-    trace: Option<Arc<TraceShared>>,
+    obs: Option<Arc<ServeObs>>,
     frame_timeout: Duration,
     addr: SocketAddr,
 ) {
@@ -269,9 +310,12 @@ fn accept_loop(
             break;
         }
         handlers.retain(|h| !h.is_finished());
+        let shard = obs.as_ref().map_or(0, |o| o.conn_shard());
         let conn = Connection {
             engine: Arc::clone(&engine),
-            trace: trace.clone(),
+            obs: obs.clone(),
+            shard,
+            local: RefCell::new(ObsLocal::new()),
             stop: Arc::clone(&stop),
             frame_timeout,
             server_addr: addr,
@@ -292,7 +336,12 @@ fn accept_loop(
 /// Per-connection state: one handler thread per accepted stream.
 struct Connection {
     engine: Arc<ServeEngine>,
-    trace: Option<Arc<TraceShared>>,
+    obs: Option<Arc<ServeObs>>,
+    /// This connection's registry shard (see [`ServeObs::conn_shard`]).
+    shard: usize,
+    /// This connection's histogram buffer (see
+    /// [`ServeObs::record_buffered`]); flushed when the handler exits.
+    local: RefCell<ObsLocal>,
     stop: Arc<AtomicBool>,
     frame_timeout: Duration,
     server_addr: SocketAddr,
@@ -308,6 +357,18 @@ enum Filled {
     Done,
     Closed,
     TimedOut,
+}
+
+/// The transport-side half of a binary request's timeline: its id, the
+/// accept stage, and where decode began (the queue stages arrive with
+/// [`Scored`], whose enqueue stamp also ends decode). Absent when
+/// observability is off — and with it every clock read on the framing
+/// path.
+#[derive(Clone, Copy)]
+struct FrameMeta {
+    request_id: u64,
+    accept_nanos: u64,
+    decode_start: Stamp,
 }
 
 impl Connection {
@@ -327,7 +388,7 @@ impl Connection {
                 FirstByte::Byte(b) => {
                     // Not frame magic: one HTTP request, then close.
                     let deadline = Instant::now() + self.frame_timeout;
-                    http::handle(&mut stream, b, &self.engine, self.trace.as_ref(), deadline);
+                    http::handle(&mut stream, b, &self.engine, self.obs.as_ref(), deadline);
                     return;
                 }
             }
@@ -387,6 +448,10 @@ impl Connection {
     /// Serves one binary frame whose first byte already arrived. Returns
     /// whether the connection should keep going.
     fn serve_frame(&self, stream: &mut TcpStream, first: u8) -> bool {
+        let started = self
+            .obs
+            .as_ref()
+            .map(|o| (o.next_request_id(), Stamp::now()));
         let deadline = Instant::now() + self.frame_timeout;
         let mut header = [0u8; 8];
         header[0] = first;
@@ -424,6 +489,12 @@ impl Connection {
                 return false;
             }
         }
+        // One stamp ends accept and starts decode.
+        let decode_start = started.map(|_| Stamp::now());
+        let accept_nanos = match (started, decode_start) {
+            (Some((_, t)), Some(d)) => d.nanos_since(t),
+            _ => 0,
+        };
         let request = match Request::decode_payload(&payload) {
             Ok(request) => request,
             Err(ProtoError::BadTag(op)) => {
@@ -439,41 +510,67 @@ impl Connection {
                 return true;
             }
         };
-        self.dispatch(stream, request)
+        let meta = started.zip(decode_start).map(|((request_id, _), d)| FrameMeta {
+            request_id,
+            accept_nanos,
+            decode_start: d,
+        });
+        self.dispatch(stream, request, meta)
     }
 
     /// Executes one decoded request. Returns whether to keep the
     /// connection open.
-    fn dispatch(&self, stream: &mut TcpStream, request: Request) -> bool {
+    fn dispatch(&self, stream: &mut TcpStream, request: Request, meta: Option<FrameMeta>) -> bool {
         match request {
-            Request::Assign { seq } => self.scored(stream, Work::Assign(seq)),
-            Request::Score { seq } => self.scored(stream, Work::Score(seq)),
+            Request::Assign { seq } => {
+                let n = seq.len();
+                self.scored(stream, ServeOp::Assign, Work::Assign(seq), n, meta)
+            }
+            Request::Score { seq } => {
+                let n = seq.len();
+                self.scored(stream, ServeOp::Score, Work::Score(seq), n, meta)
+            }
             Request::Anomaly { seq, threshold } => {
-                self.scored(stream, Work::Anomaly(seq, threshold))
+                let n = seq.len();
+                self.scored(stream, ServeOp::Anomaly, Work::Anomaly(seq, threshold), n, meta)
             }
             Request::Info => {
-                self.count_ok();
-                self.send(stream, &self.engine.current().info())
+                let response = self.engine.current().info();
+                self.finish(stream, ServeOp::Info, Scored::immediate(response), 0, meta)
             }
             Request::Swap { path } => match self.engine.swap(Path::new(&path)) {
-                Ok((generation, clusters)) => {
-                    self.count_ok();
-                    self.send(
-                        stream,
-                        &Response::Swapped {
-                            generation,
-                            clusters,
-                        },
-                    )
-                }
+                Ok((generation, clusters)) => self.finish(
+                    stream,
+                    ServeOp::Swap,
+                    Scored::immediate(Response::Swapped {
+                        generation,
+                        clusters,
+                    }),
+                    0,
+                    meta,
+                ),
                 Err(e) => {
-                    self.send_error(stream, errcode::SWAP_FAILED, &e);
+                    self.finish(
+                        stream,
+                        ServeOp::Swap,
+                        Scored::immediate(Response::Error {
+                            code: errcode::SWAP_FAILED,
+                            message: e,
+                        }),
+                        0,
+                        meta,
+                    );
                     true
                 }
             },
             Request::Shutdown => {
-                self.count_ok();
-                let _ = self.send(stream, &Response::ShuttingDown);
+                let _ = self.finish(
+                    stream,
+                    ServeOp::Shutdown,
+                    Scored::immediate(Response::ShuttingDown),
+                    0,
+                    meta,
+                );
                 self.stop.store(true, Ordering::SeqCst);
                 wake(self.server_addr);
                 false
@@ -482,21 +579,89 @@ impl Connection {
     }
 
     /// Queues scoring work and relays the batched answer.
-    fn scored(&self, stream: &mut TcpStream, work: Work) -> bool {
-        let response = self.engine.submit(work).recv().unwrap_or(Response::Error {
-            code: errcode::SHUTTING_DOWN,
-            message: "server is draining".into(),
-        });
-        self.send(stream, &response)
+    fn scored(
+        &self,
+        stream: &mut TcpStream,
+        op: ServeOp,
+        work: Work,
+        seq_len: usize,
+        meta: Option<FrameMeta>,
+    ) -> bool {
+        let scored = self
+            .engine
+            .submit(work)
+            .recv()
+            .unwrap_or_else(|_| Scored::draining());
+        self.finish(stream, op, scored, seq_len, meta)
+    }
+
+    /// Encodes and writes the response; with observability on, times both
+    /// stages and records the request's complete timeline. Returns write
+    /// success (keep the connection).
+    fn finish(
+        &self,
+        stream: &mut TcpStream,
+        op: ServeOp,
+        scored: Scored,
+        seq_len: usize,
+        meta: Option<FrameMeta>,
+    ) -> bool {
+        let Scored {
+            response,
+            enqueued,
+            queue_wait_nanos,
+            batch_form_nanos,
+            scan_nanos,
+        } = scored;
+        match (&self.obs, meta) {
+            (Some(obs), Some(meta)) => {
+                let encode_start = Stamp::now();
+                let frame = response.encode_frame();
+                let write_start = Stamp::now();
+                let ok = stream.write_all(&frame).is_ok();
+                let stages = StageNanos {
+                    accept: meta.accept_nanos,
+                    // Queued ops end decode at their enqueue stamp; admin
+                    // ops answer inline, so their decode runs until the
+                    // response was ready to encode.
+                    decode: enqueued
+                        .unwrap_or(encode_start)
+                        .nanos_since(meta.decode_start),
+                    queue_wait: queue_wait_nanos,
+                    batch_form: batch_form_nanos,
+                    scan: scan_nanos,
+                    encode: write_start.nanos_since(encode_start),
+                    write_back: Stamp::now().nanos_since(write_start),
+                };
+                obs.record_buffered(
+                    self.shard,
+                    &mut self.local.borrow_mut(),
+                    &RequestRecord {
+                        request_id: meta.request_id,
+                        op,
+                        transport: "binary",
+                        generation: response.generation(),
+                        seq_len,
+                        error: matches!(response, Response::Error { .. }),
+                        stages,
+                    },
+                );
+                ok
+            }
+            _ => self.send(stream, &response),
+        }
     }
 
     fn send(&self, stream: &mut TcpStream, response: &Response) -> bool {
         stream.write_all(&response.encode_frame()).is_ok()
     }
 
+    /// A protocol-level failure (framing, timeout, bad opcode): the
+    /// request never reached an opcode, so it counts against the
+    /// aggregate error total only.
     fn send_error(&self, stream: &mut TcpStream, code: u16, message: &str) {
-        if let Some(t) = &self.trace {
-            t.add(Counter::ServeErrors, 1);
+        if let Some(o) = &self.obs {
+            o.record_meta(true);
         }
         let _ = self.send(
             stream,
@@ -506,10 +671,15 @@ impl Connection {
             },
         );
     }
+}
 
-    fn count_ok(&self) {
-        if let Some(t) = &self.trace {
-            t.add(Counter::ServeRequests, 1);
+impl Drop for Connection {
+    /// Drains any histogram observations still buffered when the handler
+    /// exits, so registry totals are complete once every connection has
+    /// closed (the shutdown snapshot joins the handlers first).
+    fn drop(&mut self) {
+        if let Some(obs) = &self.obs {
+            obs.flush_local(self.shard, &mut self.local.borrow_mut());
         }
     }
 }

@@ -13,6 +13,17 @@
 //! (model generation, query), and batching only changes *when* it runs,
 //! never *what* it computes.
 //!
+//! # Observability
+//!
+//! When an observability bundle is attached, every reply travels back as
+//! a [`Scored`] carrying the dispatcher-side stage timings — queue wait
+//! (enqueue → drained), batch formation (drained → scan start), and the
+//! scan itself — so the connection handler that owns the request can
+//! record its full timeline in one place. The dispatcher also maintains
+//! the queue-depth and in-flight gauges and observes the per-batch job
+//! count; per-request counting happens in the handlers, never here, so
+//! each request is counted exactly once.
+//!
 //! # Hot swap
 //!
 //! [`ServeEngine::swap`] builds the replacement generation entirely
@@ -27,14 +38,15 @@ use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
 
 use cluseq_seq::{SequenceStore, Symbol};
 
 use crate::score::parallel_map;
 use crate::serve::model::ServeModel;
+use crate::serve::obs::ServeObs;
 use crate::serve::protocol::{errcode, Response};
-use crate::trace::{self, Counter, Gauge, HistKind, TraceShared};
+use crate::trace::stamp::Stamp;
+use crate::trace::{Counter, Gauge, HistKind};
 
 /// One scoring query, decoded and validated off the wire.
 #[derive(Debug, Clone)]
@@ -47,10 +59,51 @@ pub enum Work {
     Anomaly(Vec<Symbol>, Option<f64>),
 }
 
+/// A batched answer plus the dispatcher-side stage timings (all zero when
+/// the engine runs without observability, or when the queue was already
+/// closed).
+#[derive(Debug)]
+pub struct Scored {
+    /// The response the batch produced for this job.
+    pub response: Response,
+    /// When the job entered the queue — the transport handler reads it
+    /// as the end of its decode stage, so the decode/queue seam costs no
+    /// extra clock read. `None` for responses that never queued.
+    pub enqueued: Option<Stamp>,
+    /// Enqueue until the dispatcher drained the job into a batch.
+    pub queue_wait_nanos: u64,
+    /// Batch drain until batch scoring began (model pinning).
+    pub batch_form_nanos: u64,
+    /// The batched scoring pass this job rode in.
+    pub scan_nanos: u64,
+}
+
+impl Scored {
+    /// Wraps a response produced outside the queue (admin opcodes):
+    /// queue-stage timings are zero by definition.
+    pub fn immediate(response: Response) -> Self {
+        Scored {
+            response,
+            enqueued: None,
+            queue_wait_nanos: 0,
+            batch_form_nanos: 0,
+            scan_nanos: 0,
+        }
+    }
+
+    /// The immediate answer for work submitted after the queue closed.
+    pub fn draining() -> Self {
+        Scored::immediate(Response::Error {
+            code: errcode::SHUTTING_DOWN,
+            message: "server is draining".into(),
+        })
+    }
+}
+
 struct Job {
     work: Work,
-    enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    enqueued: Stamp,
+    reply: mpsc::Sender<Scored>,
 }
 
 #[derive(Default)]
@@ -71,7 +124,7 @@ pub struct ServeEngine {
     threads: usize,
     max_batch: usize,
     db: Option<Box<dyn SequenceStore + Send>>,
-    trace: Option<Arc<TraceShared>>,
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -133,7 +186,7 @@ impl ServeEngine {
         threads: usize,
         max_batch: usize,
         db: Option<Box<dyn SequenceStore + Send>>,
-        trace: Option<Arc<TraceShared>>,
+        obs: Option<Arc<ServeObs>>,
     ) -> EngineHandle {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let generation = initial.generation;
@@ -146,10 +199,10 @@ impl ServeEngine {
             threads: threads.clamp(1, cores),
             max_batch: max_batch.max(1),
             db,
-            trace,
+            obs,
         });
-        if let Some(t) = &engine.trace {
-            t.gauge_set(Gauge::ServeGeneration, generation);
+        if let Some(o) = &engine.obs {
+            o.registry().gauge_set(Gauge::ServeGeneration, generation);
         }
         let worker = Arc::clone(&engine);
         let dispatcher = std::thread::Builder::new()
@@ -172,25 +225,41 @@ impl ServeEngine {
         Arc::clone(&self.model.read().expect("model lock poisoned"))
     }
 
+    /// Whether the engine still accepts work: the readiness probe.
+    /// `false` once the queue has closed — the daemon is draining.
+    pub fn is_ready(&self) -> bool {
+        !self.queue.lock().expect("queue lock poisoned").shutdown
+    }
+
     /// Enqueues one query. The returned receiver yields exactly one
-    /// [`Response`] — immediately a shutting-down error if the queue has
-    /// already closed, otherwise the batched scoring answer.
-    pub fn submit(&self, work: Work) -> mpsc::Receiver<Response> {
+    /// [`Scored`] — immediately a shutting-down error if the queue has
+    /// already closed, otherwise the batched scoring answer with its
+    /// dispatcher timings.
+    pub fn submit(&self, work: Work) -> mpsc::Receiver<Scored> {
         let (tx, rx) = mpsc::channel();
+        // Stamped before the queue lock: time spent waiting for the lock
+        // is queue time, not decode time.
+        let enqueued = Stamp::now();
         let mut q = self.queue.lock().expect("queue lock poisoned");
         if q.shutdown {
             drop(q);
-            let _ = tx.send(Response::Error {
-                code: errcode::SHUTTING_DOWN,
-                message: "server is draining".into(),
-            });
+            let _ = tx.send(Scored::draining());
             return rx;
         }
         q.jobs.push_back(Job {
             work,
-            enqueued: Instant::now(),
+            enqueued,
             reply: tx,
         });
+        // The depth gauge is last-write-wins, so every write happens
+        // under the queue lock (here and in the dispatcher's drain) —
+        // writes then serialize in queue order and the final value always
+        // matches the final queue state.
+        if let Some(o) = &self.obs {
+            let t = o.registry();
+            t.gauge_set(Gauge::ServeQueueDepth, q.jobs.len() as u64);
+            t.gauge_add(Gauge::ServeInFlight, 1);
+        }
         drop(q);
         self.ready.notify_one();
         rx
@@ -213,9 +282,11 @@ impl ServeEngine {
         )?;
         let clusters = fresh.saved.cluster_count() as u32;
         *self.model.write().expect("model lock poisoned") = Arc::new(fresh);
-        if let Some(t) = &self.trace {
+        if let Some(o) = &self.obs {
+            let t = o.registry();
             t.add(Counter::ServeSwaps, 1);
             t.gauge_set(Gauge::ServeGeneration, generation);
+            o.event_serve_swap(generation, clusters);
         }
         Ok((generation, clusters))
     }
@@ -241,7 +312,12 @@ impl ServeEngine {
                 loop {
                     if !q.jobs.is_empty() {
                         let n = q.jobs.len().min(self.max_batch);
-                        break q.jobs.drain(..n).collect();
+                        let batch: Vec<Job> = q.jobs.drain(..n).collect();
+                        if let Some(o) = &self.obs {
+                            o.registry()
+                                .gauge_set(Gauge::ServeQueueDepth, q.jobs.len() as u64);
+                        }
+                        break batch;
                     }
                     if q.shutdown {
                         return;
@@ -249,29 +325,54 @@ impl ServeEngine {
                     q = self.ready.wait(q).expect("queue lock poisoned");
                 }
             };
+            // Stage stamps are only taken when someone will read them:
+            // untraced serving pays zero clock reads here.
+            let drained_at = self.obs.as_ref().map(|_| Stamp::now());
             // Pin the model once: every job in this batch is answered by
             // the same generation, and a concurrent swap cannot free it
             // out from under the workers.
             let model = self.current();
+            let scan_start = self.obs.as_ref().map(|_| Stamp::now());
             let responses = parallel_map(batch.len(), self.threads, |i| match &batch[i].work {
                 Work::Assign(seq) => model.assign(seq),
                 Work::Score(seq) => model.score(seq),
                 Work::Anomaly(seq, threshold) => model.anomaly(seq, *threshold),
             });
-            if let Some(t) = &self.trace {
-                t.add(Counter::ServeBatches, 1);
-                for (job, response) in batch.iter().zip(&responses) {
-                    let counter = match response {
-                        Response::Error { .. } => Counter::ServeErrors,
-                        _ => Counter::ServeRequests,
-                    };
-                    t.add(counter, 1);
-                    t.observe(HistKind::ServeRequest, 0, trace::nanos_since(job.enqueued));
-                }
-            }
+            let scan_end = scan_start.map(|_| Stamp::now());
+            let scan_nanos = match (scan_start, scan_end) {
+                (Some(s), Some(e)) => e.nanos_since(s),
+                _ => 0,
+            };
+            let batch_form_nanos = match (drained_at, scan_start) {
+                (Some(d), Some(s)) => s.nanos_since(d),
+                _ => 0,
+            };
+            // Replies go out before any registry bookkeeping: a blocked
+            // connection handler wakes as early as possible (on one core
+            // it may still be inside its recv spin-wait), and the metrics
+            // writes below happen while the handlers are busy encoding.
+            let batch_len = batch.len();
             for (job, response) in batch.into_iter().zip(responses) {
+                let queue_wait_nanos = drained_at.map_or(0, |d| d.nanos_since(job.enqueued));
                 // A vanished client (dropped receiver) is not an error.
-                let _ = job.reply.send(response);
+                // The whole-lifetime `serve_request` histogram is fed by
+                // the handler's `record` from these stage values.
+                let _ = job.reply.send(Scored {
+                    response,
+                    enqueued: Some(job.enqueued),
+                    queue_wait_nanos,
+                    batch_form_nanos,
+                    scan_nanos,
+                });
+            }
+            if let Some(o) = &self.obs {
+                let t = o.registry();
+                t.add(Counter::ServeBatches, 1);
+                // Jobs-per-batch rides the nanosecond histogram machinery
+                // in "micro-jobs": n jobs stored as n·1000 so bucket b
+                // covers [2^(b-1), 2^b) jobs; the exporter divides back.
+                t.observe(HistKind::ServeBatchJobs, 0, batch_len as u64 * 1000);
+                t.gauge_add(Gauge::ServeInFlight, -(batch_len as i64));
             }
         }
     }

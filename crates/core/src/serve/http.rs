@@ -20,9 +20,10 @@ use std::time::Instant;
 
 use cluseq_seq::Symbol;
 
-use crate::serve::engine::{ServeEngine, Work};
+use crate::serve::engine::{Scored, ServeEngine, Work};
+use crate::serve::obs::{RequestRecord, ServeObs, ServeOp, StageNanos};
 use crate::serve::protocol::{errcode, Response};
-use crate::trace::{exporter, Counter, TraceShared};
+use crate::trace::{self, exporter};
 
 /// The CLI's single-character alphabet order (`single_char_recode`):
 /// index in this string = symbol id.
@@ -31,24 +32,41 @@ const CHARS: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456
 const MAX_HEAD: usize = 16 * 1024;
 const MAX_BODY: usize = 1024 * 1024;
 
+/// The transport-side half of an HTTP request's timeline: its id plus the
+/// accept stage (head + body read). Absent when observability is off.
+#[derive(Clone, Copy)]
+struct HttpMeta {
+    request_id: u64,
+    accept_nanos: u64,
+}
+
 /// Serves one HTTP request on `stream`; `first` is the already-consumed
 /// first byte. The whole request must arrive before `deadline`.
 pub(crate) fn handle(
     stream: &mut TcpStream,
     first: u8,
     engine: &Arc<ServeEngine>,
-    trace: Option<&Arc<TraceShared>>,
+    obs: Option<&Arc<ServeObs>>,
     deadline: Instant,
 ) {
+    let started = obs.map(|o| (o.next_request_id(), Instant::now()));
+    let meta_error = |message: &str| {
+        if let Some(o) = obs {
+            o.record_meta(true);
+        }
+        let _ = message;
+    };
     let mut head = vec![first];
     if !read_head(stream, &mut head, deadline) {
         respond(stream, 408, "text/plain", "request head timed out\n");
+        meta_error("head timeout");
         return;
     }
     let head_end = match head.windows(4).position(|w| w == b"\r\n\r\n") {
         Some(at) => at + 4,
         None => {
             respond(stream, 400, "text/plain", "malformed request head\n");
+            meta_error("malformed head");
             return;
         }
     };
@@ -57,6 +75,7 @@ pub(crate) fn handle(
         Ok(s) => s,
         Err(_) => {
             respond(stream, 400, "text/plain", "request head is not UTF-8\n");
+            meta_error("non-utf8 head");
             return;
         }
     };
@@ -67,6 +86,7 @@ pub(crate) fn handle(
         (Some(m), Some(t)) => (m, t),
         _ => {
             respond(stream, 400, "text/plain", "malformed request line\n");
+            meta_error("malformed request line");
             return;
         }
     };
@@ -77,12 +97,14 @@ pub(crate) fn handle(
         .unwrap_or(0);
     if content_length > MAX_BODY {
         respond(stream, 413, "text/plain", "body too large\n");
+        meta_error("oversized body");
         return;
     }
     while body.len() < content_length {
         let mut chunk = [0u8; 4096];
         if Instant::now() >= deadline {
             respond(stream, 408, "text/plain", "request body timed out\n");
+            meta_error("body timeout");
             return;
         }
         match stream.read(&mut chunk) {
@@ -104,24 +126,18 @@ pub(crate) fn handle(
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    if let Some(t) = trace {
-        let hit_error = route(stream, method, path, query, &body, engine, trace);
-        t.add(
-            if hit_error {
-                Counter::ServeErrors
-            } else {
-                Counter::ServeRequests
-            },
-            1,
-        );
-    } else {
-        route(stream, method, path, query, &body, engine, trace);
-    }
+    let meta = started.map(|(request_id, t)| HttpMeta {
+        request_id,
+        accept_nanos: trace::nanos_since(t),
+    });
+    route(stream, method, path, query, &body, engine, obs, meta);
 }
 
-/// Dispatches one parsed request; returns whether it ended in an error
-/// response (for the facade-level counters — engine-queued work is
-/// already counted by the dispatcher, so queued routes report false).
+/// Dispatches one parsed request and records its outcome: scoring and
+/// admin endpoints get a full per-opcode request record, facade meta
+/// endpoints (`/metrics`, `/healthz`, `/readyz`, unknown paths) feed only
+/// the aggregate counters.
+#[allow(clippy::too_many_arguments)]
 fn route(
     stream: &mut TcpStream,
     method: &str,
@@ -129,73 +145,115 @@ fn route(
     query: &str,
     body: &[u8],
     engine: &Arc<ServeEngine>,
-    trace: Option<&Arc<TraceShared>>,
-) -> bool {
+    obs: Option<&Arc<ServeObs>>,
+    meta: Option<HttpMeta>,
+) {
+    let record_meta = |error: bool| {
+        if let Some(o) = obs {
+            o.record_meta(error);
+        }
+    };
     match (method, path) {
         ("GET", "/info") => {
-            send_response(stream, &engine.current().info());
-            false
+            let response = engine.current().info();
+            finish(stream, obs, meta, ServeOp::Info, Scored::immediate(response), 0, 0);
         }
-        ("GET", "/metrics") => match trace {
-            Some(shared) => {
+        ("GET", "/healthz") => {
+            // Liveness: the accept loop handed us this request, so the
+            // process is alive by construction.
+            respond(stream, 200, "text/plain", "ok\n");
+            record_meta(false);
+        }
+        ("GET", "/readyz") => {
+            // Readiness: a model generation is loaded by construction
+            // (the daemon cannot start without one); the queue still
+            // accepting work is the live half of the probe.
+            if engine.is_ready() {
+                respond(stream, 200, "text/plain", "ready\n");
+            } else {
+                respond(stream, 503, "text/plain", "draining\n");
+            }
+            record_meta(false);
+        }
+        ("GET", "/metrics") => match obs {
+            Some(o) => {
                 respond(
                     stream,
                     200,
                     "text/plain; version=0.0.4; charset=utf-8",
-                    &exporter::render(shared),
+                    &exporter::render(o.registry()),
                 );
-                false
+                record_meta(false);
             }
             None => {
                 respond(stream, 404, "text/plain", "tracing is not enabled\n");
-                true
             }
         },
         ("POST", "/assign") | ("POST", "/score") | ("POST", "/anomaly") => {
+            let op = match path {
+                "/assign" => ServeOp::Assign,
+                "/score" => ServeOp::Score,
+                _ => ServeOp::Anomaly,
+            };
+            let decode_start = meta.map(|_| Instant::now());
             let seq = match parse_sequence(body) {
                 Ok(seq) => seq,
                 Err(e) => {
                     respond(stream, 400, "text/plain", &format!("{e}\n"));
-                    return true;
+                    record_op_error(obs, meta, op, decode_start.map_or(0, trace::nanos_since));
+                    return;
                 }
             };
-            let work = match path {
-                "/assign" => Work::Assign(seq),
-                "/score" => Work::Score(seq),
+            let work = match op {
+                ServeOp::Assign => Work::Assign(seq),
+                ServeOp::Score => Work::Score(seq),
                 _ => {
                     let threshold = match query_threshold(query) {
                         Ok(t) => t,
                         Err(e) => {
                             respond(stream, 400, "text/plain", &format!("{e}\n"));
-                            return true;
+                            record_op_error(
+                                obs,
+                                meta,
+                                op,
+                                decode_start.map_or(0, trace::nanos_since),
+                            );
+                            return;
                         }
                     };
                     Work::Anomaly(seq, threshold)
                 }
             };
-            let response = engine.submit(work).recv().unwrap_or(Response::Error {
-                code: errcode::SHUTTING_DOWN,
-                message: "server is draining".into(),
-            });
-            send_response(stream, &response);
-            false
+            let seq_len = match &work {
+                Work::Assign(s) | Work::Score(s) | Work::Anomaly(s, _) => s.len(),
+            };
+            let decode_nanos = decode_start.map_or(0, trace::nanos_since);
+            let scored = engine
+                .submit(work)
+                .recv()
+                .unwrap_or_else(|_| Scored::draining());
+            finish(stream, obs, meta, op, scored, seq_len, decode_nanos);
         }
         ("POST", "/swap") => {
             let path_text = String::from_utf8_lossy(body).trim().to_string();
             match engine.swap(Path::new(&path_text)) {
                 Ok((generation, clusters)) => {
-                    send_response(
+                    finish(
                         stream,
-                        &Response::Swapped {
+                        obs,
+                        meta,
+                        ServeOp::Swap,
+                        Scored::immediate(Response::Swapped {
                             generation,
                             clusters,
-                        },
+                        }),
+                        0,
+                        0,
                     );
-                    false
                 }
                 Err(e) => {
                     respond(stream, 409, "text/plain", &format!("swap failed: {e}\n"));
-                    true
+                    record_op_error(obs, meta, ServeOp::Swap, 0);
                 }
             }
         }
@@ -204,10 +262,83 @@ fn route(
                 stream,
                 404,
                 "text/plain",
-                "endpoints: GET /info /metrics, POST /assign /score /anomaly /swap\n",
+                "endpoints: GET /info /metrics /healthz /readyz, \
+                 POST /assign /score /anomaly /swap\n",
             );
-            true
+            record_meta(true);
         }
+    }
+}
+
+/// Encodes and writes the JSON answer; with observability on, times the
+/// encode and write-back stages and records the full request timeline.
+fn finish(
+    stream: &mut TcpStream,
+    obs: Option<&Arc<ServeObs>>,
+    meta: Option<HttpMeta>,
+    op: ServeOp,
+    scored: Scored,
+    seq_len: usize,
+    decode_nanos: u64,
+) {
+    let Scored {
+        response,
+        enqueued: _,
+        queue_wait_nanos,
+        batch_form_nanos,
+        scan_nanos,
+    } = scored;
+    match (obs, meta) {
+        (Some(obs), Some(meta)) => {
+            let encode_start = Instant::now();
+            let (status, body) = to_json(&response);
+            let write_start = Instant::now();
+            respond(stream, status, "application/json", &body);
+            let stages = StageNanos {
+                accept: meta.accept_nanos,
+                decode: decode_nanos,
+                queue_wait: queue_wait_nanos,
+                batch_form: batch_form_nanos,
+                scan: scan_nanos,
+                encode: trace::saturating_nanos(write_start.duration_since(encode_start)),
+                write_back: trace::nanos_since(write_start),
+            };
+            obs.record(&RequestRecord {
+                request_id: meta.request_id,
+                op,
+                transport: "http",
+                generation: response.generation(),
+                seq_len,
+                error: matches!(response, Response::Error { .. }),
+                stages,
+            });
+        }
+        _ => send_response(stream, &response),
+    }
+}
+
+/// Records a request that failed before reaching the queue but whose
+/// opcode is known from the path (parse errors, failed swaps).
+fn record_op_error(
+    obs: Option<&Arc<ServeObs>>,
+    meta: Option<HttpMeta>,
+    op: ServeOp,
+    decode_nanos: u64,
+) {
+    if let (Some(obs), Some(meta)) = (obs, meta) {
+        obs.record(&RequestRecord {
+            request_id: meta.request_id,
+            op,
+            transport: "http",
+            generation: None,
+            seq_len: 0,
+            error: true,
+            stages: StageNanos {
+                accept: meta.accept_nanos,
+                decode: decode_nanos,
+                ..Default::default()
+            },
+        });
     }
 }
 

@@ -449,6 +449,20 @@ impl Request {
 }
 
 impl Response {
+    /// The model generation that produced this answer, when the variant
+    /// carries one (errors and the shutdown ack do not). Observability
+    /// stamps slow-request records with it.
+    pub fn generation(&self) -> Option<u64> {
+        match self {
+            Response::Assign { generation, .. }
+            | Response::Score { generation, .. }
+            | Response::Anomaly { generation, .. }
+            | Response::Info { generation, .. }
+            | Response::Swapped { generation, .. } => Some(*generation),
+            Response::ShuttingDown | Response::Error { .. } => None,
+        }
+    }
+
     /// Encodes the response payload (no frame header).
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();

@@ -1,23 +1,28 @@
-//! SIGHUP plumbing for hot model reload, with no libc crate.
+//! SIGHUP (hot model reload) and SIGTERM (graceful drain) plumbing, with
+//! no libc crate.
 //!
 //! std already links the platform C library on unix, so a one-line
 //! `extern "C"` binding to `signal(2)` is all the daemon needs: the
-//! handler just flips an `AtomicBool` (the only thing that is
-//! async-signal-safe here), and the serve loop polls [`take`] from a
-//! normal thread. On non-unix targets the module compiles to inert
-//! stubs — [`install`] reports unsupported and [`take`] never fires.
+//! handlers just flip an `AtomicBool` each (the only thing that is
+//! async-signal-safe here), and the serve loop polls [`take`] /
+//! [`take_term`] from a normal thread. On non-unix targets the module
+//! compiles to inert stubs — [`install`] / [`install_term`] report
+//! unsupported and the flags never fire.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static HUP_PENDING: AtomicBool = AtomicBool::new(false);
+static TERM_PENDING: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod imp {
-    use super::HUP_PENDING;
+    use super::{HUP_PENDING, TERM_PENDING};
     use std::sync::atomic::Ordering;
 
     /// `SIGHUP` from `<signal.h>`; value 1 on every unix Rust targets.
     pub const SIGHUP: i32 = 1;
+    /// `SIGTERM` from `<signal.h>`; value 15 on every unix Rust targets.
+    pub const SIGTERM: i32 = 15;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -28,14 +33,28 @@ mod imp {
         HUP_PENDING.store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_term(_sig: i32) {
+        TERM_PENDING.store(true, Ordering::SeqCst);
+    }
+
     pub fn install() -> bool {
         // SIG_ERR is -1 cast to a handler pointer.
         unsafe { signal(SIGHUP, on_hup as *const () as usize) != usize::MAX }
     }
 
+    pub fn install_term() -> bool {
+        unsafe { signal(SIGTERM, on_term as *const () as usize) != usize::MAX }
+    }
+
     pub fn raise_hup() {
         unsafe {
             raise(SIGHUP);
+        }
+    }
+
+    pub fn raise_term() {
+        unsafe {
+            raise(SIGTERM);
         }
     }
 }
@@ -46,7 +65,13 @@ mod imp {
         false
     }
 
+    pub fn install_term() -> bool {
+        false
+    }
+
     pub fn raise_hup() {}
+
+    pub fn raise_term() {}
 }
 
 /// Installs the SIGHUP handler. Returns `false` where unsupported (non-unix
@@ -56,12 +81,29 @@ pub fn install() -> bool {
     imp::install()
 }
 
+/// Installs the SIGTERM handler for graceful drain. Returns `false` where
+/// unsupported; the process then falls back to the default (abrupt)
+/// termination behavior.
+pub fn install_term() -> bool {
+    imp::install_term()
+}
+
 /// Consumes a pending SIGHUP, if one arrived since the last call.
 pub fn take() -> bool {
     HUP_PENDING.swap(false, Ordering::SeqCst)
 }
 
+/// Consumes a pending SIGTERM, if one arrived since the last call.
+pub fn take_term() -> bool {
+    TERM_PENDING.swap(false, Ordering::SeqCst)
+}
+
 /// Sends the process a SIGHUP (test hook; no-op on non-unix targets).
 pub fn raise_hup() {
     imp::raise_hup()
+}
+
+/// Sends the process a SIGTERM (test hook; no-op on non-unix targets).
+pub fn raise_term() {
+    imp::raise_term()
 }

@@ -49,6 +49,7 @@
 pub mod exporter;
 pub mod json;
 pub mod sink;
+pub mod stamp;
 pub mod summary;
 
 use std::cell::RefCell;
@@ -202,11 +203,27 @@ pub enum Counter {
     /// `CompiledPst` automata compiled for dirty clusters under the
     /// incremental engine (0 unless `--incremental`).
     PstRecompiles,
+    /// ASSIGN requests the serve daemon completed (either transport).
+    ServeAssign,
+    /// SCORE requests the serve daemon completed.
+    ServeScore,
+    /// ANOMALY requests the serve daemon completed.
+    ServeAnomaly,
+    /// INFO requests the serve daemon completed.
+    ServeInfo,
+    /// SWAP requests the serve daemon completed (attempts, not successes —
+    /// [`Counter::ServeSwaps`] counts installed generations).
+    ServeSwapRequests,
+    /// SHUTDOWN requests the serve daemon completed.
+    ServeShutdown,
+    /// Requests whose end-to-end latency crossed the slow-request
+    /// threshold (logged to `--slow-log` when one is configured).
+    ServeSlow,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 27] = [
         Counter::PairsScored,
         Counter::PairsPruned,
         Counter::Joins,
@@ -227,6 +244,13 @@ impl Counter {
         Counter::PairsReused,
         Counter::ClustersDirty,
         Counter::PstRecompiles,
+        Counter::ServeAssign,
+        Counter::ServeScore,
+        Counter::ServeAnomaly,
+        Counter::ServeInfo,
+        Counter::ServeSwapRequests,
+        Counter::ServeShutdown,
+        Counter::ServeSlow,
     ];
 
     /// The counter's stable snake_case name (JSONL and exporter base name).
@@ -252,6 +276,13 @@ impl Counter {
             Counter::PairsReused => "pairs_reused",
             Counter::ClustersDirty => "clusters_dirty",
             Counter::PstRecompiles => "pst_recompiles",
+            Counter::ServeAssign => "serve_assign_requests",
+            Counter::ServeScore => "serve_score_requests",
+            Counter::ServeAnomaly => "serve_anomaly_requests",
+            Counter::ServeInfo => "serve_info_requests",
+            Counter::ServeSwapRequests => "serve_swap_requests",
+            Counter::ServeShutdown => "serve_shutdown_requests",
+            Counter::ServeSlow => "serve_slow_requests",
         }
     }
 
@@ -274,15 +305,22 @@ pub enum Gauge {
     ThresholdLogT,
     /// The serve daemon's live model generation (0 when not serving).
     ServeGeneration,
+    /// Jobs sitting in the serve dispatcher's queue right now.
+    ServeQueueDepth,
+    /// Requests accepted by the serve daemon and not yet answered
+    /// (queued plus mid-batch; maintained with [`TraceShared::gauge_add`]).
+    ServeInFlight,
 }
 
 impl Gauge {
     /// Every gauge, in display order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::Iteration,
         Gauge::ClustersLive,
         Gauge::ThresholdLogT,
         Gauge::ServeGeneration,
+        Gauge::ServeQueueDepth,
+        Gauge::ServeInFlight,
     ];
 
     fn index(self) -> usize {
@@ -301,15 +339,55 @@ pub enum HistKind {
     CheckpointWrite,
     /// Serve-daemon request latency, enqueue to scored response.
     ServeRequest,
+    /// End-to-end ASSIGN latency, first byte to write-back complete.
+    ServeAssign,
+    /// End-to-end SCORE latency.
+    ServeScore,
+    /// End-to-end ANOMALY latency.
+    ServeAnomaly,
+    /// End-to-end latency of the admin opcodes (INFO, SWAP, SHUTDOWN).
+    ServeAdmin,
+    /// Stage: reading the rest of the frame (or HTTP request) off the
+    /// socket after its first byte.
+    ServeAccept,
+    /// Stage: decoding and validating the request payload.
+    ServeDecode,
+    /// Stage: enqueue until the dispatcher drained the job into a batch.
+    ServeQueueWait,
+    /// Stage: batch drain until batch scoring began (model pinning).
+    ServeBatchForm,
+    /// Stage: the batched scoring pass itself.
+    ServeScan,
+    /// Stage: encoding the response frame or JSON body.
+    ServeEncode,
+    /// Stage: writing the encoded response back to the socket.
+    ServeWriteBack,
+    /// Jobs per dispatched batch. Unit is **jobs**, not time: a batch of
+    /// `n` jobs is recorded as `n` µs, so bucket `b` covers
+    /// `[2^(b-1), 2^b)` jobs and the exporter divides edges and sums by
+    /// 1000 to render job counts.
+    ServeBatchJobs,
 }
 
 impl HistKind {
     /// Every histogram, in display order.
-    pub const ALL: [HistKind; 4] = [
+    pub const ALL: [HistKind; 16] = [
         HistKind::ScoreRow,
         HistKind::IterationWall,
         HistKind::CheckpointWrite,
         HistKind::ServeRequest,
+        HistKind::ServeAssign,
+        HistKind::ServeScore,
+        HistKind::ServeAnomaly,
+        HistKind::ServeAdmin,
+        HistKind::ServeAccept,
+        HistKind::ServeDecode,
+        HistKind::ServeQueueWait,
+        HistKind::ServeBatchForm,
+        HistKind::ServeScan,
+        HistKind::ServeEncode,
+        HistKind::ServeWriteBack,
+        HistKind::ServeBatchJobs,
     ];
 
     /// The histogram's stable snake_case name.
@@ -319,10 +397,22 @@ impl HistKind {
             HistKind::IterationWall => "iteration_wall",
             HistKind::CheckpointWrite => "checkpoint_write",
             HistKind::ServeRequest => "serve_request",
+            HistKind::ServeAssign => "serve_assign",
+            HistKind::ServeScore => "serve_score",
+            HistKind::ServeAnomaly => "serve_anomaly",
+            HistKind::ServeAdmin => "serve_admin",
+            HistKind::ServeAccept => "serve_stage_accept",
+            HistKind::ServeDecode => "serve_stage_decode",
+            HistKind::ServeQueueWait => "serve_stage_queue_wait",
+            HistKind::ServeBatchForm => "serve_stage_batch_form",
+            HistKind::ServeScan => "serve_stage_scan",
+            HistKind::ServeEncode => "serve_stage_encode",
+            HistKind::ServeWriteBack => "serve_stage_write_back",
+            HistKind::ServeBatchJobs => "serve_batch_jobs",
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         HistKind::ALL
             .iter()
             .position(|h| *h == self)
@@ -345,6 +435,57 @@ pub fn bucket_index(nanos: u64) -> usize {
 /// (`None` for the overflow bucket).
 pub fn bucket_upper_nanos(b: usize) -> Option<u64> {
     (b < HIST_BUCKETS - 1).then(|| 1_000u64 << b)
+}
+
+/// The inclusive lower edge of histogram bucket `b`, in nanoseconds.
+pub fn bucket_lower_nanos(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1_000u64 << (b - 1)
+    }
+}
+
+/// The `q`-quantile (`0.0 < q <= 1.0`) of a histogram snapshot, estimated
+/// by linear interpolation inside the bucket holding the exact rank.
+/// Returns `None` for an empty histogram.
+///
+/// The computation is a pure function of the bucket counts — no sampling,
+/// no clocks — so any two readers of the same snapshot get the same value
+/// regardless of thread count or platform. The rank is exact
+/// (`ceil(q * count)`, 1-based); only the position *within* the bucket is
+/// interpolated, so the **documented error bound** is one bucket width:
+/// the true observation lies in the same `[2^(b-1), 2^b)` µs bucket as
+/// the estimate, i.e. the estimate is within 2× of the true value (and
+/// within 1 µs below bucket 1). Observations in the overflow bucket
+/// report its lower edge, a conservative underestimate.
+pub fn quantile_nanos(counts: &[u64; HIST_BUCKETS], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (b, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let before = cumulative;
+        cumulative += count;
+        if cumulative >= rank {
+            let lower = bucket_lower_nanos(b);
+            return Some(match bucket_upper_nanos(b) {
+                Some(upper) => {
+                    // rank - before in 1..=count; place the k-th of
+                    // `count` observations evenly inside the bucket.
+                    let into = (rank - before) as f64 / count as f64;
+                    lower + ((upper - lower) as f64 * into) as u64
+                }
+                None => lower,
+            });
+        }
+    }
+    None
 }
 
 /// One shard of the registry: a cache-line-padded-enough block of relaxed
@@ -450,6 +591,30 @@ impl TraceShared {
         s.hist_sums[h].fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Merges a locally buffered histogram delta in one pass: per-bucket
+    /// counts plus their summed observation values. Equivalent to the
+    /// individual [`Self::observe`] calls that filled the buffer, at a
+    /// fraction of the atomic traffic — only non-empty buckets touch the
+    /// registry.
+    pub fn hist_merge(
+        &self,
+        hist: HistKind,
+        shard: usize,
+        counts: &[u32; HIST_BUCKETS],
+        sum: u64,
+    ) {
+        let s = &self.shards[shard.min(SHARDS - 1)];
+        let h = hist.index();
+        for (b, &c) in counts.iter().enumerate() {
+            if c != 0 {
+                s.hist_counts[h][b].fetch_add(u64::from(c), Ordering::Relaxed);
+            }
+        }
+        if sum != 0 {
+            s.hist_sums[h].fetch_add(sum, Ordering::Relaxed);
+        }
+    }
+
     /// The histogram's per-bucket counts summed across shards.
     pub fn hist_counts(&self, hist: HistKind) -> [u64; HIST_BUCKETS] {
         let h = hist.index();
@@ -479,6 +644,14 @@ impl TraceShared {
     /// Sets an `f64` gauge (stored as bits).
     pub fn gauge_set_f64(&self, gauge: Gauge, v: f64) {
         self.gauges[gauge.index()].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds a signed delta to a `u64` gauge (two's-complement wrapping,
+    /// so balanced `+1`/`-1` pairs from different threads always return
+    /// the gauge to its starting value). The up/down counterpart of
+    /// [`TraceShared::gauge_set`] for live occupancy gauges.
+    pub fn gauge_add(&self, gauge: Gauge, delta: i64) {
+        self.gauges[gauge.index()].fetch_add(delta as u64, Ordering::Relaxed);
     }
 
     /// Reads a `u64` gauge.
@@ -932,6 +1105,67 @@ mod tests {
         assert_eq!(shards[99], 3);
         assert_eq!(shard_for(10_000, 1), SHARDS - 1);
         assert_eq!(shard_for(7, 0), 0);
+    }
+
+    #[test]
+    fn gauge_add_balances_to_zero() {
+        let s = TraceSession::in_memory();
+        let shared = s.shared();
+        shared.gauge_add(Gauge::ServeInFlight, 3);
+        shared.gauge_add(Gauge::ServeInFlight, -1);
+        assert_eq!(shared.gauge(Gauge::ServeInFlight), 2);
+        shared.gauge_add(Gauge::ServeInFlight, -2);
+        assert_eq!(shared.gauge(Gauge::ServeInFlight), 0);
+        // A transient negative (decrement observed before increment)
+        // wraps, but the balanced total still lands on zero.
+        shared.gauge_add(Gauge::ServeInFlight, -1);
+        shared.gauge_add(Gauge::ServeInFlight, 1);
+        assert_eq!(shared.gauge(Gauge::ServeInFlight), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_rank_bucket() {
+        let mut counts = [0u64; HIST_BUCKETS];
+        assert_eq!(quantile_nanos(&counts, 0.5), None);
+        // 10 observations, all in bucket 2 ([2, 4) µs).
+        counts[2] = 10;
+        let p50 = quantile_nanos(&counts, 0.5).unwrap();
+        let p999 = quantile_nanos(&counts, 0.999).unwrap();
+        assert!((2_000..4_000).contains(&p50), "{p50}");
+        // Rank 10 of 10 interpolates to the bucket's inclusive upper edge.
+        assert!((2_000..=4_000).contains(&p999), "{p999}");
+        assert!(p50 < p999, "higher quantile is further into the bucket");
+        // q=1.0 lands exactly on the bucket's upper edge.
+        assert_eq!(quantile_nanos(&counts, 1.0), Some(4_000));
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_across_buckets() {
+        let mut counts = [0u64; HIST_BUCKETS];
+        counts[0] = 90; // < 1 µs
+        counts[5] = 9; // [16, 32) µs
+        counts[HIST_BUCKETS - 1] = 1; // overflow
+        let p50 = quantile_nanos(&counts, 0.5).unwrap();
+        assert!(p50 < 1_000, "rank 50 of 100 is in bucket 0, got {p50}");
+        let p95 = quantile_nanos(&counts, 0.95).unwrap();
+        assert!(
+            (16_000..32_000).contains(&p95),
+            "rank 95 is in bucket 5, got {p95}"
+        );
+        // The overflow bucket reports its lower edge, conservatively.
+        assert_eq!(
+            quantile_nanos(&counts, 1.0),
+            Some(bucket_lower_nanos(HIST_BUCKETS - 1))
+        );
+        assert_eq!(quantile_nanos(&counts, 2.0), None, "q out of range");
+    }
+
+    #[test]
+    fn bucket_lower_edges_abut_upper_edges() {
+        assert_eq!(bucket_lower_nanos(0), 0);
+        for b in 0..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_upper_nanos(b).unwrap(), bucket_lower_nanos(b + 1));
+        }
     }
 
     #[test]

@@ -182,6 +182,25 @@ pub fn render(shared: &TraceShared) -> String {
         "cluseq_serve_generation {}\n",
         shared.gauge(Gauge::ServeGeneration)
     ));
+    out.push_str("# HELP cluseq_serve_queue_depth Jobs waiting in the serve dispatcher queue.\n");
+    out.push_str("# TYPE cluseq_serve_queue_depth gauge\n");
+    out.push_str(&format!(
+        "cluseq_serve_queue_depth {}\n",
+        shared.gauge(Gauge::ServeQueueDepth)
+    ));
+    out.push_str(
+        "# HELP cluseq_serve_in_flight Serve requests accepted and not yet answered.\n",
+    );
+    out.push_str("# TYPE cluseq_serve_in_flight gauge\n");
+    out.push_str(&format!(
+        "cluseq_serve_in_flight {}\n",
+        // The gauge is +1/-1 balanced; a transient interleaving can read
+        // as a wrapped negative, which is clamped to 0 for exposition.
+        (shared.gauge(Gauge::ServeInFlight) as i64).max(0)
+    ));
+    out.push_str("# HELP cluseq_process_rss_bytes Resident set size of this process (0 where /proc is unavailable).\n");
+    out.push_str("# TYPE cluseq_process_rss_bytes gauge\n");
+    out.push_str(&format!("cluseq_process_rss_bytes {}\n", rss_bytes()));
 
     // Per-phase span time.
     out.push_str("# HELP cluseq_phase_seconds_total Wall time spent in each phase (span total).\n");
@@ -226,11 +245,20 @@ pub fn render(shared: &TraceShared) -> String {
         ));
     }
 
-    // Histograms.
+    // Histograms. Latency histograms are exposed in seconds; the
+    // batch-size histogram stores jobs scaled by 1000 (see
+    // [`HistKind::ServeBatchJobs`]), so its edges and sum divide the
+    // nano-shaped cells back into job counts.
     for hist in HistKind::ALL {
+        let jobs_unit = hist == HistKind::ServeBatchJobs;
         let name = hist.as_str();
+        let full = if jobs_unit {
+            format!("cluseq_{name}")
+        } else {
+            format!("cluseq_{name}_seconds")
+        };
         out.push_str(&format!(
-            "# HELP cluseq_{name}_seconds {}\n# TYPE cluseq_{name}_seconds histogram\n",
+            "# HELP {full} {}\n# TYPE {full} histogram\n",
             hist_help(hist)
         ));
         let counts = shared.hist_counts(hist);
@@ -238,19 +266,36 @@ pub fn render(shared: &TraceShared) -> String {
         for (b, count) in counts.iter().enumerate().take(HIST_BUCKETS) {
             cumulative += count;
             let le = match bucket_upper_nanos(b) {
+                Some(nanos) if jobs_unit => fmt_f64(nanos as f64 / 1_000.0),
                 Some(nanos) => fmt_f64(seconds(nanos)),
                 None => "+Inf".to_string(),
             };
-            out.push_str(&format!(
-                "cluseq_{name}_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
-            ));
+            out.push_str(&format!("{full}_bucket{{le=\"{le}\"}} {cumulative}\n"));
         }
-        out.push_str(&format!(
-            "cluseq_{name}_seconds_sum {}\ncluseq_{name}_seconds_count {cumulative}\n",
+        let sum = if jobs_unit {
+            fmt_f64(shared.hist_sum(hist) as f64 / 1_000.0)
+        } else {
             fmt_f64(seconds(shared.hist_sum(hist)))
-        ));
+        };
+        out.push_str(&format!("{full}_sum {sum}\n{full}_count {cumulative}\n"));
     }
     out
+}
+
+/// Resident set size read live from `/proc/self/status` (`VmRSS`); 0 on
+/// platforms without procfs or when the read fails — presence of the
+/// series is stable either way, so dashboards never lose the panel.
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                let rest = line.strip_prefix("VmRSS:")?;
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                Some(kb * 1024)
+            })
+        })
+        .unwrap_or(0)
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -287,6 +332,13 @@ fn counter_help(counter: Counter) -> &'static str {
         Counter::PairsReused => "Pairs answered from the incremental engine's similarity cache.",
         Counter::ClustersDirty => "Clusters entering a scan without a valid cached column.",
         Counter::PstRecompiles => "Cluster automata recompiled for dirty clusters.",
+        Counter::ServeAssign => "ASSIGN requests completed by the serve daemon.",
+        Counter::ServeScore => "SCORE requests completed by the serve daemon.",
+        Counter::ServeAnomaly => "ANOMALY requests completed by the serve daemon.",
+        Counter::ServeInfo => "INFO requests completed by the serve daemon.",
+        Counter::ServeSwapRequests => "SWAP requests completed by the serve daemon.",
+        Counter::ServeShutdown => "SHUTDOWN requests completed by the serve daemon.",
+        Counter::ServeSlow => "Requests whose end-to-end latency crossed the slow threshold.",
     }
 }
 
@@ -296,6 +348,18 @@ fn hist_help(hist: HistKind) -> &'static str {
         HistKind::IterationWall => "Wall time of one whole iteration.",
         HistKind::CheckpointWrite => "Wall time of one checkpoint write.",
         HistKind::ServeRequest => "Serve request latency, enqueue to scored response.",
+        HistKind::ServeAssign => "End-to-end ASSIGN latency, first byte to write-back.",
+        HistKind::ServeScore => "End-to-end SCORE latency, first byte to write-back.",
+        HistKind::ServeAnomaly => "End-to-end ANOMALY latency, first byte to write-back.",
+        HistKind::ServeAdmin => "End-to-end latency of INFO/SWAP/SHUTDOWN requests.",
+        HistKind::ServeAccept => "Stage: reading the rest of the request off the socket.",
+        HistKind::ServeDecode => "Stage: decoding and validating the request payload.",
+        HistKind::ServeQueueWait => "Stage: enqueue until drained into a dispatch batch.",
+        HistKind::ServeBatchForm => "Stage: batch drain until scoring began.",
+        HistKind::ServeScan => "Stage: the batched scoring pass.",
+        HistKind::ServeEncode => "Stage: encoding the response.",
+        HistKind::ServeWriteBack => "Stage: writing the response to the socket.",
+        HistKind::ServeBatchJobs => "Jobs per dispatched serve batch (unit: jobs, not seconds).",
     }
 }
 
@@ -335,6 +399,43 @@ mod tests {
         assert!(page.contains("cluseq_score_row_seconds_bucket{le=\"+Inf\"} 2\n"));
         assert!(page.contains("cluseq_score_row_seconds_count 2\n"));
         assert!(page.contains("cluseq_score_row_seconds_sum 0.000002\n"));
+    }
+
+    #[test]
+    fn render_covers_serve_observability_series() {
+        let s = TraceSession::in_memory();
+        s.add(Counter::ServeAssign, 4);
+        s.add(Counter::ServeSlow, 1);
+        s.shared().gauge_set(Gauge::ServeQueueDepth, 5);
+        s.shared().gauge_add(Gauge::ServeInFlight, 2);
+        s.observe(HistKind::ServeQueueWait, 0, 2_500);
+        // A 3-job batch is stored as 3 µs (unit: jobs).
+        s.observe(HistKind::ServeBatchJobs, 0, 3_000);
+        let page = render(s.shared());
+        for needle in [
+            "cluseq_serve_assign_requests_total 4\n",
+            "cluseq_serve_score_requests_total 0\n",
+            "cluseq_serve_slow_requests_total 1\n",
+            "cluseq_serve_queue_depth 5\n",
+            "cluseq_serve_in_flight 2\n",
+            "cluseq_serve_stage_queue_wait_seconds_bucket{le=\"0.000004\"} 1\n",
+            "cluseq_serve_batch_jobs_bucket{le=\"4\"} 1\n",
+            "cluseq_serve_batch_jobs_sum 3\n",
+            "cluseq_serve_batch_jobs_count 1\n",
+            "cluseq_process_rss_bytes ",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // The jobs histogram must not carry a seconds suffix.
+        assert!(!page.contains("cluseq_serve_batch_jobs_seconds"));
+    }
+
+    #[test]
+    fn wrapped_in_flight_gauge_renders_as_zero() {
+        let s = TraceSession::in_memory();
+        s.shared().gauge_add(Gauge::ServeInFlight, -1);
+        let page = render(s.shared());
+        assert!(page.contains("cluseq_serve_in_flight 0\n"), "{page}");
     }
 
     #[test]

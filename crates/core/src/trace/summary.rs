@@ -7,10 +7,16 @@
 //! exact span aggregates in the last `run_end` event — falling back to
 //! summing the per-iteration `phase_nanos` when the run is still going
 //! (or crashed before `run_end`).
+//!
+//! Serve traces render too: a `serve_start`/`serve_swap`/`serve_end`
+//! stream (from `cluseq serve --trace`) becomes a per-opcode latency
+//! table with interpolated percentiles and a per-stage breakdown, and a
+//! slow-request log (`--slow-log`) becomes a slowest-requests table. A
+//! file may hold either kind of stream, or both.
 
 use super::json::JsonValue;
 use super::sink::{stitch_iterations, TraceReplay};
-use super::Phase;
+use super::{quantile_nanos, Phase, HIST_BUCKETS};
 
 /// The rendered indentation of each phase (two spaces per nesting level).
 fn indent(phase: Phase) -> usize {
@@ -117,8 +123,216 @@ fn rows_from_iterations(iterations: &[JsonValue]) -> Vec<Row> {
     rows
 }
 
+/// Bucket counts plus observation sum for one histogram in a `serve_end`
+/// snapshot.
+fn hist_from_end(end: &JsonValue, name: &str) -> Option<([u64; HIST_BUCKETS], u64)> {
+    let h = end.get("hists")?.get(name)?;
+    let arr = h.get("counts")?.as_arr()?;
+    let mut counts = [0u64; HIST_BUCKETS];
+    for (slot, v) in counts.iter_mut().zip(arr) {
+        *slot = v.as_u64().unwrap_or(0);
+    }
+    Some((counts, u64_field(h, "sum_nanos")))
+}
+
+fn fmt_quantile_ms(counts: &[u64; HIST_BUCKETS], q: f64) -> String {
+    match quantile_nanos(counts, q) {
+        Some(nanos) => format!("{:>9}", fmt_millis(nanos)),
+        None => format!("{:>9}", "-"),
+    }
+}
+
+/// The serve section of the report, if the stream holds any serve or
+/// slow-request events.
+fn render_serve(replay: &TraceReplay) -> Option<String> {
+    let last_of = |kind: &str| {
+        replay
+            .events
+            .iter()
+            .rev()
+            .find(|e| e.kind == kind)
+            .map(|e| &e.value)
+    };
+    let start = last_of("serve_start");
+    let end = last_of("serve_end");
+    let swaps = replay.events.iter().filter(|e| e.kind == "serve_swap").count();
+    let slow: Vec<&JsonValue> = replay
+        .events
+        .iter()
+        .filter(|e| e.kind == "slow_request")
+        .map(|e| &e.value)
+        .collect();
+    if start.is_none() && end.is_none() && swaps == 0 && slow.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    if let Some(s) = start {
+        out.push_str(&format!(
+            "serve: {} — threads {}, max_batch {}, kernel {}, started at generation {} \
+             ({} clusters)\n",
+            s.get("addr").and_then(JsonValue::as_str).unwrap_or("?"),
+            u64_field(s, "threads"),
+            u64_field(s, "max_batch"),
+            s.get("kernel").and_then(JsonValue::as_str).unwrap_or("?"),
+            u64_field(s, "generation"),
+            u64_field(s, "clusters"),
+        ));
+    }
+    if swaps > 0 {
+        out.push_str(&format!("serve swaps in stream: {swaps}\n"));
+    }
+    match end {
+        Some(end) => {
+            let counters = end.get("counters");
+            let c = |key: &str| counters.map_or(0, |v| u64_field(v, key));
+            out.push_str(&format!(
+                "serve totals: {} ok, {} errors, {} batches, {} swaps, {} slow\n",
+                c("serve_requests"),
+                c("serve_errors"),
+                c("serve_batches"),
+                c("serve_swaps"),
+                c("serve_slow_requests"),
+            ));
+            out.push_str(&format!(
+                "\n{:<10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}  (latency ms, \
+                 interpolated within power-of-two buckets)\n",
+                "op", "count", "mean", "p50", "p95", "p99", "p999"
+            ));
+            for (label, hist) in [
+                ("assign", "serve_assign"),
+                ("score", "serve_score"),
+                ("anomaly", "serve_anomaly"),
+                ("admin", "serve_admin"),
+            ] {
+                let Some((counts, sum)) = hist_from_end(end, hist) else {
+                    continue;
+                };
+                let count: u64 = counts.iter().sum();
+                if count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{:<10} {:>10} {:>9} {} {} {} {}\n",
+                    label,
+                    count,
+                    fmt_millis(sum / count),
+                    fmt_quantile_ms(&counts, 0.50),
+                    fmt_quantile_ms(&counts, 0.95),
+                    fmt_quantile_ms(&counts, 0.99),
+                    fmt_quantile_ms(&counts, 0.999),
+                ));
+            }
+            out.push_str(&format!(
+                "\n{:<12} {:>10} {:>9} {:>9}  (stage ms)\n",
+                "stage", "count", "mean", "p99"
+            ));
+            for (label, hist) in [
+                ("accept", "serve_stage_accept"),
+                ("decode", "serve_stage_decode"),
+                ("queue_wait", "serve_stage_queue_wait"),
+                ("batch_form", "serve_stage_batch_form"),
+                ("scan", "serve_stage_scan"),
+                ("encode", "serve_stage_encode"),
+                ("write_back", "serve_stage_write_back"),
+            ] {
+                let Some((counts, sum)) = hist_from_end(end, hist) else {
+                    continue;
+                };
+                let count: u64 = counts.iter().sum();
+                if count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{:<12} {:>10} {:>9} {}\n",
+                    label,
+                    count,
+                    fmt_millis(sum / count),
+                    fmt_quantile_ms(&counts, 0.99),
+                ));
+            }
+            if let Some((counts, sum)) = hist_from_end(end, "serve_batch_jobs") {
+                let count: u64 = counts.iter().sum();
+                if count > 0 {
+                    // Jobs ride the histogram in "micro-jobs" (n·1000).
+                    out.push_str(&format!(
+                        "mean batch size: {:.1} jobs over {} batches\n",
+                        sum as f64 / 1000.0 / count as f64,
+                        count,
+                    ));
+                }
+            }
+        }
+        None => {
+            if start.is_some() {
+                out.push_str("serve still running (no serve_end snapshot)\n");
+            }
+        }
+    }
+    if !slow.is_empty() {
+        let mut sorted: Vec<&JsonValue> = slow.clone();
+        sorted.sort_by_key(|v| std::cmp::Reverse(u64_field(v, "total_nanos")));
+        out.push_str(&format!(
+            "\nslow requests: {} logged; slowest:\n{:<10} {:<8} {:<9} {:>10} {:>12}  \
+             dominant stage\n",
+            slow.len(),
+            "id",
+            "op",
+            "transport",
+            "total ms",
+            "generation"
+        ));
+        for v in sorted.iter().take(8) {
+            let dominant = v
+                .get("stage_nanos")
+                .and_then(JsonValue::as_obj)
+                .and_then(|fields| {
+                    fields
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|n| (k.as_str(), n)))
+                        .max_by_key(|&(_, n)| n)
+                })
+                .map_or("?".to_string(), |(k, n)| {
+                    format!("{k} ({} ms)", fmt_millis(n))
+                });
+            out.push_str(&format!(
+                "{:<10} {:<8} {:<9} {:>10} {:>12}  {}\n",
+                u64_field(v, "request_id"),
+                v.get("op").and_then(JsonValue::as_str).unwrap_or("?"),
+                v.get("transport").and_then(JsonValue::as_str).unwrap_or("?"),
+                fmt_millis(u64_field(v, "total_nanos")),
+                v.get("generation")
+                    .and_then(JsonValue::as_u64)
+                    .map_or("-".to_string(), |g| g.to_string()),
+                dominant,
+            ));
+        }
+    }
+    Some(out)
+}
+
 /// Renders a replayed trace as the `trace-summary` report.
 pub fn render_summary(replay: &TraceReplay) -> String {
+    let serve_section = render_serve(replay);
+    let has_clustering = replay.events.iter().any(|e| {
+        matches!(
+            e.kind.as_str(),
+            "run_start" | "iteration" | "resume" | "checkpoint" | "run_end"
+        )
+    });
+    // A pure serve trace (or slow-request log) skips the clustering
+    // header and phase table entirely.
+    if let (Some(serve), false) = (&serve_section, has_clustering) {
+        return format!(
+            "events: {}{}\n{}",
+            replay.events.len(),
+            if replay.truncated_tail {
+                ", torn tail dropped"
+            } else {
+                ""
+            },
+            serve
+        );
+    }
     let mut out = String::new();
     let last_start = replay
         .events
@@ -210,6 +424,10 @@ pub fn render_summary(replay: &TraceReplay) -> String {
             fmt_millis(row.max_nanos),
         ));
     }
+    if let Some(serve) = serve_section {
+        out.push('\n');
+        out.push_str(&serve);
+    }
     out
 }
 
@@ -266,5 +484,78 @@ mod tests {
         let replay = read_trace_str("").unwrap();
         let text = render_summary(&replay);
         assert!(text.contains("events: 0, iterations: 0"));
+    }
+
+    fn serve_trace() -> String {
+        // 10 assign observations in bucket 2 ([2, 4) µs), one accept
+        // observation in bucket 0.
+        let mut assign = [0u64; HIST_BUCKETS];
+        assign[2] = 10;
+        let mut accept = [0u64; HIST_BUCKETS];
+        accept[0] = 1;
+        let arr = |counts: &[u64; HIST_BUCKETS]| {
+            counts
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            concat!(
+                "{{\"seq\":0,\"event\":\"serve_start\",\"addr\":\"127.0.0.1:7878\",",
+                "\"threads\":2,\"max_batch\":64,\"kernel\":\"compiled\",",
+                "\"generation\":1,\"clusters\":4}}\n",
+                "{{\"seq\":1,\"event\":\"serve_swap\",\"generation\":2,\"clusters\":4}}\n",
+                "{{\"seq\":2,\"event\":\"serve_end\",\"counters\":{{",
+                "\"serve_requests\":10,\"serve_errors\":1,\"serve_batches\":3,",
+                "\"serve_swaps\":1,\"serve_slow_requests\":1}},\"hists\":{{",
+                "\"serve_assign\":{{\"sum_nanos\":30000,\"counts\":[{assign}]}},",
+                "\"serve_stage_accept\":{{\"sum_nanos\":500,\"counts\":[{accept}]}},",
+                "\"serve_batch_jobs\":{{\"sum_nanos\":12000,\"counts\":[{accept}]}}",
+                "}}}}\n",
+            ),
+            assign = arr(&assign),
+            accept = arr(&accept),
+        )
+    }
+
+    #[test]
+    fn serve_trace_renders_without_clustering_header() {
+        let replay = read_trace_str(&serve_trace()).unwrap();
+        let text = render_summary(&replay);
+        assert!(text.contains("serve: 127.0.0.1:7878"), "{text}");
+        assert!(text.contains("serve swaps in stream: 1"));
+        assert!(text.contains("serve totals: 10 ok, 1 errors, 3 batches"));
+        assert!(text.contains("assign"));
+        assert!(text.contains("mean batch size: 12.0 jobs over 1 batches"));
+        // p50 of 10 observations in bucket 2 interpolates inside [2, 4) µs.
+        assert!(!text.contains("run still in progress"), "{text}");
+        assert!(!text.contains("phase"), "{text}");
+    }
+
+    #[test]
+    fn slow_request_log_renders_slowest_table() {
+        let trace = concat!(
+            "{\"seq\":0,\"event\":\"slow_request\",\"request_id\":7,\"op\":\"assign\",",
+            "\"transport\":\"binary\",\"generation\":3,\"seq_len\":40,\"error\":false,",
+            "\"total_nanos\":250000000,\"threshold_nanos\":100000000,\"stage_nanos\":",
+            "{\"accept\":1000,\"decode\":2000,\"queue_wait\":200000000,",
+            "\"batch_form\":0,\"scan\":49997000,\"encode\":0,\"write_back\":0}}\n",
+        );
+        let replay = read_trace_str(trace).unwrap();
+        let text = render_summary(&replay);
+        assert!(text.contains("slow requests: 1 logged"), "{text}");
+        assert!(text.contains("assign"));
+        assert!(text.contains("queue_wait"), "dominant stage: {text}");
+        assert!(text.contains("250.00"));
+    }
+
+    #[test]
+    fn mixed_trace_appends_serve_section_after_phase_table() {
+        let trace = format!("{ITER}{}", serve_trace());
+        let replay = read_trace_str(&trace).unwrap();
+        let text = render_summary(&replay);
+        assert!(text.contains("run: 40 sequences"), "{text}");
+        assert!(text.contains("serve totals"), "{text}");
     }
 }

@@ -109,7 +109,10 @@ impl Bencher<'_> {
                 break;
             }
             // Aim the next batch at ~100 ms based on what we just saw.
-            let per_iter = elapsed.as_nanos().max(1) / batch as u128;
+            // Sub-nanosecond routines round to zero under integer
+            // division; clamp after dividing so the batch target below
+            // never divides by zero.
+            let per_iter = (elapsed.as_nanos() / batch as u128).max(1);
             batch = (100_000_000u128 / per_iter).clamp(batch as u128 + 1, 1_000_000_000) as u64;
         }
 
